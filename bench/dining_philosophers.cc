@@ -1,0 +1,138 @@
+// Extension experiment: dining philosophers (Dijkstra 1968, the paper's reference [9]).
+//
+// (a) Deadlock probability of the naive fork protocol under schedule search, by table
+//     size — the deterministic runtime names the cycle every time it finds one.
+// (b) Conformance and wall-clock throughput of the deadlock-free solutions, including
+//     the path-expression table where atomic prologues make hold-and-wait impossible.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "syneval/core/scorecard.h"
+#include "syneval/problems/oracles.h"
+#include "syneval/problems/workloads.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/explore.h"
+#include "syneval/runtime/os_runtime.h"
+#include "syneval/solutions/ccr_solutions.h"
+#include "syneval/solutions/csp_solutions.h"
+#include "syneval/solutions/dining_solutions.h"
+
+namespace {
+
+using namespace syneval;
+
+template <typename Table>
+SweepOutcome Sweep(int seats, int seeds) {
+  return SweepSchedules(seeds, [seats](std::uint64_t seed) -> std::string {
+    DetRuntime rt(MakeRandomSchedule(seed));
+    TraceRecorder trace;
+    Table table(rt, seats);
+    DiningWorkloadParams params;
+    params.meals_per_philosopher = 2;
+    ThreadList threads = SpawnDiningWorkload(rt, table, trace, params);
+    const DetRuntime::RunResult result = rt.Run();
+    if (!result.completed) {
+      return "runtime: " + result.report;
+    }
+    return CheckDiningPhilosophers(trace.Events(), seats);
+  });
+}
+
+// CSP tables own a server process; the sweep adds a terminator thread that joins the
+// philosophers and shuts the server down so the deterministic run can complete.
+SweepOutcome SweepCspDining(int seats, int seeds) {
+  return SweepSchedules(seeds, [seats](std::uint64_t seed) -> std::string {
+    DetRuntime rt(MakeRandomSchedule(seed));
+    TraceRecorder trace;
+    CspDining table(rt, seats);
+    DiningWorkloadParams params;
+    params.meals_per_philosopher = 2;
+    ThreadList threads = SpawnDiningWorkload(rt, table, trace, params);
+    std::vector<RtThread*> clients;
+    for (auto& thread : threads) {
+      clients.push_back(thread.get());
+    }
+    ThreadList terminator;
+    terminator.push_back(rt.StartThread("terminator", [&table, clients] {
+      for (RtThread* client : clients) {
+        client->Join();
+      }
+      table.Shutdown();
+    }));
+    const DetRuntime::RunResult result = rt.Run();
+    if (!result.completed) {
+      return "runtime: " + result.report;
+    }
+    return CheckDiningPhilosophers(trace.Events(), seats);
+  });
+}
+
+template <typename Table>
+double Throughput(int seats, int meals) {
+  OsRuntime rt;
+  TraceRecorder trace;
+  Table table(rt, seats);
+  DiningWorkloadParams params;
+  params.meals_per_philosopher = meals;
+  params.eat_work = 0;
+  params.think_work = 0;
+  const auto start = std::chrono::steady_clock::now();
+  ThreadList threads = SpawnDiningWorkload(rt, table, trace, params);
+  JoinAll(threads);
+  const auto end = std::chrono::steady_clock::now();
+  return static_cast<double>(seats) * meals /
+         std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: dining philosophers across mechanisms ===\n\n");
+
+  const int seeds = 60;
+  std::printf("(a) Naive-fork deadlock probability over %d random schedules:\n", seeds);
+  std::vector<std::string> header = {"seats", "deadlocks", "rate"};
+  std::vector<std::vector<std::string>> rows;
+  for (int seats : {2, 3, 5, 8}) {
+    const SweepOutcome outcome = Sweep<SemaphoreDiningNaive>(seats, seeds);
+    char cell[32];
+    std::snprintf(cell, sizeof cell, "%d/%d", outcome.failures, outcome.runs);
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.2f", outcome.FailureRate());
+    rows.push_back({std::to_string(seats), cell, rate});
+  }
+  std::printf("%s\n", RenderTable(header, rows).c_str());
+
+  std::printf("(b) Deadlock-free solutions, 5 seats, %d schedules + throughput:\n", seeds);
+  header = {"solution", "conformance", "meals/s (OsRuntime)"};
+  rows.clear();
+  auto add = [&](const char* name, const SweepOutcome& outcome, double tput) {
+    char cell[48];
+    std::snprintf(cell, sizeof cell, "%d/%d clean", outcome.passes, outcome.runs);
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.0f", tput);
+    rows.push_back({name, cell, rate});
+  };
+  add("ordered forks (semaphore)", Sweep<SemaphoreDiningOrdered>(5, seeds),
+      Throughput<SemaphoreDiningOrdered>(5, 2000));
+  add("butler (semaphore)", Sweep<SemaphoreDiningButler>(5, seeds),
+      Throughput<SemaphoreDiningButler>(5, 2000));
+  add("state monitor", Sweep<MonitorDining>(5, seeds), Throughput<MonitorDining>(5, 2000));
+  add("serializer guards", Sweep<SerializerDining>(5, seeds),
+      Throughput<SerializerDining>(5, 2000));
+  add("path per fork (atomic)", Sweep<PathDining>(5, seeds), Throughput<PathDining>(5, 2000));
+  add("region when neighbours idle", Sweep<CcrDining>(5, seeds), Throughput<CcrDining>(5, 2000));
+  add("CSP table server", SweepCspDining(5, seeds), Throughput<CspDining>(5, 2000));
+  std::printf("%s\n", RenderTable(header, rows).c_str());
+
+  std::printf("The path expression for a 5-seat table:\n  %s\n",
+              PathDining::Program(5).c_str());
+  std::printf("\nExpected shape: the naive protocol deadlocks on a growing fraction of\n"
+              "schedules as the table shrinks (tighter cycles); every structured\n"
+              "solution is clean everywhere; atomic path prologues need no ordering\n"
+              "trick and no butler.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Experiment E9: why parameter-based priority constraints matter.
+//
+// Runs identical random request streams through SCAN schedulers (monitor, serializer,
+// semaphore private-semaphore pattern) and the FCFS baseline (including the best a
+// CH74 path expression can do), comparing total head movement on the virtual disk.
+// SCAN should cut seek distance by a large factor at higher queue depths; the oracle
+// validates every schedule's policy conformance as it runs.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "syneval/core/scorecard.h"
+#include "syneval/problems/oracles.h"
+#include "syneval/problems/workloads.h"
+#include "syneval/runtime/os_runtime.h"
+#include "syneval/solutions/monitor_solutions.h"
+#include "syneval/solutions/pathexpr_solutions.h"
+#include "syneval/solutions/semaphore_solutions.h"
+#include "syneval/solutions/serializer_solutions.h"
+
+namespace {
+
+using namespace syneval;
+
+struct RunStats {
+  std::int64_t seek = 0;
+  std::string oracle;
+};
+
+template <typename Scheduler>
+RunStats RunWorkload(int requesters, int requests_per_thread, bool scan) {
+  OsRuntime rt;
+  TraceRecorder trace;
+  VirtualDisk disk(1000, 0);
+  Scheduler scheduler(rt);
+  DiskWorkloadParams params;
+  params.requesters = requesters;
+  params.requests_per_thread = requests_per_thread;
+  params.tracks = 1000;
+  params.hold_work = 1;
+  params.think_work = 0;
+  params.seed = 2026;
+  ThreadList threads = SpawnDiskWorkload(rt, scheduler, disk, trace, params);
+  JoinAll(threads);
+  RunStats stats;
+  stats.seek = disk.total_seek();
+  stats.oracle = scan ? CheckScanDiskSchedule(trace.Events(), 0)
+                      : CheckFcfsDiskSchedule(trace.Events());
+  if (disk.violations() != 0) {
+    stats.oracle = "virtual disk observed concurrent access";
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E9: disk-head scheduling — SCAN vs FCFS seek distance ===\n\n");
+  std::vector<std::string> header = {"requesters", "scheduler", "total seek", "vs fcfs",
+                                     "oracle"};
+  std::vector<std::vector<std::string>> rows;
+  for (int requesters : {2, 4, 8, 16}) {
+    const int per_thread = 320 / requesters;
+    const RunStats fcfs = RunWorkload<PathDiskFcfs>(requesters, per_thread,
+                                                    /*scan=*/false);
+    struct Entry {
+      const char* name;
+      RunStats stats;
+    };
+    const Entry entries[] = {
+        {"fcfs (path expr best effort)", fcfs},
+        {"scan (monitor)",
+         RunWorkload<MonitorDiskScheduler>(requesters, per_thread, /*scan=*/true)},
+        {"scan (serializer)",
+         RunWorkload<SerializerDiskScheduler>(requesters, per_thread, /*scan=*/true)},
+        {"scan (semaphores)",
+         RunWorkload<SemaphoreDiskScheduler>(requesters, per_thread, /*scan=*/true)},
+    };
+    for (const Entry& entry : entries) {
+      char seek[32];
+      std::snprintf(seek, sizeof seek, "%lld", static_cast<long long>(entry.stats.seek));
+      char ratio[32];
+      std::snprintf(ratio, sizeof ratio, "%.2fx",
+                    static_cast<double>(fcfs.seek) /
+                        static_cast<double>(entry.stats.seek == 0 ? 1 : entry.stats.seek));
+      rows.push_back({std::to_string(requesters), entry.name, seek, ratio,
+                      entry.stats.oracle.empty() ? "ok" : entry.stats.oracle});
+    }
+  }
+  std::printf("%s\n", syneval::RenderTable(header, rows).c_str());
+  std::printf("Expected shape: SCAN's advantage grows with the number of concurrent\n"
+              "requesters (deeper queues give the elevator more to reorder); all SCAN\n"
+              "implementations produce identical policies (oracle ok).\n");
+  return 0;
+}

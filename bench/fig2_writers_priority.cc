@@ -1,0 +1,73 @@
+// Experiment E2: Figure 2 and the Section 5.1.2 modification analysis.
+//
+// Verifies the Figure 2 writers-priority solution behaves (conformance sweep), then
+// quantifies the paper's ease-of-use point: although readers-priority and
+// writers-priority share their exclusion constraint, moving Figure 1 -> Figure 2
+// rewrites everything, while the monitor and serializer pairs change only their
+// priority fragments.
+
+#include <cstdio>
+#include <string>
+
+#include "syneval/core/metrics.h"
+#include "syneval/core/scorecard.h"
+#include "syneval/problems/oracles.h"
+#include "syneval/problems/workloads.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/explore.h"
+#include "syneval/solutions/pathexpr_solutions.h"
+#include "syneval/solutions/registry.h"
+
+int main() {
+  using namespace syneval;
+  std::printf("=== E2: Figure 2 (writers priority) and modification cost ===\n\n");
+
+  const int seeds = 80;
+  const SweepOutcome outcome = SweepSchedules(seeds, [](std::uint64_t seed) -> std::string {
+    DetRuntime rt(MakeRandomSchedule(seed));
+    TraceRecorder trace;
+    PathExprRwFigure2 rw(rt);
+    RwWorkloadParams params;
+    params.readers = 3;
+    params.writers = 2;
+    params.ops_per_reader = 4;
+    params.ops_per_writer = 3;
+    ThreadList threads = SpawnReadersWritersWorkload(rt, rw, trace, params);
+    const DetRuntime::RunResult result = rt.Run();
+    if (!result.completed) {
+      return "runtime: " + result.report;
+    }
+    return CheckReadersWriters(trace.Events(), RwPolicy::kWritersPriority, 8,
+                               RwStrictness::kArrivalOrder);
+  });
+  std::printf("Figure 2 conformance (writers-priority, arrival-order oracle): %s\n\n",
+              outcome.Summary().c_str());
+
+  std::printf("Per-mechanism cost of the SAME policy change (readers -> writers "
+              "priority):\n");
+  std::vector<std::string> header = {"mechanism", "exclusion fragment similarity",
+                                     "modification cost"};
+  std::vector<std::vector<std::string>> rows;
+  for (Mechanism mechanism : {Mechanism::kSemaphore, Mechanism::kMonitor,
+                              Mechanism::kPathExpression, Mechanism::kSerializer}) {
+    const auto a = FindSolution(mechanism, "rw-readers-priority");
+    const auto b = FindSolution(mechanism, "rw-writers-priority");
+    if (!a || !b) {
+      continue;
+    }
+    const auto similarity = FragmentSimilarity(*a, *b, "exclusion");
+    char sim[32];
+    std::snprintf(sim, sizeof sim, "%.2f", similarity.value_or(0.0));
+    char cost[32];
+    std::snprintf(cost, sizeof cost, "%.2f", ModificationCost(*a, *b));
+    rows.push_back({MechanismName(mechanism), sim, cost});
+  }
+  std::printf("%s\n", RenderTable(header, rows).c_str());
+  std::printf("Expected shape: path expressions alone change their exclusion fragment\n"
+              "when only the priority constraint differs (lowest similarity) — 'a\n"
+              "modification to one constraint involves changing the entire solution'\n"
+              "(Section 5.1.2). The semaphore baseline's high total cost is the other\n"
+              "finding: CHP algorithm 2 is a wholesale rewrite of algorithm 1 even\n"
+              "though its exclusion protocol is textually identical.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Experiment E7: per-operation overhead of each mechanism (Section 5.2's cost remark:
+// serializers "provide more mechanism than do monitors, at more cost").
+//
+// google-benchmark microbenchmarks over OsRuntime: an uncontended read and write on
+// each readers/writers solution, a deposit+remove pair on each bounded buffer, and the
+// same read with 4 contending threads. Absolute numbers are machine-dependent; the
+// ordering semaphore < monitor < serializer/path-controller is the reproducible shape.
+
+#include <benchmark/benchmark.h>
+
+#include "syneval/runtime/os_runtime.h"
+#include "syneval/solutions/ccr_solutions.h"
+#include "syneval/solutions/csp_solutions.h"
+#include "syneval/solutions/monitor_solutions.h"
+#include "syneval/solutions/pathexpr_solutions.h"
+#include "syneval/solutions/semaphore_solutions.h"
+#include "syneval/solutions/serializer_solutions.h"
+
+namespace {
+
+using namespace syneval;
+
+OsRuntime& GlobalRuntime() {
+  static OsRuntime* rt = new OsRuntime();
+  return *rt;
+}
+
+// Constructor adapters for solutions whose constructors take extra arguments.
+struct CspRwReadersPriorityBench : CspReadersWriters {
+  explicit CspRwReadersPriorityBench(Runtime& rt)
+      : CspReadersWriters(rt, CspReadersWriters::Policy::kReadersPriority) {}
+};
+
+template <typename Solution>
+Solution& SharedRw() {
+  static Solution* solution = new Solution(GlobalRuntime());
+  return *solution;
+}
+
+template <typename Solution>
+void BM_Read(benchmark::State& state) {
+  Solution& rw = SharedRw<Solution>();
+  for (auto _ : state) {
+    rw.Read([] {}, nullptr);
+  }
+}
+
+template <typename Solution>
+void BM_Write(benchmark::State& state) {
+  Solution& rw = SharedRw<Solution>();
+  for (auto _ : state) {
+    rw.Write([] {}, nullptr);
+  }
+}
+
+template <typename Solution>
+Solution& SharedBuffer() {
+  static Solution* buffer = new Solution(GlobalRuntime(), 16);
+  return *buffer;
+}
+
+template <typename Solution>
+void BM_DepositRemove(benchmark::State& state) {
+  Solution& buffer = SharedBuffer<Solution>();
+  for (auto _ : state) {
+    buffer.Deposit(1, nullptr);
+    benchmark::DoNotOptimize(buffer.Remove(nullptr));
+  }
+}
+
+}  // namespace
+
+// Uncontended readers/writers read.
+BENCHMARK(BM_Read<SemaphoreRwReadersPriority>)->Name("read/semaphore");
+BENCHMARK(BM_Read<MonitorRwReadersPriority>)->Name("read/monitor");
+BENCHMARK(BM_Read<PathExprRwFigure1>)->Name("read/pathexpr_fig1");
+BENCHMARK(BM_Read<PathExprRwPredicates>)->Name("read/pathexpr_predicates");
+BENCHMARK(BM_Read<SerializerRwReadersPriority>)->Name("read/serializer");
+BENCHMARK(BM_Read<CcrRwReadersPriority>)->Name("read/cond_region");
+BENCHMARK(BM_Read<CspRwReadersPriorityBench>)->Name("read/csp_channels");
+
+// Uncontended write.
+BENCHMARK(BM_Write<SemaphoreRwReadersPriority>)->Name("write/semaphore");
+BENCHMARK(BM_Write<MonitorRwReadersPriority>)->Name("write/monitor");
+BENCHMARK(BM_Write<PathExprRwFigure1>)->Name("write/pathexpr_fig1");
+BENCHMARK(BM_Write<SerializerRwReadersPriority>)->Name("write/serializer");
+BENCHMARK(BM_Write<CcrRwReadersPriority>)->Name("write/cond_region");
+BENCHMARK(BM_Write<CspRwReadersPriorityBench>)->Name("write/csp_channels");
+
+// Bounded buffer round trip.
+BENCHMARK(BM_DepositRemove<SemaphoreBoundedBuffer>)->Name("buffer/semaphore");
+BENCHMARK(BM_DepositRemove<MonitorBoundedBuffer>)->Name("buffer/monitor");
+BENCHMARK(BM_DepositRemove<PathBoundedBuffer>)->Name("buffer/pathexpr");
+BENCHMARK(BM_DepositRemove<SerializerBoundedBuffer>)->Name("buffer/serializer");
+BENCHMARK(BM_DepositRemove<CcrBoundedBuffer>)->Name("buffer/cond_region");
+BENCHMARK(BM_DepositRemove<CspBoundedBuffer>)->Name("buffer/csp_channels");
+
+// Contended read (4 threads on the shared solution).
+BENCHMARK(BM_Read<SemaphoreRwReadersPriority>)->Name("read4/semaphore")->Threads(4);
+BENCHMARK(BM_Read<MonitorRwReadersPriority>)->Name("read4/monitor")->Threads(4);
+BENCHMARK(BM_Read<SerializerRwReadersPriority>)->Name("read4/serializer")->Threads(4);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,228 @@
+// Ablation (DESIGN.md decision 2): Hoare vs Mesa signal semantics.
+//
+// The paper's constraint-independence analysis of monitors hinges on the explicit Hoare
+// signal: the signalled process resumes immediately and its condition is guaranteed.
+// This bench makes the difference load-bearing:
+//
+//   (a) an `if`-guarded bounded buffer is CORRECT under Hoare signalling (the paper-era
+//       style) but BROKEN under Mesa signalling (stolen wakeups) — exhibited by
+//       deterministic schedule search and caught by the buffer oracle;
+//   (b) the Mesa `while` re-check fixes it;
+//   (c) the price of Hoare's guarantee is measured: signal transfer costs two extra
+//       context switches per handoff.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "syneval/core/scorecard.h"
+#include "syneval/monitor/hoare_monitor.h"
+#include "syneval/monitor/mesa_monitor.h"
+#include "syneval/problems/oracles.h"
+#include "syneval/problems/workloads.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/explore.h"
+#include "syneval/runtime/os_runtime.h"
+
+namespace {
+
+using namespace syneval;
+
+// Bounded buffer over a Hoare monitor with `if` waits — correct because a Hoare signal
+// hands the monitor directly to the waiter with the condition guaranteed.
+class HoareIfBuffer : public BoundedBufferIface {
+ public:
+  HoareIfBuffer(Runtime& runtime, int capacity)
+      : monitor_(runtime), ring_(static_cast<std::size_t>(capacity), 0), capacity_(capacity) {}
+
+  void Deposit(std::int64_t item, OpScope* scope) override {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    if (count_ == capacity_) {
+      nonfull_.Wait();
+    }
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+    ring_[static_cast<std::size_t>(in_)] = item;
+    in_ = (in_ + 1) % capacity_;
+    ++count_;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    nonempty_.Signal();
+  }
+
+  std::int64_t Remove(OpScope* scope) override {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    if (count_ == 0) {
+      nonempty_.Wait();
+    }
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+    const std::int64_t item = ring_[static_cast<std::size_t>(out_)];
+    out_ = (out_ + 1) % capacity_;
+    --count_;
+    if (scope != nullptr) {
+      scope->Exited(item);
+    }
+    nonfull_.Signal();
+    return item;
+  }
+
+  int capacity() const override { return capacity_; }
+
+ private:
+  HoareMonitor monitor_;
+  HoareMonitor::Condition nonfull_{monitor_};
+  HoareMonitor::Condition nonempty_{monitor_};
+  std::vector<std::int64_t> ring_;
+  int capacity_;
+  int count_ = 0;
+  int in_ = 0;
+  int out_ = 0;
+};
+
+// The SAME `if` logic over a Mesa monitor — the textbook stolen-wakeup bug: between the
+// signal and the waiter's resumption, a third process can consume the condition.
+template <bool kWhileRecheck>
+class MesaBuffer : public BoundedBufferIface {
+ public:
+  MesaBuffer(Runtime& runtime, int capacity)
+      : monitor_(runtime), ring_(static_cast<std::size_t>(capacity), 0), capacity_(capacity) {}
+
+  void Deposit(std::int64_t item, OpScope* scope) override {
+    MesaRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    if (kWhileRecheck) {
+      while (count_ == capacity_) {
+        nonfull_.Wait();
+      }
+    } else if (count_ == capacity_) {
+      nonfull_.Wait();
+    }
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+    ring_[static_cast<std::size_t>(in_)] = item;
+    in_ = (in_ + 1) % capacity_;
+    ++count_;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    nonempty_.Signal();
+  }
+
+  std::int64_t Remove(OpScope* scope) override {
+    MesaRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    if (kWhileRecheck) {
+      while (count_ == 0) {
+        nonempty_.Wait();
+      }
+    } else if (count_ == 0) {
+      nonempty_.Wait();
+    }
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+    // An if-wait Mesa consumer can reach here with count_ == 0 (stolen wakeup);
+    // the resulting bogus item and negative count are caught by the oracle.
+    const std::int64_t item = ring_[static_cast<std::size_t>(out_)];
+    out_ = (out_ + 1) % capacity_;
+    --count_;
+    if (scope != nullptr) {
+      scope->Exited(item);
+    }
+    nonfull_.Signal();
+    return item;
+  }
+
+  int capacity() const override { return capacity_; }
+
+ private:
+  MesaMonitor monitor_;
+  MesaMonitor::Condition nonfull_{monitor_};
+  MesaMonitor::Condition nonempty_{monitor_};
+  std::vector<std::int64_t> ring_;
+  int capacity_;
+  int count_ = 0;
+  int in_ = 0;
+  int out_ = 0;
+};
+
+template <typename Buffer>
+SweepOutcome Sweep(int seeds) {
+  return SweepSchedules(seeds, [](std::uint64_t seed) -> std::string {
+    DetRuntime rt(MakeRandomSchedule(seed));
+    TraceRecorder trace;
+    Buffer buffer(rt, 2);
+    BufferWorkloadParams params;
+    params.producers = 3;
+    params.consumers = 3;
+    params.items_per_producer = 4;
+    ThreadList threads = SpawnBoundedBufferWorkload(rt, buffer, trace, params);
+    const DetRuntime::RunResult result = rt.Run();
+    if (!result.completed) {
+      return "runtime: " + result.report;
+    }
+    return CheckBoundedBuffer(trace.Events(), 2);
+  });
+}
+
+template <typename Buffer>
+double Throughput(int items) {
+  OsRuntime rt;
+  TraceRecorder trace;
+  Buffer buffer(rt, 8);
+  BufferWorkloadParams params;
+  params.producers = 2;
+  params.consumers = 2;
+  params.items_per_producer = items;
+  const auto start = std::chrono::steady_clock::now();
+  ThreadList threads = SpawnBoundedBufferWorkload(rt, buffer, trace, params);
+  JoinAll(threads);
+  const auto end = std::chrono::steady_clock::now();
+  return 2.0 * items / std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: Hoare vs Mesa signal semantics (DESIGN decision 2) ===\n\n");
+  const int seeds = 80;
+  std::printf("Bounded buffer (capacity 2, 3 producers + 3 consumers), %d schedules:\n\n",
+              seeds);
+  std::vector<std::string> header = {"variant", "oracle verdict"};
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Hoare signal + if-wait", Sweep<HoareIfBuffer>(seeds).Summary()});
+  rows.push_back({"Mesa signal + if-wait", Sweep<MesaBuffer<false>>(seeds).Summary()});
+  rows.push_back({"Mesa signal + while-wait", Sweep<MesaBuffer<true>>(seeds).Summary()});
+  std::printf("%s\n", syneval::RenderTable(header, rows).c_str());
+
+  const int items = 20000;
+  std::printf("Throughput under OsRuntime (capacity 8, 2+2 threads, %d items each):\n",
+              items);
+  std::printf("  Hoare (transfer + urgent queue): %10.0f items/s\n",
+              Throughput<HoareIfBuffer>(items));
+  std::printf("  Mesa (notify + re-contend):      %10.0f items/s\n\n",
+              Throughput<MesaBuffer<true>>(items));
+
+  std::printf("Expected shape: Hoare+if clean everywhere (the signalled condition is\n"
+              "guaranteed); Mesa+if violates on some schedules (stolen wakeups);\n"
+              "Mesa+while clean. Hoare pays transfer overhead per signal — the price of\n"
+              "the guarantee the paper's monitor analysis leans on.\n");
+  return 0;
+}

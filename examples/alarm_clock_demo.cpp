@@ -1,0 +1,53 @@
+// Alarm clock demo: sleepers with different due times, a ticking clock process, and a
+// punctuality report — Hoare's 1974 example of priority waits over request parameters.
+
+#include <cstdio>
+#include <memory>
+
+#include "syneval/problems/oracles.h"
+#include "syneval/problems/workloads.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/solutions/monitor_solutions.h"
+#include "syneval/solutions/serializer_solutions.h"
+#include "syneval/trace/query.h"
+
+using namespace syneval;
+
+namespace {
+
+template <typename Clock>
+void Demo(const char* name) {
+  DetRuntime rt(MakeRandomSchedule(3));
+  TraceRecorder trace;
+  Clock clock(rt);
+  AlarmWorkloadParams params;
+  params.sleepers = 4;
+  params.naps_per_sleeper = 3;
+  params.max_delay = 6;
+  ThreadList threads = SpawnAlarmClockWorkload(rt, clock, trace, params);
+  const DetRuntime::RunResult result = rt.Run();
+  if (!result.completed) {
+    std::printf("%s: runtime failure:\n%s\n", name, result.report.c_str());
+    return;
+  }
+  std::printf("%s (final time %lld):\n", name, static_cast<long long>(clock.Now()));
+  for (const Execution& e : GroupExecutions(trace.Events())) {
+    if (e.op == "wake") {
+      std::printf("  t%-2u asked for +%lld ticks: due %lld, woke at %lld%s\n", e.thread,
+                  static_cast<long long>(e.param), static_cast<long long>(e.enter_value),
+                  static_cast<long long>(e.exit_value),
+                  e.enter_value == e.exit_value ? "" : "  <-- LATE");
+    }
+  }
+  const std::string verdict = CheckAlarmClock(trace.Events(), 0);
+  std::printf("  oracle: %s\n\n", verdict.empty() ? "every wake exact" : verdict.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("alarm clock demo — wake times are request parameters (Section 3)\n\n");
+  Demo<MonitorAlarmClock>("Hoare monitor (priority condition)");
+  Demo<SerializerAlarmClock>("Serializer (priority queue + guard)");
+  return 0;
+}

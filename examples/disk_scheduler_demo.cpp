@@ -1,0 +1,72 @@
+// Disk scheduler demo: watches the elevator at work.
+//
+// Runs a burst of requests against the Hoare monitor SCAN scheduler on the virtual
+// disk, prints the service order with head movements, and contrasts the total seek
+// distance with the FCFS baseline on the same request stream.
+
+#include <cstdio>
+#include <memory>
+
+#include "syneval/problems/oracles.h"
+#include "syneval/problems/workloads.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/solutions/monitor_solutions.h"
+#include "syneval/solutions/pathexpr_solutions.h"
+#include "syneval/trace/query.h"
+
+using namespace syneval;
+
+namespace {
+
+template <typename Scheduler>
+std::int64_t RunAndPrint(const char* name, bool print_order) {
+  DetRuntime rt(MakeRandomSchedule(11));
+  TraceRecorder trace;
+  VirtualDisk disk(200, 0);
+  Scheduler scheduler(rt);
+  DiskWorkloadParams params;
+  params.requesters = 6;
+  params.requests_per_thread = 4;
+  params.tracks = 200;
+  params.seed = 5;
+  ThreadList threads = SpawnDiskWorkload(rt, scheduler, disk, trace, params);
+  const DetRuntime::RunResult result = rt.Run();
+  if (!result.completed) {
+    std::printf("%s: runtime failure:\n%s\n", name, result.report.c_str());
+    return 0;
+  }
+  std::printf("%s: total seek %lld over %lld accesses\n", name,
+              static_cast<long long>(disk.total_seek()),
+              static_cast<long long>(disk.accesses()));
+  if (print_order) {
+    std::printf("  service order (track@arrival-seq):");
+    std::vector<Execution> executions = GroupExecutions(trace.Events());
+    std::sort(executions.begin(), executions.end(),
+              [](const Execution& a, const Execution& b) { return a.enter_seq < b.enter_seq; });
+    for (const Execution& e : executions) {
+      if (e.op == "disk") {
+        std::printf(" %lld@%llu", static_cast<long long>(e.param),
+                    static_cast<unsigned long long>(e.request_seq));
+      }
+    }
+    std::printf("\n");
+  }
+  return disk.total_seek();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("disk scheduler demo — SCAN elevator vs FCFS on one request stream\n\n");
+  const std::int64_t scan = RunAndPrint<MonitorDiskScheduler>("SCAN (Hoare dischead)", true);
+  const std::int64_t fcfs = RunAndPrint<PathDiskFcfs>("FCFS (path-expression best effort)",
+                                                      true);
+  if (scan > 0) {
+    std::printf("\nFCFS moved the head %.2fx as far as SCAN on this stream.\n",
+                static_cast<double>(fcfs) / static_cast<double>(scan));
+  }
+  std::printf("\nThis is why Section 3 puts request parameters in the taxonomy: the\n"
+              "constraint 'serve nearest track in sweep direction' cannot even be\n"
+              "stated without access to the request's arguments.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "syneval/ccr/critical_region.h"
+
+#include <cassert>
+
+namespace syneval {
+
+struct CriticalRegion::Waiter {
+  bool granted = false;
+  Condition condition;              // Null for bare-exclusion (entry) waiters.
+  std::function<void()> on_admit;   // Runs under mu_ in the granting thread.
+};
+
+CriticalRegion::CriticalRegion(Runtime& runtime)
+    : runtime_(runtime), mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()) {}
+
+void CriticalRegion::Enter(const Body& body) { Enter(body, Hooks{}); }
+
+// Bodies run under mu_: the region lock is the meta-lock, so shared state touched by
+// bodies, conditions, and arrival hooks is serialized by one lock. `busy_` implements
+// the direct handoff to a satisfied waiter (no third party can slip in between a
+// release decision and the admitted process's resumption).
+void CriticalRegion::Enter(const Body& body, const Hooks& hooks) {
+  RtLock lock(*mu_);
+  if (hooks.on_arrive) {
+    hooks.on_arrive();
+  }
+  if (!busy_) {
+    busy_ = true;
+    if (hooks.on_admit) {
+      hooks.on_admit();
+    }
+  } else {
+    Waiter self;
+    self.on_admit = hooks.on_admit;
+    entry_.push_back(&self);
+    while (!self.granted) {
+      cv_->Wait(*mu_);
+    }
+  }
+  body();
+  if (hooks.on_release) {
+    hooks.on_release();
+  }
+  ReleaseRegionLocked();
+}
+
+void CriticalRegion::When(const Condition& condition, const Body& body) {
+  When(condition, body, Hooks{});
+}
+
+void CriticalRegion::When(const Condition& condition, const Body& body, const Hooks& hooks) {
+  RtLock lock(*mu_);
+  if (hooks.on_arrive) {
+    hooks.on_arrive();
+  }
+  // Conditions are pure functions of region-protected state, so while the region is
+  // free the condition's value cannot change: test it immediately.
+  if (!busy_ && condition()) {
+    busy_ = true;
+    if (hooks.on_admit) {
+      hooks.on_admit();
+    }
+  } else {
+    Waiter self;
+    self.condition = condition;
+    self.on_admit = hooks.on_admit;
+    waiting_.push_back(&self);
+    while (!self.granted) {
+      cv_->Wait(*mu_);
+    }
+    // Granted by a releaser that verified the condition and transferred the region
+    // (busy_ stays true); no re-test needed.
+  }
+  body();
+  if (hooks.on_release) {
+    hooks.on_release();
+  }
+  ReleaseRegionLocked();
+}
+
+int CriticalRegion::Waiting() const {
+  RtLock lock(*mu_);
+  return static_cast<int>(waiting_.size());
+}
+
+void CriticalRegion::ReleaseRegionLocked() {
+  assert(busy_ && "region released while free");
+  // Re-test every waiting condition in arrival order; first satisfied is admitted.
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    Waiter* waiter = *it;
+    if (waiter->condition()) {
+      waiting_.erase(it);
+      if (waiter->on_admit) {
+        waiter->on_admit();
+      }
+      waiter->granted = true;
+      cv_->NotifyAll();
+      return;
+    }
+  }
+  if (!entry_.empty()) {
+    Waiter* waiter = entry_.front();
+    entry_.pop_front();
+    if (waiter->on_admit) {
+      waiter->on_admit();
+    }
+    waiter->granted = true;
+    cv_->NotifyAll();
+    return;
+  }
+  busy_ = false;
+}
+
+}  // namespace syneval

@@ -1,0 +1,125 @@
+#include "syneval/channel/channel.h"
+
+#include <cassert>
+#include <utility>
+
+namespace syneval {
+
+ChannelGroup::ChannelGroup(Runtime& runtime)
+    : runtime_(runtime), mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()) {}
+
+Channel::Channel(ChannelGroup& group, std::string name, int capacity)
+    : group_(group), name_(std::move(name)), capacity_(capacity) {}
+
+bool Channel::ReceivableLocked() const { return !buffer_.empty() || !senders_.empty(); }
+
+ChanMsg Channel::TakeLocked() {
+  if (!buffer_.empty()) {
+    ChanMsg message = buffer_.front();
+    buffer_.pop_front();
+    // A buffered channel may have senders blocked on a full buffer: move the
+    // longest-waiting one into the freed slot.
+    if (!senders_.empty()) {
+      PendingSend* sender = senders_.front();
+      senders_.pop_front();
+      buffer_.push_back(sender->message);
+      if (sender->on_accept) {
+        sender->on_accept();
+      }
+      sender->taken = true;
+      group_.NotifyAllLocked();
+    }
+    return message;
+  }
+  assert(!senders_.empty());
+  PendingSend* sender = senders_.front();
+  senders_.pop_front();
+  if (sender->on_accept) {
+    sender->on_accept();
+  }
+  sender->taken = true;
+  group_.NotifyAllLocked();
+  return sender->message;
+}
+
+void Channel::Send(ChanMsg message) { Send(message, nullptr, nullptr); }
+
+void Channel::Send(ChanMsg message, const std::function<void()>& on_accept) {
+  Send(message, nullptr, on_accept);
+}
+
+void Channel::Send(ChanMsg message, const std::function<void()>& on_register,
+                   const std::function<void()>& on_accept) {
+  RtLock lock(*group_.mu_);
+  if (on_register) {
+    on_register();
+  }
+  if (capacity_ > 0 && static_cast<int>(buffer_.size()) < capacity_ && senders_.empty()) {
+    buffer_.push_back(message);
+    if (on_accept) {
+      on_accept();
+    }
+    group_.NotifyAllLocked();
+    return;
+  }
+  PendingSend pending;
+  pending.message = message;
+  pending.on_accept = on_accept;
+  senders_.push_back(&pending);
+  group_.NotifyAllLocked();  // A selector may be waiting for this channel.
+  while (!pending.taken) {
+    group_.cv_->Wait(*group_.mu_);
+  }
+}
+
+ChanMsg Channel::Receive() { return Receive(nullptr); }
+
+ChanMsg Channel::Receive(const std::function<void(const ChanMsg&)>& on_receive) {
+  RtLock lock(*group_.mu_);
+  while (!ReceivableLocked()) {
+    group_.cv_->Wait(*group_.mu_);
+  }
+  const ChanMsg message = TakeLocked();
+  if (on_receive) {
+    on_receive(message);
+  }
+  return message;
+}
+
+bool Channel::TrySend(ChanMsg message) {
+  RtLock lock(*group_.mu_);
+  if (capacity_ > 0 && static_cast<int>(buffer_.size()) < capacity_ && senders_.empty()) {
+    buffer_.push_back(message);
+    group_.NotifyAllLocked();
+    return true;
+  }
+  return false;
+}
+
+bool Channel::TryReceive(ChanMsg* message) {
+  RtLock lock(*group_.mu_);
+  if (!ReceivableLocked()) {
+    return false;
+  }
+  *message = TakeLocked();
+  return true;
+}
+
+int ChannelGroup::Select(const std::vector<SelectCase>& cases, ChanMsg* message) {
+  RtLock lock(*mu_);
+  while (true) {
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const SelectCase& c = cases[i];
+      if (c.guard && !c.guard()) {
+        continue;
+      }
+      if (c.channel->ReceivableLocked()) {
+        *message = c.channel->TakeLocked();
+        return static_cast<int>(i);
+      }
+    }
+    cv_->Wait(*mu_);
+  }
+}
+
+}  // namespace syneval

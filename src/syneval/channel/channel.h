@@ -1,0 +1,130 @@
+// CSP-style message passing [Hoare, "Communicating Sequential Processes", CACM 1978 —
+// the paper's reference 20 and its explicit future-work target: "it is important to be
+// able to evaluate and compare them. The techniques presented in this paper may prove
+// useful in these evaluations."].
+//
+// This module provides synchronous (rendezvous) and buffered channels plus a guarded
+// Select, enough to write every canonical problem in the server-process style: the
+// shared resource is a sequential process owning its state; clients synchronize purely
+// by sending/receiving. Admission decisions become rendezvous acceptances, which the
+// instrumentation hooks record under the channel-group lock (the usual contract).
+//
+// All channels of one ChannelGroup share a single lock; Select is therefore trivially
+// atomic across alternatives. That is a deliberate simplification — the evaluation
+// cares about the mechanism's *expressive* structure, not about lock-splitting.
+
+#ifndef SYNEVAL_CHANNEL_CHANNEL_H_
+#define SYNEVAL_CHANNEL_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "syneval/runtime/runtime.h"
+
+namespace syneval {
+
+class ChannelGroup;
+class Channel;
+
+// The message: a tag (who/what) and a value (parameter). Rich enough for every
+// canonical problem without templating the whole stack.
+struct ChanMsg {
+  std::int64_t tag = 0;
+  std::int64_t value = 0;
+  Channel* reply = nullptr;  // CSP idiom: carry the reply channel in the request.
+};
+
+class Channel {
+ public:
+  // capacity 0 = synchronous rendezvous; > 0 = asynchronous bounded buffer.
+  Channel(ChannelGroup& group, std::string name, int capacity = 0);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Blocks until the message is accepted (rendezvous) or buffered (capacity > 0).
+  // `on_accept` runs under the group lock at the instant a receiver takes the message
+  // (or it enters the buffer) — the admission instant for client protocols.
+  void Send(ChanMsg message);
+  void Send(ChanMsg message, const std::function<void()>& on_accept);
+  // `on_register` runs under the group lock when the send becomes visible to
+  // receivers/selectors — the arrival instant for client protocols.
+  void Send(ChanMsg message, const std::function<void()>& on_register,
+            const std::function<void()>& on_accept);
+
+  // Blocks until a message is available. The hooked form runs `on_receive` under the
+  // group lock at the take instant, with the received message.
+  ChanMsg Receive();
+  ChanMsg Receive(const std::function<void(const ChanMsg&)>& on_receive);
+
+  // True when senders are blocked on this channel. Only meaningful under the group
+  // lock — i.e. from Select guards; the server-process idiom uses it to let guards
+  // observe *waiting* requests (e.g. writers-priority).
+  bool HasSenders() const { return !senders_.empty(); }
+
+  // Non-blocking probes (used by tests).
+  bool TrySend(ChanMsg message);
+  bool TryReceive(ChanMsg* message);
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class ChannelGroup;
+
+  struct PendingSend {
+    ChanMsg message;
+    bool taken = false;
+    std::function<void()> on_accept;
+  };
+
+  // True when a Receive would not block. Caller holds the group lock.
+  bool ReceivableLocked() const;
+  // Takes one message (buffer first, then rendezvous with the longest-waiting sender).
+  // Caller holds the group lock; only valid when ReceivableLocked().
+  ChanMsg TakeLocked();
+
+  ChannelGroup& group_;
+  std::string name_;
+  int capacity_;
+  std::deque<ChanMsg> buffer_;
+  std::deque<PendingSend*> senders_;  // Arrival order.
+};
+
+// One alternative of a guarded Select (receive direction only, per classic CSP input
+// guards).
+struct SelectCase {
+  Channel* channel = nullptr;
+  std::function<bool()> guard;  // Optional; nullptr = always open.
+};
+
+class ChannelGroup {
+ public:
+  explicit ChannelGroup(Runtime& runtime);
+
+  ChannelGroup(const ChannelGroup&) = delete;
+  ChannelGroup& operator=(const ChannelGroup&) = delete;
+
+  // Guarded alternative: blocks until some case with a true guard has a receivable
+  // message, receives it, and returns the case index. Cases are examined in order
+  // (textual priority, as in guarded commands with deterministic tie-break).
+  // Guards must be pure functions of state owned by the selecting process or protected
+  // by this group.
+  int Select(const std::vector<SelectCase>& cases, ChanMsg* message);
+
+ private:
+  friend class Channel;
+
+  void NotifyAllLocked() { cv_->NotifyAll(); }
+
+  Runtime& runtime_;
+  std::unique_ptr<RtMutex> mu_;
+  std::unique_ptr<RtCondVar> cv_;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_CHANNEL_CHANNEL_H_

@@ -1,0 +1,215 @@
+#include "syneval/core/criteria.h"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+
+#include "syneval/solutions/registry.h"
+
+namespace syneval {
+
+const char* SupportName(Support support) {
+  switch (support) {
+    case Support::kDirect:
+      return "direct";
+    case Support::kIndirect:
+      return "indirect";
+    case Support::kUnsupported:
+      return "unsupported";
+  }
+  return "?";
+}
+
+namespace {
+
+ExpressivenessEntry Entry(Mechanism mechanism, InfoCategory category, Support support,
+                          std::string evidence) {
+  ExpressivenessEntry entry;
+  entry.mechanism = mechanism;
+  entry.category = category;
+  entry.support = support;
+  entry.evidence = std::move(evidence);
+  return entry;
+}
+
+std::vector<ExpressivenessEntry> BuildMatrix() {
+  using M = Mechanism;
+  using C = InfoCategory;
+  using S = Support;
+  std::vector<ExpressivenessEntry> matrix;
+
+  // Semaphores: everything is possible (they are universal) but nothing is direct
+  // beyond counting; Section 1's premise.
+  matrix.push_back(Entry(M::kSemaphore, C::kRequestType, S::kIndirect,
+                         "one semaphore per type plus hand protocols (CHP algorithms)"));
+  matrix.push_back(Entry(M::kSemaphore, C::kRequestTime, S::kIndirect,
+                         "requires a strong (FIFO) semaphore; weak P/V gives no order "
+                         "(SemaphoreFcfsResource)"));
+  matrix.push_back(Entry(M::kSemaphore, C::kParameters, S::kIndirect,
+                         "private-semaphore pattern: hand-sorted lists + one semaphore "
+                         "per request (SemaphoreDiskScheduler, SemaphoreSjnAllocator)"));
+  matrix.push_back(Entry(M::kSemaphore, C::kSyncState, S::kIndirect,
+                         "counts kept by hand under a mutex (readcount in CHP 1/2)"));
+  matrix.push_back(Entry(M::kSemaphore, C::kLocalState, S::kIndirect,
+                         "state mirrored into semaphore values (empty/full pair)"));
+  matrix.push_back(Entry(M::kSemaphore, C::kHistory, S::kIndirect,
+                         "event occurrence encoded as a 0/1 semaphore "
+                         "(SemaphoreOneSlotBuffer)"));
+
+  // Monitors (Section 5.2): "monitors allow access to all of the information types";
+  // queues handle type and time, priority queues handle parameters, but
+  // synchronization state "must be explicitly kept by the user".
+  matrix.push_back(Entry(M::kMonitor, C::kRequestType, S::kDirect,
+                         "one condition per request type (oktoread/oktowrite)"));
+  matrix.push_back(Entry(M::kMonitor, C::kRequestTime, S::kDirect,
+                         "condition queues are FIFO (MonitorFcfsResource)"));
+  matrix.push_back(Entry(M::kMonitor, C::kParameters, S::kDirect,
+                         "priority conditions: wait(p) (disk scheduler, alarm clock, "
+                         "SJN)"));
+  matrix.push_back(Entry(M::kMonitor, C::kSyncState, S::kIndirect,
+                         "readers/busy counts kept as monitor data by hand; only queue "
+                         "emptiness is provided (condition.queue)"));
+  matrix.push_back(Entry(M::kMonitor, C::kLocalState, S::kDirect,
+                         "resource state readable inside the monitor "
+                         "(MonitorBoundedBuffer)"));
+  matrix.push_back(Entry(M::kMonitor, C::kHistory, S::kIndirect,
+                         "re-encoded as state flags (MonitorOneSlotBuffer has_item)"));
+
+  // Path expressions (Section 5.1 conclusions, quoted in the evidence strings).
+  matrix.push_back(Entry(M::kPathExpression, C::kRequestType, S::kDirect,
+                         "operations are the path alphabet ('distinctions can be made "
+                         "on the basis of request type')"));
+  matrix.push_back(Entry(M::kPathExpression, C::kRequestTime, S::kIndirect,
+                         "only via the added longest-waiting selection assumption "
+                         "(PathFcfsResource fails under arbitrary selection)"));
+  matrix.push_back(Entry(M::kPathExpression, C::kParameters, S::kUnsupported,
+                         "'there is obviously no way to use parameter values in paths' "
+                         "(no SCAN/SJN/alarm path solution exists)"));
+  matrix.push_back(Entry(M::kPathExpression, C::kSyncState, S::kIndirect,
+                         "automatic mutual exclusion expresses exclusion, but the state "
+                         "itself is inaccessible; priorities need synchronization "
+                         "procedures (Figure 1)"));
+  matrix.push_back(Entry(M::kPathExpression, C::kLocalState, S::kUnsupported,
+                         "'nor is local resource state information available' (until "
+                         "Andler predicates)"));
+  matrix.push_back(Entry(M::kPathExpression, C::kHistory, S::kDirect,
+                         "the path IS the history constraint (PathOneSlotBuffer)"));
+
+  // Serializers (Section 5.2): similar to monitors, plus crowds; priority queues and
+  // local variables were later additions.
+  matrix.push_back(Entry(M::kSerializer, C::kRequestType, S::kDirect,
+                         "per-type guards, optionally per-type queues"));
+  matrix.push_back(Entry(M::kSerializer, C::kRequestTime, S::kDirect,
+                         "queues are FIFO; one queue + different guards gives FCFS "
+                         "without the monitor's two-stage workaround (SerializerRwFcfs)"));
+  matrix.push_back(Entry(M::kSerializer, C::kParameters, S::kIndirect,
+                         "needs the priority-queue extension 'added later' "
+                         "(SerializerDiskScheduler)"));
+  matrix.push_back(Entry(M::kSerializer, C::kSyncState, S::kDirect,
+                         "crowds maintain who is accessing the resource "
+                         "(write_crowd.Empty() guards)"));
+  matrix.push_back(Entry(M::kSerializer, C::kLocalState, S::kIndirect,
+                         "needs the local-variables extension 'added later' "
+                         "(SerializerBoundedBuffer count)"));
+  matrix.push_back(Entry(M::kSerializer, C::kHistory, S::kIndirect,
+                         "re-encoded as state flags (SerializerOneSlotBuffer has_item)"));
+
+  // Conditional critical regions (methodology extension — not evaluated in the paper;
+  // these verdicts are produced by applying Bloom's method to the CCR solution set).
+  matrix.push_back(Entry(M::kConditionalRegion, C::kRequestType, S::kDirect,
+                         "each operation is its own region with its own condition"));
+  matrix.push_back(Entry(M::kConditionalRegion, C::kRequestTime, S::kIndirect,
+                         "conditions cannot reference wait order; tickets must be "
+                         "reified as shared state (CcrFcfsResource)"));
+  matrix.push_back(Entry(M::kConditionalRegion, C::kParameters, S::kIndirect,
+                         "own parameters appear directly in conditions (CcrAlarmClock: "
+                         "when now >= due) but cross-request comparison needs hand-kept "
+                         "pending sets (CcrSjnAllocator, CcrDiskScheduler)"));
+  matrix.push_back(Entry(M::kConditionalRegion, C::kSyncState, S::kIndirect,
+                         "who-is-inside must be counted by hand (readers/writing in the "
+                         "CCR readers-writers), and priorities over waiters need "
+                         "pending counters"));
+  matrix.push_back(Entry(M::kConditionalRegion, C::kLocalState, S::kDirect,
+                         "the awaited condition IS the resource-state predicate "
+                         "(CcrBoundedBuffer: when count < capacity)"));
+  matrix.push_back(Entry(M::kConditionalRegion, C::kHistory, S::kIndirect,
+                         "re-encoded as state flags (CcrOneSlotBuffer has_item)"));
+
+  // CSP message passing (the paper's Section 6 future work, evaluated by the same
+  // method; see solutions/csp_solutions.h).
+  matrix.push_back(Entry(M::kMessagePassing, C::kRequestType, S::kDirect,
+                         "one channel per operation type; select arms distinguish them"));
+  matrix.push_back(Entry(M::kMessagePassing, C::kRequestTime, S::kDirect,
+                         "channel queues deliver in arrival order (CspFcfsResource is a "
+                         "two-line server)"));
+  matrix.push_back(Entry(M::kMessagePassing, C::kParameters, S::kDirect,
+                         "parameters are message contents (CspDiskScheduler, "
+                         "CspAlarmClock, CspSjnAllocator)"));
+  matrix.push_back(Entry(M::kMessagePassing, C::kSyncState, S::kIndirect,
+                         "the server counts admissions in local variables — private, "
+                         "but still hand-maintained (readers count in the RW server)"));
+  matrix.push_back(Entry(M::kMessagePassing, C::kLocalState, S::kDirect,
+                         "the server owns the resource; guards read it directly "
+                         "(CspBoundedBuffer)"));
+  matrix.push_back(Entry(M::kMessagePassing, C::kHistory, S::kDirect,
+                         "history is the server's program counter (CspOneSlotBuffer's "
+                         "receive-deposit-then-receive-fetch loop)"));
+
+  assert(matrix.size() ==
+         static_cast<std::size_t>(kNumMechanisms) *
+             static_cast<std::size_t>(kNumInfoCategories));
+  return matrix;
+}
+
+}  // namespace
+
+const std::vector<ExpressivenessEntry>& ExpressivenessMatrix() {
+  static const std::vector<ExpressivenessEntry>* matrix =
+      new std::vector<ExpressivenessEntry>(BuildMatrix());
+  return *matrix;
+}
+
+const ExpressivenessEntry& Expressiveness(Mechanism mechanism, InfoCategory category) {
+  for (const ExpressivenessEntry& entry : ExpressivenessMatrix()) {
+    if (entry.mechanism == mechanism && entry.category == category) {
+      return entry;
+    }
+  }
+  assert(false && "missing expressiveness cell");
+  static const ExpressivenessEntry empty{};
+  return empty;
+}
+
+std::vector<std::string> CrossCheckExpressiveness() {
+  // Problems whose *defining* information category makes their solutions witnesses for
+  // the matrix: a mechanism whose solution needed sync procedures (or was flagged
+  // indirect) cannot be rated kDirect for that category. The readers/writers problems
+  // are deliberately absent: their indirectness can stem from the priority constraint
+  // rather than the request-type category (Figure 1's procedures implement priority).
+  static const std::map<std::string, InfoCategory> kWitness = {
+      {"one-slot-buffer", InfoCategory::kHistory},
+      {"fcfs-resource", InfoCategory::kRequestTime},
+      {"disk-scan", InfoCategory::kParameters},
+      {"sjn-allocator", InfoCategory::kParameters},
+      {"alarm-clock", InfoCategory::kParameters},
+  };
+  std::vector<std::string> inconsistencies;
+  for (const SolutionInfo& info : AllSolutionInfos()) {
+    const auto witness = kWitness.find(info.problem);
+    if (witness == kWitness.end()) {
+      continue;
+    }
+    const ExpressivenessEntry& entry = Expressiveness(info.mechanism, witness->second);
+    const bool solution_indirect = !info.direct || info.sync_procedures > 0;
+    if (solution_indirect && entry.support == Support::kDirect) {
+      std::ostringstream os;
+      os << MechanismName(info.mechanism) << "/" << info.problem << " needed "
+         << info.sync_procedures << " sync procedures but " << InfoCategoryName(witness->second)
+         << " is rated direct";
+      inconsistencies.push_back(os.str());
+    }
+  }
+  return inconsistencies;
+}
+
+}  // namespace syneval

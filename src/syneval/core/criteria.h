@@ -1,0 +1,53 @@
+// Expressive-power assessment (Section 4.1 applied as in Section 5): for each
+// mechanism and each information category, how directly can constraints referencing
+// that category be expressed?
+//
+// The verdicts below encode the paper's Section 5 conclusions; every verdict carries
+// evidence that points at concrete artifacts in this repository (the solution whose
+// structure demonstrates it), so the table is auditable against code rather than
+// being a bare opinion matrix. The cross-check in criteria.cc validates the encoded
+// verdicts against the structural facts registered by the solutions themselves
+// (sync_procedures > 0 or direct == false must match a non-direct verdict).
+
+#ifndef SYNEVAL_CORE_CRITERIA_H_
+#define SYNEVAL_CORE_CRITERIA_H_
+
+#include <string>
+#include <vector>
+
+#include "syneval/core/taxonomy.h"
+#include "syneval/solutions/solution_info.h"
+
+namespace syneval {
+
+enum class Support {
+  kDirect,       // A native construct handles the category.
+  kIndirect,     // Expressible, but via hand-kept state, extra procedures, or an
+                 // added assumption.
+  kUnsupported,  // Not expressible within the mechanism (without later extensions).
+};
+
+const char* SupportName(Support support);
+
+struct ExpressivenessEntry {
+  Mechanism mechanism = Mechanism::kSemaphore;
+  InfoCategory category = InfoCategory::kRequestType;
+  Support support = Support::kDirect;
+  std::string evidence;  // Pointer to the construct / solution demonstrating it.
+};
+
+// The full mechanism x category matrix (24 entries).
+const std::vector<ExpressivenessEntry>& ExpressivenessMatrix();
+
+// Looks up one cell.
+const ExpressivenessEntry& Expressiveness(Mechanism mechanism, InfoCategory category);
+
+// Cross-checks the encoded matrix against the structural metadata registered by the
+// solutions: a mechanism whose solution for a category-defining problem needed
+// synchronization procedures (or was flagged non-direct) must not be rated kDirect for
+// that category. Returns human-readable inconsistencies (empty = consistent).
+std::vector<std::string> CrossCheckExpressiveness();
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_CORE_CRITERIA_H_

@@ -1,0 +1,139 @@
+#include "syneval/core/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "syneval/solutions/registry.h"
+
+namespace syneval {
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      current.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        tokens.push_back(std::string(1, c));  // Punctuation is a token of its own.
+      }
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(current);
+  }
+  return tokens;
+}
+
+namespace {
+
+std::size_t LcsLength(const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  // Classic O(|a|*|b|) LCS with a rolling row; fragment texts are small.
+  std::vector<std::size_t> prev(b.size() + 1, 0);
+  std::vector<std::size_t> curr(b.size() + 1, 0);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+std::string ConcatFragments(const SolutionInfo& info) {
+  std::string all;
+  for (const ConstraintFragment& fragment : info.fragments) {
+    all += fragment.code;
+    all += " ; ";
+  }
+  return all;
+}
+
+const ConstraintFragment* FindFragment(const SolutionInfo& info,
+                                       const std::string& constraint_id) {
+  for (const ConstraintFragment& fragment : info.fragments) {
+    if (fragment.constraint == constraint_id) {
+      return &fragment;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+double TokenSimilarity(const std::string& a, const std::string& b) {
+  const std::vector<std::string> ta = Tokenize(a);
+  const std::vector<std::string> tb = Tokenize(b);
+  if (ta.empty() && tb.empty()) {
+    return 1.0;
+  }
+  if (ta.empty() || tb.empty()) {
+    return 0.0;
+  }
+  return 2.0 * static_cast<double>(LcsLength(ta, tb)) /
+         static_cast<double>(ta.size() + tb.size());
+}
+
+std::optional<double> FragmentSimilarity(const SolutionInfo& a, const SolutionInfo& b,
+                                         const std::string& constraint_id) {
+  const ConstraintFragment* fa = FindFragment(a, constraint_id);
+  const ConstraintFragment* fb = FindFragment(b, constraint_id);
+  if (fa == nullptr || fb == nullptr) {
+    return std::nullopt;
+  }
+  return TokenSimilarity(fa->code, fb->code);
+}
+
+double ModificationCost(const SolutionInfo& a, const SolutionInfo& b) {
+  return 1.0 - TokenSimilarity(ConcatFragments(a), ConcatFragments(b));
+}
+
+std::vector<IndependenceRow> IndependenceTable(
+    const std::vector<std::pair<std::string, std::string>>& problem_pairs,
+    const std::string& constraint_id) {
+  static const Mechanism kMechanisms[] = {Mechanism::kSemaphore, Mechanism::kMonitor,
+                                          Mechanism::kPathExpression, Mechanism::kSerializer,
+                                          Mechanism::kConditionalRegion,
+                                          Mechanism::kMessagePassing};
+  std::vector<IndependenceRow> rows;
+  for (const auto& [problem_a, problem_b] : problem_pairs) {
+    for (Mechanism mechanism : kMechanisms) {
+      const std::optional<SolutionInfo> a = FindSolution(mechanism, problem_a);
+      const std::optional<SolutionInfo> b = FindSolution(mechanism, problem_b);
+      if (!a || !b) {
+        continue;  // Mechanism cannot express one side: no row (itself E3 data).
+      }
+      const std::optional<double> similarity = FragmentSimilarity(*a, *b, constraint_id);
+      if (!similarity) {
+        continue;
+      }
+      IndependenceRow row;
+      row.mechanism = mechanism;
+      row.problem_a = problem_a;
+      row.problem_b = problem_b;
+      row.constraint = constraint_id;
+      row.similarity = *similarity;
+      row.modification_cost = ModificationCost(*a, *b);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::vector<std::pair<std::string, std::string>> CanonicalIndependencePairs() {
+  return {
+      {"rw-readers-priority", "rw-writers-priority"},
+      {"rw-readers-priority", "rw-fcfs"},
+      {"rw-writers-priority", "rw-fcfs"},
+  };
+}
+
+}  // namespace syneval

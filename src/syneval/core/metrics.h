@@ -1,0 +1,61 @@
+// Constraint-independence metrics (Section 4.2).
+//
+// The paper's test: "if the problems share some constraints, but differ in others, then
+// the common constraints should be similarly implemented in both solutions". We make
+// that measurable: each solution registers, per constraint, the synchronization text
+// realizing it (SolutionInfo::fragments); for a pair of related problems we compute the
+// token-level similarity of the shared-constraint fragments. High similarity (→ 1.0)
+// means the constraint was implemented independently; low similarity means changing one
+// constraint forced rewriting the other — the Figure 1 → Figure 2 phenomenon.
+
+#ifndef SYNEVAL_CORE_METRICS_H_
+#define SYNEVAL_CORE_METRICS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "syneval/solutions/solution_info.h"
+
+namespace syneval {
+
+// Splits synchronization text into lowercase word/symbol tokens.
+std::vector<std::string> Tokenize(const std::string& text);
+
+// Dice-style token similarity: 2*LCS(a,b) / (|a|+|b|), in [0,1]. 1.0 = identical.
+double TokenSimilarity(const std::string& a, const std::string& b);
+
+// Similarity of one constraint's implementation across two solutions; nullopt when
+// either solution lacks a fragment for that constraint.
+std::optional<double> FragmentSimilarity(const SolutionInfo& a, const SolutionInfo& b,
+                                         const std::string& constraint_id);
+
+// Overall modification cost of turning solution `a` into solution `b`: 1 - similarity
+// of the full fragment sets (0 = no change needed, 1 = full rewrite).
+double ModificationCost(const SolutionInfo& a, const SolutionInfo& b);
+
+// One row of the constraint-independence table (E4).
+struct IndependenceRow {
+  Mechanism mechanism = Mechanism::kSemaphore;
+  std::string problem_a;
+  std::string problem_b;
+  std::string constraint;       // The shared constraint compared.
+  double similarity = 0.0;      // Of the shared constraint's fragments.
+  double modification_cost = 0.0;  // Of the whole solution pair.
+};
+
+// Computes the independence table for the given problem pairs across every mechanism
+// that implements both problems. `constraint_id` names the constraint expected to be
+// shared (typically "exclusion").
+std::vector<IndependenceRow> IndependenceTable(
+    const std::vector<std::pair<std::string, std::string>>& problem_pairs,
+    const std::string& constraint_id);
+
+// The canonical Section 5.1.2 pairs: readers-priority vs writers-priority (same
+// exclusion, different priority) and readers-priority vs FCFS (same exclusion,
+// different information type for priority).
+std::vector<std::pair<std::string, std::string>> CanonicalIndependencePairs();
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_CORE_METRICS_H_

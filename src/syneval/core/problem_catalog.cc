@@ -1,0 +1,338 @@
+#include "syneval/core/problem_catalog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace syneval {
+
+const char* ConstraintKindName(ConstraintKind kind) {
+  switch (kind) {
+    case ConstraintKind::kExclusion:
+      return "exclusion";
+    case ConstraintKind::kPriority:
+      return "priority";
+  }
+  return "?";
+}
+
+const char* InfoCategoryName(InfoCategory category) {
+  switch (category) {
+    case InfoCategory::kRequestType:
+      return "request-type";
+    case InfoCategory::kRequestTime:
+      return "request-time";
+    case InfoCategory::kParameters:
+      return "parameters";
+    case InfoCategory::kSyncState:
+      return "sync-state";
+    case InfoCategory::kLocalState:
+      return "local-state";
+    case InfoCategory::kHistory:
+      return "history";
+  }
+  return "?";
+}
+
+std::string CategoryMaskToString(std::uint32_t mask) {
+  std::ostringstream os;
+  bool first = true;
+  for (int i = 0; i < kNumInfoCategories; ++i) {
+    if ((mask & (1u << i)) != 0) {
+      if (!first) {
+        os << ", ";
+      }
+      os << InfoCategoryName(static_cast<InfoCategory>(i));
+      first = false;
+    }
+  }
+  return os.str();
+}
+
+std::uint32_t Constraint::CategoryMask() const {
+  std::uint32_t mask = 0;
+  for (InfoCategory category : categories) {
+    mask |= CategoryBit(category);
+  }
+  return mask;
+}
+
+std::uint32_t ProblemSpec::CategoryMask() const {
+  std::uint32_t mask = 0;
+  for (const Constraint& constraint : constraints) {
+    mask |= constraint.CategoryMask();
+  }
+  return mask;
+}
+
+namespace {
+
+Constraint MakeConstraint(std::string id, ConstraintKind kind,
+                          std::vector<InfoCategory> categories, std::string description) {
+  Constraint constraint;
+  constraint.id = std::move(id);
+  constraint.kind = kind;
+  constraint.categories = std::move(categories);
+  constraint.description = std::move(description);
+  return constraint;
+}
+
+std::vector<ProblemSpec> BuildCatalog() {
+  std::vector<ProblemSpec> catalog;
+
+  // --- The paper's footnote-2 test set -------------------------------------------------
+  {
+    ProblemSpec p;
+    p.id = "bounded-buffer";
+    p.display_name = "Bounded buffer";
+    p.source = "Dijkstra 1968";
+    p.constraints = {
+        MakeConstraint("exclusion", ConstraintKind::kExclusion,
+                       {InfoCategory::kLocalState},
+                       "deposit excluded while full, remove excluded while empty"),
+        MakeConstraint("mutex", ConstraintKind::kExclusion, {InfoCategory::kSyncState},
+                       "concurrent deposits (and removes) exclude each other"),
+    };
+    catalog.push_back(std::move(p));
+  }
+  {
+    ProblemSpec p;
+    p.id = "fcfs-resource";
+    p.display_name = "First-come-first-served resource";
+    p.source = "footnote 2 ('a first come first serve scheme for request time')";
+    p.constraints = {
+        MakeConstraint("exclusion", ConstraintKind::kExclusion, {InfoCategory::kSyncState},
+                       "one holder at a time"),
+        MakeConstraint("priority", ConstraintKind::kPriority, {InfoCategory::kRequestTime},
+                       "admissions in request order"),
+    };
+    catalog.push_back(std::move(p));
+  }
+  {
+    ProblemSpec p;
+    p.id = "rw-readers-priority";
+    p.display_name = "Readers-priority database";
+    p.source = "Courtois, Heymans & Parnas 1971, problem 1";
+    p.constraints = {
+        MakeConstraint("exclusion", ConstraintKind::kExclusion,
+                       {InfoCategory::kRequestType, InfoCategory::kSyncState},
+                       "a writer excludes everyone; readers share"),
+        MakeConstraint("priority", ConstraintKind::kPriority, {InfoCategory::kRequestType},
+                       "waiting readers admitted before waiting writers"),
+    };
+    catalog.push_back(std::move(p));
+  }
+  {
+    ProblemSpec p;
+    p.id = "disk-scan";
+    p.display_name = "Disk-head (elevator) scheduler";
+    p.source = "Hoare 1974";
+    p.constraints = {
+        MakeConstraint("exclusion", ConstraintKind::kExclusion, {InfoCategory::kSyncState},
+                       "one transfer at a time"),
+        MakeConstraint("priority", ConstraintKind::kPriority, {InfoCategory::kParameters},
+                       "SCAN order over requested track numbers"),
+    };
+    catalog.push_back(std::move(p));
+  }
+  {
+    ProblemSpec p;
+    p.id = "alarm-clock";
+    p.display_name = "Alarm clock";
+    p.source = "Hoare 1974";
+    p.constraints = {
+        MakeConstraint("priority", ConstraintKind::kPriority, {InfoCategory::kParameters},
+                       "wake sleepers in due-time order, not before their due time"),
+    };
+    catalog.push_back(std::move(p));
+  }
+  {
+    ProblemSpec p;
+    p.id = "one-slot-buffer";
+    p.display_name = "One-slot buffer";
+    p.source = "Campbell & Habermann 1974";
+    p.constraints = {
+        MakeConstraint("exclusion", ConstraintKind::kExclusion, {InfoCategory::kHistory},
+                       "deposit and remove strictly alternate, starting with deposit"),
+    };
+    catalog.push_back(std::move(p));
+  }
+
+  // --- Section 5 extensions ------------------------------------------------------------
+  {
+    ProblemSpec p;
+    p.id = "rw-writers-priority";
+    p.display_name = "Writers-priority database";
+    p.source = "Courtois, Heymans & Parnas 1971, problem 2";
+    p.constraints = {
+        MakeConstraint("exclusion", ConstraintKind::kExclusion,
+                       {InfoCategory::kRequestType, InfoCategory::kSyncState},
+                       "a writer excludes everyone; readers share"),
+        MakeConstraint("priority", ConstraintKind::kPriority, {InfoCategory::kRequestType},
+                       "waiting writers admitted before waiting readers"),
+    };
+    catalog.push_back(std::move(p));
+  }
+  {
+    ProblemSpec p;
+    p.id = "rw-fcfs";
+    p.display_name = "FCFS database";
+    p.source = "Section 5.2 (the type/time conflict example)";
+    p.constraints = {
+        MakeConstraint("exclusion", ConstraintKind::kExclusion,
+                       {InfoCategory::kRequestType, InfoCategory::kSyncState},
+                       "a writer excludes everyone; readers share"),
+        MakeConstraint("priority", ConstraintKind::kPriority,
+                       {InfoCategory::kRequestTime, InfoCategory::kRequestType},
+                       "admissions in request order regardless of type"),
+    };
+    catalog.push_back(std::move(p));
+  }
+  {
+    ProblemSpec p;
+    p.id = "rw-fair";
+    p.display_name = "Fair database (bounded overtaking)";
+    p.source = "Hoare 1974";
+    p.constraints = {
+        MakeConstraint("exclusion", ConstraintKind::kExclusion,
+                       {InfoCategory::kRequestType, InfoCategory::kSyncState},
+                       "a writer excludes everyone; readers share"),
+        MakeConstraint("priority", ConstraintKind::kPriority,
+                       {InfoCategory::kRequestType, InfoCategory::kSyncState},
+                       "reader batches and writers alternate; neither class starves"),
+    };
+    catalog.push_back(std::move(p));
+  }
+  {
+    ProblemSpec p;
+    p.id = "sjn-allocator";
+    p.display_name = "Shortest-job-next allocator";
+    p.source = "Hoare 1974 (scheduled waits)";
+    p.constraints = {
+        MakeConstraint("exclusion", ConstraintKind::kExclusion, {InfoCategory::kSyncState},
+                       "one holder at a time"),
+        MakeConstraint("priority", ConstraintKind::kPriority, {InfoCategory::kParameters},
+                       "minimum service estimate first"),
+    };
+    catalog.push_back(std::move(p));
+  }
+  {
+    ProblemSpec p;
+    p.id = "dining-philosophers";
+    p.display_name = "Dining philosophers";
+    p.source = "Dijkstra 1968 (paper reference [9])";
+    p.constraints = {
+        MakeConstraint("exclusion", ConstraintKind::kExclusion,
+                       {InfoCategory::kRequestType, InfoCategory::kSyncState},
+                       "neighbouring philosophers never eat simultaneously"),
+    };
+    catalog.push_back(std::move(p));
+  }
+  {
+    ProblemSpec p;
+    p.id = "cigarette-smokers";
+    p.display_name = "Cigarette smokers";
+    p.source = "Patil 1971 / Parnas 1975 (semaphore expressiveness argument)";
+    p.constraints = {
+        MakeConstraint("exclusion", ConstraintKind::kExclusion,
+                       {InfoCategory::kRequestType, InfoCategory::kLocalState},
+                       "only the smoker whose ingredient is missing may take the pair; "
+                       "agent and smokers alternate"),
+    };
+    catalog.push_back(std::move(p));
+  }
+  {
+    ProblemSpec p;
+    p.id = "disk-fcfs";
+    p.display_name = "Disk scheduler, FCFS baseline";
+    p.source = "baseline for E9";
+    p.constraints = {
+        MakeConstraint("exclusion", ConstraintKind::kExclusion, {InfoCategory::kSyncState},
+                       "one transfer at a time"),
+        MakeConstraint("priority", ConstraintKind::kPriority, {InfoCategory::kRequestTime},
+                       "admissions in request order"),
+    };
+    catalog.push_back(std::move(p));
+  }
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<ProblemSpec>& ProblemCatalog() {
+  static const std::vector<ProblemSpec>* catalog = new std::vector<ProblemSpec>(BuildCatalog());
+  return *catalog;
+}
+
+const ProblemSpec& ProblemById(const std::string& id) {
+  for (const ProblemSpec& spec : ProblemCatalog()) {
+    if (spec.id == id) {
+      return spec;
+    }
+  }
+  assert(false && "unknown problem id");
+  static const ProblemSpec empty{};
+  return empty;
+}
+
+CoverageReport Coverage(const std::vector<std::string>& problem_ids) {
+  CoverageReport report;
+  for (const std::string& id : problem_ids) {
+    report.covered_mask |= ProblemById(id).CategoryMask();
+  }
+  for (int i = 0; i < kNumInfoCategories; ++i) {
+    if ((report.covered_mask & (1u << i)) == 0) {
+      report.missing.push_back(static_cast<InfoCategory>(i));
+    }
+  }
+  report.complete = report.missing.empty();
+  return report;
+}
+
+std::vector<std::vector<std::string>> MinimalCovers() {
+  const std::vector<ProblemSpec>& catalog = ProblemCatalog();
+  const std::uint32_t full = (1u << kNumInfoCategories) - 1;
+  const std::size_t n = catalog.size();
+  std::vector<std::vector<std::string>> best;
+  std::size_t best_size = n + 1;
+  for (std::uint32_t subset = 1; subset < (1u << n); ++subset) {
+    const auto size = static_cast<std::size_t>(__builtin_popcount(subset));
+    if (size > best_size) {
+      continue;
+    }
+    std::uint32_t mask = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((subset & (1u << i)) != 0) {
+        mask |= catalog[i].CategoryMask();
+      }
+    }
+    if (mask != full) {
+      continue;
+    }
+    if (size < best_size) {
+      best.clear();
+      best_size = size;
+    }
+    std::vector<std::string> ids;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((subset & (1u << i)) != 0) {
+        ids.push_back(catalog[i].id);
+      }
+    }
+    best.push_back(std::move(ids));
+  }
+  return best;
+}
+
+int Redundancy(const std::vector<std::string>& problem_ids) {
+  int references = 0;
+  std::uint32_t mask = 0;
+  for (const std::string& id : problem_ids) {
+    const std::uint32_t m = ProblemById(id).CategoryMask();
+    references += __builtin_popcount(m);
+    mask |= m;
+  }
+  return references - __builtin_popcount(mask);
+}
+
+}  // namespace syneval

@@ -1,0 +1,54 @@
+// The problem catalog (Section 3 + footnote 2): canonical synchronization problems
+// annotated with their constraints and information categories, plus the coverage and
+// minimal-test-set computations that make "when is an evaluation complete?" a
+// decidable question — the paper's key methodological move.
+
+#ifndef SYNEVAL_CORE_PROBLEM_CATALOG_H_
+#define SYNEVAL_CORE_PROBLEM_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "syneval/core/taxonomy.h"
+
+namespace syneval {
+
+struct ProblemSpec {
+  std::string id;           // Matches SolutionInfo::problem.
+  std::string display_name;
+  std::string source;       // Literature origin.
+  std::vector<Constraint> constraints;
+
+  // Union of the categories referenced by all constraints.
+  std::uint32_t CategoryMask() const;
+};
+
+// Every catalogued problem. The first six are exactly the paper's footnote-2 test set;
+// the rest are the Section 5 extensions implemented in this repository.
+const std::vector<ProblemSpec>& ProblemCatalog();
+
+// Finds a problem spec by id; aborts on unknown ids (programming error).
+const ProblemSpec& ProblemById(const std::string& id);
+
+struct CoverageReport {
+  std::uint32_t covered_mask = 0;
+  std::vector<InfoCategory> missing;
+  bool complete = false;  // All six categories covered.
+};
+
+// Which information categories a set of problems exercises.
+CoverageReport Coverage(const std::vector<std::string>& problem_ids);
+
+// All minimum-cardinality subsets of the catalog that cover all six categories
+// (exact enumeration; the catalog is small). This operationalizes "a set of examples
+// that includes all of these properties with a minimum of redundancy".
+std::vector<std::vector<std::string>> MinimalCovers();
+
+// Redundancy of a problem set: total category references minus distinct categories
+// covered (0 = no category tested twice).
+int Redundancy(const std::vector<std::string>& problem_ids);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_CORE_PROBLEM_CATALOG_H_

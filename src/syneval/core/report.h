@@ -1,0 +1,26 @@
+// Markdown evaluation report: the full Section 2-5 pipeline rendered as one
+// self-contained document — what a mechanism designer would attach to a proposal.
+
+#ifndef SYNEVAL_CORE_REPORT_H_
+#define SYNEVAL_CORE_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "syneval/core/conformance.h"
+
+namespace syneval {
+
+struct ReportOptions {
+  int conformance_seeds = 15;  // Schedules per conformance case.
+  int workload_scale = 1;
+  std::string title = "Synchronization-mechanism evaluation (Bloom 1979 methodology)";
+};
+
+// Runs the whole evaluation (coverage, expressiveness, independence, conformance) and
+// writes a markdown report to `out`. The conformance sweep dominates the runtime.
+void WriteEvaluationReport(std::ostream& out, const ReportOptions& options = {});
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_CORE_REPORT_H_

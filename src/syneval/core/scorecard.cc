@@ -1,0 +1,180 @@
+#include "syneval/core/scorecard.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "syneval/core/criteria.h"
+#include "syneval/core/problem_catalog.h"
+#include "syneval/solutions/registry.h"
+
+namespace syneval {
+
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size(), 0);
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (std::size_t width : widths) {
+      os << std::string(width + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  print_rule();
+  print_row(header);
+  print_rule();
+  for (const auto& row : rows) {
+    print_row(row);
+  }
+  print_rule();
+  return os.str();
+}
+
+std::string RenderExpressivenessTable() {
+  static const Mechanism kMechanisms[] = {Mechanism::kSemaphore, Mechanism::kMonitor,
+                                          Mechanism::kPathExpression, Mechanism::kSerializer,
+                                          Mechanism::kConditionalRegion,
+                                          Mechanism::kMessagePassing};
+  std::vector<std::string> header = {"information category"};
+  for (Mechanism mechanism : kMechanisms) {
+    header.push_back(MechanismName(mechanism));
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < kNumInfoCategories; ++i) {
+    const auto category = static_cast<InfoCategory>(i);
+    std::vector<std::string> row = {InfoCategoryName(category)};
+    for (Mechanism mechanism : kMechanisms) {
+      row.push_back(SupportName(Expressiveness(mechanism, category).support));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::ostringstream os;
+  os << "Expressive power: mechanism x information category (Section 4.1 / 5)\n";
+  os << RenderTable(header, rows);
+  os << "\nEvidence:\n";
+  for (const ExpressivenessEntry& entry : ExpressivenessMatrix()) {
+    os << "  " << MechanismName(entry.mechanism) << " / " << InfoCategoryName(entry.category)
+       << " [" << SupportName(entry.support) << "]: " << entry.evidence << "\n";
+  }
+  const std::vector<std::string> inconsistencies = CrossCheckExpressiveness();
+  if (inconsistencies.empty()) {
+    os << "\nCross-check against solution structure: consistent.\n";
+  } else {
+    os << "\nCross-check inconsistencies:\n";
+    for (const std::string& inconsistency : inconsistencies) {
+      os << "  " << inconsistency << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string RenderCoverageReport() {
+  std::ostringstream os;
+  os << "Problem catalog and information-category coverage (Section 3)\n";
+  std::vector<std::string> header = {"problem", "source", "categories"};
+  std::vector<std::vector<std::string>> rows;
+  for (const ProblemSpec& spec : ProblemCatalog()) {
+    rows.push_back({spec.id, spec.source, CategoryMaskToString(spec.CategoryMask())});
+  }
+  os << RenderTable(header, rows);
+
+  const std::vector<std::string> footnote2 = {"bounded-buffer",      "fcfs-resource",
+                                              "rw-readers-priority", "disk-scan",
+                                              "alarm-clock",         "one-slot-buffer"};
+  const CoverageReport coverage = Coverage(footnote2);
+  os << "\nThe paper's footnote-2 test set covers: "
+     << CategoryMaskToString(coverage.covered_mask)
+     << (coverage.complete ? " (complete)" : " (INCOMPLETE)") << ", redundancy "
+     << Redundancy(footnote2) << ".\n";
+
+  os << "\nMinimal covering subsets of the catalog:\n";
+  for (const std::vector<std::string>& cover : MinimalCovers()) {
+    os << "  {";
+    for (std::size_t i = 0; i < cover.size(); ++i) {
+      os << (i == 0 ? " " : ", ") << cover[i];
+    }
+    os << " }  redundancy " << Redundancy(cover) << "\n";
+  }
+  return os.str();
+}
+
+std::string RenderIndependenceTable() {
+  std::ostringstream os;
+  os << "Constraint independence (Section 4.2 / 5.1.2)\n";
+  os << "similarity: shared 'exclusion' fragment across the two solutions (1.0 = "
+        "identical)\n";
+  os << "mod-cost:   1 - similarity of the whole solutions (1.0 = full rewrite)\n\n";
+  std::vector<std::string> header = {"mechanism", "problem A", "problem B", "similarity",
+                                     "mod-cost"};
+  std::vector<std::vector<std::string>> rows;
+  for (const IndependenceRow& row : IndependenceTable(CanonicalIndependencePairs(),
+                                                      "exclusion")) {
+    std::ostringstream sim;
+    sim << std::fixed << std::setprecision(2) << row.similarity;
+    std::ostringstream cost;
+    cost << std::fixed << std::setprecision(2) << row.modification_cost;
+    rows.push_back({MechanismName(row.mechanism), row.problem_a, row.problem_b, sim.str(),
+                    cost.str()});
+  }
+  os << RenderTable(header, rows);
+  return os.str();
+}
+
+std::string RenderConformanceTable(const std::vector<ConformanceResult>& results) {
+  std::ostringstream os;
+  os << "Conformance: oracle checks over deterministic schedule sweeps\n";
+  std::vector<std::string> header = {"mechanism", "problem",  "solution",
+                                     "violations", "expected", "verdict"};
+  std::vector<std::vector<std::string>> rows;
+  for (const ConformanceResult& result : results) {
+    std::ostringstream violations;
+    violations << result.outcome.failures << "/" << result.outcome.runs;
+    rows.push_back({MechanismName(result.spec.mechanism), result.spec.problem,
+                    result.spec.display, violations.str(),
+                    result.spec.expect_violations ? "violations" : "clean",
+                    result.AsExpected() ? "as expected" : "UNEXPECTED"});
+  }
+  os << RenderTable(header, rows);
+  for (const ConformanceResult& result : results) {
+    if (result.outcome.failures > 0) {
+      os << "\n" << result.spec.display << " first counterexample (seed "
+         << (result.outcome.failing_seeds.empty() ? 0 : result.outcome.failing_seeds.front())
+         << "): " << result.outcome.first_failure << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string RenderSolutionInventory() {
+  std::ostringstream os;
+  os << "Solution matrix (structural metrics per Section 4)\n";
+  std::vector<std::string> header = {"mechanism", "problem", "solution", "direct",
+                                     "sync-procs", "hand-kept vars"};
+  std::vector<std::vector<std::string>> rows;
+  for (const SolutionInfo& info : AllSolutionInfos()) {
+    rows.push_back({MechanismName(info.mechanism), info.problem, info.display_name,
+                    info.direct ? "yes" : "no", std::to_string(info.sync_procedures),
+                    std::to_string(info.shared_variables)});
+  }
+  os << RenderTable(header, rows);
+  return os.str();
+}
+
+}  // namespace syneval

@@ -1,0 +1,36 @@
+// Scorecard rendering: the machine-generated counterparts of the paper's Section 5
+// discussion, printed by the bench table binaries and the examples.
+
+#ifndef SYNEVAL_CORE_SCORECARD_H_
+#define SYNEVAL_CORE_SCORECARD_H_
+
+#include <string>
+#include <vector>
+
+#include "syneval/core/conformance.h"
+#include "syneval/core/metrics.h"
+
+namespace syneval {
+
+// Generic fixed-width ASCII table.
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+// E3: mechanism x information-category support matrix with evidence footnotes.
+std::string RenderExpressivenessTable();
+
+// E8: footnote-2 test-set coverage, redundancy, and all minimal covers.
+std::string RenderCoverageReport();
+
+// E4: constraint-independence similarities and modification costs per mechanism.
+std::string RenderIndependenceTable();
+
+// E1/E2 et al.: conformance sweep outcomes.
+std::string RenderConformanceTable(const std::vector<ConformanceResult>& results);
+
+// Inventory of the solution matrix with structural metrics.
+std::string RenderSolutionInventory();
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_CORE_SCORECARD_H_

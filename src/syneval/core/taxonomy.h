@@ -1,0 +1,56 @@
+// The paper's taxonomy (Sections 2-3): synchronization schemes are sets of constraints;
+// constraints are exclusion or priority constraints; and constraints are distinguished
+// by the categories of information their conditions reference.
+
+#ifndef SYNEVAL_CORE_TAXONOMY_H_
+#define SYNEVAL_CORE_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace syneval {
+
+// "if condition then exclude process A"  /  "if condition then A has priority over B".
+enum class ConstraintKind : std::uint8_t {
+  kExclusion,  // Consistency: keep interfering processes out.
+  kPriority,   // Efficiency/ordering: who gets in first.
+};
+
+const char* ConstraintKindName(ConstraintKind kind);
+
+// Section 3's six information categories.
+enum class InfoCategory : std::uint8_t {
+  kRequestType = 0,  // Which operation is being requested.
+  kRequestTime = 1,  // When, relative to other requests.
+  kParameters = 2,   // Arguments of the request (track number, wake time, ...).
+  kSyncState = 3,    // Who is currently inside / waiting (needed only for sync).
+  kLocalState = 4,   // State the resource has anyway (buffer full/empty).
+  kHistory = 5,      // Whether some event has already occurred.
+};
+
+inline constexpr int kNumInfoCategories = 6;
+
+const char* InfoCategoryName(InfoCategory category);
+
+// Bitmask helpers used by the coverage computation.
+constexpr std::uint32_t CategoryBit(InfoCategory category) {
+  return 1u << static_cast<std::uint32_t>(category);
+}
+
+std::string CategoryMaskToString(std::uint32_t mask);
+
+// One constraint of a synchronization scheme, annotated with the information
+// categories its condition references.
+struct Constraint {
+  std::string id;  // Stable id used to match fragments across solutions, e.g. "exclusion".
+  ConstraintKind kind = ConstraintKind::kExclusion;
+  std::vector<InfoCategory> categories;
+  std::string description;
+
+  std::uint32_t CategoryMask() const;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_CORE_TAXONOMY_H_

@@ -1,0 +1,164 @@
+#include "syneval/monitor/hoare_monitor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace syneval {
+
+// A record for one blocked process. Lives on the blocked thread's stack; queues hold
+// raw pointers, which are removed before the frame can unwind (grant precedes return).
+struct HoareMonitor::Waiter {
+  bool granted = false;
+  std::int64_t priority = 0;
+  std::uint64_t arrival = 0;
+  std::uint32_t thread = 0;
+};
+
+HoareMonitor::HoareMonitor(Runtime& runtime)
+    : runtime_(runtime), mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()) {}
+
+void HoareMonitor::Enter() {
+  RtLock lock(*mu_);
+  if (!busy_) {
+    busy_ = true;
+    owner_ = runtime_.CurrentThreadId();
+    return;
+  }
+  Waiter self;
+  self.thread = runtime_.CurrentThreadId();
+  entry_.push_back(&self);
+  BlockLocked(&self);
+}
+
+void HoareMonitor::Exit() {
+  RtLock lock(*mu_);
+  AssertOwnedByCaller();
+  ReleaseOwnershipLocked();
+}
+
+int HoareMonitor::EntryQueueLength() const {
+  RtLock lock(*mu_);
+  return static_cast<int>(entry_.size());
+}
+
+void HoareMonitor::GrantLocked(Waiter* waiter) {
+  waiter->granted = true;
+  owner_ = waiter->thread;
+  cv_->NotifyAll();
+}
+
+void HoareMonitor::ReleaseOwnershipLocked() {
+  if (!urgent_.empty()) {
+    Waiter* waiter = urgent_.back();
+    urgent_.pop_back();
+    GrantLocked(waiter);
+  } else if (!entry_.empty()) {
+    Waiter* waiter = entry_.front();
+    entry_.pop_front();
+    GrantLocked(waiter);
+  } else {
+    busy_ = false;
+    owner_ = 0;
+  }
+}
+
+void HoareMonitor::BlockLocked(Waiter* waiter) {
+  while (!waiter->granted) {
+    cv_->Wait(*mu_);
+  }
+}
+
+void HoareMonitor::AssertOwnedByCaller() const {
+  assert(busy_ && "monitor operation while the monitor is free");
+  assert(owner_ == runtime_.CurrentThreadId() &&
+         "monitor operation by a process that is not inside the monitor");
+}
+
+void HoareMonitor::Condition::Wait() {
+  HoareMonitor& m = monitor_;
+  RtLock lock(*m.mu_);
+  m.AssertOwnedByCaller();
+  Waiter self;
+  self.thread = m.runtime_.CurrentThreadId();
+  queue_.push_back(&self);
+  m.ReleaseOwnershipLocked();
+  m.BlockLocked(&self);
+}
+
+void HoareMonitor::Condition::Signal() {
+  HoareMonitor& m = monitor_;
+  RtLock lock(*m.mu_);
+  m.AssertOwnedByCaller();
+  if (queue_.empty()) {
+    return;
+  }
+  auto* waiter = static_cast<Waiter*>(queue_.front());
+  queue_.pop_front();
+  Waiter self;
+  self.thread = m.runtime_.CurrentThreadId();
+  m.urgent_.push_back(&self);
+  m.GrantLocked(waiter);
+  m.BlockLocked(&self);
+}
+
+bool HoareMonitor::Condition::Empty() const {
+  RtLock lock(*monitor_.mu_);
+  return queue_.empty();
+}
+
+int HoareMonitor::Condition::Length() const {
+  RtLock lock(*monitor_.mu_);
+  return static_cast<int>(queue_.size());
+}
+
+void HoareMonitor::PriorityCondition::Wait(std::int64_t priority) {
+  HoareMonitor& m = monitor_;
+  RtLock lock(*m.mu_);
+  m.AssertOwnedByCaller();
+  Waiter self;
+  self.thread = m.runtime_.CurrentThreadId();
+  self.priority = priority;
+  self.arrival = ++m.arrivals_;
+  // Insert keeping the queue sorted by (priority, arrival): minimum first.
+  auto pos = std::find_if(queue_.begin(), queue_.end(), [&](void* raw) {
+    auto* other = static_cast<Waiter*>(raw);
+    return other->priority > priority;
+  });
+  queue_.insert(pos, &self);
+  m.ReleaseOwnershipLocked();
+  m.BlockLocked(&self);
+}
+
+void HoareMonitor::PriorityCondition::Signal() {
+  HoareMonitor& m = monitor_;
+  RtLock lock(*m.mu_);
+  m.AssertOwnedByCaller();
+  if (queue_.empty()) {
+    return;
+  }
+  auto* waiter = static_cast<Waiter*>(queue_.front());
+  queue_.erase(queue_.begin());
+  Waiter self;
+  self.thread = m.runtime_.CurrentThreadId();
+  m.urgent_.push_back(&self);
+  m.GrantLocked(waiter);
+  m.BlockLocked(&self);
+}
+
+bool HoareMonitor::PriorityCondition::Empty() const {
+  RtLock lock(*monitor_.mu_);
+  return queue_.empty();
+}
+
+int HoareMonitor::PriorityCondition::Length() const {
+  RtLock lock(*monitor_.mu_);
+  return static_cast<int>(queue_.size());
+}
+
+std::int64_t HoareMonitor::PriorityCondition::MinPriority() const {
+  RtLock lock(*monitor_.mu_);
+  assert(!queue_.empty() && "MinPriority on an empty priority condition");
+  return static_cast<Waiter*>(queue_.front())->priority;
+}
+
+}  // namespace syneval

@@ -1,0 +1,140 @@
+// Hoare monitors [Hoare, "Monitors: An Operating System Structuring Concept", CACM 1974].
+//
+// Faithful signal semantics: Signal() on a non-empty condition *immediately* transfers
+// the monitor to the longest-waiting process on that condition, and the signaller waits
+// on the "urgent" queue, which has priority over the entry queue when the monitor is
+// next released. This is the explicit-signal discipline whose consequences Section 5.2
+// of the paper analyses (a total wakeup order must be chosen by the programmer, which
+// couples priority constraints to exclusion constraints).
+//
+// Conditions expose their queue state (Empty/Length) — the "synchronization state"
+// information monitors keep implicitly — and a PriorityCondition implements Hoare's
+// priority wait (`wait(p)` wakes minimum p first), the construct that handles request
+// parameters (disk scheduler, alarm clock, shortest-job-next).
+//
+// The implementation is runtime-agnostic: under DetRuntime every admission decision is
+// deterministic and replayable.
+
+#ifndef SYNEVAL_MONITOR_HOARE_MONITOR_H_
+#define SYNEVAL_MONITOR_HOARE_MONITOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "syneval/runtime/runtime.h"
+
+namespace syneval {
+
+class HoareMonitor {
+ public:
+  explicit HoareMonitor(Runtime& runtime);
+
+  HoareMonitor(const HoareMonitor&) = delete;
+  HoareMonitor& operator=(const HoareMonitor&) = delete;
+
+  // Acquires the monitor. Entry is FIFO among callers, but processes released from the
+  // urgent queue (signallers) take precedence over the entry queue.
+  void Enter();
+
+  // Releases the monitor: resumes the most recent urgent waiter if any, else admits the
+  // longest-waiting entrant, else marks the monitor free.
+  void Exit();
+
+  // Number of processes blocked at the monitor door (diagnostics).
+  int EntryQueueLength() const;
+
+  // FIFO condition variable with Hoare signal semantics. Must only be used by a process
+  // currently inside the owning monitor.
+  class Condition {
+   public:
+    explicit Condition(HoareMonitor& monitor) : monitor_(monitor) {}
+
+    Condition(const Condition&) = delete;
+    Condition& operator=(const Condition&) = delete;
+
+    // Releases the monitor and blocks until signalled. On return the caller is inside
+    // the monitor again, and — per Hoare semantics — the condition that was signalled
+    // still holds (no other process ran in between).
+    void Wait();
+
+    // If the queue is non-empty, hands the monitor to its head and suspends the caller
+    // on the urgent queue; otherwise a no-op.
+    void Signal();
+
+    // Queue-state observers (Hoare's `condition.queue` construct).
+    bool Empty() const;
+    int Length() const;
+
+   private:
+    friend class HoareMonitor;
+    HoareMonitor& monitor_;
+    std::deque<void*> queue_;  // Waiter records, owned by the blocked stack frames.
+  };
+
+  // Priority condition: Wait(p) enqueues with priority p; Signal resumes the waiter with
+  // the *minimum* p (FIFO among equal priorities), per Hoare's scheduled waits.
+  class PriorityCondition {
+   public:
+    explicit PriorityCondition(HoareMonitor& monitor) : monitor_(monitor) {}
+
+    PriorityCondition(const PriorityCondition&) = delete;
+    PriorityCondition& operator=(const PriorityCondition&) = delete;
+
+    void Wait(std::int64_t priority);
+    void Signal();
+
+    bool Empty() const;
+    int Length() const;
+
+    // Minimum queued priority; only meaningful when !Empty(). Hoare's disk-scheduler
+    // and alarm-clock monitors use this to peek at the next scheduled request.
+    std::int64_t MinPriority() const;
+
+   private:
+    friend class HoareMonitor;
+    HoareMonitor& monitor_;
+    std::vector<void*> queue_;  // Sorted by (priority, arrival).
+  };
+
+ private:
+  struct Waiter;
+
+  // Grants monitor ownership to `waiter` (monitor stays busy). Caller holds mu_.
+  void GrantLocked(Waiter* waiter);
+
+  // Releases ownership: urgent queue first, then entry queue, else free. Holds mu_.
+  void ReleaseOwnershipLocked();
+
+  // Blocks the calling thread until its waiter record is granted. Holds mu_ via `lock`.
+  void BlockLocked(Waiter* waiter);
+
+  void AssertOwnedByCaller() const;
+
+  Runtime& runtime_;
+  std::unique_ptr<RtMutex> mu_;
+  std::unique_ptr<RtCondVar> cv_;
+  bool busy_ = false;
+  std::uint32_t owner_ = 0;  // Thread id of the current occupant (0 when free).
+  std::deque<Waiter*> entry_;
+  std::vector<Waiter*> urgent_;  // Stack: most recent signaller resumes first.
+  std::uint64_t arrivals_ = 0;   // Tie-break counter for priority conditions.
+};
+
+// RAII monitor section: Enter() on construction, Exit() on destruction.
+class MonitorRegion {
+ public:
+  explicit MonitorRegion(HoareMonitor& monitor) : monitor_(monitor) { monitor_.Enter(); }
+  ~MonitorRegion() { monitor_.Exit(); }
+
+  MonitorRegion(const MonitorRegion&) = delete;
+  MonitorRegion& operator=(const MonitorRegion&) = delete;
+
+ private:
+  HoareMonitor& monitor_;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_MONITOR_HOARE_MONITOR_H_

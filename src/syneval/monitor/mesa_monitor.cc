@@ -1,0 +1,39 @@
+#include "syneval/monitor/mesa_monitor.h"
+
+#include <cassert>
+
+namespace syneval {
+
+MesaMonitor::MesaMonitor(Runtime& runtime) : runtime_(runtime), mu_(runtime.CreateMutex()) {}
+
+void MesaMonitor::Enter() {
+  mu_->Lock();
+  owner_ = runtime_.CurrentThreadId();
+}
+
+void MesaMonitor::Exit() {
+  assert(owner_ == runtime_.CurrentThreadId() && "MesaMonitor::Exit by non-occupant");
+  owner_ = 0;
+  mu_->Unlock();
+}
+
+MesaMonitor::Condition::Condition(MesaMonitor& monitor)
+    : monitor_(monitor), cv_(monitor.runtime_.CreateCondVar()) {}
+
+void MesaMonitor::Condition::Wait() {
+  MesaMonitor& m = monitor_;
+  assert(m.owner_ == m.runtime_.CurrentThreadId() && "Condition::Wait outside the monitor");
+  ++waiting_;
+  m.owner_ = 0;
+  cv_->Wait(*m.mu_);
+  m.owner_ = m.runtime_.CurrentThreadId();
+  --waiting_;
+}
+
+void MesaMonitor::Condition::Signal() { cv_->NotifyOne(); }
+
+void MesaMonitor::Condition::Broadcast() { cv_->NotifyAll(); }
+
+int MesaMonitor::Condition::Length() const { return waiting_; }
+
+}  // namespace syneval

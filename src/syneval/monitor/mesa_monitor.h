@@ -1,0 +1,69 @@
+// Mesa-style monitor: signal is a hint, the signalled process re-contends for the lock
+// and must re-check its predicate. Provided as the ablation counterpart to HoareMonitor
+// (DESIGN.md decision 2): the paper's constraint-independence analysis of monitors hinges
+// on the *explicit* Hoare signal forcing a total wakeup order; Mesa signalling weakens
+// that coupling at the cost of non-deterministic admission order.
+
+#ifndef SYNEVAL_MONITOR_MESA_MONITOR_H_
+#define SYNEVAL_MONITOR_MESA_MONITOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "syneval/runtime/runtime.h"
+
+namespace syneval {
+
+class MesaMonitor {
+ public:
+  explicit MesaMonitor(Runtime& runtime);
+
+  MesaMonitor(const MesaMonitor&) = delete;
+  MesaMonitor& operator=(const MesaMonitor&) = delete;
+
+  void Enter();
+  void Exit();
+
+  class Condition {
+   public:
+    explicit Condition(MesaMonitor& monitor);
+
+    Condition(const Condition&) = delete;
+    Condition& operator=(const Condition&) = delete;
+
+    // Releases the monitor and blocks; on return the monitor is held again but the
+    // awaited predicate may no longer hold (callers loop).
+    void Wait();
+    void Signal();
+    void Broadcast();
+
+    int Length() const;
+
+   private:
+    MesaMonitor& monitor_;
+    std::unique_ptr<RtCondVar> cv_;
+    int waiting_ = 0;
+  };
+
+ private:
+  friend class Condition;
+  Runtime& runtime_;
+  std::unique_ptr<RtMutex> mu_;
+  std::uint32_t owner_ = 0;
+};
+
+class MesaRegion {
+ public:
+  explicit MesaRegion(MesaMonitor& monitor) : monitor_(monitor) { monitor_.Enter(); }
+  ~MesaRegion() { monitor_.Exit(); }
+
+  MesaRegion(const MesaRegion&) = delete;
+  MesaRegion& operator=(const MesaRegion&) = delete;
+
+ private:
+  MesaMonitor& monitor_;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_MONITOR_MESA_MONITOR_H_

@@ -1,0 +1,108 @@
+#include "syneval/pathexpr/ast.h"
+
+#include <sstream>
+#include <utility>
+
+namespace syneval {
+
+namespace {
+
+void Render(const PathNode& node, std::ostringstream& os) {
+  switch (node.kind) {
+    case PathNode::Kind::kName:
+      os << node.name;
+      break;
+    case PathNode::Kind::kSequence:
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) {
+          os << "; ";
+        }
+        const PathNode& child = *node.children[i];
+        const bool parens = child.kind == PathNode::Kind::kSelection;
+        if (parens) {
+          os << "(";
+        }
+        Render(child, os);
+        if (parens) {
+          os << ")";
+        }
+      }
+      break;
+    case PathNode::Kind::kSelection:
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) {
+          os << ", ";
+        }
+        Render(*node.children[i], os);
+      }
+      break;
+    case PathNode::Kind::kConcurrent:
+      os << "{ ";
+      Render(*node.children[0], os);
+      os << " }";
+      break;
+    case PathNode::Kind::kBounded:
+      os << node.bound << ":(";
+      Render(*node.children[0], os);
+      os << ")";
+      break;
+    case PathNode::Kind::kGuarded:
+      os << "[" << node.name << "] ";
+      Render(*node.children[0], os);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string PathNode::ToString() const {
+  std::ostringstream os;
+  Render(*this, os);
+  return os.str();
+}
+
+std::unique_ptr<PathNode> MakeName(std::string name) {
+  auto node = std::make_unique<PathNode>();
+  node->kind = PathNode::Kind::kName;
+  node->name = std::move(name);
+  return node;
+}
+
+std::unique_ptr<PathNode> MakeSequence(std::vector<std::unique_ptr<PathNode>> children) {
+  auto node = std::make_unique<PathNode>();
+  node->kind = PathNode::Kind::kSequence;
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<PathNode> MakeSelection(std::vector<std::unique_ptr<PathNode>> children) {
+  auto node = std::make_unique<PathNode>();
+  node->kind = PathNode::Kind::kSelection;
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<PathNode> MakeConcurrent(std::unique_ptr<PathNode> child) {
+  auto node = std::make_unique<PathNode>();
+  node->kind = PathNode::Kind::kConcurrent;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PathNode> MakeBounded(std::int64_t bound, std::unique_ptr<PathNode> child) {
+  auto node = std::make_unique<PathNode>();
+  node->kind = PathNode::Kind::kBounded;
+  node->bound = bound;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PathNode> MakeGuarded(std::string predicate, std::unique_ptr<PathNode> child) {
+  auto node = std::make_unique<PathNode>();
+  node->kind = PathNode::Kind::kGuarded;
+  node->name = std::move(predicate);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+}  // namespace syneval

@@ -1,0 +1,62 @@
+// Abstract syntax for path expressions.
+//
+// Concrete syntax (Campbell–Habermann 1974, with the extensions the paper surveys):
+//
+//   path_decl := 'path' expr 'end'
+//   expr      := seq (',' seq)*          selection: exactly one branch at a time
+//   seq       := item (';' item)*        sequencing: items execute in order, cyclically
+//   item      := IDENT                   an operation name
+//              | '{' expr '}'            concurrency: a burst of overlapping activations
+//              | INT ':' '(' expr ')'    numeric bound [Flon–Habermann]: <= N activations
+//              | '[' IDENT ']' item      predicate guard [Andler]: item may start only
+//                                        while the named predicate holds
+//              | '(' expr ')'
+//
+// The whole path repeats forever (the "path-end pair" denotes repetition, per the paper).
+
+#ifndef SYNEVAL_PATHEXPR_AST_H_
+#define SYNEVAL_PATHEXPR_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace syneval {
+
+struct PathNode {
+  enum class Kind {
+    kName,        // leaf: operation name
+    kSequence,    // children in order, ';'
+    kSelection,   // one of children, ','
+    kConcurrent,  // '{ child }'
+    kBounded,     // 'N : ( child )'
+    kGuarded,     // '[ pred ] child'
+  };
+
+  Kind kind = Kind::kName;
+  std::string name;        // kName: operation; kGuarded: predicate name.
+  std::int64_t bound = 0;  // kBounded only.
+  std::vector<std::unique_ptr<PathNode>> children;
+
+  // Re-renders the node in concrete syntax (used in diagnostics and reports).
+  std::string ToString() const;
+};
+
+// One 'path ... end' declaration.
+struct PathDecl {
+  std::unique_ptr<PathNode> body;
+  std::string source;  // Original text, for diagnostics.
+};
+
+// Factory helpers (used by tests that build ASTs directly).
+std::unique_ptr<PathNode> MakeName(std::string name);
+std::unique_ptr<PathNode> MakeSequence(std::vector<std::unique_ptr<PathNode>> children);
+std::unique_ptr<PathNode> MakeSelection(std::vector<std::unique_ptr<PathNode>> children);
+std::unique_ptr<PathNode> MakeConcurrent(std::unique_ptr<PathNode> child);
+std::unique_ptr<PathNode> MakeBounded(std::int64_t bound, std::unique_ptr<PathNode> child);
+std::unique_ptr<PathNode> MakeGuarded(std::string predicate, std::unique_ptr<PathNode> child);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_PATHEXPR_AST_H_

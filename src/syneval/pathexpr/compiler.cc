@@ -1,0 +1,256 @@
+#include "syneval/pathexpr/compiler.h"
+
+#include <sstream>
+#include <utility>
+
+#include "syneval/pathexpr/parser.h"
+
+namespace syneval {
+
+namespace {
+
+// Per-program compilation context: allocates counters/braces/predicates and accumulates
+// operation alternatives.
+class Compiler {
+ public:
+  explicit Compiler(const std::vector<PathDecl>& decls) {
+    for (std::size_t i = 0; i < decls.size(); ++i) {
+      path_index_ = static_cast<int>(i);
+      seq_counter_ = 0;
+      brace_counter_ = 0;
+      bound_counter_ = 0;
+      out_.path_sources.push_back(decls[i].source);
+      TranslatePathTop(*decls[i].body);
+    }
+  }
+
+  CompiledPaths Take() { return std::move(out_); }
+
+ private:
+  std::string Prefix() const {
+    std::ostringstream os;
+    os << "p" << path_index_ << ".";
+    return os.str();
+  }
+
+  int NewCounter(std::int64_t init, const std::string& label) {
+    out_.counter_init.push_back(init);
+    out_.counter_labels.push_back(label);
+    return static_cast<int>(out_.counter_init.size()) - 1;
+  }
+
+  int NewBrace(const std::string& label) {
+    out_.brace_labels.push_back(label);
+    return static_cast<int>(out_.brace_labels.size()) - 1;
+  }
+
+  int PredicateId(const std::string& name) {
+    for (std::size_t i = 0; i < out_.predicate_names.size(); ++i) {
+      if (out_.predicate_names[i] == name) {
+        return static_cast<int>(i);
+      }
+    }
+    out_.predicate_names.push_back(name);
+    return static_cast<int>(out_.predicate_names.size()) - 1;
+  }
+
+  static PathAction Acquire(int counter) {
+    PathAction action;
+    action.kind = PathAction::Kind::kAcquire;
+    action.index = counter;
+    return action;
+  }
+
+  static PathAction Release(int counter) {
+    PathAction action;
+    action.kind = PathAction::Kind::kRelease;
+    action.index = counter;
+    return action;
+  }
+
+  void TranslatePathTop(const PathNode& body) {
+    if (body.kind == PathNode::Kind::kBounded) {
+      // `path n:(e) end`: the bound replaces the repetition counter.
+      const int bound = NewCounter(body.bound, Prefix() + "B0");
+      Translate(*body.children[0], {Acquire(bound)}, {Release(bound)});
+      return;
+    }
+    const int cycle = NewCounter(1, Prefix() + "S");
+    Translate(body, {Acquire(cycle)}, {Release(cycle)});
+  }
+
+  void Translate(const PathNode& node, std::vector<PathAction> pre,
+                 std::vector<PathAction> post) {
+    switch (node.kind) {
+      case PathNode::Kind::kName: {
+        PathAlternative alternative;
+        alternative.begin = std::move(pre);
+        alternative.end = std::move(post);
+        AddAlternative(node.name, std::move(alternative));
+        break;
+      }
+      case PathNode::Kind::kSequence: {
+        const std::size_t n = node.children.size();
+        std::vector<int> links;
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+          std::ostringstream label;
+          label << Prefix() << "T" << seq_counter_++;
+          links.push_back(NewCounter(0, label.str()));
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          std::vector<PathAction> child_pre = i == 0 ? pre
+                                                     : std::vector<PathAction>{
+                                                           Acquire(links[i - 1])};
+          std::vector<PathAction> child_post = i + 1 == n ? post
+                                                          : std::vector<PathAction>{
+                                                                Release(links[i])};
+          Translate(*node.children[i], std::move(child_pre), std::move(child_post));
+        }
+        break;
+      }
+      case PathNode::Kind::kSelection: {
+        for (const auto& child : node.children) {
+          Translate(*child, pre, post);
+        }
+        break;
+      }
+      case PathNode::Kind::kConcurrent: {
+        std::ostringstream label;
+        label << Prefix() << "C" << brace_counter_++;
+        const int brace = NewBrace(label.str());
+        PathAction enter;
+        enter.kind = PathAction::Kind::kBraceEnter;
+        enter.index = brace;
+        enter.nested = std::move(pre);
+        PathAction exit;
+        exit.kind = PathAction::Kind::kBraceExit;
+        exit.index = brace;
+        exit.nested = std::move(post);
+        Translate(*node.children[0], {std::move(enter)}, {std::move(exit)});
+        break;
+      }
+      case PathNode::Kind::kBounded: {
+        std::ostringstream label;
+        label << Prefix() << "B" << ++bound_counter_;
+        const int bound = NewCounter(node.bound, label.str());
+        pre.push_back(Acquire(bound));
+        std::vector<PathAction> child_post;
+        child_post.push_back(Release(bound));
+        for (auto& action : post) {
+          child_post.push_back(std::move(action));
+        }
+        Translate(*node.children[0], std::move(pre), std::move(child_post));
+        break;
+      }
+      case PathNode::Kind::kGuarded: {
+        PathAction guard;
+        guard.kind = PathAction::Kind::kGuard;
+        guard.index = PredicateId(node.name);
+        pre.push_back(std::move(guard));
+        Translate(*node.children[0], std::move(pre), std::move(post));
+        break;
+      }
+    }
+  }
+
+  void AddAlternative(const std::string& op, PathAlternative alternative) {
+    std::vector<OpInPath>& paths = out_.ops[op];
+    if (paths.empty() || paths.back().path_index != path_index_) {
+      OpInPath entry;
+      entry.path_index = path_index_;
+      paths.push_back(std::move(entry));
+    }
+    paths.back().alternatives.push_back(std::move(alternative));
+  }
+
+  CompiledPaths out_;
+  int path_index_ = 0;
+  int seq_counter_ = 0;
+  int brace_counter_ = 0;
+  int bound_counter_ = 0;
+};
+
+void DescribeActions(const std::vector<PathAction>& actions, const CompiledPaths& compiled,
+                     std::ostringstream& os) {
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    const PathAction& action = actions[i];
+    switch (action.kind) {
+      case PathAction::Kind::kAcquire:
+        os << "P(" << compiled.counter_labels[action.index] << ")";
+        break;
+      case PathAction::Kind::kRelease:
+        os << "V(" << compiled.counter_labels[action.index] << ")";
+        break;
+      case PathAction::Kind::kBraceEnter:
+        os << "enter(" << compiled.brace_labels[action.index] << " -> [";
+        DescribeActions(action.nested, compiled, os);
+        os << "])";
+        break;
+      case PathAction::Kind::kBraceExit:
+        os << "exit(" << compiled.brace_labels[action.index] << " -> [";
+        DescribeActions(action.nested, compiled, os);
+        os << "])";
+        break;
+      case PathAction::Kind::kGuard:
+        os << "guard(" << compiled.predicate_names[action.index] << ")";
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+PathState CompiledPaths::InitialState() const {
+  PathState state;
+  state.counters = counter_init;
+  state.braces.assign(brace_labels.size(), 0);
+  return state;
+}
+
+int CompiledPaths::CounterIndex(const std::string& label) const {
+  for (std::size_t i = 0; i < counter_labels.size(); ++i) {
+    if (counter_labels[i] == label) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int CompiledPaths::BraceIndex(const std::string& label) const {
+  for (std::size_t i = 0; i < brace_labels.size(); ++i) {
+    if (brace_labels[i] == label) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+CompiledPaths CompilePaths(const std::vector<PathDecl>& decls) {
+  Compiler compiler(decls);
+  return compiler.Take();
+}
+
+std::string DescribeCompiledPaths(const CompiledPaths& compiled) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < compiled.path_sources.size(); ++i) {
+    os << "path[" << i << "]: " << compiled.path_sources[i] << "\n";
+  }
+  for (const auto& [op, paths] : compiled.ops) {
+    os << "op " << op << ":\n";
+    for (const OpInPath& in_path : paths) {
+      for (std::size_t a = 0; a < in_path.alternatives.size(); ++a) {
+        os << "  path " << in_path.path_index << " alt " << a << ": begin=[";
+        DescribeActions(in_path.alternatives[a].begin, compiled, os);
+        os << "] end=[";
+        DescribeActions(in_path.alternatives[a].end, compiled, os);
+        os << "]\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace syneval

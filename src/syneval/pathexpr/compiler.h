@@ -1,0 +1,99 @@
+// Compiler: path-expression ASTs → per-operation prologue/epilogue action lists.
+//
+// This is the CH74 translation scheme recast over explicit counters so that the runtime
+// can (a) fire an operation's whole prologue atomically, (b) apply the longest-waiting
+// selection rule Bloom adds to the mechanism, and (c) support the predicate extension.
+//
+// Translation, for a node with inherited prologue `pre` and epilogue `post`:
+//   name n          : emit alternative {begin: pre, end: post} for operation n
+//   e1 ; ... ; ek   : fresh counters T1..T(k-1) = 0; child i inherits
+//                     (i == 1 ? pre : [Acquire(T(i-1))],  i == k ? post : [Release(Ti)])
+//   e1 , ... , ek   : every child inherits (pre, post) — occurrences accumulate as
+//                     alternatives of the same operation
+//   { e }           : fresh brace b; child inherits ([BraceEnter(b, pre)],
+//                     [BraceExit(b, post)]) — the first activation fires `pre`, the last
+//                     completion fires `post`, any number may overlap in between
+//   n : ( e )       : fresh counter B = n; child inherits (pre + [Acquire(B)],
+//                     [Release(B)] + post) — at most n concurrent activations
+//   [p] e           : child inherits (pre + [Guard(p)], post)
+//   path body end   : body inherits ([Acquire(S)], [Release(S)]) with fresh S = 1 —
+//                     the cyclic repetition — EXCEPT when body is `n:(e)`, in which case
+//                     the bound replaces the cycle counter (S = n dissolved into B), the
+//                     Flon–Habermann reading that makes `path n:(1:(deposit);
+//                     1:(remove)) end` the n-slot bounded buffer.
+//
+// Epilogues consist only of Release/BraceExit actions, so completing an operation never
+// blocks — matching CH74, where epilogues are V operations.
+
+#ifndef SYNEVAL_PATHEXPR_COMPILER_H_
+#define SYNEVAL_PATHEXPR_COMPILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "syneval/pathexpr/ast.h"
+
+namespace syneval {
+
+// A primitive state transition. Brace actions carry the nested actions they fire when
+// the activation count crosses zero (entering the first / leaving the last activation).
+struct PathAction {
+  enum class Kind {
+    kAcquire,     // Requires counters[index] > 0; decrements.
+    kRelease,     // Increments counters[index].
+    kBraceEnter,  // Requires braces[index] > 0 or `nested` fireable; increments,
+                  // firing `nested` when the count was zero.
+    kBraceExit,   // Decrements braces[index]; fires `nested` when the count reaches zero.
+    kGuard,       // Requires predicate `index` to currently hold; no state change.
+  };
+
+  Kind kind = Kind::kAcquire;
+  int index = 0;
+  std::vector<PathAction> nested;
+};
+
+// Mutable synchronization state of one controller instance.
+struct PathState {
+  std::vector<std::int64_t> counters;
+  std::vector<std::int64_t> braces;
+};
+
+// One way an operation occurrence can fire within one path.
+struct PathAlternative {
+  std::vector<PathAction> begin;
+  std::vector<PathAction> end;
+};
+
+// All occurrences of one operation within one path.
+struct OpInPath {
+  int path_index = 0;
+  std::vector<PathAlternative> alternatives;  // Declaration order.
+};
+
+// The compiled system for a whole path program.
+struct CompiledPaths {
+  std::vector<std::string> path_sources;
+  std::vector<std::int64_t> counter_init;
+  std::vector<std::string> counter_labels;
+  std::vector<std::string> brace_labels;
+  std::vector<std::string> predicate_names;              // Index = Guard action index.
+  std::map<std::string, std::vector<OpInPath>> ops;      // Operation → per-path data.
+
+  PathState InitialState() const;
+  int CounterIndex(const std::string& label) const;      // -1 when unknown.
+  int BraceIndex(const std::string& label) const;        // -1 when unknown.
+};
+
+// Compiles a parsed path program. Throws PathSyntaxError on semantic errors
+// (none currently defined beyond parsing).
+CompiledPaths CompilePaths(const std::vector<PathDecl>& decls);
+
+// Renders the compiled action tables (diagnostics; also used by the expressiveness
+// report to show how indirect a mechanism's handling of an information type is).
+std::string DescribeCompiledPaths(const CompiledPaths& compiled);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_PATHEXPR_COMPILER_H_

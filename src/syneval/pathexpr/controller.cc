@@ -1,0 +1,300 @@
+#include "syneval/pathexpr/controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "syneval/pathexpr/parser.h"
+
+namespace syneval {
+
+struct PathController::Waiter {
+  std::string op;
+  bool granted = false;
+  Token token;
+  std::uint64_t arrival = 0;
+  std::function<void()> on_admit;  // Runs, under mu_, in the granting thread.
+};
+
+PathController::PathController(Runtime& runtime, const std::string& program)
+    : PathController(runtime, CompilePaths(ParsePathProgram(program)), Options()) {}
+
+PathController::PathController(Runtime& runtime, const std::string& program, Options options)
+    : PathController(runtime, CompilePaths(ParsePathProgram(program)), options) {}
+
+PathController::PathController(Runtime& runtime, CompiledPaths compiled, Options options)
+    : runtime_(runtime),
+      compiled_(std::move(compiled)),
+      options_(options),
+      mu_(runtime.CreateMutex()),
+      cv_(runtime.CreateCondVar()),
+      state_(compiled_.InitialState()),
+      predicates_(compiled_.predicate_names.size()),
+      arbitrary_rng_(options.arbitrary_seed) {}
+
+void PathController::RegisterPredicate(const std::string& name,
+                                       std::function<bool()> predicate) {
+  for (std::size_t i = 0; i < compiled_.predicate_names.size(); ++i) {
+    if (compiled_.predicate_names[i] == name) {
+      predicates_[i] = std::move(predicate);
+      return;
+    }
+  }
+  throw std::invalid_argument("predicate '" + name + "' does not occur in any path");
+}
+
+bool PathController::ApplyAction(const PathAction& action, PathState& state) const {
+  switch (action.kind) {
+    case PathAction::Kind::kAcquire:
+      if (state.counters[action.index] <= 0) {
+        return false;
+      }
+      --state.counters[action.index];
+      return true;
+    case PathAction::Kind::kRelease:
+      ++state.counters[action.index];
+      return true;
+    case PathAction::Kind::kBraceEnter:
+      if (state.braces[action.index] == 0) {
+        if (!ApplyAll(action.nested, state)) {
+          return false;
+        }
+      }
+      ++state.braces[action.index];
+      return true;
+    case PathAction::Kind::kBraceExit:
+      --state.braces[action.index];
+      if (state.braces[action.index] == 0) {
+        // Epilogue actions (releases / outer brace exits) always succeed.
+        const bool ok = ApplyAll(action.nested, state);
+        assert(ok && "path epilogue failed to fire");
+        (void)ok;
+      }
+      return true;
+    case PathAction::Kind::kGuard: {
+      const auto& predicate = predicates_[action.index];
+      assert(predicate && "guarded operation began before RegisterPredicate");
+      return predicate && predicate();
+    }
+  }
+  return false;
+}
+
+bool PathController::ApplyAll(const std::vector<PathAction>& actions, PathState& state) const {
+  for (const PathAction& action : actions) {
+    if (!ApplyAction(action, state)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<PathController::Token> PathController::TryBeginLocked(const std::string& op,
+                                                                    PathState& state) const {
+  const auto it = compiled_.ops.find(op);
+  assert(it != compiled_.ops.end());
+  PathState working = state;
+  Token token;
+  token.constrained = true;
+  for (const OpInPath& in_path : it->second) {
+    bool fired = false;
+    for (std::size_t alt = 0; alt < in_path.alternatives.size(); ++alt) {
+      PathState trial = working;
+      if (ApplyAll(in_path.alternatives[alt].begin, trial)) {
+        working = std::move(trial);
+        token.chosen_alternatives.push_back(static_cast<int>(alt));
+        fired = true;
+        break;
+      }
+    }
+    if (!fired) {
+      return std::nullopt;
+    }
+  }
+  state = std::move(working);
+  return token;
+}
+
+PathController::Token PathController::Begin(const std::string& op) {
+  return Begin(op, Hooks{});
+}
+
+PathController::Token PathController::Begin(const std::string& op, const Hooks& hooks) {
+  RtLock lock(*mu_);
+  if (compiled_.ops.find(op) == compiled_.ops.end()) {
+    if (!options_.allow_unconstrained_ops) {
+      throw std::invalid_argument("operation '" + op + "' is not mentioned in any path");
+    }
+    if (hooks.on_arrive) {
+      hooks.on_arrive();
+    }
+    if (hooks.on_admit) {
+      hooks.on_admit();
+    }
+    return Token{};  // Unconstrained.
+  }
+  if (hooks.on_arrive) {
+    hooks.on_arrive();
+  }
+  OpStats& stats = stats_[op];
+  ++stats.begins;
+  if (auto token = TryBeginLocked(op, state_)) {
+    if (hooks.on_admit) {
+      hooks.on_admit();
+    }
+    // A successful begin can enable blocked peers (brace entry), so re-evaluate.
+    GrantEligibleLocked();
+    return *token;
+  }
+  ++stats.blocked_begins;
+  Waiter self;
+  self.op = op;
+  self.arrival = ++arrival_counter_;
+  self.on_admit = hooks.on_admit;
+  waiters_.push_back(&self);
+  while (!self.granted) {
+    cv_->Wait(*mu_);
+  }
+  return self.token;
+}
+
+void PathController::End(const std::string& op, const Token& token) {
+  End(op, token, Hooks{});
+}
+
+void PathController::End(const std::string& op, const Token& token, const Hooks& hooks) {
+  if (!token.constrained) {
+    if (hooks.on_release) {
+      RtLock lock(*mu_);
+      hooks.on_release();
+    }
+    return;
+  }
+  RtLock lock(*mu_);
+  if (hooks.on_release) {
+    hooks.on_release();
+  }
+  const auto it = compiled_.ops.find(op);
+  assert(it != compiled_.ops.end());
+  const std::vector<OpInPath>& paths = it->second;
+  assert(token.chosen_alternatives.size() == paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const PathAlternative& alternative =
+        paths[i].alternatives[static_cast<std::size_t>(token.chosen_alternatives[i])];
+    const bool ok = ApplyAll(alternative.end, state_);
+    assert(ok && "path epilogue failed to fire");
+    (void)ok;
+  }
+  GrantEligibleLocked();
+}
+
+void PathController::Reevaluate() {
+  RtLock lock(*mu_);
+  GrantEligibleLocked();
+}
+
+void PathController::GrantEligibleLocked() {
+  bool granted_any = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Evaluation order embodies the selection policy.
+    std::vector<std::size_t> order(waiters_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    if (options_.policy == SelectionPolicy::kLongestWaiting) {
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return waiters_[a]->arrival < waiters_[b]->arrival;
+      });
+    } else {
+      std::shuffle(order.begin(), order.end(), arbitrary_rng_);
+    }
+    for (std::size_t index : order) {
+      Waiter* waiter = waiters_[index];
+      if (auto token = TryBeginLocked(waiter->op, state_)) {
+        waiter->token = *token;
+        if (waiter->on_admit) {
+          waiter->on_admit();
+        }
+        waiter->granted = true;
+        waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(index));
+        granted_any = true;
+        progress = true;
+        break;  // Indices shifted; rebuild the order and rescan.
+      }
+    }
+  }
+  if (granted_any) {
+    cv_->NotifyAll();
+  }
+}
+
+bool PathController::CanBeginNow(const std::string& op) const {
+  RtLock lock(*mu_);
+  if (compiled_.ops.find(op) == compiled_.ops.end()) {
+    return options_.allow_unconstrained_ops;
+  }
+  PathState copy = state_;
+  return TryBeginLocked(op, copy).has_value();
+}
+
+std::int64_t PathController::CounterValue(const std::string& label) const {
+  RtLock lock(*mu_);
+  const int index = compiled_.CounterIndex(label);
+  assert(index >= 0 && "unknown counter label");
+  return state_.counters[static_cast<std::size_t>(index)];
+}
+
+std::int64_t PathController::BraceCount(const std::string& label) const {
+  RtLock lock(*mu_);
+  const int index = compiled_.BraceIndex(label);
+  assert(index >= 0 && "unknown brace label");
+  return state_.braces[static_cast<std::size_t>(index)];
+}
+
+int PathController::WaitingCount() const {
+  RtLock lock(*mu_);
+  return static_cast<int>(waiters_.size());
+}
+
+bool PathController::AtInitialState() const {
+  RtLock lock(*mu_);
+  if (!waiters_.empty() || state_.counters != compiled_.counter_init) {
+    return false;
+  }
+  for (const std::int64_t count : state_.braces) {
+    if (count != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PathController::OpStats PathController::StatsFor(const std::string& op) const {
+  RtLock lock(*mu_);
+  const auto it = stats_.find(op);
+  return it == stats_.end() ? OpStats{} : it->second;
+}
+
+std::string PathController::DescribeState() const {
+  RtLock lock(*mu_);
+  std::ostringstream os;
+  os << "counters:";
+  for (std::size_t i = 0; i < state_.counters.size(); ++i) {
+    os << " " << compiled_.counter_labels[i] << "=" << state_.counters[i];
+  }
+  os << " braces:";
+  for (std::size_t i = 0; i < state_.braces.size(); ++i) {
+    os << " " << compiled_.brace_labels[i] << "=" << state_.braces[i];
+  }
+  os << " waiting:";
+  for (const Waiter* waiter : waiters_) {
+    os << " " << waiter->op;
+  }
+  return os.str();
+}
+
+}  // namespace syneval

@@ -1,0 +1,164 @@
+// PathController: the runtime that enforces compiled path expressions.
+//
+// An operation invocation brackets its body with Begin/End (see OpRegion). Begin fires
+// the operation's whole prologue atomically — across every path that mentions the
+// operation — or blocks until it can. End fires the epilogues (never blocks) and then
+// re-evaluates all blocked invocations.
+//
+// Selection rule: when several blocked invocations become eligible, the controller
+// admits them in arrival order ("the selection operator always chooses the process that
+// has been waiting longest") — the assumption Bloom adds to CH74 because "it is
+// necessary for many problems, including some that appear in that paper". The
+// alternative kArbitrary policy exists to measure exactly which problems break without
+// it (DESIGN.md decision 3).
+//
+// Predicates (the Andler extension) are registered host callbacks; they must be pure
+// functions of state that only changes inside path-controlled operations — if external
+// state changes, call Reevaluate().
+
+#ifndef SYNEVAL_PATHEXPR_CONTROLLER_H_
+#define SYNEVAL_PATHEXPR_CONTROLLER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "syneval/pathexpr/compiler.h"
+#include "syneval/runtime/runtime.h"
+
+namespace syneval {
+
+class PathController {
+ public:
+  enum class SelectionPolicy {
+    kLongestWaiting,  // Bloom's assumption: FIFO among eligible blocked invocations.
+    kArbitrary,       // Seeded-random order: raw CH74, no fairness guarantee.
+  };
+
+  struct Options {
+    SelectionPolicy policy = SelectionPolicy::kLongestWaiting;
+    std::uint64_t arbitrary_seed = 1;
+    // When false, Begin on an operation not mentioned in any path is an error; when
+    // true it is unconstrained (CH74 leaves unmentioned operations unconstrained).
+    bool allow_unconstrained_ops = true;
+  };
+
+  // Token returned by Begin: records which occurrence (alternative) the invocation
+  // matched in each path, so End fires the corresponding epilogues.
+  struct Token {
+    bool constrained = false;
+    std::vector<int> chosen_alternatives;  // Parallel to the op's OpInPath list.
+  };
+
+  struct OpStats {
+    std::uint64_t begins = 0;
+    std::uint64_t blocked_begins = 0;  // Begins that had to wait at least once.
+  };
+
+  // Parses, compiles and installs `program` (one or more "path ... end" declarations).
+  // Throws PathSyntaxError on malformed input.
+  PathController(Runtime& runtime, const std::string& program);
+  PathController(Runtime& runtime, const std::string& program, Options options);
+  PathController(Runtime& runtime, CompiledPaths compiled, Options options);
+
+  PathController(const PathController&) = delete;
+  PathController& operator=(const PathController&) = delete;
+
+  // Registers the host predicate backing `[name]` guards. Must be called before any
+  // guarded operation begins.
+  void RegisterPredicate(const std::string& name, std::function<bool()> predicate);
+
+  // Trace hooks, executed under the controller lock so that the recorded order agrees
+  // with the admission order (see the instrumentation contract in trace/recorder.h).
+  // on_admit of a blocked invocation runs in the *granting* thread.
+  struct Hooks {
+    std::function<void()> on_arrive;   // Request visible to the controller.
+    std::function<void()> on_admit;    // Prologues fired; operation admitted.
+    std::function<void()> on_release;  // Epilogues about to fire.
+  };
+
+  // Blocks until the operation may start, then fires its prologues. The returned token
+  // must be passed to the matching End.
+  Token Begin(const std::string& op);
+  Token Begin(const std::string& op, const Hooks& hooks);
+
+  // Fires the operation's epilogues and re-evaluates blocked invocations.
+  void End(const std::string& op, const Token& token);
+  void End(const std::string& op, const Token& token, const Hooks& hooks);
+
+  // Re-evaluates blocked invocations after external predicate state changed.
+  void Reevaluate();
+
+  // Introspection (tests, reports) -----------------------------------------------------
+  bool CanBeginNow(const std::string& op) const;
+  std::int64_t CounterValue(const std::string& label) const;
+  std::int64_t BraceCount(const std::string& label) const;
+  int WaitingCount() const;
+
+  // True when the controller is quiescent and back at the compiled initial marking:
+  // all counters at their initial values, all brace activations zero, nobody waiting.
+  // Every complete workload must restore this (the repetition invariant of path-end).
+  bool AtInitialState() const;
+  OpStats StatsFor(const std::string& op) const;
+  const CompiledPaths& compiled() const { return compiled_; }
+  std::string DescribeState() const;
+
+  // RAII operation bracket. The optional hooks are used by instrumented solutions.
+  class OpRegion {
+   public:
+    OpRegion(PathController& controller, std::string op)
+        : controller_(controller), op_(std::move(op)), token_(controller_.Begin(op_)) {}
+    OpRegion(PathController& controller, std::string op, Hooks hooks)
+        : controller_(controller),
+          op_(std::move(op)),
+          hooks_(std::move(hooks)),
+          token_(controller_.Begin(op_, hooks_)) {}
+    ~OpRegion() { controller_.End(op_, token_, hooks_); }
+
+    OpRegion(const OpRegion&) = delete;
+    OpRegion& operator=(const OpRegion&) = delete;
+
+   private:
+    PathController& controller_;
+    std::string op_;
+    Hooks hooks_;
+    Token token_;
+  };
+
+ private:
+  struct Waiter;
+
+  // Attempts to fire `op`'s prologues on `state`; on success mutates `state` and
+  // returns the token. Consults predicates. Caller holds mu_.
+  std::optional<Token> TryBeginLocked(const std::string& op, PathState& state) const;
+
+  // Applies one action (recursively); returns false (state partially mutated — callers
+  // work on copies) when a requirement fails.
+  bool ApplyAction(const PathAction& action, PathState& state) const;
+  bool ApplyAll(const std::vector<PathAction>& actions, PathState& state) const;
+
+  // Admits every eligible blocked invocation per the selection policy; wakes them.
+  void GrantEligibleLocked();
+
+  Runtime& runtime_;
+  CompiledPaths compiled_;
+  Options options_;
+  std::unique_ptr<RtMutex> mu_;
+  std::unique_ptr<RtCondVar> cv_;
+  PathState state_;
+  std::deque<Waiter*> waiters_;  // Arrival order.
+  std::uint64_t arrival_counter_ = 0;
+  std::vector<std::function<bool()>> predicates_;
+  std::map<std::string, OpStats> stats_;
+  mutable std::mt19937_64 arbitrary_rng_;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_PATHEXPR_CONTROLLER_H_

@@ -1,0 +1,274 @@
+#include "syneval/pathexpr/parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+namespace syneval {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kIdent,
+    kNumber,
+    kComma,
+    kSemi,
+    kColon,
+    kLParen,
+    kRParen,
+    kLBrace,
+    kRBrace,
+    kLBracket,
+    kRBracket,
+    kEnd,  // End of input.
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  std::int64_t number = 0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Take() {
+    Token token = current_;
+    Advance();
+    return token;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    current_ = Token{};
+    current_.pos = pos_;
+    if (pos_ >= text_.size()) {
+      current_.kind = Token::Kind::kEnd;
+      return;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case ',':
+        current_.kind = Token::Kind::kComma;
+        ++pos_;
+        return;
+      case ';':
+        current_.kind = Token::Kind::kSemi;
+        ++pos_;
+        return;
+      case ':':
+        current_.kind = Token::Kind::kColon;
+        ++pos_;
+        return;
+      case '(':
+        current_.kind = Token::Kind::kLParen;
+        ++pos_;
+        return;
+      case ')':
+        current_.kind = Token::Kind::kRParen;
+        ++pos_;
+        return;
+      case '{':
+        current_.kind = Token::Kind::kLBrace;
+        ++pos_;
+        return;
+      case '}':
+        current_.kind = Token::Kind::kRBrace;
+        ++pos_;
+        return;
+      case '[':
+        current_.kind = Token::Kind::kLBracket;
+        ++pos_;
+        return;
+      case ']':
+        current_.kind = Token::Kind::kRBracket;
+        ++pos_;
+        return;
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t start = pos_;
+      std::int64_t value = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        value = value * 10 + (text_[pos_] - '0');
+        ++pos_;
+      }
+      current_.kind = Token::Kind::kNumber;
+      current_.number = value;
+      current_.text = std::string(text_.substr(start, pos_ - start));
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = Token::Kind::kIdent;
+      current_.text = std::string(text_.substr(start, pos_ - start));
+      return;
+    }
+    std::ostringstream os;
+    os << "unexpected character '" << c << "' at position " << pos_;
+    throw PathSyntaxError(os.str());
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+[[noreturn]] void Fail(const Token& token, const std::string& expected) {
+  std::ostringstream os;
+  os << "expected " << expected << " at position " << token.pos;
+  if (!token.text.empty()) {
+    os << " (found '" << token.text << "')";
+  }
+  throw PathSyntaxError(os.str());
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) {}
+
+  // expr := seq (',' seq)*
+  std::unique_ptr<PathNode> ParseExpr() {
+    std::vector<std::unique_ptr<PathNode>> branches;
+    branches.push_back(ParseSeq());
+    while (lexer_.Peek().kind == Token::Kind::kComma) {
+      lexer_.Take();
+      branches.push_back(ParseSeq());
+    }
+    if (branches.size() == 1) {
+      return std::move(branches.front());
+    }
+    return MakeSelection(std::move(branches));
+  }
+
+  void Expect(Token::Kind kind, const std::string& what) {
+    if (lexer_.Peek().kind != kind) {
+      Fail(lexer_.Peek(), what);
+    }
+    lexer_.Take();
+  }
+
+  void ExpectKeyword(const std::string& keyword) {
+    const Token& token = lexer_.Peek();
+    if (token.kind != Token::Kind::kIdent || token.text != keyword) {
+      Fail(token, "'" + keyword + "'");
+    }
+    lexer_.Take();
+  }
+
+  bool AtKeyword(const std::string& keyword) const {
+    const Token& token = lexer_.Peek();
+    return token.kind == Token::Kind::kIdent && token.text == keyword;
+  }
+
+  bool AtEnd() const { return lexer_.Peek().kind == Token::Kind::kEnd; }
+
+ private:
+  // seq := item (';' item)*
+  std::unique_ptr<PathNode> ParseSeq() {
+    std::vector<std::unique_ptr<PathNode>> items;
+    items.push_back(ParseItem());
+    while (lexer_.Peek().kind == Token::Kind::kSemi) {
+      lexer_.Take();
+      items.push_back(ParseItem());
+    }
+    if (items.size() == 1) {
+      return std::move(items.front());
+    }
+    return MakeSequence(std::move(items));
+  }
+
+  std::unique_ptr<PathNode> ParseItem() {
+    const Token& token = lexer_.Peek();
+    switch (token.kind) {
+      case Token::Kind::kIdent: {
+        if (token.text == "end" || token.text == "path") {
+          Fail(token, "an operation name");
+        }
+        return MakeName(lexer_.Take().text);
+      }
+      case Token::Kind::kLBrace: {
+        lexer_.Take();
+        auto inner = ParseExpr();
+        Expect(Token::Kind::kRBrace, "'}'");
+        return MakeConcurrent(std::move(inner));
+      }
+      case Token::Kind::kLParen: {
+        lexer_.Take();
+        auto inner = ParseExpr();
+        Expect(Token::Kind::kRParen, "')'");
+        return inner;
+      }
+      case Token::Kind::kNumber: {
+        const std::int64_t bound = lexer_.Take().number;
+        if (bound <= 0) {
+          throw PathSyntaxError("numeric bound must be positive");
+        }
+        Expect(Token::Kind::kColon, "':' after numeric bound");
+        Expect(Token::Kind::kLParen, "'(' after numeric bound");
+        auto inner = ParseExpr();
+        Expect(Token::Kind::kRParen, "')'");
+        return MakeBounded(bound, std::move(inner));
+      }
+      case Token::Kind::kLBracket: {
+        lexer_.Take();
+        const Token& name = lexer_.Peek();
+        if (name.kind != Token::Kind::kIdent) {
+          Fail(name, "a predicate name");
+        }
+        std::string predicate = lexer_.Take().text;
+        Expect(Token::Kind::kRBracket, "']'");
+        return MakeGuarded(std::move(predicate), ParseItem());
+      }
+      default:
+        Fail(token, "an operation name, '{', '(', '[' or a numeric bound");
+    }
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+PathDecl ParsePath(std::string_view text) {
+  Parser parser(text);
+  parser.ExpectKeyword("path");
+  PathDecl decl;
+  decl.body = parser.ParseExpr();
+  parser.ExpectKeyword("end");
+  if (!parser.AtEnd()) {
+    throw PathSyntaxError("trailing input after 'end'");
+  }
+  decl.source = std::string(text);
+  return decl;
+}
+
+std::vector<PathDecl> ParsePathProgram(std::string_view text) {
+  Parser parser(text);
+  std::vector<PathDecl> decls;
+  while (!parser.AtEnd()) {
+    parser.ExpectKeyword("path");
+    PathDecl decl;
+    decl.body = parser.ParseExpr();
+    parser.ExpectKeyword("end");
+    decl.source = "path " + decl.body->ToString() + " end";
+    decls.push_back(std::move(decl));
+  }
+  if (decls.empty()) {
+    throw PathSyntaxError("no path declarations found");
+  }
+  return decls;
+}
+
+}  // namespace syneval

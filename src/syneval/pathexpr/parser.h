@@ -1,0 +1,30 @@
+// Parser for path-expression declarations.
+
+#ifndef SYNEVAL_PATHEXPR_PARSER_H_
+#define SYNEVAL_PATHEXPR_PARSER_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "syneval/pathexpr/ast.h"
+
+namespace syneval {
+
+// Thrown on malformed path text; the message includes position and expectation.
+class PathSyntaxError : public std::runtime_error {
+ public:
+  explicit PathSyntaxError(const std::string& message) : std::runtime_error(message) {}
+};
+
+// Parses one "path <expr> end" declaration.
+PathDecl ParsePath(std::string_view text);
+
+// Parses a whole specification: one or more "path ... end" declarations separated by
+// whitespace (the multi-path form used by Figures 1 and 2 of the paper).
+std::vector<PathDecl> ParsePathProgram(std::string_view text);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_PATHEXPR_PARSER_H_

@@ -1,0 +1,144 @@
+// Per-problem solution interfaces.
+//
+// These are the canonical synchronization problems the paper's methodology selects
+// (footnote 2) plus the extensions analysed in Section 5, each reduced to an abstract
+// interface so that every mechanism's solution is interchangeable under one workload
+// driver and one oracle:
+//
+//   bounded buffer        — local state information
+//   one-slot buffer       — history information (the CH74 example)
+//   FCFS resource         — request time information
+//   readers/writers       — request type + synchronization state (priority policies)
+//   disk-head scheduler   — request parameters (track numbers)
+//   alarm clock           — request parameters (wake times) + a time substrate
+//   SJN allocator         — request parameters (service estimates)
+//
+// Resource-access operations take the critical-section body as a callback. This is the
+// "protected resource" structure of Section 2 of the paper: the unsynchronized resource
+// action is wrapped by the synchronizer, and it is the shape serializers require
+// (JoinCrowd runs the body outside possession) while monitors and semaphores implement
+// it trivially as enter/body/exit.
+//
+// Instrumentation: every blocking entry point takes an `OpScope*` (nullable) and records
+// Arrived/Entered/Exited per the contract in trace/recorder.h — at points serialized by
+// the mechanism's internal exclusion, so the recorded order equals the decision order.
+
+#ifndef SYNEVAL_PROBLEMS_INTERFACES_H_
+#define SYNEVAL_PROBLEMS_INTERFACES_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "syneval/trace/recorder.h"
+
+namespace syneval {
+
+// The critical-section body of a resource access.
+using AccessBody = std::function<void()>;
+
+// Multi-producer multi-consumer FIFO buffer of fixed capacity.
+class BoundedBufferIface {
+ public:
+  virtual ~BoundedBufferIface() = default;
+
+  // Blocks while the buffer is full.
+  virtual void Deposit(std::int64_t item, OpScope* scope) = 0;
+
+  // Blocks while the buffer is empty; returns the oldest item.
+  virtual std::int64_t Remove(OpScope* scope) = 0;
+
+  virtual int capacity() const = 0;
+};
+
+// One-slot buffer: deposits and removals must strictly alternate, starting with a
+// deposit (the Campbell–Habermann "path deposit; remove end" example — a pure history
+// constraint: whether a deposit has happened determines what may happen next).
+class OneSlotBufferIface {
+ public:
+  virtual ~OneSlotBufferIface() = default;
+
+  virtual void Deposit(std::int64_t item, OpScope* scope) = 0;
+  virtual std::int64_t Remove(OpScope* scope) = 0;
+};
+
+// Readers/writers database. Which priority policy a solution implements is part of its
+// identity (see solutions/); the workload and oracle are shared.
+class ReadersWritersIface {
+ public:
+  virtual ~ReadersWritersIface() = default;
+
+  virtual void Read(const AccessBody& body, OpScope* scope) = 0;
+  virtual void Write(const AccessBody& body, OpScope* scope) = 0;
+};
+
+// Mutual-exclusion resource whose admissions must be first-come-first-served in request
+// arrival order, regardless of requester identity or type.
+class FcfsResourceIface {
+ public:
+  virtual ~FcfsResourceIface() = default;
+
+  virtual void Access(const AccessBody& body, OpScope* scope) = 0;
+};
+
+// Disk-head scheduler (Hoare 1974): grants exclusive disk access in elevator (SCAN)
+// order over the requested track numbers. `track` is the request parameter the policy
+// orders by; the body performs the actual transfer (e.g. VirtualDisk::Access).
+class DiskSchedulerIface {
+ public:
+  virtual ~DiskSchedulerIface() = default;
+
+  virtual void Access(std::int64_t track, const AccessBody& body, OpScope* scope) = 0;
+};
+
+// Alarm clock (Hoare 1974): processes sleep until a logical time; a clock process
+// drives ticks. WakeMe(n) returns once at least n ticks have elapsed since the call.
+class AlarmClockIface {
+ public:
+  virtual ~AlarmClockIface() = default;
+
+  virtual void Tick() = 0;
+  virtual void WakeMe(std::int64_t ticks, OpScope* scope) = 0;
+  virtual std::int64_t Now() const = 0;
+};
+
+// Single resource allocated shortest-job-next: among the waiting requests, the one with
+// the smallest service estimate is admitted first (Hoare 1974's scheduled-wait example).
+class SjnAllocatorIface {
+ public:
+  virtual ~SjnAllocatorIface() = default;
+
+  virtual void Use(std::int64_t estimate, const AccessBody& body, OpScope* scope) = 0;
+};
+
+// Cigarette smokers (Patil 1971): an agent repeatedly places two of three ingredients
+// (encoded by the MISSING one: 0 = tobacco, 1 = paper, 2 = matches); the smoker holding
+// the missing ingredient must take them and smoke before the agent continues. Patil
+// used it to argue semaphores alone cannot express the conditional "which pair is on
+// the table?" — squarely the paper's expressive-power theme.
+class SmokersTableIface {
+ public:
+  virtual ~SmokersTableIface() = default;
+
+  // The agent places the two ingredients complementary to `missing`; blocks until the
+  // previous placement was consumed.
+  virtual void Place(int missing, OpScope* scope) = 0;
+
+  // The smoker holding ingredient `holding` waits for its complementary pair, takes
+  // it, and smokes (`body`).
+  virtual void Smoke(int holding, const AccessBody& body, OpScope* scope) = 0;
+};
+
+// Dining philosophers (Dijkstra, "Cooperating Sequential Processes" — the paper's
+// reference [9]): `seats` philosophers around a table; Eat(i, body) runs `body` while
+// holding both of philosopher i's forks — neighbours must never eat simultaneously.
+class DiningTableIface {
+ public:
+  virtual ~DiningTableIface() = default;
+
+  virtual void Eat(int philosopher, const AccessBody& body, OpScope* scope) = 0;
+  virtual int seats() const = 0;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_PROBLEMS_INTERFACES_H_

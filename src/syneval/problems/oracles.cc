@@ -1,0 +1,615 @@
+#include "syneval/problems/oracles.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace syneval {
+
+namespace {
+
+constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+bool Contains(const std::vector<std::string>& names, const std::string& op) {
+  return std::find(names.begin(), names.end(), op) != names.end();
+}
+
+// Executions that had arrived but were not yet admitted at global time `seq`
+// (inclusive of arrivals at `seq` itself, exclusive of admissions at `seq`).
+std::vector<const Execution*> WaitingAt(const std::vector<Execution>& executions,
+                                        std::uint64_t seq) {
+  std::vector<const Execution*> waiting;
+  for (const Execution& e : executions) {
+    if (e.request_seq != 0 && e.request_seq <= seq && (e.enter_seq == 0 || e.enter_seq > seq)) {
+      waiting.push_back(&e);
+    }
+  }
+  return waiting;
+}
+
+std::string Violation(const std::string& what, const Execution& a) {
+  std::ostringstream os;
+  os << what << ": " << DescribeExecution(a);
+  return os.str();
+}
+
+std::string Violation(const std::string& what, const Execution& a, const Execution& b) {
+  std::ostringstream os;
+  os << what << ": " << DescribeExecution(a) << " vs " << DescribeExecution(b);
+  return os.str();
+}
+
+// Sorted-by-admission view of the completed executions of one op.
+std::vector<Execution> AdmittedInOrder(const std::vector<Execution>& executions,
+                                       const std::string& op) {
+  std::vector<Execution> admitted;
+  for (const Execution& e : executions) {
+    if (e.op == op && e.enter_seq != 0) {
+      admitted.push_back(e);
+    }
+  }
+  std::sort(admitted.begin(), admitted.end(),
+            [](const Execution& a, const Execution& b) { return a.enter_seq < b.enter_seq; });
+  return admitted;
+}
+
+}  // namespace
+
+const char* RwPolicyName(RwPolicy policy) {
+  switch (policy) {
+    case RwPolicy::kReadersPriority:
+      return "readers-priority";
+    case RwPolicy::kWritersPriority:
+      return "writers-priority";
+    case RwPolicy::kFcfs:
+      return "fcfs";
+    case RwPolicy::kFair:
+      return "fair";
+  }
+  return "?";
+}
+
+std::string CheckExclusion(const std::vector<Execution>& executions,
+                           const std::vector<std::string>& exclusive,
+                           const std::vector<std::string>& mutex_group) {
+  // Sweep over admission/release points; incomplete executions remain active forever.
+  struct Edge {
+    std::uint64_t seq;
+    bool enter;
+    const Execution* exec;
+  };
+  std::vector<Edge> edges;
+  for (const Execution& e : executions) {
+    if (e.enter_seq == 0) {
+      continue;
+    }
+    edges.push_back(Edge{e.enter_seq, true, &e});
+    if (e.exit_seq != 0) {
+      edges.push_back(Edge{e.exit_seq, false, &e});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.seq < b.seq; });
+  std::vector<const Execution*> active;
+  for (const Edge& edge : edges) {
+    if (!edge.enter) {
+      active.erase(std::remove(active.begin(), active.end(), edge.exec), active.end());
+      continue;
+    }
+    const bool entering_exclusive = Contains(exclusive, edge.exec->op);
+    const bool entering_mutex = Contains(mutex_group, edge.exec->op);
+    for (const Execution* other : active) {
+      if (entering_exclusive || Contains(exclusive, other->op)) {
+        return Violation("exclusion violated (overlap with an exclusive op)", *edge.exec, *other);
+      }
+      if (entering_mutex && Contains(mutex_group, other->op)) {
+        return Violation("mutual exclusion violated", *edge.exec, *other);
+      }
+    }
+    active.push_back(edge.exec);
+  }
+  return "";
+}
+
+namespace {
+
+// Latest release instant (exit of any read/write execution) strictly before `seq`;
+// 0 when the resource had never been released by then.
+std::uint64_t LastReleaseBefore(const std::vector<Execution>& executions, std::uint64_t seq) {
+  std::uint64_t last = 0;
+  for (const Execution& e : executions) {
+    if ((e.op == "read" || e.op == "write") && e.exit_seq != 0 && e.exit_seq < seq) {
+      last = std::max(last, e.exit_seq);
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+std::string CheckReadersWriters(const std::vector<Event>& events, RwPolicy policy,
+                                int fair_bound, RwStrictness strictness) {
+  const std::vector<Execution> executions = GroupExecutions(events);
+  if (std::string error = CheckExclusion(executions, {"write"}, {}); !error.empty()) {
+    return error;
+  }
+  std::vector<Execution> reads;
+  std::vector<Execution> writes;
+  for (const Execution& e : executions) {
+    if (e.op == "read") {
+      reads.push_back(e);
+    } else if (e.op == "write") {
+      writes.push_back(e);
+    }
+  }
+  switch (policy) {
+    case RwPolicy::kReadersPriority: {
+      // A writer chosen at a release instant while it was already waiting must not have
+      // been preferred over any waiting reader.
+      for (const Execution& w : writes) {
+        if (w.enter_seq == 0) {
+          continue;
+        }
+        const std::uint64_t decision = LastReleaseBefore(executions, w.enter_seq);
+        if (decision == 0 || w.request_seq == 0 || w.request_seq > decision) {
+          continue;  // Admitted into a free resource; no priority decision was made.
+        }
+        if (strictness == RwStrictness::kArrivalOrder) {
+          // Lenient form: only flag inverted arrival order.
+          for (const Execution& r : reads) {
+            if (r.request_seq != 0 && r.request_seq < w.request_seq &&
+                (r.enter_seq == 0 || r.enter_seq > w.enter_seq)) {
+              return Violation(
+                  "readers-priority violated: writer overtook an earlier-arrived reader", w, r);
+            }
+          }
+          continue;
+        }
+        for (const Execution& r : reads) {
+          if (r.request_seq != 0 && r.request_seq <= decision &&
+              (r.enter_seq == 0 || r.enter_seq > w.enter_seq)) {
+            return Violation("readers-priority violated: writer admitted while a reader waited",
+                             w, r);
+          }
+        }
+      }
+      break;
+    }
+    case RwPolicy::kWritersPriority: {
+      for (const Execution& r : reads) {
+        if (r.enter_seq == 0) {
+          continue;
+        }
+        // Arrival-order form: a reader must never be admitted ahead of a writer that
+        // arrived before the reader did.
+        for (const Execution& w : writes) {
+          if (w.request_seq != 0 && w.request_seq < r.request_seq &&
+              (w.enter_seq == 0 || w.enter_seq > r.enter_seq)) {
+            return Violation("writers-priority violated: reader overtook an earlier writer",
+                             r, w);
+          }
+        }
+        if (strictness == RwStrictness::kStrict) {
+          // Release-instant form: a reader chosen at a release while a writer waited.
+          const std::uint64_t decision = LastReleaseBefore(executions, r.enter_seq);
+          if (decision == 0 || r.request_seq == 0 || r.request_seq > decision) {
+            continue;
+          }
+          for (const Execution& w : writes) {
+            if (w.request_seq != 0 && w.request_seq <= decision &&
+                (w.enter_seq == 0 || w.enter_seq > r.enter_seq)) {
+              return Violation(
+                  "writers-priority violated: reader admitted while a writer waited", r, w);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case RwPolicy::kFcfs: {
+      std::vector<const Execution*> all;
+      for (const Execution& e : executions) {
+        if (e.op == "read" || e.op == "write") {
+          all.push_back(&e);
+        }
+      }
+      std::sort(all.begin(), all.end(), [](const Execution* a, const Execution* b) {
+        return a->request_seq < b->request_seq;
+      });
+      std::uint64_t last_enter = 0;
+      for (const Execution* e : all) {
+        const std::uint64_t enter = e->enter_seq == 0 ? kInf : e->enter_seq;
+        if (enter < last_enter) {
+          return Violation("fcfs violated: later request admitted first", *e);
+        }
+        last_enter = enter == kInf ? last_enter : enter;
+      }
+      break;
+    }
+    case RwPolicy::kFair: {
+      for (const Execution& x : executions) {
+        if (x.op != "read" && x.op != "write") {
+          continue;
+        }
+        if (x.enter_seq == 0) {
+          return Violation("fair policy violated: execution never admitted", x);
+        }
+        int overtakes = 0;
+        for (const Execution& y : executions) {
+          if ((y.op == "read" || y.op == "write") && y.request_seq > x.request_seq &&
+              y.enter_seq != 0 && y.enter_seq < x.enter_seq) {
+            ++overtakes;
+          }
+        }
+        if (overtakes > fair_bound) {
+          std::ostringstream os;
+          os << "fair policy violated: " << DescribeExecution(x) << " overtaken " << overtakes
+             << " times (bound " << fair_bound << ")";
+          return os.str();
+        }
+      }
+      break;
+    }
+  }
+  return "";
+}
+
+namespace {
+
+std::string CheckBufferCore(const std::vector<Event>& events, int capacity,
+                            bool require_alternation) {
+  const std::vector<Execution> executions = GroupExecutions(events);
+  std::vector<Execution> deposits = AdmittedInOrder(executions, "deposit");
+  std::vector<Execution> removes = AdmittedInOrder(executions, "remove");
+  for (const Execution& e : executions) {
+    if ((e.op == "deposit" || e.op == "remove") && !e.Complete()) {
+      return Violation("buffer operation did not complete", e);
+    }
+  }
+  if (deposits.size() < removes.size()) {
+    std::ostringstream os;
+    os << "conservation violated: " << removes.size() << " removes but only "
+       << deposits.size() << " deposits";
+    return os.str();
+  }
+  // FIFO: the k-th admitted remove yields the k-th admitted deposit's item.
+  for (std::size_t k = 0; k < removes.size(); ++k) {
+    if (removes[k].exit_value != deposits[k].param) {
+      std::ostringstream os;
+      os << "fifo violated: remove #" << k << " returned " << removes[k].exit_value
+         << " but deposit #" << k << " put " << deposits[k].param << " ("
+         << DescribeExecution(removes[k]) << ")";
+      return os.str();
+    }
+  }
+  // Availability: the k-th remove may be admitted only after >= k+1 deposits completed.
+  for (std::size_t k = 0; k < removes.size(); ++k) {
+    std::size_t completed = 0;
+    for (const Execution& d : deposits) {
+      if (d.exit_seq != 0 && d.exit_seq < removes[k].enter_seq) {
+        ++completed;
+      }
+    }
+    if (completed < k + 1) {
+      return Violation("underflow: remove admitted before its item was deposited", removes[k]);
+    }
+  }
+  // Capacity: a deposit may be admitted only when a slot is free.
+  for (std::size_t k = 0; k < deposits.size(); ++k) {
+    std::size_t freed = 0;
+    for (const Execution& r : removes) {
+      if (r.exit_seq != 0 && r.exit_seq < deposits[k].enter_seq) {
+        ++freed;
+      }
+    }
+    // k deposits admitted before this one; occupied slots = k - freed.
+    if (k - std::min(k, freed) >= static_cast<std::size_t>(capacity)) {
+      return Violation("overflow: deposit admitted into a full buffer", deposits[k]);
+    }
+  }
+  if (require_alternation) {
+    std::vector<const Execution*> all;
+    for (const Execution& d : deposits) {
+      all.push_back(&d);
+    }
+    for (const Execution& r : removes) {
+      all.push_back(&r);
+    }
+    std::sort(all.begin(), all.end(), [](const Execution* a, const Execution* b) {
+      return a->enter_seq < b->enter_seq;
+    });
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const bool expect_deposit = i % 2 == 0;
+      if ((all[i]->op == "deposit") != expect_deposit) {
+        return Violation("alternation violated", *all[i]);
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string CheckBoundedBuffer(const std::vector<Event>& events, int capacity) {
+  return CheckBufferCore(events, capacity, /*require_alternation=*/false);
+}
+
+std::string CheckOneSlotBuffer(const std::vector<Event>& events) {
+  return CheckBufferCore(events, /*capacity=*/1, /*require_alternation=*/true);
+}
+
+std::string CheckFcfsResource(const std::vector<Event>& events) {
+  const std::vector<Execution> executions = GroupExecutions(events);
+  if (std::string error = CheckExclusion(executions, {}, {"acquire"}); !error.empty()) {
+    return error;
+  }
+  std::vector<const Execution*> all;
+  for (const Execution& e : executions) {
+    if (e.op == "acquire") {
+      all.push_back(&e);
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Execution* a, const Execution* b) {
+    return a->request_seq < b->request_seq;
+  });
+  const Execution* previous = nullptr;
+  for (const Execution* e : all) {
+    if (previous != nullptr) {
+      const std::uint64_t prev_enter = previous->enter_seq == 0 ? kInf : previous->enter_seq;
+      const std::uint64_t this_enter = e->enter_seq == 0 ? kInf : e->enter_seq;
+      if (this_enter < prev_enter) {
+        return Violation("fcfs violated: later arrival admitted first", *e, *previous);
+      }
+    }
+    previous = e;
+  }
+  return "";
+}
+
+namespace {
+
+// Shared replay for decision-instant policies (disk SCAN/FCFS, SJN): admissions are
+// checked against the waiting set at the previous holder's release. Admissions into a
+// free resource (empty waiting set) are unconstrained but still visible to the policy
+// state via `observe` (e.g. they move the disk head).
+template <typename ChooseFn, typename ObserveFn>
+std::string ReplayDecisions(const std::vector<Execution>& admitted_order,
+                            const std::vector<Execution>& all, ChooseFn&& choose,
+                            ObserveFn&& observe) {
+  std::uint64_t decision_seq = 0;  // Release instant of the previous holder.
+  for (const Execution& admitted : admitted_order) {
+    std::vector<const Execution*> waiting = WaitingAt(all, decision_seq);
+    if (!waiting.empty()) {
+      const Execution* expected = choose(waiting);
+      if (expected->instance != admitted.instance) {
+        std::ostringstream os;
+        os << "scheduling policy violated: admitted " << DescribeExecution(admitted)
+           << " but expected " << DescribeExecution(*expected);
+        return os.str();
+      }
+    }
+    observe(admitted);
+    if (admitted.exit_seq == 0) {
+      break;  // Incomplete tail (e.g. truncated run); nothing further to replay.
+    }
+    decision_seq = admitted.exit_seq;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string CheckScanDiskSchedule(const std::vector<Event>& events, std::int64_t initial_head) {
+  const std::vector<Execution> executions = GroupExecutions(events);
+  if (std::string error = CheckExclusion(executions, {}, {"disk"}); !error.empty()) {
+    return error;
+  }
+  std::vector<Execution> all;
+  for (const Execution& e : executions) {
+    if (e.op == "disk") {
+      all.push_back(e);
+    }
+  }
+  std::vector<Execution> admitted = AdmittedInOrder(executions, "disk");
+  std::int64_t head = initial_head;
+  bool moving_up = true;
+  auto choose = [&](const std::vector<const Execution*>& waiting) -> const Execution* {
+    auto pick = [&](bool up) -> const Execution* {
+      const Execution* best = nullptr;
+      for (const Execution* e : waiting) {
+        const bool eligible = up ? e->param >= head : e->param <= head;
+        if (!eligible) {
+          continue;
+        }
+        if (best == nullptr) {
+          best = e;
+          continue;
+        }
+        const bool closer = up ? e->param < best->param : e->param > best->param;
+        if (closer || (e->param == best->param && e->request_seq < best->request_seq)) {
+          best = e;
+        }
+      }
+      return best;
+    };
+    const Execution* best = pick(moving_up);
+    if (best == nullptr) {
+      // Current sweep exhausted: flip direction (the only place direction changes,
+      // mirroring the solutions).
+      moving_up = !moving_up;
+      best = pick(moving_up);
+    }
+    return best;
+  };
+  auto observe = [&](const Execution& served) { head = served.param; };
+  return ReplayDecisions(admitted, all, choose, observe);
+}
+
+std::string CheckFcfsDiskSchedule(const std::vector<Event>& events) {
+  const std::vector<Execution> executions = GroupExecutions(events);
+  if (std::string error = CheckExclusion(executions, {}, {"disk"}); !error.empty()) {
+    return error;
+  }
+  std::vector<Execution> all;
+  for (const Execution& e : executions) {
+    if (e.op == "disk") {
+      all.push_back(e);
+    }
+  }
+  std::vector<Execution> admitted = AdmittedInOrder(executions, "disk");
+  auto choose = [](const std::vector<const Execution*>& waiting) -> const Execution* {
+    const Execution* best = waiting.front();
+    for (const Execution* e : waiting) {
+      if (e->request_seq < best->request_seq) {
+        best = e;
+      }
+    }
+    return best;
+  };
+  return ReplayDecisions(admitted, all, choose, [](const Execution&) {});
+}
+
+std::int64_t TotalSeekDistance(const std::vector<Event>& events, std::int64_t initial_head) {
+  const std::vector<Execution> executions = GroupExecutions(events);
+  std::vector<Execution> admitted = AdmittedInOrder(executions, "disk");
+  std::int64_t head = initial_head;
+  std::int64_t total = 0;
+  for (const Execution& e : admitted) {
+    total += std::llabs(e.param - head);
+    head = e.param;
+  }
+  return total;
+}
+
+std::string CheckAlarmClock(const std::vector<Event>& events, std::int64_t slack) {
+  const std::vector<Execution> executions = GroupExecutions(events);
+  for (const Execution& e : executions) {
+    if (e.op != "wake") {
+      continue;
+    }
+    if (!e.Complete()) {
+      return Violation("sleeper never woke up", e);
+    }
+    const std::int64_t due = e.enter_value;
+    const std::int64_t woke_at = e.exit_value;
+    if (woke_at < due) {
+      std::ostringstream os;
+      os << "early wake-up: due at " << due << " but woke at " << woke_at << " ("
+         << DescribeExecution(e) << ")";
+      return os.str();
+    }
+    if (woke_at > due + slack) {
+      std::ostringstream os;
+      os << "overslept: due at " << due << " but woke at " << woke_at << " (slack " << slack
+         << ", " << DescribeExecution(e) << ")";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+std::string CheckSmokers(const std::vector<Event>& events) {
+  const std::vector<Execution> executions = GroupExecutions(events);
+  std::vector<Execution> places = AdmittedInOrder(executions, "place");
+  std::vector<Execution> smokes = AdmittedInOrder(executions, "smoke");
+  for (const Execution& e : executions) {
+    if ((e.op == "place" || e.op == "smoke") && !e.Complete()) {
+      return Violation("smokers operation did not complete", e);
+    }
+  }
+  if (places.size() != smokes.size()) {
+    std::ostringstream os;
+    os << "unbalanced: " << places.size() << " placements vs " << smokes.size()
+       << " smokes";
+    return os.str();
+  }
+  // Matching: the k-th smoke must be by the holder of the k-th missing ingredient.
+  for (std::size_t k = 0; k < smokes.size(); ++k) {
+    if (smokes[k].param != places[k].param) {
+      std::ostringstream os;
+      os << "wrong smoker: placement #" << k << " missed ingredient " << places[k].param
+         << " but smoker holding " << smokes[k].param << " smoked ("
+         << DescribeExecution(smokes[k]) << ")";
+      return os.str();
+    }
+  }
+  // Alternation of admissions: place, smoke, place, smoke, ...
+  std::vector<const Execution*> all;
+  for (const Execution& p : places) {
+    all.push_back(&p);
+  }
+  for (const Execution& sm : smokes) {
+    all.push_back(&sm);
+  }
+  std::sort(all.begin(), all.end(), [](const Execution* a, const Execution* b) {
+    return a->enter_seq < b->enter_seq;
+  });
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const bool expect_place = i % 2 == 0;
+    if ((all[i]->op == "place") != expect_place) {
+      return Violation("place/smoke alternation violated", *all[i]);
+    }
+  }
+  return "";
+}
+
+std::string CheckDiningPhilosophers(const std::vector<Event>& events, int seats) {
+  const std::vector<Execution> executions = GroupExecutions(events);
+  std::vector<const Execution*> eats;
+  for (const Execution& e : executions) {
+    if (e.op == "eat") {
+      if (!e.Complete()) {
+        return Violation("eat execution did not complete", e);
+      }
+      if (e.param < 0 || e.param >= seats) {
+        return Violation("eat with an out-of-range seat", e);
+      }
+      eats.push_back(&e);
+    }
+  }
+  for (std::size_t i = 0; i < eats.size(); ++i) {
+    for (std::size_t j = i + 1; j < eats.size(); ++j) {
+      const std::int64_t a = eats[i]->param;
+      const std::int64_t b = eats[j]->param;
+      const bool neighbours =
+          a != b && ((a + 1) % seats == b || (b + 1) % seats == a);
+      if (neighbours && eats[i]->Overlaps(*eats[j])) {
+        return Violation("neighbouring philosophers ate simultaneously", *eats[i],
+                         *eats[j]);
+      }
+      if (a == b && eats[i]->Overlaps(*eats[j])) {
+        return Violation("one seat produced overlapping eats", *eats[i], *eats[j]);
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckSjnAllocator(const std::vector<Event>& events) {
+  const std::vector<Execution> executions = GroupExecutions(events);
+  if (std::string error = CheckExclusion(executions, {}, {"alloc"}); !error.empty()) {
+    return error;
+  }
+  std::vector<Execution> all;
+  for (const Execution& e : executions) {
+    if (e.op == "alloc") {
+      all.push_back(e);
+    }
+  }
+  std::vector<Execution> admitted = AdmittedInOrder(executions, "alloc");
+  auto choose = [](const std::vector<const Execution*>& waiting) -> const Execution* {
+    const Execution* best = waiting.front();
+    for (const Execution* e : waiting) {
+      if (e->param < best->param ||
+          (e->param == best->param && e->request_seq < best->request_seq)) {
+        best = e;
+      }
+    }
+    return best;
+  };
+  return ReplayDecisions(admitted, all, choose, [](const Execution&) {});
+}
+
+}  // namespace syneval

@@ -1,0 +1,117 @@
+// Trace oracles: constraint-conformance checkers for the canonical problems.
+//
+// Each oracle takes a recorded trace and returns an empty string on success or a
+// diagnostic describing the first violated constraint. Oracles are how this repository
+// turns the paper's hand analysis into machine checks: e.g. the Figure 1 claim ("it does
+// not produce the same behavior as the readers_priority example presented by Courtois,
+// Heymans, and Parnas") is CheckReadersWriters(trace, kReadersPriority) failing on a
+// trace produced by the Figure 1 path-expression solution.
+//
+// Soundness relies on the instrumentation contract (trace/recorder.h): arrival, admission
+// and release events are recorded under the mechanism's internal exclusion, so the trace
+// order of those events equals the mechanism's decision order.
+
+#ifndef SYNEVAL_PROBLEMS_ORACLES_H_
+#define SYNEVAL_PROBLEMS_ORACLES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "syneval/trace/event.h"
+#include "syneval/trace/query.h"
+
+namespace syneval {
+
+// Readers/writers priority policies (the problem variants of Sections 4-5).
+enum class RwPolicy {
+  kReadersPriority,  // Courtois-Heymans-Parnas problem 1: no reader waits unless a
+                     // writer has already been admitted.
+  kWritersPriority,  // CHP problem 2 flavour: no writer waits while readers are admitted
+                     // after it.
+  kFcfs,             // Admissions in arrival order regardless of type.
+  kFair,             // Bounded overtaking (no starvation of either class).
+};
+
+const char* RwPolicyName(RwPolicy policy);
+
+// Generic exclusion check: no execution of an op in `exclusive` may overlap any other
+// execution at all (e.g. writers), and executions of ops in `mutex_group` may not
+// overlap each other. Pass empty vectors to skip a part.
+std::string CheckExclusion(const std::vector<Execution>& executions,
+                           const std::vector<std::string>& exclusive,
+                           const std::vector<std::string>& mutex_group);
+
+// How demanding the priority-policy check is. Priority policies are defined over
+// requests the mechanism has *seen*; kStrict checks admissions decided at release
+// instants (exact for mechanisms whose admission decision happens at release — monitors,
+// serializers, path controllers), while kArrivalOrder only flags inverted arrival order
+// (appropriate for the semaphore baseline, whose multi-step entry protocols make
+// "waiting" fuzzy — e.g. the known CHP weak-semaphore admission windows).
+enum class RwStrictness {
+  kStrict,
+  kArrivalOrder,
+};
+
+// Readers/writers: writer exclusion plus the selected priority policy over ops named
+// "read"/"write". `fair_bound` is the overtaking bound used by kFair.
+//
+// kReadersPriority (strict): at every release instant, if the admitted process is a
+// writer that was already waiting, no reader may have been waiting (CHP problem 1:
+// "no reader shall be kept waiting unless a writer has already obtained permission").
+// This is precisely the property the paper's footnote 3 shows the Figure 1 path solution
+// violating.
+//
+// kWritersPriority: no reader may be admitted ahead of a writer that arrived before the
+// reader arrived; strict adds the release-instant check symmetric to the above.
+std::string CheckReadersWriters(const std::vector<Event>& events, RwPolicy policy,
+                                int fair_bound = 8,
+                                RwStrictness strictness = RwStrictness::kStrict);
+
+// Bounded buffer over ops "deposit" (param = item) and "remove" (exit value = item):
+// conservation, capacity, item availability, and FIFO order.
+std::string CheckBoundedBuffer(const std::vector<Event>& events, int capacity);
+
+// One-slot buffer: bounded-buffer checks with capacity 1 plus strict alternation
+// deposit/remove/deposit/... of admissions.
+std::string CheckOneSlotBuffer(const std::vector<Event>& events);
+
+// FCFS resource over op "acquire": mutual exclusion + admissions in arrival order.
+std::string CheckFcfsResource(const std::vector<Event>& events);
+
+// Disk-head scheduler over op "disk" (param = track). Verifies mutual exclusion and
+// that every admission matches the SCAN (elevator) policy given the set of requests
+// that were waiting at the previous release: moving up, the waiting request with the
+// smallest track >= head is served (ties by arrival); when none exists the direction
+// flips. `initial_head` is the head position before the first admission.
+std::string CheckScanDiskSchedule(const std::vector<Event>& events, std::int64_t initial_head);
+
+// Disk scheduler with FCFS admission (the baseline policy benches compare against).
+std::string CheckFcfsDiskSchedule(const std::vector<Event>& events);
+
+// Total head movement of the admitted sequence (the benchmark metric for E9).
+std::int64_t TotalSeekDistance(const std::vector<Event>& events, std::int64_t initial_head);
+
+// Alarm clock over op "wake" (enter value = absolute due time, exit value = logical
+// time at wake-up): nobody wakes early, nobody oversleeps by more than `slack` ticks,
+// and every sleeper woke up.
+std::string CheckAlarmClock(const std::vector<Event>& events, std::int64_t slack = 0);
+
+// Shortest-job-next allocator over op "alloc" (param = service estimate): mutual
+// exclusion + every admission has the minimum estimate among requests that were waiting
+// at the previous release (ties by arrival).
+std::string CheckSjnAllocator(const std::vector<Event>& events);
+
+// Cigarette smokers over ops "place" (param = missing ingredient) and "smoke"
+// (param = held ingredient): admissions strictly alternate place/smoke, and the k-th
+// smoke is by the smoker holding the k-th placement's missing ingredient.
+std::string CheckSmokers(const std::vector<Event>& events);
+
+// Dining philosophers over op "eat" (param = seat index, 0..seats-1): no two
+// neighbouring seats may hold overlapping eat executions, and every eat completes.
+// (Deadlock manifests separately as a DetRuntime run failure.)
+std::string CheckDiningPhilosophers(const std::vector<Event>& events, int seats);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_PROBLEMS_ORACLES_H_

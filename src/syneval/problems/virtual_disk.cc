@@ -1,0 +1,18 @@
+#include "syneval/problems/virtual_disk.h"
+
+#include <cstdlib>
+
+namespace syneval {
+
+void VirtualDisk::Access(std::int64_t track) {
+  bool expected = false;
+  if (!busy_.compare_exchange_strong(expected, true)) {
+    ++violations_;
+  }
+  total_seek_ += std::llabs(track - head_);
+  head_ = track;
+  ++accesses_;
+  busy_.store(false);
+}
+
+}  // namespace syneval

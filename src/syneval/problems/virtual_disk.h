@@ -1,0 +1,43 @@
+// A tiny moving-head disk model — the hardware substitute for the disk-scheduler
+// experiments (DESIGN.md substitution table). It accounts seek distance with a linear
+// cost model and asserts that accesses are exclusive, giving a substrate-level
+// double-check of the oracle's exclusion verdict.
+
+#ifndef SYNEVAL_PROBLEMS_VIRTUAL_DISK_H_
+#define SYNEVAL_PROBLEMS_VIRTUAL_DISK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace syneval {
+
+class VirtualDisk {
+ public:
+  explicit VirtualDisk(std::int64_t tracks, std::int64_t initial_head = 0)
+      : tracks_(tracks), head_(initial_head) {}
+
+  // Services one request: seeks to `track` and accounts the head movement.
+  // Must only be called while holding exclusive disk access (the scheduler's critical
+  // section); concurrent calls trip an assertion-like failure counter.
+  void Access(std::int64_t track);
+
+  std::int64_t head() const { return head_; }
+  std::int64_t total_seek() const { return total_seek_; }
+  std::int64_t accesses() const { return accesses_; }
+  std::int64_t tracks() const { return tracks_; }
+
+  // Number of concurrent-access violations observed (0 in any correct run).
+  std::int64_t violations() const { return violations_; }
+
+ private:
+  std::int64_t tracks_;
+  std::int64_t head_;
+  std::int64_t total_seek_ = 0;
+  std::int64_t accesses_ = 0;
+  std::atomic<bool> busy_{false};
+  std::int64_t violations_ = 0;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_PROBLEMS_VIRTUAL_DISK_H_

@@ -1,0 +1,272 @@
+#include "syneval/problems/workloads.h"
+
+#include <atomic>
+#include <random>
+#include <string>
+
+namespace syneval {
+
+namespace {
+
+// Encodes producer-unique, per-producer-increasing buffer items.
+std::int64_t EncodeItem(int producer, int k) {
+  return static_cast<std::int64_t>(producer + 1) * 1'000'000 + k;
+}
+
+std::string Name(const char* role, int index) { return std::string(role) + std::to_string(index); }
+
+}  // namespace
+
+void JoinAll(ThreadList& threads) {
+  for (auto& thread : threads) {
+    thread->Join();
+  }
+}
+
+void SpinWork(Runtime& runtime, int iterations) {
+  for (int i = 0; i < iterations; ++i) {
+    runtime.Yield();
+  }
+}
+
+ThreadList SpawnReadersWritersWorkload(Runtime& runtime, ReadersWritersIface& rw,
+                                       TraceRecorder& trace, const RwWorkloadParams& params) {
+  ThreadList threads;
+  for (int r = 0; r < params.readers; ++r) {
+    threads.push_back(runtime.StartThread(Name("reader", r), [&runtime, &rw, &trace, params] {
+      for (int i = 0; i < params.ops_per_reader; ++i) {
+        {
+          OpScope scope(trace, runtime.CurrentThreadId(), "read");
+          rw.Read([&] { SpinWork(runtime, params.read_work); }, &scope);
+        }
+        SpinWork(runtime, params.think_work);
+      }
+    }));
+  }
+  for (int w = 0; w < params.writers; ++w) {
+    threads.push_back(runtime.StartThread(Name("writer", w), [&runtime, &rw, &trace, params] {
+      for (int i = 0; i < params.ops_per_writer; ++i) {
+        {
+          OpScope scope(trace, runtime.CurrentThreadId(), "write");
+          rw.Write([&] { SpinWork(runtime, params.write_work); }, &scope);
+        }
+        SpinWork(runtime, params.think_work);
+      }
+    }));
+  }
+  return threads;
+}
+
+ThreadList SpawnBoundedBufferWorkload(Runtime& runtime, BoundedBufferIface& buffer,
+                                      TraceRecorder& trace,
+                                      const BufferWorkloadParams& params) {
+  ThreadList threads;
+  for (int p = 0; p < params.producers; ++p) {
+    threads.push_back(
+        runtime.StartThread(Name("producer", p), [&runtime, &buffer, &trace, params, p] {
+          for (int k = 0; k < params.items_per_producer; ++k) {
+            const std::int64_t item = EncodeItem(p, k);
+            OpScope scope(trace, runtime.CurrentThreadId(), "deposit", item);
+            buffer.Deposit(item, &scope);
+            SpinWork(runtime, params.work);
+          }
+        }));
+  }
+  const int total = params.producers * params.items_per_producer;
+  const int per_consumer = total / params.consumers;
+  const int remainder = total % params.consumers;
+  for (int c = 0; c < params.consumers; ++c) {
+    const int count = per_consumer + (c < remainder ? 1 : 0);
+    threads.push_back(
+        runtime.StartThread(Name("consumer", c), [&runtime, &buffer, &trace, params, count] {
+          for (int k = 0; k < count; ++k) {
+            OpScope scope(trace, runtime.CurrentThreadId(), "remove");
+            buffer.Remove(&scope);
+            SpinWork(runtime, params.work);
+          }
+        }));
+  }
+  return threads;
+}
+
+ThreadList SpawnOneSlotBufferWorkload(Runtime& runtime, OneSlotBufferIface& buffer,
+                                      TraceRecorder& trace,
+                                      const BufferWorkloadParams& params) {
+  ThreadList threads;
+  for (int p = 0; p < params.producers; ++p) {
+    threads.push_back(
+        runtime.StartThread(Name("producer", p), [&runtime, &buffer, &trace, params, p] {
+          for (int k = 0; k < params.items_per_producer; ++k) {
+            const std::int64_t item = EncodeItem(p, k);
+            OpScope scope(trace, runtime.CurrentThreadId(), "deposit", item);
+            buffer.Deposit(item, &scope);
+            SpinWork(runtime, params.work);
+          }
+        }));
+  }
+  const int total = params.producers * params.items_per_producer;
+  const int per_consumer = total / params.consumers;
+  const int remainder = total % params.consumers;
+  for (int c = 0; c < params.consumers; ++c) {
+    const int count = per_consumer + (c < remainder ? 1 : 0);
+    threads.push_back(
+        runtime.StartThread(Name("consumer", c), [&runtime, &buffer, &trace, params, count] {
+          for (int k = 0; k < count; ++k) {
+            OpScope scope(trace, runtime.CurrentThreadId(), "remove");
+            buffer.Remove(&scope);
+            SpinWork(runtime, params.work);
+          }
+        }));
+  }
+  return threads;
+}
+
+ThreadList SpawnFcfsWorkload(Runtime& runtime, FcfsResourceIface& resource,
+                             TraceRecorder& trace, const FcfsWorkloadParams& params) {
+  ThreadList threads;
+  for (int t = 0; t < params.threads; ++t) {
+    threads.push_back(
+        runtime.StartThread(Name("client", t), [&runtime, &resource, &trace, params] {
+          for (int i = 0; i < params.ops_per_thread; ++i) {
+            {
+              OpScope scope(trace, runtime.CurrentThreadId(), "acquire");
+              resource.Access([&] { SpinWork(runtime, params.hold_work); }, &scope);
+            }
+            SpinWork(runtime, params.think_work);
+          }
+        }));
+  }
+  return threads;
+}
+
+ThreadList SpawnDiskWorkload(Runtime& runtime, DiskSchedulerIface& scheduler,
+                             VirtualDisk& disk, TraceRecorder& trace,
+                             const DiskWorkloadParams& params) {
+  ThreadList threads;
+  for (int t = 0; t < params.requesters; ++t) {
+    threads.push_back(runtime.StartThread(
+        Name("requester", t), [&runtime, &scheduler, &disk, &trace, params, t] {
+          std::mt19937_64 rng(params.seed * 7919 + static_cast<std::uint64_t>(t));
+          std::uniform_int_distribution<std::int64_t> track_dist(0, params.tracks - 1);
+          for (int i = 0; i < params.requests_per_thread; ++i) {
+            const std::int64_t track = track_dist(rng);
+            {
+              OpScope scope(trace, runtime.CurrentThreadId(), "disk", track);
+              scheduler.Access(
+                  track,
+                  [&] {
+                    disk.Access(track);
+                    SpinWork(runtime, params.hold_work);
+                  },
+                  &scope);
+            }
+            SpinWork(runtime, params.think_work);
+          }
+        }));
+  }
+  return threads;
+}
+
+ThreadList SpawnAlarmClockWorkload(Runtime& runtime, AlarmClockIface& clock,
+                                   TraceRecorder& trace, const AlarmWorkloadParams& params) {
+  ThreadList threads;
+  auto done = std::make_shared<std::atomic<int>>(0);
+  for (int s = 0; s < params.sleepers; ++s) {
+    threads.push_back(
+        runtime.StartThread(Name("sleeper", s), [&runtime, &clock, &trace, params, s, done] {
+          std::mt19937_64 rng(params.seed * 104729 + static_cast<std::uint64_t>(s));
+          std::uniform_int_distribution<std::int64_t> delay_dist(1, params.max_delay);
+          for (int n = 0; n < params.naps_per_sleeper; ++n) {
+            const std::int64_t delay = delay_dist(rng);
+            OpScope scope(trace, runtime.CurrentThreadId(), "wake", delay);
+            clock.WakeMe(delay, &scope);
+            SpinWork(runtime, 1);
+          }
+          done->fetch_add(1);
+        }));
+  }
+  threads.push_back(runtime.StartThread("clock", [&runtime, &clock, params, done] {
+    while (done->load() < params.sleepers) {
+      clock.Tick();
+      SpinWork(runtime, 1);
+    }
+  }));
+  return threads;
+}
+
+ThreadList SpawnSmokersWorkload(Runtime& runtime, SmokersTableIface& table,
+                                TraceRecorder& trace, const SmokersWorkloadParams& params) {
+  // Precompute the placement sequence so every smoker knows its round count.
+  auto sequence = std::make_shared<std::vector<int>>();
+  std::mt19937_64 rng(params.seed * 48611 + 5);
+  std::uniform_int_distribution<int> ingredient(0, 2);
+  for (int r = 0; r < params.rounds; ++r) {
+    sequence->push_back(ingredient(rng));
+  }
+  ThreadList threads;
+  threads.push_back(runtime.StartThread("agent", [&runtime, &table, &trace, sequence] {
+    for (const int missing : *sequence) {
+      OpScope scope(trace, runtime.CurrentThreadId(), "place", missing);
+      table.Place(missing, &scope);
+    }
+  }));
+  for (int holding = 0; holding < 3; ++holding) {
+    int count = 0;
+    for (const int missing : *sequence) {
+      if (missing == holding) {
+        ++count;
+      }
+    }
+    threads.push_back(runtime.StartThread(
+        Name("smoker", holding), [&runtime, &table, &trace, params, holding, count] {
+          for (int r = 0; r < count; ++r) {
+            OpScope scope(trace, runtime.CurrentThreadId(), "smoke", holding);
+            table.Smoke(holding, [&] { SpinWork(runtime, params.smoke_work); }, &scope);
+          }
+        }));
+  }
+  return threads;
+}
+
+ThreadList SpawnDiningWorkload(Runtime& runtime, DiningTableIface& table,
+                               TraceRecorder& trace, const DiningWorkloadParams& params) {
+  ThreadList threads;
+  for (int seat = 0; seat < table.seats(); ++seat) {
+    threads.push_back(
+        runtime.StartThread(Name("philosopher", seat), [&runtime, &table, &trace, params,
+                                                        seat] {
+          for (int meal = 0; meal < params.meals_per_philosopher; ++meal) {
+            {
+              OpScope scope(trace, runtime.CurrentThreadId(), "eat", seat);
+              table.Eat(seat, [&] { SpinWork(runtime, params.eat_work); }, &scope);
+            }
+            SpinWork(runtime, params.think_work);
+          }
+        }));
+  }
+  return threads;
+}
+
+ThreadList SpawnSjnWorkload(Runtime& runtime, SjnAllocatorIface& allocator,
+                            TraceRecorder& trace, const SjnWorkloadParams& params) {
+  ThreadList threads;
+  for (int t = 0; t < params.requesters; ++t) {
+    threads.push_back(
+        runtime.StartThread(Name("job", t), [&runtime, &allocator, &trace, params, t] {
+          std::mt19937_64 rng(params.seed * 15485863 + static_cast<std::uint64_t>(t));
+          std::uniform_int_distribution<std::int64_t> estimate_dist(1, params.max_estimate);
+          for (int i = 0; i < params.requests_per_thread; ++i) {
+            const std::int64_t estimate = estimate_dist(rng);
+            {
+              OpScope scope(trace, runtime.CurrentThreadId(), "alloc", estimate);
+              allocator.Use(estimate, [&] { SpinWork(runtime, static_cast<int>(estimate)); },
+                            &scope);
+            }
+            SpinWork(runtime, params.think_work);
+          }
+        }));
+  }
+  return threads;
+}
+
+}  // namespace syneval

@@ -1,0 +1,142 @@
+// Workload drivers: spawn client threads on a Runtime against a problem interface,
+// recording instrumented traces. One driver per canonical problem; every driver is a
+// deterministic function of its parameter struct (all randomness is seeded), so a run
+// under DetRuntime is fully reproducible from (workload params, schedule seed).
+//
+// Usage pattern (deterministic):
+//   DetRuntime rt(MakeRandomSchedule(seed));
+//   TraceRecorder trace;
+//   MonitorBoundedBuffer buffer(rt, 4);
+//   auto threads = SpawnBoundedBufferWorkload(rt, buffer, trace, {});
+//   auto result = rt.Run();
+//   // threads joined implicitly; check CheckBoundedBuffer(trace.Events(), 4).
+//
+// Under OsRuntime, call JoinAll(threads) instead of rt.Run().
+
+#ifndef SYNEVAL_PROBLEMS_WORKLOADS_H_
+#define SYNEVAL_PROBLEMS_WORKLOADS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "syneval/problems/interfaces.h"
+#include "syneval/problems/virtual_disk.h"
+#include "syneval/runtime/runtime.h"
+#include "syneval/trace/recorder.h"
+
+namespace syneval {
+
+using ThreadList = std::vector<std::unique_ptr<RtThread>>;
+
+// Joins every thread (needed under OsRuntime; a no-op after DetRuntime::Run()).
+void JoinAll(ThreadList& threads);
+
+// Burns `iterations` scheduling points (simulated work inside/outside critical sections;
+// creates preemption opportunities under DetRuntime).
+void SpinWork(Runtime& runtime, int iterations);
+
+struct RwWorkloadParams {
+  int readers = 3;
+  int writers = 2;
+  int ops_per_reader = 4;
+  int ops_per_writer = 3;
+  int read_work = 2;    // Scheduling points held inside the read section.
+  int write_work = 3;   // Scheduling points held inside the write section.
+  int think_work = 2;   // Scheduling points between operations.
+  std::uint64_t seed = 1;
+};
+
+ThreadList SpawnReadersWritersWorkload(Runtime& runtime, ReadersWritersIface& rw,
+                                       TraceRecorder& trace, const RwWorkloadParams& params);
+
+struct BufferWorkloadParams {
+  int producers = 2;
+  int consumers = 2;
+  int items_per_producer = 6;  // Total items must divide evenly among consumers.
+  int work = 1;
+  std::uint64_t seed = 1;
+};
+
+// Items are encoded producer-uniquely (producer_id * 1e6 + k) so oracles can check
+// per-producer FIFO order.
+ThreadList SpawnBoundedBufferWorkload(Runtime& runtime, BoundedBufferIface& buffer,
+                                      TraceRecorder& trace, const BufferWorkloadParams& params);
+
+ThreadList SpawnOneSlotBufferWorkload(Runtime& runtime, OneSlotBufferIface& buffer,
+                                      TraceRecorder& trace, const BufferWorkloadParams& params);
+
+struct FcfsWorkloadParams {
+  int threads = 4;
+  int ops_per_thread = 4;
+  int hold_work = 2;
+  int think_work = 2;
+  std::uint64_t seed = 1;
+};
+
+ThreadList SpawnFcfsWorkload(Runtime& runtime, FcfsResourceIface& resource,
+                             TraceRecorder& trace, const FcfsWorkloadParams& params);
+
+struct DiskWorkloadParams {
+  int requesters = 4;
+  int requests_per_thread = 4;
+  std::int64_t tracks = 200;
+  int hold_work = 1;
+  int think_work = 2;
+  std::uint64_t seed = 1;
+};
+
+// Each request seeks the virtual disk inside the scheduler's critical section.
+ThreadList SpawnDiskWorkload(Runtime& runtime, DiskSchedulerIface& scheduler,
+                             VirtualDisk& disk, TraceRecorder& trace,
+                             const DiskWorkloadParams& params);
+
+struct AlarmWorkloadParams {
+  int sleepers = 4;
+  int naps_per_sleeper = 2;
+  std::int64_t max_delay = 5;
+  std::uint64_t seed = 1;
+};
+
+// Spawns the sleepers plus one clock thread that keeps ticking until every sleeper is
+// done (the time substrate for the alarm-clock problem).
+ThreadList SpawnAlarmClockWorkload(Runtime& runtime, AlarmClockIface& clock,
+                                   TraceRecorder& trace, const AlarmWorkloadParams& params);
+
+struct SjnWorkloadParams {
+  int requesters = 4;
+  int requests_per_thread = 3;
+  std::int64_t max_estimate = 9;
+  int think_work = 2;
+  std::uint64_t seed = 1;
+};
+
+// Holding time is proportional to the declared estimate (the SJN premise).
+ThreadList SpawnSjnWorkload(Runtime& runtime, SjnAllocatorIface& allocator,
+                            TraceRecorder& trace, const SjnWorkloadParams& params);
+
+struct SmokersWorkloadParams {
+  int rounds = 9;
+  int smoke_work = 1;
+  std::uint64_t seed = 1;
+};
+
+// One agent thread placing a seeded-random ingredient sequence plus three smokers,
+// each performing exactly the number of rounds that name its ingredient.
+ThreadList SpawnSmokersWorkload(Runtime& runtime, SmokersTableIface& table,
+                                TraceRecorder& trace, const SmokersWorkloadParams& params);
+
+struct DiningWorkloadParams {
+  int meals_per_philosopher = 3;
+  int eat_work = 2;
+  int think_work = 2;
+  std::uint64_t seed = 1;
+};
+
+// One thread per seat; the seat count comes from the table.
+ThreadList SpawnDiningWorkload(Runtime& runtime, DiningTableIface& table,
+                               TraceRecorder& trace, const DiningWorkloadParams& params);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_PROBLEMS_WORKLOADS_H_

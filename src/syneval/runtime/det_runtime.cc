@@ -1,0 +1,454 @@
+#include "syneval/runtime/det_runtime.h"
+
+#include <cassert>
+#include <deque>
+#include <sstream>
+#include <utility>
+
+namespace syneval {
+
+namespace {
+
+// Logical thread states. Kept as plain ints in the header to keep Tcb opaque.
+enum TcbState : int {
+  kReady = 0,
+  kRunning = 1,
+  kBlockedMutex = 2,
+  kBlockedCond = 3,
+  kBlockedJoin = 4,
+  kFinished = 5,
+};
+
+const char* StateName(int state) {
+  switch (state) {
+    case kReady:
+      return "ready";
+    case kRunning:
+      return "running";
+    case kBlockedMutex:
+      return "blocked-on-mutex";
+    case kBlockedCond:
+      return "blocked-on-condvar";
+    case kBlockedJoin:
+      return "blocked-on-join";
+    case kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+// Identity of the managed thread currently executing on this OS thread (type-erased; the
+// Tcb type is private to DetRuntime).
+thread_local void* g_current_det_tcb = nullptr;
+
+}  // namespace
+
+struct DetRuntime::Tcb {
+  std::uint32_t id = 0;
+  std::string name;
+  int state = kReady;
+  bool token = false;  // Permission to run, granted by the driver.
+  std::uint64_t ready_since = 0;
+  const void* wait_object = nullptr;
+  std::string wait_desc;
+  std::vector<Tcb*> joiners;
+  std::function<void()> body;
+  std::thread os_thread;
+};
+
+// ---------------------------------------------------------------------------------------
+// Primitives. All fields are manipulated under DetRuntime::mu_; since at most one managed
+// thread runs at a time, there is no data-level concurrency beyond that lock.
+
+class DetRuntime::DetMutex : public RtMutex {
+ public:
+  explicit DetMutex(DetRuntime* rt) : rt_(rt) {}
+
+  // Sentinel owner for acquisitions from the unmanaged driver thread while the
+  // scheduler is idle (introspection before/after Run()): there is no concurrency
+  // then, so acquisition is immediate.
+  static Tcb* ExternalOwner() { return reinterpret_cast<Tcb*>(-1); }
+
+  void Lock() override {
+    if (g_current_det_tcb == nullptr) {
+      // Unmanaged caller (e.g. a test inspecting state after Run()): legal only while
+      // the scheduler is idle, where the lock is guaranteed free.
+      std::unique_lock<std::mutex> lock(rt_->mu_);
+      assert(!rt_->running_ && "DetMutex::Lock from an unmanaged thread during Run()");
+      assert(holder_ == nullptr && "DetMutex::Lock: lock leaked by a managed thread");
+      holder_ = ExternalOwner();
+      return;
+    }
+    Tcb* self = rt_->CurrentTcbChecked();
+    std::unique_lock<std::mutex> lock(rt_->mu_);
+    if (rt_->abort_) {
+      return;  // Teardown mode: never block, never mutate logical state.
+    }
+    if (rt_->options_.preempt_before_lock) {
+      rt_->SwitchOutLocked(lock, self, kReady, nullptr, "preempt before lock");
+    }
+    while (holder_ != nullptr) {
+      waiters_.push_back(self);
+      rt_->SwitchOutLocked(lock, self, kBlockedMutex, this,
+                           "mutex (held by " + holder_->name + ")");
+    }
+    holder_ = self;
+  }
+
+  void Unlock() override {
+    if (g_current_det_tcb == nullptr) {
+      std::unique_lock<std::mutex> lock(rt_->mu_);
+      assert(holder_ == ExternalOwner() && "DetMutex::Unlock from an unexpected thread");
+      holder_ = nullptr;
+      return;
+    }
+    Tcb* self = rt_->CurrentTcbChecked();
+    std::unique_lock<std::mutex> lock(rt_->mu_);
+    if (rt_->abort_) {
+      return;
+    }
+    assert(holder_ == self && "DetMutex::Unlock by non-owner");
+    (void)self;
+    holder_ = nullptr;
+    for (Tcb* waiter : waiters_) {
+      rt_->MakeReadyLocked(waiter);
+    }
+    waiters_.clear();
+  }
+
+  DetRuntime* rt_;
+  Tcb* holder_ = nullptr;
+  std::vector<Tcb*> waiters_;
+};
+
+class DetRuntime::DetCondVar : public RtCondVar {
+ public:
+  explicit DetCondVar(DetRuntime* rt) : rt_(rt) {}
+
+  void Wait(RtMutex& mutex) override {
+    Tcb* self = rt_->CurrentTcbChecked();
+    auto* m = static_cast<DetMutex*>(&mutex);
+    std::unique_lock<std::mutex> lock(rt_->mu_);
+    if (rt_->abort_) {
+      return;
+    }
+    assert(m->holder_ == self && "RtCondVar::Wait without holding the mutex");
+    // Atomically release the mutex and join the wait set.
+    m->holder_ = nullptr;
+    for (Tcb* waiter : m->waiters_) {
+      rt_->MakeReadyLocked(waiter);
+    }
+    m->waiters_.clear();
+    waiters_.push_back(self);
+    rt_->SwitchOutLocked(lock, self, kBlockedCond, this, "condvar");
+    // Re-acquire the mutex before returning (possibly blocking again).
+    while (m->holder_ != nullptr) {
+      m->waiters_.push_back(self);
+      rt_->SwitchOutLocked(lock, self, kBlockedMutex, m,
+                           "mutex reacquire (held by " + m->holder_->name + ")");
+    }
+    m->holder_ = self;
+  }
+
+  void NotifyOne() override { Notify(/*all=*/false); }
+  void NotifyAll() override { Notify(/*all=*/true); }
+
+ private:
+  void Notify(bool all) {
+    if (g_current_det_tcb == nullptr) {
+      // Unmanaged caller while the scheduler is idle: just mark waiters runnable.
+      std::unique_lock<std::mutex> lock(rt_->mu_);
+      assert(!rt_->running_ && "RtCondVar notify from an unmanaged thread during Run()");
+      for (Tcb* waiter : waiters_) {
+        rt_->MakeReadyLocked(waiter);
+      }
+      waiters_.clear();
+      return;
+    }
+    Tcb* self = rt_->CurrentTcbChecked();
+    std::unique_lock<std::mutex> lock(rt_->mu_);
+    if (rt_->abort_) {
+      return;
+    }
+    if (!waiters_.empty()) {
+      if (all) {
+        for (Tcb* waiter : waiters_) {
+          rt_->MakeReadyLocked(waiter);
+        }
+        waiters_.clear();
+      } else {
+        Tcb* waiter = waiters_.front();
+        waiters_.pop_front();
+        rt_->MakeReadyLocked(waiter);
+      }
+    }
+    if (rt_->options_.preempt_after_notify) {
+      rt_->SwitchOutLocked(lock, self, kReady, nullptr, "preempt after notify");
+    }
+  }
+
+  DetRuntime* rt_;
+  std::deque<Tcb*> waiters_;
+};
+
+class DetRuntime::DetThread : public RtThread {
+ public:
+  DetThread(DetRuntime* rt, Tcb* tcb) : rt_(rt), tcb_(tcb) {}
+
+  void Join() override {
+    void* raw = g_current_det_tcb;
+    if (raw != nullptr) {
+      // Join from a managed thread: block until the target finishes.
+      Tcb* self = static_cast<Tcb*>(raw);
+      std::unique_lock<std::mutex> lock(rt_->mu_);
+      if (rt_->abort_ || tcb_->state == kFinished) {
+        return;
+      }
+      tcb_->joiners.push_back(self);
+      rt_->SwitchOutLocked(lock, self, kBlockedJoin, tcb_, "join(" + tcb_->name + ")");
+    } else {
+      // Join from the unmanaged driver thread: only meaningful after Run() returned, at
+      // which point every managed thread has finished.
+      std::unique_lock<std::mutex> lock(rt_->mu_);
+      assert(!rt_->running_ && "DetThread::Join from the driver while Run() is active");
+      assert((tcb_->state == kFinished || !rt_->ran_) &&
+             "DetThread::Join from the driver before Run()");
+    }
+  }
+
+  std::uint32_t id() const override { return tcb_->id; }
+
+ private:
+  DetRuntime* rt_;
+  Tcb* tcb_;
+};
+
+// ---------------------------------------------------------------------------------------
+
+DetRuntime::DetRuntime(std::unique_ptr<Schedule> schedule)
+    : DetRuntime(std::move(schedule), Options()) {}
+
+DetRuntime::DetRuntime(std::unique_ptr<Schedule> schedule, Options options)
+    : schedule_(std::move(schedule)), options_(options) {}
+
+DetRuntime::~DetRuntime() {
+  // If Run() was never called (or aborted early), tear down any parked threads.
+  std::unique_lock<std::mutex> lock(mu_);
+  abort_ = true;
+  for (auto& tcb : threads_) {
+    if (tcb->state != kFinished) {
+      tcb->token = true;
+    }
+  }
+  cv_.notify_all();
+  cv_.wait(lock, [&] {
+    for (auto& tcb : threads_) {
+      if (tcb->state != kFinished) {
+        return false;
+      }
+    }
+    return true;
+  });
+  lock.unlock();
+  for (auto& tcb : threads_) {
+    if (tcb->os_thread.joinable()) {
+      tcb->os_thread.join();
+    }
+  }
+}
+
+std::unique_ptr<RtMutex> DetRuntime::CreateMutex() { return std::make_unique<DetMutex>(this); }
+
+std::unique_ptr<RtCondVar> DetRuntime::CreateCondVar() {
+  return std::make_unique<DetCondVar>(this);
+}
+
+std::unique_ptr<RtThread> DetRuntime::StartThread(std::string name,
+                                                  std::function<void()> body) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto tcb = std::make_unique<Tcb>();
+  Tcb* raw = tcb.get();
+  raw->id = static_cast<std::uint32_t>(threads_.size()) + 1;
+  raw->name = std::move(name);
+  raw->body = std::move(body);
+  raw->ready_since = step_;
+  if (abort_) {
+    raw->state = kFinished;  // Too late to run anything.
+  } else {
+    raw->state = kReady;
+    raw->os_thread = std::thread([this, raw] {
+      g_current_det_tcb = raw;
+      bool run_body = false;
+      {
+        std::unique_lock<std::mutex> thread_lock(mu_);
+        cv_.wait(thread_lock, [&] { return raw->token; });
+        run_body = !abort_;
+      }
+      if (run_body) {
+        try {
+          raw->body();
+        } catch (const AbortException&) {
+          // Unwound during teardown; fall through to the finished transition.
+        }
+      }
+      {
+        std::unique_lock<std::mutex> thread_lock(mu_);
+        raw->state = kFinished;
+        raw->token = false;
+        for (Tcb* joiner : raw->joiners) {
+          MakeReadyLocked(joiner);
+        }
+        raw->joiners.clear();
+        cv_.notify_all();
+      }
+    });
+  }
+  threads_.push_back(std::move(tcb));
+  return std::make_unique<DetThread>(this, raw);
+}
+
+void DetRuntime::Yield() {
+  Tcb* self = CurrentTcbChecked();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (abort_) {
+    return;
+  }
+  SwitchOutLocked(lock, self, kReady, nullptr, "yield");
+}
+
+std::uint32_t DetRuntime::CurrentThreadId() {
+  void* raw = g_current_det_tcb;
+  return raw == nullptr ? 0 : static_cast<Tcb*>(raw)->id;
+}
+
+std::uint64_t DetRuntime::NowNanos() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return step_ * 1000;
+}
+
+DetRuntime::RunResult DetRuntime::Run() {
+  RunResult result;
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(!ran_ && "DetRuntime::Run() may be called at most once");
+  ran_ = true;
+  running_ = true;
+
+  std::vector<Tcb*> ready;
+  std::vector<SchedCandidate> candidates;
+  while (true) {
+    ready.clear();
+    candidates.clear();
+    bool all_finished = true;
+    for (auto& tcb : threads_) {
+      if (tcb->state == kReady) {
+        ready.push_back(tcb.get());
+        candidates.push_back(SchedCandidate{tcb->id, tcb->ready_since});
+      }
+      if (tcb->state != kFinished) {
+        all_finished = false;
+      }
+    }
+    if (ready.empty()) {
+      if (all_finished) {
+        result.completed = true;
+      } else {
+        result.deadlocked = true;
+        result.report = BuildStuckReportLocked("deadlock: no runnable threads");
+      }
+      break;
+    }
+    if (step_ >= options_.max_steps) {
+      result.step_limit = true;
+      result.report = BuildStuckReportLocked("step limit exceeded (possible livelock)");
+      break;
+    }
+    ++step_;
+    const std::size_t index = schedule_->Pick(candidates, step_);
+    Tcb* chosen = ready[index < ready.size() ? index : 0];
+    chosen->state = kRunning;
+    chosen->token = true;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return chosen->state != kRunning; });
+  }
+
+  if (!result.completed) {
+    // Teardown: release every stuck thread with the abort flag so it unwinds.
+    abort_ = true;
+    for (auto& tcb : threads_) {
+      if (tcb->state != kFinished) {
+        tcb->token = true;
+      }
+    }
+    cv_.notify_all();
+    cv_.wait(lock, [&] {
+      for (auto& tcb : threads_) {
+        if (tcb->state != kFinished) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+  running_ = false;
+  result.steps = step_;
+  lock.unlock();
+  for (auto& tcb : threads_) {
+    if (tcb->os_thread.joinable()) {
+      tcb->os_thread.join();
+    }
+  }
+  return result;
+}
+
+void DetRuntime::SwitchOutLocked(std::unique_lock<std::mutex>& lock, Tcb* tcb, int state,
+                                 const void* wait_object, std::string wait_desc) {
+  if (abort_) {
+    throw AbortException{};
+  }
+  tcb->state = state;
+  tcb->token = false;
+  tcb->wait_object = wait_object;
+  tcb->wait_desc = std::move(wait_desc);
+  if (state == kReady) {
+    tcb->ready_since = step_;
+  }
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return tcb->token; });
+  if (abort_) {
+    throw AbortException{};
+  }
+  // The driver set state to kRunning when granting the token.
+  tcb->wait_object = nullptr;
+  tcb->wait_desc.clear();
+}
+
+void DetRuntime::MakeReadyLocked(Tcb* tcb) {
+  if (tcb->state == kBlockedMutex || tcb->state == kBlockedCond || tcb->state == kBlockedJoin) {
+    tcb->state = kReady;
+    tcb->ready_since = step_;
+  }
+}
+
+DetRuntime::Tcb* DetRuntime::CurrentTcbChecked() const {
+  void* raw = g_current_det_tcb;
+  assert(raw != nullptr && "blocking DetRuntime primitive used from an unmanaged thread");
+  return static_cast<Tcb*>(raw);
+}
+
+std::string DetRuntime::BuildStuckReportLocked(const char* reason) {
+  std::ostringstream os;
+  os << reason << " after " << step_ << " steps (schedule: " << schedule_->Describe() << ")\n";
+  for (auto& tcb : threads_) {
+    if (tcb->state == kFinished) {
+      continue;
+    }
+    os << "  t" << tcb->id << " '" << tcb->name << "': " << StateName(tcb->state);
+    if (!tcb->wait_desc.empty()) {
+      os << " [" << tcb->wait_desc << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace syneval

@@ -1,0 +1,119 @@
+// DetRuntime: a deterministic, cooperatively scheduled Runtime.
+//
+// Exactly one managed thread executes at any time; at every scheduling point (mutex
+// acquire/release, condition wait/notify, explicit Yield) control returns to a driver
+// which asks a pluggable Schedule which runnable thread proceeds. Because mechanisms in
+// this library synchronize exclusively through Runtime primitives, the set of scheduling
+// points covers every synchronization-relevant interleaving, and a (schedule, seed) pair
+// fully determines the execution — any behaviour found by schedule search is replayable.
+//
+// DetRuntime also detects deadlock (no runnable threads while some are blocked) and
+// livelock (step-limit exceeded) and reports the wait-for state of every stuck thread.
+// This is what lets the test suite *exhibit* the nested-monitor-call deadlock of
+// [Lister 77] discussed in Sections 2 and 5.2 of the paper, rather than merely assert
+// that it would happen.
+//
+// Usage:
+//   DetRuntime rt(std::make_unique<RandomSchedule>(seed));
+//   auto t1 = rt.StartThread("producer", [&] { ... });
+//   auto t2 = rt.StartThread("consumer", [&] { ... });
+//   DetRuntime::RunResult result = rt.Run();   // Drives until completion or deadlock.
+//   ASSERT_TRUE(result.completed) << result.report;
+
+#ifndef SYNEVAL_RUNTIME_DET_RUNTIME_H_
+#define SYNEVAL_RUNTIME_DET_RUNTIME_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "syneval/runtime/runtime.h"
+#include "syneval/runtime/schedule.h"
+
+namespace syneval {
+
+class DetRuntime : public Runtime {
+ public:
+  struct Options {
+    // Abort the run (reporting step_limit) after this many scheduling steps; guards
+    // against livelocks and starvation loops in exploratory tests.
+    std::uint64_t max_steps = 2'000'000;
+    // Insert a preemption point before every mutex acquisition (more interleavings).
+    bool preempt_before_lock = true;
+    // Insert a preemption point after notify operations (more interleavings).
+    bool preempt_after_notify = true;
+  };
+
+  struct RunResult {
+    bool completed = false;    // All threads ran to completion.
+    bool deadlocked = false;   // Some threads remained blocked with none runnable.
+    bool step_limit = false;   // Options::max_steps exceeded.
+    std::uint64_t steps = 0;   // Scheduling steps taken.
+    std::string report;        // Human-readable diagnosis when !completed.
+  };
+
+  explicit DetRuntime(std::unique_ptr<Schedule> schedule);
+  DetRuntime(std::unique_ptr<Schedule> schedule, Options options);
+  ~DetRuntime() override;
+
+  DetRuntime(const DetRuntime&) = delete;
+  DetRuntime& operator=(const DetRuntime&) = delete;
+
+  // Runtime interface ------------------------------------------------------------------
+  std::unique_ptr<RtMutex> CreateMutex() override;
+  std::unique_ptr<RtCondVar> CreateCondVar() override;
+  std::unique_ptr<RtThread> StartThread(std::string name, std::function<void()> body) override;
+  void Yield() override;
+  std::uint32_t CurrentThreadId() override;
+  std::uint64_t NowNanos() override;
+  const char* name() const override { return "det"; }
+
+  // Drives the schedule until every managed thread finished, deadlock, or step limit.
+  // Must be called from the (unmanaged) thread that constructed the runtime, at most
+  // once. Threads may still be started from inside managed threads while running.
+  RunResult Run();
+
+ private:
+  struct Tcb;
+  class DetMutex;
+  class DetCondVar;
+  class DetThread;
+
+  // Thrown inside managed threads to unwind them during post-deadlock teardown.
+  struct AbortException {};
+
+  // Transfers control from the calling managed thread back to the driver, leaving the
+  // thread in `state` (kReady for a yield, blocked states otherwise). Called with mu_
+  // held; returns with mu_ held once the driver grants the token again.
+  void SwitchOutLocked(std::unique_lock<std::mutex>& lock, Tcb* tcb, int state,
+                       const void* wait_object, std::string wait_desc);
+
+  // Marks a thread runnable (driver or running peer has mu_ held).
+  void MakeReadyLocked(Tcb* tcb);
+
+  // Requires a managed calling thread; returns its Tcb.
+  Tcb* CurrentTcbChecked() const;
+
+  std::string BuildStuckReportLocked(const char* reason);
+
+  std::unique_ptr<Schedule> schedule_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Tcb>> threads_;
+  std::uint64_t step_ = 0;
+  bool running_ = false;
+  bool abort_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_RUNTIME_DET_RUNTIME_H_

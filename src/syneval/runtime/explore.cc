@@ -1,0 +1,41 @@
+#include "syneval/runtime/explore.h"
+
+#include <sstream>
+
+namespace syneval {
+
+std::string SweepOutcome::Summary() const {
+  std::ostringstream os;
+  os << passes << "/" << runs << " schedules passed";
+  if (failures > 0) {
+    os << "; " << failures << " failed (first failing seed";
+    if (!failing_seeds.empty()) {
+      os << " " << failing_seeds.front();
+    }
+    os << ": " << first_failure << ")";
+  }
+  return os.str();
+}
+
+SweepOutcome SweepSchedules(int num_seeds,
+                            const std::function<std::string(std::uint64_t)>& trial,
+                            std::uint64_t base_seed) {
+  SweepOutcome outcome;
+  for (int i = 0; i < num_seeds; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    std::string message = trial(seed);
+    ++outcome.runs;
+    if (message.empty()) {
+      ++outcome.passes;
+    } else {
+      ++outcome.failures;
+      outcome.failing_seeds.push_back(seed);
+      if (outcome.first_failure.empty()) {
+        outcome.first_failure = std::move(message);
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace syneval

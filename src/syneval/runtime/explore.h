@@ -1,0 +1,42 @@
+// Schedule sweeping: run a trial under many deterministic schedules and aggregate.
+//
+// The conformance methodology of this repository (DESIGN.md, experiments E1/E2/E6) checks
+// behavioural claims by searching schedules: a trial constructs a fresh DetRuntime with a
+// seeded schedule, drives a workload, and checks an oracle. SweepSchedules repeats the
+// trial across seeds and reports how many schedules passed, failed, or deadlocked — with
+// the failing seeds preserved so any finding can be replayed exactly.
+
+#ifndef SYNEVAL_RUNTIME_EXPLORE_H_
+#define SYNEVAL_RUNTIME_EXPLORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace syneval {
+
+// Aggregate result of a schedule sweep.
+struct SweepOutcome {
+  int runs = 0;
+  int passes = 0;
+  int failures = 0;
+  std::vector<std::uint64_t> failing_seeds;
+  std::string first_failure;  // Message returned by the first failing trial.
+
+  bool AllPassed() const { return failures == 0; }
+  // Fraction of schedules on which the trial failed (anomaly probability estimate).
+  double FailureRate() const { return runs == 0 ? 0.0 : static_cast<double>(failures) / runs; }
+  std::string Summary() const;
+};
+
+// Runs `trial(seed)` for seeds base_seed .. base_seed + num_seeds - 1. A trial returns an
+// empty string to signal success, or a diagnostic message to signal failure (oracle
+// violation, deadlock, ...). Trials are executed sequentially, so they may share
+// deterministic state if desired; typically each trial is self-contained.
+SweepOutcome SweepSchedules(int num_seeds, const std::function<std::string(std::uint64_t)>& trial,
+                            std::uint64_t base_seed = 1);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_RUNTIME_EXPLORE_H_

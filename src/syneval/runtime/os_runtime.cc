@@ -1,0 +1,82 @@
+#include "syneval/runtime/os_runtime.h"
+
+#include <chrono>
+#include <utility>
+
+namespace syneval {
+
+namespace {
+
+thread_local std::uint32_t g_os_thread_id = 0;
+
+class OsMutex : public RtMutex {
+ public:
+  void Lock() override { mu_.lock(); }
+  void Unlock() override { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+class OsCondVar : public RtCondVar {
+ public:
+  void Wait(RtMutex& mutex) override { cv_.wait(mutex); }
+  void NotifyOne() override { cv_.notify_one(); }
+  void NotifyAll() override { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+class OsThread : public RtThread {
+ public:
+  OsThread(std::uint32_t id, std::function<void()> body) : id_(id) {
+    thread_ = std::thread([id, body = std::move(body)]() {
+      g_os_thread_id = id;
+      body();
+    });
+  }
+
+  ~OsThread() override {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  void Join() override {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  std::uint32_t id() const override { return id_; }
+
+ private:
+  std::uint32_t id_;
+  std::thread thread_;
+};
+
+}  // namespace
+
+std::unique_ptr<RtMutex> OsRuntime::CreateMutex() { return std::make_unique<OsMutex>(); }
+
+std::unique_ptr<RtCondVar> OsRuntime::CreateCondVar() { return std::make_unique<OsCondVar>(); }
+
+std::unique_ptr<RtThread> OsRuntime::StartThread(std::string name, std::function<void()> body) {
+  (void)name;  // OS threads are labelled only by id; names matter for DetRuntime reports.
+  const std::uint32_t id = next_thread_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<OsThread>(id, std::move(body));
+}
+
+void OsRuntime::Yield() { std::this_thread::yield(); }
+
+std::uint32_t OsRuntime::CurrentThreadId() { return g_os_thread_id; }
+
+std::uint64_t OsRuntime::NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace syneval

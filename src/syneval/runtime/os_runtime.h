@@ -1,0 +1,41 @@
+// OsRuntime: the Runtime implementation over real preemptive std::thread.
+//
+// Used by the benchmarks (wall-clock cost of each mechanism) and by stress tests. All
+// primitives are thin wrappers; the only added machinery is logical thread ids, which the
+// trace layer uses to label events.
+
+#ifndef SYNEVAL_RUNTIME_OS_RUNTIME_H_
+#define SYNEVAL_RUNTIME_OS_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "syneval/runtime/runtime.h"
+
+namespace syneval {
+
+class OsRuntime : public Runtime {
+ public:
+  OsRuntime() = default;
+
+  std::unique_ptr<RtMutex> CreateMutex() override;
+  std::unique_ptr<RtCondVar> CreateCondVar() override;
+  std::unique_ptr<RtThread> StartThread(std::string name, std::function<void()> body) override;
+  void Yield() override;
+  std::uint32_t CurrentThreadId() override;
+  std::uint64_t NowNanos() override;
+  const char* name() const override { return "os"; }
+
+ private:
+  std::atomic<std::uint32_t> next_thread_id_{1};
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_RUNTIME_OS_RUNTIME_H_

@@ -1,0 +1,108 @@
+// Runtime abstraction: threads, mutexes and condition variables behind one interface.
+//
+// Every synchronization mechanism in this library (semaphores, monitors, serializers,
+// path-expression controllers) is written against `Runtime` rather than std::thread
+// directly. That single seam gives us two execution modes:
+//
+//   * OsRuntime  — real preemptive threads (std::thread); used by the benchmarks to
+//                  measure wall-clock cost.
+//   * DetRuntime — a deterministic cooperative scheduler that runs exactly one logical
+//                  thread at a time and chooses the next runnable thread via a pluggable,
+//                  seed-replayable strategy; used by tests and the conformance engine to
+//                  search interleavings and to reproduce the paper's behavioural claims
+//                  (e.g. the Figure 1 readers-priority anomaly) on demand.
+//
+// Blocking primitives obtained from a runtime must only be used by threads belonging to
+// that runtime (for DetRuntime: threads created through StartThread).
+
+#ifndef SYNEVAL_RUNTIME_RUNTIME_H_
+#define SYNEVAL_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace syneval {
+
+// A mutual-exclusion lock. Non-recursive. Also satisfies BasicLockable (lowercase
+// lock/unlock) so std::lock_guard / std::unique_lock work directly.
+class RtMutex {
+ public:
+  virtual ~RtMutex() = default;
+
+  virtual void Lock() = 0;
+  virtual void Unlock() = 0;
+
+  void lock() { Lock(); }      // NOLINT: BasicLockable spelling.
+  void unlock() { Unlock(); }  // NOLINT: BasicLockable spelling.
+};
+
+// A condition variable bound to a Runtime (not to a particular mutex). Wait() must be
+// called with `mutex` held by the calling thread; it atomically releases the mutex,
+// blocks until notified, and re-acquires the mutex before returning. Spurious wakeups
+// are permitted; callers must use the usual `while (!predicate) Wait(...)` pattern.
+class RtCondVar {
+ public:
+  virtual ~RtCondVar() = default;
+
+  virtual void Wait(RtMutex& mutex) = 0;
+  virtual void NotifyOne() = 0;
+  virtual void NotifyAll() = 0;
+};
+
+// A joinable thread handle. Join() must be called exactly once before destruction.
+class RtThread {
+ public:
+  virtual ~RtThread() = default;
+
+  virtual void Join() = 0;
+  virtual std::uint32_t id() const = 0;
+};
+
+// Factory and thread-identity interface shared by both runtimes.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual std::unique_ptr<RtMutex> CreateMutex() = 0;
+  virtual std::unique_ptr<RtCondVar> CreateCondVar() = 0;
+
+  // Starts a logical thread running `body`. Under OsRuntime the thread starts
+  // immediately; under DetRuntime it becomes runnable and executes only while
+  // DetRuntime::Run() is driving the schedule.
+  virtual std::unique_ptr<RtThread> StartThread(std::string name,
+                                                std::function<void()> body) = 0;
+
+  // Cooperative scheduling hint. A preemption point under DetRuntime; a no-op (or
+  // std::this_thread::yield) under OsRuntime.
+  virtual void Yield() = 0;
+
+  // Logical id of the calling thread: ids assigned by StartThread for managed threads,
+  // 0 for the driving/main thread.
+  virtual std::uint32_t CurrentThreadId() = 0;
+
+  // Monotonic time. OsRuntime: steady clock nanoseconds. DetRuntime: scheduler step
+  // count (a logical clock), which makes time-based assertions replayable.
+  virtual std::uint64_t NowNanos() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// RAII lock holder for RtMutex (equivalent to std::lock_guard, kept for symmetry with
+// the mechanism code which passes RtMutex by reference).
+class RtLock {
+ public:
+  explicit RtLock(RtMutex& mutex) : mutex_(mutex) { mutex_.Lock(); }
+  ~RtLock() { mutex_.Unlock(); }
+
+  RtLock(const RtLock&) = delete;
+  RtLock& operator=(const RtLock&) = delete;
+
+ private:
+  RtMutex& mutex_;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_RUNTIME_RUNTIME_H_

@@ -1,0 +1,128 @@
+#include "syneval/runtime/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace syneval {
+
+std::size_t RandomSchedule::Pick(const std::vector<SchedCandidate>& candidates,
+                                 std::uint64_t step) {
+  (void)step;
+  std::uniform_int_distribution<std::size_t> dist(0, candidates.size() - 1);
+  return dist(rng_);
+}
+
+std::string RandomSchedule::Describe() const {
+  std::ostringstream os;
+  os << "random(seed=" << seed_ << ")";
+  return os.str();
+}
+
+std::size_t RoundRobinSchedule::Pick(const std::vector<SchedCandidate>& candidates,
+                                     std::uint64_t step) {
+  (void)step;
+  // Pick the smallest thread id strictly greater than the last-run id, wrapping around.
+  std::size_t best = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].thread_id > last_) {
+      best = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    best = 0;  // Wrap to the lowest id.
+  }
+  last_ = candidates[best].thread_id;
+  return best;
+}
+
+std::size_t FifoSchedule::Pick(const std::vector<SchedCandidate>& candidates,
+                               std::uint64_t step) {
+  (void)step;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].ready_since < candidates[best].ready_since) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t ScriptedSchedule::Pick(const std::vector<SchedCandidate>& candidates,
+                                   std::uint64_t step) {
+  (void)step;
+  while (pos_ < script_.size()) {
+    const std::uint32_t wanted = script_[pos_];
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].thread_id == wanted) {
+        ++pos_;
+        return i;
+      }
+    }
+    // The scripted thread is not runnable right now; skip that script entry so a stale
+    // script cannot wedge the run.
+    ++pos_;
+  }
+  return 0;
+}
+
+std::string ScriptedSchedule::Describe() const {
+  std::ostringstream os;
+  os << "scripted(len=" << script_.size() << ")";
+  return os.str();
+}
+
+PctSchedule::PctSchedule(std::uint64_t seed, int change_points, std::uint64_t max_steps)
+    : seed_(seed), rng_(seed) {
+  std::uniform_int_distribution<std::uint64_t> dist(1, max_steps == 0 ? 1 : max_steps);
+  for (int i = 0; i < change_points; ++i) {
+    change_steps_.push_back(dist(rng_));
+  }
+  std::sort(change_steps_.begin(), change_steps_.end());
+}
+
+double PctSchedule::PriorityOf(std::uint32_t thread_id) {
+  if (priorities_.size() <= thread_id) {
+    priorities_.resize(thread_id + 1, -1.0);
+  }
+  if (priorities_[thread_id] < 0.0) {
+    std::uniform_real_distribution<double> dist(1.0, 2.0);
+    priorities_[thread_id] = dist(rng_);
+  }
+  return priorities_[thread_id];
+}
+
+std::size_t PctSchedule::Pick(const std::vector<SchedCandidate>& candidates,
+                              std::uint64_t step) {
+  std::size_t best = 0;
+  double best_priority = -1.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double priority = PriorityOf(candidates[i].thread_id);
+    if (priority > best_priority) {
+      best_priority = priority;
+      best = i;
+    }
+  }
+  // At each change point, demote the chosen thread below everything else so a different
+  // ordering prefix is explored from here on.
+  if (!change_steps_.empty() && step >= change_steps_.front()) {
+    change_steps_.erase(change_steps_.begin());
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    priorities_[candidates[best].thread_id] = dist(rng_);
+  }
+  return best;
+}
+
+std::string PctSchedule::Describe() const {
+  std::ostringstream os;
+  os << "pct(seed=" << seed_ << ", d=" << change_steps_.size() << ")";
+  return os.str();
+}
+
+std::unique_ptr<Schedule> MakeRandomSchedule(std::uint64_t seed) {
+  return std::make_unique<RandomSchedule>(seed);
+}
+
+}  // namespace syneval

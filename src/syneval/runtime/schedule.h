@@ -1,0 +1,107 @@
+// Scheduling strategies for the deterministic runtime.
+//
+// At every scheduling point DetRuntime presents the set of runnable threads to a
+// Schedule, which picks the one to run next. Strategies are deterministic functions of
+// their construction parameters, so any observed behaviour (including a constraint
+// violation found by the conformance engine) is replayable from (strategy, seed).
+
+#ifndef SYNEVAL_RUNTIME_SCHEDULE_H_
+#define SYNEVAL_RUNTIME_SCHEDULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace syneval {
+
+// What the scheduler knows about a runnable thread when picking.
+struct SchedCandidate {
+  std::uint32_t thread_id = 0;
+  std::uint64_t ready_since = 0;  // Step at which the thread last became runnable.
+};
+
+class Schedule {
+ public:
+  virtual ~Schedule() = default;
+
+  // Picks the index (into `candidates`) of the thread to run next. `candidates` is
+  // non-empty and ordered by thread id. `step` is the global scheduling step counter.
+  virtual std::size_t Pick(const std::vector<SchedCandidate>& candidates, std::uint64_t step) = 0;
+
+  virtual std::string Describe() const = 0;
+};
+
+// Uniformly random choice from a seeded PRNG. The workhorse for interleaving search:
+// running the same program under many seeds explores many distinct schedules.
+class RandomSchedule : public Schedule {
+ public:
+  explicit RandomSchedule(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  std::size_t Pick(const std::vector<SchedCandidate>& candidates, std::uint64_t step) override;
+  std::string Describe() const override;
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+};
+
+// Cycles through thread ids; a useful smoke-test strategy with maximal fairness.
+class RoundRobinSchedule : public Schedule {
+ public:
+  std::size_t Pick(const std::vector<SchedCandidate>& candidates, std::uint64_t step) override;
+  std::string Describe() const override { return "round-robin"; }
+
+ private:
+  std::uint32_t last_ = 0;
+};
+
+// Always runs the longest-ready thread (FIFO over readiness). Produces highly fair,
+// almost sequential executions; useful as a baseline in anomaly-probability ablations.
+class FifoSchedule : public Schedule {
+ public:
+  std::size_t Pick(const std::vector<SchedCandidate>& candidates, std::uint64_t step) override;
+  std::string Describe() const override { return "fifo"; }
+};
+
+// Follows an explicit list of thread ids; when the scripted thread is not runnable (or
+// the script is exhausted) falls back to the lowest-id runnable thread. Used by tests
+// that need to force one specific interleaving, e.g. the Figure 1 anomaly witness.
+class ScriptedSchedule : public Schedule {
+ public:
+  explicit ScriptedSchedule(std::vector<std::uint32_t> script) : script_(std::move(script)) {}
+
+  std::size_t Pick(const std::vector<SchedCandidate>& candidates, std::uint64_t step) override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<std::uint32_t> script_;
+  std::size_t pos_ = 0;
+};
+
+// Probabilistic concurrency testing flavour: assigns each thread a random priority and
+// runs the highest-priority runnable thread, demoting the running thread's priority at
+// `change_points` randomly chosen steps. Finds rare orderings with fewer runs than
+// uniform random choice (Burckhardt et al.'s PCT, adapted to our cooperative setting).
+class PctSchedule : public Schedule {
+ public:
+  PctSchedule(std::uint64_t seed, int change_points, std::uint64_t max_steps);
+
+  std::size_t Pick(const std::vector<SchedCandidate>& candidates, std::uint64_t step) override;
+  std::string Describe() const override;
+
+ private:
+  double PriorityOf(std::uint32_t thread_id);
+
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+  std::vector<std::uint64_t> change_steps_;
+  std::vector<double> priorities_;  // Indexed by thread id, grown on demand.
+};
+
+std::unique_ptr<Schedule> MakeRandomSchedule(std::uint64_t seed);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_RUNTIME_SCHEDULE_H_

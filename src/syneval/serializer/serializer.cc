@@ -1,0 +1,169 @@
+#include "syneval/serializer/serializer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace syneval {
+
+struct Serializer::Waiter {
+  bool granted = false;
+  std::uint32_t thread = 0;
+  Guard guard;                 // Only set for queue waiters.
+  std::int64_t priority = 0;   // PriorityQueue key.
+  std::uint64_t arrival = 0;   // FIFO tie-break.
+};
+
+Serializer::Serializer(Runtime& runtime)
+    : runtime_(runtime), mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()) {}
+
+Serializer::QueueBase::QueueBase(Serializer& serializer, std::string name)
+    : serializer_(serializer), name_(std::move(name)) {
+  serializer_.queues_.push_back(this);
+}
+
+void Serializer::Queue::Insert(void* waiter) { waiters_.push_back(waiter); }
+
+void Serializer::PriorityQueue::Insert(void* waiter) {
+  auto* w = static_cast<Waiter*>(waiter);
+  auto pos = std::find_if(waiters_.begin(), waiters_.end(), [&](void* raw) {
+    auto* other = static_cast<Waiter*>(raw);
+    return other->priority > w->priority;
+  });
+  waiters_.insert(pos, waiter);
+}
+
+std::int64_t Serializer::PriorityQueue::MinPriority() const {
+  assert(!waiters_.empty() && "MinPriority on an empty priority queue");
+  return static_cast<const Waiter*>(waiters_.front())->priority;
+}
+
+Serializer::Crowd::Crowd(Serializer& serializer, std::string name)
+    : serializer_(serializer), name_(std::move(name)) {}
+
+void Serializer::Acquire() {
+  RtLock lock(*mu_);
+  if (!possessed_) {
+    possessed_ = true;
+    possessor_ = runtime_.CurrentThreadId();
+    return;
+  }
+  Waiter self;
+  self.thread = runtime_.CurrentThreadId();
+  entry_.push_back(&self);
+  BlockLocked(&self);
+}
+
+void Serializer::Release() {
+  RtLock lock(*mu_);
+  AssertPossessedByCaller();
+  ReleasePossessionLocked();
+}
+
+void Serializer::Enqueue(Queue& queue, Guard guard) {
+  EnqueueImpl(queue, 0, std::move(guard));
+}
+
+void Serializer::Enqueue(PriorityQueue& queue, std::int64_t priority, Guard guard) {
+  EnqueueImpl(queue, priority, std::move(guard));
+}
+
+void Serializer::EnqueueImpl(QueueBase& queue, std::int64_t priority, Guard guard) {
+  RtLock lock(*mu_);
+  AssertPossessedByCaller();
+  Waiter self;
+  self.thread = runtime_.CurrentThreadId();
+  self.guard = std::move(guard);
+  self.priority = priority;
+  self.arrival = ++arrivals_;
+  queue.Insert(&self);
+  ReleasePossessionLocked();
+  BlockLocked(&self);
+}
+
+void Serializer::JoinCrowd(Crowd& crowd, const std::function<void()>& body) {
+  JoinCrowd(crowd, body, nullptr, nullptr);
+}
+
+void Serializer::JoinCrowd(Crowd& crowd, const std::function<void()>& body,
+                           const std::function<void()>& on_join,
+                           const std::function<void()>& on_leave) {
+  Waiter self;
+  {
+    RtLock lock(*mu_);
+    AssertPossessedByCaller();
+    ++crowd.members_;
+    if (on_join) {
+      on_join();
+    }
+    ReleasePossessionLocked();
+  }
+  body();
+  {
+    RtLock lock(*mu_);
+    self.thread = runtime_.CurrentThreadId();
+    if (!possessed_) {
+      possessed_ = true;
+      possessor_ = self.thread;
+    } else {
+      reentry_.push_back(&self);
+      BlockLocked(&self);
+    }
+    --crowd.members_;
+    if (on_leave) {
+      on_leave();
+    }
+  }
+}
+
+void Serializer::ReleasePossessionLocked() {
+  // 1. Crowd re-entries have absolute precedence: they are the only events that can
+  //    change crowd state, so queue guards over crowds cannot make progress before them.
+  if (!reentry_.empty()) {
+    Waiter* waiter = reentry_.front();
+    reentry_.pop_front();
+    waiter->granted = true;
+    possessor_ = waiter->thread;
+    cv_->NotifyAll();
+    return;
+  }
+  // 2. Automatic signalling: first satisfied queue head, in queue-creation order.
+  for (QueueBase* queue : queues_) {
+    if (queue->waiters_.empty()) {
+      continue;
+    }
+    auto* head = static_cast<Waiter*>(queue->waiters_.front());
+    if (head->guard && head->guard()) {
+      queue->waiters_.pop_front();
+      head->granted = true;
+      possessor_ = head->thread;
+      cv_->NotifyAll();
+      return;
+    }
+  }
+  // 3. New entrants, FIFO.
+  if (!entry_.empty()) {
+    Waiter* waiter = entry_.front();
+    entry_.pop_front();
+    waiter->granted = true;
+    possessor_ = waiter->thread;
+    cv_->NotifyAll();
+    return;
+  }
+  possessed_ = false;
+  possessor_ = 0;
+}
+
+void Serializer::BlockLocked(Waiter* waiter) {
+  while (!waiter->granted) {
+    cv_->Wait(*mu_);
+  }
+}
+
+void Serializer::AssertPossessedByCaller() const {
+  assert(possessed_ && "serializer operation without possession");
+  assert(possessor_ == runtime_.CurrentThreadId() &&
+         "serializer operation by a process not in possession");
+}
+
+}  // namespace syneval

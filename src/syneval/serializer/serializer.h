@@ -1,0 +1,189 @@
+// Serializers [Atkinson & Hewitt, "Synchronization and Proof Techniques for
+// Serializers", IEEE TSE 1979].
+//
+// A serializer encapsulates a resource: processes gain *possession* of the serializer,
+// may wait on named queues with a guard predicate, and execute resource operations
+// inside a *crowd*, releasing possession for the duration (`JoinCrowd`) so other
+// processes can be scheduled — this is the structural fix for the nested-monitor-call
+// problem that Section 5.2 of the paper credits serializers with.
+//
+// Signalling is automatic: whenever possession is released, the serializer re-evaluates
+// the guard of the head of each queue (in queue-creation order) and transfers possession
+// to the first satisfied head; processes returning from a crowd body re-enter ahead of
+// queue heads so that crowd-state guards make progress. No explicit signal exists, which
+// is exactly the property the paper contrasts with monitors: request-time information
+// (queue order) and request-type information (different guards) no longer conflict,
+// because processes waiting for different conditions can share one queue.
+//
+// Queues come in two flavours: FIFO `Queue` (the original construct) and
+// `PriorityQueue` (ordered by a caller-supplied key) — the paper records that "local
+// variables and priority queues had to be added later" to handle request parameters;
+// the disk-scheduler, alarm-clock and SJN solutions use them.
+//
+// Guards must be pure functions of serializer-protected state (queue lengths, crowd
+// sizes, variables only mutated while in possession): they are re-evaluated only at
+// possession-release points.
+//
+// Canonical operation shape (readers-priority database, cf. the A&H paper):
+//
+//   void Read(const AccessBody& body) {
+//     Serializer::Region region(s);                      // gain possession
+//     s.Enqueue(read_q, [&] { return write_crowd.Empty(); });
+//     s.JoinCrowd(read_crowd, body);                     // body runs outside possession
+//   }                                                    // possession released
+
+#ifndef SYNEVAL_SERIALIZER_SERIALIZER_H_
+#define SYNEVAL_SERIALIZER_SERIALIZER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "syneval/runtime/runtime.h"
+
+namespace syneval {
+
+class Serializer {
+ public:
+  using Guard = std::function<bool()>;
+
+  explicit Serializer(Runtime& runtime);
+
+  Serializer(const Serializer&) = delete;
+  Serializer& operator=(const Serializer&) = delete;
+
+  // Common queue behaviour: a line of processes waiting inside the serializer. Only the
+  // head's guard is ever evaluated. Queues must be created before concurrent use; their
+  // creation order is their evaluation priority at possession release.
+  class QueueBase {
+   public:
+    QueueBase(Serializer& serializer, std::string name);
+    virtual ~QueueBase() = default;
+
+    QueueBase(const QueueBase&) = delete;
+    QueueBase& operator=(const QueueBase&) = delete;
+
+    bool Empty() const { return waiters_.empty(); }
+    int Length() const { return static_cast<int>(waiters_.size()); }
+    const std::string& name() const { return name_; }
+
+   private:
+    friend class Serializer;
+    // Inserts a waiter record per the queue discipline.
+    virtual void Insert(void* waiter) = 0;
+
+   protected:
+    Serializer& serializer_;
+    std::string name_;
+    std::deque<void*> waiters_;
+  };
+
+  // Strict FIFO queue (the original A&H construct).
+  class Queue : public QueueBase {
+   public:
+    Queue(Serializer& serializer, std::string name) : QueueBase(serializer, std::move(name)) {}
+
+   private:
+    void Insert(void* waiter) override;
+  };
+
+  // Queue ordered by ascending priority key, FIFO among equal keys (the later A&H
+  // extension for request parameters).
+  class PriorityQueue : public QueueBase {
+   public:
+    PriorityQueue(Serializer& serializer, std::string name)
+        : QueueBase(serializer, std::move(name)) {}
+
+    // Priority of the head waiter; only meaningful when !Empty().
+    std::int64_t MinPriority() const;
+
+   private:
+    void Insert(void* waiter) override;
+  };
+
+  // The multiset of processes currently executing a resource operation. Guards typically
+  // test crowd emptiness — the synchronization-state information that monitors force the
+  // programmer to count by hand (Section 5.2).
+  class Crowd {
+   public:
+    Crowd(Serializer& serializer, std::string name);
+
+    Crowd(const Crowd&) = delete;
+    Crowd& operator=(const Crowd&) = delete;
+
+    bool Empty() const { return members_ == 0; }
+    int Size() const { return members_; }
+    const std::string& name() const { return name_; }
+
+   private:
+    friend class Serializer;
+    Serializer& serializer_;
+    std::string name_;
+    int members_ = 0;
+  };
+
+  // Gains/releases possession. Prefer the Region RAII wrapper.
+  void Acquire();
+  void Release();
+
+  // Releases possession and waits in `queue` until (a) this process is at the queue
+  // head, (b) `guard` evaluates true, and (c) possession is free; then re-gains
+  // possession. Must be called while in possession. For a PriorityQueue, `priority`
+  // orders the waiters (FIFO among equals).
+  void Enqueue(Queue& queue, Guard guard);
+  void Enqueue(PriorityQueue& queue, std::int64_t priority, Guard guard);
+
+  // Adds the caller to `crowd`, releases possession, runs `body`, re-gains possession
+  // (with precedence over queue heads and new entrants), and leaves the crowd.
+  // Must be called while in possession.
+  void JoinCrowd(Crowd& crowd, const std::function<void()>& body);
+
+  // As above, with trace hooks run under the serializer lock: `on_join` right after
+  // crowd membership is added (the admission instant), `on_leave` right after it is
+  // removed (the release instant). See the instrumentation contract in trace/recorder.h.
+  void JoinCrowd(Crowd& crowd, const std::function<void()>& body,
+                 const std::function<void()>& on_join, const std::function<void()>& on_leave);
+
+  // RAII possession region.
+  class Region {
+   public:
+    explicit Region(Serializer& serializer) : serializer_(serializer) { serializer_.Acquire(); }
+    ~Region() { serializer_.Release(); }
+
+    Region(const Region&) = delete;
+    Region& operator=(const Region&) = delete;
+
+   private:
+    Serializer& serializer_;
+  };
+
+ private:
+  struct Waiter;
+
+  void EnqueueImpl(QueueBase& queue, std::int64_t priority, Guard guard);
+
+  // Transfers possession to the most deserving waiter, or marks the serializer free.
+  // Order: crowd re-entries, then satisfied queue heads (queue creation order), then
+  // the entry queue. Caller holds mu_.
+  void ReleasePossessionLocked();
+
+  void BlockLocked(Waiter* waiter);
+  void AssertPossessedByCaller() const;
+
+  Runtime& runtime_;
+  std::unique_ptr<RtMutex> mu_;
+  std::unique_ptr<RtCondVar> cv_;
+  bool possessed_ = false;
+  std::uint32_t possessor_ = 0;
+  std::deque<Waiter*> entry_;
+  std::deque<Waiter*> reentry_;
+  std::vector<QueueBase*> queues_;  // Registration order = evaluation priority.
+  std::uint64_t arrivals_ = 0;      // FIFO tie-break for priority queues.
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SERIALIZER_SERIALIZER_H_

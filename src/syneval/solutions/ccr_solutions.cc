@@ -1,0 +1,481 @@
+#include "syneval/solutions/ccr_solutions.h"
+
+#include <algorithm>
+
+namespace syneval {
+
+namespace {
+
+// Hook bundle for an operation whose whole effect happens inside one region body.
+CriticalRegion::Hooks InRegionHooks(OpScope* scope) {
+  CriticalRegion::Hooks hooks;
+  if (scope != nullptr) {
+    hooks.on_arrive = [scope] { scope->Arrived(); };
+    hooks.on_admit = [scope] { scope->Entered(); };
+    hooks.on_release = [scope] { scope->Exited(); };
+  }
+  return hooks;
+}
+
+// Hook bundles for the entry/exit-protocol pattern (resource access outside the region).
+CriticalRegion::Hooks EntryHooks(OpScope* scope) {
+  CriticalRegion::Hooks hooks;
+  if (scope != nullptr) {
+    hooks.on_arrive = [scope] { scope->Arrived(); };
+    hooks.on_admit = [scope] { scope->Entered(); };
+  }
+  return hooks;
+}
+
+CriticalRegion::Hooks ExitHooks(OpScope* scope) {
+  CriticalRegion::Hooks hooks;
+  if (scope != nullptr) {
+    // The release instant is when the exit protocol's state update becomes visible to
+    // the next admission decision: just before the region is handed on.
+    hooks.on_release = [scope] { scope->Exited(); };
+  }
+  return hooks;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------------------
+// Bounded buffer.
+
+CcrBoundedBuffer::CcrBoundedBuffer(Runtime& runtime, int capacity)
+    : region_(runtime), ring_(static_cast<std::size_t>(capacity), 0), capacity_(capacity) {}
+
+void CcrBoundedBuffer::Deposit(std::int64_t item, OpScope* scope) {
+  region_.When([this] { return count_ < capacity_; },
+               [this, item] {
+                 ring_[static_cast<std::size_t>(in_)] = item;
+                 in_ = (in_ + 1) % capacity_;
+                 ++count_;
+               },
+               InRegionHooks(scope));
+}
+
+std::int64_t CcrBoundedBuffer::Remove(OpScope* scope) {
+  std::int64_t item = 0;
+  CriticalRegion::Hooks hooks = InRegionHooks(scope);
+  if (scope != nullptr) {
+    hooks.on_release = [scope, &item] { scope->Exited(item); };
+  }
+  region_.When([this] { return count_ > 0; },
+               [this, &item] {
+                 item = ring_[static_cast<std::size_t>(out_)];
+                 out_ = (out_ + 1) % capacity_;
+                 --count_;
+               },
+               hooks);
+  return item;
+}
+
+SolutionInfo CcrBoundedBuffer::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kConditionalRegion;
+  info.problem = "bounded-buffer";
+  info.display_name = "region when count < N / count > 0";
+  info.shared_variables = 3;  // count, in, out.
+  info.fragments = {
+      {"exclusion", "region bodies are mutually exclusive"},
+      {"local-state", "when count < capacity do deposit; when count > 0 do remove"},
+  };
+  info.notes = "The awaited condition IS the local-state constraint — the CCR best case.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// One-slot buffer.
+
+CcrOneSlotBuffer::CcrOneSlotBuffer(Runtime& runtime) : region_(runtime) {}
+
+void CcrOneSlotBuffer::Deposit(std::int64_t item, OpScope* scope) {
+  region_.When([this] { return !has_item_; },
+               [this, item] {
+                 slot_ = item;
+                 has_item_ = true;
+               },
+               InRegionHooks(scope));
+}
+
+std::int64_t CcrOneSlotBuffer::Remove(OpScope* scope) {
+  std::int64_t item = 0;
+  CriticalRegion::Hooks hooks = InRegionHooks(scope);
+  if (scope != nullptr) {
+    hooks.on_release = [scope, &item] { scope->Exited(item); };
+  }
+  region_.When([this] { return has_item_; },
+               [this, &item] {
+                 item = slot_;
+                 has_item_ = false;
+               },
+               hooks);
+  return item;
+}
+
+SolutionInfo CcrOneSlotBuffer::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kConditionalRegion;
+  info.problem = "one-slot-buffer";
+  info.display_name = "region when has_item flips";
+  info.shared_variables = 1;
+  info.fragments = {
+      {"exclusion", "region bodies are mutually exclusive"},
+      {"history", "when not has_item do deposit; when has_item do remove"},
+  };
+  info.notes = "History re-encoded as a flag, as in monitors and serializers.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Readers/writers: readers priority.
+
+CcrRwReadersPriority::CcrRwReadersPriority(Runtime& runtime) : region_(runtime) {}
+
+void CcrRwReadersPriority::Read(const AccessBody& body, OpScope* scope) {
+  pending_readers_.fetch_add(1);
+  region_.When([this] { return !writing_; },
+               [this] {
+                 pending_readers_.fetch_sub(1);
+                 ++readers_;
+               },
+               EntryHooks(scope));
+  body();
+  region_.Enter([this] { --readers_; }, ExitHooks(scope));
+}
+
+void CcrRwReadersPriority::Write(const AccessBody& body, OpScope* scope) {
+  region_.When(
+      [this] { return !writing_ && readers_ == 0 && pending_readers_.load() == 0; },
+      [this] { writing_ = true; }, EntryHooks(scope));
+  body();
+  region_.Enter([this] { writing_ = false; }, ExitHooks(scope));
+}
+
+SolutionInfo CcrRwReadersPriority::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kConditionalRegion;
+  info.problem = "rw-readers-priority";
+  info.display_name = "CCR readers priority (pending-reader counter)";
+  info.shared_variables = 3;  // readers, writing, pending_readers.
+  info.fragments = {
+      {"exclusion", "reader: when not writing do readers+1; "
+                    "writer: when not writing and readers = 0 do writing := true"},
+      {"priority", "writer additionally awaits pending_readers = 0, a counter readers "
+                   "bump before their entry region"},
+  };
+  info.notes = "Priority over *waiting* processes needs host-kept pending counts: the "
+               "condition language cannot see the wait queues.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Readers/writers: writers priority.
+
+CcrRwWritersPriority::CcrRwWritersPriority(Runtime& runtime) : region_(runtime) {}
+
+void CcrRwWritersPriority::Read(const AccessBody& body, OpScope* scope) {
+  region_.When(
+      [this] { return !writing_ && pending_writers_.load() == 0; },
+      [this] { ++readers_; }, EntryHooks(scope));
+  body();
+  region_.Enter([this] { --readers_; }, ExitHooks(scope));
+}
+
+void CcrRwWritersPriority::Write(const AccessBody& body, OpScope* scope) {
+  pending_writers_.fetch_add(1);
+  region_.When([this] { return !writing_ && readers_ == 0; },
+               [this] {
+                 pending_writers_.fetch_sub(1);
+                 writing_ = true;
+               },
+               EntryHooks(scope));
+  body();
+  region_.Enter([this] { writing_ = false; }, ExitHooks(scope));
+}
+
+SolutionInfo CcrRwWritersPriority::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kConditionalRegion;
+  info.problem = "rw-writers-priority";
+  info.display_name = "CCR writers priority (pending-writer counter)";
+  info.shared_variables = 3;
+  info.fragments = {
+      {"exclusion", "reader: when not writing do readers+1; "
+                    "writer: when not writing and readers = 0 do writing := true"},
+      {"priority", "reader additionally awaits pending_writers = 0, a counter writers "
+                   "bump before their entry region"},
+  };
+  info.notes = "Symmetric one-counter change from readers priority: constraints stay "
+               "independent.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// FCFS resource.
+
+CcrFcfsResource::CcrFcfsResource(Runtime& runtime) : region_(runtime) {}
+
+void CcrFcfsResource::Access(const AccessBody& body, OpScope* scope) {
+  std::int64_t ticket = 0;
+  CriticalRegion::Hooks entry = EntryHooks(scope);
+  // The ticket is drawn under the region lock at arrival so that ticket order equals
+  // the recorded arrival order.
+  entry.on_arrive = [this, scope, &ticket] {
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    ticket = next_ticket_++;
+  };
+  region_.When([this, &ticket] { return !busy_ && ticket == serving_; },
+               [this] { busy_ = true; }, entry);
+  body();
+  region_.Enter(
+      [this] {
+        busy_ = false;
+        ++serving_;
+      },
+      ExitHooks(scope));
+}
+
+SolutionInfo CcrFcfsResource::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kConditionalRegion;
+  info.problem = "fcfs-resource";
+  info.display_name = "CCR FCFS (ticket in condition)";
+  info.direct = false;
+  info.shared_variables = 3;  // busy, next_ticket, serving.
+  info.fragments = {
+      {"exclusion", "when not busy ... do busy := true"},
+      {"priority", "ticket drawn at arrival; when ticket = serving; serving+1 at exit"},
+  };
+  info.notes = "Request time must be reified as tickets: conditions cannot reference "
+               "wait order.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// SCAN disk scheduler.
+
+CcrDiskScheduler::CcrDiskScheduler(Runtime& runtime, std::int64_t initial_head)
+    : region_(runtime), head_(initial_head) {}
+
+const CcrDiskScheduler::Pending* CcrDiskScheduler::PickLocked(bool* direction_used) const {
+  auto pick = [this](bool up) -> const Pending* {
+    const Pending* best = nullptr;
+    for (const Pending& p : pending_) {
+      const bool eligible = up ? p.track >= head_ : p.track <= head_;
+      if (!eligible) {
+        continue;
+      }
+      if (best == nullptr || (up ? p.track < best->track : p.track > best->track) ||
+          (p.track == best->track && p.ticket < best->ticket)) {
+        best = &p;
+      }
+    }
+    return best;
+  };
+  const Pending* best = pick(moving_up_);
+  *direction_used = moving_up_;
+  if (best == nullptr) {
+    best = pick(!moving_up_);
+    *direction_used = !moving_up_;
+  }
+  return best;
+}
+
+void CcrDiskScheduler::Access(std::int64_t track, const AccessBody& body, OpScope* scope) {
+  std::uint64_t ticket = 0;
+  bool idle_admission = false;
+  CriticalRegion::Hooks entry = EntryHooks(scope);
+  entry.on_arrive = [this, scope, track, &ticket, &idle_admission] {
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    ticket = next_ticket_++;
+    pending_.push_back(Pending{track, ticket});
+    // An arrival to an idle disk with no competitors is admitted immediately; that is
+    // not a scheduling decision and must not turn the sweep around (same invariant the
+    // SCAN oracle enforced on the serializer solution).
+    idle_admission = !busy_ && pending_.size() == 1;
+  };
+  // The direction the winning evaluation used is captured by the condition itself:
+  // between the grant and the admitted body, new arrivals may already have joined
+  // pending_, so the body must not re-derive the pick.
+  bool chosen_direction = moving_up_;
+  region_.When(
+      [this, &ticket, &chosen_direction] {
+        if (busy_ || pending_.empty()) {
+          return false;
+        }
+        bool direction = moving_up_;
+        const Pending* pick = PickLocked(&direction);
+        if (pick == nullptr || pick->ticket != ticket) {
+          return false;
+        }
+        chosen_direction = direction;
+        return true;
+      },
+      [this, track, &ticket, &idle_admission, &chosen_direction] {
+        if (!idle_admission) {
+          moving_up_ = chosen_direction;
+        }
+        busy_ = true;
+        head_ = track;
+        pending_.erase(std::find_if(pending_.begin(), pending_.end(),
+                                    [&](const Pending& p) { return p.ticket == ticket; }));
+      },
+      entry);
+  body();
+  region_.Enter([this] { busy_ = false; }, ExitHooks(scope));
+}
+
+SolutionInfo CcrDiskScheduler::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kConditionalRegion;
+  info.problem = "disk-scan";
+  info.display_name = "CCR SCAN (pending list re-derived per exit)";
+  info.direct = false;
+  info.shared_variables = 4;  // pending list, head, direction, busy.
+  info.fragments = {
+      {"exclusion", "when not busy ... do busy := true"},
+      {"priority", "pending list registered at arrival; condition: the SCAN choice over "
+                   "pending equals me; direction/head updated on admission"},
+  };
+  info.notes = "The whole scheduler lives in hand-kept state, as with semaphores — but "
+               "without the private-semaphore plumbing.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Alarm clock.
+
+CcrAlarmClock::CcrAlarmClock(Runtime& runtime) : region_(runtime) {}
+
+void CcrAlarmClock::Tick() {
+  region_.Enter([this] { ++now_; });
+}
+
+void CcrAlarmClock::WakeMe(std::int64_t ticks, OpScope* scope) {
+  std::int64_t due = 0;
+  CriticalRegion::Hooks hooks;
+  hooks.on_arrive = [this, scope, ticks, &due] {
+    due = now_ + ticks;
+    if (scope != nullptr) {
+      scope->Arrived();
+      scope->Entered(due);
+    }
+  };
+  if (scope != nullptr) {
+    hooks.on_admit = [this, scope] { scope->Exited(now_); };
+  }
+  region_.When([this, &due] { return now_ >= due; }, [] {}, hooks);
+}
+
+std::int64_t CcrAlarmClock::Now() const {
+  std::int64_t now = 0;
+  region_.Enter([this, &now] { now = now_; });
+  return now;
+}
+
+SolutionInfo CcrAlarmClock::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kConditionalRegion;
+  info.problem = "alarm-clock";
+  info.display_name = "region when now >= due";
+  info.shared_variables = 1;  // now.
+  info.fragments = {
+      {"priority", "when now >= now_at_call + n do wake — the request parameter appears "
+                   "directly in the condition"},
+  };
+  info.notes = "The CCR best case for parameters: one line, no queues, no signals.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// SJN allocator.
+
+CcrSjnAllocator::CcrSjnAllocator(Runtime& runtime) : region_(runtime) {}
+
+void CcrSjnAllocator::Use(std::int64_t estimate, const AccessBody& body, OpScope* scope) {
+  std::uint64_t ticket = 0;
+  CriticalRegion::Hooks entry = EntryHooks(scope);
+  entry.on_arrive = [this, scope, estimate, &ticket] {
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    ticket = next_ticket_++;
+    pending_.push_back(Pending{estimate, ticket});
+  };
+  region_.When(
+      [this, &ticket] {
+        if (busy_ || pending_.empty()) {
+          return false;
+        }
+        const Pending* best = &pending_.front();
+        for (const Pending& p : pending_) {
+          if (p.estimate < best->estimate ||
+              (p.estimate == best->estimate && p.ticket < best->ticket)) {
+            best = &p;
+          }
+        }
+        return best->ticket == ticket;
+      },
+      [this, &ticket] {
+        busy_ = true;
+        pending_.erase(std::find_if(pending_.begin(), pending_.end(),
+                                    [&](const Pending& p) { return p.ticket == ticket; }));
+      },
+      entry);
+  body();
+  region_.Enter([this] { busy_ = false; }, ExitHooks(scope));
+}
+
+SolutionInfo CcrSjnAllocator::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kConditionalRegion;
+  info.problem = "sjn-allocator";
+  info.display_name = "CCR SJN (pending estimates, min in condition)";
+  info.direct = false;
+  info.shared_variables = 3;  // pending list, busy, ticket counter.
+  info.fragments = {
+      {"exclusion", "when not busy ... do busy := true"},
+      {"priority", "pending estimates registered at arrival; condition: mine is the "
+                   "minimum"},
+  };
+  info.notes = "Cross-request comparisons force the pending set into shared state.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Dining philosophers.
+
+CcrDining::CcrDining(Runtime& runtime, int seats)
+    : seats_(seats), region_(runtime), eating_(static_cast<std::size_t>(seats), false) {}
+
+void CcrDining::Eat(int philosopher, const AccessBody& body, OpScope* scope) {
+  const auto left = static_cast<std::size_t>((philosopher + seats_ - 1) % seats_);
+  const auto right = static_cast<std::size_t>((philosopher + 1) % seats_);
+  const auto self = static_cast<std::size_t>(philosopher);
+  region_.When([this, left, right] { return !eating_[left] && !eating_[right]; },
+               [this, self] { eating_[self] = true; }, EntryHooks(scope));
+  body();
+  region_.Enter([this, self] { eating_[self] = false; }, ExitHooks(scope));
+}
+
+SolutionInfo CcrDining::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kConditionalRegion;
+  info.problem = "dining-philosophers";
+  info.display_name = "region when neighbours not eating";
+  info.shared_variables = 1;
+  info.fragments = {
+      {"exclusion", "when not eating[left] and not eating[right] do eating[i] := true"},
+  };
+  info.notes = "Both forks taken in one atomic condition: deadlock-free without "
+               "ordering or a butler.";
+  return info;
+}
+
+}  // namespace syneval

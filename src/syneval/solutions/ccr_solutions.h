@@ -1,0 +1,195 @@
+// Conditional-critical-region solutions — the methodology applied to a mechanism the
+// paper did NOT evaluate (its conclusion invites exactly this: the framework serves
+// "anyone needing to compare several mechanisms or select one").
+//
+// The CCR discipline: entry protocols and exit protocols are short region bodies that
+// update shared state; the actual resource access runs outside the region (otherwise
+// readers could never overlap). Conditions may refer to the request's own parameters
+// directly (closure capture — the alarm clock is one line), but any cross-request
+// comparison (SJN's minimum, SCAN's sweep) needs a hand-kept pending set, and any
+// priority over *waiting* processes needs hand-kept pending counters — the structural
+// facts that feed the mechanism's column in the expressiveness matrix.
+
+#ifndef SYNEVAL_SOLUTIONS_CCR_SOLUTIONS_H_
+#define SYNEVAL_SOLUTIONS_CCR_SOLUTIONS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "syneval/ccr/critical_region.h"
+#include "syneval/problems/interfaces.h"
+#include "syneval/solutions/solution_info.h"
+
+namespace syneval {
+
+class CcrBoundedBuffer : public BoundedBufferIface {
+ public:
+  CcrBoundedBuffer(Runtime& runtime, int capacity);
+
+  void Deposit(std::int64_t item, OpScope* scope) override;
+  std::int64_t Remove(OpScope* scope) override;
+  int capacity() const override { return capacity_; }
+
+  static SolutionInfo Info();
+
+ private:
+  CriticalRegion region_;
+  std::vector<std::int64_t> ring_;
+  int capacity_;
+  int count_ = 0;
+  int in_ = 0;
+  int out_ = 0;
+};
+
+class CcrOneSlotBuffer : public OneSlotBufferIface {
+ public:
+  explicit CcrOneSlotBuffer(Runtime& runtime);
+
+  void Deposit(std::int64_t item, OpScope* scope) override;
+  std::int64_t Remove(OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  CriticalRegion region_;
+  bool has_item_ = false;
+  std::int64_t slot_ = 0;
+};
+
+// Readers priority: readers pass `when not writing`; a writer additionally awaits
+// `pending_readers = 0`, a counter the readers bump before entering their region —
+// the same host-kept-state pattern as the Andler predicate paths.
+class CcrRwReadersPriority : public ReadersWritersIface {
+ public:
+  explicit CcrRwReadersPriority(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  CriticalRegion region_;
+  int readers_ = 0;
+  bool writing_ = false;
+  std::atomic<int> pending_readers_{0};
+};
+
+class CcrRwWritersPriority : public ReadersWritersIface {
+ public:
+  explicit CcrRwWritersPriority(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  CriticalRegion region_;
+  int readers_ = 0;
+  bool writing_ = false;
+  std::atomic<int> pending_writers_{0};
+};
+
+// FCFS via a ticket taken under the region lock at arrival.
+class CcrFcfsResource : public FcfsResourceIface {
+ public:
+  explicit CcrFcfsResource(Runtime& runtime);
+
+  void Access(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  CriticalRegion region_;
+  bool busy_ = false;
+  std::int64_t next_ticket_ = 0;
+  std::int64_t serving_ = 0;
+};
+
+// SCAN: every waiter registers its track in a pending list at arrival; the condition is
+// "the SCAN choice over the pending list is me" — the scheduler is re-derived at every
+// region exit. Entirely hand-built state, like the semaphore version.
+class CcrDiskScheduler : public DiskSchedulerIface {
+ public:
+  CcrDiskScheduler(Runtime& runtime, std::int64_t initial_head = 0);
+
+  void Access(std::int64_t track, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  struct Pending {
+    std::int64_t track = 0;
+    std::uint64_t ticket = 0;
+  };
+
+  // The SCAN choice over pending_ given head_/moving_up_; `direction_used` reports the
+  // sweep that produced the pick (callers flip moving_up_ on admission accordingly).
+  const Pending* PickLocked(bool* direction_used) const;
+
+  CriticalRegion region_;
+  std::vector<Pending> pending_;
+  std::uint64_t next_ticket_ = 0;
+  std::int64_t head_;
+  bool moving_up_ = true;
+  bool busy_ = false;
+};
+
+// Alarm clock: the condition refers to the request's own wake time directly — the CCR
+// best case for parameters.
+class CcrAlarmClock : public AlarmClockIface {
+ public:
+  explicit CcrAlarmClock(Runtime& runtime);
+
+  void Tick() override;
+  void WakeMe(std::int64_t ticks, OpScope* scope) override;
+  std::int64_t Now() const override;
+
+  static SolutionInfo Info();
+
+ private:
+  mutable CriticalRegion region_;
+  std::int64_t now_ = 0;
+};
+
+// SJN: pending estimates registered at arrival; condition: mine is the minimum.
+class CcrSjnAllocator : public SjnAllocatorIface {
+ public:
+  explicit CcrSjnAllocator(Runtime& runtime);
+
+  void Use(std::int64_t estimate, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  struct Pending {
+    std::int64_t estimate = 0;
+    std::uint64_t ticket = 0;
+  };
+
+  CriticalRegion region_;
+  std::vector<Pending> pending_;
+  std::uint64_t next_ticket_ = 0;
+  bool busy_ = false;
+};
+
+class CcrDining : public DiningTableIface {
+ public:
+  CcrDining(Runtime& runtime, int seats);
+
+  void Eat(int philosopher, const AccessBody& body, OpScope* scope) override;
+  int seats() const override { return seats_; }
+
+  static SolutionInfo Info();
+
+ private:
+  int seats_;
+  CriticalRegion region_;
+  std::vector<bool> eating_;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SOLUTIONS_CCR_SOLUTIONS_H_

@@ -1,0 +1,652 @@
+#include "syneval/solutions/csp_solutions.h"
+
+#include <algorithm>
+
+namespace syneval {
+
+namespace {
+
+// Client-side hook bundles. Arrival = the send becomes visible to the server
+// (on_register); admission = the server's acceptance (on_accept); both run under the
+// channel-group lock, per the instrumentation contract.
+std::function<void()> ArriveHook(OpScope* scope) {
+  if (scope == nullptr) {
+    return nullptr;
+  }
+  return [scope] { scope->Arrived(); };
+}
+
+std::function<void()> EnterHook(OpScope* scope) {
+  if (scope == nullptr) {
+    return nullptr;
+  }
+  return [scope] { scope->Entered(); };
+}
+
+std::function<void()> ExitHook(OpScope* scope) {
+  if (scope == nullptr) {
+    return nullptr;
+  }
+  return [scope] { scope->Exited(); };
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------------------
+// Bounded buffer.
+
+CspBoundedBuffer::CspBoundedBuffer(Runtime& runtime, int capacity)
+    : capacity_(capacity), group_(runtime) {
+  server_ = runtime.StartThread("buffer-server", [this] {
+    std::vector<std::int64_t> ring(static_cast<std::size_t>(capacity_), 0);
+    int count = 0;
+    int in = 0;
+    int out = 0;
+    while (true) {
+      ChanMsg msg;
+      const int idx = group_.Select(
+          {SelectCase{&stop_ch_, nullptr},
+           SelectCase{&deposit_ch_, [&] { return count < capacity_; }},
+           SelectCase{&fetch_ch_, [&] { return count > 0; }}},
+          &msg);
+      if (idx == 0) {
+        return;
+      }
+      if (idx == 1) {
+        ring[static_cast<std::size_t>(in)] = msg.value;
+        in = (in + 1) % capacity_;
+        ++count;
+      } else {
+        const std::int64_t item = ring[static_cast<std::size_t>(out)];
+        out = (out + 1) % capacity_;
+        reply_ch_.Send(ChanMsg{0, item, nullptr});
+        // The slot counts as freed only once the consumer took the item, so the trace
+        // never shows a deposit entering an apparently full buffer.
+        --count;
+      }
+    }
+  });
+}
+
+CspBoundedBuffer::~CspBoundedBuffer() {
+  Shutdown();
+  server_->Join();
+}
+
+void CspBoundedBuffer::Shutdown() { stop_ch_.TrySend(ChanMsg{}); }
+
+void CspBoundedBuffer::Deposit(std::int64_t item, OpScope* scope) {
+  deposit_ch_.Send(ChanMsg{0, item, nullptr}, ArriveHook(scope), [scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+      scope->Exited();
+    }
+  });
+}
+
+std::int64_t CspBoundedBuffer::Remove(OpScope* scope) {
+  fetch_ch_.Send(ChanMsg{}, ArriveHook(scope), nullptr);
+  const ChanMsg reply = reply_ch_.Receive([scope](const ChanMsg& m) {
+    if (scope != nullptr) {
+      scope->Entered();
+      scope->Exited(m.value);
+    }
+  });
+  return reply.value;
+}
+
+SolutionInfo CspBoundedBuffer::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMessagePassing;
+  info.problem = "bounded-buffer";
+  info.display_name = "CSP buffer process (guarded select)";
+  info.fragments = {
+      {"exclusion", "the buffer is a sequential server process; nobody else touches it"},
+      {"local-state", "select [count < N] deposit? | [count > 0] fetch? — guards over "
+                      "server-local state"},
+  };
+  info.notes = "No shared variables at all; the state is private to the server.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// One-slot buffer.
+
+CspOneSlotBuffer::CspOneSlotBuffer(Runtime& runtime) : group_(runtime) {
+  server_ = runtime.StartThread("slot-server", [this] {
+    while (true) {
+      ChanMsg msg;
+      // Phase 1: only a deposit (or stop) is acceptable.
+      if (group_.Select({SelectCase{&stop_ch_, nullptr}, SelectCase{&deposit_ch_, nullptr}},
+                        &msg) == 0) {
+        return;
+      }
+      const std::int64_t item = msg.value;
+      // Phase 2: only a fetch (or stop) is acceptable.
+      if (group_.Select({SelectCase{&stop_ch_, nullptr}, SelectCase{&fetch_ch_, nullptr}},
+                        &msg) == 0) {
+        return;
+      }
+      reply_ch_.Send(ChanMsg{0, item, nullptr});
+    }
+  });
+}
+
+CspOneSlotBuffer::~CspOneSlotBuffer() {
+  Shutdown();
+  server_->Join();
+}
+
+void CspOneSlotBuffer::Shutdown() { stop_ch_.TrySend(ChanMsg{}); }
+
+void CspOneSlotBuffer::Deposit(std::int64_t item, OpScope* scope) {
+  deposit_ch_.Send(ChanMsg{0, item, nullptr}, ArriveHook(scope), [scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+      scope->Exited();
+    }
+  });
+}
+
+std::int64_t CspOneSlotBuffer::Remove(OpScope* scope) {
+  fetch_ch_.Send(ChanMsg{}, ArriveHook(scope), nullptr);
+  const ChanMsg reply = reply_ch_.Receive([scope](const ChanMsg& m) {
+    if (scope != nullptr) {
+      scope->Entered();
+      scope->Exited(m.value);
+    }
+  });
+  return reply.value;
+}
+
+SolutionInfo CspOneSlotBuffer::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMessagePassing;
+  info.problem = "one-slot-buffer";
+  info.display_name = "CSP alternating server (history = program counter)";
+  info.fragments = {
+      {"exclusion", "the slot is a sequential server process"},
+      {"history", "the server's control flow IS the constraint: receive deposit; "
+                  "receive fetch; repeat"},
+  };
+  info.notes = "History lives in the program counter — no flag, no counter, no queue.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Readers/writers.
+
+CspReadersWriters::CspReadersWriters(Runtime& runtime, Policy policy)
+    : policy_(policy), group_(runtime) {
+  server_ = runtime.StartThread("rw-server", [this] {
+    int readers = 0;
+    bool writing = false;
+    while (true) {
+      std::vector<SelectCase> cases;
+      cases.push_back(SelectCase{&stop_ch_, nullptr});
+      cases.push_back(SelectCase{&end_read_, nullptr});
+      cases.push_back(SelectCase{&end_write_, nullptr});
+      if (policy_ == Policy::kReadersPriority) {
+        // Textual priority: readers' starts are examined before writers'.
+        cases.push_back(SelectCase{&start_read_, [&] { return !writing; }});
+        cases.push_back(SelectCase{&start_write_, [&] { return !writing && readers == 0; }});
+      } else {
+        cases.push_back(SelectCase{&start_write_, [&] { return !writing && readers == 0; }});
+        cases.push_back(SelectCase{
+            &start_read_, [&] { return !writing && !start_write_.HasSenders(); }});
+      }
+      ChanMsg msg;
+      const int idx = group_.Select(cases, &msg);
+      if (idx == 0) {
+        return;
+      }
+      if (idx == 1) {
+        --readers;
+      } else if (idx == 2) {
+        writing = false;
+      } else {
+        const bool is_read = (policy_ == Policy::kReadersPriority) == (idx == 3);
+        if (is_read) {
+          ++readers;
+        } else {
+          writing = true;
+        }
+      }
+    }
+  });
+}
+
+CspReadersWriters::~CspReadersWriters() {
+  Shutdown();
+  server_->Join();
+}
+
+void CspReadersWriters::Shutdown() { stop_ch_.TrySend(ChanMsg{}); }
+
+void CspReadersWriters::Read(const AccessBody& body, OpScope* scope) {
+  start_read_.Send(ChanMsg{}, ArriveHook(scope), EnterHook(scope));
+  body();
+  end_read_.Send(ChanMsg{}, nullptr, ExitHook(scope));
+}
+
+void CspReadersWriters::Write(const AccessBody& body, OpScope* scope) {
+  start_write_.Send(ChanMsg{}, ArriveHook(scope), EnterHook(scope));
+  body();
+  end_write_.Send(ChanMsg{}, nullptr, ExitHook(scope));
+}
+
+SolutionInfo CspReadersWriters::InfoReadersPriority() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMessagePassing;
+  info.problem = "rw-readers-priority";
+  info.display_name = "CSP server (start_read alternative listed first)";
+  info.fragments = {
+      {"exclusion", "select [not writing] start_read? -> readers+1 | [not writing and "
+                    "readers = 0] start_write? -> writing := true"},
+      {"priority", "the start_read alternative is examined before start_write"},
+  };
+  info.notes = "The priority constraint is the textual ORDER of two select arms.";
+  return info;
+}
+
+SolutionInfo CspReadersWriters::InfoWritersPriority() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMessagePassing;
+  info.problem = "rw-writers-priority";
+  info.display_name = "CSP server (start_write first + waiting-writer guard)";
+  info.fragments = {
+      {"exclusion", "select [not writing] start_read? -> readers+1 | [not writing and "
+                    "readers = 0] start_write? -> writing := true"},
+      {"priority", "start_write examined first; start_read also guarded on no pending "
+                   "start_write sender"},
+  };
+  info.notes = "The policy change is an arm swap plus one guard conjunct.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// FCFS resource.
+
+CspFcfsResource::CspFcfsResource(Runtime& runtime) : group_(runtime) {
+  server_ = runtime.StartThread("fcfs-server", [this] {
+    while (true) {
+      ChanMsg msg;
+      if (group_.Select({SelectCase{&stop_ch_, nullptr}, SelectCase{&acquire_ch_, nullptr}},
+                        &msg) == 0) {
+        return;
+      }
+      release_ch_.Receive();
+    }
+  });
+}
+
+CspFcfsResource::~CspFcfsResource() {
+  Shutdown();
+  server_->Join();
+}
+
+void CspFcfsResource::Shutdown() { stop_ch_.TrySend(ChanMsg{}); }
+
+void CspFcfsResource::Access(const AccessBody& body, OpScope* scope) {
+  acquire_ch_.Send(ChanMsg{}, ArriveHook(scope), EnterHook(scope));
+  body();
+  release_ch_.Send(ChanMsg{}, nullptr, ExitHook(scope));
+}
+
+SolutionInfo CspFcfsResource::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMessagePassing;
+  info.problem = "fcfs-resource";
+  info.display_name = "CSP server (channel order IS arrival order)";
+  info.fragments = {
+      {"exclusion", "the server accepts one acquire, then blocks on release"},
+      {"priority", "blocked senders on one channel are served in arrival order"},
+  };
+  info.notes = "Request time is the channel's queue: nothing to program.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Disk scheduler (SCAN).
+
+CspDiskScheduler::CspDiskScheduler(Runtime& runtime, std::int64_t initial_head)
+    : group_(runtime), initial_head_(initial_head) {
+  server_ = runtime.StartThread("disk-server", [this] {
+    struct PendingRequest {
+      std::int64_t track = 0;
+      std::uint64_t ticket = 0;
+      Channel* reply = nullptr;
+    };
+    std::vector<PendingRequest> pending;
+    std::uint64_t next_ticket = 0;
+    std::int64_t head = initial_head_;
+    bool moving_up = true;
+    bool busy = false;
+
+    auto pick = [&](bool up) -> const PendingRequest* {
+      const PendingRequest* best = nullptr;
+      for (const PendingRequest& p : pending) {
+        const bool eligible = up ? p.track >= head : p.track <= head;
+        if (!eligible) {
+          continue;
+        }
+        if (best == nullptr || (up ? p.track < best->track : p.track > best->track) ||
+            (p.track == best->track && p.ticket < best->ticket)) {
+          best = &p;
+        }
+      }
+      return best;
+    };
+    auto grant = [&](bool idle) {
+      bool direction = moving_up;
+      const PendingRequest* choice = pick(moving_up);
+      if (choice == nullptr) {
+        choice = pick(!moving_up);
+        direction = !moving_up;
+      }
+      if (!idle) {
+        moving_up = direction;  // Idle admissions are not scheduling decisions.
+      }
+      head = choice->track;
+      busy = true;
+      Channel* reply = choice->reply;
+      pending.erase(pending.begin() + (choice - pending.data()));
+      reply->Send(ChanMsg{});
+    };
+
+    while (true) {
+      ChanMsg msg;
+      // Requests are drained before releases so decisions see every arrival.
+      const int idx = group_.Select({SelectCase{&stop_ch_, nullptr},
+                                     SelectCase{&request_ch_, nullptr},
+                                     SelectCase{&release_ch_, nullptr}},
+                                    &msg);
+      if (idx == 0) {
+        return;
+      }
+      if (idx == 1) {
+        pending.push_back(PendingRequest{msg.value, next_ticket++, msg.reply});
+        if (!busy) {
+          grant(/*idle=*/pending.size() == 1);
+        }
+      } else {
+        if (!pending.empty()) {
+          grant(/*idle=*/false);
+        } else {
+          busy = false;
+        }
+      }
+    }
+  });
+}
+
+CspDiskScheduler::~CspDiskScheduler() {
+  Shutdown();
+  server_->Join();
+}
+
+void CspDiskScheduler::Shutdown() { stop_ch_.TrySend(ChanMsg{}); }
+
+void CspDiskScheduler::Access(std::int64_t track, const AccessBody& body, OpScope* scope) {
+  Channel reply(group_, "grant");
+  request_ch_.Send(ChanMsg{0, track, &reply}, ArriveHook(scope), nullptr);
+  reply.Receive([scope](const ChanMsg&) {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  body();
+  release_ch_.Send(ChanMsg{}, nullptr, ExitHook(scope));
+}
+
+SolutionInfo CspDiskScheduler::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMessagePassing;
+  info.problem = "disk-scan";
+  info.display_name = "CSP disk server (tracks travel in messages)";
+  info.shared_variables = 0;  // Head, direction and the queue are server-local.
+  info.fragments = {
+      {"exclusion", "the server grants one request and waits for its release"},
+      {"priority", "requests carry their track; the server picks the SCAN choice from "
+                   "its private pending list"},
+  };
+  info.notes = "Parameters are just message fields; the scheduler state is private.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Alarm clock.
+
+CspAlarmClock::CspAlarmClock(Runtime& runtime) : group_(runtime) {
+  server_ = runtime.StartThread("clock-server", [this] {
+    struct Sleeper {
+      std::int64_t due = 0;
+      std::uint64_t ticket = 0;
+      Channel* reply = nullptr;
+    };
+    std::vector<Sleeper> sleepers;
+    std::uint64_t next_ticket = 0;
+    std::int64_t now = 0;
+    while (true) {
+      ChanMsg msg;
+      const int idx = group_.Select({SelectCase{&stop_ch_, nullptr},
+                                     SelectCase{&wake_ch_, nullptr},
+                                     SelectCase{&tick_ch_, nullptr}},
+                                    &msg);
+      if (idx == 0) {
+        return;
+      }
+      if (idx == 1) {
+        sleepers.push_back(Sleeper{now + msg.value, next_ticket++, msg.reply});
+        continue;
+      }
+      ++now;
+      now_mirror_.store(now);
+      // Wake everyone due, earliest due first (FIFO among equal dues).
+      std::sort(sleepers.begin(), sleepers.end(), [](const Sleeper& a, const Sleeper& b) {
+        return a.due != b.due ? a.due < b.due : a.ticket < b.ticket;
+      });
+      while (!sleepers.empty() && sleepers.front().due <= now) {
+        const Sleeper s = sleepers.front();
+        sleepers.erase(sleepers.begin());
+        s.reply->Send(ChanMsg{s.due, now, nullptr});
+      }
+    }
+  });
+}
+
+CspAlarmClock::~CspAlarmClock() {
+  Shutdown();
+  server_->Join();
+}
+
+void CspAlarmClock::Shutdown() { stop_ch_.TrySend(ChanMsg{}); }
+
+void CspAlarmClock::Tick() { tick_ch_.Send(ChanMsg{}); }
+
+void CspAlarmClock::WakeMe(std::int64_t ticks, OpScope* scope) {
+  Channel reply(group_, "wakeup");
+  wake_ch_.Send(ChanMsg{0, ticks, &reply}, ArriveHook(scope), nullptr);
+  reply.Receive([scope](const ChanMsg& m) {
+    if (scope != nullptr) {
+      scope->Entered(m.tag);  // Due time, computed by the server.
+      scope->Exited(m.value);
+    }
+  });
+}
+
+std::int64_t CspAlarmClock::Now() const { return now_mirror_.load(); }
+
+SolutionInfo CspAlarmClock::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMessagePassing;
+  info.problem = "alarm-clock";
+  info.display_name = "CSP clock server (wake times in messages)";
+  info.fragments = {
+      {"priority", "wake requests carry their delay; the server wakes its private due "
+                   "list in due order at each tick"},
+  };
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Shortest-job-next allocator.
+
+CspSjnAllocator::CspSjnAllocator(Runtime& runtime) : group_(runtime) {
+  server_ = runtime.StartThread("sjn-server", [this] {
+    struct Job {
+      std::int64_t estimate = 0;
+      std::uint64_t ticket = 0;
+      Channel* reply = nullptr;
+    };
+    std::vector<Job> pending;
+    std::uint64_t next_ticket = 0;
+    bool busy = false;
+    auto grant = [&] {
+      auto best = pending.begin();
+      for (auto it = pending.begin(); it != pending.end(); ++it) {
+        if (it->estimate < best->estimate ||
+            (it->estimate == best->estimate && it->ticket < best->ticket)) {
+          best = it;
+        }
+      }
+      Channel* reply = best->reply;
+      pending.erase(best);
+      busy = true;
+      reply->Send(ChanMsg{});
+    };
+    while (true) {
+      ChanMsg msg;
+      const int idx = group_.Select({SelectCase{&stop_ch_, nullptr},
+                                     SelectCase{&request_ch_, nullptr},
+                                     SelectCase{&release_ch_, nullptr}},
+                                    &msg);
+      if (idx == 0) {
+        return;
+      }
+      if (idx == 1) {
+        pending.push_back(Job{msg.value, next_ticket++, msg.reply});
+        if (!busy) {
+          grant();
+        }
+      } else {
+        if (!pending.empty()) {
+          grant();
+        } else {
+          busy = false;
+        }
+      }
+    }
+  });
+}
+
+CspSjnAllocator::~CspSjnAllocator() {
+  Shutdown();
+  server_->Join();
+}
+
+void CspSjnAllocator::Shutdown() { stop_ch_.TrySend(ChanMsg{}); }
+
+void CspSjnAllocator::Use(std::int64_t estimate, const AccessBody& body, OpScope* scope) {
+  Channel reply(group_, "grant");
+  request_ch_.Send(ChanMsg{0, estimate, &reply}, ArriveHook(scope), nullptr);
+  reply.Receive([scope](const ChanMsg&) {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  body();
+  release_ch_.Send(ChanMsg{}, nullptr, ExitHook(scope));
+}
+
+SolutionInfo CspSjnAllocator::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMessagePassing;
+  info.problem = "sjn-allocator";
+  info.display_name = "CSP allocator server (estimates in messages)";
+  info.fragments = {
+      {"exclusion", "the server grants one job and waits for its release"},
+      {"priority", "requests carry estimates; the server grants its private minimum"},
+  };
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Dining philosophers.
+
+CspDining::CspDining(Runtime& runtime, int seats) : seats_(seats), group_(runtime) {
+  for (int i = 0; i < seats; ++i) {
+    grant_.push_back(std::make_unique<Channel>(group_, "grant" + std::to_string(i)));
+  }
+  server_ = runtime.StartThread("table-server", [this] {
+    std::vector<bool> eating(static_cast<std::size_t>(seats_), false);
+    std::vector<int> hungry;  // Arrival order.
+    auto try_grants = [&] {
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (auto it = hungry.begin(); it != hungry.end(); ++it) {
+          const int seat = *it;
+          const auto left = static_cast<std::size_t>((seat + seats_ - 1) % seats_);
+          const auto right = static_cast<std::size_t>((seat + 1) % seats_);
+          if (!eating[left] && !eating[right]) {
+            eating[static_cast<std::size_t>(seat)] = true;
+            hungry.erase(it);
+            grant_[static_cast<std::size_t>(seat)]->Send(ChanMsg{});
+            progress = true;
+            break;
+          }
+        }
+      }
+    };
+    while (true) {
+      ChanMsg msg;
+      const int idx = group_.Select({SelectCase{&stop_ch_, nullptr},
+                                     SelectCase{&hungry_ch_, nullptr},
+                                     SelectCase{&done_ch_, nullptr}},
+                                    &msg);
+      if (idx == 0) {
+        return;
+      }
+      if (idx == 1) {
+        hungry.push_back(static_cast<int>(msg.tag));
+      } else {
+        eating[static_cast<std::size_t>(msg.tag)] = false;
+      }
+      try_grants();
+    }
+  });
+}
+
+CspDining::~CspDining() {
+  Shutdown();
+  server_->Join();
+}
+
+void CspDining::Shutdown() { stop_ch_.TrySend(ChanMsg{}); }
+
+void CspDining::Eat(int philosopher, const AccessBody& body, OpScope* scope) {
+  hungry_ch_.Send(ChanMsg{philosopher, 0, nullptr}, ArriveHook(scope), nullptr);
+  grant_[static_cast<std::size_t>(philosopher)]->Receive([scope](const ChanMsg&) {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  body();
+  done_ch_.Send(ChanMsg{philosopher, 0, nullptr}, nullptr, ExitHook(scope));
+}
+
+SolutionInfo CspDining::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMessagePassing;
+  info.problem = "dining-philosophers";
+  info.display_name = "CSP table server (grants both forks atomically)";
+  info.fragments = {
+      {"exclusion", "the server grants a seat only while neither neighbour eats; grants "
+                    "and completions are messages"},
+  };
+  info.notes = "Deadlock-free: the fork pair is granted by one sequential decision.";
+  return info;
+}
+
+}  // namespace syneval

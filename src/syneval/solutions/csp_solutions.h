@@ -1,0 +1,209 @@
+// Message-passing (CSP) solutions — the paper's future work, implemented.
+//
+// Section 6: "We have not looked extensively at message-passing models ... such as ...
+// 'Communicating Sequential Processes', which may be used for many of the same
+// synchronization problems. ... The techniques presented in this paper may prove useful
+// in these evaluations." These solutions run that evaluation: every canonical problem
+// in the server-process style, measured by the same oracles, conformance sweeps and
+// structural metrics as the paper's three mechanisms.
+//
+// The idiom: the resource is a sequential *server process* owning its state; clients
+// synchronize only by sending/receiving. Admission = the server's rendezvous
+// acceptance; priority = the order and guards of the server's Select alternatives;
+// parameters travel inside messages; synchronization state and history live in the
+// server's locals and program counter (the one-slot buffer is literally a two-line
+// loop). Each solution owns its server thread; Shutdown() (idempotent) stops it — the
+// conformance workloads send it from a terminator thread once the clients finish.
+
+#ifndef SYNEVAL_SOLUTIONS_CSP_SOLUTIONS_H_
+#define SYNEVAL_SOLUTIONS_CSP_SOLUTIONS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "syneval/channel/channel.h"
+#include "syneval/problems/interfaces.h"
+#include "syneval/solutions/solution_info.h"
+
+namespace syneval {
+
+class CspBoundedBuffer : public BoundedBufferIface {
+ public:
+  CspBoundedBuffer(Runtime& runtime, int capacity);
+  ~CspBoundedBuffer() override;
+
+  void Deposit(std::int64_t item, OpScope* scope) override;
+  std::int64_t Remove(OpScope* scope) override;
+  int capacity() const override { return capacity_; }
+
+  void Shutdown();
+
+  static SolutionInfo Info();
+
+ private:
+  int capacity_;
+  ChannelGroup group_;
+  Channel deposit_ch_{group_, "deposit"};
+  Channel fetch_ch_{group_, "fetch"};
+  Channel reply_ch_{group_, "reply"};
+  Channel stop_ch_{group_, "stop", 1};
+  std::unique_ptr<RtThread> server_;
+};
+
+class CspOneSlotBuffer : public OneSlotBufferIface {
+ public:
+  explicit CspOneSlotBuffer(Runtime& runtime);
+  ~CspOneSlotBuffer() override;
+
+  void Deposit(std::int64_t item, OpScope* scope) override;
+  std::int64_t Remove(OpScope* scope) override;
+
+  void Shutdown();
+
+  static SolutionInfo Info();
+
+ private:
+  ChannelGroup group_;
+  Channel deposit_ch_{group_, "deposit"};
+  Channel fetch_ch_{group_, "fetch"};
+  Channel reply_ch_{group_, "reply"};
+  Channel stop_ch_{group_, "stop", 1};
+  std::unique_ptr<RtThread> server_;
+};
+
+// Both readers/writers policies share one server; the policy is just the order of the
+// server's Select alternatives plus one waiting-writer guard — the cleanest constraint
+// independence in the whole matrix.
+class CspReadersWriters : public ReadersWritersIface {
+ public:
+  enum class Policy { kReadersPriority, kWritersPriority };
+
+  CspReadersWriters(Runtime& runtime, Policy policy);
+  ~CspReadersWriters() override;
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  void Shutdown();
+
+  static SolutionInfo InfoReadersPriority();
+  static SolutionInfo InfoWritersPriority();
+
+ private:
+  Policy policy_;
+  ChannelGroup group_;
+  Channel start_read_{group_, "start_read"};
+  Channel end_read_{group_, "end_read"};
+  Channel start_write_{group_, "start_write"};
+  Channel end_write_{group_, "end_write"};
+  Channel stop_ch_{group_, "stop", 1};
+  std::unique_ptr<RtThread> server_;
+};
+
+class CspFcfsResource : public FcfsResourceIface {
+ public:
+  explicit CspFcfsResource(Runtime& runtime);
+  ~CspFcfsResource() override;
+
+  void Access(const AccessBody& body, OpScope* scope) override;
+
+  void Shutdown();
+
+  static SolutionInfo Info();
+
+ private:
+  ChannelGroup group_;
+  Channel acquire_ch_{group_, "acquire"};
+  Channel release_ch_{group_, "release"};
+  Channel stop_ch_{group_, "stop", 1};
+  std::unique_ptr<RtThread> server_;
+};
+
+class CspDiskScheduler : public DiskSchedulerIface {
+ public:
+  CspDiskScheduler(Runtime& runtime, std::int64_t initial_head = 0);
+  ~CspDiskScheduler() override;
+
+  void Access(std::int64_t track, const AccessBody& body, OpScope* scope) override;
+
+  void Shutdown();
+
+  static SolutionInfo Info();
+
+ private:
+  ChannelGroup group_;
+  Channel request_ch_{group_, "request"};
+  Channel release_ch_{group_, "release"};
+  Channel stop_ch_{group_, "stop", 1};
+  std::int64_t initial_head_;
+  std::unique_ptr<RtThread> server_;
+};
+
+class CspAlarmClock : public AlarmClockIface {
+ public:
+  explicit CspAlarmClock(Runtime& runtime);
+  ~CspAlarmClock() override;
+
+  void Tick() override;
+  void WakeMe(std::int64_t ticks, OpScope* scope) override;
+  std::int64_t Now() const override;
+
+  void Shutdown();
+
+  static SolutionInfo Info();
+
+ private:
+  ChannelGroup group_;
+  Channel tick_ch_{group_, "tick"};
+  Channel wake_ch_{group_, "wake"};
+  Channel stop_ch_{group_, "stop", 1};
+  std::atomic<std::int64_t> now_mirror_{0};  // Server-owned time, mirrored for Now().
+  std::unique_ptr<RtThread> server_;
+};
+
+class CspSjnAllocator : public SjnAllocatorIface {
+ public:
+  explicit CspSjnAllocator(Runtime& runtime);
+  ~CspSjnAllocator() override;
+
+  void Use(std::int64_t estimate, const AccessBody& body, OpScope* scope) override;
+
+  void Shutdown();
+
+  static SolutionInfo Info();
+
+ private:
+  ChannelGroup group_;
+  Channel request_ch_{group_, "request"};
+  Channel release_ch_{group_, "release"};
+  Channel stop_ch_{group_, "stop", 1};
+  std::unique_ptr<RtThread> server_;
+};
+
+class CspDining : public DiningTableIface {
+ public:
+  CspDining(Runtime& runtime, int seats);
+  ~CspDining() override;
+
+  void Eat(int philosopher, const AccessBody& body, OpScope* scope) override;
+  int seats() const override { return seats_; }
+
+  void Shutdown();
+
+  static SolutionInfo Info();
+
+ private:
+  int seats_;
+  ChannelGroup group_;
+  Channel hungry_ch_{group_, "hungry"};
+  Channel done_ch_{group_, "done"};
+  Channel stop_ch_{group_, "stop", 1};
+  std::vector<std::unique_ptr<Channel>> grant_;  // One per seat.
+  std::unique_ptr<RtThread> server_;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SOLUTIONS_CSP_SOLUTIONS_H_

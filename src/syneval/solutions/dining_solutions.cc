@@ -1,0 +1,298 @@
+#include "syneval/solutions/dining_solutions.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace syneval {
+
+namespace {
+
+std::string EatOp(int seat) { return "eat" + std::to_string(seat); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------------------
+// Naive semaphores (deadlocks).
+
+SemaphoreDiningNaive::SemaphoreDiningNaive(Runtime& runtime, int seats) : seats_(seats) {
+  for (int i = 0; i < seats; ++i) {
+    forks_.push_back(std::make_unique<BinarySemaphore>(runtime, true));
+  }
+}
+
+void SemaphoreDiningNaive::Eat(int philosopher, const AccessBody& body, OpScope* scope) {
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  BinarySemaphore& left = *forks_[static_cast<std::size_t>(philosopher)];
+  BinarySemaphore& right = *forks_[static_cast<std::size_t>((philosopher + 1) % seats_)];
+  left.P();
+  right.P([scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  body();
+  right.V([scope] {
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+  });
+  left.V();
+}
+
+SolutionInfo SemaphoreDiningNaive::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "dining-philosophers";
+  info.display_name = "Naive forks (left then right) — deadlocks";
+  info.fragments = {
+      {"exclusion", "P(left); P(right); eat; V(right); V(left)"},
+  };
+  info.notes = "Hold-and-wait on a cycle: every schedule where all grab left deadlocks.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Ordered forks.
+
+SemaphoreDiningOrdered::SemaphoreDiningOrdered(Runtime& runtime, int seats)
+    : seats_(seats) {
+  for (int i = 0; i < seats; ++i) {
+    forks_.push_back(std::make_unique<BinarySemaphore>(runtime, true));
+  }
+}
+
+void SemaphoreDiningOrdered::Eat(int philosopher, const AccessBody& body, OpScope* scope) {
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  const int a = philosopher;
+  const int b = (philosopher + 1) % seats_;
+  BinarySemaphore& first = *forks_[static_cast<std::size_t>(std::min(a, b))];
+  BinarySemaphore& second = *forks_[static_cast<std::size_t>(std::max(a, b))];
+  first.P();
+  second.P([scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  body();
+  second.V([scope] {
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+  });
+  first.V();
+}
+
+SolutionInfo SemaphoreDiningOrdered::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "dining-philosophers";
+  info.display_name = "Ordered forks (lowest index first)";
+  info.fragments = {
+      {"exclusion", "P(min fork); P(max fork); eat; V(max); V(min) — total order breaks "
+                    "the cycle"},
+  };
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Butler.
+
+SemaphoreDiningButler::SemaphoreDiningButler(Runtime& runtime, int seats)
+    : seats_(seats), butler_(runtime, seats - 1) {
+  for (int i = 0; i < seats; ++i) {
+    forks_.push_back(std::make_unique<BinarySemaphore>(runtime, true));
+  }
+}
+
+void SemaphoreDiningButler::Eat(int philosopher, const AccessBody& body, OpScope* scope) {
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  butler_.P();
+  BinarySemaphore& left = *forks_[static_cast<std::size_t>(philosopher)];
+  BinarySemaphore& right = *forks_[static_cast<std::size_t>((philosopher + 1) % seats_)];
+  left.P();
+  right.P([scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  body();
+  right.V([scope] {
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+  });
+  left.V();
+  butler_.V();
+}
+
+SolutionInfo SemaphoreDiningButler::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "dining-philosophers";
+  info.display_name = "Dijkstra's butler (at most N-1 seated)";
+  info.fragments = {
+      {"exclusion", "P(butler := N-1); P(left); P(right); eat; V(right); V(left); "
+                    "V(butler)"},
+  };
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Monitor (Dijkstra's state-based test).
+
+MonitorDining::MonitorDining(Runtime& runtime, int seats)
+    : seats_(seats), monitor_(runtime), states_(static_cast<std::size_t>(seats),
+                                                State::kThinking) {
+  for (int i = 0; i < seats; ++i) {
+    self_.push_back(std::make_unique<HoareMonitor::Condition>(monitor_));
+  }
+}
+
+void MonitorDining::TestLocked(int seat) {
+  if (states_[static_cast<std::size_t>(seat)] == State::kHungry &&
+      states_[static_cast<std::size_t>(Left(seat))] != State::kEating &&
+      states_[static_cast<std::size_t>(Right(seat))] != State::kEating) {
+    states_[static_cast<std::size_t>(seat)] = State::kEating;
+    self_[static_cast<std::size_t>(seat)]->Signal();
+  }
+}
+
+void MonitorDining::Eat(int philosopher, const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    states_[static_cast<std::size_t>(philosopher)] = State::kHungry;
+    TestLocked(philosopher);
+    if (states_[static_cast<std::size_t>(philosopher)] != State::kEating) {
+      self_[static_cast<std::size_t>(philosopher)]->Wait();
+    }
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    states_[static_cast<std::size_t>(philosopher)] = State::kThinking;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    TestLocked(Left(philosopher));
+    TestLocked(Right(philosopher));
+  }
+}
+
+SolutionInfo MonitorDining::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMonitor;
+  info.problem = "dining-philosophers";
+  info.display_name = "Dijkstra state monitor (test + private conditions)";
+  info.shared_variables = 1;  // The state array.
+  info.fragments = {
+      {"exclusion", "state array thinking/hungry/eating; test(k): eat only while "
+                    "neither neighbour eats; releaser tests both neighbours"},
+  };
+  info.notes = "Deadlock-free, but a single philosopher can be starved by alternating "
+               "neighbours.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Serializer.
+
+SerializerDining::SerializerDining(Runtime& runtime, int seats)
+    : seats_(seats), serializer_(runtime), eating_(static_cast<std::size_t>(seats), false) {}
+
+void SerializerDining::Eat(int philosopher, const AccessBody& body, OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  const auto left = static_cast<std::size_t>((philosopher + seats_ - 1) % seats_);
+  const auto right = static_cast<std::size_t>((philosopher + 1) % seats_);
+  serializer_.Enqueue(hungry_, [this, left, right] {
+    return !eating_[left] && !eating_[right];
+  });
+  serializer_.JoinCrowd(
+      eating_crowd_, body,
+      [this, philosopher, scope] {
+        eating_[static_cast<std::size_t>(philosopher)] = true;
+        if (scope != nullptr) {
+          scope->Entered();
+        }
+      },
+      [this, philosopher, scope] {
+        eating_[static_cast<std::size_t>(philosopher)] = false;
+        if (scope != nullptr) {
+          scope->Exited();
+        }
+      });
+}
+
+SolutionInfo SerializerDining::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSerializer;
+  info.problem = "dining-philosophers";
+  info.display_name = "Serializer (guards over neighbour flags)";
+  info.shared_variables = 1;  // The eating flags.
+  info.fragments = {
+      {"exclusion", "enqueue(hungry, not eating[left] and not eating[right]); eat in "
+                    "the eating crowd"},
+  };
+  info.notes = "One FIFO queue: a blocked head also blocks later eligible "
+               "philosophers (head-of-line blocking, the E5 trade-off in reverse).";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Path expressions: one path per fork, atomic acquisition.
+
+std::string PathDining::Program(int seats) {
+  std::ostringstream os;
+  for (int fork = 0; fork < seats; ++fork) {
+    // Fork f sits between philosopher f and philosopher (f+1)%seats... each fork is a
+    // one-activation selection between its two users.
+    os << "path 1:(" << EatOp(fork) << " , " << EatOp((fork + 1) % seats) << ") end ";
+  }
+  return os.str();
+}
+
+PathDining::PathDining(Runtime& runtime, int seats)
+    : seats_(seats), controller_(runtime, Program(seats)) {}
+
+void PathDining::Eat(int philosopher, const AccessBody& body, OpScope* scope) {
+  PathController::Hooks hooks;
+  if (scope != nullptr) {
+    hooks.on_arrive = [scope] { scope->Arrived(); };
+    hooks.on_admit = [scope] { scope->Entered(); };
+    hooks.on_release = [scope] { scope->Exited(); };
+  }
+  const std::string op = EatOp(philosopher);
+  const PathController::Token token = controller_.Begin(op, hooks);
+  body();
+  controller_.End(op, token, hooks);
+}
+
+SolutionInfo PathDining::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kPathExpression;
+  info.problem = "dining-philosophers";
+  info.display_name = "One path per fork (atomic prologues)";
+  info.fragments = {
+      {"exclusion", "path 1:(eat_i , eat_i+1) end per fork; eat_i names two paths and "
+                    "acquires both atomically"},
+  };
+  info.notes = "Deadlock-free by construction: the controller fires all prologues of "
+               "an operation atomically, so hold-and-wait cannot arise.";
+  return info;
+}
+
+}  // namespace syneval

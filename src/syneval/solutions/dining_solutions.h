@@ -1,0 +1,140 @@
+// Dining-philosophers solutions (Dijkstra, "Cooperating Sequential Processes" — the
+// paper's reference [9]) under every mechanism.
+//
+// The problem's evaluation value is twofold: it is the classic *deadlock* example (the
+// naive fork protocol deadlocks, which the deterministic runtime exhibits on demand),
+// and its exclusion constraint is relational (between *neighbours*), exercising
+// request-type information in a way the two-party problems do not.
+//
+// The path-expression solution is a small showpiece: with one path per fork,
+//   path 1:(eat_i , eat_{i+1}) end        (indices mod N)
+// each Eat names two paths, and the controller fires all of an operation's prologues
+// atomically — so the hold-and-wait condition never arises and the solution is
+// deadlock-free *by construction*, with no ordering trick and no butler.
+
+#ifndef SYNEVAL_SOLUTIONS_DINING_SOLUTIONS_H_
+#define SYNEVAL_SOLUTIONS_DINING_SOLUTIONS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "syneval/monitor/hoare_monitor.h"
+#include "syneval/pathexpr/controller.h"
+#include "syneval/problems/interfaces.h"
+#include "syneval/serializer/serializer.h"
+#include "syneval/solutions/solution_info.h"
+#include "syneval/sync/semaphore.h"
+
+namespace syneval {
+
+// The textbook-broken protocol: grab the left fork, then the right. Deadlocks when
+// every philosopher holds their left fork. Kept deliberately: the conformance suite
+// *expects* the deterministic runtime to find the deadlock.
+class SemaphoreDiningNaive : public DiningTableIface {
+ public:
+  SemaphoreDiningNaive(Runtime& runtime, int seats);
+
+  void Eat(int philosopher, const AccessBody& body, OpScope* scope) override;
+  int seats() const override { return seats_; }
+
+  static SolutionInfo Info();
+
+ private:
+  int seats_;
+  std::vector<std::unique_ptr<BinarySemaphore>> forks_;
+};
+
+// Deadlock-free via a total order on forks: always acquire the lower-numbered first.
+class SemaphoreDiningOrdered : public DiningTableIface {
+ public:
+  SemaphoreDiningOrdered(Runtime& runtime, int seats);
+
+  void Eat(int philosopher, const AccessBody& body, OpScope* scope) override;
+  int seats() const override { return seats_; }
+
+  static SolutionInfo Info();
+
+ private:
+  int seats_;
+  std::vector<std::unique_ptr<BinarySemaphore>> forks_;
+};
+
+// Deadlock-free via Dijkstra's butler: at most seats-1 philosophers at the table.
+class SemaphoreDiningButler : public DiningTableIface {
+ public:
+  SemaphoreDiningButler(Runtime& runtime, int seats);
+
+  void Eat(int philosopher, const AccessBody& body, OpScope* scope) override;
+  int seats() const override { return seats_; }
+
+  static SolutionInfo Info();
+
+ private:
+  int seats_;
+  CountingSemaphore butler_;
+  std::vector<std::unique_ptr<BinarySemaphore>> forks_;
+};
+
+// Dijkstra's state-based solution in monitor form: hungry/eating states, a private
+// condition per seat, and a Test procedure run by every releaser for its neighbours.
+class MonitorDining : public DiningTableIface {
+ public:
+  MonitorDining(Runtime& runtime, int seats);
+
+  void Eat(int philosopher, const AccessBody& body, OpScope* scope) override;
+  int seats() const override { return seats_; }
+
+  static SolutionInfo Info();
+
+ private:
+  enum class State { kThinking, kHungry, kEating };
+
+  int Left(int seat) const { return (seat + seats_ - 1) % seats_; }
+  int Right(int seat) const { return (seat + 1) % seats_; }
+  void TestLocked(int seat);
+
+  int seats_;
+  HoareMonitor monitor_;
+  std::vector<State> states_;
+  std::vector<std::unique_ptr<HoareMonitor::Condition>> self_;
+};
+
+// Serializer: one FIFO queue; a philosopher's guard is "neither neighbour is eating",
+// with the eating flags flipped under the serializer lock by the crowd hooks.
+class SerializerDining : public DiningTableIface {
+ public:
+  SerializerDining(Runtime& runtime, int seats);
+
+  void Eat(int philosopher, const AccessBody& body, OpScope* scope) override;
+  int seats() const override { return seats_; }
+
+  static SolutionInfo Info();
+
+ private:
+  int seats_;
+  Serializer serializer_;
+  Serializer::Queue hungry_{serializer_, "hungry"};
+  Serializer::Crowd eating_crowd_{serializer_, "eating"};
+  std::vector<bool> eating_;
+};
+
+// One path per fork; atomic multi-path prologues make hold-and-wait impossible.
+class PathDining : public DiningTableIface {
+ public:
+  PathDining(Runtime& runtime, int seats);
+
+  void Eat(int philosopher, const AccessBody& body, OpScope* scope) override;
+  int seats() const override { return seats_; }
+
+  static SolutionInfo Info();
+  static std::string Program(int seats);
+
+ private:
+  int seats_;
+  PathController controller_;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SOLUTIONS_DINING_SOLUTIONS_H_

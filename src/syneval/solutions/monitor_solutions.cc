@@ -1,0 +1,665 @@
+#include "syneval/solutions/monitor_solutions.h"
+
+namespace syneval {
+
+// ---------------------------------------------------------------------------------------
+// Bounded buffer.
+
+MonitorBoundedBuffer::MonitorBoundedBuffer(Runtime& runtime, int capacity)
+    : monitor_(runtime), ring_(static_cast<std::size_t>(capacity), 0), capacity_(capacity) {}
+
+void MonitorBoundedBuffer::Deposit(std::int64_t item, OpScope* scope) {
+  MonitorRegion region(monitor_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  while (count_ == capacity_) {
+    nonfull_.Wait();
+  }
+  if (scope != nullptr) {
+    scope->Entered();
+  }
+  ring_[static_cast<std::size_t>(in_)] = item;
+  in_ = (in_ + 1) % capacity_;
+  ++count_;
+  if (scope != nullptr) {
+    scope->Exited();
+  }
+  nonempty_.Signal();
+}
+
+std::int64_t MonitorBoundedBuffer::Remove(OpScope* scope) {
+  MonitorRegion region(monitor_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  while (count_ == 0) {
+    nonempty_.Wait();
+  }
+  if (scope != nullptr) {
+    scope->Entered();
+  }
+  const std::int64_t item = ring_[static_cast<std::size_t>(out_)];
+  out_ = (out_ + 1) % capacity_;
+  --count_;
+  if (scope != nullptr) {
+    scope->Exited(item);
+  }
+  nonfull_.Signal();
+  return item;
+}
+
+SolutionInfo MonitorBoundedBuffer::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMonitor;
+  info.problem = "bounded-buffer";
+  info.display_name = "Hoare bounded buffer monitor";
+  info.shared_variables = 3;  // count, in, out.
+  info.fragments = {
+      {"exclusion", "monitor body: deposit/remove mutually exclusive by monitor entry"},
+      {"local-state", "while count = capacity do nonfull.wait; while count = 0 do "
+                      "nonempty.wait; count maintained by hand"},
+  };
+  info.notes = "Local state (count) must be duplicated as monitor data.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// One-slot buffer.
+
+MonitorOneSlotBuffer::MonitorOneSlotBuffer(Runtime& runtime) : monitor_(runtime) {}
+
+void MonitorOneSlotBuffer::Deposit(std::int64_t item, OpScope* scope) {
+  MonitorRegion region(monitor_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  while (has_item_) {
+    empty_.Wait();
+  }
+  if (scope != nullptr) {
+    scope->Entered();
+  }
+  slot_ = item;
+  has_item_ = true;
+  if (scope != nullptr) {
+    scope->Exited();
+  }
+  full_.Signal();
+}
+
+std::int64_t MonitorOneSlotBuffer::Remove(OpScope* scope) {
+  MonitorRegion region(monitor_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  while (!has_item_) {
+    full_.Wait();
+  }
+  if (scope != nullptr) {
+    scope->Entered();
+  }
+  const std::int64_t item = slot_;
+  has_item_ = false;
+  if (scope != nullptr) {
+    scope->Exited(item);
+  }
+  empty_.Signal();
+  return item;
+}
+
+SolutionInfo MonitorOneSlotBuffer::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMonitor;
+  info.problem = "one-slot-buffer";
+  info.display_name = "One-slot buffer monitor";
+  info.shared_variables = 1;  // has_item.
+  info.fragments = {
+      {"exclusion", "monitor body: deposit/remove mutually exclusive by monitor entry"},
+      {"history", "has_item flag encodes whether a deposit has occurred; "
+                  "while has_item do empty.wait; while not has_item do full.wait"},
+  };
+  info.notes = "History information must be re-encoded as explicit state.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Readers/writers: readers priority.
+
+MonitorRwReadersPriority::MonitorRwReadersPriority(Runtime& runtime) : monitor_(runtime) {}
+
+void MonitorRwReadersPriority::Read(const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    while (writing_) {
+      ok_to_read_.Wait();
+    }
+    ++readers_;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+    ok_to_read_.Signal();  // Cascade: admit the whole waiting batch of readers.
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    --readers_;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    if (readers_ == 0) {
+      ok_to_write_.Signal();
+    }
+  }
+}
+
+void MonitorRwReadersPriority::Write(const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    while (writing_ || readers_ > 0) {
+      ok_to_write_.Wait();
+    }
+    writing_ = true;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    writing_ = false;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    // Priority constraint: waiting readers are preferred at every release.
+    if (!ok_to_read_.Empty()) {
+      ok_to_read_.Signal();
+    } else {
+      ok_to_write_.Signal();
+    }
+  }
+}
+
+SolutionInfo MonitorRwReadersPriority::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMonitor;
+  info.problem = "rw-readers-priority";
+  info.display_name = "Readers-priority monitor (CHP semantics)";
+  info.shared_variables = 2;  // readers, writing.
+  info.fragments = {
+      {"exclusion", "while writing do oktoread.wait; "
+                    "while writing or readers > 0 do oktowrite.wait; "
+                    "readers count and writing flag maintained by hand"},
+      {"priority", "end-write: if not oktoread.empty then oktoread.signal "
+                   "else oktowrite.signal; start-read cascades oktoread.signal"},
+  };
+  info.notes = "Explicit signal forces choosing the wakeup order at every release.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Readers/writers: writers priority.
+
+MonitorRwWritersPriority::MonitorRwWritersPriority(Runtime& runtime) : monitor_(runtime) {}
+
+void MonitorRwWritersPriority::Read(const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    // Priority constraint: arriving readers defer to any waiting writer (queue state).
+    while (writing_ || !ok_to_write_.Empty()) {
+      ok_to_read_.Wait();
+    }
+    ++readers_;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+    ok_to_read_.Signal();
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    --readers_;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    if (readers_ == 0) {
+      ok_to_write_.Signal();
+    }
+  }
+}
+
+void MonitorRwWritersPriority::Write(const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    while (writing_ || readers_ > 0) {
+      ok_to_write_.Wait();
+    }
+    writing_ = true;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    writing_ = false;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    // Priority constraint: waiting writers are preferred at every release.
+    if (!ok_to_write_.Empty()) {
+      ok_to_write_.Signal();
+    } else {
+      ok_to_read_.Signal();
+    }
+  }
+}
+
+SolutionInfo MonitorRwWritersPriority::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMonitor;
+  info.problem = "rw-writers-priority";
+  info.display_name = "Writers-priority monitor";
+  info.shared_variables = 2;  // readers, writing.
+  info.fragments = {
+      {"exclusion", "while writing do oktoread.wait; "
+                    "while writing or readers > 0 do oktowrite.wait; "
+                    "readers count and writing flag maintained by hand"},
+      {"priority", "start-read also waits while oktowrite queue not empty; "
+                   "end-write: if not oktowrite.empty then oktowrite.signal "
+                   "else oktoread.signal"},
+  };
+  info.notes = "Only the priority fragment changed relative to readers-priority.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Readers/writers: FCFS via two-stage queuing.
+
+MonitorRwFcfs::MonitorRwFcfs(Runtime& runtime) : monitor_(runtime) {}
+
+void MonitorRwFcfs::Read(const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    const std::int64_t ticket = next_ticket_++;
+    // Stage 1 (request time): wait while anyone earlier is still queued. Stage 2
+    // (request type): a reader at the head additionally waits only for writers.
+    bool must_wait = writing_ || !turn_.Empty();
+    while (must_wait) {
+      turn_.Wait(ticket);
+      must_wait = writing_;
+    }
+    ++readers_;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+    turn_.Signal();  // A consecutive reader at the new head may be admissible.
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    --readers_;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    if (readers_ == 0) {
+      turn_.Signal();
+    }
+  }
+}
+
+void MonitorRwFcfs::Write(const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    const std::int64_t ticket = next_ticket_++;
+    bool must_wait = writing_ || readers_ > 0 || !turn_.Empty();
+    while (must_wait) {
+      turn_.Wait(ticket);
+      must_wait = writing_ || readers_ > 0;
+    }
+    writing_ = true;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    writing_ = false;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    turn_.Signal();
+  }
+}
+
+SolutionInfo MonitorRwFcfs::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMonitor;
+  info.problem = "rw-fcfs";
+  info.display_name = "FCFS monitor (two-stage queuing)";
+  info.shared_variables = 3;  // next_ticket, readers, writing.
+  info.fragments = {
+      {"exclusion", "stage 2: reader re-waits while writing; "
+                    "writer re-waits while writing or readers > 0; "
+                    "readers count and writing flag maintained by hand"},
+      {"priority", "stage 1: single queue ordered by arrival ticket; "
+                   "only the head is ever admitted, so admissions are FCFS"},
+  };
+  info.notes =
+      "The request-type/request-time conflict of Section 5.2: type needs separate "
+      "queues, order needs one queue; resolved by queuing in two stages.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Readers/writers: fair batch alternation (Hoare 1974).
+
+MonitorRwFair::MonitorRwFair(Runtime& runtime) : monitor_(runtime) {}
+
+void MonitorRwFair::Read(const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    // Hoare-style `if` wait: a signal at end-write admits the reader batch even though
+    // more writers may be queued — that is precisely the fairness decision, so the
+    // gate must not be re-checked on resumption.
+    if (writing_ || !ok_to_write_.Empty()) {
+      ok_to_read_.Wait();
+    }
+    ++readers_;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+    ok_to_read_.Signal();
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    --readers_;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    if (readers_ == 0) {
+      ok_to_write_.Signal();
+    }
+  }
+}
+
+void MonitorRwFair::Write(const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    if (writing_ || readers_ > 0) {
+      ok_to_write_.Wait();
+    }
+    writing_ = true;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    writing_ = false;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    // Fairness: at a write's end the waiting readers (a whole batch) go first; a
+    // waiting writer blocks the *next* batch from forming, so neither class starves.
+    if (!ok_to_read_.Empty()) {
+      ok_to_read_.Signal();
+    } else {
+      ok_to_write_.Signal();
+    }
+  }
+}
+
+SolutionInfo MonitorRwFair::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMonitor;
+  info.problem = "rw-fair";
+  info.display_name = "Fair (batch alternation) monitor, Hoare 1974";
+  info.shared_variables = 2;
+  info.fragments = {
+      {"exclusion", "while writing do oktoread.wait; "
+                    "while writing or readers > 0 do oktowrite.wait; "
+                    "readers count and writing flag maintained by hand"},
+      {"priority", "start-read defers to waiting writers; end-write admits the waiting "
+                   "reader batch first"},
+  };
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// FCFS resource.
+
+MonitorFcfsResource::MonitorFcfsResource(Runtime& runtime) : monitor_(runtime) {}
+
+void MonitorFcfsResource::Access(const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    while (busy_) {
+      turn_.Wait();
+    }
+    busy_ = true;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    busy_ = false;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    turn_.Signal();
+  }
+}
+
+SolutionInfo MonitorFcfsResource::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMonitor;
+  info.problem = "fcfs-resource";
+  info.display_name = "FCFS resource monitor";
+  info.shared_variables = 1;
+  info.fragments = {
+      {"exclusion", "while busy do turn.wait; busy flag maintained by hand"},
+      {"priority", "condition queues are FIFO, so wait order is arrival order"},
+  };
+  info.notes = "Request-time information is implicit in the FIFO condition queue.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Disk-head scheduler (Hoare's dischead).
+
+MonitorDiskScheduler::MonitorDiskScheduler(Runtime& runtime, std::int64_t initial_head)
+    : monitor_(runtime), head_(initial_head) {}
+
+void MonitorDiskScheduler::Access(std::int64_t track, const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    if (busy_) {
+      // Priority constraint on the request parameter: join the sweep that will pass
+      // this track, ordered by track number.
+      if (track > head_ || (track == head_ && moving_up_)) {
+        upsweep_.Wait(track);
+      } else {
+        downsweep_.Wait(-track);
+      }
+    }
+    busy_ = true;
+    head_ = track;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    if (moving_up_) {
+      if (!upsweep_.Empty()) {
+        upsweep_.Signal();
+      } else if (!downsweep_.Empty()) {
+        moving_up_ = false;
+        downsweep_.Signal();
+      } else {
+        busy_ = false;
+      }
+    } else {
+      if (!downsweep_.Empty()) {
+        downsweep_.Signal();
+      } else if (!upsweep_.Empty()) {
+        moving_up_ = true;
+        upsweep_.Signal();
+      } else {
+        busy_ = false;
+      }
+    }
+  }
+}
+
+SolutionInfo MonitorDiskScheduler::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMonitor;
+  info.problem = "disk-scan";
+  info.display_name = "Hoare disk-head scheduler (SCAN)";
+  info.shared_variables = 3;  // head, direction, busy.
+  info.fragments = {
+      {"exclusion", "if busy then wait on a sweep queue; busy flag maintained by hand"},
+      {"priority", "priority conditions upsweep.wait(track) / downsweep.wait(-track); "
+                   "release signals the current sweep, flipping direction when empty"},
+  };
+  info.notes = "Request parameters handled directly by priority-queue conditions.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Alarm clock (Hoare's alarmclock).
+
+MonitorAlarmClock::MonitorAlarmClock(Runtime& runtime) : monitor_(runtime) {}
+
+void MonitorAlarmClock::Tick() {
+  MonitorRegion region(monitor_);
+  ++now_;
+  while (!wakeup_.Empty() && wakeup_.MinPriority() <= now_) {
+    wakeup_.Signal();  // Hoare transfer: each due sleeper wakes and leaves in turn.
+  }
+}
+
+void MonitorAlarmClock::WakeMe(std::int64_t ticks, OpScope* scope) {
+  MonitorRegion region(monitor_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  const std::int64_t alarm = now_ + ticks;
+  if (scope != nullptr) {
+    scope->Entered(alarm);
+  }
+  while (now_ < alarm) {
+    wakeup_.Wait(alarm);
+  }
+  if (scope != nullptr) {
+    scope->Exited(now_);
+  }
+}
+
+std::int64_t MonitorAlarmClock::Now() const {
+  MonitorRegion region(monitor_);
+  return now_;
+}
+
+SolutionInfo MonitorAlarmClock::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMonitor;
+  info.problem = "alarm-clock";
+  info.display_name = "Hoare alarm clock";
+  info.shared_variables = 1;  // now.
+  info.fragments = {
+      {"priority", "wakeup.wait(now + n): priority condition ordered by due time; tick "
+                   "signals while min due <= now"},
+  };
+  info.notes = "Wake times (request parameters) handled by the priority condition.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Shortest-job-next allocator.
+
+MonitorSjnAllocator::MonitorSjnAllocator(Runtime& runtime) : monitor_(runtime) {}
+
+void MonitorSjnAllocator::Use(std::int64_t estimate, const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    if (busy_) {
+      queue_.Wait(estimate);
+    }
+    busy_ = true;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    if (!queue_.Empty()) {
+      queue_.Signal();
+    } else {
+      busy_ = false;
+    }
+  }
+}
+
+SolutionInfo MonitorSjnAllocator::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMonitor;
+  info.problem = "sjn-allocator";
+  info.display_name = "Shortest-job-next monitor (Hoare scheduled wait)";
+  info.shared_variables = 1;  // busy.
+  info.fragments = {
+      {"exclusion", "if busy then queue.wait(estimate); busy flag maintained by hand"},
+      {"priority", "priority condition ordered by estimate; release signals the minimum"},
+  };
+  return info;
+}
+
+}  // namespace syneval

@@ -1,0 +1,206 @@
+// Monitor solutions to the canonical problem set (Hoare monitors, Section 5.2).
+//
+// Every class implements a problems/ interface with a HoareMonitor and registers
+// SolutionInfo fragments for the metrics engine. Signal discipline is Hoare's: a
+// signalled process resumes immediately with its condition guaranteed, which is why the
+// wait sites are written as `while` guards that are in fact re-checked at most once.
+
+#ifndef SYNEVAL_SOLUTIONS_MONITOR_SOLUTIONS_H_
+#define SYNEVAL_SOLUTIONS_MONITOR_SOLUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "syneval/monitor/hoare_monitor.h"
+#include "syneval/problems/interfaces.h"
+#include "syneval/solutions/solution_info.h"
+
+namespace syneval {
+
+// Hoare's cyclic bounded buffer.
+class MonitorBoundedBuffer : public BoundedBufferIface {
+ public:
+  MonitorBoundedBuffer(Runtime& runtime, int capacity);
+
+  void Deposit(std::int64_t item, OpScope* scope) override;
+  std::int64_t Remove(OpScope* scope) override;
+  int capacity() const override { return capacity_; }
+
+  static SolutionInfo Info();
+
+ private:
+  HoareMonitor monitor_;
+  HoareMonitor::Condition nonfull_{monitor_};
+  HoareMonitor::Condition nonempty_{monitor_};
+  std::vector<std::int64_t> ring_;
+  int capacity_;
+  int count_ = 0;
+  int in_ = 0;
+  int out_ = 0;
+};
+
+// One-slot buffer with strict deposit/remove alternation (history via a flag).
+class MonitorOneSlotBuffer : public OneSlotBufferIface {
+ public:
+  explicit MonitorOneSlotBuffer(Runtime& runtime);
+
+  void Deposit(std::int64_t item, OpScope* scope) override;
+  std::int64_t Remove(OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  HoareMonitor monitor_;
+  HoareMonitor::Condition empty_{monitor_};
+  HoareMonitor::Condition full_{monitor_};
+  bool has_item_ = false;
+  std::int64_t slot_ = 0;
+};
+
+// Readers-priority readers/writers (Courtois-Heymans-Parnas problem 1 semantics).
+class MonitorRwReadersPriority : public ReadersWritersIface {
+ public:
+  explicit MonitorRwReadersPriority(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  HoareMonitor monitor_;
+  HoareMonitor::Condition ok_to_read_{monitor_};
+  HoareMonitor::Condition ok_to_write_{monitor_};
+  int readers_ = 0;
+  bool writing_ = false;
+};
+
+// Writers-priority readers/writers: arriving readers defer to any waiting writer
+// (uses the condition queue-state construct — synchronization state information).
+class MonitorRwWritersPriority : public ReadersWritersIface {
+ public:
+  explicit MonitorRwWritersPriority(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  HoareMonitor monitor_;
+  HoareMonitor::Condition ok_to_read_{monitor_};
+  HoareMonitor::Condition ok_to_write_{monitor_};
+  int readers_ = 0;
+  bool writing_ = false;
+};
+
+// FCFS readers/writers via two-stage queuing: a ticket dispenser totally orders
+// arrivals (stage 1), and admission separates by request type at the head (stage 2).
+// This is the "standard solution" Section 5.2 describes for the request-type /
+// request-time conflict in monitors.
+class MonitorRwFcfs : public ReadersWritersIface {
+ public:
+  explicit MonitorRwFcfs(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  HoareMonitor monitor_;
+  // Stage 1: one queue totally ordered by arrival ticket (priority = ticket number);
+  // stage 2: the head re-checks its type-specific admissibility.
+  HoareMonitor::PriorityCondition turn_{monitor_};
+  std::int64_t next_ticket_ = 0;
+  int readers_ = 0;
+  bool writing_ = false;
+};
+
+// Fair (batch-alternating) readers/writers, Hoare's CACM 1974 variant: a waiting writer
+// blocks new readers; at a write's end all waiting readers are admitted as a batch.
+class MonitorRwFair : public ReadersWritersIface {
+ public:
+  explicit MonitorRwFair(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  HoareMonitor monitor_;
+  HoareMonitor::Condition ok_to_read_{monitor_};
+  HoareMonitor::Condition ok_to_write_{monitor_};
+  int readers_ = 0;
+  bool writing_ = false;
+};
+
+// FCFS exclusive resource: monitor FIFO entry + FIFO condition.
+class MonitorFcfsResource : public FcfsResourceIface {
+ public:
+  explicit MonitorFcfsResource(Runtime& runtime);
+
+  void Access(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  HoareMonitor monitor_;
+  HoareMonitor::Condition turn_{monitor_};
+  bool busy_ = false;
+};
+
+// Hoare's disk-head (elevator) scheduler with two priority conditions.
+class MonitorDiskScheduler : public DiskSchedulerIface {
+ public:
+  MonitorDiskScheduler(Runtime& runtime, std::int64_t initial_head = 0);
+
+  void Access(std::int64_t track, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  HoareMonitor monitor_;
+  HoareMonitor::PriorityCondition upsweep_{monitor_};    // Ordered by track.
+  HoareMonitor::PriorityCondition downsweep_{monitor_};  // Ordered by -track.
+  std::int64_t head_;
+  bool moving_up_ = true;
+  bool busy_ = false;
+};
+
+// Hoare's alarm clock: priority wait on absolute due time; the ticker cascades signals.
+class MonitorAlarmClock : public AlarmClockIface {
+ public:
+  explicit MonitorAlarmClock(Runtime& runtime);
+
+  void Tick() override;
+  void WakeMe(std::int64_t ticks, OpScope* scope) override;
+  std::int64_t Now() const override;
+
+  static SolutionInfo Info();
+
+ private:
+  mutable HoareMonitor monitor_;
+  HoareMonitor::PriorityCondition wakeup_{monitor_};  // Ordered by due time.
+  std::int64_t now_ = 0;
+};
+
+// Shortest-job-next single-resource allocator (Hoare's scheduled-wait example).
+class MonitorSjnAllocator : public SjnAllocatorIface {
+ public:
+  explicit MonitorSjnAllocator(Runtime& runtime);
+
+  void Use(std::int64_t estimate, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  HoareMonitor monitor_;
+  HoareMonitor::PriorityCondition queue_{monitor_};  // Ordered by estimate.
+  bool busy_ = false;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SOLUTIONS_MONITOR_SOLUTIONS_H_

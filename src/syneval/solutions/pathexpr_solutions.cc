@@ -1,0 +1,382 @@
+#include "syneval/solutions/pathexpr_solutions.h"
+
+#include <sstream>
+
+namespace syneval {
+
+namespace {
+
+// Hook bundles mapping OpScope phases onto controller instants (all run under the
+// controller lock, per the instrumentation contract).
+PathController::Hooks ArriveHooks(OpScope* scope) {
+  PathController::Hooks hooks;
+  if (scope != nullptr) {
+    hooks.on_arrive = [scope] { scope->Arrived(); };
+  }
+  return hooks;
+}
+
+PathController::Hooks AccessHooks(OpScope* scope) {
+  PathController::Hooks hooks;
+  if (scope != nullptr) {
+    hooks.on_admit = [scope] { scope->Entered(); };
+    hooks.on_release = [scope] { scope->Exited(); };
+  }
+  return hooks;
+}
+
+PathController::Hooks FullHooks(OpScope* scope) {
+  PathController::Hooks hooks;
+  if (scope != nullptr) {
+    hooks.on_arrive = [scope] { scope->Arrived(); };
+    hooks.on_admit = [scope] { scope->Entered(); };
+    hooks.on_release = [scope] { scope->Exited(); };
+  }
+  return hooks;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------------------
+// Bounded buffer.
+
+namespace {
+
+std::string BoundedBufferProgram(int capacity) {
+  std::ostringstream os;
+  os << "path " << capacity << ":(1:(deposit); 1:(remove)) end";
+  return os.str();
+}
+
+}  // namespace
+
+PathBoundedBuffer::PathBoundedBuffer(Runtime& runtime, int capacity)
+    : controller_(runtime, BoundedBufferProgram(capacity)),
+      ring_(static_cast<std::size_t>(capacity), 0),
+      capacity_(capacity) {}
+
+void PathBoundedBuffer::Deposit(std::int64_t item, OpScope* scope) {
+  PathController::Hooks hooks = FullHooks(scope);
+  const PathController::Token token = controller_.Begin("deposit", hooks);
+  ring_[static_cast<std::size_t>(in_)] = item;  // 1:(deposit) serializes depositors.
+  in_ = (in_ + 1) % capacity_;
+  controller_.End("deposit", token, hooks);
+}
+
+std::int64_t PathBoundedBuffer::Remove(OpScope* scope) {
+  PathController::Hooks hooks = FullHooks(scope);
+  const PathController::Token token = controller_.Begin("remove", hooks);
+  const std::int64_t item = ring_[static_cast<std::size_t>(out_)];
+  out_ = (out_ + 1) % capacity_;
+  if (scope != nullptr) {
+    hooks.on_release = [scope, item] { scope->Exited(item); };
+  }
+  controller_.End("remove", token, hooks);
+  return item;
+}
+
+SolutionInfo PathBoundedBuffer::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kPathExpression;
+  info.problem = "bounded-buffer";
+  info.display_name = "CH74 bounded buffer path";
+  info.fragments = {
+      {"exclusion", "1:(deposit) and 1:(remove) bound each operation to one activation"},
+      {"local-state", "path N:(deposit; remove): the buffer occupancy is the difference "
+                      "of activation counts — no explicit count"},
+  };
+  info.notes = "The showcase problem for paths: entirely non-procedural.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// One-slot buffer.
+
+PathOneSlotBuffer::PathOneSlotBuffer(Runtime& runtime)
+    : controller_(runtime, "path deposit; remove end") {}
+
+void PathOneSlotBuffer::Deposit(std::int64_t item, OpScope* scope) {
+  PathController::Hooks hooks = FullHooks(scope);
+  const PathController::Token token = controller_.Begin("deposit", hooks);
+  slot_ = item;
+  controller_.End("deposit", token, hooks);
+}
+
+std::int64_t PathOneSlotBuffer::Remove(OpScope* scope) {
+  PathController::Hooks hooks = FullHooks(scope);
+  const PathController::Token token = controller_.Begin("remove", hooks);
+  const std::int64_t item = slot_;
+  if (scope != nullptr) {
+    hooks.on_release = [scope, item] { scope->Exited(item); };
+  }
+  controller_.End("remove", token, hooks);
+  return item;
+}
+
+SolutionInfo PathOneSlotBuffer::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kPathExpression;
+  info.problem = "one-slot-buffer";
+  info.display_name = "CH74 one-slot buffer path";
+  info.fragments = {
+      {"exclusion", "the cycle admits one operation at a time"},
+      {"history", "path deposit; remove: the history constraint IS the path"},
+  };
+  info.notes = "History information handled directly — the mechanism's best case.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Figure 1: readers priority.
+
+namespace {
+
+constexpr const char* kFigure1Program =
+    "path writeattempt end "
+    "path { requestread } , requestwrite end "
+    "path { read } , (openwrite ; write) end";
+
+constexpr const char* kFigure2Program =
+    "path readattempt end "
+    "path requestread , { requestwrite } end "
+    "path { openread ; read } , write end";
+
+}  // namespace
+
+const char* PathExprRwFigure1::Program() { return kFigure1Program; }
+
+PathExprRwFigure1::PathExprRwFigure1(Runtime& runtime)
+    : controller_(runtime, kFigure1Program) {}
+
+PathExprRwFigure1::PathExprRwFigure1(Runtime& runtime, PathController::Options options)
+    : controller_(runtime, kFigure1Program, options) {}
+
+void PathExprRwFigure1::Read(const AccessBody& body, OpScope* scope) {
+  // READ = begin requestread end;  requestread = begin read end.
+  PathController::Hooks rr_hooks = ArriveHooks(scope);
+  const PathController::Token rr = controller_.Begin("requestread", rr_hooks);
+  {
+    PathController::Hooks read_hooks = AccessHooks(scope);
+    const PathController::Token r = controller_.Begin("read", read_hooks);
+    body();
+    controller_.End("read", r, read_hooks);
+  }
+  controller_.End("requestread", rr, rr_hooks);
+}
+
+void PathExprRwFigure1::Write(const AccessBody& body, OpScope* scope) {
+  // WRITE = begin writeattempt ; write end;  writeattempt = begin requestwrite end;
+  // requestwrite = begin openwrite end.
+  {
+    PathController::Hooks wa_hooks = ArriveHooks(scope);
+    const PathController::Token wa = controller_.Begin("writeattempt", wa_hooks);
+    {
+      const PathController::Token rw = controller_.Begin("requestwrite");
+      {
+        const PathController::Token ow = controller_.Begin("openwrite");
+        controller_.End("openwrite", ow);
+      }
+      controller_.End("requestwrite", rw);
+    }
+    controller_.End("writeattempt", wa, wa_hooks);
+  }
+  {
+    PathController::Hooks write_hooks = AccessHooks(scope);
+    const PathController::Token w = controller_.Begin("write", write_hooks);
+    body();
+    controller_.End("write", w, write_hooks);
+  }
+}
+
+SolutionInfo PathExprRwFigure1::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kPathExpression;
+  info.problem = "rw-readers-priority";
+  info.display_name = "Figure 1 (CH74 readers priority)";
+  info.direct = false;
+  info.sync_procedures = 4;  // requestread, requestwrite, writeattempt, openwrite.
+  info.fragments = {
+      {"exclusion", "path { read } , (openwrite ; write) end"},
+      {"priority", "path writeattempt end; path { requestread } , requestwrite end; "
+                   "procedures requestread/requestwrite/writeattempt/openwrite gate the "
+                   "accesses"},
+  };
+  info.notes =
+      "Priority is indirect, spread over every path and procedure; violates CHP "
+      "readers priority (paper footnote 3).";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Figure 2: writers priority.
+
+const char* PathExprRwFigure2::Program() { return kFigure2Program; }
+
+PathExprRwFigure2::PathExprRwFigure2(Runtime& runtime)
+    : controller_(runtime, kFigure2Program) {}
+
+void PathExprRwFigure2::Read(const AccessBody& body, OpScope* scope) {
+  // READ = begin readattempt ; read end;  readattempt = begin requestread end;
+  // requestread = begin openread end.
+  {
+    PathController::Hooks ra_hooks = ArriveHooks(scope);
+    const PathController::Token ra = controller_.Begin("readattempt", ra_hooks);
+    {
+      const PathController::Token rr = controller_.Begin("requestread");
+      {
+        const PathController::Token ore = controller_.Begin("openread");
+        controller_.End("openread", ore);
+      }
+      controller_.End("requestread", rr);
+    }
+    controller_.End("readattempt", ra, ra_hooks);
+  }
+  {
+    PathController::Hooks read_hooks = AccessHooks(scope);
+    const PathController::Token r = controller_.Begin("read", read_hooks);
+    body();
+    controller_.End("read", r, read_hooks);
+  }
+}
+
+void PathExprRwFigure2::Write(const AccessBody& body, OpScope* scope) {
+  // WRITE = begin requestwrite end;  requestwrite = begin write end.
+  PathController::Hooks rw_hooks = ArriveHooks(scope);
+  const PathController::Token rw = controller_.Begin("requestwrite", rw_hooks);
+  {
+    PathController::Hooks write_hooks = AccessHooks(scope);
+    const PathController::Token w = controller_.Begin("write", write_hooks);
+    body();
+    controller_.End("write", w, write_hooks);
+  }
+  controller_.End("requestwrite", rw, rw_hooks);
+}
+
+SolutionInfo PathExprRwFigure2::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kPathExpression;
+  info.problem = "rw-writers-priority";
+  info.display_name = "Figure 2 (CH74 writers priority)";
+  info.direct = false;
+  info.sync_procedures = 4;  // readattempt, requestread, requestwrite, openread.
+  info.fragments = {
+      {"exclusion", "path { openread ; read } , write end"},
+      {"priority", "path readattempt end; path requestread , { requestwrite } end; "
+                   "procedures readattempt/requestread/openread/requestwrite gate the "
+                   "accesses"},
+  };
+  info.notes =
+      "Relative to Figure 1, every path and every synchronization procedure changed, "
+      "although the exclusion constraint is the same (Section 5.1.2).";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Predicate (Andler) readers priority.
+
+PathExprRwPredicates::PathExprRwPredicates(Runtime& runtime)
+    : controller_(runtime, "path { read } , [no_waiting_readers] write end") {
+  controller_.RegisterPredicate("no_waiting_readers",
+                                [this] { return waiting_readers_.load() == 0; });
+}
+
+void PathExprRwPredicates::Read(const AccessBody& body, OpScope* scope) {
+  waiting_readers_.fetch_add(1);
+  PathController::Hooks hooks;
+  hooks.on_admit = [this, scope] {
+    waiting_readers_.fetch_sub(1);
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  };
+  if (scope != nullptr) {
+    hooks.on_arrive = [scope] { scope->Arrived(); };
+    hooks.on_release = [scope] { scope->Exited(); };
+  }
+  const PathController::Token r = controller_.Begin("read", hooks);
+  body();
+  controller_.End("read", r, hooks);
+}
+
+void PathExprRwPredicates::Write(const AccessBody& body, OpScope* scope) {
+  PathController::Hooks hooks = FullHooks(scope);
+  const PathController::Token w = controller_.Begin("write", hooks);
+  body();
+  controller_.End("write", w, hooks);
+}
+
+SolutionInfo PathExprRwPredicates::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kPathExpression;
+  info.problem = "rw-readers-priority";
+  info.display_name = "Predicate paths (Andler) readers priority";
+  info.direct = false;
+  info.sync_procedures = 1;  // The waiting-reader count maintained around read.
+  info.shared_variables = 1;
+  info.fragments = {
+      {"exclusion", "path { read } , ... write end"},
+      {"priority", "[no_waiting_readers] guard on write; waiting_readers maintained by "
+                   "the host program"},
+  };
+  info.notes = "CHP-correct, unlike Figure 1; predicates still need host-kept state.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// FCFS resource.
+
+PathFcfsResource::PathFcfsResource(Runtime& runtime)
+    : controller_(runtime, "path acquire end") {}
+
+PathFcfsResource::PathFcfsResource(Runtime& runtime, PathController::Options options)
+    : controller_(runtime, "path acquire end", options) {}
+
+void PathFcfsResource::Access(const AccessBody& body, OpScope* scope) {
+  PathController::Hooks hooks = FullHooks(scope);
+  const PathController::Token token = controller_.Begin("acquire", hooks);
+  body();
+  controller_.End("acquire", token, hooks);
+}
+
+SolutionInfo PathFcfsResource::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kPathExpression;
+  info.problem = "fcfs-resource";
+  info.display_name = "FCFS resource path";
+  info.fragments = {
+      {"exclusion", "path acquire end"},
+      {"priority", "no textual realization: depends entirely on the assumption that "
+                   "selection chooses the longest-waiting process"},
+  };
+  info.notes = "Fails under arbitrary selection (CH74 without Bloom's assumption).";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Disk (FCFS only — SCAN inexpressible).
+
+PathDiskFcfs::PathDiskFcfs(Runtime& runtime) : controller_(runtime, "path disk end") {}
+
+void PathDiskFcfs::Access(std::int64_t track, const AccessBody& body, OpScope* scope) {
+  (void)track;  // The defining limitation: the parameter cannot influence the path.
+  PathController::Hooks hooks = FullHooks(scope);
+  const PathController::Token token = controller_.Begin("disk", hooks);
+  body();
+  controller_.End("disk", token, hooks);
+}
+
+SolutionInfo PathDiskFcfs::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kPathExpression;
+  info.problem = "disk-fcfs";
+  info.display_name = "Disk path (FCFS only; SCAN inexpressible)";
+  info.direct = false;
+  info.fragments = {
+      {"exclusion", "path disk end"},
+      {"priority", "(none: track numbers cannot be referenced from paths)"},
+  };
+  info.notes = "Request parameters are unusable in paths — the E3 matrix entry.";
+  return info;
+}
+
+}  // namespace syneval

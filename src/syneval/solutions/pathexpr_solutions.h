@@ -1,0 +1,173 @@
+// Path-expression solutions (Campbell–Habermann 1974, Section 5.1 of the paper).
+//
+// PathExprRwFigure1 and PathExprRwFigure2 transcribe the paper's Figure 1
+// (readers-priority) and Figure 2 (writers-priority) literally — paths, synchronization
+// procedures and all — so that the conformance engine can reproduce the paper's central
+// behavioural finding (footnote 3: Figure 1 does not implement Courtois–Heymans–Parnas
+// readers priority) and the constraint-dependence analysis of Section 5.1.2.
+//
+// The problems CH74 paths cannot express directly are implemented to the extent the
+// surveyed extensions allow: the predicate (Andler) variant gives a correct
+// readers-priority solution; FCFS works only via Bloom's longest-waiting selection
+// assumption; parameter-based scheduling (SCAN, SJN, alarm clock) remains inexpressible
+// — the disk solution here is therefore FCFS-only, and that *absence* is data for the
+// expressive-power matrix (E3).
+
+#ifndef SYNEVAL_SOLUTIONS_PATHEXPR_SOLUTIONS_H_
+#define SYNEVAL_SOLUTIONS_PATHEXPR_SOLUTIONS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "syneval/pathexpr/controller.h"
+#include "syneval/problems/interfaces.h"
+#include "syneval/solutions/solution_info.h"
+
+namespace syneval {
+
+// `path N:(1:(deposit); 1:(remove)) end` — the classic CH74 bounded buffer.
+class PathBoundedBuffer : public BoundedBufferIface {
+ public:
+  PathBoundedBuffer(Runtime& runtime, int capacity);
+
+  void Deposit(std::int64_t item, OpScope* scope) override;
+  std::int64_t Remove(OpScope* scope) override;
+  int capacity() const override { return capacity_; }
+
+  static SolutionInfo Info();
+
+  PathController& controller() { return controller_; }
+
+ private:
+  PathController controller_;
+  std::vector<std::int64_t> ring_;
+  int capacity_;
+  int in_ = 0;
+  int out_ = 0;
+};
+
+// `path deposit; remove end` — the CH74 one-slot buffer, the paper's example of pure
+// history information.
+class PathOneSlotBuffer : public OneSlotBufferIface {
+ public:
+  explicit PathOneSlotBuffer(Runtime& runtime);
+
+  void Deposit(std::int64_t item, OpScope* scope) override;
+  std::int64_t Remove(OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  PathController controller_;
+  std::int64_t slot_ = 0;
+};
+
+// Figure 1 of the paper: the Campbell–Habermann readers-priority solution.
+//
+//   path writeattempt end
+//   path { requestread } , requestwrite end
+//   path { read } , (openwrite ; write) end
+//
+//   requestwrite = begin openwrite end        writeattempt = begin requestwrite end
+//   requestread  = begin read end
+//   READ  = begin requestread end             WRITE = begin writeattempt ; write end
+//
+// Footnote 3 of the paper (reproduced by test and bench): a second writer can pass
+// writeattempt/requestwrite and block at the third path; a reader arriving before the
+// first write ends blocks at the second path behind that requestwrite, so the second
+// writer gains the resource before the earlier reader — readers priority is violated.
+class PathExprRwFigure1 : public ReadersWritersIface {
+ public:
+  explicit PathExprRwFigure1(Runtime& runtime);
+  PathExprRwFigure1(Runtime& runtime, PathController::Options options);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+  static const char* Program();
+
+  PathController& controller() { return controller_; }
+
+ private:
+  PathController controller_;
+};
+
+// Figure 2 of the paper: the writers-priority solution.
+//
+//   path readattempt end
+//   path requestread , { requestwrite } end
+//   path { openread ; read } , write end
+//
+//   readattempt  = begin requestread end      requestread = begin openread end
+//   requestwrite = begin write end
+//   READ  = begin readattempt ; read end      WRITE = begin requestwrite end
+class PathExprRwFigure2 : public ReadersWritersIface {
+ public:
+  explicit PathExprRwFigure2(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+  static const char* Program();
+
+ private:
+  PathController controller_;
+};
+
+// Predicate-extension (Andler) readers-priority solution — the "closest to satisfying
+// our requirements" version the paper cites; unlike Figure 1 it is CHP-correct, but it
+// still needs a hand-kept waiting-reader count (a synchronization procedure in spirit).
+//
+//   path { read } , [no_waiting_readers] write end
+class PathExprRwPredicates : public ReadersWritersIface {
+ public:
+  explicit PathExprRwPredicates(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  PathController controller_;
+  std::atomic<int> waiting_readers_{0};
+};
+
+// `path acquire end`: exclusion is direct; the FCFS ordering holds only under Bloom's
+// longest-waiting selection assumption (pass kArbitrary to watch it fail — E3/E4
+// ablation).
+class PathFcfsResource : public FcfsResourceIface {
+ public:
+  explicit PathFcfsResource(Runtime& runtime);
+  PathFcfsResource(Runtime& runtime, PathController::Options options);
+
+  void Access(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  PathController controller_;
+};
+
+// `path disk end`: the best a path expression can do for the disk scheduler — mutual
+// exclusion with FCFS order. SCAN is inexpressible because paths cannot reference the
+// request parameter ("there is obviously no way to use parameter values in paths").
+class PathDiskFcfs : public DiskSchedulerIface {
+ public:
+  explicit PathDiskFcfs(Runtime& runtime);
+
+  void Access(std::int64_t track, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  PathController controller_;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SOLUTIONS_PATHEXPR_SOLUTIONS_H_

@@ -1,0 +1,125 @@
+#include "syneval/solutions/registry.h"
+
+#include <algorithm>
+
+#include "syneval/solutions/ccr_solutions.h"
+#include "syneval/solutions/csp_solutions.h"
+#include "syneval/solutions/dining_solutions.h"
+#include "syneval/solutions/monitor_solutions.h"
+#include "syneval/solutions/pathexpr_solutions.h"
+#include "syneval/solutions/semaphore_solutions.h"
+#include "syneval/solutions/serializer_solutions.h"
+#include "syneval/solutions/smokers_solutions.h"
+
+namespace syneval {
+
+const char* MechanismName(Mechanism mechanism) {
+  switch (mechanism) {
+    case Mechanism::kSemaphore:
+      return "semaphore";
+    case Mechanism::kMonitor:
+      return "monitor";
+    case Mechanism::kPathExpression:
+      return "path-expression";
+    case Mechanism::kSerializer:
+      return "serializer";
+    case Mechanism::kConditionalRegion:
+      return "cond-region";
+    case Mechanism::kMessagePassing:
+      return "csp-channels";
+  }
+  return "?";
+}
+
+const std::vector<SolutionInfo>& AllSolutionInfos() {
+  static const std::vector<SolutionInfo>* infos = new std::vector<SolutionInfo>{
+      // Semaphore baseline.
+      SemaphoreBoundedBuffer::Info(),
+      SemaphoreOneSlotBuffer::Info(),
+      SemaphoreRwReadersPriority::Info(),
+      SemaphoreRwWritersPriority::Info(),
+      SemaphoreFcfsResource::Info(),
+      SemaphoreDiskScheduler::Info(),
+      SemaphoreAlarmClock::Info(),
+      SemaphoreSjnAllocator::Info(),
+      SemaphoreDiningOrdered::Info(),
+      SemaphoreDiningButler::Info(),
+      SemaphoreSmokersAgentKnows::Info(),
+      // Monitors.
+      MonitorBoundedBuffer::Info(),
+      MonitorOneSlotBuffer::Info(),
+      MonitorRwReadersPriority::Info(),
+      MonitorRwWritersPriority::Info(),
+      MonitorRwFcfs::Info(),
+      MonitorRwFair::Info(),
+      MonitorFcfsResource::Info(),
+      MonitorDiskScheduler::Info(),
+      MonitorAlarmClock::Info(),
+      MonitorSjnAllocator::Info(),
+      MonitorDining::Info(),
+      MonitorSmokers::Info(),
+      // Path expressions.
+      PathBoundedBuffer::Info(),
+      PathOneSlotBuffer::Info(),
+      PathExprRwFigure1::Info(),
+      PathExprRwFigure2::Info(),
+      PathExprRwPredicates::Info(),
+      PathFcfsResource::Info(),
+      PathDiskFcfs::Info(),
+      PathDining::Info(),
+      // Serializers.
+      SerializerBoundedBuffer::Info(),
+      SerializerOneSlotBuffer::Info(),
+      SerializerRwReadersPriority::Info(),
+      SerializerRwWritersPriority::Info(),
+      SerializerRwFcfs::Info(),
+      SerializerFcfsResource::Info(),
+      SerializerDiskScheduler::Info(),
+      SerializerAlarmClock::Info(),
+      SerializerSjnAllocator::Info(),
+      SerializerDining::Info(),
+      // Conditional critical regions (methodology extension).
+      CcrBoundedBuffer::Info(),
+      CcrOneSlotBuffer::Info(),
+      CcrRwReadersPriority::Info(),
+      CcrRwWritersPriority::Info(),
+      CcrFcfsResource::Info(),
+      CcrDiskScheduler::Info(),
+      CcrAlarmClock::Info(),
+      CcrSjnAllocator::Info(),
+      CcrDining::Info(),
+      CcrSmokers::Info(),
+      // CSP message passing (the paper's future work, Section 6).
+      CspBoundedBuffer::Info(),
+      CspOneSlotBuffer::Info(),
+      CspReadersWriters::InfoReadersPriority(),
+      CspReadersWriters::InfoWritersPriority(),
+      CspFcfsResource::Info(),
+      CspDiskScheduler::Info(),
+      CspAlarmClock::Info(),
+      CspSjnAllocator::Info(),
+      CspDining::Info(),
+  };
+  return *infos;
+}
+
+std::optional<SolutionInfo> FindSolution(Mechanism mechanism, const std::string& problem) {
+  for (const SolutionInfo& info : AllSolutionInfos()) {
+    if (info.mechanism == mechanism && info.problem == problem) {
+      return info;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> RegistryProblems() {
+  std::vector<std::string> problems;
+  for (const SolutionInfo& info : AllSolutionInfos()) {
+    if (std::find(problems.begin(), problems.end(), info.problem) == problems.end()) {
+      problems.push_back(info.problem);
+    }
+  }
+  return problems;
+}
+
+}  // namespace syneval

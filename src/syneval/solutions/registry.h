@@ -1,0 +1,27 @@
+// Registry of every solution in the matrix, with its metadata. The core evaluation
+// engine iterates this to build the expressive-power and constraint-independence tables.
+
+#ifndef SYNEVAL_SOLUTIONS_REGISTRY_H_
+#define SYNEVAL_SOLUTIONS_REGISTRY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "syneval/solutions/solution_info.h"
+
+namespace syneval {
+
+// Metadata for all implemented solutions (mechanism x problem matrix).
+const std::vector<SolutionInfo>& AllSolutionInfos();
+
+// Finds the solution info for (mechanism, problem); nullopt when that cell of the
+// matrix is not implementable with the mechanism (itself an evaluation datum).
+std::optional<SolutionInfo> FindSolution(Mechanism mechanism, const std::string& problem);
+
+// All distinct problem ids appearing in the registry, in canonical order.
+std::vector<std::string> RegistryProblems();
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SOLUTIONS_REGISTRY_H_

@@ -1,0 +1,537 @@
+#include "syneval/solutions/semaphore_solutions.h"
+
+#include <algorithm>
+
+namespace syneval {
+
+// ---------------------------------------------------------------------------------------
+// Bounded buffer: the classic empty/full counting pair plus per-side mutexes.
+
+SemaphoreBoundedBuffer::SemaphoreBoundedBuffer(Runtime& runtime, int capacity)
+    : empty_(runtime, capacity),
+      full_(runtime, 0),
+      deposit_mutex_(runtime, 1),
+      remove_mutex_(runtime, 1),
+      ring_(static_cast<std::size_t>(capacity), 0),
+      capacity_(capacity) {}
+
+void SemaphoreBoundedBuffer::Deposit(std::int64_t item, OpScope* scope) {
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  empty_.P();
+  deposit_mutex_.P([scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  ring_[static_cast<std::size_t>(in_)] = item;
+  in_ = (in_ + 1) % capacity_;
+  if (scope != nullptr) {
+    scope->Exited();
+  }
+  deposit_mutex_.V();
+  full_.V();
+}
+
+std::int64_t SemaphoreBoundedBuffer::Remove(OpScope* scope) {
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  full_.P();
+  remove_mutex_.P([scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  const std::int64_t item = ring_[static_cast<std::size_t>(out_)];
+  out_ = (out_ + 1) % capacity_;
+  if (scope != nullptr) {
+    scope->Exited(item);
+  }
+  remove_mutex_.V();
+  empty_.V();
+  return item;
+}
+
+SolutionInfo SemaphoreBoundedBuffer::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "bounded-buffer";
+  info.display_name = "Dijkstra bounded buffer (empty/full semaphores)";
+  info.shared_variables = 2;  // in, out.
+  info.fragments = {
+      {"exclusion", "P(deposit_mutex) ... V(deposit_mutex); P(remove_mutex) ... "
+                    "V(remove_mutex)"},
+      {"local-state", "semaphores empty := N and full := 0 encode the occupancy count"},
+  };
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// One-slot buffer.
+
+SemaphoreOneSlotBuffer::SemaphoreOneSlotBuffer(Runtime& runtime)
+    : empty_(runtime, 1), full_(runtime, 0) {}
+
+void SemaphoreOneSlotBuffer::Deposit(std::int64_t item, OpScope* scope) {
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  empty_.P([scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  slot_ = item;
+  if (scope != nullptr) {
+    scope->Exited();
+  }
+  full_.V();
+}
+
+std::int64_t SemaphoreOneSlotBuffer::Remove(OpScope* scope) {
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  full_.P([scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  const std::int64_t item = slot_;
+  if (scope != nullptr) {
+    scope->Exited(item);
+  }
+  empty_.V();
+  return item;
+}
+
+SolutionInfo SemaphoreOneSlotBuffer::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "one-slot-buffer";
+  info.display_name = "One-slot buffer (empty/full pair)";
+  info.fragments = {
+      {"exclusion", "alternation of P(empty)/V(full) and P(full)/V(empty) serializes"},
+      {"history", "semaphores empty := 1, full := 0 encode whether a deposit happened"},
+  };
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// CHP algorithm 1: readers priority.
+
+SemaphoreRwReadersPriority::SemaphoreRwReadersPriority(Runtime& runtime)
+    : mutex_(runtime, 1), w_(runtime, 1) {}
+
+void SemaphoreRwReadersPriority::Read(const AccessBody& body, OpScope* scope) {
+  mutex_.P([scope] {
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+  });
+  ++readers_;
+  if (readers_ == 1) {
+    w_.P();  // First reader locks writers out — deliberately while holding mutex_.
+  }
+  if (scope != nullptr) {
+    scope->Entered();
+  }
+  mutex_.V();
+  body();
+  mutex_.P();
+  --readers_;
+  if (scope != nullptr) {
+    scope->Exited();
+  }
+  if (readers_ == 0) {
+    w_.V();
+  }
+  mutex_.V();
+}
+
+void SemaphoreRwReadersPriority::Write(const AccessBody& body, OpScope* scope) {
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  w_.P([scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  body();
+  w_.V([scope] {
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+  });
+}
+
+SolutionInfo SemaphoreRwReadersPriority::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "rw-readers-priority";
+  info.display_name = "CHP algorithm 1";
+  info.shared_variables = 1;  // readcount.
+  info.fragments = {
+      {"exclusion", "first reader P(w), last reader V(w); writer brackets with P(w)/V(w)"},
+      {"priority", "readers never touch w while readcount > 0, so arriving readers pass "
+                   "a waiting writer"},
+  };
+  info.notes = "Priority is a side effect of the counting protocol, not stated anywhere.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// CHP algorithm 2: writers priority.
+
+SemaphoreRwWritersPriority::SemaphoreRwWritersPriority(Runtime& runtime)
+    : mutex1_(runtime, 1),
+      mutex2_(runtime, 1),
+      mutex3_(runtime, 1),
+      w_(runtime, 1),
+      r_(runtime, 1) {}
+
+void SemaphoreRwWritersPriority::Read(const AccessBody& body, OpScope* scope) {
+  mutex3_.P([scope] {
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+  });
+  r_.P();
+  mutex1_.P();
+  ++readers_;
+  if (readers_ == 1) {
+    w_.P();
+  }
+  if (scope != nullptr) {
+    scope->Entered();
+  }
+  mutex1_.V();
+  r_.V();
+  mutex3_.V();
+  body();
+  mutex1_.P();
+  --readers_;
+  if (scope != nullptr) {
+    scope->Exited();
+  }
+  if (readers_ == 0) {
+    w_.V();
+  }
+  mutex1_.V();
+}
+
+void SemaphoreRwWritersPriority::Write(const AccessBody& body, OpScope* scope) {
+  mutex2_.P([scope] {
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+  });
+  ++writers_;
+  if (writers_ == 1) {
+    r_.P();  // First writer bars new readers.
+  }
+  mutex2_.V();
+  w_.P([scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  body();
+  w_.V([scope] {
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+  });
+  mutex2_.P();
+  --writers_;
+  if (writers_ == 0) {
+    r_.V();
+  }
+  mutex2_.V();
+}
+
+SolutionInfo SemaphoreRwWritersPriority::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "rw-writers-priority";
+  info.display_name = "CHP algorithm 2 (five semaphores)";
+  info.shared_variables = 2;  // readcount, writecount.
+  info.fragments = {
+      {"exclusion", "first reader P(w), last reader V(w); writer brackets with P(w)/V(w)"},
+      {"priority", "first writer P(r), last writer V(r); readers bracket their entry "
+                   "with P(r)/V(r) behind an extra mutex3 turnstile"},
+  };
+  info.notes = "Three extra semaphores and a counter, all for one priority change.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// FCFS resource.
+
+SemaphoreFcfsResource::SemaphoreFcfsResource(Runtime& runtime) : fifo_(runtime, 1) {}
+
+void SemaphoreFcfsResource::Access(const AccessBody& body, OpScope* scope) {
+  fifo_.P(
+      [scope] {
+        if (scope != nullptr) {
+          scope->Arrived();
+        }
+      },
+      [scope] {
+        if (scope != nullptr) {
+          scope->Entered();
+        }
+      });
+  body();
+  fifo_.V([scope] {
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+  });
+}
+
+SolutionInfo SemaphoreFcfsResource::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "fcfs-resource";
+  info.display_name = "FCFS resource (strong semaphore)";
+  info.fragments = {
+      {"exclusion", "P(fifo) ... V(fifo) with fifo := 1"},
+      {"priority", "depends entirely on the semaphore being strong (FIFO grant order); "
+                   "weak P/V cannot express request time"},
+  };
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// SCAN disk scheduler via private semaphores.
+
+struct SemaphoreDiskScheduler::Waiting {
+  std::int64_t track;
+  BinarySemaphore sem;
+  OpScope* scope;
+
+  Waiting(Runtime& runtime, std::int64_t track_in, OpScope* scope_in)
+      : track(track_in), sem(runtime, false), scope(scope_in) {}
+};
+
+SemaphoreDiskScheduler::SemaphoreDiskScheduler(Runtime& runtime, std::int64_t initial_head)
+    : runtime_(runtime), mutex_(runtime, 1), head_(initial_head) {}
+
+void SemaphoreDiskScheduler::Access(std::int64_t track, const AccessBody& body,
+                                    OpScope* scope) {
+  mutex_.P();
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  if (!busy_) {
+    busy_ = true;
+    head_ = track;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+    mutex_.V();
+  } else {
+    Waiting self(runtime_, track, scope);
+    if (track > head_ || (track == head_ && moving_up_)) {
+      auto pos = std::find_if(up_.begin(), up_.end(),
+                              [&](const Waiting* w) { return w->track > track; });
+      up_.insert(pos, &self);
+    } else {
+      auto pos = std::find_if(down_.begin(), down_.end(),
+                              [&](const Waiting* w) { return w->track < track; });
+      down_.insert(pos, &self);
+    }
+    mutex_.V();
+    self.sem.P();  // Entered is recorded by the releaser, under mutex_.
+  }
+  body();
+  mutex_.P();
+  if (scope != nullptr) {
+    scope->Exited();
+  }
+  Waiting* next = nullptr;
+  if (moving_up_) {
+    if (!up_.empty()) {
+      next = up_.front();
+      up_.erase(up_.begin());
+    } else if (!down_.empty()) {
+      moving_up_ = false;
+      next = down_.front();
+      down_.erase(down_.begin());
+    }
+  } else {
+    if (!down_.empty()) {
+      next = down_.front();
+      down_.erase(down_.begin());
+    } else if (!up_.empty()) {
+      moving_up_ = true;
+      next = up_.front();
+      up_.erase(up_.begin());
+    }
+  }
+  if (next != nullptr) {
+    head_ = next->track;
+    if (next->scope != nullptr) {
+      next->scope->Entered();
+    }
+    next->sem.V();
+  } else {
+    busy_ = false;
+  }
+  mutex_.V();
+}
+
+SolutionInfo SemaphoreDiskScheduler::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "disk-scan";
+  info.display_name = "SCAN via private semaphores";
+  info.shared_variables = 5;  // up list, down list, head, direction, busy.
+  info.fragments = {
+      {"exclusion", "busy flag under a mutex semaphore; blocked requests hold a private "
+                    "semaphore each"},
+      {"priority", "releaser scans hand-sorted sweep lists and V's the chosen request's "
+                   "private semaphore"},
+  };
+  info.notes = "The programmer implements the entire scheduler by hand.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Alarm clock via private semaphores.
+
+struct SemaphoreAlarmClock::Sleeper {
+  std::int64_t due;
+  BinarySemaphore sem;
+  OpScope* scope;
+
+  Sleeper(Runtime& runtime, std::int64_t due_in, OpScope* scope_in)
+      : due(due_in), sem(runtime, false), scope(scope_in) {}
+};
+
+SemaphoreAlarmClock::SemaphoreAlarmClock(Runtime& runtime)
+    : runtime_(runtime), mutex_(runtime, 1) {}
+
+void SemaphoreAlarmClock::Tick() {
+  mutex_.P();
+  ++now_;
+  while (!sleepers_.empty() && sleepers_.front()->due <= now_) {
+    Sleeper* due = sleepers_.front();
+    sleepers_.erase(sleepers_.begin());
+    if (due->scope != nullptr) {
+      due->scope->Exited(now_);  // Recorded under mutex_, at the logical wake instant.
+    }
+    due->sem.V();
+  }
+  mutex_.V();
+}
+
+void SemaphoreAlarmClock::WakeMe(std::int64_t ticks, OpScope* scope) {
+  mutex_.P();
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  const std::int64_t due = now_ + ticks;
+  if (scope != nullptr) {
+    scope->Entered(due);
+  }
+  Sleeper self(runtime_, due, scope);
+  auto pos = std::find_if(sleepers_.begin(), sleepers_.end(),
+                          [&](const Sleeper* s) { return s->due > due; });
+  sleepers_.insert(pos, &self);
+  mutex_.V();
+  self.sem.P();
+}
+
+std::int64_t SemaphoreAlarmClock::Now() const {
+  mutex_.P();
+  const std::int64_t result = now_;
+  mutex_.V();
+  return result;
+}
+
+SolutionInfo SemaphoreAlarmClock::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "alarm-clock";
+  info.display_name = "Alarm clock via private semaphores";
+  info.shared_variables = 2;  // now, sleeper list.
+  info.fragments = {
+      {"priority", "hand-sorted due list; the ticker V's each due sleeper's private "
+                   "semaphore"},
+  };
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Shortest-job-next via private semaphores.
+
+struct SemaphoreSjnAllocator::Job {
+  std::int64_t estimate;
+  BinarySemaphore sem;
+  OpScope* scope;
+
+  Job(Runtime& runtime, std::int64_t estimate_in, OpScope* scope_in)
+      : estimate(estimate_in), sem(runtime, false), scope(scope_in) {}
+};
+
+SemaphoreSjnAllocator::SemaphoreSjnAllocator(Runtime& runtime)
+    : runtime_(runtime), mutex_(runtime, 1) {}
+
+void SemaphoreSjnAllocator::Use(std::int64_t estimate, const AccessBody& body,
+                                OpScope* scope) {
+  mutex_.P();
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  if (!busy_) {
+    busy_ = true;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+    mutex_.V();
+  } else {
+    Job self(runtime_, estimate, scope);
+    auto pos = std::find_if(queue_.begin(), queue_.end(),
+                            [&](const Job* j) { return j->estimate > estimate; });
+    queue_.insert(pos, &self);
+    mutex_.V();
+    self.sem.P();
+  }
+  body();
+  mutex_.P();
+  if (scope != nullptr) {
+    scope->Exited();
+  }
+  if (!queue_.empty()) {
+    Job* next = queue_.front();
+    queue_.erase(queue_.begin());
+    if (next->scope != nullptr) {
+      next->scope->Entered();
+    }
+    next->sem.V();
+  } else {
+    busy_ = false;
+  }
+  mutex_.V();
+}
+
+SolutionInfo SemaphoreSjnAllocator::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "sjn-allocator";
+  info.display_name = "SJN via private semaphores";
+  info.shared_variables = 2;  // queue, busy.
+  info.fragments = {
+      {"exclusion", "busy flag under a mutex semaphore"},
+      {"priority", "hand-sorted estimate list; releaser V's the minimum's private "
+                   "semaphore"},
+  };
+  return info;
+}
+
+}  // namespace syneval

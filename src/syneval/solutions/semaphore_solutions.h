@@ -1,0 +1,169 @@
+// Semaphore (Dijkstra P/V) baseline solutions — the mechanism the paper says
+// higher-level constructs must improve on. Readers/writers follow Courtois–Heymans–
+// Parnas 1971 algorithms 1 and 2 literally; parameter-based scheduling (SCAN, SJN,
+// alarm clock) uses the "private semaphore" pattern: an explicit waiting list plus a
+// per-request binary semaphore, i.e. the programmer builds the scheduler by hand — the
+// verbosity the structural metrics (E4) quantify.
+
+#ifndef SYNEVAL_SOLUTIONS_SEMAPHORE_SOLUTIONS_H_
+#define SYNEVAL_SOLUTIONS_SEMAPHORE_SOLUTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "syneval/problems/interfaces.h"
+#include "syneval/solutions/solution_info.h"
+#include "syneval/sync/semaphore.h"
+
+namespace syneval {
+
+class SemaphoreBoundedBuffer : public BoundedBufferIface {
+ public:
+  SemaphoreBoundedBuffer(Runtime& runtime, int capacity);
+
+  void Deposit(std::int64_t item, OpScope* scope) override;
+  std::int64_t Remove(OpScope* scope) override;
+  int capacity() const override { return capacity_; }
+
+  static SolutionInfo Info();
+
+ private:
+  CountingSemaphore empty_;
+  CountingSemaphore full_;
+  CountingSemaphore deposit_mutex_;
+  CountingSemaphore remove_mutex_;
+  std::vector<std::int64_t> ring_;
+  int capacity_;
+  int in_ = 0;
+  int out_ = 0;
+};
+
+class SemaphoreOneSlotBuffer : public OneSlotBufferIface {
+ public:
+  explicit SemaphoreOneSlotBuffer(Runtime& runtime);
+
+  void Deposit(std::int64_t item, OpScope* scope) override;
+  std::int64_t Remove(OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  CountingSemaphore empty_;
+  CountingSemaphore full_;
+  std::int64_t slot_ = 0;
+};
+
+// Courtois–Heymans–Parnas algorithm 1 (readers priority).
+class SemaphoreRwReadersPriority : public ReadersWritersIface {
+ public:
+  explicit SemaphoreRwReadersPriority(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  CountingSemaphore mutex_;
+  CountingSemaphore w_;
+  int readers_ = 0;
+};
+
+// Courtois–Heymans–Parnas algorithm 2 (writers priority; five semaphores).
+class SemaphoreRwWritersPriority : public ReadersWritersIface {
+ public:
+  explicit SemaphoreRwWritersPriority(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  CountingSemaphore mutex1_;
+  CountingSemaphore mutex2_;
+  CountingSemaphore mutex3_;
+  CountingSemaphore w_;
+  CountingSemaphore r_;
+  int readers_ = 0;
+  int writers_ = 0;
+};
+
+// FCFS resource: requires a *strong* (queueing) semaphore — weak P/V cannot express
+// request-time order at all, which is itself an E3 data point.
+class SemaphoreFcfsResource : public FcfsResourceIface {
+ public:
+  explicit SemaphoreFcfsResource(Runtime& runtime);
+
+  void Access(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  FifoSemaphore fifo_;
+};
+
+// SCAN via the private-semaphore pattern: explicit sweep lists, one binary semaphore
+// per blocked request, releaser picks the successor by hand.
+class SemaphoreDiskScheduler : public DiskSchedulerIface {
+ public:
+  SemaphoreDiskScheduler(Runtime& runtime, std::int64_t initial_head = 0);
+
+  void Access(std::int64_t track, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  struct Waiting;
+
+  Runtime& runtime_;
+  CountingSemaphore mutex_;
+  std::vector<Waiting*> up_;    // Ascending by track.
+  std::vector<Waiting*> down_;  // Descending by track.
+  std::int64_t head_;
+  bool moving_up_ = true;
+  bool busy_ = false;
+};
+
+// Alarm clock via the private-semaphore pattern.
+class SemaphoreAlarmClock : public AlarmClockIface {
+ public:
+  explicit SemaphoreAlarmClock(Runtime& runtime);
+
+  void Tick() override;
+  void WakeMe(std::int64_t ticks, OpScope* scope) override;
+  std::int64_t Now() const override;
+
+  static SolutionInfo Info();
+
+ private:
+  struct Sleeper;
+
+  Runtime& runtime_;
+  mutable CountingSemaphore mutex_;
+  std::vector<Sleeper*> sleepers_;  // Ascending by due time.
+  std::int64_t now_ = 0;
+};
+
+// Shortest-job-next via the private-semaphore pattern.
+class SemaphoreSjnAllocator : public SjnAllocatorIface {
+ public:
+  explicit SemaphoreSjnAllocator(Runtime& runtime);
+
+  void Use(std::int64_t estimate, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  struct Job;
+
+  Runtime& runtime_;
+  CountingSemaphore mutex_;
+  std::vector<Job*> queue_;  // Ascending by estimate.
+  bool busy_ = false;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SOLUTIONS_SEMAPHORE_SOLUTIONS_H_

@@ -1,0 +1,410 @@
+#include "syneval/solutions/serializer_solutions.h"
+
+namespace syneval {
+
+namespace {
+
+// Shared hook adapters: record the admission/release instants under the serializer lock.
+std::function<void()> EnterHook(OpScope* scope) {
+  if (scope == nullptr) {
+    return nullptr;
+  }
+  return [scope] { scope->Entered(); };
+}
+
+std::function<void()> ExitHook(OpScope* scope) {
+  if (scope == nullptr) {
+    return nullptr;
+  }
+  return [scope] { scope->Exited(); };
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------------------
+// Bounded buffer.
+
+SerializerBoundedBuffer::SerializerBoundedBuffer(Runtime& runtime, int capacity)
+    : serializer_(runtime), ring_(static_cast<std::size_t>(capacity), 0), capacity_(capacity) {}
+
+void SerializerBoundedBuffer::Deposit(std::int64_t item, OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  serializer_.Enqueue(deposit_q_, [this] { return count_ < capacity_; });
+  if (scope != nullptr) {
+    scope->Entered();
+  }
+  ring_[static_cast<std::size_t>(in_)] = item;
+  in_ = (in_ + 1) % capacity_;
+  ++count_;
+  if (scope != nullptr) {
+    scope->Exited();
+  }
+}
+
+std::int64_t SerializerBoundedBuffer::Remove(OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  serializer_.Enqueue(remove_q_, [this] { return count_ > 0; });
+  if (scope != nullptr) {
+    scope->Entered();
+  }
+  const std::int64_t item = ring_[static_cast<std::size_t>(out_)];
+  out_ = (out_ + 1) % capacity_;
+  --count_;
+  if (scope != nullptr) {
+    scope->Exited(item);
+  }
+  return item;
+}
+
+SolutionInfo SerializerBoundedBuffer::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSerializer;
+  info.problem = "bounded-buffer";
+  info.display_name = "Serializer bounded buffer";
+  info.shared_variables = 3;  // count, in, out.
+  info.fragments = {
+      {"exclusion", "buffer mutations run in possession, so deposits/removes exclude"},
+      {"local-state", "enqueue(depositq, count < capacity); enqueue(removeq, count > 0)"},
+  };
+  info.notes = "Guards state the local-state conditions directly; no signalling code.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// One-slot buffer.
+
+SerializerOneSlotBuffer::SerializerOneSlotBuffer(Runtime& runtime) : serializer_(runtime) {}
+
+void SerializerOneSlotBuffer::Deposit(std::int64_t item, OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  serializer_.Enqueue(deposit_q_, [this] { return !has_item_; });
+  if (scope != nullptr) {
+    scope->Entered();
+  }
+  slot_ = item;
+  has_item_ = true;
+  if (scope != nullptr) {
+    scope->Exited();
+  }
+}
+
+std::int64_t SerializerOneSlotBuffer::Remove(OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  serializer_.Enqueue(remove_q_, [this] { return has_item_; });
+  if (scope != nullptr) {
+    scope->Entered();
+  }
+  const std::int64_t item = slot_;
+  has_item_ = false;
+  if (scope != nullptr) {
+    scope->Exited(item);
+  }
+  return item;
+}
+
+SolutionInfo SerializerOneSlotBuffer::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSerializer;
+  info.problem = "one-slot-buffer";
+  info.display_name = "Serializer one-slot buffer";
+  info.shared_variables = 1;  // has_item.
+  info.fragments = {
+      {"exclusion", "slot mutations run in possession"},
+      {"history", "enqueue(depositq, not has_item); enqueue(removeq, has_item)"},
+  };
+  info.notes = "History must be re-encoded as a flag, as in monitors.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Readers/writers: readers priority.
+
+SerializerRwReadersPriority::SerializerRwReadersPriority(Runtime& runtime)
+    : serializer_(runtime) {}
+
+void SerializerRwReadersPriority::Read(const AccessBody& body, OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  serializer_.Enqueue(read_q_, [this] { return write_crowd_.Empty(); });
+  serializer_.JoinCrowd(read_crowd_, body, EnterHook(scope), ExitHook(scope));
+}
+
+void SerializerRwReadersPriority::Write(const AccessBody& body, OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  serializer_.Enqueue(write_q_,
+                      [this] { return read_crowd_.Empty() && write_crowd_.Empty(); });
+  serializer_.JoinCrowd(write_crowd_, body, EnterHook(scope), ExitHook(scope));
+}
+
+SolutionInfo SerializerRwReadersPriority::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSerializer;
+  info.problem = "rw-readers-priority";
+  info.display_name = "Readers-priority serializer (A&H)";
+  info.shared_variables = 0;  // Crowds replace the hand-kept counts.
+  info.fragments = {
+      {"exclusion", "enqueue(readq, write_crowd empty); "
+                    "enqueue(writeq, read_crowd empty and write_crowd empty); "
+                    "bodies run in read_crowd / write_crowd"},
+      {"priority", "readq declared before writeq: readers examined first at each release"},
+  };
+  info.notes = "Crowds carry the synchronization state; no counts, no signals.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Readers/writers: writers priority.
+
+SerializerRwWritersPriority::SerializerRwWritersPriority(Runtime& runtime)
+    : serializer_(runtime) {}
+
+void SerializerRwWritersPriority::Read(const AccessBody& body, OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  serializer_.Enqueue(read_q_,
+                      [this] { return write_crowd_.Empty() && write_q_.Empty(); });
+  serializer_.JoinCrowd(read_crowd_, body, EnterHook(scope), ExitHook(scope));
+}
+
+void SerializerRwWritersPriority::Write(const AccessBody& body, OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  serializer_.Enqueue(write_q_,
+                      [this] { return read_crowd_.Empty() && write_crowd_.Empty(); });
+  serializer_.JoinCrowd(write_crowd_, body, EnterHook(scope), ExitHook(scope));
+}
+
+SolutionInfo SerializerRwWritersPriority::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSerializer;
+  info.problem = "rw-writers-priority";
+  info.display_name = "Writers-priority serializer";
+  info.shared_variables = 0;
+  info.fragments = {
+      {"exclusion", "enqueue(readq, write_crowd empty ...); "
+                    "enqueue(writeq, read_crowd empty and write_crowd empty); "
+                    "bodies run in read_crowd / write_crowd"},
+      {"priority", "writeq declared before readq; reader guard also requires writeq "
+                   "empty"},
+  };
+  info.notes = "Changing the policy touched only queue order and one guard conjunct.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Readers/writers: FCFS (one queue, two guards).
+
+SerializerRwFcfs::SerializerRwFcfs(Runtime& runtime) : serializer_(runtime) {}
+
+void SerializerRwFcfs::Read(const AccessBody& body, OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  serializer_.Enqueue(q_, [this] { return write_crowd_.Empty(); });
+  serializer_.JoinCrowd(read_crowd_, body, EnterHook(scope), ExitHook(scope));
+}
+
+void SerializerRwFcfs::Write(const AccessBody& body, OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  serializer_.Enqueue(q_, [this] { return read_crowd_.Empty() && write_crowd_.Empty(); });
+  serializer_.JoinCrowd(write_crowd_, body, EnterHook(scope), ExitHook(scope));
+}
+
+SolutionInfo SerializerRwFcfs::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSerializer;
+  info.problem = "rw-fcfs";
+  info.display_name = "FCFS serializer (single queue, per-type guards)";
+  info.shared_variables = 0;
+  info.fragments = {
+      {"exclusion", "reader guard: write_crowd empty; writer guard: both crowds empty; "
+                    "bodies run in read_crowd / write_crowd"},
+      {"priority", "one shared FIFO queue: admission order is arrival order by "
+                   "construction"},
+  };
+  info.notes = "The type/time conflict of monitors dissolves: same queue, different "
+               "guards (Section 5.2).";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// FCFS resource.
+
+SerializerFcfsResource::SerializerFcfsResource(Runtime& runtime) : serializer_(runtime) {}
+
+void SerializerFcfsResource::Access(const AccessBody& body, OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  serializer_.Enqueue(q_, [this] { return crowd_.Empty(); });
+  serializer_.JoinCrowd(crowd_, body, EnterHook(scope), ExitHook(scope));
+}
+
+SolutionInfo SerializerFcfsResource::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSerializer;
+  info.problem = "fcfs-resource";
+  info.display_name = "FCFS resource serializer";
+  info.shared_variables = 0;
+  info.fragments = {
+      {"exclusion", "enqueue(q, crowd empty); body runs in the crowd"},
+      {"priority", "FIFO queue: admission order is arrival order"},
+  };
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Disk-head scheduler (priority-queue extension).
+
+SerializerDiskScheduler::SerializerDiskScheduler(Runtime& runtime, std::int64_t initial_head)
+    : serializer_(runtime), head_(initial_head) {}
+
+void SerializerDiskScheduler::Access(std::int64_t track, const AccessBody& body,
+                                     OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  // Join the sweep that will pass this track. Guards keep the two queues mutually
+  // consistent with the current direction: the up head may go only while moving up or
+  // when the down sweep is exhausted (and symmetrically).
+  //
+  // An admission into an idle disk (no holder, no waiters) is not a scheduling
+  // decision, so it must not turn the sweep around — only exhausting the current
+  // sweep does. (Flipping here made the serializer disagree with the SCAN oracle and
+  // the monitor solution; the divergence was caught by CheckScanDiskSchedule.)
+  const bool idle = crowd_.Empty() && up_q_.Empty() && down_q_.Empty();
+  const bool join_up = track > head_ || (track == head_ && moving_up_);
+  if (join_up) {
+    serializer_.Enqueue(up_q_, track, [this] {
+      return crowd_.Empty() && (moving_up_ || down_q_.Empty());
+    });
+    if (!idle) {
+      moving_up_ = true;
+    }
+  } else {
+    serializer_.Enqueue(down_q_, -track, [this] {
+      return crowd_.Empty() && (!moving_up_ || up_q_.Empty());
+    });
+    if (!idle) {
+      moving_up_ = false;
+    }
+  }
+  head_ = track;
+  serializer_.JoinCrowd(crowd_, body, EnterHook(scope), ExitHook(scope));
+}
+
+SolutionInfo SerializerDiskScheduler::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSerializer;
+  info.problem = "disk-scan";
+  info.display_name = "SCAN serializer (priority-queue extension)";
+  info.shared_variables = 2;  // head, direction.
+  info.fragments = {
+      {"exclusion", "guards require the holder crowd empty; body runs in the crowd"},
+      {"priority", "priority queues upsweep(track)/downsweep(-track); guards flip the "
+                   "sweep when the other queue is exhausted"},
+  };
+  info.notes = "Needs the priority-queue extension the paper notes was added later.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Alarm clock.
+
+SerializerAlarmClock::SerializerAlarmClock(Runtime& runtime) : serializer_(runtime) {}
+
+void SerializerAlarmClock::Tick() {
+  Serializer::Region region(serializer_);
+  ++now_;
+  // Automatic signalling at region exit wakes every due sleeper in due order.
+}
+
+void SerializerAlarmClock::WakeMe(std::int64_t ticks, OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  const std::int64_t due = now_ + ticks;
+  if (scope != nullptr) {
+    scope->Entered(due);
+  }
+  serializer_.Enqueue(wake_q_, due, [this, due] { return now_ >= due; });
+  if (scope != nullptr) {
+    scope->Exited(now_);
+  }
+}
+
+std::int64_t SerializerAlarmClock::Now() const {
+  Serializer::Region region(serializer_);
+  return now_;
+}
+
+SolutionInfo SerializerAlarmClock::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSerializer;
+  info.problem = "alarm-clock";
+  info.display_name = "Serializer alarm clock";
+  info.shared_variables = 1;  // now.
+  info.fragments = {
+      {"priority", "enqueue(wakeups, priority = now + n, guard now >= due); tick just "
+                   "increments now — automatic signalling does the rest"},
+  };
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Shortest-job-next allocator.
+
+SerializerSjnAllocator::SerializerSjnAllocator(Runtime& runtime) : serializer_(runtime) {}
+
+void SerializerSjnAllocator::Use(std::int64_t estimate, const AccessBody& body,
+                                 OpScope* scope) {
+  Serializer::Region region(serializer_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  serializer_.Enqueue(q_, estimate, [this] { return crowd_.Empty(); });
+  serializer_.JoinCrowd(crowd_, body, EnterHook(scope), ExitHook(scope));
+}
+
+SolutionInfo SerializerSjnAllocator::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSerializer;
+  info.problem = "sjn-allocator";
+  info.display_name = "SJN serializer (priority-queue extension)";
+  info.shared_variables = 0;
+  info.fragments = {
+      {"exclusion", "guard: holder crowd empty; body runs in the crowd"},
+      {"priority", "priority queue ordered by estimate"},
+  };
+  return info;
+}
+
+}  // namespace syneval

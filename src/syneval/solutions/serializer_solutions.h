@@ -1,0 +1,180 @@
+// Serializer solutions to the canonical problem set (Atkinson–Hewitt, Section 5.2).
+//
+// Structure per the A&H pattern: gain possession (Region), wait on a guarded queue
+// (Enqueue), run the resource operation in a crowd (JoinCrowd — possession released for
+// the duration). Signalling is automatic; no solution contains a signal statement, which
+// is the mechanism's headline ease-of-use property in the paper's analysis.
+
+#ifndef SYNEVAL_SOLUTIONS_SERIALIZER_SOLUTIONS_H_
+#define SYNEVAL_SOLUTIONS_SERIALIZER_SOLUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "syneval/problems/interfaces.h"
+#include "syneval/serializer/serializer.h"
+#include "syneval/solutions/solution_info.h"
+
+namespace syneval {
+
+class SerializerBoundedBuffer : public BoundedBufferIface {
+ public:
+  SerializerBoundedBuffer(Runtime& runtime, int capacity);
+
+  void Deposit(std::int64_t item, OpScope* scope) override;
+  std::int64_t Remove(OpScope* scope) override;
+  int capacity() const override { return capacity_; }
+
+  static SolutionInfo Info();
+
+ private:
+  Serializer serializer_;
+  Serializer::Queue deposit_q_{serializer_, "depositq"};
+  Serializer::Queue remove_q_{serializer_, "removeq"};
+  std::vector<std::int64_t> ring_;
+  int capacity_;
+  int count_ = 0;
+  int in_ = 0;
+  int out_ = 0;
+};
+
+class SerializerOneSlotBuffer : public OneSlotBufferIface {
+ public:
+  explicit SerializerOneSlotBuffer(Runtime& runtime);
+
+  void Deposit(std::int64_t item, OpScope* scope) override;
+  std::int64_t Remove(OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  Serializer serializer_;
+  Serializer::Queue deposit_q_{serializer_, "depositq"};
+  Serializer::Queue remove_q_{serializer_, "removeq"};
+  bool has_item_ = false;
+  std::int64_t slot_ = 0;
+};
+
+// Readers-priority: the reader queue is created first, so at every possession release
+// waiting readers are examined (and admitted) before waiting writers.
+class SerializerRwReadersPriority : public ReadersWritersIface {
+ public:
+  explicit SerializerRwReadersPriority(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  Serializer serializer_;
+  Serializer::Queue read_q_{serializer_, "readq"};
+  Serializer::Queue write_q_{serializer_, "writeq"};
+  Serializer::Crowd read_crowd_{serializer_, "readers"};
+  Serializer::Crowd write_crowd_{serializer_, "writers"};
+};
+
+// Writers-priority: the writer queue is created first, and arriving readers defer to
+// queued writers via their guard.
+class SerializerRwWritersPriority : public ReadersWritersIface {
+ public:
+  explicit SerializerRwWritersPriority(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  Serializer serializer_;
+  Serializer::Queue write_q_{serializer_, "writeq"};
+  Serializer::Queue read_q_{serializer_, "readq"};
+  Serializer::Crowd read_crowd_{serializer_, "readers"};
+  Serializer::Crowd write_crowd_{serializer_, "writers"};
+};
+
+// FCFS: readers and writers share ONE queue with different guards — the serializer
+// resolution of the monitor request-type/request-time conflict (Section 5.2: "automatic
+// signals ... separate the means of using request time and request type information").
+class SerializerRwFcfs : public ReadersWritersIface {
+ public:
+  explicit SerializerRwFcfs(Runtime& runtime);
+
+  void Read(const AccessBody& body, OpScope* scope) override;
+  void Write(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  Serializer serializer_;
+  Serializer::Queue q_{serializer_, "arrivals"};
+  Serializer::Crowd read_crowd_{serializer_, "readers"};
+  Serializer::Crowd write_crowd_{serializer_, "writers"};
+};
+
+class SerializerFcfsResource : public FcfsResourceIface {
+ public:
+  explicit SerializerFcfsResource(Runtime& runtime);
+
+  void Access(const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  Serializer serializer_;
+  Serializer::Queue q_{serializer_, "arrivals"};
+  Serializer::Crowd crowd_{serializer_, "holders"};
+};
+
+// SCAN disk scheduler using the priority-queue extension: two sweep queues ordered by
+// track, direction kept as serializer-protected state.
+class SerializerDiskScheduler : public DiskSchedulerIface {
+ public:
+  SerializerDiskScheduler(Runtime& runtime, std::int64_t initial_head = 0);
+
+  void Access(std::int64_t track, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  Serializer serializer_;
+  Serializer::PriorityQueue up_q_{serializer_, "upsweep"};
+  Serializer::PriorityQueue down_q_{serializer_, "downsweep"};
+  Serializer::Crowd crowd_{serializer_, "holder"};
+  std::int64_t head_;
+  bool moving_up_ = true;
+};
+
+class SerializerAlarmClock : public AlarmClockIface {
+ public:
+  explicit SerializerAlarmClock(Runtime& runtime);
+
+  void Tick() override;
+  void WakeMe(std::int64_t ticks, OpScope* scope) override;
+  std::int64_t Now() const override;
+
+  static SolutionInfo Info();
+
+ private:
+  mutable Serializer serializer_;
+  Serializer::PriorityQueue wake_q_{serializer_, "wakeups"};
+  std::int64_t now_ = 0;
+};
+
+class SerializerSjnAllocator : public SjnAllocatorIface {
+ public:
+  explicit SerializerSjnAllocator(Runtime& runtime);
+
+  void Use(std::int64_t estimate, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  Serializer serializer_;
+  Serializer::PriorityQueue q_{serializer_, "jobs"};
+  Serializer::Crowd crowd_{serializer_, "holder"};
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SOLUTIONS_SERIALIZER_SOLUTIONS_H_

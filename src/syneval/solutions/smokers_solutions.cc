@@ -1,0 +1,251 @@
+#include "syneval/solutions/smokers_solutions.h"
+
+namespace syneval {
+
+// ---------------------------------------------------------------------------------------
+// Naive (Patil's deadlock).
+
+SemaphoreSmokersNaive::SemaphoreSmokersNaive(Runtime& runtime) : table_empty_(runtime, 1) {
+  for (int i = 0; i < 3; ++i) {
+    ingredient_.push_back(std::make_unique<CountingSemaphore>(runtime, 0));
+  }
+}
+
+void SemaphoreSmokersNaive::Place(int missing, OpScope* scope) {
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  table_empty_.P([scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+      scope->Exited();
+    }
+  });
+  // Release the two ingredients individually — the broken part: nothing ties the pair
+  // to the one smoker that needs both.
+  for (int i = 0; i < 3; ++i) {
+    if (i != missing) {
+      ingredient_[static_cast<std::size_t>(i)]->V();
+    }
+  }
+}
+
+void SemaphoreSmokersNaive::Smoke(int holding, const AccessBody& body, OpScope* scope) {
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  bool first = true;
+  for (int i = 0; i < 3; ++i) {
+    if (i == holding) {
+      continue;
+    }
+    if (first) {
+      ingredient_[static_cast<std::size_t>(i)]->P();
+      first = false;
+    } else {
+      // Holding one ingredient while waiting for the second: the deadlock window.
+      ingredient_[static_cast<std::size_t>(i)]->P([scope] {
+        if (scope != nullptr) {
+          scope->Entered();
+        }
+      });
+    }
+  }
+  body();
+  if (scope != nullptr) {
+    scope->Exited();
+  }
+  table_empty_.V();
+}
+
+SolutionInfo SemaphoreSmokersNaive::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "cigarette-smokers";
+  info.display_name = "Patil's ingredient semaphores — deadlocks";
+  info.fragments = {
+      {"exclusion", "agent: P(empty); V(ing_a); V(ing_b); smoker: P(ing_a); P(ing_b)"},
+  };
+  info.notes = "Two smokers can each grab one ingredient of a pair: hold-and-wait. "
+               "Patil's point: the conditional cannot be expressed with bare P/V.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Agent-knows (the conditional relocated).
+
+SemaphoreSmokersAgentKnows::SemaphoreSmokersAgentKnows(Runtime& runtime)
+    : table_empty_(runtime, 1) {
+  for (int i = 0; i < 3; ++i) {
+    smoker_.push_back(std::make_unique<CountingSemaphore>(runtime, 0));
+  }
+}
+
+void SemaphoreSmokersAgentKnows::Place(int missing, OpScope* scope) {
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  table_empty_.P([scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+      scope->Exited();
+    }
+  });
+  // The agent performs the case analysis itself and wakes the matching smoker.
+  smoker_[static_cast<std::size_t>(missing)]->V();
+}
+
+void SemaphoreSmokersAgentKnows::Smoke(int holding, const AccessBody& body, OpScope* scope) {
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  smoker_[static_cast<std::size_t>(holding)]->P([scope] {
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  });
+  body();
+  table_empty_.V([scope] {
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+  });
+}
+
+SolutionInfo SemaphoreSmokersAgentKnows::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kSemaphore;
+  info.problem = "cigarette-smokers";
+  info.display_name = "Agent-decides semaphores (conditional relocated)";
+  info.fragments = {
+      {"exclusion", "agent: P(empty); V(smoker[missing]); smoker: P(smoker[holding]); "
+                    "smoke; V(empty)"},
+  };
+  info.notes = "Correct, but only because the decision moved out of the "
+               "synchronization and into the agent's code — the E3 'indirect' pattern.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Monitor.
+
+MonitorSmokers::MonitorSmokers(Runtime& runtime) : monitor_(runtime) {
+  for (int i = 0; i < 3; ++i) {
+    my_pair_.push_back(std::make_unique<HoareMonitor::Condition>(monitor_));
+  }
+}
+
+void MonitorSmokers::Place(int missing, OpScope* scope) {
+  MonitorRegion region(monitor_);
+  if (scope != nullptr) {
+    scope->Arrived();
+  }
+  while (present_ || smoking_) {
+    table_free_.Wait();
+  }
+  present_ = true;
+  table_ = missing;
+  if (scope != nullptr) {
+    scope->Entered();
+    scope->Exited();
+  }
+  my_pair_[static_cast<std::size_t>(missing)]->Signal();
+}
+
+void MonitorSmokers::Smoke(int holding, const AccessBody& body, OpScope* scope) {
+  {
+    MonitorRegion region(monitor_);
+    if (scope != nullptr) {
+      scope->Arrived();
+    }
+    while (!(present_ && table_ == holding)) {
+      my_pair_[static_cast<std::size_t>(holding)]->Wait();
+    }
+    present_ = false;
+    smoking_ = true;
+    if (scope != nullptr) {
+      scope->Entered();
+    }
+  }
+  body();
+  {
+    MonitorRegion region(monitor_);
+    smoking_ = false;
+    if (scope != nullptr) {
+      scope->Exited();
+    }
+    table_free_.Signal();
+  }
+}
+
+SolutionInfo MonitorSmokers::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kMonitor;
+  info.problem = "cigarette-smokers";
+  info.display_name = "Monitor smokers (condition per smoker)";
+  info.shared_variables = 3;  // present, smoking, table.
+  info.fragments = {
+      {"exclusion", "while present or smoking do table_free.wait; smoker waits on its "
+                    "own condition until table = holding; agent signals the match"},
+  };
+  info.notes = "The conditional Patil worried about is just a condition variable test.";
+  return info;
+}
+
+// ---------------------------------------------------------------------------------------
+// Conditional critical region.
+
+CcrSmokers::CcrSmokers(Runtime& runtime) : region_(runtime) {}
+
+void CcrSmokers::Place(int missing, OpScope* scope) {
+  CriticalRegion::Hooks hooks;
+  if (scope != nullptr) {
+    hooks.on_arrive = [scope] { scope->Arrived(); };
+    hooks.on_admit = [scope] {
+      scope->Entered();
+      scope->Exited();
+    };
+  }
+  region_.When([this] { return !present_ && !smoking_; },
+               [this, missing] {
+                 present_ = true;
+                 table_ = missing;
+               },
+               hooks);
+}
+
+void CcrSmokers::Smoke(int holding, const AccessBody& body, OpScope* scope) {
+  CriticalRegion::Hooks entry;
+  if (scope != nullptr) {
+    entry.on_arrive = [scope] { scope->Arrived(); };
+    entry.on_admit = [scope] { scope->Entered(); };
+  }
+  region_.When([this, holding] { return present_ && table_ == holding; },
+               [this] {
+                 present_ = false;
+                 smoking_ = true;
+               },
+               entry);
+  body();
+  CriticalRegion::Hooks exit;
+  if (scope != nullptr) {
+    exit.on_release = [scope] { scope->Exited(); };
+  }
+  region_.Enter([this] { smoking_ = false; }, exit);
+}
+
+SolutionInfo CcrSmokers::Info() {
+  SolutionInfo info;
+  info.mechanism = Mechanism::kConditionalRegion;
+  info.problem = "cigarette-smokers";
+  info.display_name = "region when table = holding";
+  info.shared_variables = 3;
+  info.fragments = {
+      {"exclusion", "agent: when not present and not smoking; smoker: when present and "
+                    "table = holding"},
+  };
+  info.notes = "The awaited condition IS Patil's conditional.";
+  return info;
+}
+
+}  // namespace syneval

@@ -1,0 +1,98 @@
+// Cigarette-smokers solutions (Patil 1971; Parnas 1975).
+//
+// Patil posed the problem to show that Dijkstra semaphores *without conditionals*
+// cannot express "whichever smoker's pair is on the table proceeds" — an
+// expressive-power argument of exactly the kind the paper systematizes. The solutions
+// here trace that argument:
+//
+//   * SemaphoreSmokersNaive — the ingredient-semaphore protocol Patil showed broken:
+//     smokers P() their two ingredient semaphores one at a time, so two smokers can
+//     each grab half a pair and deadlock. Kept as a predicted violation; the
+//     deterministic runtime exhibits the deadlock.
+//   * SemaphoreSmokersAgentKnows — semaphores made to work by moving the conditional
+//     into the agent (it signals the right smoker directly): expressible, but only by
+//     relocating the decision — the "indirect" pattern of the E3 semaphore column.
+//   * MonitorSmokers / CcrSmokers — with conditions over the table state the problem
+//     is trivial, the same way local-state problems are.
+
+#ifndef SYNEVAL_SOLUTIONS_SMOKERS_SOLUTIONS_H_
+#define SYNEVAL_SOLUTIONS_SMOKERS_SOLUTIONS_H_
+
+#include <memory>
+#include <vector>
+
+#include "syneval/ccr/critical_region.h"
+#include "syneval/monitor/hoare_monitor.h"
+#include "syneval/problems/interfaces.h"
+#include "syneval/solutions/solution_info.h"
+#include "syneval/sync/semaphore.h"
+
+namespace syneval {
+
+// Patil's broken protocol: deadlocks when two smokers each grab one ingredient.
+class SemaphoreSmokersNaive : public SmokersTableIface {
+ public:
+  explicit SemaphoreSmokersNaive(Runtime& runtime);
+
+  void Place(int missing, OpScope* scope) override;
+  void Smoke(int holding, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  CountingSemaphore table_empty_;
+  std::vector<std::unique_ptr<CountingSemaphore>> ingredient_;
+};
+
+// The conditional moved into the agent: it V()s the matching smoker's semaphore.
+class SemaphoreSmokersAgentKnows : public SmokersTableIface {
+ public:
+  explicit SemaphoreSmokersAgentKnows(Runtime& runtime);
+
+  void Place(int missing, OpScope* scope) override;
+  void Smoke(int holding, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  CountingSemaphore table_empty_;
+  std::vector<std::unique_ptr<CountingSemaphore>> smoker_;
+};
+
+class MonitorSmokers : public SmokersTableIface {
+ public:
+  explicit MonitorSmokers(Runtime& runtime);
+
+  void Place(int missing, OpScope* scope) override;
+  void Smoke(int holding, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  HoareMonitor monitor_;
+  HoareMonitor::Condition table_free_{monitor_};
+  std::vector<std::unique_ptr<HoareMonitor::Condition>> my_pair_;
+  bool present_ = false;
+  bool smoking_ = false;
+  int table_ = -1;  // The missing ingredient of the current placement.
+};
+
+class CcrSmokers : public SmokersTableIface {
+ public:
+  explicit CcrSmokers(Runtime& runtime);
+
+  void Place(int missing, OpScope* scope) override;
+  void Smoke(int holding, const AccessBody& body, OpScope* scope) override;
+
+  static SolutionInfo Info();
+
+ private:
+  CriticalRegion region_;
+  bool present_ = false;
+  bool smoking_ = false;
+  int table_ = -1;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SOLUTIONS_SMOKERS_SOLUTIONS_H_

@@ -1,0 +1,55 @@
+// SolutionInfo: structured metadata every solution registers about itself.
+//
+// This is the input to the paper's Section 4 measurements. A solution declares, per
+// constraint it implements, the *fragment* of synchronization text realizing that
+// constraint (mirroring how the paper compares Figure 1 and Figure 2 constraint by
+// constraint), plus structural facts: whether the mechanism expressed the scheme
+// directly, how many auxiliary "synchronization procedures" were needed (the paper's
+// chief indirectness signal for path expressions), and how much synchronization state
+// had to be maintained by hand (the paper's chief monitor overhead signal).
+//
+// The core metrics engine (syneval/core/metrics.h) compares fragments across related
+// problems to score constraint independence, exactly as Section 4.2 prescribes.
+
+#ifndef SYNEVAL_SOLUTIONS_SOLUTION_INFO_H_
+#define SYNEVAL_SOLUTIONS_SOLUTION_INFO_H_
+
+#include <string>
+#include <vector>
+
+namespace syneval {
+
+enum class Mechanism {
+  kSemaphore,          // Dijkstra P/V baseline.
+  kMonitor,            // Hoare monitors.
+  kPathExpression,     // Campbell–Habermann path expressions (+ surveyed extensions).
+  kSerializer,         // Atkinson–Hewitt serializers.
+  kConditionalRegion,  // Conditional critical regions (extension: not in the paper).
+  kMessagePassing,     // CSP channels + guarded select (the paper's future work).
+};
+
+inline constexpr int kNumMechanisms = 6;
+
+const char* MechanismName(Mechanism mechanism);
+
+// One constraint's implementation fragment within a solution.
+struct ConstraintFragment {
+  std::string constraint;  // Canonical constraint id, e.g. "exclusion", "priority".
+  std::string code;        // The synchronization text realizing it.
+};
+
+struct SolutionInfo {
+  Mechanism mechanism = Mechanism::kSemaphore;
+  std::string problem;       // Canonical problem id, e.g. "rw-readers-priority".
+  std::string display_name;  // Human-readable, e.g. "Figure 1 (CH74 paths)".
+  bool direct = true;        // False when the scheme needed escapes beyond the
+                             // mechanism's native constructs.
+  int sync_procedures = 0;   // Auxiliary gate procedures (requestread, openwrite, ...).
+  int shared_variables = 0;  // Synchronization state maintained by hand (counts, flags).
+  std::vector<ConstraintFragment> fragments;
+  std::string notes;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SOLUTIONS_SOLUTION_INFO_H_

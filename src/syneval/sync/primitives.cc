@@ -1,0 +1,61 @@
+#include "syneval/sync/primitives.h"
+
+namespace syneval {
+
+Latch::Latch(Runtime& runtime, int count)
+    : mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()), count_(count) {}
+
+void Latch::CountDown() {
+  RtLock lock(*mu_);
+  if (count_ > 0 && --count_ == 0) {
+    cv_->NotifyAll();
+  }
+}
+
+void Latch::Wait() {
+  RtLock lock(*mu_);
+  while (count_ > 0) {
+    cv_->Wait(*mu_);
+  }
+}
+
+Barrier::Barrier(Runtime& runtime, int parties)
+    : mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()), parties_(parties) {}
+
+void Barrier::Arrive() {
+  RtLock lock(*mu_);
+  const std::uint64_t generation = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_->NotifyAll();
+    return;
+  }
+  while (generation_ == generation) {
+    cv_->Wait(*mu_);
+  }
+}
+
+EventCount::EventCount(Runtime& runtime)
+    : mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()) {}
+
+std::uint64_t EventCount::Advance() {
+  RtLock lock(*mu_);
+  ++count_;
+  cv_->NotifyAll();
+  return count_;
+}
+
+void EventCount::Await(std::uint64_t value) {
+  RtLock lock(*mu_);
+  while (count_ < value) {
+    cv_->Wait(*mu_);
+  }
+}
+
+std::uint64_t EventCount::Read() const {
+  RtLock lock(*mu_);
+  return count_;
+}
+
+}  // namespace syneval

@@ -1,0 +1,68 @@
+// Auxiliary coordination primitives used by workloads and baseline solutions:
+// Latch (one-shot countdown), Barrier (cyclic rendezvous), and EventCount
+// (Reed/Kanodia-style advance/await counter, used by tick-driven baseline solutions).
+
+#ifndef SYNEVAL_SYNC_PRIMITIVES_H_
+#define SYNEVAL_SYNC_PRIMITIVES_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "syneval/runtime/runtime.h"
+
+namespace syneval {
+
+// One-shot countdown latch: CountDown() decrements, Wait() blocks until zero.
+class Latch {
+ public:
+  Latch(Runtime& runtime, int count);
+
+  void CountDown();
+  void Wait();
+
+ private:
+  std::unique_ptr<RtMutex> mu_;
+  std::unique_ptr<RtCondVar> cv_;
+  int count_;
+};
+
+// Cyclic barrier for `parties` threads; Arrive() blocks until all parties arrive, then
+// releases the generation and resets.
+class Barrier {
+ public:
+  Barrier(Runtime& runtime, int parties);
+
+  void Arrive();
+
+ private:
+  std::unique_ptr<RtMutex> mu_;
+  std::unique_ptr<RtCondVar> cv_;
+  int parties_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+// Event count: a monotonically increasing counter with Await(value). Advance() bumps the
+// counter and wakes everyone whose threshold has been reached. This is the natural
+// primitive for "history information" constraints expressed as event ordinals.
+class EventCount {
+ public:
+  explicit EventCount(Runtime& runtime);
+
+  // Increments the count and returns the new value.
+  std::uint64_t Advance();
+
+  // Blocks until the count is >= `value`.
+  void Await(std::uint64_t value);
+
+  std::uint64_t Read() const;
+
+ private:
+  std::unique_ptr<RtMutex> mu_;
+  std::unique_ptr<RtCondVar> cv_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SYNC_PRIMITIVES_H_

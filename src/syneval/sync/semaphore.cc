@@ -1,0 +1,151 @@
+#include "syneval/sync/semaphore.h"
+
+namespace syneval {
+
+CountingSemaphore::CountingSemaphore(Runtime& runtime, std::int64_t initial)
+    : mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()), count_(initial) {}
+
+void CountingSemaphore::P() {
+  RtLock lock(*mu_);
+  while (count_ == 0) {
+    cv_->Wait(*mu_);
+  }
+  --count_;
+}
+
+void CountingSemaphore::P(const std::function<void()>& on_acquire) {
+  RtLock lock(*mu_);
+  while (count_ == 0) {
+    cv_->Wait(*mu_);
+  }
+  --count_;
+  if (on_acquire) {
+    on_acquire();
+  }
+}
+
+void CountingSemaphore::V() {
+  RtLock lock(*mu_);
+  ++count_;
+  cv_->NotifyOne();
+}
+
+void CountingSemaphore::V(const std::function<void()>& on_release) {
+  RtLock lock(*mu_);
+  if (on_release) {
+    on_release();
+  }
+  ++count_;
+  cv_->NotifyOne();
+}
+
+bool CountingSemaphore::TryP() {
+  RtLock lock(*mu_);
+  if (count_ == 0) {
+    return false;
+  }
+  --count_;
+  return true;
+}
+
+std::int64_t CountingSemaphore::value() const {
+  RtLock lock(*mu_);
+  return count_;
+}
+
+BinarySemaphore::BinarySemaphore(Runtime& runtime, bool initially_open)
+    : mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()), open_(initially_open) {}
+
+void BinarySemaphore::P() { P(nullptr); }
+
+void BinarySemaphore::P(const std::function<void()>& on_acquire) {
+  RtLock lock(*mu_);
+  while (!open_) {
+    cv_->Wait(*mu_);
+  }
+  open_ = false;
+  if (on_acquire) {
+    on_acquire();
+  }
+}
+
+void BinarySemaphore::V() { V(nullptr); }
+
+void BinarySemaphore::V(const std::function<void()>& on_release) {
+  RtLock lock(*mu_);
+  if (on_release) {
+    on_release();
+  }
+  open_ = true;
+  cv_->NotifyOne();
+}
+
+bool BinarySemaphore::TryP() {
+  RtLock lock(*mu_);
+  if (!open_) {
+    return false;
+  }
+  open_ = false;
+  return true;
+}
+
+FifoSemaphore::FifoSemaphore(Runtime& runtime, std::int64_t initial)
+    : mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()), count_(initial) {}
+
+void FifoSemaphore::P() { P(nullptr, nullptr); }
+
+void FifoSemaphore::P(const std::function<void()>& on_acquire) { P(nullptr, on_acquire); }
+
+void FifoSemaphore::P(const std::function<void()>& on_arrive,
+                      const std::function<void()>& on_acquire) {
+  RtLock lock(*mu_);
+  if (on_arrive) {
+    on_arrive();
+  }
+  if (count_ > 0 && queue_.empty()) {
+    --count_;
+    if (on_acquire) {
+      on_acquire();
+    }
+    return;
+  }
+  Waiter self;
+  self.on_acquire = on_acquire;
+  queue_.push_back(&self);
+  while (!self.granted) {
+    cv_->Wait(*mu_);
+  }
+}
+
+void FifoSemaphore::V() { V(nullptr); }
+
+void FifoSemaphore::V(const std::function<void()>& on_release) {
+  RtLock lock(*mu_);
+  if (on_release) {
+    on_release();
+  }
+  if (!queue_.empty()) {
+    // Hand the unit directly to the longest waiter; the count never becomes visible.
+    Waiter* head = queue_.front();
+    queue_.pop_front();
+    if (head->on_acquire) {
+      head->on_acquire();
+    }
+    head->granted = true;
+    cv_->NotifyAll();
+  } else {
+    ++count_;
+  }
+}
+
+std::int64_t FifoSemaphore::value() const {
+  RtLock lock(*mu_);
+  return count_;
+}
+
+int FifoSemaphore::waiters() const {
+  RtLock lock(*mu_);
+  return static_cast<int>(queue_.size());
+}
+
+}  // namespace syneval

@@ -1,0 +1,116 @@
+// Semaphores: the low-level baseline mechanism.
+//
+// Section 1 of the paper frames every high-level construct as an attempt to improve on
+// semaphores ("the need for a mechanism that is higher level than semaphores, and easier
+// to use, is widely recognized"). The baseline column of every evaluation matrix in this
+// repository is therefore implemented with these primitives, following Dijkstra's
+// "Cooperating Sequential Processes" P/V discipline.
+//
+// Two wakeup disciplines are provided because several canonical problems depend on it:
+//   * CountingSemaphore — wakeup order unspecified (whatever the runtime schedule does);
+//     this is the classic weak semaphore.
+//   * FifoSemaphore — strict first-blocked-first-granted order; a "strong" semaphore,
+//     needed to express request-time (FCFS) constraints with semaphores at all.
+
+#ifndef SYNEVAL_SYNC_SEMAPHORE_H_
+#define SYNEVAL_SYNC_SEMAPHORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "syneval/runtime/runtime.h"
+
+namespace syneval {
+
+// Weak counting semaphore. P() blocks while the count is zero; V() increments and wakes
+// some waiter. Wakeup order among blocked threads is unspecified.
+class CountingSemaphore {
+ public:
+  CountingSemaphore(Runtime& runtime, std::int64_t initial);
+
+  CountingSemaphore(const CountingSemaphore&) = delete;
+  CountingSemaphore& operator=(const CountingSemaphore&) = delete;
+
+  // Dijkstra's P (wait/down): blocks until the count is positive, then decrements.
+  void P();
+
+  // P with a trace hook executed under the semaphore's internal lock at the decrement
+  // instant — the race-free way to record an admission whose gate is this semaphore
+  // (see the instrumentation contract in trace/recorder.h).
+  void P(const std::function<void()>& on_acquire);
+
+  // Dijkstra's V (signal/up): increments the count and wakes a waiter if any.
+  void V();
+
+  // V with a trace hook executed under the internal lock just before the increment
+  // (records a release before any competitor can be admitted by it).
+  void V(const std::function<void()>& on_release);
+
+  // Non-blocking P: returns false instead of blocking when the count is zero.
+  bool TryP();
+
+  // Current count (racy snapshot; intended for diagnostics and tests).
+  std::int64_t value() const;
+
+ private:
+  std::unique_ptr<RtMutex> mu_;
+  std::unique_ptr<RtCondVar> cv_;
+  std::int64_t count_;
+};
+
+// Binary semaphore (mutex-style usage, but V from a different thread is allowed, which a
+// mutex forbids). Count is clamped to {0, 1}: V on an open semaphore stays 1.
+class BinarySemaphore {
+ public:
+  BinarySemaphore(Runtime& runtime, bool initially_open);
+
+  void P();
+  // Hook semantics as for CountingSemaphore: run under the internal lock at the
+  // acquire/release instant.
+  void P(const std::function<void()>& on_acquire);
+  void V();
+  void V(const std::function<void()>& on_release);
+  bool TryP();
+
+ private:
+  std::unique_ptr<RtMutex> mu_;
+  std::unique_ptr<RtCondVar> cv_;
+  bool open_;
+};
+
+// Strong semaphore: blocked threads are granted the semaphore in the exact order their
+// P() calls blocked. This is the building block for expressing request-time information
+// (first-come-first-served constraints) in the semaphore baseline.
+class FifoSemaphore {
+ public:
+  FifoSemaphore(Runtime& runtime, std::int64_t initial);
+
+  void P();
+  // `on_acquire` runs under the internal lock at the instant the unit is granted; for a
+  // blocked P it runs in the *granting* (V-calling) thread. `on_arrive` runs under the
+  // internal lock when the request joins the queue (or is granted immediately).
+  void P(const std::function<void()>& on_acquire);
+  void P(const std::function<void()>& on_arrive, const std::function<void()>& on_acquire);
+  void V();
+  void V(const std::function<void()>& on_release);
+
+  std::int64_t value() const;
+  int waiters() const;
+
+ private:
+  struct Waiter {
+    bool granted = false;
+    std::function<void()> on_acquire;
+  };
+
+  std::unique_ptr<RtMutex> mu_;
+  std::unique_ptr<RtCondVar> cv_;
+  std::int64_t count_;
+  std::deque<Waiter*> queue_;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_SYNC_SEMAPHORE_H_

@@ -1,0 +1,164 @@
+#include "syneval/trace/query.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+namespace syneval {
+
+namespace {
+
+constexpr std::uint64_t kInfinity = std::numeric_limits<std::uint64_t>::max();
+
+// Effective interval bounds: an execution that never entered occupies nothing; one that
+// entered but never exited is treated as holding the resource forever after.
+std::uint64_t EnterBound(const Execution& e) { return e.enter_seq == 0 ? kInfinity : e.enter_seq; }
+std::uint64_t ExitBound(const Execution& e) { return e.exit_seq == 0 ? kInfinity : e.exit_seq; }
+
+}  // namespace
+
+bool Execution::Overlaps(const Execution& other) const {
+  if (enter_seq == 0 || other.enter_seq == 0) {
+    return false;
+  }
+  return EnterBound(*this) < ExitBound(other) && EnterBound(other) < ExitBound(*this);
+}
+
+bool Execution::CompletedBefore(const Execution& other) const {
+  if (exit_seq == 0 || other.enter_seq == 0) {
+    return false;
+  }
+  return exit_seq < other.enter_seq;
+}
+
+bool Execution::RequestedBefore(const Execution& other) const {
+  if (request_seq == 0 || other.request_seq == 0) {
+    return false;
+  }
+  return request_seq < other.request_seq;
+}
+
+std::vector<Execution> GroupExecutions(const std::vector<Event>& events) {
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  std::vector<Execution> executions;
+  executions.reserve(events.size() / 3 + 1);
+  for (const Event& event : events) {
+    if (event.kind == EventKind::kMark) {
+      continue;
+    }
+    auto [it, inserted] = index.try_emplace(event.op_instance, executions.size());
+    if (inserted) {
+      Execution execution;
+      execution.instance = event.op_instance;
+      execution.thread = event.thread;
+      execution.op = event.op;
+      execution.param = event.param;
+      executions.push_back(std::move(execution));
+    }
+    Execution& execution = executions[it->second];
+    switch (event.kind) {
+      case EventKind::kRequest:
+        execution.request_seq = event.seq;
+        break;
+      case EventKind::kEnter:
+        execution.enter_seq = event.seq;
+        execution.enter_value = event.value;
+        break;
+      case EventKind::kExit:
+        execution.exit_seq = event.seq;
+        execution.exit_value = event.value;
+        break;
+      case EventKind::kMark:
+        break;
+    }
+  }
+  std::sort(executions.begin(), executions.end(), [](const Execution& a, const Execution& b) {
+    const std::uint64_t ka = a.request_seq == 0 ? a.enter_seq : a.request_seq;
+    const std::uint64_t kb = b.request_seq == 0 ? b.enter_seq : b.request_seq;
+    return ka < kb;
+  });
+  return executions;
+}
+
+std::vector<Execution> FilterByOp(const std::vector<Execution>& executions, std::string_view op) {
+  std::vector<Execution> out;
+  for (const Execution& execution : executions) {
+    if (execution.op == op) {
+      out.push_back(execution);
+    }
+  }
+  return out;
+}
+
+std::optional<Execution> FindInstance(const std::vector<Execution>& executions,
+                                      std::uint64_t instance) {
+  for (const Execution& execution : executions) {
+    if (execution.instance == instance) {
+      return execution;
+    }
+  }
+  return std::nullopt;
+}
+
+int ActiveCountAt(const std::vector<Execution>& executions, std::string_view op,
+                  std::uint64_t seq) {
+  int count = 0;
+  for (const Execution& execution : executions) {
+    if (execution.op != op || execution.enter_seq == 0) {
+      continue;
+    }
+    if (execution.enter_seq <= seq && (execution.exit_seq == 0 || execution.exit_seq > seq)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int WaitingCountAt(const std::vector<Execution>& executions, std::string_view op,
+                   std::uint64_t seq) {
+  int count = 0;
+  for (const Execution& execution : executions) {
+    if (execution.op != op || execution.request_seq == 0) {
+      continue;
+    }
+    if (execution.request_seq <= seq && (execution.enter_seq == 0 || execution.enter_seq > seq)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+WaitStats ComputeWaitStats(const std::vector<Execution>& executions, std::string_view op) {
+  WaitStats stats;
+  std::uint64_t total = 0;
+  for (const Execution& e : executions) {
+    if (e.op != op || e.request_seq == 0) {
+      continue;
+    }
+    if (e.enter_seq == 0) {
+      ++stats.never_admitted;
+      continue;
+    }
+    const std::uint64_t wait = e.enter_seq - e.request_seq;
+    ++stats.count;
+    total += wait;
+    stats.max_wait = std::max(stats.max_wait, wait);
+  }
+  stats.mean_wait = stats.count == 0 ? 0.0 : static_cast<double>(total) / stats.count;
+  return stats;
+}
+
+std::string DescribeExecution(const Execution& execution) {
+  std::ostringstream os;
+  os << execution.op << "#" << execution.instance << " by t" << execution.thread << " [req="
+     << execution.request_seq << ", enter=" << execution.enter_seq
+     << ", exit=" << execution.exit_seq;
+  if (execution.param != 0) {
+    os << ", param=" << execution.param;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace syneval

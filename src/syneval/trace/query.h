@@ -1,0 +1,87 @@
+// Query helpers over recorded traces.
+//
+// Oracles (syneval/problems) phrase constraint checks in terms of operation *executions*:
+// the (request, enter, exit) triple of one op instance. This header groups raw events into
+// executions and provides the interval predicates (overlap, precedence) that exclusion and
+// priority constraints are written with.
+
+#ifndef SYNEVAL_TRACE_QUERY_H_
+#define SYNEVAL_TRACE_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "syneval/trace/event.h"
+
+namespace syneval {
+
+// One complete (or still-open) operation execution reconstructed from a trace.
+// Sequence numbers of the missing phases are 0.
+struct Execution {
+  std::uint64_t instance = 0;
+  std::uint32_t thread = 0;
+  std::string op;
+  std::int64_t param = 0;
+  std::int64_t enter_value = 0;
+  std::int64_t exit_value = 0;
+  std::uint64_t request_seq = 0;
+  std::uint64_t enter_seq = 0;
+  std::uint64_t exit_seq = 0;
+
+  bool Complete() const { return request_seq != 0 && enter_seq != 0 && exit_seq != 0; }
+
+  // True when both executions held the resource at some common instant, i.e. their
+  // [enter, exit] intervals intersect. Open executions extend to infinity.
+  bool Overlaps(const Execution& other) const;
+
+  // True when this execution finished before `other` was admitted.
+  bool CompletedBefore(const Execution& other) const;
+
+  // True when this execution requested before `other` requested (request time order).
+  bool RequestedBefore(const Execution& other) const;
+};
+
+// Groups a trace into executions, ordered by request sequence number.
+// Events of kind kMark are ignored. Dangling enters/exits (without a request) are
+// reported as executions with the corresponding phases set and request_seq == 0.
+std::vector<Execution> GroupExecutions(const std::vector<Event>& events);
+
+// Returns only the executions whose op name equals `op`.
+std::vector<Execution> FilterByOp(const std::vector<Execution>& executions, std::string_view op);
+
+// Returns the execution with the given instance id, if present.
+std::optional<Execution> FindInstance(const std::vector<Execution>& executions,
+                                      std::uint64_t instance);
+
+// Returns the number of executions of `op` that are inside the resource (entered, not yet
+// exited) at the global time `seq`. This is the "synchronization state" view of a trace.
+int ActiveCountAt(const std::vector<Execution>& executions, std::string_view op,
+                  std::uint64_t seq);
+
+// Returns the number of executions of `op` that have requested but not yet entered at
+// time `seq` (the waiting set).
+int WaitingCountAt(const std::vector<Execution>& executions, std::string_view op,
+                   std::uint64_t seq);
+
+// Renders a short diagnostic description of an execution.
+std::string DescribeExecution(const Execution& execution);
+
+// Waiting-time statistics for one op, in logical-trace units (the number of global
+// events between a request's arrival and its admission). Absolute values depend on the
+// workload's event density; comparisons across policies on the SAME workload are the
+// meaningful use (fairness/starvation analysis).
+struct WaitStats {
+  int count = 0;                 // Admitted executions measured.
+  std::uint64_t max_wait = 0;    // Worst arrival→admission distance.
+  double mean_wait = 0.0;
+  int never_admitted = 0;        // Requests that starved (arrived, never entered).
+};
+
+WaitStats ComputeWaitStats(const std::vector<Execution>& executions, std::string_view op);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_TRACE_QUERY_H_

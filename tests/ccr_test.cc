@@ -1,0 +1,183 @@
+// Conditional critical region semantics: exclusion, condition waiting, re-test at
+// region exits, arrival-order admission among satisfied waiters, handoff atomicity.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "syneval/ccr/critical_region.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/explore.h"
+#include "syneval/runtime/schedule.h"
+
+namespace syneval {
+namespace {
+
+TEST(CriticalRegionTest, BodiesAreMutuallyExclusive) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(5));
+  CriticalRegion region(rt);
+  int counter = 0;
+  auto body = [&] {
+    for (int i = 0; i < 10; ++i) {
+      region.Enter([&] {
+        const int read = counter;
+        rt.Yield();  // Preemption inside the body: nobody may interleave.
+        counter = read + 1;
+      });
+    }
+  };
+  auto t1 = rt.StartThread("a", body);
+  auto t2 = rt.StartThread("b", body);
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(counter, 20);
+}
+
+TEST(CriticalRegionTest, WhenBlocksUntilConditionHolds) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  CriticalRegion region(rt);
+  bool open = false;
+  std::vector<std::string> log;
+  auto waiter = rt.StartThread("waiter", [&] {
+    region.When([&] { return open; }, [&] { log.push_back("through"); });
+  });
+  auto opener = rt.StartThread("opener", [&] {
+    // Region bodies must not call region operations (the lock is not recursive), so
+    // the wait-for-waiter poll happens outside the region.
+    while (region.Waiting() == 0) {
+      rt.Yield();
+    }
+    region.Enter([&] {
+      open = true;
+      log.push_back("opened");
+    });
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(log, (std::vector<std::string>{"opened", "through"}));
+}
+
+TEST(CriticalRegionTest, SatisfiedWaitersAdmittedInArrivalOrder) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(9));
+  CriticalRegion region(rt);
+  int turn = 0;
+  bool open = false;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    static_cast<void>(rt.StartThread("w" + std::to_string(i), [&, i] {
+      CriticalRegion::Hooks hooks;
+      hooks.on_arrive = [&turn] { ++turn; };
+      while (turn != i) {
+        rt.Yield();
+      }
+      region.When([&open] { return open; }, [&order, i] { order.push_back(i); }, hooks);
+    }));
+  }
+  static_cast<void>(rt.StartThread("opener", [&] {
+    while (region.Waiting() < 3) {
+      rt.Yield();
+    }
+    region.Enter([&] { open = true; });
+  }));
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CriticalRegionTest, FalseConditionDoesNotBlockOthers) {
+  // Unlike serializer FIFO queues, EVERY waiting condition is tested: a false head
+  // must not block a satisfied later arrival.
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  CriticalRegion region(rt);
+  bool never = false;
+  bool second_arrived = false;
+  std::vector<std::string> log;
+  auto first = rt.StartThread("first", [&] {
+    region.When([&] { return never; }, [&] { log.push_back("first"); });
+  });
+  auto second = rt.StartThread("second", [&] {
+    while (region.Waiting() == 0) {
+      rt.Yield();
+    }
+    second_arrived = true;
+    region.When([] { return true; }, [&] { log.push_back("second"); });
+  });
+  auto releaser = rt.StartThread("releaser", [&] {
+    while (log.empty()) {
+      rt.Yield();
+    }
+    region.Enter([&] { never = true; });  // Finally admit the first waiter.
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(log, (std::vector<std::string>{"second", "first"}));
+  EXPECT_TRUE(second_arrived);
+}
+
+TEST(CriticalRegionTest, HandoffIsAtomic) {
+  // A granted waiter's body must see exactly the state its condition approved: a
+  // condition awaiting token == k admits precisely once per k.
+  DetRuntime rt(std::make_unique<RandomSchedule>(21));
+  CriticalRegion region(rt);
+  int token = 0;
+  std::vector<int> served;
+  for (int i = 3; i >= 1; --i) {
+    static_cast<void>(rt.StartThread("w" + std::to_string(i), [&, i] {
+      region.When([&token, i] { return token == i; },
+                  [&] {
+                    served.push_back(i);
+                    EXPECT_EQ(token, i);  // Condition still holds in the body.
+                  });
+    }));
+  }
+  static_cast<void>(rt.StartThread("driver", [&] {
+    for (int k = 1; k <= 3; ++k) {
+      while (static_cast<int>(served.size()) < k) {
+        region.Enter([&] { token = k; });
+        rt.Yield();
+      }
+    }
+  }));
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(served, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CriticalRegionTest, HooksFireInProtocolOrder) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  CriticalRegion region(rt);
+  std::vector<std::string> log;
+  CriticalRegion::Hooks hooks;
+  hooks.on_arrive = [&] { log.push_back("arrive"); };
+  hooks.on_admit = [&] { log.push_back("admit"); };
+  hooks.on_release = [&] { log.push_back("release"); };
+  auto t = rt.StartThread("t", [&] {
+    region.When([] { return true; }, [&] { log.push_back("body"); }, hooks);
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(log, (std::vector<std::string>{"arrive", "admit", "body", "release"}));
+}
+
+TEST(CriticalRegionTest, StressCountersUnderManySchedules) {
+  const SweepOutcome outcome = SweepSchedules(20, [](std::uint64_t seed) -> std::string {
+    DetRuntime rt(std::make_unique<RandomSchedule>(seed));
+    CriticalRegion region(rt);
+    int balance = 0;
+    auto producer = rt.StartThread("p", [&] {
+      for (int i = 0; i < 5; ++i) {
+        region.When([&] { return balance < 2; }, [&] { ++balance; });
+      }
+    });
+    auto consumer = rt.StartThread("c", [&] {
+      for (int i = 0; i < 5; ++i) {
+        region.When([&] { return balance > 0; }, [&] { --balance; });
+      }
+    });
+    const DetRuntime::RunResult result = rt.Run();
+    if (!result.completed) {
+      return result.report;
+    }
+    return balance == 0 ? "" : "unbalanced";
+  });
+  EXPECT_TRUE(outcome.AllPassed()) << outcome.Summary();
+}
+
+}  // namespace
+}  // namespace syneval

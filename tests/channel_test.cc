@@ -1,0 +1,214 @@
+// CSP channel semantics: rendezvous, buffering, FIFO sender order, guarded select,
+// reply-channel plumbing, and hook ordering.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "syneval/channel/channel.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/explore.h"
+#include "syneval/runtime/schedule.h"
+
+namespace syneval {
+namespace {
+
+TEST(ChannelTest, RendezvousTransfersValue) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  ChannelGroup group(rt);
+  Channel ch(group, "ch");
+  std::int64_t got = 0;
+  auto sender = rt.StartThread("sender", [&] { ch.Send(ChanMsg{7, 42, nullptr}); });
+  auto receiver = rt.StartThread("receiver", [&] {
+    const ChanMsg msg = ch.Receive();
+    got = msg.value;
+    EXPECT_EQ(msg.tag, 7);
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(got, 42);
+}
+
+TEST(ChannelTest, RendezvousSenderBlocksUntilTaken) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  ChannelGroup group(rt);
+  Channel ch(group, "ch");
+  std::vector<std::string> log;
+  auto sender = rt.StartThread("sender", [&] {
+    ch.Send(ChanMsg{});
+    log.push_back("send-returned");
+  });
+  auto receiver = rt.StartThread("receiver", [&] {
+    for (int i = 0; i < 10; ++i) {
+      rt.Yield();  // Let the sender run first: it must not pass the rendezvous.
+    }
+    log.push_back("receiving");
+    ch.Receive();
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(log, (std::vector<std::string>{"receiving", "send-returned"}));
+}
+
+TEST(ChannelTest, BufferedSendDoesNotBlockUntilFull) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  ChannelGroup group(rt);
+  Channel ch(group, "ch", /*capacity=*/2);
+  std::vector<std::string> log;
+  auto sender = rt.StartThread("sender", [&] {
+    ch.Send(ChanMsg{0, 1, nullptr});
+    log.push_back("sent1");
+    ch.Send(ChanMsg{0, 2, nullptr});
+    log.push_back("sent2");
+    ch.Send(ChanMsg{0, 3, nullptr});  // Buffer full: blocks until a receive.
+    log.push_back("sent3");
+  });
+  auto receiver = rt.StartThread("receiver", [&] {
+    for (int i = 0; i < 10; ++i) {
+      rt.Yield();
+    }
+    log.push_back("receive");
+    EXPECT_EQ(ch.Receive().value, 1);
+    EXPECT_EQ(ch.Receive().value, 2);
+    EXPECT_EQ(ch.Receive().value, 3);
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  const std::vector<std::string> expected = {"sent1", "sent2", "receive", "sent3"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(ChannelTest, SendersServedInArrivalOrder) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(13));
+  ChannelGroup group(rt);
+  Channel ch(group, "ch");
+  int turn = 0;
+  for (int i = 0; i < 3; ++i) {
+    static_cast<void>(rt.StartThread("s" + std::to_string(i), [&, i] {
+      while (turn != i) {
+        rt.Yield();
+      }
+      ch.Send(ChanMsg{0, i, nullptr}, [&turn] { ++turn; }, nullptr);
+    }));
+  }
+  std::vector<std::int64_t> order;
+  static_cast<void>(rt.StartThread("receiver", [&] {
+    while (turn < 3) {
+      rt.Yield();
+    }
+    for (int i = 0; i < 3; ++i) {
+      order.push_back(ch.Receive().value);
+    }
+  }));
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2}));
+}
+
+TEST(ChannelTest, SelectHonoursGuardsAndOrder) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  ChannelGroup group(rt);
+  Channel a(group, "a");
+  Channel b(group, "b");
+  bool allow_a = false;
+  std::vector<std::string> log;
+  auto sa = rt.StartThread("sa", [&] { a.Send(ChanMsg{0, 1, nullptr}); });
+  auto sb = rt.StartThread("sb", [&] { b.Send(ChanMsg{0, 2, nullptr}); });
+  auto selector = rt.StartThread("selector", [&] {
+    while (!(a.HasSenders() && b.HasSenders())) {
+      rt.Yield();  // Wait until both alternatives are ready.
+    }
+    ChanMsg msg;
+    // a is listed first but guarded shut: b must win.
+    int idx = group.Select({SelectCase{&a, [&] { return allow_a; }},
+                            SelectCase{&b, nullptr}},
+                           &msg);
+    EXPECT_EQ(idx, 1);
+    EXPECT_EQ(msg.value, 2);
+    allow_a = true;
+    idx = group.Select({SelectCase{&a, [&] { return allow_a; }}, SelectCase{&b, nullptr}},
+                       &msg);
+    EXPECT_EQ(idx, 0);
+    EXPECT_EQ(msg.value, 1);
+  });
+  ASSERT_TRUE(rt.Run().completed);
+}
+
+TEST(ChannelTest, SelectBlocksUntilSomethingReady) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  ChannelGroup group(rt);
+  Channel a(group, "a");
+  std::vector<std::string> log;
+  auto selector = rt.StartThread("selector", [&] {
+    ChanMsg msg;
+    group.Select({SelectCase{&a, nullptr}}, &msg);
+    log.push_back("selected");
+  });
+  auto sender = rt.StartThread("sender", [&] {
+    for (int i = 0; i < 5; ++i) {
+      rt.Yield();
+    }
+    log.push_back("sending");
+    a.Send(ChanMsg{});
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(log, (std::vector<std::string>{"sending", "selected"}));
+}
+
+TEST(ChannelTest, ReplyChannelRoundTrip) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  ChannelGroup group(rt);
+  Channel requests(group, "requests");
+  std::int64_t answer = 0;
+  auto server = rt.StartThread("server", [&] {
+    const ChanMsg request = requests.Receive();
+    request.reply->Send(ChanMsg{0, request.value * 2, nullptr});
+  });
+  auto client = rt.StartThread("client", [&] {
+    Channel reply(group, "reply");
+    requests.Send(ChanMsg{0, 21, &reply});
+    answer = reply.Receive().value;
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(answer, 42);
+}
+
+TEST(ChannelTest, TryOperations) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  ChannelGroup group(rt);
+  Channel buffered(group, "buffered", 1);
+  Channel sync(group, "sync");
+  bool checks_done = false;
+  auto t = rt.StartThread("t", [&] {
+    ChanMsg msg;
+    EXPECT_FALSE(buffered.TryReceive(&msg));
+    EXPECT_TRUE(buffered.TrySend(ChanMsg{0, 5, nullptr}));
+    EXPECT_FALSE(buffered.TrySend(ChanMsg{0, 6, nullptr}));  // Full.
+    EXPECT_TRUE(buffered.TryReceive(&msg));
+    EXPECT_EQ(msg.value, 5);
+    EXPECT_FALSE(sync.TrySend(ChanMsg{}));  // Rendezvous: no receiver waiting.
+    checks_done = true;
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_TRUE(checks_done);
+}
+
+TEST(ChannelTest, HooksFireAtRegisterAndAccept) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  ChannelGroup group(rt);
+  Channel ch(group, "ch");
+  std::vector<std::string> log;
+  auto sender = rt.StartThread("sender", [&] {
+    ch.Send(ChanMsg{}, [&] { log.push_back("register"); }, [&] { log.push_back("accept"); });
+  });
+  auto receiver = rt.StartThread("receiver", [&] {
+    for (int i = 0; i < 5; ++i) {
+      rt.Yield();
+    }
+    ch.Receive([&](const ChanMsg&) { log.push_back("receive-hook"); });
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  // The accept hook fires inside the receiver's take, before its own receive hook.
+  EXPECT_EQ(log, (std::vector<std::string>{"register", "accept", "receive-hook"}));
+}
+
+}  // namespace
+}  // namespace syneval

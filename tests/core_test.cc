@@ -1,0 +1,211 @@
+// Core methodology: taxonomy, catalog coverage / minimal test sets, expressiveness
+// matrix consistency, and constraint-independence metrics.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "syneval/core/criteria.h"
+#include "syneval/core/metrics.h"
+#include "syneval/core/problem_catalog.h"
+#include "syneval/core/scorecard.h"
+#include "syneval/solutions/registry.h"
+
+namespace syneval {
+namespace {
+
+// --- Catalog & coverage (Section 3, E8) -------------------------------------------------
+
+TEST(CatalogTest, Footnote2SetIsComplete) {
+  const std::vector<std::string> footnote2 = {"bounded-buffer",      "fcfs-resource",
+                                              "rw-readers-priority", "disk-scan",
+                                              "alarm-clock",         "one-slot-buffer"};
+  const CoverageReport report = Coverage(footnote2);
+  EXPECT_TRUE(report.complete) << "missing: " << report.missing.size();
+}
+
+TEST(CatalogTest, EachFootnote2ProblemJustifiesItsCategory) {
+  // Per the paper: bounded buffer = local state; FCFS = request time; readers-priority
+  // database = request type + sync state; disk scheduler & alarm clock = parameters;
+  // one-slot buffer = history.
+  EXPECT_NE(ProblemById("bounded-buffer").CategoryMask() &
+                CategoryBit(InfoCategory::kLocalState),
+            0u);
+  EXPECT_NE(ProblemById("fcfs-resource").CategoryMask() &
+                CategoryBit(InfoCategory::kRequestTime),
+            0u);
+  EXPECT_NE(ProblemById("rw-readers-priority").CategoryMask() &
+                CategoryBit(InfoCategory::kRequestType),
+            0u);
+  EXPECT_NE(ProblemById("rw-readers-priority").CategoryMask() &
+                CategoryBit(InfoCategory::kSyncState),
+            0u);
+  EXPECT_NE(ProblemById("disk-scan").CategoryMask() & CategoryBit(InfoCategory::kParameters),
+            0u);
+  EXPECT_NE(ProblemById("alarm-clock").CategoryMask() & CategoryBit(InfoCategory::kParameters),
+            0u);
+  EXPECT_NE(ProblemById("one-slot-buffer").CategoryMask() & CategoryBit(InfoCategory::kHistory),
+            0u);
+}
+
+TEST(CatalogTest, MinimalCoversAreCoversAndMinimal) {
+  const auto covers = MinimalCovers();
+  ASSERT_FALSE(covers.empty());
+  const std::size_t size = covers.front().size();
+  for (const auto& cover : covers) {
+    EXPECT_EQ(cover.size(), size);
+    EXPECT_TRUE(Coverage(cover).complete);
+  }
+  // Minimality: no smaller subset covers (spot-check: removing any element breaks it).
+  for (const auto& cover : covers) {
+    for (std::size_t skip = 0; skip < cover.size(); ++skip) {
+      std::vector<std::string> reduced;
+      for (std::size_t i = 0; i < cover.size(); ++i) {
+        if (i != skip) {
+          reduced.push_back(cover[i]);
+        }
+      }
+      EXPECT_FALSE(Coverage(reduced).complete)
+          << "cover was not minimal: dropping " << cover[skip] << " still covers";
+    }
+  }
+}
+
+TEST(CatalogTest, RedundancyCountsDoubleCoverage) {
+  EXPECT_EQ(Redundancy({"one-slot-buffer"}), 0);
+  EXPECT_GT(Redundancy({"rw-readers-priority", "rw-writers-priority"}), 0);
+}
+
+// --- Expressiveness (Section 4.1 / 5, E3) -----------------------------------------------
+
+TEST(CriteriaTest, MatrixIsComplete) {
+  EXPECT_EQ(ExpressivenessMatrix().size(), 36u);
+  for (const ExpressivenessEntry& entry : ExpressivenessMatrix()) {
+    EXPECT_FALSE(entry.evidence.empty());
+  }
+}
+
+TEST(CriteriaTest, EncodesThePapersHeadlineConclusions) {
+  EXPECT_EQ(Expressiveness(Mechanism::kPathExpression, InfoCategory::kParameters).support,
+            Support::kUnsupported);
+  EXPECT_EQ(Expressiveness(Mechanism::kPathExpression, InfoCategory::kHistory).support,
+            Support::kDirect);
+  EXPECT_EQ(Expressiveness(Mechanism::kMonitor, InfoCategory::kParameters).support,
+            Support::kDirect);
+  EXPECT_EQ(Expressiveness(Mechanism::kMonitor, InfoCategory::kSyncState).support,
+            Support::kIndirect);
+  EXPECT_EQ(Expressiveness(Mechanism::kSerializer, InfoCategory::kSyncState).support,
+            Support::kDirect);
+}
+
+TEST(CriteriaTest, MatrixConsistentWithSolutionStructure) {
+  const std::vector<std::string> inconsistencies = CrossCheckExpressiveness();
+  EXPECT_TRUE(inconsistencies.empty())
+      << inconsistencies.size() << " inconsistencies, first: " << inconsistencies.front();
+}
+
+// --- Metrics (Section 4.2, E4) ------------------------------------------------------------
+
+TEST(MetricsTest, TokenSimilarityBasics) {
+  EXPECT_DOUBLE_EQ(TokenSimilarity("P(w); V(w)", "P(w); V(w)"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenSimilarity("alpha beta", "gamma delta"), 0.0);
+  EXPECT_DOUBLE_EQ(TokenSimilarity("", ""), 1.0);
+  const double partial = TokenSimilarity("while busy do wait", "while free do wait");
+  EXPECT_GT(partial, 0.5);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(MetricsTest, TokenizerSplitsWordsAndPunctuation) {
+  const auto tokens = Tokenize("P(mutex); rc_ := rc_+1");
+  // p ( mutex ) ; rc_ : = rc_ + 1
+  EXPECT_EQ(tokens.size(), 11u);
+  EXPECT_EQ(tokens[0], "p");
+  EXPECT_EQ(tokens[1], "(");
+}
+
+TEST(MetricsTest, MonitorExclusionFragmentsAreStableAcrossPolicies) {
+  // Section 5.2: monitor constraints are (mostly) independent — the exclusion fragment
+  // barely changes between readers-priority and writers-priority.
+  const auto a = FindSolution(Mechanism::kMonitor, "rw-readers-priority");
+  const auto b = FindSolution(Mechanism::kMonitor, "rw-writers-priority");
+  ASSERT_TRUE(a && b);
+  const auto similarity = FragmentSimilarity(*a, *b, "exclusion");
+  ASSERT_TRUE(similarity.has_value());
+  EXPECT_GT(*similarity, 0.9);
+}
+
+TEST(MetricsTest, PathExpressionFragmentsChangeWholesale) {
+  // Section 5.1.2: moving from Figure 1 to Figure 2 changes every path and procedure.
+  const auto fig1 = FindSolution(Mechanism::kPathExpression, "rw-readers-priority");
+  const auto fig2 = FindSolution(Mechanism::kPathExpression, "rw-writers-priority");
+  ASSERT_TRUE(fig1 && fig2);
+  const auto exclusion = FragmentSimilarity(*fig1, *fig2, "exclusion");
+  ASSERT_TRUE(exclusion.has_value());
+
+  const auto monitor_a = FindSolution(Mechanism::kMonitor, "rw-readers-priority");
+  const auto monitor_b = FindSolution(Mechanism::kMonitor, "rw-writers-priority");
+  const auto monitor_exclusion = FragmentSimilarity(*monitor_a, *monitor_b, "exclusion");
+
+  // The paper's comparative claim: path expressions couple the constraints, monitors
+  // keep them independent.
+  EXPECT_LT(*exclusion, *monitor_exclusion);
+  EXPECT_GT(ModificationCost(*fig1, *fig2), ModificationCost(*monitor_a, *monitor_b));
+}
+
+TEST(MetricsTest, IndependenceTableHasRowsForEveryCapableMechanism) {
+  const auto rows = IndependenceTable(CanonicalIndependencePairs(), "exclusion");
+  // readers vs writers priority exists for all five mechanisms; the FCFS pairs only
+  // for monitor and serializer.
+  int rp_wp = 0;
+  for (const IndependenceRow& row : rows) {
+    if (row.problem_a == "rw-readers-priority" && row.problem_b == "rw-writers-priority") {
+      ++rp_wp;
+    }
+  }
+  EXPECT_EQ(rp_wp, kNumMechanisms);
+  EXPECT_GT(rows.size(), static_cast<std::size_t>(kNumMechanisms));
+}
+
+// --- Registry & scorecards -----------------------------------------------------------------
+
+TEST(RegistryTest, EveryProblemIdIsCatalogued) {
+  for (const std::string& problem : RegistryProblems()) {
+    // ProblemById asserts on unknown ids; reaching here means it resolved.
+    EXPECT_FALSE(ProblemById(problem).display_name.empty()) << problem;
+  }
+}
+
+TEST(RegistryTest, PathExpressionGapsMatchThePaper) {
+  // The cells the mechanism cannot fill are themselves findings.
+  EXPECT_FALSE(FindSolution(Mechanism::kPathExpression, "disk-scan").has_value());
+  EXPECT_FALSE(FindSolution(Mechanism::kPathExpression, "alarm-clock").has_value());
+  EXPECT_FALSE(FindSolution(Mechanism::kPathExpression, "sjn-allocator").has_value());
+  EXPECT_TRUE(FindSolution(Mechanism::kPathExpression, "one-slot-buffer").has_value());
+}
+
+TEST(ScorecardTest, TablesRenderNonEmpty) {
+  EXPECT_NE(RenderExpressivenessTable().find("path-expression"), std::string::npos);
+  EXPECT_NE(RenderCoverageReport().find("complete"), std::string::npos);
+  EXPECT_NE(RenderIndependenceTable().find("similarity"), std::string::npos);
+  EXPECT_NE(RenderSolutionInventory().find("Figure 1"), std::string::npos);
+}
+
+TEST(ScorecardTest, GenericTableAlignsColumns) {
+  const std::string table = RenderTable({"a", "long-header"}, {{"xx", "y"}, {"z", "wwww"}});
+  // Every line has the same width.
+  std::size_t width = 0;
+  std::size_t start = 0;
+  while (start < table.size()) {
+    const std::size_t end = table.find('\n', start);
+    const std::size_t len = end - start;
+    if (width == 0) {
+      width = len;
+    }
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace syneval

@@ -1,0 +1,104 @@
+// Experiment E1: the paper's footnote 3. The Figure 1 path-expression solution claims
+// readers priority but can admit a second writer ahead of an earlier-waiting reader.
+// We reproduce the anomaly by schedule search and verify that the corrected solutions
+// (monitor, serializer, predicate paths) never exhibit it under the same workloads.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "syneval/core/conformance.h"
+#include "syneval/problems/oracles.h"
+#include "syneval/problems/workloads.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/explore.h"
+#include "syneval/solutions/monitor_solutions.h"
+#include "syneval/solutions/pathexpr_solutions.h"
+#include "syneval/solutions/serializer_solutions.h"
+
+namespace syneval {
+namespace {
+
+// The adversarial shape from the footnote: one long-ish writer stream plus readers, so
+// that a reader frequently arrives while a write is in progress and a second writer
+// is queued.
+RwWorkloadParams AnomalyWorkload() {
+  RwWorkloadParams params;
+  params.readers = 2;
+  params.writers = 2;
+  params.ops_per_reader = 3;
+  params.ops_per_writer = 3;
+  params.write_work = 4;
+  params.read_work = 2;
+  params.think_work = 1;
+  return params;
+}
+
+template <typename Solution>
+SweepOutcome SweepReadersPriority(int seeds) {
+  return SweepSchedules(seeds, [](std::uint64_t seed) -> std::string {
+    DetRuntime rt(MakeRandomSchedule(seed));
+    TraceRecorder trace;
+    Solution rw(rt);
+    ThreadList threads = SpawnReadersWritersWorkload(rt, rw, trace, AnomalyWorkload());
+    const DetRuntime::RunResult result = rt.Run();
+    if (!result.completed) {
+      return "runtime: " + result.report;
+    }
+    return CheckReadersWriters(trace.Events(), RwPolicy::kReadersPriority);
+  });
+}
+
+TEST(Figure1AnomalyTest, DirectedScenarioViolatesReadersPriorityOnEverySchedule) {
+  // The footnote-3 interleaving, forced deterministically: writer1 writing, writer2
+  // blocked at openwrite holding requestwrite, a reader blocked at requestread. At
+  // writer1's release, Figure 1 admits writer2 over the waiting reader — under every
+  // schedule seed.
+  const SweepOutcome outcome = SweepSchedules(10, RunFigure1AnomalyScenario);
+  EXPECT_EQ(outcome.failures, outcome.runs) << outcome.Summary();
+  EXPECT_NE(outcome.first_failure.find("readers-priority violated"), std::string::npos)
+      << outcome.first_failure;
+}
+
+TEST(Figure1AnomalyTest, DirectedScenarioIsReplayable) {
+  const std::string first = RunFigure1AnomalyScenario(7);
+  const std::string second = RunFigure1AnomalyScenario(7);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Figure1AnomalyTest, MonitorSolutionIsClean) {
+  const SweepOutcome outcome = SweepReadersPriority<MonitorRwReadersPriority>(40);
+  EXPECT_EQ(outcome.failures, 0) << outcome.Summary();
+}
+
+TEST(Figure1AnomalyTest, SerializerSolutionIsClean) {
+  const SweepOutcome outcome = SweepReadersPriority<SerializerRwReadersPriority>(40);
+  EXPECT_EQ(outcome.failures, 0) << outcome.Summary();
+}
+
+TEST(Figure1AnomalyTest, PredicatePathSolutionIsClean) {
+  const SweepOutcome outcome = SweepReadersPriority<PathExprRwPredicates>(40);
+  EXPECT_EQ(outcome.failures, 0) << outcome.Summary();
+}
+
+TEST(Figure1AnomalyTest, Figure1StillProvidesExclusion) {
+  // The anomaly is a priority failure, not an exclusion failure: writers always
+  // exclude, so the *exclusion* constraint of Figure 1 holds on every schedule.
+  const SweepOutcome outcome = SweepSchedules(40, [](std::uint64_t seed) -> std::string {
+    DetRuntime rt(MakeRandomSchedule(seed));
+    TraceRecorder trace;
+    PathExprRwFigure1 rw(rt);
+    ThreadList threads = SpawnReadersWritersWorkload(rt, rw, trace, AnomalyWorkload());
+    const DetRuntime::RunResult result = rt.Run();
+    if (!result.completed) {
+      return "runtime: " + result.report;
+    }
+    return CheckExclusion(GroupExecutions(trace.Events()), {"write"}, {});
+  });
+  EXPECT_EQ(outcome.failures, 0) << outcome.Summary();
+}
+
+}  // namespace
+}  // namespace syneval

@@ -1,0 +1,276 @@
+// Hoare monitor semantics: signal-and-urgent-wait, FIFO conditions, priority
+// conditions, urgent-queue precedence, and the Mesa contrast.
+//
+// Tests force arrival orders with explicit in-monitor handshakes so that expectations
+// follow from the monitor semantics, not from a particular schedule.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "syneval/monitor/hoare_monitor.h"
+#include "syneval/monitor/mesa_monitor.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/schedule.h"
+
+namespace syneval {
+namespace {
+
+TEST(HoareMonitorTest, SignalTransfersMonitorImmediately) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  HoareMonitor monitor(rt);
+  HoareMonitor::Condition cond(monitor);
+  std::vector<std::string> log;
+
+  auto waiter = rt.StartThread("waiter", [&] {
+    MonitorRegion region(monitor);
+    log.push_back("waiter:waiting");
+    cond.Wait();
+    log.push_back("waiter:resumed");
+  });
+  auto signaller = rt.StartThread("signaller", [&] {
+    while (true) {
+      {
+        MonitorRegion region(monitor);
+        if (!cond.Empty()) {
+          log.push_back("signaller:before-signal");
+          cond.Signal();
+          log.push_back("signaller:after-signal");
+          break;
+        }
+      }
+      rt.Yield();  // The waiter has not waited yet; try again.
+    }
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  const std::vector<std::string> expected = {
+      "waiter:waiting",
+      "signaller:before-signal",
+      "waiter:resumed",          // Hoare: the signalled process runs at once...
+      "signaller:after-signal",  // ...and the signaller resumes only afterwards.
+  };
+  EXPECT_EQ(log, expected);
+}
+
+TEST(HoareMonitorTest, SignalOnEmptyConditionIsNoOp) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  HoareMonitor monitor(rt);
+  HoareMonitor::Condition cond(monitor);
+  bool done = false;
+  auto t = rt.StartThread("t", [&] {
+    MonitorRegion region(monitor);
+    cond.Signal();
+    done = true;
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_TRUE(done);
+}
+
+// Forces waiters onto the condition in index order via a turn counter, then signals
+// repeatedly; Hoare conditions must wake them FIFO.
+TEST(HoareMonitorTest, ConditionQueueIsFifo) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(17));
+  HoareMonitor monitor(rt);
+  HoareMonitor::Condition cond(monitor);
+  int turn = 0;
+  std::vector<int> wake_order;
+
+  for (int i = 0; i < 3; ++i) {
+    static_cast<void>(rt.StartThread("waiter" + std::to_string(i), [&, i] {
+      while (true) {
+        {
+          MonitorRegion region(monitor);
+          if (turn == i) {
+            ++turn;
+            cond.Wait();
+            wake_order.push_back(i);
+            return;
+          }
+        }
+        rt.Yield();
+      }
+    }));
+  }
+  static_cast<void>(rt.StartThread("signaller", [&] {
+    int signalled = 0;
+    while (signalled < 3) {
+      bool did_signal = false;
+      {
+        MonitorRegion region(monitor);
+        if (turn == 3 && !cond.Empty()) {
+          cond.Signal();
+          ++signalled;
+          did_signal = true;
+        }
+      }
+      if (!did_signal) {
+        rt.Yield();  // Outside the monitor, so waiters can make progress.
+      }
+    }
+  }));
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(wake_order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(HoareMonitorTest, PriorityConditionWakesMinimumFirstFifoOnTies) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(23));
+  HoareMonitor monitor(rt);
+  HoareMonitor::PriorityCondition cond(monitor);
+  int turn = 0;
+  std::vector<int> wake_order;
+  const int priorities[] = {30, 10, 20, 10};
+
+  for (int i = 0; i < 4; ++i) {
+    static_cast<void>(rt.StartThread("waiter" + std::to_string(i), [&, i] {
+      while (true) {
+        {
+          MonitorRegion region(monitor);
+          if (turn == i) {
+            ++turn;
+            cond.Wait(priorities[i]);
+            wake_order.push_back(i);
+            return;
+          }
+        }
+        rt.Yield();
+      }
+    }));
+  }
+  static_cast<void>(rt.StartThread("signaller", [&] {
+    int signalled = 0;
+    while (signalled < 4) {
+      bool did_signal = false;
+      {
+        MonitorRegion region(monitor);
+        if (turn == 4 && !cond.Empty()) {
+          cond.Signal();
+          ++signalled;
+          did_signal = true;
+        }
+      }
+      if (!did_signal) {
+        rt.Yield();
+      }
+    }
+  }));
+  ASSERT_TRUE(rt.Run().completed);
+  // Minimum priority first; FIFO among the two equal (10) priorities: 1 before 3.
+  EXPECT_EQ(wake_order, (std::vector<int>{1, 3, 2, 0}));
+}
+
+TEST(HoareMonitorTest, QueueStateObservers) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(5));
+  HoareMonitor monitor(rt);
+  HoareMonitor::Condition cond(monitor);
+  auto waiter = rt.StartThread("waiter", [&] {
+    MonitorRegion region(monitor);
+    cond.Wait();
+  });
+  auto checker = rt.StartThread("checker", [&] {
+    while (true) {
+      {
+        MonitorRegion region(monitor);
+        if (!cond.Empty()) {
+          EXPECT_EQ(cond.Length(), 1);
+          cond.Signal();
+          return;
+        }
+      }
+      rt.Yield();
+    }
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_TRUE(cond.Empty());
+}
+
+TEST(HoareMonitorTest, UrgentQueuePrecedesEntryQueue) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  HoareMonitor monitor(rt);
+  HoareMonitor::Condition cond(monitor);
+  std::vector<std::string> log;
+  bool latecomer_started = false;
+
+  auto waiter = rt.StartThread("waiter", [&] {
+    MonitorRegion region(monitor);
+    cond.Wait();
+    log.push_back("waiter");
+    // Dawdle inside the monitor so the latecomer reaches the entry queue while the
+    // signaller sits on the urgent queue.
+    for (int k = 0; k < 20; ++k) {
+      rt.Yield();
+    }
+  });
+  auto signaller = rt.StartThread("signaller", [&] {
+    while (true) {
+      {
+        MonitorRegion region(monitor);
+        if (!cond.Empty()) {
+          latecomer_started = true;
+          cond.Signal();
+          log.push_back("signaller");
+          break;
+        }
+      }
+      rt.Yield();
+    }
+  });
+  auto latecomer = rt.StartThread("latecomer", [&] {
+    while (!latecomer_started) {
+      rt.Yield();
+    }
+    MonitorRegion region(monitor);
+    log.push_back("latecomer");
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  // The urgent signaller resumes before the entry-queue latecomer.
+  EXPECT_EQ(log, (std::vector<std::string>{"waiter", "signaller", "latecomer"}));
+}
+
+TEST(MesaMonitorTest, SignalledThreadRecontends) {
+  // Under Mesa semantics the signalled waiter does not run immediately: the signaller
+  // keeps the monitor until it exits, so the waiter's resume comes last.
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  MesaMonitor monitor(rt);
+  MesaMonitor::Condition cond(monitor);
+  std::vector<std::string> log;
+  bool waiting = false;
+  bool ready = false;
+
+  auto waiter = rt.StartThread("waiter", [&] {
+    MesaRegion region(monitor);
+    log.push_back("waiter:waiting");
+    waiting = true;
+    while (!ready) {
+      cond.Wait();
+    }
+    log.push_back("waiter:resumed");
+  });
+  auto signaller = rt.StartThread("signaller", [&] {
+    while (true) {
+      {
+        MesaRegion region(monitor);
+        if (waiting) {
+          ready = true;
+          log.push_back("signaller:before-signal");
+          cond.Signal();
+          log.push_back("signaller:after-signal");
+          break;
+        }
+      }
+      rt.Yield();
+    }
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  const std::vector<std::string> expected = {
+      "waiter:waiting",
+      "signaller:before-signal",
+      "signaller:after-signal",
+      "waiter:resumed",
+  };
+  EXPECT_EQ(log, expected);
+}
+
+}  // namespace
+}  // namespace syneval

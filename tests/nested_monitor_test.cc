@@ -1,0 +1,134 @@
+// Experiment E6: the nested-monitor-call problem (Lister 1977; paper Sections 2, 5.2).
+//
+// When a low-level monitor operation waits while invoked from inside a high-level
+// monitor, the high-level monitor stays locked and no other process can reach the
+// low-level monitor to signal — deadlock. The paper's protected-resource structure
+// (release the outer monitor before invoking the inner operation) avoids it, and
+// serializers avoid it by construction (JoinCrowd releases possession).
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "syneval/monitor/hoare_monitor.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/schedule.h"
+#include "syneval/serializer/serializer.h"
+
+namespace syneval {
+namespace {
+
+// A one-slot inner resource guarded by its own monitor.
+class InnerBuffer {
+ public:
+  explicit InnerBuffer(Runtime& rt) : monitor_(rt) {}
+
+  void Put(int value) {
+    MonitorRegion region(monitor_);
+    while (full_) {
+      not_full_.Wait();
+    }
+    value_ = value;
+    full_ = true;
+    not_empty_.Signal();
+  }
+
+  int Get() {
+    MonitorRegion region(monitor_);
+    while (!full_) {
+      not_empty_.Wait();  // The dangerous wait when called from inside another monitor.
+    }
+    full_ = false;
+    not_full_.Signal();
+    return value_;
+  }
+
+ private:
+  HoareMonitor monitor_;
+  HoareMonitor::Condition not_full_{monitor_};
+  HoareMonitor::Condition not_empty_{monitor_};
+  bool full_ = false;
+  int value_ = 0;
+};
+
+TEST(NestedMonitorTest, NestedCallDeadlocks) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  HoareMonitor outer(rt);
+  InnerBuffer inner(rt);
+
+  // Consumer: enters the OUTER monitor, then calls inner.Get() which waits — while
+  // still holding the outer monitor.
+  auto consumer = rt.StartThread("consumer", [&] {
+    MonitorRegion region(outer);
+    const int v = inner.Get();
+    EXPECT_EQ(v, 42);  // Unreachable: the wait never completes.
+  });
+  // Producer: must pass through the outer monitor too — and never can.
+  auto producer = rt.StartThread("producer", [&] {
+    rt.Yield();
+    MonitorRegion region(outer);
+    inner.Put(42);
+  });
+
+  const DetRuntime::RunResult result = rt.Run();
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(result.deadlocked) << result.report;
+  EXPECT_NE(result.report.find("consumer"), std::string::npos) << result.report;
+  EXPECT_NE(result.report.find("producer"), std::string::npos) << result.report;
+}
+
+TEST(NestedMonitorTest, ProtectedResourceStructureAvoidsDeadlock) {
+  // Section 2's structure: the outer module releases its monitor before invoking the
+  // inner resource operation; no deadlock.
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  HoareMonitor outer(rt);
+  InnerBuffer inner(rt);
+  int got = 0;
+
+  auto consumer = rt.StartThread("consumer", [&] {
+    {
+      MonitorRegion region(outer);  // Outer bookkeeping only.
+    }
+    got = inner.Get();  // Invoked OUTSIDE the outer monitor.
+  });
+  auto producer = rt.StartThread("producer", [&] {
+    rt.Yield();
+    {
+      MonitorRegion region(outer);
+    }
+    inner.Put(42);
+  });
+
+  const DetRuntime::RunResult result = rt.Run();
+  EXPECT_TRUE(result.completed) << result.report;
+  EXPECT_EQ(got, 42);
+}
+
+TEST(NestedMonitorTest, SerializerJoinCrowdAvoidsDeadlockByConstruction) {
+  // The serializer equivalent of the deadlocking case: the outer serializer wraps the
+  // inner blocking operation in JoinCrowd, which releases possession — so the producer
+  // can get in and the system completes.
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  Serializer outer(rt);
+  Serializer::Crowd crowd(outer, "accessors");
+  InnerBuffer inner(rt);
+  int got = 0;
+
+  auto consumer = rt.StartThread("consumer", [&] {
+    Serializer::Region region(outer);
+    outer.JoinCrowd(crowd, [&] { got = inner.Get(); });
+  });
+  auto producer = rt.StartThread("producer", [&] {
+    rt.Yield();
+    Serializer::Region region(outer);
+    outer.JoinCrowd(crowd, [&] { inner.Put(42); });
+  });
+
+  const DetRuntime::RunResult result = rt.Run();
+  EXPECT_TRUE(result.completed) << result.report;
+  EXPECT_EQ(got, 42);
+}
+
+}  // namespace
+}  // namespace syneval

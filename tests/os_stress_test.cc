@@ -1,0 +1,174 @@
+// Stress tests under the real-thread OsRuntime: larger workloads, real preemption.
+// Oracles run in their lenient forms where admission-order recording is only
+// happens-before-exact (see oracles.h).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "syneval/problems/oracles.h"
+#include "syneval/problems/workloads.h"
+#include "syneval/runtime/os_runtime.h"
+#include "syneval/solutions/ccr_solutions.h"
+#include "syneval/solutions/monitor_solutions.h"
+#include "syneval/solutions/pathexpr_solutions.h"
+#include "syneval/solutions/semaphore_solutions.h"
+#include "syneval/solutions/serializer_solutions.h"
+
+namespace syneval {
+namespace {
+
+BufferWorkloadParams BigBufferWorkload() {
+  BufferWorkloadParams params;
+  params.producers = 4;
+  params.consumers = 4;
+  params.items_per_producer = 200;
+  params.work = 0;
+  return params;
+}
+
+template <typename Buffer>
+void StressBoundedBuffer() {
+  OsRuntime rt;
+  TraceRecorder trace;
+  Buffer buffer(rt, 5);
+  ThreadList threads = SpawnBoundedBufferWorkload(rt, buffer, trace, BigBufferWorkload());
+  JoinAll(threads);
+  EXPECT_EQ(CheckBoundedBuffer(trace.Events(), 5), "");
+}
+
+TEST(OsStressTest, SemaphoreBoundedBuffer) { StressBoundedBuffer<SemaphoreBoundedBuffer>(); }
+TEST(OsStressTest, MonitorBoundedBuffer) { StressBoundedBuffer<MonitorBoundedBuffer>(); }
+TEST(OsStressTest, PathBoundedBuffer) { StressBoundedBuffer<PathBoundedBuffer>(); }
+TEST(OsStressTest, SerializerBoundedBuffer) { StressBoundedBuffer<SerializerBoundedBuffer>(); }
+
+template <typename Rw>
+void StressReadersWriters(RwPolicy policy, RwStrictness strictness) {
+  OsRuntime rt;
+  TraceRecorder trace;
+  Rw rw(rt);
+  RwWorkloadParams params;
+  params.readers = 6;
+  params.writers = 3;
+  params.ops_per_reader = 60;
+  params.ops_per_writer = 40;
+  params.read_work = 0;
+  params.write_work = 0;
+  params.think_work = 0;
+  ThreadList threads = SpawnReadersWritersWorkload(rt, rw, trace, params);
+  JoinAll(threads);
+  EXPECT_EQ(CheckReadersWriters(trace.Events(), policy, 1000, strictness), "");
+}
+
+TEST(OsStressTest, MonitorReadersPriority) {
+  StressReadersWriters<MonitorRwReadersPriority>(RwPolicy::kReadersPriority,
+                                                 RwStrictness::kStrict);
+}
+
+TEST(OsStressTest, MonitorWritersPriority) {
+  StressReadersWriters<MonitorRwWritersPriority>(RwPolicy::kWritersPriority,
+                                                 RwStrictness::kStrict);
+}
+
+TEST(OsStressTest, MonitorFcfs) {
+  StressReadersWriters<MonitorRwFcfs>(RwPolicy::kFcfs, RwStrictness::kStrict);
+}
+
+TEST(OsStressTest, SerializerReadersPriority) {
+  StressReadersWriters<SerializerRwReadersPriority>(RwPolicy::kReadersPriority,
+                                                    RwStrictness::kStrict);
+}
+
+TEST(OsStressTest, SerializerFcfs) {
+  StressReadersWriters<SerializerRwFcfs>(RwPolicy::kFcfs, RwStrictness::kStrict);
+}
+
+TEST(OsStressTest, SemaphoreReadersPriorityLenient) {
+  StressReadersWriters<SemaphoreRwReadersPriority>(RwPolicy::kReadersPriority,
+                                                   RwStrictness::kArrivalOrder);
+}
+
+template <typename Scheduler>
+void StressScanScheduler(std::uint64_t seed) {
+  OsRuntime rt;
+  TraceRecorder trace;
+  VirtualDisk disk(500, 0);
+  Scheduler scheduler(rt, 0);
+  DiskWorkloadParams params;
+  params.requesters = 6;
+  params.requests_per_thread = 50;
+  params.tracks = 500;
+  params.hold_work = 0;
+  params.think_work = 0;
+  params.seed = seed;
+  ThreadList threads = SpawnDiskWorkload(rt, scheduler, disk, trace, params);
+  JoinAll(threads);
+  EXPECT_EQ(disk.violations(), 0);
+  EXPECT_EQ(disk.accesses(), 300);
+  EXPECT_EQ(CheckScanDiskSchedule(trace.Events(), 0), "");
+}
+
+TEST(OsStressTest, DiskSchedulerScanMonitor) { StressScanScheduler<MonitorDiskScheduler>(1); }
+
+// Regression: idle admissions must not turn the sweep around (divergence originally
+// caught by the oracle on the serializer implementation).
+TEST(OsStressTest, DiskSchedulerScanSerializer) {
+  StressScanScheduler<SerializerDiskScheduler>(2026);
+}
+
+TEST(OsStressTest, DiskSchedulerScanSemaphore) {
+  StressScanScheduler<SemaphoreDiskScheduler>(7);
+}
+
+// Regression: the CCR SCAN must capture the sweep direction at condition-evaluation
+// time (new arrivals may join the pending list between grant and body).
+TEST(OsStressTest, DiskSchedulerScanCcr) { StressScanScheduler<CcrDiskScheduler>(11); }
+
+TEST(OsStressTest, CcrReadersPriority) {
+  StressReadersWriters<CcrRwReadersPriority>(RwPolicy::kReadersPriority,
+                                             RwStrictness::kStrict);
+}
+
+TEST(OsStressTest, CcrBoundedBufferStress) { StressBoundedBuffer<CcrBoundedBuffer>(); }
+
+TEST(OsStressTest, AlarmClock) {
+  OsRuntime rt;
+  TraceRecorder trace;
+  MonitorAlarmClock clock(rt);
+  AlarmWorkloadParams params;
+  params.sleepers = 5;
+  params.naps_per_sleeper = 20;
+  params.max_delay = 7;
+  ThreadList threads = SpawnAlarmClockWorkload(rt, clock, trace, params);
+  JoinAll(threads);
+  EXPECT_EQ(CheckAlarmClock(trace.Events(), 0), "");
+}
+
+TEST(OsStressTest, SjnAllocator) {
+  OsRuntime rt;
+  TraceRecorder trace;
+  MonitorSjnAllocator allocator(rt);
+  SjnWorkloadParams params;
+  params.requesters = 6;
+  params.requests_per_thread = 30;
+  ThreadList threads = SpawnSjnWorkload(rt, allocator, trace, params);
+  JoinAll(threads);
+  EXPECT_EQ(CheckSjnAllocator(trace.Events()), "");
+}
+
+TEST(OsStressTest, FcfsResource) {
+  OsRuntime rt;
+  TraceRecorder trace;
+  SemaphoreFcfsResource resource(rt);
+  FcfsWorkloadParams params;
+  params.threads = 6;
+  params.ops_per_thread = 100;
+  params.hold_work = 0;
+  params.think_work = 0;
+  ThreadList threads = SpawnFcfsWorkload(rt, resource, trace, params);
+  JoinAll(threads);
+  EXPECT_EQ(CheckFcfsResource(trace.Events()), "");
+}
+
+}  // namespace
+}  // namespace syneval

@@ -1,0 +1,386 @@
+// Path expressions: parser, compiler (CH74 translation), and controller semantics.
+// Semantic checks run single-threaded over OsRuntime where no blocking occurs, using
+// CanBeginNow to probe eligibility.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "syneval/pathexpr/compiler.h"
+#include "syneval/pathexpr/controller.h"
+#include "syneval/pathexpr/parser.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/os_runtime.h"
+#include "syneval/runtime/schedule.h"
+
+namespace syneval {
+namespace {
+
+// --- Parser ------------------------------------------------------------------------
+
+TEST(PathParserTest, ParsesSelectionAndBraces) {
+  const PathDecl decl = ParsePath("path { read } , write end");
+  EXPECT_EQ(decl.body->kind, PathNode::Kind::kSelection);
+  ASSERT_EQ(decl.body->children.size(), 2u);
+  EXPECT_EQ(decl.body->children[0]->kind, PathNode::Kind::kConcurrent);
+  EXPECT_EQ(decl.body->children[1]->name, "write");
+}
+
+TEST(PathParserTest, SequenceBindsTighterThanSelection) {
+  const PathDecl decl = ParsePath("path a; b, c end");
+  // (a; b) , c
+  ASSERT_EQ(decl.body->kind, PathNode::Kind::kSelection);
+  ASSERT_EQ(decl.body->children.size(), 2u);
+  EXPECT_EQ(decl.body->children[0]->kind, PathNode::Kind::kSequence);
+  EXPECT_EQ(decl.body->children[1]->name, "c");
+}
+
+TEST(PathParserTest, ParsesNumericBoundAndPredicate) {
+  const PathDecl decl = ParsePath("path 3:( [ok] deposit; remove ) end");
+  ASSERT_EQ(decl.body->kind, PathNode::Kind::kBounded);
+  EXPECT_EQ(decl.body->bound, 3);
+  const PathNode& seq = *decl.body->children[0];
+  ASSERT_EQ(seq.kind, PathNode::Kind::kSequence);
+  EXPECT_EQ(seq.children[0]->kind, PathNode::Kind::kGuarded);
+  EXPECT_EQ(seq.children[0]->name, "ok");
+}
+
+TEST(PathParserTest, ParsesMultiPathPrograms) {
+  const std::vector<PathDecl> decls = ParsePathProgram(
+      "path writeattempt end "
+      "path { requestread } , requestwrite end "
+      "path { read } , (openwrite ; write) end");
+  ASSERT_EQ(decls.size(), 3u);
+  EXPECT_EQ(decls[0].body->name, "writeattempt");
+}
+
+TEST(PathParserTest, RoundTripsThroughToString) {
+  const char* source = "path { openread ; read } , write end";
+  const PathDecl decl = ParsePath(source);
+  const PathDecl again = ParsePath("path " + decl.body->ToString() + " end");
+  EXPECT_EQ(decl.body->ToString(), again.body->ToString());
+}
+
+TEST(PathParserTest, RejectsMalformedInput) {
+  EXPECT_THROW(ParsePath("path end"), PathSyntaxError);
+  EXPECT_THROW(ParsePath("path a, end"), PathSyntaxError);
+  EXPECT_THROW(ParsePath("path a"), PathSyntaxError);
+  EXPECT_THROW(ParsePath("path a end garbage"), PathSyntaxError);
+  EXPECT_THROW(ParsePath("path { a end"), PathSyntaxError);
+  EXPECT_THROW(ParsePath("path 0:(a) end"), PathSyntaxError);
+  EXPECT_THROW(ParsePath("path [x y] a end"), PathSyntaxError);
+  EXPECT_THROW(ParsePathProgram(""), PathSyntaxError);
+}
+
+// --- Compiler ----------------------------------------------------------------------
+
+TEST(PathCompilerTest, SimpleCycleUsesOneCounter) {
+  const CompiledPaths compiled = CompilePaths(ParsePathProgram("path a end"));
+  EXPECT_EQ(compiled.counter_init.size(), 1u);
+  EXPECT_EQ(compiled.counter_init[0], 1);
+  ASSERT_EQ(compiled.ops.count("a"), 1u);
+}
+
+TEST(PathCompilerTest, SequenceAllocatesLinkCounters) {
+  const CompiledPaths compiled = CompilePaths(ParsePathProgram("path a; b; c end"));
+  // Cycle counter + two links.
+  EXPECT_EQ(compiled.counter_init.size(), 3u);
+}
+
+TEST(PathCompilerTest, SelectionSharesCounters) {
+  const CompiledPaths compiled = CompilePaths(ParsePathProgram("path a, b end"));
+  EXPECT_EQ(compiled.counter_init.size(), 1u);
+  EXPECT_EQ(compiled.ops.size(), 2u);
+}
+
+TEST(PathCompilerTest, TopLevelBoundReplacesCycle) {
+  const CompiledPaths compiled =
+      CompilePaths(ParsePathProgram("path 4:(1:(deposit); 1:(remove)) end"));
+  // B0 (outer bound) + per-op bounds + one sequence link.
+  ASSERT_EQ(compiled.counter_init.size(), 4u);
+  EXPECT_EQ(compiled.counter_init[compiled.CounterIndex("p0.B0")], 4);
+}
+
+TEST(PathCompilerTest, RepeatedNameYieldsAlternatives) {
+  const CompiledPaths compiled = CompilePaths(ParsePathProgram("path a; b, b; a end"));
+  const auto& b_paths = compiled.ops.at("b");
+  ASSERT_EQ(b_paths.size(), 1u);
+  EXPECT_EQ(b_paths[0].alternatives.size(), 2u);
+}
+
+TEST(PathCompilerTest, DescribeMentionsEveryOp) {
+  const CompiledPaths compiled =
+      CompilePaths(ParsePathProgram("path { read } , write end"));
+  const std::string description = DescribeCompiledPaths(compiled);
+  EXPECT_NE(description.find("op read"), std::string::npos);
+  EXPECT_NE(description.find("op write"), std::string::npos);
+}
+
+// --- Controller semantics (single-threaded eligibility probing) ----------------------
+
+TEST(PathControllerTest, OneSlotAlternation) {
+  OsRuntime rt;
+  PathController controller(rt, "path deposit; remove end");
+  EXPECT_TRUE(controller.CanBeginNow("deposit"));
+  EXPECT_FALSE(controller.CanBeginNow("remove"));
+  const auto d = controller.Begin("deposit");
+  EXPECT_FALSE(controller.CanBeginNow("deposit"));
+  EXPECT_FALSE(controller.CanBeginNow("remove"));
+  controller.End("deposit", d);
+  EXPECT_FALSE(controller.CanBeginNow("deposit"));
+  EXPECT_TRUE(controller.CanBeginNow("remove"));
+  const auto r = controller.Begin("remove");
+  controller.End("remove", r);
+  EXPECT_TRUE(controller.CanBeginNow("deposit"));
+}
+
+TEST(PathControllerTest, ReaderBurstExcludesWriter) {
+  OsRuntime rt;
+  PathController controller(rt, "path { read } , write end");
+  const auto r1 = controller.Begin("read");
+  const auto r2 = controller.Begin("read");  // Concurrent reads allowed.
+  EXPECT_FALSE(controller.CanBeginNow("write"));
+  controller.End("read", r1);
+  EXPECT_FALSE(controller.CanBeginNow("write"));  // Burst still open.
+  controller.End("read", r2);
+  EXPECT_TRUE(controller.CanBeginNow("write"));
+  const auto w = controller.Begin("write");
+  EXPECT_FALSE(controller.CanBeginNow("read"));
+  EXPECT_FALSE(controller.CanBeginNow("write"));
+  controller.End("write", w);
+  EXPECT_TRUE(controller.CanBeginNow("read"));
+}
+
+TEST(PathControllerTest, NumericBoundLimitsConcurrency) {
+  OsRuntime rt;
+  PathController controller(rt, "path 2:(a) end");
+  const auto a1 = controller.Begin("a");
+  const auto a2 = controller.Begin("a");
+  EXPECT_FALSE(controller.CanBeginNow("a"));
+  controller.End("a", a1);
+  EXPECT_TRUE(controller.CanBeginNow("a"));
+  controller.End("a", a2);
+}
+
+TEST(PathControllerTest, BoundedBufferCounting) {
+  OsRuntime rt;
+  PathController controller(rt, "path 2:(1:(deposit); 1:(remove)) end");
+  EXPECT_FALSE(controller.CanBeginNow("remove"));  // Nothing deposited yet.
+  const auto d1 = controller.Begin("deposit");
+  EXPECT_FALSE(controller.CanBeginNow("deposit"));  // 1:(deposit) serializes.
+  controller.End("deposit", d1);
+  const auto d2 = controller.Begin("deposit");
+  controller.End("deposit", d2);
+  EXPECT_FALSE(controller.CanBeginNow("deposit"));  // Buffer of 2 is full.
+  EXPECT_TRUE(controller.CanBeginNow("remove"));
+  const auto r1 = controller.Begin("remove");
+  controller.End("remove", r1);
+  EXPECT_TRUE(controller.CanBeginNow("deposit"));  // One slot freed.
+}
+
+TEST(PathControllerTest, SequenceInsideBracesUsesCountingLink) {
+  OsRuntime rt;
+  PathController controller(rt, "path { openread ; read } , write end");
+  const auto o1 = controller.Begin("openread");
+  const auto o2 = controller.Begin("openread");  // Burst: concurrent activations.
+  EXPECT_FALSE(controller.CanBeginNow("write"));
+  controller.End("openread", o1);
+  controller.End("openread", o2);
+  // Two completed openreads permit two reads.
+  const auto r1 = controller.Begin("read");
+  const auto r2 = controller.Begin("read");
+  EXPECT_FALSE(controller.CanBeginNow("read"));  // No third openread happened.
+  controller.End("read", r1);
+  EXPECT_FALSE(controller.CanBeginNow("write"));  // Burst open until the last read ends.
+  controller.End("read", r2);
+  EXPECT_TRUE(controller.CanBeginNow("write"));
+}
+
+TEST(PathControllerTest, MultiplePathsConstrainConjunctively) {
+  OsRuntime rt;
+  PathController controller(rt, "path a end path a; b end");
+  const auto a = controller.Begin("a");
+  EXPECT_FALSE(controller.CanBeginNow("a"));  // Blocked by both paths.
+  EXPECT_FALSE(controller.CanBeginNow("b"));  // Sequence: b needs a to end.
+  controller.End("a", a);
+  EXPECT_FALSE(controller.CanBeginNow("a"));  // Second path: still b's turn.
+  EXPECT_TRUE(controller.CanBeginNow("b"));
+  const auto b = controller.Begin("b");
+  controller.End("b", b);
+  EXPECT_TRUE(controller.CanBeginNow("a"));
+}
+
+TEST(PathControllerTest, PredicatesGateOperations) {
+  OsRuntime rt;
+  PathController controller(rt, "path { read } , [ok] write end");
+  bool ok = false;
+  controller.RegisterPredicate("ok", [&ok] { return ok; });
+  EXPECT_FALSE(controller.CanBeginNow("write"));
+  ok = true;
+  EXPECT_TRUE(controller.CanBeginNow("write"));
+  const auto r = controller.Begin("read");
+  EXPECT_FALSE(controller.CanBeginNow("write"));  // Exclusion still applies.
+  controller.End("read", r);
+  EXPECT_TRUE(controller.CanBeginNow("write"));
+}
+
+TEST(PathControllerTest, UnconstrainedOpsPassThrough) {
+  OsRuntime rt;
+  PathController controller(rt, "path a end");
+  const auto token = controller.Begin("unrelated");
+  EXPECT_FALSE(token.constrained);
+  controller.End("unrelated", token);
+}
+
+TEST(PathControllerTest, UnknownOpRejectedWhenConfigured) {
+  OsRuntime rt;
+  PathController::Options options;
+  options.allow_unconstrained_ops = false;
+  PathController controller(rt, "path a end", options);
+  EXPECT_THROW(controller.Begin("mystery"), std::invalid_argument);
+}
+
+TEST(PathControllerTest, StatsCountBlockedBegins) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  PathController controller(rt, "path a; b end");
+  auto t1 = rt.StartThread("b-side", [&] {
+    const auto token = controller.Begin("b");  // Must wait for a to complete.
+    controller.End("b", token);
+  });
+  auto t2 = rt.StartThread("a-side", [&] {
+    rt.Yield();
+    rt.Yield();
+    const auto token = controller.Begin("a");
+    controller.End("a", token);
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(controller.StatsFor("b").begins, 1u);
+  EXPECT_EQ(controller.StatsFor("b").blocked_begins, 1u);
+  EXPECT_EQ(controller.StatsFor("a").blocked_begins, 0u);
+}
+
+TEST(PathControllerTest, LongestWaitingSelectionIsFifo) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(31));
+  PathController controller(rt, "path a end");
+  int turn = 0;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    static_cast<void>(rt.StartThread("t" + std::to_string(i), [&, i] {
+      while (turn != i) {
+        rt.Yield();
+      }
+      PathController::Hooks hooks;
+      hooks.on_arrive = [&turn] { ++turn; };  // Under the controller lock: orders arrivals.
+      const auto token = controller.Begin("a", hooks);
+      order.push_back(i);
+      for (int k = 0; k < 3; ++k) {
+        rt.Yield();
+      }
+      controller.End("a", token);
+    }));
+  }
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PathControllerTest, Figure1ProgramCompilesAndRuns) {
+  OsRuntime rt;
+  PathController controller(rt,
+                            "path writeattempt end "
+                            "path { requestread } , requestwrite end "
+                            "path { read } , (openwrite ; write) end");
+  // A full write cycle in isolation.
+  const auto wa = controller.Begin("writeattempt");
+  const auto rw = controller.Begin("requestwrite");
+  const auto ow = controller.Begin("openwrite");
+  EXPECT_FALSE(controller.CanBeginNow("read"));  // openwrite holds the third path.
+  controller.End("openwrite", ow);
+  controller.End("requestwrite", rw);
+  controller.End("writeattempt", wa);
+  EXPECT_FALSE(controller.CanBeginNow("read"));  // write still pending via the link.
+  const auto w = controller.Begin("write");
+  controller.End("write", w);
+  EXPECT_TRUE(controller.CanBeginNow("requestread"));
+  EXPECT_TRUE(controller.CanBeginNow("read"));
+}
+
+TEST(PathControllerTest, RepeatedNamePicksTheFireableAlternative) {
+  OsRuntime rt;
+  // b occurs in both branches with different connections; an invocation matches
+  // whichever occurrence can fire, and End releases the matching epilogue.
+  PathController controller(rt, "path a; b , b; a end");
+  // Initially both 'b' (via branch 2's head) and 'a' (branch 1's head) can begin.
+  EXPECT_TRUE(controller.CanBeginNow("a"));
+  EXPECT_TRUE(controller.CanBeginNow("b"));
+  const auto b = controller.Begin("b");  // Chooses branch 2: b; a.
+  EXPECT_FALSE(controller.CanBeginNow("a"));
+  EXPECT_FALSE(controller.CanBeginNow("b"));
+  controller.End("b", b);
+  // Branch 2 continues: only 'a' may follow.
+  EXPECT_TRUE(controller.CanBeginNow("a"));
+  EXPECT_FALSE(controller.CanBeginNow("b"));
+  const auto a = controller.Begin("a");
+  controller.End("a", a);
+  EXPECT_TRUE(controller.AtInitialState());
+}
+
+TEST(PathControllerTest, NestedBracesCompose) {
+  OsRuntime rt;
+  // Outer burst around (inner-burst; b): overlapping a's form ONE inner burst, whose
+  // completion enables ONE b; the outer burst (and thus c's exclusion) closes when b
+  // finishes.
+  PathController controller(rt, "path { { a } ; b } , c end");
+  const auto a1 = controller.Begin("a");
+  const auto a2 = controller.Begin("a");  // Joins the same inner burst.
+  EXPECT_FALSE(controller.CanBeginNow("c"));
+  EXPECT_FALSE(controller.CanBeginNow("b"));  // Inner burst still open.
+  controller.End("a", a1);
+  EXPECT_FALSE(controller.CanBeginNow("b"));
+  controller.End("a", a2);  // Burst closes: exactly one b is enabled.
+  EXPECT_TRUE(controller.CanBeginNow("b"));
+  const auto b1 = controller.Begin("b");
+  EXPECT_FALSE(controller.CanBeginNow("b"));  // One burst buys one b.
+  EXPECT_FALSE(controller.CanBeginNow("c"));
+  controller.End("b", b1);
+  EXPECT_TRUE(controller.CanBeginNow("c"));
+  EXPECT_TRUE(controller.AtInitialState());
+}
+
+TEST(PathControllerTest, GuardPlacementDiffers) {
+  OsRuntime rt;
+  // [p]{a}: the guard applies to OPENING the burst; {[p] a}: to every activation.
+  PathController outer_guard(rt, "path [p] { a } , x end");
+  PathController inner_guard(rt, "path { [p] a } , x end");
+  bool p = true;
+  outer_guard.RegisterPredicate("p", [&p] { return p; });
+  inner_guard.RegisterPredicate("p", [&p] { return p; });
+
+  const auto o1 = outer_guard.Begin("a");
+  const auto i1 = inner_guard.Begin("a");
+  p = false;
+  // Outer guard: burst already open, further activations need no predicate.
+  EXPECT_TRUE(outer_guard.CanBeginNow("a"));
+  // Inner guard: every activation re-checks the predicate.
+  EXPECT_FALSE(inner_guard.CanBeginNow("a"));
+  p = true;
+  outer_guard.End("a", o1);
+  inner_guard.End("a", i1);
+}
+
+TEST(PathControllerTest, BoundedSelectionSharesTheBound) {
+  OsRuntime rt;
+  PathController controller(rt, "path 2:(a , b) end");
+  const auto a = controller.Begin("a");
+  const auto b = controller.Begin("b");
+  EXPECT_FALSE(controller.CanBeginNow("a"));
+  EXPECT_FALSE(controller.CanBeginNow("b"));
+  controller.End("a", a);
+  EXPECT_TRUE(controller.CanBeginNow("b"));
+  controller.End("b", b);
+  EXPECT_TRUE(controller.AtInitialState());
+}
+
+}  // namespace
+}  // namespace syneval

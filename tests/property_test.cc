@@ -1,0 +1,303 @@
+// Property-style sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P): oracle conformance across
+// the cartesian product of mechanism x workload shape x schedule seed, plus structural
+// invariants (the path controller returns to its initial marking after every complete
+// workload).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "syneval/problems/oracles.h"
+#include "syneval/problems/workloads.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/solutions/ccr_solutions.h"
+#include "syneval/solutions/monitor_solutions.h"
+#include "syneval/solutions/pathexpr_solutions.h"
+#include "syneval/solutions/semaphore_solutions.h"
+#include "syneval/solutions/serializer_solutions.h"
+
+namespace syneval {
+namespace {
+
+// --- Bounded buffer: mechanism x capacity x shape x seed --------------------------------
+
+struct BufferMaker {
+  const char* name;
+  std::function<std::unique_ptr<BoundedBufferIface>(Runtime&, int)> make;
+};
+
+const BufferMaker kBufferMakers[] = {
+    {"semaphore",
+     [](Runtime& rt, int n) { return std::make_unique<SemaphoreBoundedBuffer>(rt, n); }},
+    {"monitor",
+     [](Runtime& rt, int n) { return std::make_unique<MonitorBoundedBuffer>(rt, n); }},
+    {"pathexpr",
+     [](Runtime& rt, int n) { return std::make_unique<PathBoundedBuffer>(rt, n); }},
+    {"serializer",
+     [](Runtime& rt, int n) { return std::make_unique<SerializerBoundedBuffer>(rt, n); }},
+    {"ccr", [](Runtime& rt, int n) { return std::make_unique<CcrBoundedBuffer>(rt, n); }},
+};
+
+struct BufferShape {
+  int producers;
+  int consumers;
+  int items_per_producer;
+};
+
+const BufferShape kBufferShapes[] = {{1, 1, 8}, {2, 2, 6}, {3, 1, 4}};
+
+using BufferParam = std::tuple<int /*maker*/, int /*capacity*/, int /*shape*/, int /*seed*/>;
+
+class BufferPropertyTest : public ::testing::TestWithParam<BufferParam> {};
+
+TEST_P(BufferPropertyTest, OracleHoldsOnEverySchedule) {
+  const auto [maker_index, capacity, shape_index, seed] = GetParam();
+  const BufferMaker& maker = kBufferMakers[static_cast<std::size_t>(maker_index)];
+  const BufferShape& shape = kBufferShapes[static_cast<std::size_t>(shape_index)];
+
+  DetRuntime rt(MakeRandomSchedule(static_cast<std::uint64_t>(seed)));
+  TraceRecorder trace;
+  std::unique_ptr<BoundedBufferIface> buffer = maker.make(rt, capacity);
+  BufferWorkloadParams params;
+  params.producers = shape.producers;
+  params.consumers = shape.consumers;
+  params.items_per_producer = shape.items_per_producer;
+  ThreadList threads = SpawnBoundedBufferWorkload(rt, *buffer, trace, params);
+  const DetRuntime::RunResult result = rt.Run();
+  ASSERT_TRUE(result.completed) << maker.name << ": " << result.report;
+  EXPECT_EQ(CheckBoundedBuffer(trace.Events(), capacity), "") << maker.name;
+}
+
+std::string BufferParamName(const ::testing::TestParamInfo<BufferParam>& info) {
+  const auto [maker, capacity, shape, seed] = info.param;
+  return std::string(kBufferMakers[static_cast<std::size_t>(maker)].name) + "_cap" +
+         std::to_string(capacity) + "_shape" + std::to_string(shape) + "_seed" +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BufferPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(1, 2, 5),
+                                            ::testing::Range(0, 3),
+                                            ::testing::Values(11, 12, 13)),
+                         BufferParamName);
+
+// --- Readers/writers: policy-correct solutions x shape x seed ----------------------------
+
+struct RwMaker {
+  const char* name;
+  RwPolicy policy;
+  RwStrictness strictness;
+  std::function<std::unique_ptr<ReadersWritersIface>(Runtime&)> make;
+};
+
+const RwMaker kRwMakers[] = {
+    {"monitor_rp", RwPolicy::kReadersPriority, RwStrictness::kStrict,
+     [](Runtime& rt) { return std::make_unique<MonitorRwReadersPriority>(rt); }},
+    {"serializer_rp", RwPolicy::kReadersPriority, RwStrictness::kStrict,
+     [](Runtime& rt) { return std::make_unique<SerializerRwReadersPriority>(rt); }},
+    {"predicates_rp", RwPolicy::kReadersPriority, RwStrictness::kStrict,
+     [](Runtime& rt) { return std::make_unique<PathExprRwPredicates>(rt); }},
+    {"ccr_rp", RwPolicy::kReadersPriority, RwStrictness::kStrict,
+     [](Runtime& rt) { return std::make_unique<CcrRwReadersPriority>(rt); }},
+    {"monitor_wp", RwPolicy::kWritersPriority, RwStrictness::kStrict,
+     [](Runtime& rt) { return std::make_unique<MonitorRwWritersPriority>(rt); }},
+    {"serializer_wp", RwPolicy::kWritersPriority, RwStrictness::kStrict,
+     [](Runtime& rt) { return std::make_unique<SerializerRwWritersPriority>(rt); }},
+    {"ccr_wp", RwPolicy::kWritersPriority, RwStrictness::kStrict,
+     [](Runtime& rt) { return std::make_unique<CcrRwWritersPriority>(rt); }},
+    {"figure2_wp", RwPolicy::kWritersPriority, RwStrictness::kArrivalOrder,
+     [](Runtime& rt) { return std::make_unique<PathExprRwFigure2>(rt); }},
+    {"monitor_fcfs", RwPolicy::kFcfs, RwStrictness::kStrict,
+     [](Runtime& rt) { return std::make_unique<MonitorRwFcfs>(rt); }},
+    {"serializer_fcfs", RwPolicy::kFcfs, RwStrictness::kStrict,
+     [](Runtime& rt) { return std::make_unique<SerializerRwFcfs>(rt); }},
+    {"monitor_fair", RwPolicy::kFair, RwStrictness::kStrict,
+     [](Runtime& rt) { return std::make_unique<MonitorRwFair>(rt); }},
+};
+
+struct RwShape {
+  int readers;
+  int writers;
+};
+
+const RwShape kRwShapes[] = {{3, 2}, {5, 1}, {1, 3}};
+
+using RwParam = std::tuple<int /*maker*/, int /*shape*/, int /*seed*/>;
+
+class RwPropertyTest : public ::testing::TestWithParam<RwParam> {};
+
+TEST_P(RwPropertyTest, PolicyHoldsOnEverySchedule) {
+  const auto [maker_index, shape_index, seed] = GetParam();
+  const RwMaker& maker = kRwMakers[static_cast<std::size_t>(maker_index)];
+  const RwShape& shape = kRwShapes[static_cast<std::size_t>(shape_index)];
+
+  DetRuntime rt(MakeRandomSchedule(static_cast<std::uint64_t>(seed)));
+  TraceRecorder trace;
+  std::unique_ptr<ReadersWritersIface> rw = maker.make(rt);
+  RwWorkloadParams params;
+  params.readers = shape.readers;
+  params.writers = shape.writers;
+  params.ops_per_reader = 4;
+  params.ops_per_writer = 3;
+  ThreadList threads = SpawnReadersWritersWorkload(rt, *rw, trace, params);
+  const DetRuntime::RunResult result = rt.Run();
+  ASSERT_TRUE(result.completed) << maker.name << ": " << result.report;
+  EXPECT_EQ(CheckReadersWriters(trace.Events(), maker.policy, 16, maker.strictness), "")
+      << maker.name;
+}
+
+std::string RwParamName(const ::testing::TestParamInfo<RwParam>& info) {
+  const auto [maker, shape, seed] = info.param;
+  return std::string(kRwMakers[static_cast<std::size_t>(maker)].name) + "_r" +
+         std::to_string(kRwShapes[static_cast<std::size_t>(shape)].readers) + "w" +
+         std::to_string(kRwShapes[static_cast<std::size_t>(shape)].writers) + "_seed" +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RwPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 11), ::testing::Range(0, 3),
+                                            ::testing::Values(21, 22)),
+                         RwParamName);
+
+// --- Disk SCAN: mechanism x requesters x seed ---------------------------------------------
+
+struct DiskMaker {
+  const char* name;
+  std::function<std::unique_ptr<DiskSchedulerIface>(Runtime&)> make;
+};
+
+const DiskMaker kDiskMakers[] = {
+    {"semaphore", [](Runtime& rt) { return std::make_unique<SemaphoreDiskScheduler>(rt, 0); }},
+    {"monitor", [](Runtime& rt) { return std::make_unique<MonitorDiskScheduler>(rt, 0); }},
+    {"serializer",
+     [](Runtime& rt) { return std::make_unique<SerializerDiskScheduler>(rt, 0); }},
+    {"ccr", [](Runtime& rt) { return std::make_unique<CcrDiskScheduler>(rt, 0); }},
+};
+
+using DiskParam = std::tuple<int /*maker*/, int /*requesters*/, int /*seed*/>;
+
+class DiskPropertyTest : public ::testing::TestWithParam<DiskParam> {};
+
+TEST_P(DiskPropertyTest, ScanPolicyHolds) {
+  const auto [maker_index, requesters, seed] = GetParam();
+  const DiskMaker& maker = kDiskMakers[static_cast<std::size_t>(maker_index)];
+
+  DetRuntime rt(MakeRandomSchedule(static_cast<std::uint64_t>(seed)));
+  TraceRecorder trace;
+  VirtualDisk disk(120, 0);
+  std::unique_ptr<DiskSchedulerIface> scheduler = maker.make(rt);
+  DiskWorkloadParams params;
+  params.requesters = requesters;
+  params.requests_per_thread = 4;
+  params.tracks = 120;
+  params.seed = static_cast<std::uint64_t>(seed);
+  ThreadList threads = SpawnDiskWorkload(rt, *scheduler, disk, trace, params);
+  const DetRuntime::RunResult result = rt.Run();
+  ASSERT_TRUE(result.completed) << maker.name << ": " << result.report;
+  EXPECT_EQ(disk.violations(), 0) << maker.name;
+  EXPECT_EQ(CheckScanDiskSchedule(trace.Events(), 0), "") << maker.name;
+}
+
+std::string DiskParamName(const ::testing::TestParamInfo<DiskParam>& info) {
+  const auto [maker, requesters, seed] = info.param;
+  return std::string(kDiskMakers[static_cast<std::size_t>(maker)].name) + "_req" +
+         std::to_string(requesters) + "_seed" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DiskPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 4), ::testing::Values(2, 5),
+                                            ::testing::Values(31, 32, 33)),
+                         DiskParamName);
+
+// --- Alarm clock: mechanism x sleepers x seed ----------------------------------------------
+
+struct AlarmMaker {
+  const char* name;
+  std::function<std::unique_ptr<AlarmClockIface>(Runtime&)> make;
+};
+
+const AlarmMaker kAlarmMakers[] = {
+    {"semaphore", [](Runtime& rt) { return std::make_unique<SemaphoreAlarmClock>(rt); }},
+    {"monitor", [](Runtime& rt) { return std::make_unique<MonitorAlarmClock>(rt); }},
+    {"serializer", [](Runtime& rt) { return std::make_unique<SerializerAlarmClock>(rt); }},
+    {"ccr", [](Runtime& rt) { return std::make_unique<CcrAlarmClock>(rt); }},
+};
+
+using AlarmParam = std::tuple<int /*maker*/, int /*sleepers*/, int /*seed*/>;
+
+class AlarmPropertyTest : public ::testing::TestWithParam<AlarmParam> {};
+
+TEST_P(AlarmPropertyTest, NoEarlyWakeupsNoOversleep) {
+  const auto [maker_index, sleepers, seed] = GetParam();
+  const AlarmMaker& maker = kAlarmMakers[static_cast<std::size_t>(maker_index)];
+
+  DetRuntime rt(MakeRandomSchedule(static_cast<std::uint64_t>(seed)));
+  TraceRecorder trace;
+  std::unique_ptr<AlarmClockIface> clock = maker.make(rt);
+  AlarmWorkloadParams params;
+  params.sleepers = sleepers;
+  params.naps_per_sleeper = 3;
+  params.max_delay = 5;
+  params.seed = static_cast<std::uint64_t>(seed);
+  ThreadList threads = SpawnAlarmClockWorkload(rt, *clock, trace, params);
+  const DetRuntime::RunResult result = rt.Run();
+  ASSERT_TRUE(result.completed) << maker.name << ": " << result.report;
+  EXPECT_EQ(CheckAlarmClock(trace.Events(), 0), "") << maker.name;
+}
+
+std::string AlarmParamName(const ::testing::TestParamInfo<AlarmParam>& info) {
+  const auto [maker, sleepers, seed] = info.param;
+  return std::string(kAlarmMakers[static_cast<std::size_t>(maker)].name) + "_s" +
+         std::to_string(sleepers) + "_seed" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlarmPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 4), ::testing::Values(2, 5),
+                                            ::testing::Values(41, 42, 43)),
+                         AlarmParamName);
+
+// --- Path controller structural invariant: quiescence restores the initial marking --------
+
+using PathInvariantParam = std::tuple<int /*capacity*/, int /*seed*/>;
+
+class PathInvariantTest : public ::testing::TestWithParam<PathInvariantParam> {};
+
+TEST_P(PathInvariantTest, BufferControllerReturnsToInitialMarking) {
+  const auto [capacity, seed] = GetParam();
+  DetRuntime rt(MakeRandomSchedule(static_cast<std::uint64_t>(seed)));
+  TraceRecorder trace;
+  PathBoundedBuffer buffer(rt, capacity);
+  BufferWorkloadParams params;
+  params.producers = 2;
+  params.consumers = 2;
+  params.items_per_producer = 6;
+  ThreadList threads = SpawnBoundedBufferWorkload(rt, buffer, trace, params);
+  ASSERT_TRUE(rt.Run().completed);
+  // Every deposited item was removed, so the compiled marking must be restored.
+  EXPECT_TRUE(buffer.controller().AtInitialState()) << buffer.controller().DescribeState();
+}
+
+TEST_P(PathInvariantTest, Figure1ControllerReturnsToInitialMarking) {
+  const auto [capacity, seed] = GetParam();
+  (void)capacity;
+  DetRuntime rt(MakeRandomSchedule(static_cast<std::uint64_t>(seed)));
+  TraceRecorder trace;
+  PathExprRwFigure1 rw(rt);
+  RwWorkloadParams params;
+  params.readers = 3;
+  params.writers = 2;
+  ThreadList threads = SpawnReadersWritersWorkload(rt, rw, trace, params);
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_TRUE(rw.controller().AtInitialState()) << rw.controller().DescribeState();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PathInvariantTest,
+                         ::testing::Combine(::testing::Values(1, 3, 7),
+                                            ::testing::Values(51, 52, 53, 54)));
+
+}  // namespace
+}  // namespace syneval

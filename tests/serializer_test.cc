@@ -1,0 +1,282 @@
+// Serializer semantics: possession, guarded FIFO queues, priority queues, crowds,
+// automatic signalling, and re-entry precedence.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/schedule.h"
+#include "syneval/serializer/serializer.h"
+
+namespace syneval {
+namespace {
+
+TEST(SerializerTest, PossessionIsExclusive) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(3));
+  Serializer s(rt);
+  int counter = 0;
+  auto body = [&] {
+    for (int i = 0; i < 10; ++i) {
+      Serializer::Region region(s);
+      const int read = counter;
+      rt.Yield();  // Preemption point while in possession: nobody else may interleave.
+      counter = read + 1;
+    }
+  };
+  auto t1 = rt.StartThread("p1", body);
+  auto t2 = rt.StartThread("p2", body);
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(counter, 20);
+}
+
+TEST(SerializerTest, GuardBlocksUntilTrue) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  Serializer s(rt);
+  Serializer::Queue q(s, "q");
+  bool open = false;
+  std::vector<std::string> log;
+
+  auto waiter = rt.StartThread("waiter", [&] {
+    Serializer::Region region(s);
+    s.Enqueue(q, [&open] { return open; });
+    log.push_back("waiter:through");
+  });
+  auto opener = rt.StartThread("opener", [&] {
+    while (true) {
+      {
+        Serializer::Region region(s);
+        if (!q.Empty()) {
+          open = true;  // Mutated in possession; re-evaluated at release.
+          log.push_back("opener:opened");
+          break;
+        }
+      }
+      rt.Yield();
+    }
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(log, (std::vector<std::string>{"opener:opened", "waiter:through"}));
+}
+
+TEST(SerializerTest, QueueIsFifo) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(7));
+  Serializer s(rt);
+  Serializer::Queue q(s, "q");
+  int turn = 0;
+  int released = 0;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    static_cast<void>(rt.StartThread("w" + std::to_string(i), [&, i] {
+      while (true) {
+        bool queued = false;
+        {
+          Serializer::Region region(s);
+          if (turn == i) {
+            ++turn;
+            s.Enqueue(q, [&released, i] { return released > i; });
+            order.push_back(i);
+            queued = true;
+          }
+        }
+        if (queued) {
+          return;
+        }
+        rt.Yield();
+      }
+    }));
+  }
+  static_cast<void>(rt.StartThread("releaser", [&] {
+    while (released < 3) {
+      bool did = false;
+      {
+        Serializer::Region region(s);
+        if (turn == 3 && q.Length() == 3 - released) {
+          ++released;
+          did = true;
+        }
+      }
+      if (!did) {
+        rt.Yield();
+      }
+    }
+  }));
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SerializerTest, HeadBlocksQueueEvenIfLaterGuardsTrue) {
+  // FIFO queues evaluate only the head: a false head guard blocks satisfied waiters
+  // behind it. (This is why SCAN needs priority queues.)
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  Serializer s(rt);
+  Serializer::Queue q(s, "q");
+  bool head_ok = false;
+  std::vector<std::string> log;
+
+  auto head = rt.StartThread("head", [&] {
+    Serializer::Region region(s);
+    s.Enqueue(q, [&head_ok] { return head_ok; });
+    log.push_back("head");
+  });
+  auto second = rt.StartThread("second", [&] {
+    while (true) {
+      bool queued = false;
+      {
+        Serializer::Region region(s);
+        if (!q.Empty()) {
+          s.Enqueue(q, [] { return true; });  // Always-true guard, but behind the head.
+          log.push_back("second");
+          queued = true;
+        }
+      }
+      if (queued) {
+        return;
+      }
+      rt.Yield();
+    }
+  });
+  auto opener = rt.StartThread("opener", [&] {
+    while (true) {
+      bool done = false;
+      {
+        Serializer::Region region(s);
+        if (q.Length() == 2) {
+          head_ok = true;
+          done = true;
+        }
+      }
+      if (done) {
+        return;
+      }
+      rt.Yield();
+    }
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(log, (std::vector<std::string>{"head", "second"}));
+}
+
+TEST(SerializerTest, PriorityQueueOrdersByKey) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(11));
+  Serializer s(rt);
+  Serializer::PriorityQueue q(s, "pq");
+  int turn = 0;
+  bool open = false;
+  std::vector<int> order;
+  const std::int64_t keys[] = {30, 10, 20, 10};
+  for (int i = 0; i < 4; ++i) {
+    static_cast<void>(rt.StartThread("w" + std::to_string(i), [&, i] {
+      while (true) {
+        bool queued = false;
+        {
+          Serializer::Region region(s);
+          if (turn == i) {
+            ++turn;
+            s.Enqueue(q, keys[i], [&open] { return open; });
+            order.push_back(i);
+            queued = true;
+          }
+        }
+        if (queued) {
+          return;
+        }
+        rt.Yield();
+      }
+    }));
+  }
+  static_cast<void>(rt.StartThread("opener", [&] {
+    while (true) {
+      bool done = false;
+      {
+        Serializer::Region region(s);
+        if (turn == 4) {
+          open = true;
+          done = true;
+        }
+      }
+      if (done) {
+        return;
+      }
+      rt.Yield();
+    }
+  }));
+  ASSERT_TRUE(rt.Run().completed);
+  // Ascending keys, FIFO among the two 10s: 1 before 3.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 0}));
+}
+
+TEST(SerializerTest, CrowdAllowsConcurrencyOutsidePossession) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(13));
+  Serializer s(rt);
+  Serializer::Crowd crowd(s, "crowd");
+  int concurrent = 0;
+  int peak = 0;
+  auto body = [&] {
+    Serializer::Region region(s);
+    s.JoinCrowd(crowd, [&] {
+      // Outside possession: both threads can be here at once.
+      ++concurrent;
+      peak = std::max(peak, concurrent);
+      for (int k = 0; k < 5; ++k) {
+        rt.Yield();
+      }
+      --concurrent;
+    });
+  };
+  auto t1 = rt.StartThread("c1", body);
+  auto t2 = rt.StartThread("c2", body);
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(peak, 2) << "crowd bodies failed to overlap";
+  EXPECT_TRUE(crowd.Empty());
+}
+
+TEST(SerializerTest, CrowdGuardSeesMembership) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  Serializer s(rt);
+  Serializer::Queue q(s, "q");
+  Serializer::Crowd crowd(s, "crowd");
+  std::vector<std::string> log;
+  bool member_inside = false;
+
+  auto member = rt.StartThread("member", [&] {
+    Serializer::Region region(s);
+    s.JoinCrowd(crowd, [&] {
+      member_inside = true;
+      for (int k = 0; k < 10; ++k) {
+        rt.Yield();
+      }
+      log.push_back("member:leaving");
+    });
+  });
+  auto waiter = rt.StartThread("waiter", [&] {
+    while (!member_inside) {
+      rt.Yield();
+    }
+    Serializer::Region region(s);
+    s.Enqueue(q, [&crowd] { return crowd.Empty(); });
+    log.push_back("waiter:through");
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(log, (std::vector<std::string>{"member:leaving", "waiter:through"}));
+}
+
+TEST(SerializerTest, JoinCrowdHooksRunInOrder) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  Serializer s(rt);
+  Serializer::Crowd crowd(s, "crowd");
+  std::vector<std::string> log;
+  auto t = rt.StartThread("t", [&] {
+    Serializer::Region region(s);
+    s.JoinCrowd(
+        crowd, [&] { log.push_back("body"); }, [&] { log.push_back("join"); },
+        [&] { log.push_back("leave"); });
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(log, (std::vector<std::string>{"join", "body", "leave"}));
+}
+
+}  // namespace
+}  // namespace syneval

@@ -1,0 +1,395 @@
+// Directed per-solution behaviour tests: scenarios that pin down one distinctive
+// property of a specific solution (beyond the generic oracle sweeps) — blocking
+// behaviour at boundaries, admission orders, batching, and structural metadata.
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "syneval/core/metrics.h"
+#include "syneval/problems/oracles.h"
+#include "syneval/problems/workloads.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/solutions/ccr_solutions.h"
+#include "syneval/solutions/csp_solutions.h"
+#include "syneval/solutions/monitor_solutions.h"
+#include "syneval/solutions/pathexpr_solutions.h"
+#include "syneval/solutions/registry.h"
+#include "syneval/solutions/semaphore_solutions.h"
+#include "syneval/solutions/serializer_solutions.h"
+#include "syneval/trace/query.h"
+
+namespace syneval {
+namespace {
+
+// Number of kRequest events recorded so far (arrivals visible to the mechanism, since
+// solutions record Arrived under their internal exclusion).
+int CountArrivals(TraceRecorder& trace) {
+  int count = 0;
+  for (const Event& event : trace.Snapshot()) {
+    if (event.kind == EventKind::kRequest) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+// --- Blocking at buffer boundaries --------------------------------------------------------
+
+// A producer depositing capacity+1 items with no consumer must block on the last one;
+// DetRuntime reports it as a deadlock naming the producer.
+template <typename Buffer>
+void ExpectDepositBlocksWhenFull(int capacity) {
+  DetRuntime rt(MakeRandomSchedule(3));
+  Buffer buffer(rt, capacity);
+  auto producer = rt.StartThread("producer", [&] {
+    for (int i = 0; i <= capacity; ++i) {
+      buffer.Deposit(i, nullptr);
+    }
+  });
+  const DetRuntime::RunResult result = rt.Run();
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(result.deadlocked) << result.report;
+  EXPECT_NE(result.report.find("producer"), std::string::npos) << result.report;
+}
+
+TEST(BufferBoundaryTest, SemaphoreDepositBlocksWhenFull) {
+  ExpectDepositBlocksWhenFull<SemaphoreBoundedBuffer>(2);
+}
+TEST(BufferBoundaryTest, MonitorDepositBlocksWhenFull) {
+  ExpectDepositBlocksWhenFull<MonitorBoundedBuffer>(2);
+}
+TEST(BufferBoundaryTest, PathDepositBlocksWhenFull) {
+  ExpectDepositBlocksWhenFull<PathBoundedBuffer>(2);
+}
+TEST(BufferBoundaryTest, SerializerDepositBlocksWhenFull) {
+  ExpectDepositBlocksWhenFull<SerializerBoundedBuffer>(2);
+}
+TEST(BufferBoundaryTest, CcrDepositBlocksWhenFull) {
+  ExpectDepositBlocksWhenFull<CcrBoundedBuffer>(2);
+}
+
+template <typename Buffer>
+void ExpectRemoveBlocksWhenEmpty() {
+  DetRuntime rt(MakeRandomSchedule(4));
+  Buffer buffer(rt, 2);
+  auto consumer = rt.StartThread("consumer", [&] { buffer.Remove(nullptr); });
+  const DetRuntime::RunResult result = rt.Run();
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.report.find("consumer"), std::string::npos) << result.report;
+}
+
+TEST(BufferBoundaryTest, MonitorRemoveBlocksWhenEmpty) {
+  ExpectRemoveBlocksWhenEmpty<MonitorBoundedBuffer>();
+}
+TEST(BufferBoundaryTest, PathRemoveBlocksWhenEmpty) {
+  ExpectRemoveBlocksWhenEmpty<PathBoundedBuffer>();
+}
+TEST(BufferBoundaryTest, CcrRemoveBlocksWhenEmpty) {
+  ExpectRemoveBlocksWhenEmpty<CcrBoundedBuffer>();
+}
+
+// --- Monitor FCFS: strict ticket order across types ---------------------------------------
+
+TEST(MonitorFcfsTest, AdmitsInExactArrivalOrderAcrossTypes) {
+  DetRuntime rt(MakeRandomSchedule(5));
+  TraceRecorder trace;
+  MonitorRwFcfs rw(rt);
+  std::vector<std::string> admissions;
+  // Interleaved arrival pattern R W R W, sequenced on the RECORDED arrivals (which the
+  // solution takes under the monitor, so the order is the mechanism's own view).
+  auto reader = [&](int my_turn, const char* label) {
+    return [&, my_turn, label] {
+      while (CountArrivals(trace) != my_turn) {
+        rt.Yield();
+      }
+      OpScope scope(trace, rt.CurrentThreadId(), "read");
+      rw.Read([&] { admissions.push_back(label); }, &scope);
+    };
+  };
+  auto writer = [&](int my_turn, const char* label) {
+    return [&, my_turn, label] {
+      while (CountArrivals(trace) != my_turn) {
+        rt.Yield();
+      }
+      OpScope scope(trace, rt.CurrentThreadId(), "write");
+      rw.Write([&] { admissions.push_back(label); }, &scope);
+    };
+  };
+  auto t1 = rt.StartThread("r1", reader(0, "r1"));
+  auto t2 = rt.StartThread("w1", writer(1, "w1"));
+  auto t3 = rt.StartThread("r2", reader(2, "r2"));
+  auto t4 = rt.StartThread("w2", writer(3, "w2"));
+  ASSERT_TRUE(rt.Run().completed);
+  // Bodies may overlap for adjacent readers, but with this arrival pattern the
+  // admission (body start) order must be exactly arrival order.
+  EXPECT_EQ(admissions, (std::vector<std::string>{"r1", "w1", "r2", "w2"}));
+  EXPECT_EQ(CheckReadersWriters(trace.Events(), RwPolicy::kFcfs), "");
+}
+
+// --- Disk scheduler: a directed elevator sequence ------------------------------------------
+
+template <typename Scheduler>
+void ExpectElevatorOrder() {
+  DetRuntime rt(MakeRandomSchedule(6));
+  TraceRecorder trace;
+  Scheduler scheduler(rt, 0);
+  std::vector<std::int64_t> service_order;
+  bool holder_in = false;
+
+  // Holder takes track 50 and dawdles until three requests are REGISTERED with the
+  // scheduler (their arrivals recorded under its internal exclusion): 70, 20, 55.
+  auto holder = rt.StartThread("holder", [&] {
+    OpScope scope(trace, rt.CurrentThreadId(), "disk", 50);
+    scheduler.Access(50,
+                     [&] {
+                       holder_in = true;
+                       service_order.push_back(50);
+                       while (CountArrivals(trace) < 4) {
+                         rt.Yield();
+                       }
+                     },
+                     &scope);
+  });
+  auto requester = [&](std::int64_t track) {
+    return [&, track] {
+      while (!holder_in) {
+        rt.Yield();
+      }
+      OpScope scope(trace, rt.CurrentThreadId(), "disk", track);
+      scheduler.Access(track, [&] { service_order.push_back(track); }, &scope);
+    };
+  };
+  auto t70 = rt.StartThread("t70", requester(70));
+  auto t20 = rt.StartThread("t20", requester(20));
+  auto t55 = rt.StartThread("t55", requester(55));
+  ASSERT_TRUE(rt.Run().completed);
+  // From head 50 moving up: 55, then 70, then down to 20.
+  EXPECT_EQ(service_order, (std::vector<std::int64_t>{50, 55, 70, 20}));
+}
+
+TEST(DiskDirectedTest, MonitorElevatorOrder) { ExpectElevatorOrder<MonitorDiskScheduler>(); }
+TEST(DiskDirectedTest, SerializerElevatorOrder) {
+  ExpectElevatorOrder<SerializerDiskScheduler>();
+}
+TEST(DiskDirectedTest, SemaphoreElevatorOrder) {
+  ExpectElevatorOrder<SemaphoreDiskScheduler>();
+}
+TEST(DiskDirectedTest, CcrElevatorOrder) { ExpectElevatorOrder<CcrDiskScheduler>(); }
+
+// --- SJN: shortest job overtakes longer ones -----------------------------------------------
+
+template <typename Allocator>
+void ExpectShortestJobNext() {
+  DetRuntime rt(MakeRandomSchedule(8));
+  TraceRecorder trace;
+  Allocator allocator(rt);
+  std::vector<std::int64_t> order;
+  bool holder_in = false;
+  auto holder = rt.StartThread("holder", [&] {
+    OpScope scope(trace, rt.CurrentThreadId(), "alloc", 5);
+    allocator.Use(5,
+                  [&] {
+                    holder_in = true;
+                    order.push_back(5);
+                    while (CountArrivals(trace) < 4) {
+                      rt.Yield();
+                    }
+                  },
+                  &scope);
+  });
+  auto job = [&](std::int64_t estimate) {
+    return [&, estimate] {
+      while (!holder_in) {
+        rt.Yield();
+      }
+      OpScope scope(trace, rt.CurrentThreadId(), "alloc", estimate);
+      allocator.Use(estimate, [&] { order.push_back(estimate); }, &scope);
+    };
+  };
+  auto t9 = rt.StartThread("t9", job(9));
+  auto t2 = rt.StartThread("t2", job(2));
+  auto t7 = rt.StartThread("t7", job(7));
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(order, (std::vector<std::int64_t>{5, 2, 7, 9}));
+}
+
+TEST(SjnDirectedTest, Monitor) { ExpectShortestJobNext<MonitorSjnAllocator>(); }
+TEST(SjnDirectedTest, Serializer) { ExpectShortestJobNext<SerializerSjnAllocator>(); }
+TEST(SjnDirectedTest, Semaphore) { ExpectShortestJobNext<SemaphoreSjnAllocator>(); }
+TEST(SjnDirectedTest, Ccr) { ExpectShortestJobNext<CcrSjnAllocator>(); }
+
+// --- Readers batching: concurrent readers really overlap -----------------------------------
+
+// Readers CAN overlap (the defining concurrency of readers/writers). A single seed may
+// happen to serialize them, so we sweep schedules and require overlap on at least one.
+template <typename Rw>
+void ExpectReaderOverlap() {
+  int best_peak = 0;
+  for (std::uint64_t seed = 1; seed <= 10 && best_peak < 2; ++seed) {
+    DetRuntime rt(MakeRandomSchedule(seed));
+    TraceRecorder trace;
+    Rw rw(rt);
+    int inside = 0;
+    int peak = 0;
+    auto reader = [&] {
+      OpScope scope(trace, rt.CurrentThreadId(), "read");
+      rw.Read(
+          [&] {
+            ++inside;
+            peak = std::max(peak, inside);
+            for (int k = 0; k < 6; ++k) {
+              rt.Yield();
+            }
+            --inside;
+          },
+          &scope);
+    };
+    auto r1 = rt.StartThread("r1", reader);
+    auto r2 = rt.StartThread("r2", reader);
+    auto r3 = rt.StartThread("r3", reader);
+    ASSERT_TRUE(rt.Run().completed);
+    best_peak = std::max(best_peak, peak);
+  }
+  EXPECT_GE(best_peak, 2) << "readers never overlapped on any of 10 schedules";
+}
+
+TEST(ReaderConcurrencyTest, Monitor) { ExpectReaderOverlap<MonitorRwReadersPriority>(); }
+TEST(ReaderConcurrencyTest, Serializer) {
+  ExpectReaderOverlap<SerializerRwReadersPriority>();
+}
+TEST(ReaderConcurrencyTest, Semaphore) { ExpectReaderOverlap<SemaphoreRwReadersPriority>(); }
+TEST(ReaderConcurrencyTest, PathFigure1) { ExpectReaderOverlap<PathExprRwFigure1>(); }
+TEST(ReaderConcurrencyTest, PathPredicates) { ExpectReaderOverlap<PathExprRwPredicates>(); }
+TEST(ReaderConcurrencyTest, Ccr) { ExpectReaderOverlap<CcrRwReadersPriority>(); }
+
+// --- Starvation is real: readers-priority starves a writer ---------------------------------
+
+// Starvation under readers priority ("this specification allows writers to starve"),
+// shown deterministically: two readers hand the read burst back and forth — each exits
+// only after the other has re-entered — so the resource is continuously read-occupied
+// for kRounds entries and a writer that arrived at the start is overtaken by every one
+// of them. Under the fair batch policy the same handshake cannot block the writer past
+// one batch.
+template <typename Rw>
+std::uint64_t MeasureWriterOvertakes(bool* completed) {
+  constexpr int kRounds = 12;
+  DetRuntime rt(MakeRandomSchedule(2));
+  TraceRecorder trace;
+  Rw rw(rt);
+  std::atomic<int> generation{0};
+  bool writer_done = false;
+
+  auto reader = [&](int first_round) {
+    return [&, first_round] {
+      for (int round = first_round; round < kRounds; round += 2) {
+        OpScope scope(trace, rt.CurrentThreadId(), "read");
+        rw.Read(
+            [&, round] {
+              const int my_generation = ++generation;
+              // Hold the read until the partner re-enters — with a bounded spin so
+              // that, under policies where the partner is legitimately blocked behind
+              // the waiting writer (fair batching), the burst drains instead of
+              // livelocking. Under readers priority the partner re-enters within a few
+              // steps and the bound never triggers.
+              for (int spin = 0; spin < 200 && generation.load() == my_generation &&
+                                 round + 1 < kRounds && !writer_done;
+                   ++spin) {
+                rt.Yield();
+              }
+            },
+            &scope);
+      }
+    };
+  };
+  auto r0 = rt.StartThread("r0", reader(0));
+  auto r1 = rt.StartThread("r1", reader(1));
+  auto w = rt.StartThread("w", [&] {
+    while (generation.load() < 1) {
+      rt.Yield();  // Arrive once the burst has begun.
+    }
+    OpScope scope(trace, rt.CurrentThreadId(), "write");
+    rw.Write([&] { writer_done = true; }, &scope);
+  });
+  const DetRuntime::RunResult result = rt.Run();
+  *completed = result.completed;
+  // Count reads that arrived after the writer but were admitted before it.
+  const std::vector<Execution> executions = GroupExecutions(trace.Events());
+  const Execution* writer = nullptr;
+  for (const Execution& e : executions) {
+    if (e.op == "write") {
+      writer = &e;
+    }
+  }
+  if (writer == nullptr || writer->enter_seq == 0) {
+    return 0;
+  }
+  std::uint64_t overtakes = 0;
+  for (const Execution& e : executions) {
+    if (e.op == "read" && e.request_seq > writer->request_seq &&
+        e.enter_seq < writer->enter_seq) {
+      ++overtakes;
+    }
+  }
+  return overtakes;
+}
+
+TEST(StarvationTest, ReadersPriorityStarvesTheWriterThroughTheWholeBurst) {
+  bool completed = false;
+  const std::uint64_t overtakes = MeasureWriterOvertakes<MonitorRwReadersPriority>(&completed);
+  ASSERT_TRUE(completed);
+  // Nearly every handshake entry overtook the waiting writer.
+  EXPECT_GE(overtakes, 8u);
+}
+
+TEST(StarvationTest, FairPolicyBoundsWriterOvertaking) {
+  bool completed = false;
+  const std::uint64_t overtakes = MeasureWriterOvertakes<MonitorRwFair>(&completed);
+  ASSERT_TRUE(completed);
+  // At most the batch in progress (plus scheduling slack) may pass the writer.
+  EXPECT_LE(overtakes, 3u);
+}
+
+// --- Structural metadata sanity -------------------------------------------------------------
+
+TEST(SolutionInfoTest, EverySolutionHasFragments) {
+  for (const SolutionInfo& info : AllSolutionInfos()) {
+    EXPECT_FALSE(info.fragments.empty()) << info.display_name;
+    EXPECT_FALSE(info.display_name.empty());
+    for (const ConstraintFragment& fragment : info.fragments) {
+      EXPECT_FALSE(fragment.code.empty()) << info.display_name;
+    }
+  }
+}
+
+TEST(SolutionInfoTest, MatrixHasAllMechanismsForFootnote2Core) {
+  // Bounded buffer and one-slot buffer exist under all six mechanisms.
+  for (const char* problem : {"bounded-buffer", "one-slot-buffer"}) {
+    for (int m = 0; m < kNumMechanisms; ++m) {
+      EXPECT_TRUE(FindSolution(static_cast<Mechanism>(m), problem).has_value())
+          << MechanismName(static_cast<Mechanism>(m)) << "/" << problem;
+    }
+  }
+}
+
+TEST(SolutionInfoTest, CspPolicySwapIsTheSmallestModification) {
+  // The CSP readers->writers priority change (swap two select arms + one guard) should
+  // cost no more than any other mechanism's version of the same change.
+  const auto csp_a = FindSolution(Mechanism::kMessagePassing, "rw-readers-priority");
+  const auto csp_b = FindSolution(Mechanism::kMessagePassing, "rw-writers-priority");
+  ASSERT_TRUE(csp_a && csp_b);
+  const double csp_cost = ModificationCost(*csp_a, *csp_b);
+  const auto path_a = FindSolution(Mechanism::kPathExpression, "rw-readers-priority");
+  const auto path_b = FindSolution(Mechanism::kPathExpression, "rw-writers-priority");
+  EXPECT_LT(csp_cost, ModificationCost(*path_a, *path_b));
+  const auto exclusion = FragmentSimilarity(*csp_a, *csp_b, "exclusion");
+  ASSERT_TRUE(exclusion.has_value());
+  EXPECT_DOUBLE_EQ(*exclusion, 1.0);  // The exclusion arms are textually identical.
+}
+
+}  // namespace
+}  // namespace syneval

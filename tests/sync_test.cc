@@ -1,0 +1,178 @@
+// Semaphores, latches, barriers, event counts.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/schedule.h"
+#include "syneval/sync/primitives.h"
+#include "syneval/sync/semaphore.h"
+
+namespace syneval {
+namespace {
+
+TEST(CountingSemaphoreTest, CountsAndBlocks) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  CountingSemaphore sem(rt, 2);
+  int inside = 0;
+  int peak = 0;
+  auto body = [&] {
+    sem.P();
+    ++inside;
+    peak = std::max(peak, inside);
+    for (int k = 0; k < 3; ++k) {
+      rt.Yield();
+    }
+    --inside;
+    sem.V();
+  };
+  std::vector<std::unique_ptr<RtThread>> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.push_back(rt.StartThread("t", body));
+  }
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(sem.value(), 2);
+}
+
+TEST(CountingSemaphoreTest, TryPDoesNotBlock) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  CountingSemaphore sem(rt, 1);
+  bool first = false;
+  bool second = true;
+  auto t = rt.StartThread("t", [&] {
+    first = sem.TryP();
+    second = sem.TryP();
+    sem.V();
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+}
+
+TEST(CountingSemaphoreTest, HooksRunUnderLock) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  CountingSemaphore sem(rt, 1);
+  std::vector<int> log;
+  auto t = rt.StartThread("t", [&] {
+    sem.P([&] { log.push_back(1); });
+    sem.V([&] { log.push_back(2); });
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(BinarySemaphoreTest, ClampsAtOne) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  BinarySemaphore sem(rt, false);
+  bool acquired = false;
+  auto t = rt.StartThread("t", [&] {
+    sem.V();
+    sem.V();  // Still just "open".
+    acquired = sem.TryP();
+    EXPECT_FALSE(sem.TryP());
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_TRUE(acquired);
+}
+
+TEST(FifoSemaphoreTest, GrantsInArrivalOrder) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(19));
+  FifoSemaphore sem(rt, 0);
+  int turn = 0;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    static_cast<void>(rt.StartThread("w" + std::to_string(i), [&, i] {
+      while (turn != i) {
+        rt.Yield();
+      }
+      sem.P([&turn] { ++turn; },  // Arrival hook, under the internal lock.
+            [&order, i] { order.push_back(i); });
+    }));
+  }
+  static_cast<void>(rt.StartThread("v", [&] {
+    while (sem.waiters() != 3) {
+      rt.Yield();
+    }
+    sem.V();
+    sem.V();
+    sem.V();
+  }));
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(FifoSemaphoreTest, ImmediateGrantWhenFree) {
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  FifoSemaphore sem(rt, 1);
+  bool granted = false;
+  auto t = rt.StartThread("t", [&] {
+    sem.P([&granted] { granted = true; });
+    sem.V();
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(sem.value(), 1);
+}
+
+TEST(LatchTest, ReleasesAtZero) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(2));
+  Latch latch(rt, 2);
+  int done = 0;
+  auto waiter = rt.StartThread("waiter", [&] {
+    latch.Wait();
+    EXPECT_EQ(done, 2);
+  });
+  for (int i = 0; i < 2; ++i) {
+    static_cast<void>(rt.StartThread("worker", [&] {
+      rt.Yield();
+      ++done;
+      latch.CountDown();
+    }));
+  }
+  ASSERT_TRUE(rt.Run().completed);
+}
+
+TEST(BarrierTest, RendezvousAcrossGenerations) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(4));
+  Barrier barrier(rt, 3);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3; ++i) {
+    static_cast<void>(rt.StartThread("p" + std::to_string(i), [&, i] {
+      for (int round = 0; round < 4; ++round) {
+        counts[static_cast<std::size_t>(i)] = round;
+        barrier.Arrive();
+        // After each barrier, everyone finished the same round.
+        for (int j = 0; j < 3; ++j) {
+          EXPECT_GE(counts[static_cast<std::size_t>(j)], round);
+        }
+      }
+    }));
+  }
+  ASSERT_TRUE(rt.Run().completed);
+}
+
+TEST(EventCountTest, AwaitReleasesAtThreshold) {
+  DetRuntime rt(std::make_unique<RandomSchedule>(6));
+  EventCount count(rt);
+  std::vector<int> log;
+  auto waiter = rt.StartThread("waiter", [&] {
+    count.Await(3);
+    log.push_back(static_cast<int>(count.Read()));
+  });
+  auto advancer = rt.StartThread("advancer", [&] {
+    for (int i = 0; i < 5; ++i) {
+      count.Advance();
+      rt.Yield();
+    }
+  });
+  ASSERT_TRUE(rt.Run().completed);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_GE(log[0], 3);
+}
+
+}  // namespace
+}  // namespace syneval

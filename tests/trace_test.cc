@@ -1,0 +1,183 @@
+// Trace recorder, OpScope phases, and query helpers.
+
+#include <gtest/gtest.h>
+
+#include "syneval/trace/query.h"
+#include "syneval/trace/recorder.h"
+
+namespace syneval {
+namespace {
+
+TEST(TraceRecorderTest, AssignsMonotonicSequenceNumbers) {
+  TraceRecorder trace;
+  const std::uint64_t a = trace.Record(1, EventKind::kRequest, "op", 1);
+  const std::uint64_t b = trace.Record(2, EventKind::kEnter, "op", 1);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST(TraceRecorderTest, ClearResets) {
+  TraceRecorder trace;
+  trace.Record(1, EventKind::kMark, "m");
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.Record(1, EventKind::kMark, "m"), 1u);
+}
+
+TEST(OpScopeTest, RecordsThreePhases) {
+  TraceRecorder trace;
+  {
+    OpScope scope(trace, 5, "read", 7);
+    scope.Arrived();
+    scope.Entered(11);
+  }  // Destructor records the exit.
+  const std::vector<Event>& events = trace.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kRequest);
+  EXPECT_EQ(events[1].kind, EventKind::kEnter);
+  EXPECT_EQ(events[1].value, 11);
+  EXPECT_EQ(events[2].kind, EventKind::kExit);
+  EXPECT_EQ(events[0].param, 7);
+  EXPECT_EQ(events[0].thread, 5u);
+}
+
+TEST(OpScopeTest, EnterImpliesArrival) {
+  TraceRecorder trace;
+  {
+    OpScope scope(trace, 1, "op");
+    scope.Entered();
+    scope.Exited();
+  }
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.Events()[0].kind, EventKind::kRequest);
+}
+
+TEST(OpScopeTest, AbandonedScopeRecordsNothing) {
+  TraceRecorder trace;
+  { OpScope scope(trace, 1, "op"); }
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(OpScopeTest, PhasesAreIdempotent) {
+  TraceRecorder trace;
+  {
+    OpScope scope(trace, 1, "op");
+    scope.Arrived();
+    scope.Arrived();
+    scope.Entered();
+    scope.Entered();
+    scope.Exited();
+    scope.Exited();
+  }
+  EXPECT_EQ(trace.size(), 3u);
+}
+
+TEST(QueryTest, GroupsExecutions) {
+  TraceRecorder trace;
+  OpScope a(trace, 1, "read");
+  a.Arrived();
+  OpScope b(trace, 2, "write", 42);
+  b.Arrived();
+  a.Entered();
+  a.Exited();
+  b.Entered();
+  b.Exited();
+
+  const std::vector<Execution> executions = GroupExecutions(trace.Events());
+  ASSERT_EQ(executions.size(), 2u);
+  EXPECT_EQ(executions[0].op, "read");
+  EXPECT_EQ(executions[1].op, "write");
+  EXPECT_EQ(executions[1].param, 42);
+  EXPECT_TRUE(executions[0].Complete());
+  EXPECT_TRUE(executions[0].CompletedBefore(executions[1]));
+  EXPECT_FALSE(executions[0].Overlaps(executions[1]));
+  EXPECT_TRUE(executions[0].RequestedBefore(executions[1]));
+}
+
+TEST(QueryTest, DetectsOverlap) {
+  TraceRecorder trace;
+  OpScope a(trace, 1, "read");
+  a.Entered();
+  OpScope b(trace, 2, "read");
+  b.Entered();
+  a.Exited();
+  b.Exited();
+  const std::vector<Execution> executions = GroupExecutions(trace.Events());
+  ASSERT_EQ(executions.size(), 2u);
+  EXPECT_TRUE(executions[0].Overlaps(executions[1]));
+  EXPECT_TRUE(executions[1].Overlaps(executions[0]));
+}
+
+TEST(QueryTest, OpenExecutionExtendsForever) {
+  TraceRecorder trace;
+  OpScope a(trace, 1, "write");
+  a.Arrived();
+  a.Entered();
+  // Never exits.
+  OpScope b(trace, 2, "read");
+  b.Arrived();
+  b.Entered();
+  b.Exited();
+  const std::vector<Execution> executions = GroupExecutions(trace.Events());
+  EXPECT_TRUE(executions[0].Overlaps(executions[1]));
+}
+
+TEST(QueryTest, ActiveAndWaitingCounts) {
+  TraceRecorder trace;
+  OpScope a(trace, 1, "read");
+  a.Arrived();                                      // seq 1
+  OpScope b(trace, 2, "read");
+  b.Arrived();                                      // seq 2
+  a.Entered();                                      // seq 3
+  a.Exited();                                       // seq 4
+  const std::vector<Execution> executions = GroupExecutions(trace.Events());
+  EXPECT_EQ(WaitingCountAt(executions, "read", 2), 2);
+  EXPECT_EQ(ActiveCountAt(executions, "read", 3), 1);
+  EXPECT_EQ(WaitingCountAt(executions, "read", 3), 1);
+  EXPECT_EQ(ActiveCountAt(executions, "read", 4), 0);
+}
+
+TEST(QueryTest, FilterAndFind) {
+  TraceRecorder trace;
+  OpScope a(trace, 1, "read");
+  a.Entered();
+  a.Exited();
+  OpScope b(trace, 2, "write");
+  b.Entered();
+  b.Exited();
+  const std::vector<Execution> executions = GroupExecutions(trace.Events());
+  EXPECT_EQ(FilterByOp(executions, "read").size(), 1u);
+  EXPECT_TRUE(FindInstance(executions, a.instance()).has_value());
+  EXPECT_FALSE(FindInstance(executions, 99999).has_value());
+}
+
+TEST(WaitStatsTest, ComputesWaitsAndStarvation) {
+  TraceRecorder trace;
+  OpScope quick(trace, 1, "read");
+  quick.Arrived();   // seq 1
+  quick.Entered();   // seq 2: wait 1
+  quick.Exited();    // seq 3
+  OpScope slow(trace, 2, "read");
+  slow.Arrived();    // seq 4
+  OpScope filler(trace, 3, "write");
+  filler.Arrived();  // seq 5
+  filler.Entered();  // seq 6
+  filler.Exited();   // seq 7
+  slow.Entered();    // seq 8: wait 4
+  slow.Exited();
+  OpScope starved(trace, 4, "read");
+  starved.Arrived();  // Never admitted.
+
+  const std::vector<Execution> executions = GroupExecutions(trace.Events());
+  const WaitStats reads = ComputeWaitStats(executions, "read");
+  EXPECT_EQ(reads.count, 2);
+  EXPECT_EQ(reads.max_wait, 4u);
+  EXPECT_DOUBLE_EQ(reads.mean_wait, 2.5);
+  EXPECT_EQ(reads.never_admitted, 1);
+  const WaitStats writes = ComputeWaitStats(executions, "write");
+  EXPECT_EQ(writes.count, 1);
+  EXPECT_EQ(writes.max_wait, 1u);
+}
+
+}  // namespace
+}  // namespace syneval
