@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <memory>
 
+#include "syneval/anomaly/detector.h"
 #include "syneval/monitor/hoare_monitor.h"
 #include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/explore.h"
 #include "syneval/runtime/schedule.h"
 #include "syneval/serializer/serializer.h"
 
@@ -47,8 +49,16 @@ class InnerBuffer {
   int value_ = 0;
 };
 
-DetRuntime::RunResult RunNested(bool release_outer_first) {
-  DetRuntime rt(std::make_unique<FifoSchedule>());
+struct NestedResult {
+  DetRuntime::RunResult run;
+  AnomalyCounts anomalies;
+};
+
+NestedResult RunNested(bool release_outer_first, std::unique_ptr<Schedule> schedule) {
+  NestedResult out;
+  AnomalyDetector detector;
+  DetRuntime rt(std::move(schedule));
+  rt.AttachAnomalyDetector(&detector);
   auto outer = std::make_unique<HoareMonitor>(rt);
   auto inner = std::make_unique<InnerBuffer>(rt);
   auto consumer = rt.StartThread("consumer", [&] {
@@ -70,7 +80,24 @@ DetRuntime::RunResult RunNested(bool release_outer_first) {
       inner->Put(1);
     }
   });
-  return rt.Run();
+  out.run = rt.Run();
+  out.anomalies = detector.counts();
+  return out;
+}
+
+// Schedule sweep over the naive nesting: every seed should end in a detected deadlock
+// with a named wait-for cycle and a replayable seed in the sweep's first_anomaly line.
+SweepOutcome SweepNaive(int seeds) {
+  return SweepSchedules(seeds, [](std::uint64_t seed) -> TrialReport {
+    NestedResult nested = RunNested(/*release_outer_first=*/false, MakeRandomSchedule(seed));
+    TrialReport report;
+    report.anomalies = nested.anomalies;
+    if (!nested.run.completed) {
+      report.message = "runtime: " + nested.run.report;
+      report.anomaly_report = nested.run.report;
+    }
+    return report;
+  });
 }
 
 DetRuntime::RunResult RunSerializerVersion() {
@@ -96,21 +123,38 @@ int main() {
   std::printf("=== E6: nested monitor calls (Lister 1977; paper Sections 2, 5.2) ===\n\n");
 
   std::printf("(a) Naive nesting — inner wait while holding the outer monitor:\n");
-  const DetRuntime::RunResult naive = RunNested(/*release_outer_first=*/false);
-  std::printf("    completed=%s\n    %s\n", naive.completed ? "yes" : "no",
-              naive.report.c_str());
+  const NestedResult naive =
+      RunNested(/*release_outer_first=*/false, std::make_unique<FifoSchedule>());
+  std::printf("    completed=%s  anomalies=%s\n    %s\n", naive.run.completed ? "yes" : "no",
+              naive.anomalies.Summary().c_str(), naive.run.report.c_str());
+
+  const int seeds = 50;
+  const SweepOutcome sweep = SweepNaive(seeds);
+  std::printf("    Sweep over %d random schedules: %d/%d deadlocked, "
+              "anomaly rate %.2f (%s)\n",
+              seeds, static_cast<int>(sweep.anomalies.deadlocks), sweep.runs,
+              sweep.AnomalyRate(), sweep.anomalies.Summary().c_str());
+  if (!sweep.first_anomaly.empty()) {
+    std::printf("    First (replayable): %s\n\n", sweep.first_anomaly.c_str());
+  }
 
   std::printf("(b) Protected-resource structure — outer monitor released before the "
               "inner call:\n");
-  const DetRuntime::RunResult structured = RunNested(/*release_outer_first=*/true);
-  std::printf("    completed=%s\n\n", structured.completed ? "yes" : "no");
+  const NestedResult structured =
+      RunNested(/*release_outer_first=*/true, std::make_unique<FifoSchedule>());
+  std::printf("    completed=%s  anomalies=%s\n\n", structured.run.completed ? "yes" : "no",
+              structured.anomalies.Summary().c_str());
 
   std::printf("(c) Serializer — JoinCrowd releases possession during the inner call:\n");
   const DetRuntime::RunResult serializer = RunSerializerVersion();
   std::printf("    completed=%s\n\n", serializer.completed ? "yes" : "no");
 
-  std::printf("Expected shape: (a) deadlocks with both threads reported; (b) and (c)\n"
-              "complete — matching the paper's claim that the structure (for monitors)\n"
+  std::printf("Expected shape: (a) deadlocks under FIFO and on a large fraction of random\n"
+              "schedules, with the wait-for cycle named by the anomaly detector; (b) and\n"
+              "(c) complete — matching the paper's claim that the structure (for monitors)\n"
               "and the mechanism itself (for serializers) avoid the problem.\n");
-  return naive.completed || !structured.completed || !serializer.completed ? 1 : 0;
+  const bool ok = !naive.run.completed && naive.anomalies.deadlocks > 0 &&
+                  sweep.anomalies.deadlocks > 0 && structured.run.completed &&
+                  structured.anomalies.total() == 0 && serializer.completed;
+  return ok ? 0 : 1;
 }

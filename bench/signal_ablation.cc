@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "syneval/anomaly/detector.h"
 #include "syneval/core/scorecard.h"
 #include "syneval/monitor/hoare_monitor.h"
 #include "syneval/monitor/mesa_monitor.h"
@@ -165,9 +166,13 @@ class MesaBuffer : public BoundedBufferIface {
 
 template <typename Buffer>
 SweepOutcome Sweep(int seeds) {
-  return SweepSchedules(seeds, [](std::uint64_t seed) -> std::string {
-    DetRuntime rt(MakeRandomSchedule(seed));
+  return SweepSchedules(seeds, [](std::uint64_t seed) -> TrialReport {
+    AnomalyDetector detector;
     TraceRecorder trace;
+    detector.AttachTrace(&trace);
+    trace.SetObserver(&detector);
+    DetRuntime rt(MakeRandomSchedule(seed));
+    rt.AttachAnomalyDetector(&detector);
     Buffer buffer(rt, 2);
     BufferWorkloadParams params;
     params.producers = 3;
@@ -175,10 +180,15 @@ SweepOutcome Sweep(int seeds) {
     params.items_per_producer = 4;
     ThreadList threads = SpawnBoundedBufferWorkload(rt, buffer, trace, params);
     const DetRuntime::RunResult result = rt.Run();
+    TrialReport report;
+    report.anomalies = detector.counts();
+    report.anomaly_report = detector.Report("; ");
     if (!result.completed) {
-      return "runtime: " + result.report;
+      report.message = "runtime: " + result.report;
+    } else {
+      report.message = CheckBoundedBuffer(trace.Events(), 2);
     }
-    return CheckBoundedBuffer(trace.Events(), 2);
+    return report;
   });
 }
 
@@ -205,7 +215,7 @@ int main() {
   const int seeds = 80;
   std::printf("Bounded buffer (capacity 2, 3 producers + 3 consumers), %d schedules:\n\n",
               seeds);
-  std::vector<std::string> header = {"variant", "oracle verdict"};
+  std::vector<std::string> header = {"variant", "oracle verdict + anomalies"};
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"Hoare signal + if-wait", Sweep<HoareIfBuffer>(seeds).Summary()});
   rows.push_back({"Mesa signal + if-wait", Sweep<MesaBuffer<false>>(seeds).Summary()});

@@ -1,0 +1,64 @@
+#include "syneval/anomaly/anomaly.h"
+
+#include <sstream>
+
+namespace syneval {
+
+const char* AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kDeadlock:
+      return "deadlock";
+    case AnomalyKind::kLostWakeup:
+      return "lost-wakeup";
+    case AnomalyKind::kStuckWaiter:
+      return "stuck-waiter";
+    case AnomalyKind::kStarvation:
+      return "starvation";
+  }
+  return "?";
+}
+
+std::string Anomaly::ToString() const {
+  std::ostringstream os;
+  os << "[" << AnomalyKindName(kind) << " @" << clock << "] " << description;
+  return os.str();
+}
+
+AnomalyCounts& AnomalyCounts::operator+=(const AnomalyCounts& other) {
+  deadlocks += other.deadlocks;
+  lost_wakeups += other.lost_wakeups;
+  stuck_waiters += other.stuck_waiters;
+  starvations += other.starvations;
+  return *this;
+}
+
+namespace {
+
+void AppendCount(std::ostringstream& os, bool& first, int count, const char* singular,
+                 const char* plural) {
+  if (count == 0) {
+    return;
+  }
+  if (!first) {
+    os << ", ";
+  }
+  os << count << " " << (count == 1 ? singular : plural);
+  first = false;
+}
+
+}  // namespace
+
+std::string AnomalyCounts::Summary() const {
+  if (Clean()) {
+    return "none";
+  }
+  std::ostringstream os;
+  bool first = true;
+  AppendCount(os, first, deadlocks, "deadlock", "deadlocks");
+  AppendCount(os, first, lost_wakeups, "lost wakeup", "lost wakeups");
+  AppendCount(os, first, stuck_waiters, "stuck waiter", "stuck waiters");
+  AppendCount(os, first, starvations, "starvation", "starvations");
+  return os.str();
+}
+
+}  // namespace syneval

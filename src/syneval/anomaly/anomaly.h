@@ -1,0 +1,63 @@
+// Anomaly taxonomy for the concurrency anomaly detector.
+//
+// Bloom's methodology judges mechanisms by the constraint violations they admit, but a
+// violating schedule is only useful if it can be *explained*: which threads, which
+// conditions, which signals. The detector (see detector.h) classifies misbehaviour into
+// four kinds, each directly attributable to the wait-for state it was derived from:
+//
+//   kDeadlock    — a cycle in the wait-for graph (thread → resource → holder/signaller);
+//   kLostWakeup  — a waiter stuck on a condition whose last signal was delivered while
+//                  nobody was waiting (the classic signal-before-wait race);
+//   kStuckWaiter — a waiter that cannot proceed but matches no sharper diagnosis
+//                  (missed-signal states, waits during a global stall, stale OS waits);
+//   kStarvation  — a requester overtaken more than K times by later requests
+//                  (logical-clock watchdog over the trace).
+
+#ifndef SYNEVAL_ANOMALY_ANOMALY_H_
+#define SYNEVAL_ANOMALY_ANOMALY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace syneval {
+
+enum class AnomalyKind : std::uint8_t {
+  kDeadlock = 0,
+  kLostWakeup = 1,
+  kStuckWaiter = 2,
+  kStarvation = 3,
+};
+
+// Short name: "deadlock", "lost-wakeup", "stuck-waiter", "starvation".
+const char* AnomalyKindName(AnomalyKind kind);
+
+// One detection. `description` is the full diagnosis (for deadlocks: the named wait-for
+// cycle); `thread`/`resource` identify the primary victim for tabulation.
+struct Anomaly {
+  AnomalyKind kind = AnomalyKind::kDeadlock;
+  std::uint64_t clock = 0;   // Detector logical clock at detection time.
+  std::uint32_t thread = 0;  // Primary victim thread (0 when not thread-specific).
+  std::string resource;      // Registered name of the implicated resource (or op).
+  std::string description;   // Human-readable diagnosis, e.g. the named cycle.
+
+  std::string ToString() const;
+};
+
+// Per-kind counters, summed across trials by the sweep machinery (SweepOutcome).
+struct AnomalyCounts {
+  int deadlocks = 0;
+  int lost_wakeups = 0;
+  int stuck_waiters = 0;
+  int starvations = 0;
+
+  int total() const { return deadlocks + lost_wakeups + stuck_waiters + starvations; }
+  bool Clean() const { return total() == 0; }
+  AnomalyCounts& operator+=(const AnomalyCounts& other);
+
+  // "none" or e.g. "1 deadlock, 2 stuck waiters".
+  std::string Summary() const;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_ANOMALY_ANOMALY_H_

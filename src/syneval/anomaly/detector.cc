@@ -1,0 +1,482 @@
+#include "syneval/anomaly/detector.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+namespace syneval {
+
+namespace {
+
+std::int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kLock:
+      return "lock";
+    case ResourceKind::kCondition:
+      return "condition";
+    case ResourceKind::kQueue:
+      return "queue";
+    case ResourceKind::kSemaphore:
+      return "semaphore";
+  }
+  return "?";
+}
+
+void AnomalyDetector::RegisterThread(std::uint32_t thread, const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ThreadInfo& info = threads_[thread];
+  info.name = name;
+  info.finished = false;
+}
+
+void AnomalyDetector::OnThreadFinish(std::uint32_t thread) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (frozen_) {
+    return;
+  }
+  ThreadInfo& info = threads_[thread];
+  info.finished = true;
+  info.waits.clear();
+}
+
+std::string AnomalyDetector::RegisterResource(const void* resource, ResourceKind kind,
+                                              const std::string& base) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const int count = ++name_counts_[base];
+  std::string name = base;
+  if (count > 1) {
+    name += "#" + std::to_string(count);
+  }
+  ResourceInfo& info = resources_[resource];
+  info = ResourceInfo{};
+  info.kind = kind;
+  info.name = name;
+  return name;
+}
+
+void AnomalyDetector::OnBlock(std::uint32_t thread, const void* resource) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (frozen_) {
+    return;
+  }
+  WaitRecord record;
+  record.resource = resource;
+  record.clock = ++clock_;
+  record.wall_nanos = SteadyNowNanos();
+  threads_[thread].waits.push_back(record);
+}
+
+void AnomalyDetector::OnWake(std::uint32_t thread, const void* resource) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (frozen_) {
+    return;
+  }
+  ++clock_;
+  std::vector<WaitRecord>& waits = threads_[thread].waits;
+  for (auto it = waits.rbegin(); it != waits.rend(); ++it) {
+    if (it->resource == resource) {
+      waits.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void AnomalyDetector::OnAcquire(std::uint32_t thread, const void* resource) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (frozen_) {
+    return;
+  }
+  ++clock_;
+  ResourceInfo& info = resources_[resource];
+  if (info.kind == ResourceKind::kLock) {
+    info.holders.clear();
+  }
+  info.holders.push_back(thread);
+}
+
+void AnomalyDetector::OnRelease(std::uint32_t thread, const void* resource) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (frozen_) {
+    return;
+  }
+  ++clock_;
+  ResourceInfo& info = resources_[resource];
+  if (info.kind == ResourceKind::kLock) {
+    info.holders.clear();
+  } else if (!info.holders.empty()) {
+    // Semaphores: V retires the oldest holder (FIFO), so private-semaphore patterns
+    // where one thread Ps and another Vs do not accumulate stale holders.
+    info.holders.pop_front();
+  }
+  (void)thread;
+}
+
+void AnomalyDetector::OnSignal(std::uint32_t thread, const void* resource,
+                               int waiters_before, bool broadcast) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (frozen_) {
+    return;
+  }
+  (void)thread;
+  (void)broadcast;
+  ++clock_;
+  ResourceInfo& info = resources_[resource];
+  info.signals += 1;
+  info.last_signal_clock = clock_;
+  if (waiters_before == 0) {
+    info.empty_signals += 1;
+    info.last_empty_signal_clock = clock_;
+  }
+}
+
+void AnomalyDetector::OnTraceEvent(const Event& event) {
+  if (event.kind == EventKind::kMark || event.kind == EventKind::kExit) {
+    return;  // Includes this detector's own "anomaly.*" marks — never re-enter.
+  }
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (frozen_) {
+    return;
+  }
+  if (event.kind == EventKind::kRequest) {
+    PendingOp& pending = pending_ops_[event.op_instance];
+    pending.thread = event.thread;
+    pending.op = event.op;
+    pending.request_seq = event.seq;
+    return;
+  }
+  // kEnter: the entering request's arrival time decides who it overtook.
+  std::uint64_t enter_request_seq = event.seq;
+  auto self = pending_ops_.find(event.op_instance);
+  if (self != pending_ops_.end()) {
+    enter_request_seq = self->second.request_seq;
+    pending_ops_.erase(self);
+  }
+  for (auto& [instance, pending] : pending_ops_) {
+    if (pending.request_seq >= enter_request_seq) {
+      continue;  // The entrant arrived first; no overtake.
+    }
+    pending.overtakes += 1;
+    if (pending.overtakes > options_.starvation_overtake_limit && !pending.flagged) {
+      pending.flagged = true;
+      Anomaly anomaly;
+      anomaly.kind = AnomalyKind::kStarvation;
+      anomaly.clock = event.seq;
+      anomaly.thread = pending.thread;
+      anomaly.resource = pending.op;
+      std::ostringstream os;
+      os << ThreadNameLocked(pending.thread) << " request '" << pending.op << "' (seq "
+         << pending.request_seq << ") overtaken " << pending.overtakes
+         << " times (limit " << options_.starvation_overtake_limit << ")";
+      anomaly.description = os.str();
+      EmitLocked(std::move(anomaly));
+    }
+  }
+}
+
+std::string AnomalyDetector::ThreadNameLocked(std::uint32_t thread) const {
+  std::ostringstream os;
+  os << "t" << thread;
+  auto it = threads_.find(thread);
+  if (it != threads_.end() && !it->second.name.empty()) {
+    os << " '" << it->second.name << "'";
+  }
+  return os.str();
+}
+
+std::string AnomalyDetector::ResourceNameLocked(const void* resource) const {
+  auto it = resources_.find(resource);
+  if (it != resources_.end() && !it->second.name.empty()) {
+    return it->second.name;
+  }
+  std::ostringstream os;
+  os << "<unregistered " << resource << ">";
+  return os.str();
+}
+
+void AnomalyDetector::EmitLocked(Anomaly anomaly) {
+  anomaly.clock = anomaly.clock == 0 ? clock_ : anomaly.clock;
+  switch (anomaly.kind) {
+    case AnomalyKind::kDeadlock:
+      counts_.deadlocks += 1;
+      break;
+    case AnomalyKind::kLostWakeup:
+      counts_.lost_wakeups += 1;
+      break;
+    case AnomalyKind::kStuckWaiter:
+      counts_.stuck_waiters += 1;
+      break;
+    case AnomalyKind::kStarvation:
+      counts_.starvations += 1;
+      break;
+  }
+  if (trace_ != nullptr) {
+    Event event;
+    event.thread = anomaly.thread;
+    event.kind = EventKind::kMark;
+    event.op = std::string("anomaly.") + AnomalyKindName(anomaly.kind);
+    trace_->Record(std::move(event));
+  }
+  if (static_cast<int>(anomalies_.size()) < options_.max_reported_anomalies) {
+    anomalies_.push_back(std::move(anomaly));
+  }
+}
+
+bool AnomalyDetector::FindCycleLocked(std::uint32_t start, std::string* cycle_text,
+                                      std::string* cycle_key) const {
+  // One hop in the wait-for graph: a blocked thread's outermost wait names a resource;
+  // the resource leads to its holders (hold edges, locks/semaphores) or — for
+  // conditions/queues, which have no owner — to every *other* blocked thread (closure
+  // edges: in a stuck state, any potential signaller is itself among the blocked).
+  struct Hop {
+    std::uint32_t to = 0;
+    const void* via = nullptr;
+    bool hold = false;
+  };
+  const auto successors = [this](std::uint32_t thread) {
+    std::vector<Hop> hops;
+    auto it = threads_.find(thread);
+    if (it == threads_.end() || it->second.finished || it->second.waits.empty()) {
+      return hops;
+    }
+    const void* resource = it->second.waits.front().resource;
+    auto rit = resources_.find(resource);
+    if (rit == resources_.end()) {
+      return hops;
+    }
+    const ResourceInfo& info = rit->second;
+    if (info.kind == ResourceKind::kLock || info.kind == ResourceKind::kSemaphore) {
+      for (std::uint32_t holder : info.holders) {
+        hops.push_back(Hop{holder, resource, /*hold=*/true});
+      }
+    } else {
+      for (const auto& [other, other_info] : threads_) {
+        if (other == thread || other_info.finished || other_info.waits.empty()) {
+          continue;
+        }
+        if (other_info.waits.front().resource == resource) {
+          continue;  // A peer stuck on the same condition cannot signal it either.
+        }
+        hops.push_back(Hop{other, resource, /*hold=*/false});
+      }
+    }
+    return hops;
+  };
+
+  // Depth-first search for a path start → ... → start containing at least one hold
+  // edge (a cycle of pure closure edges is vacuous — it names no ownership at all).
+  std::vector<std::uint32_t> path_threads{start};
+  std::vector<Hop> path_hops;
+  bool found = false;
+  const auto dfs = [&](auto&& self, std::uint32_t node, bool hold_seen) -> void {
+    if (found) {
+      return;
+    }
+    for (const Hop& hop : successors(node)) {
+      if (found) {
+        return;
+      }
+      if (hop.to == start) {
+        if (hold_seen || hop.hold) {
+          path_hops.push_back(hop);
+          found = true;
+          return;
+        }
+        continue;
+      }
+      if (std::find(path_threads.begin(), path_threads.end(), hop.to) !=
+          path_threads.end()) {
+        continue;
+      }
+      path_threads.push_back(hop.to);
+      path_hops.push_back(hop);
+      self(self, hop.to, hold_seen || hop.hold);
+      if (found) {
+        return;
+      }
+      path_threads.pop_back();
+      path_hops.pop_back();
+    }
+  };
+  dfs(dfs, start, false);
+  if (!found) {
+    return false;
+  }
+
+  // Canonical key: the cycle's thread ids rotated so the smallest comes first, so the
+  // same cycle discovered from different members dedupes to one report.
+  std::vector<std::uint32_t> cycle = path_threads;
+  const auto smallest = std::min_element(cycle.begin(), cycle.end());
+  std::rotate(cycle.begin(), smallest, cycle.end());
+  std::ostringstream key;
+  for (std::uint32_t thread : cycle) {
+    key << thread << ">";
+  }
+  *cycle_key = key.str();
+
+  std::ostringstream text;
+  for (std::size_t i = 0; i < path_hops.size(); ++i) {
+    const Hop& hop = path_hops[i];
+    auto rit = resources_.find(hop.via);
+    text << ThreadNameLocked(path_threads[i]) << " -> "
+         << (rit != resources_.end() ? ResourceKindName(rit->second.kind) : "resource")
+         << " " << ResourceNameLocked(hop.via);
+    if (hop.hold) {
+      text << " (held by " << ThreadNameLocked(hop.to) << ")";
+    }
+    text << " -> ";
+  }
+  text << ThreadNameLocked(start);
+  *cycle_text = text.str();
+  return true;
+}
+
+void AnomalyDetector::ClassifyBlockedLocked(std::uint32_t thread, const WaitRecord& record,
+                                            std::set<std::string>* reported_cycles) {
+  std::string cycle_text;
+  std::string cycle_key;
+  if (FindCycleLocked(thread, &cycle_text, &cycle_key)) {
+    if (reported_cycles->insert(cycle_key).second) {
+      Anomaly anomaly;
+      anomaly.kind = AnomalyKind::kDeadlock;
+      anomaly.thread = thread;
+      anomaly.resource = ResourceNameLocked(record.resource);
+      anomaly.description = "wait-for cycle: " + cycle_text;
+      EmitLocked(std::move(anomaly));
+    }
+    return;  // Deadlock member; even if the cycle was already reported, stop here.
+  }
+  auto rit = resources_.find(record.resource);
+  const ResourceInfo* info = rit != resources_.end() ? &rit->second : nullptr;
+  Anomaly anomaly;
+  anomaly.thread = thread;
+  anomaly.resource = ResourceNameLocked(record.resource);
+  const bool signal_queue = info != nullptr && (info->kind == ResourceKind::kCondition ||
+                                                info->kind == ResourceKind::kQueue);
+  if (signal_queue && info->last_empty_signal_clock > 0 &&
+      record.clock >= info->last_empty_signal_clock &&
+      info->last_signal_clock <= record.clock) {
+    // The last signal to this condition was delivered while nobody waited, and this
+    // waiter arrived after it: the wakeup it needed already fell on the floor.
+    anomaly.kind = AnomalyKind::kLostWakeup;
+    std::ostringstream os;
+    os << ThreadNameLocked(thread) << " waits on " << anomaly.resource
+       << " but its last signal (clock " << info->last_empty_signal_clock
+       << ") was delivered to an empty queue before the wait began (clock "
+       << record.clock << "); " << info->empty_signals << "/" << info->signals
+       << " signals hit an empty queue";
+    anomaly.description = os.str();
+  } else {
+    anomaly.kind = AnomalyKind::kStuckWaiter;
+    std::ostringstream os;
+    os << ThreadNameLocked(thread) << " stuck waiting on "
+       << (info != nullptr ? ResourceKindName(info->kind) : "resource") << " "
+       << anomaly.resource << " (wait began at clock " << record.clock << ")";
+    if (signal_queue) {
+      os << "; condition saw " << info->signals << " signal(s), none since the wait";
+    }
+    anomaly.description = os.str();
+  }
+  EmitLocked(std::move(anomaly));
+}
+
+int AnomalyDetector::DiagnoseStuck() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (frozen_) {
+    return 0;
+  }
+  const int before = counts_.total();
+  std::set<std::string> reported_cycles;
+  for (const auto& [thread, info] : threads_) {
+    if (info.finished || info.waits.empty()) {
+      continue;
+    }
+    ClassifyBlockedLocked(thread, info.waits.front(), &reported_cycles);
+  }
+  // Teardown unwinding (AbortException) will fire OnWake/OnRelease hooks out of order;
+  // the diagnosis above is the final word, so ignore everything after it.
+  frozen_ = true;
+  return counts_.total() - before;
+}
+
+int AnomalyDetector::Poll(std::int64_t now_nanos) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (frozen_) {
+    return 0;
+  }
+  const int before = counts_.total();
+  for (auto& [thread, info] : threads_) {
+    if (info.finished || info.waits.empty()) {
+      continue;
+    }
+    WaitRecord& record = info.waits.front();
+    if (record.flagged || now_nanos - record.wall_nanos < options_.stuck_wait_nanos) {
+      continue;
+    }
+    std::string cycle_text;
+    std::string cycle_key;
+    if (FindCycleLocked(thread, &cycle_text, &cycle_key)) {
+      record.flagged = true;
+      if (reported_poll_cycles_.insert(cycle_key).second) {
+        Anomaly anomaly;
+        anomaly.kind = AnomalyKind::kDeadlock;
+        anomaly.thread = thread;
+        anomaly.resource = ResourceNameLocked(record.resource);
+        anomaly.description = "wait-for cycle: " + cycle_text;
+        EmitLocked(std::move(anomaly));
+      }
+      continue;
+    }
+    record.flagged = true;
+    std::set<std::string> unused;
+    ClassifyBlockedLocked(thread, record, &unused);
+  }
+  return counts_.total() - before;
+}
+
+AnomalyCounts AnomalyDetector::counts() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return counts_;
+}
+
+std::vector<Anomaly> AnomalyDetector::anomalies() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return anomalies_;
+}
+
+std::string AnomalyDetector::Report(const std::string& separator) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < anomalies_.size(); ++i) {
+    if (i > 0) {
+      os << separator;
+    }
+    os << anomalies_[i].ToString();
+  }
+  return os.str();
+}
+
+AnomalyDetector::ConditionStats AnomalyDetector::StatsFor(
+    const std::string& resource_name) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ConditionStats stats;
+  stats.name = resource_name;
+  for (const auto& [resource, info] : resources_) {
+    if (info.name == resource_name) {
+      stats.signals = info.signals;
+      stats.empty_signals = info.empty_signals;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace syneval

@@ -1,0 +1,224 @@
+// AnomalyDetector: wait-for-graph + signal-accounting + starvation watchdog.
+//
+// The detector is a passive observer shared by a Runtime and the mechanism objects built
+// on top of it. Mechanisms register their semantic resources (monitor locks, conditions,
+// serializer queues, semaphores) at construction and call the On* hooks at the precise
+// points where a thread blocks, wakes, acquires, releases, or signals. From those hooks
+// the detector maintains:
+//
+//   * a wait-for graph — edges thread → resource (blocked-on) and resource → thread
+//     (held-by, for kLock/kSemaphore). A deadlock is a cycle containing at least one
+//     hold edge; condition/queue resources contribute "closure" edges to every other
+//     blocked thread (if everyone is blocked, whoever could signal the condition is
+//     itself stuck), which lets the detector name cycles through conditions like the
+//     classic nested-monitor deadlock;
+//   * per-condition signal accounting — counts of signals delivered to an empty wait
+//     queue, plus the logical clocks of the last signal and last empty signal, which
+//     separate lost wakeups (waiter arrived after a signal fell on the floor) from
+//     plain stuck waiters;
+//   * a logical-clock starvation watchdog — fed request/enter events from the trace
+//     (via TraceObserver), it flags any pending request overtaken by more than K
+//     later-arriving admissions.
+//
+// Two consumption modes:
+//   * DetRuntime calls DiagnoseStuck() exactly when its scheduler finds no runnable
+//     thread — every blocked thread is then classified (deadlock member, lost wakeup,
+//     or stuck waiter) with zero false positives;
+//   * OsRuntime runs a sampling watchdog thread that calls Poll(now) periodically;
+//     Poll applies a wall-clock threshold before flagging, and deduplicates findings.
+//
+// Locking: the detector's recursive mutex is strictly *after* any runtime or mechanism
+// mutex and strictly *before* the TraceRecorder mutex in the global lock order. Hook
+// implementations therefore never call back into runtime objects, and trace events are
+// emitted through TraceRecorder::Record which takes only the recorder lock.
+
+#ifndef SYNEVAL_ANOMALY_DETECTOR_H_
+#define SYNEVAL_ANOMALY_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "syneval/anomaly/anomaly.h"
+#include "syneval/trace/recorder.h"
+
+namespace syneval {
+
+// Semantic class of a registered resource. Hold edges (resource → holder) exist only for
+// kLock and kSemaphore; kCondition and kQueue block threads but have no owner, so they
+// contribute closure edges instead, and only they participate in signal accounting.
+enum class ResourceKind : std::uint8_t {
+  kLock = 0,
+  kCondition = 1,
+  kQueue = 2,
+  kSemaphore = 3,
+};
+
+const char* ResourceKindName(ResourceKind kind);
+
+class AnomalyDetector : public TraceObserver {
+ public:
+  struct Options {
+    // Starvation: a pending request overtaken by more than this many later-arriving
+    // admissions of competing requests is flagged. High enough that the scale-1
+    // conformance workloads (tens of operations) can never trip it by accident.
+    int starvation_overtake_limit = 64;
+    // Poll(): only waits older than this wall-clock age are considered stuck.
+    std::int64_t stuck_wait_nanos = 100'000'000;  // 100 ms
+    // Hard cap on stored anomalies (diagnostic strings can be large).
+    int max_reported_anomalies = 64;
+  };
+
+  AnomalyDetector() = default;
+  explicit AnomalyDetector(const Options& options) : options_(options) {}
+
+  AnomalyDetector(const AnomalyDetector&) = delete;
+  AnomalyDetector& operator=(const AnomalyDetector&) = delete;
+
+  // ---- Registration (called at construction time by runtimes and mechanisms) ----
+
+  // Registers a thread id with a display name.
+  void RegisterThread(std::uint32_t thread, const std::string& name);
+
+  // Marks a thread finished; its wait records are discarded.
+  void OnThreadFinish(std::uint32_t thread);
+
+  // Registers `resource` under a unique display name derived from `base` ("base" for the
+  // first registration of that base, "base#2", "base#3", ... after). Returns the name.
+  // Re-registering the same pointer updates kind/name (pointer reuse across trials).
+  std::string RegisterResource(const void* resource, ResourceKind kind,
+                               const std::string& base);
+
+  // ---- Blocking hooks (called by runtimes and mechanisms at state transitions) ----
+
+  // `thread` is about to block on `resource`. Pushes a wait record; records nest
+  // (e.g. blocked on a monitor's entry queue while also inside a condition wait).
+  void OnBlock(std::uint32_t thread, const void* resource);
+
+  // `thread` resumed from its innermost wait on `resource`.
+  void OnWake(std::uint32_t thread, const void* resource);
+
+  // `thread` now holds `resource` (locks: exclusive; semaphores: FIFO multiset).
+  void OnAcquire(std::uint32_t thread, const void* resource);
+
+  // `thread` released `resource` (semaphores: the oldest holder is retired).
+  void OnRelease(std::uint32_t thread, const void* resource);
+
+  // `thread` signalled `resource` (condition/queue) while `waiters_before` threads were
+  // waiting on it. A signal to an empty queue is the seed of a lost wakeup.
+  void OnSignal(std::uint32_t thread, const void* resource, int waiters_before,
+                bool broadcast = false);
+
+  // ---- Trace integration ----
+
+  // Detections are mirrored into `trace` as kMark events with op "anomaly.<kind>".
+  void AttachTrace(TraceRecorder* trace) { trace_ = trace; }
+
+  // TraceObserver: consumes kRequest/kEnter events for the starvation watchdog.
+  // Ignores kMark (including this detector's own anomaly marks).
+  void OnTraceEvent(const Event& event) override;
+
+  // ---- Diagnosis ----
+
+  // Exact diagnosis for a globally stuck deterministic run: classifies every blocked
+  // thread, reporting named wait-for cycles for deadlock members. Freezes the detector
+  // afterwards so hook calls during teardown unwinding are ignored. Returns the number
+  // of anomalies added.
+  int DiagnoseStuck();
+
+  // Sampling diagnosis for live OS runs: flags waits older than stuck_wait_nanos,
+  // reporting cycles where they exist. Each wait/cycle is reported at most once.
+  // Returns the number of anomalies added.
+  int Poll(std::int64_t now_nanos);
+
+  // ---- Results ----
+
+  AnomalyCounts counts() const;
+  std::vector<Anomaly> anomalies() const;
+
+  // All anomalies rendered with ToString(), joined by `separator`; "" when clean.
+  std::string Report(const std::string& separator = "\n") const;
+
+  struct ConditionStats {
+    std::string name;
+    int signals = 0;        // Total signals/broadcasts delivered.
+    int empty_signals = 0;  // Signals delivered while no thread was waiting.
+  };
+
+  // Signal accounting for a registered condition/queue (name as returned by
+  // RegisterResource). Returns zeroed stats for unknown names.
+  ConditionStats StatsFor(const std::string& resource_name) const;
+
+ private:
+  struct WaitRecord {
+    const void* resource = nullptr;
+    std::uint64_t clock = 0;        // Detector logical clock when the wait began.
+    std::int64_t wall_nanos = 0;    // Wall-clock time when the wait began (OS mode).
+    bool flagged = false;           // Already reported by Poll().
+  };
+
+  struct ThreadInfo {
+    std::string name;
+    bool finished = false;
+    // Innermost wait last; front() is the outermost wait, used for diagnosis (the
+    // outermost frame names the semantic resource the thread is actually stuck on).
+    std::vector<WaitRecord> waits;
+  };
+
+  struct ResourceInfo {
+    ResourceKind kind = ResourceKind::kLock;
+    std::string name;
+    // Holders in acquisition order (size ≤ 1 for kLock; a multiset for kSemaphore).
+    std::deque<std::uint32_t> holders;
+    int signals = 0;
+    int empty_signals = 0;
+    std::uint64_t last_signal_clock = 0;
+    std::uint64_t last_empty_signal_clock = 0;
+  };
+
+  struct PendingOp {
+    std::uint32_t thread = 0;
+    std::string op;
+    std::uint64_t request_seq = 0;
+    int overtakes = 0;
+    bool flagged = false;
+  };
+
+  std::string ThreadNameLocked(std::uint32_t thread) const;
+  std::string ResourceNameLocked(const void* resource) const;
+  void EmitLocked(Anomaly anomaly);
+
+  // Wait-for cycle search rooted at `thread`'s outermost wait. On success renders the
+  // cycle ("t2 'consumer' → condition X → t3 'producer' → lock Y (held by ...) → t2")
+  // into `*cycle_text` and a canonical dedupe key into `*cycle_key`.
+  bool FindCycleLocked(std::uint32_t thread, std::string* cycle_text,
+                       std::string* cycle_key) const;
+
+  // Classifies one blocked thread (cycle → deadlock; empty-signal evidence →
+  // lost wakeup; otherwise stuck waiter) and emits the anomaly. `reported_cycles`
+  // dedupes cycles across the threads of one diagnosis pass.
+  void ClassifyBlockedLocked(std::uint32_t thread, const WaitRecord& record,
+                             std::set<std::string>* reported_cycles);
+
+  Options options_;
+  TraceRecorder* trace_ = nullptr;
+
+  mutable std::recursive_mutex mu_;
+  std::uint64_t clock_ = 0;  // Advances on every hook call; orders waits vs. signals.
+  bool frozen_ = false;      // Set by DiagnoseStuck(); all later hooks are no-ops.
+  std::map<std::uint32_t, ThreadInfo> threads_;
+  std::map<const void*, ResourceInfo> resources_;
+  std::map<std::string, int> name_counts_;
+  std::map<std::uint64_t, PendingOp> pending_ops_;  // op_instance → pending request.
+  std::set<std::string> reported_poll_cycles_;
+  std::vector<Anomaly> anomalies_;
+  AnomalyCounts counts_;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_ANOMALY_DETECTOR_H_

@@ -2,16 +2,29 @@
 
 #include <cassert>
 
+#include "syneval/anomaly/detector.h"
+
 namespace syneval {
 
 struct CriticalRegion::Waiter {
   bool granted = false;
+  std::uint32_t thread = 0;
   Condition condition;              // Null for bare-exclusion (entry) waiters.
   std::function<void()> on_admit;   // Runs under mu_ in the granting thread.
 };
 
 CriticalRegion::CriticalRegion(Runtime& runtime)
-    : runtime_(runtime), mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()) {}
+    : runtime_(runtime),
+      det_(runtime.anomaly_detector()),
+      mu_(runtime.CreateMutex()),
+      cv_(runtime.CreateCondVar()) {
+  if (det_ != nullptr) {
+    det_name_ = det_->RegisterResource(this, ResourceKind::kLock, "CriticalRegion");
+    // The when-waiter list behaves like a condition queue: waiters park there until a
+    // releasing body makes their condition true.
+    det_->RegisterResource(&waiting_, ResourceKind::kQueue, det_name_ + ".when");
+  }
+}
 
 void CriticalRegion::Enter(const Body& body) { Enter(body, Hooks{}); }
 
@@ -21,25 +34,39 @@ void CriticalRegion::Enter(const Body& body) { Enter(body, Hooks{}); }
 // release decision and the admitted process's resumption).
 void CriticalRegion::Enter(const Body& body, const Hooks& hooks) {
   RtLock lock(*mu_);
+  const std::uint32_t tid = runtime_.CurrentThreadId();
   if (hooks.on_arrive) {
     hooks.on_arrive();
   }
   if (!busy_) {
     busy_ = true;
+    if (det_ != nullptr) {
+      det_->OnAcquire(tid, this);
+    }
     if (hooks.on_admit) {
       hooks.on_admit();
     }
   } else {
     Waiter self;
+    self.thread = tid;
     self.on_admit = hooks.on_admit;
     entry_.push_back(&self);
+    if (det_ != nullptr) {
+      det_->OnBlock(tid, this);
+    }
     while (!self.granted) {
       cv_->Wait(*mu_);
+    }
+    if (det_ != nullptr) {
+      det_->OnWake(tid, this);
     }
   }
   body();
   if (hooks.on_release) {
     hooks.on_release();
+  }
+  if (det_ != nullptr) {
+    det_->OnRelease(tid, this);
   }
   ReleaseRegionLocked();
 }
@@ -50,6 +77,7 @@ void CriticalRegion::When(const Condition& condition, const Body& body) {
 
 void CriticalRegion::When(const Condition& condition, const Body& body, const Hooks& hooks) {
   RtLock lock(*mu_);
+  const std::uint32_t tid = runtime_.CurrentThreadId();
   if (hooks.on_arrive) {
     hooks.on_arrive();
   }
@@ -57,16 +85,26 @@ void CriticalRegion::When(const Condition& condition, const Body& body, const Ho
   // free the condition's value cannot change: test it immediately.
   if (!busy_ && condition()) {
     busy_ = true;
+    if (det_ != nullptr) {
+      det_->OnAcquire(tid, this);
+    }
     if (hooks.on_admit) {
       hooks.on_admit();
     }
   } else {
     Waiter self;
+    self.thread = tid;
     self.condition = condition;
     self.on_admit = hooks.on_admit;
     waiting_.push_back(&self);
+    if (det_ != nullptr) {
+      det_->OnBlock(tid, &waiting_);
+    }
     while (!self.granted) {
       cv_->Wait(*mu_);
+    }
+    if (det_ != nullptr) {
+      det_->OnWake(tid, &waiting_);
     }
     // Granted by a releaser that verified the condition and transferred the region
     // (busy_ stays true); no re-test needed.
@@ -74,6 +112,9 @@ void CriticalRegion::When(const Condition& condition, const Body& body, const Ho
   body();
   if (hooks.on_release) {
     hooks.on_release();
+  }
+  if (det_ != nullptr) {
+    det_->OnRelease(tid, this);
   }
   ReleaseRegionLocked();
 }
@@ -90,6 +131,9 @@ void CriticalRegion::ReleaseRegionLocked() {
     Waiter* waiter = *it;
     if (waiter->condition()) {
       waiting_.erase(it);
+      if (det_ != nullptr) {
+        det_->OnAcquire(waiter->thread, this);
+      }
       if (waiter->on_admit) {
         waiter->on_admit();
       }
@@ -101,6 +145,9 @@ void CriticalRegion::ReleaseRegionLocked() {
   if (!entry_.empty()) {
     Waiter* waiter = entry_.front();
     entry_.pop_front();
+    if (det_ != nullptr) {
+      det_->OnAcquire(waiter->thread, this);
+    }
     if (waiter->on_admit) {
       waiter->on_admit();
     }

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "syneval/anomaly/detector.h"
 #include "syneval/problems/oracles.h"
 #include "syneval/problems/workloads.h"
 #include "syneval/runtime/det_runtime.h"
@@ -19,24 +20,54 @@ namespace syneval {
 
 namespace {
 
-// Generic trial runner: build a fresh runtime/solution/workload per seed, drive it to
-// completion, then apply the oracle to the recorded trace.
+// Per-trial anomaly probe: wires a fresh detector into the runtime (so every primitive
+// and mechanism built afterwards registers with it) and into the trace (starvation
+// watchdog + anomaly marks), then folds the findings into the TrialReport. Must be
+// constructed after the DetRuntime and before the solution under test.
+struct TrialProbe {
+  AnomalyDetector detector;
+  TraceRecorder trace;
+
+  explicit TrialProbe(DetRuntime& runtime) {
+    detector.AttachTrace(&trace);
+    trace.SetObserver(&detector);
+    runtime.AttachAnomalyDetector(&detector);
+  }
+
+  TrialReport Finish(const DetRuntime::RunResult& result,
+                     const std::function<std::string(const std::vector<Event>&)>& check) {
+    TrialReport report;
+    report.anomalies = detector.counts();
+    report.anomaly_report = detector.Report("; ");
+    if (!result.completed) {
+      report.message = "runtime: " + result.report;
+    } else {
+      report.message = check(trace.Events());
+      if (report.message.empty() && !report.anomalies.Clean()) {
+        // The oracle passed but the detector flagged something (e.g. starvation):
+        // surface it as the trial's failure so the sweep records the seed.
+        report.message = "anomaly: " + report.anomaly_report;
+      }
+    }
+    return report;
+  }
+};
+
+// Generic trial runner: build a fresh runtime/probe/solution/workload per seed, drive it
+// to completion, then apply the oracle to the recorded trace.
 template <typename SolutionT>
-std::function<std::string(std::uint64_t)> MakeTrial(
+std::function<TrialReport(std::uint64_t)> MakeTrial(
     std::function<std::unique_ptr<SolutionT>(Runtime&)> make,
     std::function<ThreadList(Runtime&, SolutionT&, TraceRecorder&)> spawn,
     std::function<std::string(const std::vector<Event>&)> check) {
   return [make = std::move(make), spawn = std::move(spawn),
-          check = std::move(check)](std::uint64_t seed) -> std::string {
+          check = std::move(check)](std::uint64_t seed) -> TrialReport {
     DetRuntime runtime(MakeRandomSchedule(seed));
-    TraceRecorder trace;
+    TrialProbe probe(runtime);
     std::unique_ptr<SolutionT> solution = make(runtime);
-    ThreadList threads = spawn(runtime, *solution, trace);
+    ThreadList threads = spawn(runtime, *solution, probe.trace);
     const DetRuntime::RunResult result = runtime.Run();
-    if (!result.completed) {
-      return "runtime: " + result.report;
-    }
-    return check(trace.Events());
+    return probe.Finish(result, check);
   };
 }
 
@@ -44,16 +75,16 @@ std::function<std::string(std::uint64_t)> MakeTrial(
 // thread that joins the clients and shuts the server down so the deterministic run can
 // complete.
 template <typename Concrete>
-std::function<std::string(std::uint64_t)> MakeCspTrial(
+std::function<TrialReport(std::uint64_t)> MakeCspTrial(
     std::function<std::unique_ptr<Concrete>(Runtime&)> make,
     std::function<ThreadList(Runtime&, Concrete&, TraceRecorder&)> spawn,
     std::function<std::string(const std::vector<Event>&)> check) {
   return [make = std::move(make), spawn = std::move(spawn),
-          check = std::move(check)](std::uint64_t seed) -> std::string {
+          check = std::move(check)](std::uint64_t seed) -> TrialReport {
     DetRuntime runtime(MakeRandomSchedule(seed));
-    TraceRecorder trace;
+    TrialProbe probe(runtime);
     std::unique_ptr<Concrete> solution = make(runtime);
-    ThreadList threads = spawn(runtime, *solution, trace);
+    ThreadList threads = spawn(runtime, *solution, probe.trace);
     std::vector<RtThread*> clients;
     for (auto& thread : threads) {
       clients.push_back(thread.get());
@@ -67,10 +98,7 @@ std::function<std::string(std::uint64_t)> MakeCspTrial(
       raw_solution->Shutdown();
     }));
     const DetRuntime::RunResult result = runtime.Run();
-    if (!result.completed) {
-      return "runtime: " + result.report;
-    }
-    return check(trace.Events());
+    return probe.Finish(result, check);
   };
 }
 
@@ -175,23 +203,21 @@ struct SuiteBuilder {
     DiskWorkloadParams params;
     params.requests_per_thread = 3 * scale;
     params.tracks = 100;
-    c.trial = [make = std::move(make), params, scan](std::uint64_t seed) -> std::string {
+    c.trial = [make = std::move(make), params, scan](std::uint64_t seed) -> TrialReport {
       DetRuntime runtime(MakeRandomSchedule(seed));
-      TraceRecorder trace;
+      TrialProbe probe(runtime);
       VirtualDisk disk(params.tracks, 0);
       std::unique_ptr<DiskSchedulerIface> scheduler = make(runtime);
       DiskWorkloadParams seeded = params;
       seeded.seed = seed;
-      ThreadList threads = SpawnDiskWorkload(runtime, *scheduler, disk, trace, seeded);
+      ThreadList threads = SpawnDiskWorkload(runtime, *scheduler, disk, probe.trace, seeded);
       const DetRuntime::RunResult result = runtime.Run();
-      if (!result.completed) {
-        return "runtime: " + result.report;
-      }
-      if (disk.violations() != 0) {
-        return "virtual disk observed concurrent access";
-      }
-      return scan ? CheckScanDiskSchedule(trace.Events(), 0)
-                  : CheckFcfsDiskSchedule(trace.Events());
+      return probe.Finish(result, [&disk, scan](const std::vector<Event>& events) {
+        if (disk.violations() != 0) {
+          return std::string("virtual disk observed concurrent access");
+        }
+        return scan ? CheckScanDiskSchedule(events, 0) : CheckFcfsDiskSchedule(events);
+      });
     };
     cases.push_back(std::move(c));
   }
@@ -223,18 +249,16 @@ struct SuiteBuilder {
     c.expect_violations = expect_violations;
     SmokersWorkloadParams params;
     params.rounds = 5 * scale;
-    c.trial = [make = std::move(make), params](std::uint64_t seed) -> std::string {
+    c.trial = [make = std::move(make), params](std::uint64_t seed) -> TrialReport {
       DetRuntime runtime(MakeRandomSchedule(seed));
-      TraceRecorder trace;
+      TrialProbe probe(runtime);
       std::unique_ptr<SmokersTableIface> table = make(runtime);
       SmokersWorkloadParams seeded = params;
       seeded.seed = seed;
-      ThreadList threads = SpawnSmokersWorkload(runtime, *table, trace, seeded);
+      ThreadList threads = SpawnSmokersWorkload(runtime, *table, probe.trace, seeded);
       const DetRuntime::RunResult result = runtime.Run();
-      if (!result.completed) {
-        return "runtime: " + result.report;
-      }
-      return CheckSmokers(trace.Events());
+      return probe.Finish(result,
+                          [](const std::vector<Event>& events) { return CheckSmokers(events); });
     };
     cases.push_back(std::move(c));
   }
@@ -327,7 +351,11 @@ std::vector<ConformanceCase> BuildConformanceSuite(int workload_scale) {
     c.problem = "rw-readers-priority";
     c.display = "Figure 1 (predicted violation, footnote 3)";
     c.expect_violations = true;
-    c.trial = RunFigure1AnomalyScenario;
+    c.trial = [](std::uint64_t seed) {
+      TrialReport report;
+      report.message = RunFigure1AnomalyScenario(seed);
+      return report;
+    };
     b.cases.push_back(std::move(c));
   }
   b.AddRw(Mechanism::kPathExpression, "rw-readers-priority", "Predicate paths (Andler)",
@@ -549,14 +577,14 @@ std::vector<ConformanceCase> BuildConformanceSuite(int workload_scale) {
     c.mechanism = Mechanism::kMessagePassing;
     c.problem = "disk-scan";
     c.display = "CSP disk server";
-    c.trial = [params](std::uint64_t seed) -> std::string {
+    c.trial = [params](std::uint64_t seed) -> TrialReport {
       DetRuntime runtime(MakeRandomSchedule(seed));
-      TraceRecorder trace;
+      TrialProbe probe(runtime);
       VirtualDisk disk(params.tracks, 0);
       CspDiskScheduler scheduler(runtime, 0);
       DiskWorkloadParams seeded = params;
       seeded.seed = seed;
-      ThreadList threads = SpawnDiskWorkload(runtime, scheduler, disk, trace, seeded);
+      ThreadList threads = SpawnDiskWorkload(runtime, scheduler, disk, probe.trace, seeded);
       std::vector<RtThread*> clients;
       for (auto& thread : threads) {
         clients.push_back(thread.get());
@@ -569,13 +597,12 @@ std::vector<ConformanceCase> BuildConformanceSuite(int workload_scale) {
         scheduler.Shutdown();
       }));
       const DetRuntime::RunResult result = runtime.Run();
-      if (!result.completed) {
-        return "runtime: " + result.report;
-      }
-      if (disk.violations() != 0) {
-        return "virtual disk observed concurrent access";
-      }
-      return CheckScanDiskSchedule(trace.Events(), 0);
+      return probe.Finish(result, [&disk](const std::vector<Event>& events) {
+        if (disk.violations() != 0) {
+          return std::string("virtual disk observed concurrent access");
+        }
+        return CheckScanDiskSchedule(events, 0);
+      });
     };
     b.cases.push_back(std::move(c));
   }

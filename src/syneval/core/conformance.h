@@ -25,9 +25,10 @@ struct ConformanceCase {
   std::string display;
   // True when the paper predicts this solution violates its oracle on some schedules.
   bool expect_violations = false;
-  // Runs one trial under DetRuntime with the given schedule seed; returns the empty
-  // string on success, an oracle/runtime diagnostic on failure.
-  std::function<std::string(std::uint64_t)> trial;
+  // Runs one trial under DetRuntime with the given schedule seed; returns a report
+  // whose message is empty on success and an oracle/runtime diagnostic on failure,
+  // plus the anomaly counts observed by the attached detector.
+  std::function<TrialReport(std::uint64_t)> trial;
 };
 
 // The full conformance suite over the solution matrix. `workload_scale` multiplies the

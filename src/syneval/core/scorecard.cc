@@ -140,14 +140,14 @@ std::string RenderIndependenceTable() {
 std::string RenderConformanceTable(const std::vector<ConformanceResult>& results) {
   std::ostringstream os;
   os << "Conformance: oracle checks over deterministic schedule sweeps\n";
-  std::vector<std::string> header = {"mechanism", "problem",  "solution",
-                                     "violations", "expected", "verdict"};
+  std::vector<std::string> header = {"mechanism", "problem",  "solution", "violations",
+                                     "anomalies", "expected", "verdict"};
   std::vector<std::vector<std::string>> rows;
   for (const ConformanceResult& result : results) {
     std::ostringstream violations;
     violations << result.outcome.failures << "/" << result.outcome.runs;
     rows.push_back({MechanismName(result.spec.mechanism), result.spec.problem,
-                    result.spec.display, violations.str(),
+                    result.spec.display, violations.str(), result.outcome.anomalies.Summary(),
                     result.spec.expect_violations ? "violations" : "clean",
                     result.AsExpected() ? "as expected" : "UNEXPECTED"});
   }
@@ -157,6 +157,10 @@ std::string RenderConformanceTable(const std::vector<ConformanceResult>& results
       os << "\n" << result.spec.display << " first counterexample (seed "
          << (result.outcome.failing_seeds.empty() ? 0 : result.outcome.failing_seeds.front())
          << "): " << result.outcome.first_failure << "\n";
+    }
+    if (result.outcome.anomalies.total() > 0) {
+      os << "\n" << result.spec.display << " first anomaly (replayable): "
+         << result.outcome.first_anomaly << "\n";
     }
   }
   return os.str();

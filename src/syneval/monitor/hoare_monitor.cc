@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "syneval/anomaly/detector.h"
+
 namespace syneval {
 
 // A record for one blocked process. Lives on the blocked thread's stack; queues hold
@@ -15,24 +17,61 @@ struct HoareMonitor::Waiter {
 };
 
 HoareMonitor::HoareMonitor(Runtime& runtime)
-    : runtime_(runtime), mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()) {}
+    : runtime_(runtime),
+      det_(runtime.anomaly_detector()),
+      mu_(runtime.CreateMutex()),
+      cv_(runtime.CreateCondVar()) {
+  if (det_ != nullptr) {
+    det_name_ = det_->RegisterResource(this, ResourceKind::kLock, "HoareMonitor");
+  }
+}
+
+HoareMonitor::Condition::Condition(HoareMonitor& monitor) : monitor_(monitor) {
+  if (monitor.det_ != nullptr) {
+    monitor.det_->RegisterResource(this, ResourceKind::kCondition,
+                                   monitor.det_name_ + ".cond");
+  }
+}
+
+HoareMonitor::PriorityCondition::PriorityCondition(HoareMonitor& monitor)
+    : monitor_(monitor) {
+  if (monitor.det_ != nullptr) {
+    monitor.det_->RegisterResource(this, ResourceKind::kCondition,
+                                   monitor.det_name_ + ".pcond");
+  }
+}
 
 void HoareMonitor::Enter() {
   RtLock lock(*mu_);
   if (!busy_) {
     busy_ = true;
     owner_ = runtime_.CurrentThreadId();
+    if (det_ != nullptr) {
+      det_->OnAcquire(owner_, this);
+    }
     return;
   }
   Waiter self;
   self.thread = runtime_.CurrentThreadId();
   entry_.push_back(&self);
+  if (det_ != nullptr) {
+    det_->OnBlock(self.thread, this);
+  }
   BlockLocked(&self);
+  if (det_ != nullptr) {
+    det_->OnWake(self.thread, this);
+  }
 }
 
 void HoareMonitor::Exit() {
+  if (runtime_.Aborting()) {
+    return;  // Teardown unwinding: a Wait may already have surrendered ownership.
+  }
   RtLock lock(*mu_);
   AssertOwnedByCaller();
+  if (det_ != nullptr) {
+    det_->OnRelease(owner_, this);
+  }
   ReleaseOwnershipLocked();
 }
 
@@ -44,6 +83,10 @@ int HoareMonitor::EntryQueueLength() const {
 void HoareMonitor::GrantLocked(Waiter* waiter) {
   waiter->granted = true;
   owner_ = waiter->thread;
+  if (det_ != nullptr) {
+    // Ownership transfers at the grant (Hoare hand-off), not when the waiter resumes.
+    det_->OnAcquire(waiter->thread, this);
+  }
   cv_->NotifyAll();
 }
 
@@ -81,24 +124,44 @@ void HoareMonitor::Condition::Wait() {
   Waiter self;
   self.thread = m.runtime_.CurrentThreadId();
   queue_.push_back(&self);
+  if (m.det_ != nullptr) {
+    m.det_->OnRelease(self.thread, &m);
+    m.det_->OnBlock(self.thread, this);
+  }
   m.ReleaseOwnershipLocked();
   m.BlockLocked(&self);
+  if (m.det_ != nullptr) {
+    m.det_->OnWake(self.thread, this);
+  }
 }
 
 void HoareMonitor::Condition::Signal() {
   HoareMonitor& m = monitor_;
   RtLock lock(*m.mu_);
   m.AssertOwnedByCaller();
+  const std::uint32_t tid = m.runtime_.CurrentThreadId();
+  if (m.det_ != nullptr) {
+    m.det_->OnSignal(tid, this, static_cast<int>(queue_.size()));
+  }
   if (queue_.empty()) {
     return;
   }
   auto* waiter = static_cast<Waiter*>(queue_.front());
   queue_.pop_front();
   Waiter self;
-  self.thread = m.runtime_.CurrentThreadId();
+  self.thread = tid;
   m.urgent_.push_back(&self);
+  if (m.det_ != nullptr) {
+    m.det_->OnRelease(tid, &m);  // Hand-off: the signaller yields the monitor...
+  }
   m.GrantLocked(waiter);
+  if (m.det_ != nullptr) {
+    m.det_->OnBlock(tid, &m);  // ...and waits (urgent queue) to re-enter it.
+  }
   m.BlockLocked(&self);
+  if (m.det_ != nullptr) {
+    m.det_->OnWake(tid, &m);
+  }
 }
 
 bool HoareMonitor::Condition::Empty() const {
@@ -125,24 +188,44 @@ void HoareMonitor::PriorityCondition::Wait(std::int64_t priority) {
     return other->priority > priority;
   });
   queue_.insert(pos, &self);
+  if (m.det_ != nullptr) {
+    m.det_->OnRelease(self.thread, &m);
+    m.det_->OnBlock(self.thread, this);
+  }
   m.ReleaseOwnershipLocked();
   m.BlockLocked(&self);
+  if (m.det_ != nullptr) {
+    m.det_->OnWake(self.thread, this);
+  }
 }
 
 void HoareMonitor::PriorityCondition::Signal() {
   HoareMonitor& m = monitor_;
   RtLock lock(*m.mu_);
   m.AssertOwnedByCaller();
+  const std::uint32_t tid = m.runtime_.CurrentThreadId();
+  if (m.det_ != nullptr) {
+    m.det_->OnSignal(tid, this, static_cast<int>(queue_.size()));
+  }
   if (queue_.empty()) {
     return;
   }
   auto* waiter = static_cast<Waiter*>(queue_.front());
   queue_.erase(queue_.begin());
   Waiter self;
-  self.thread = m.runtime_.CurrentThreadId();
+  self.thread = tid;
   m.urgent_.push_back(&self);
+  if (m.det_ != nullptr) {
+    m.det_->OnRelease(tid, &m);
+  }
   m.GrantLocked(waiter);
+  if (m.det_ != nullptr) {
+    m.det_->OnBlock(tid, &m);
+  }
   m.BlockLocked(&self);
+  if (m.det_ != nullptr) {
+    m.det_->OnWake(tid, &m);
+  }
 }
 
 bool HoareMonitor::PriorityCondition::Empty() const {

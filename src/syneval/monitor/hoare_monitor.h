@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "syneval/runtime/runtime.h"
@@ -49,7 +50,7 @@ class HoareMonitor {
   // currently inside the owning monitor.
   class Condition {
    public:
-    explicit Condition(HoareMonitor& monitor) : monitor_(monitor) {}
+    explicit Condition(HoareMonitor& monitor);
 
     Condition(const Condition&) = delete;
     Condition& operator=(const Condition&) = delete;
@@ -77,7 +78,7 @@ class HoareMonitor {
   // the *minimum* p (FIFO among equal priorities), per Hoare's scheduled waits.
   class PriorityCondition {
    public:
-    explicit PriorityCondition(HoareMonitor& monitor) : monitor_(monitor) {}
+    explicit PriorityCondition(HoareMonitor& monitor);
 
     PriorityCondition(const PriorityCondition&) = delete;
     PriorityCondition& operator=(const PriorityCondition&) = delete;
@@ -113,6 +114,8 @@ class HoareMonitor {
   void AssertOwnedByCaller() const;
 
   Runtime& runtime_;
+  AnomalyDetector* det_ = nullptr;  // From runtime_.anomaly_detector(); may be null.
+  std::string det_name_;            // Registered name when det_ is attached.
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
   bool busy_ = false;

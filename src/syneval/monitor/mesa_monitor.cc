@@ -2,9 +2,19 @@
 
 #include <cassert>
 
+#include "syneval/anomaly/detector.h"
+
 namespace syneval {
 
-MesaMonitor::MesaMonitor(Runtime& runtime) : runtime_(runtime), mu_(runtime.CreateMutex()) {}
+// Mesa monitors synchronize directly through the runtime primitives, whose own detector
+// hooks (block/wake/acquire/release/signal) already cover them; all that is needed here
+// is re-registering the primitives under mechanism-level names so diagnoses read
+// "MesaMonitor" / "MesaMonitor.cond" instead of "mutex" / "condvar".
+MesaMonitor::MesaMonitor(Runtime& runtime) : runtime_(runtime), mu_(runtime.CreateMutex()) {
+  if (AnomalyDetector* det = runtime.anomaly_detector()) {
+    det->RegisterResource(mu_.get(), ResourceKind::kLock, "MesaMonitor");
+  }
+}
 
 void MesaMonitor::Enter() {
   mu_->Lock();
@@ -12,13 +22,20 @@ void MesaMonitor::Enter() {
 }
 
 void MesaMonitor::Exit() {
+  if (runtime_.Aborting()) {
+    return;  // Teardown unwinding: a Wait may already have surrendered ownership.
+  }
   assert(owner_ == runtime_.CurrentThreadId() && "MesaMonitor::Exit by non-occupant");
   owner_ = 0;
   mu_->Unlock();
 }
 
 MesaMonitor::Condition::Condition(MesaMonitor& monitor)
-    : monitor_(monitor), cv_(monitor.runtime_.CreateCondVar()) {}
+    : monitor_(monitor), cv_(monitor.runtime_.CreateCondVar()) {
+  if (AnomalyDetector* det = monitor.runtime_.anomaly_detector()) {
+    det->RegisterResource(cv_.get(), ResourceKind::kCondition, "MesaMonitor.cond");
+  }
+}
 
 void MesaMonitor::Condition::Wait() {
   MesaMonitor& m = monitor_;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "syneval/anomaly/detector.h"
 #include "syneval/pathexpr/parser.h"
 
 namespace syneval {
@@ -26,13 +27,20 @@ PathController::PathController(Runtime& runtime, const std::string& program, Opt
 
 PathController::PathController(Runtime& runtime, CompiledPaths compiled, Options options)
     : runtime_(runtime),
+      det_(runtime.anomaly_detector()),
       compiled_(std::move(compiled)),
       options_(options),
       mu_(runtime.CreateMutex()),
       cv_(runtime.CreateCondVar()),
       state_(compiled_.InitialState()),
       predicates_(compiled_.predicate_names.size()),
-      arbitrary_rng_(options.arbitrary_seed) {}
+      arbitrary_rng_(options.arbitrary_seed) {
+  if (det_ != nullptr) {
+    // No explicit holder exists (admission is a marking change, not an ownership
+    // transfer), so the controller registers as a condition-like queue.
+    det_->RegisterResource(this, ResourceKind::kQueue, "PathController");
+  }
+}
 
 void PathController::RegisterPredicate(const std::string& name,
                                        std::function<bool()> predicate) {
@@ -154,8 +162,15 @@ PathController::Token PathController::Begin(const std::string& op, const Hooks& 
   self.arrival = ++arrival_counter_;
   self.on_admit = hooks.on_admit;
   waiters_.push_back(&self);
+  const std::uint32_t tid = runtime_.CurrentThreadId();
+  if (det_ != nullptr) {
+    det_->OnBlock(tid, this);
+  }
   while (!self.granted) {
     cv_->Wait(*mu_);
+  }
+  if (det_ != nullptr) {
+    det_->OnWake(tid, this);
   }
   return self.token;
 }
@@ -165,6 +180,9 @@ void PathController::End(const std::string& op, const Token& token) {
 }
 
 void PathController::End(const std::string& op, const Token& token, const Hooks& hooks) {
+  if (runtime_.Aborting()) {
+    return;  // Teardown unwinding (OpRegion destructor): do not fire the epilogue.
+  }
   if (!token.constrained) {
     if (hooks.on_release) {
       RtLock lock(*mu_);

@@ -147,6 +147,7 @@ class PathController {
   void GrantEligibleLocked();
 
   Runtime& runtime_;
+  AnomalyDetector* det_ = nullptr;  // From runtime_.anomaly_detector(); may be null.
   CompiledPaths compiled_;
   Options options_;
   std::unique_ptr<RtMutex> mu_;

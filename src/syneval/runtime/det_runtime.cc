@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "syneval/anomaly/detector.h"
+
 namespace syneval {
 
 namespace {
@@ -87,12 +89,22 @@ class DetRuntime::DetMutex : public RtMutex {
     if (rt_->options_.preempt_before_lock) {
       rt_->SwitchOutLocked(lock, self, kReady, nullptr, "preempt before lock");
     }
+    AnomalyDetector* det = rt_->anomaly_detector();
     while (holder_ != nullptr) {
       waiters_.push_back(self);
+      if (det != nullptr) {
+        det->OnBlock(self->id, this);
+      }
       rt_->SwitchOutLocked(lock, self, kBlockedMutex, this,
                            "mutex (held by " + holder_->name + ")");
+      if (det != nullptr) {
+        det->OnWake(self->id, this);
+      }
     }
     holder_ = self;
+    if (det != nullptr) {
+      det->OnAcquire(self->id, this);
+    }
   }
 
   void Unlock() override {
@@ -108,8 +120,10 @@ class DetRuntime::DetMutex : public RtMutex {
       return;
     }
     assert(holder_ == self && "DetMutex::Unlock by non-owner");
-    (void)self;
     holder_ = nullptr;
+    if (AnomalyDetector* det = rt_->anomaly_detector()) {
+      det->OnRelease(self->id, this);
+    }
     for (Tcb* waiter : waiters_) {
       rt_->MakeReadyLocked(waiter);
     }
@@ -133,21 +147,40 @@ class DetRuntime::DetCondVar : public RtCondVar {
       return;
     }
     assert(m->holder_ == self && "RtCondVar::Wait without holding the mutex");
+    AnomalyDetector* det = rt_->anomaly_detector();
     // Atomically release the mutex and join the wait set.
     m->holder_ = nullptr;
+    if (det != nullptr) {
+      det->OnRelease(self->id, m);
+    }
     for (Tcb* waiter : m->waiters_) {
       rt_->MakeReadyLocked(waiter);
     }
     m->waiters_.clear();
     waiters_.push_back(self);
+    if (det != nullptr) {
+      det->OnBlock(self->id, this);
+    }
     rt_->SwitchOutLocked(lock, self, kBlockedCond, this, "condvar");
+    if (det != nullptr) {
+      det->OnWake(self->id, this);
+    }
     // Re-acquire the mutex before returning (possibly blocking again).
     while (m->holder_ != nullptr) {
       m->waiters_.push_back(self);
+      if (det != nullptr) {
+        det->OnBlock(self->id, m);
+      }
       rt_->SwitchOutLocked(lock, self, kBlockedMutex, m,
                            "mutex reacquire (held by " + m->holder_->name + ")");
+      if (det != nullptr) {
+        det->OnWake(self->id, m);
+      }
     }
     m->holder_ = self;
+    if (det != nullptr) {
+      det->OnAcquire(self->id, m);
+    }
   }
 
   void NotifyOne() override { Notify(/*all=*/false); }
@@ -169,6 +202,9 @@ class DetRuntime::DetCondVar : public RtCondVar {
     std::unique_lock<std::mutex> lock(rt_->mu_);
     if (rt_->abort_) {
       return;
+    }
+    if (AnomalyDetector* det = rt_->anomaly_detector()) {
+      det->OnSignal(self->id, this, static_cast<int>(waiters_.size()), all);
     }
     if (!waiters_.empty()) {
       if (all) {
@@ -205,7 +241,14 @@ class DetRuntime::DetThread : public RtThread {
         return;
       }
       tcb_->joiners.push_back(self);
+      AnomalyDetector* det = rt_->anomaly_detector();
+      if (det != nullptr) {
+        det->OnBlock(self->id, tcb_);
+      }
       rt_->SwitchOutLocked(lock, self, kBlockedJoin, tcb_, "join(" + tcb_->name + ")");
+      if (det != nullptr) {
+        det->OnWake(self->id, tcb_);
+      }
     } else {
       // Join from the unmanaged driver thread: only meaningful after Run() returned, at
       // which point every managed thread has finished.
@@ -257,10 +300,20 @@ DetRuntime::~DetRuntime() {
   }
 }
 
-std::unique_ptr<RtMutex> DetRuntime::CreateMutex() { return std::make_unique<DetMutex>(this); }
+std::unique_ptr<RtMutex> DetRuntime::CreateMutex() {
+  auto mutex = std::make_unique<DetMutex>(this);
+  if (AnomalyDetector* det = anomaly_detector()) {
+    det->RegisterResource(mutex.get(), ResourceKind::kLock, "mutex");
+  }
+  return mutex;
+}
 
 std::unique_ptr<RtCondVar> DetRuntime::CreateCondVar() {
-  return std::make_unique<DetCondVar>(this);
+  auto cv = std::make_unique<DetCondVar>(this);
+  if (AnomalyDetector* det = anomaly_detector()) {
+    det->RegisterResource(cv.get(), ResourceKind::kCondition, "condvar");
+  }
+  return cv;
 }
 
 std::unique_ptr<RtThread> DetRuntime::StartThread(std::string name,
@@ -276,6 +329,13 @@ std::unique_ptr<RtThread> DetRuntime::StartThread(std::string name,
     raw->state = kFinished;  // Too late to run anything.
   } else {
     raw->state = kReady;
+    if (AnomalyDetector* det = anomaly_detector()) {
+      // A thread is modelled as a lock held by itself for its lifetime, so Join()
+      // participates in the wait-for graph like any other acquisition.
+      det->RegisterThread(raw->id, raw->name);
+      det->RegisterResource(raw, ResourceKind::kLock, "thread:" + raw->name);
+      det->OnAcquire(raw->id, raw);
+    }
     raw->os_thread = std::thread([this, raw] {
       g_current_det_tcb = raw;
       bool run_body = false;
@@ -295,6 +355,10 @@ std::unique_ptr<RtThread> DetRuntime::StartThread(std::string name,
         std::unique_lock<std::mutex> thread_lock(mu_);
         raw->state = kFinished;
         raw->token = false;
+        if (AnomalyDetector* det = anomaly_detector()) {
+          det->OnRelease(raw->id, raw);
+          det->OnThreadFinish(raw->id);
+        }
         for (Tcb* joiner : raw->joiners) {
           MakeReadyLocked(joiner);
         }
@@ -354,6 +418,14 @@ DetRuntime::RunResult DetRuntime::Run() {
       } else {
         result.deadlocked = true;
         result.report = BuildStuckReportLocked("deadlock: no runnable threads");
+        if (AnomalyDetector* det = anomaly_detector()) {
+          // Exact diagnosis: every thread is parked at a scheduling point, so the
+          // wait-for graph is complete and the classification has no false positives.
+          det->DiagnoseStuck();
+          for (const Anomaly& anomaly : det->anomalies()) {
+            result.report += "  " + anomaly.ToString() + "\n";
+          }
+        }
       }
       break;
     }
@@ -398,6 +470,11 @@ DetRuntime::RunResult DetRuntime::Run() {
     }
   }
   return result;
+}
+
+bool DetRuntime::Aborting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abort_;
 }
 
 void DetRuntime::SwitchOutLocked(std::unique_lock<std::mutex>& lock, Tcb* tcb, int state,

@@ -73,6 +73,7 @@ class DetRuntime : public Runtime {
   std::uint32_t CurrentThreadId() override;
   std::uint64_t NowNanos() override;
   const char* name() const override { return "det"; }
+  bool Aborting() const override;
 
   // Drives the schedule until every managed thread finished, deadlock, or step limit.
   // Must be called from the (unmanaged) thread that constructed the runtime, at most

@@ -1,6 +1,7 @@
 #include "syneval/runtime/explore.h"
 
 #include <sstream>
+#include <utility>
 
 namespace syneval {
 
@@ -14,24 +15,54 @@ std::string SweepOutcome::Summary() const {
     }
     os << ": " << first_failure << ")";
   }
+  if (anomalies.total() > 0) {
+    os << "; anomalies: " << anomalies.Summary();
+    if (!first_anomaly.empty()) {
+      os << " (first: " << first_anomaly << ")";
+    }
+  }
   return os.str();
 }
 
 SweepOutcome SweepSchedules(int num_seeds,
                             const std::function<std::string(std::uint64_t)>& trial,
                             std::uint64_t base_seed) {
+  return SweepSchedules(
+      num_seeds,
+      [&trial](std::uint64_t seed) {
+        TrialReport report;
+        report.message = trial(seed);
+        return report;
+      },
+      base_seed);
+}
+
+SweepOutcome SweepSchedules(int num_seeds,
+                            const std::function<TrialReport(std::uint64_t)>& trial,
+                            std::uint64_t base_seed) {
   SweepOutcome outcome;
   for (int i = 0; i < num_seeds; ++i) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    std::string message = trial(seed);
+    TrialReport report = trial(seed);
     ++outcome.runs;
-    if (message.empty()) {
+    if (report.Passed()) {
       ++outcome.passes;
     } else {
       ++outcome.failures;
       outcome.failing_seeds.push_back(seed);
       if (outcome.first_failure.empty()) {
-        outcome.first_failure = std::move(message);
+        outcome.first_failure = std::move(report.message);
+      }
+    }
+    if (!report.anomalies.Clean()) {
+      outcome.anomalies += report.anomalies;
+      outcome.anomalous_seeds.push_back(seed);
+      if (outcome.first_anomaly.empty()) {
+        std::ostringstream os;
+        os << "seed " << seed << ": "
+           << (report.anomaly_report.empty() ? report.anomalies.Summary()
+                                             : report.anomaly_report);
+        outcome.first_anomaly = os.str();
       }
     }
   }

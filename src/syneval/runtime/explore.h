@@ -5,6 +5,10 @@
 // seeded schedule, drives a workload, and checks an oracle. SweepSchedules repeats the
 // trial across seeds and reports how many schedules passed, failed, or deadlocked — with
 // the failing seeds preserved so any finding can be replayed exactly.
+//
+// Trials that attach an AnomalyDetector report a full TrialReport instead of a bare
+// message; the sweep then additionally aggregates per-anomaly counters (deadlocks, lost
+// wakeups, stuck waiters, starvations) and keeps the anomalous seeds for replay.
 
 #ifndef SYNEVAL_RUNTIME_EXPLORE_H_
 #define SYNEVAL_RUNTIME_EXPLORE_H_
@@ -14,7 +18,20 @@
 #include <string>
 #include <vector>
 
+#include "syneval/anomaly/anomaly.h"
+
 namespace syneval {
+
+// Result of one trial. `message` empty means the trial passed its oracle; `anomalies`
+// carries whatever the trial's detector observed (which may be non-zero even on a
+// passing trial — e.g. starvation without an outright constraint violation).
+struct TrialReport {
+  std::string message;
+  AnomalyCounts anomalies;
+  std::string anomaly_report;  // Detector diagnostics ("" when anomalies are clean).
+
+  bool Passed() const { return message.empty(); }
+};
 
 // Aggregate result of a schedule sweep.
 struct SweepOutcome {
@@ -24,9 +41,19 @@ struct SweepOutcome {
   std::vector<std::uint64_t> failing_seeds;
   std::string first_failure;  // Message returned by the first failing trial.
 
+  // Anomaly aggregation (populated by the TrialReport overload of SweepSchedules).
+  AnomalyCounts anomalies;                      // Summed over all trials.
+  std::vector<std::uint64_t> anomalous_seeds;   // Seeds whose trial saw any anomaly.
+  std::string first_anomaly;                    // "seed N: <detector diagnostics>".
+
   bool AllPassed() const { return failures == 0; }
+  bool AnomalyFree() const { return anomalies.Clean(); }
   // Fraction of schedules on which the trial failed (anomaly probability estimate).
   double FailureRate() const { return runs == 0 ? 0.0 : static_cast<double>(failures) / runs; }
+  // Fraction of schedules on which the detector flagged at least one anomaly.
+  double AnomalyRate() const {
+    return runs == 0 ? 0.0 : static_cast<double>(anomalous_seeds.size()) / runs;
+  }
   std::string Summary() const;
 };
 
@@ -35,6 +62,12 @@ struct SweepOutcome {
 // violation, deadlock, ...). Trials are executed sequentially, so they may share
 // deterministic state if desired; typically each trial is self-contained.
 SweepOutcome SweepSchedules(int num_seeds, const std::function<std::string(std::uint64_t)>& trial,
+                            std::uint64_t base_seed = 1);
+
+// As above, for instrumented trials: also sums anomaly counters across trials and keeps
+// the seeds (and first diagnostic) of anomalous schedules for exact replay.
+SweepOutcome SweepSchedules(int num_seeds,
+                            const std::function<TrialReport(std::uint64_t)>& trial,
                             std::uint64_t base_seed = 1);
 
 }  // namespace syneval

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "syneval/anomaly/detector.h"
+
 namespace syneval {
 
 namespace {
@@ -11,21 +13,77 @@ thread_local std::uint32_t g_os_thread_id = 0;
 
 class OsMutex : public RtMutex {
  public:
-  void Lock() override { mu_.lock(); }
-  void Unlock() override { mu_.unlock(); }
+  explicit OsMutex(OsRuntime* rt) : rt_(rt) {}
+
+  void Lock() override {
+    AnomalyDetector* det = rt_->anomaly_detector();
+    if (det == nullptr) {
+      mu_.lock();
+      return;
+    }
+    const std::uint32_t tid = rt_->CurrentThreadId();
+    if (!mu_.try_lock()) {
+      det->OnBlock(tid, this);
+      mu_.lock();
+      det->OnWake(tid, this);
+    }
+    det->OnAcquire(tid, this);
+  }
+
+  void Unlock() override {
+    if (AnomalyDetector* det = rt_->anomaly_detector()) {
+      det->OnRelease(rt_->CurrentThreadId(), this);
+    }
+    mu_.unlock();
+  }
 
  private:
+  OsRuntime* rt_;
   std::mutex mu_;
 };
 
 class OsCondVar : public RtCondVar {
  public:
-  void Wait(RtMutex& mutex) override { cv_.wait(mutex); }
-  void NotifyOne() override { cv_.notify_one(); }
-  void NotifyAll() override { cv_.notify_all(); }
+  explicit OsCondVar(OsRuntime* rt) : rt_(rt) {}
+
+  void Wait(RtMutex& mutex) override {
+    AnomalyDetector* det = rt_->anomaly_detector();
+    if (det == nullptr) {
+      cv_.wait(mutex);
+      return;
+    }
+    const std::uint32_t tid = rt_->CurrentThreadId();
+    waiting_.fetch_add(1, std::memory_order_relaxed);
+    det->OnBlock(tid, this);
+    cv_.wait(mutex);
+    det->OnWake(tid, this);
+    waiting_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void NotifyOne() override {
+    Signal(/*broadcast=*/false);
+    cv_.notify_one();
+  }
+
+  void NotifyAll() override {
+    Signal(/*broadcast=*/true);
+    cv_.notify_all();
+  }
 
  private:
+  void Signal(bool broadcast) {
+    if (AnomalyDetector* det = rt_->anomaly_detector()) {
+      det->OnSignal(rt_->CurrentThreadId(), this,
+                    static_cast<int>(waiting_.load(std::memory_order_relaxed)), broadcast);
+    }
+  }
+
+  OsRuntime* rt_;
   std::condition_variable_any cv_;
+  // Approximate waiter count for signal accounting; racy by nature under preemption
+  // (the watchdog is a sampler, not an exact oracle), incremented before releasing the
+  // user mutex in Wait so signal-while-holding-the-mutex sees it consistently.
+  std::atomic<int> waiting_{0};
 };
 
 class OsThread : public RtThread {
@@ -58,13 +116,34 @@ class OsThread : public RtThread {
 
 }  // namespace
 
-std::unique_ptr<RtMutex> OsRuntime::CreateMutex() { return std::make_unique<OsMutex>(); }
+OsRuntime::~OsRuntime() { StopAnomalyWatchdog(); }
 
-std::unique_ptr<RtCondVar> OsRuntime::CreateCondVar() { return std::make_unique<OsCondVar>(); }
+std::unique_ptr<RtMutex> OsRuntime::CreateMutex() {
+  auto mutex = std::make_unique<OsMutex>(this);
+  if (AnomalyDetector* det = anomaly_detector()) {
+    det->RegisterResource(mutex.get(), ResourceKind::kLock, "mutex");
+  }
+  return mutex;
+}
+
+std::unique_ptr<RtCondVar> OsRuntime::CreateCondVar() {
+  auto cv = std::make_unique<OsCondVar>(this);
+  if (AnomalyDetector* det = anomaly_detector()) {
+    det->RegisterResource(cv.get(), ResourceKind::kCondition, "condvar");
+  }
+  return cv;
+}
 
 std::unique_ptr<RtThread> OsRuntime::StartThread(std::string name, std::function<void()> body) {
-  (void)name;  // OS threads are labelled only by id; names matter for DetRuntime reports.
   const std::uint32_t id = next_thread_id_.fetch_add(1, std::memory_order_relaxed);
+  AnomalyDetector* det = anomaly_detector();
+  if (det != nullptr) {
+    det->RegisterThread(id, name);
+    body = [det, id, body = std::move(body)]() {
+      body();
+      det->OnThreadFinish(id);
+    };
+  }
   return std::make_unique<OsThread>(id, std::move(body));
 }
 
@@ -77,6 +156,40 @@ std::uint64_t OsRuntime::NowNanos() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+void OsRuntime::StartAnomalyWatchdog(std::chrono::milliseconds period) {
+  AnomalyDetector* det = anomaly_detector();
+  if (det == nullptr || watchdog_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = false;
+  }
+  watchdog_ = std::thread([this, det, period] {
+    std::unique_lock<std::mutex> lock(watchdog_mu_);
+    while (!watchdog_stop_) {
+      watchdog_cv_.wait_for(lock, period, [this] { return watchdog_stop_; });
+      if (watchdog_stop_) {
+        return;
+      }
+      lock.unlock();
+      det->Poll(static_cast<std::int64_t>(NowNanos()));
+      lock.lock();
+    }
+  });
+}
+
+void OsRuntime::StopAnomalyWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) {
+    watchdog_.join();
+  }
 }
 
 }  // namespace syneval

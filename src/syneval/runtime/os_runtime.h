@@ -1,13 +1,16 @@
 // OsRuntime: the Runtime implementation over real preemptive std::thread.
 //
 // Used by the benchmarks (wall-clock cost of each mechanism) and by stress tests. All
-// primitives are thin wrappers; the only added machinery is logical thread ids, which the
-// trace layer uses to label events.
+// primitives are thin wrappers; the added machinery is logical thread ids (which the
+// trace layer uses to label events) and, when an AnomalyDetector is attached, blocking
+// hooks on the primitives plus an optional sampling watchdog thread that periodically
+// calls AnomalyDetector::Poll() to flag long-stuck waits in live runs.
 
 #ifndef SYNEVAL_RUNTIME_OS_RUNTIME_H_
 #define SYNEVAL_RUNTIME_OS_RUNTIME_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -23,6 +26,7 @@ namespace syneval {
 class OsRuntime : public Runtime {
  public:
   OsRuntime() = default;
+  ~OsRuntime() override;
 
   std::unique_ptr<RtMutex> CreateMutex() override;
   std::unique_ptr<RtCondVar> CreateCondVar() override;
@@ -32,8 +36,22 @@ class OsRuntime : public Runtime {
   std::uint64_t NowNanos() override;
   const char* name() const override { return "os"; }
 
+  // Starts a background thread that calls anomaly_detector()->Poll(NowNanos()) every
+  // `period`. Requires an attached detector; no-op if already started. The watchdog is
+  // a *sampler*: it can only flag waits older than the detector's stuck_wait_nanos, so
+  // detection latency is period + threshold (unlike DetRuntime's exact diagnosis).
+  void StartAnomalyWatchdog(std::chrono::milliseconds period);
+
+  // Stops and joins the watchdog thread (also called by the destructor).
+  void StopAnomalyWatchdog();
+
  private:
   std::atomic<std::uint32_t> next_thread_id_{1};
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 };
 
 }  // namespace syneval

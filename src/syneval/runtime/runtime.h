@@ -25,6 +25,8 @@
 
 namespace syneval {
 
+class AnomalyDetector;
+
 // A mutual-exclusion lock. Non-recursive. Also satisfies BasicLockable (lowercase
 // lock/unlock) so std::lock_guard / std::unique_lock work directly.
 class RtMutex {
@@ -87,6 +89,23 @@ class Runtime {
   virtual std::uint64_t NowNanos() = 0;
 
   virtual const char* name() const = 0;
+
+  // True while the runtime is unwinding managed threads after an aborted run (see the
+  // post-deadlock teardown in DetRuntime::Run). Mechanism release operations reached
+  // from RAII destructors during that unwind must be no-ops: the thread may have
+  // surrendered ownership inside the wait it was parked in when the abort hit, so the
+  // usual "caller owns the resource" preconditions no longer hold.
+  virtual bool Aborting() const { return false; }
+
+  // Attaches an anomaly detector (see syneval/anomaly/detector.h). Must be called
+  // before any primitives, threads, or mechanisms are created from this runtime so
+  // registrations are complete; the detector must outlive the runtime's threads.
+  // Both runtimes and all mechanism frameworks consult this and self-instrument.
+  void AttachAnomalyDetector(AnomalyDetector* detector) { anomaly_detector_ = detector; }
+  AnomalyDetector* anomaly_detector() const { return anomaly_detector_; }
+
+ private:
+  AnomalyDetector* anomaly_detector_ = nullptr;
 };
 
 // RAII lock holder for RtMutex (equivalent to std::lock_guard, kept for symmetry with

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "syneval/anomaly/detector.h"
+
 namespace syneval {
 
 struct Serializer::Waiter {
@@ -15,11 +17,23 @@ struct Serializer::Waiter {
 };
 
 Serializer::Serializer(Runtime& runtime)
-    : runtime_(runtime), mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()) {}
+    : runtime_(runtime),
+      det_(runtime.anomaly_detector()),
+      mu_(runtime.CreateMutex()),
+      cv_(runtime.CreateCondVar()) {
+  if (det_ != nullptr) {
+    // Possession is exclusive, so the serializer itself registers as a lock.
+    det_name_ = det_->RegisterResource(this, ResourceKind::kLock, "Serializer");
+  }
+}
 
 Serializer::QueueBase::QueueBase(Serializer& serializer, std::string name)
     : serializer_(serializer), name_(std::move(name)) {
   serializer_.queues_.push_back(this);
+  if (serializer.det_ != nullptr) {
+    serializer.det_->RegisterResource(this, ResourceKind::kQueue,
+                                      serializer.det_name_ + ".q." + name_);
+  }
 }
 
 void Serializer::Queue::Insert(void* waiter) { waiters_.push_back(waiter); }
@@ -46,17 +60,32 @@ void Serializer::Acquire() {
   if (!possessed_) {
     possessed_ = true;
     possessor_ = runtime_.CurrentThreadId();
+    if (det_ != nullptr) {
+      det_->OnAcquire(possessor_, this);
+    }
     return;
   }
   Waiter self;
   self.thread = runtime_.CurrentThreadId();
   entry_.push_back(&self);
+  if (det_ != nullptr) {
+    det_->OnBlock(self.thread, this);
+  }
   BlockLocked(&self);
+  if (det_ != nullptr) {
+    det_->OnWake(self.thread, this);
+  }
 }
 
 void Serializer::Release() {
+  if (runtime_.Aborting()) {
+    return;  // Teardown unwinding: an Enqueue may already have surrendered possession.
+  }
   RtLock lock(*mu_);
   AssertPossessedByCaller();
+  if (det_ != nullptr) {
+    det_->OnRelease(possessor_, this);
+  }
   ReleasePossessionLocked();
 }
 
@@ -77,8 +106,15 @@ void Serializer::EnqueueImpl(QueueBase& queue, std::int64_t priority, Guard guar
   self.priority = priority;
   self.arrival = ++arrivals_;
   queue.Insert(&self);
+  if (det_ != nullptr) {
+    det_->OnRelease(self.thread, this);
+    det_->OnBlock(self.thread, &queue);
+  }
   ReleasePossessionLocked();
   BlockLocked(&self);
+  if (det_ != nullptr) {
+    det_->OnWake(self.thread, &queue);
+  }
 }
 
 void Serializer::JoinCrowd(Crowd& crowd, const std::function<void()>& body) {
@@ -96,6 +132,9 @@ void Serializer::JoinCrowd(Crowd& crowd, const std::function<void()>& body,
     if (on_join) {
       on_join();
     }
+    if (det_ != nullptr) {
+      det_->OnRelease(possessor_, this);
+    }
     ReleasePossessionLocked();
   }
   body();
@@ -105,9 +144,18 @@ void Serializer::JoinCrowd(Crowd& crowd, const std::function<void()>& body,
     if (!possessed_) {
       possessed_ = true;
       possessor_ = self.thread;
+      if (det_ != nullptr) {
+        det_->OnAcquire(self.thread, this);
+      }
     } else {
       reentry_.push_back(&self);
+      if (det_ != nullptr) {
+        det_->OnBlock(self.thread, this);
+      }
       BlockLocked(&self);
+      if (det_ != nullptr) {
+        det_->OnWake(self.thread, this);
+      }
     }
     --crowd.members_;
     if (on_leave) {
@@ -124,6 +172,9 @@ void Serializer::ReleasePossessionLocked() {
     reentry_.pop_front();
     waiter->granted = true;
     possessor_ = waiter->thread;
+    if (det_ != nullptr) {
+      det_->OnAcquire(waiter->thread, this);
+    }
     cv_->NotifyAll();
     return;
   }
@@ -137,6 +188,9 @@ void Serializer::ReleasePossessionLocked() {
       queue->waiters_.pop_front();
       head->granted = true;
       possessor_ = head->thread;
+      if (det_ != nullptr) {
+        det_->OnAcquire(head->thread, this);
+      }
       cv_->NotifyAll();
       return;
     }
@@ -147,6 +201,9 @@ void Serializer::ReleasePossessionLocked() {
     entry_.pop_front();
     waiter->granted = true;
     possessor_ = waiter->thread;
+    if (det_ != nullptr) {
+      det_->OnAcquire(waiter->thread, this);
+    }
     cv_->NotifyAll();
     return;
   }

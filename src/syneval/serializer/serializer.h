@@ -174,6 +174,8 @@ class Serializer {
   void AssertPossessedByCaller() const;
 
   Runtime& runtime_;
+  AnomalyDetector* det_ = nullptr;  // From runtime_.anomaly_detector(); may be null.
+  std::string det_name_;            // Registered name when det_ is attached.
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
   bool possessed_ = false;

@@ -302,8 +302,9 @@ void CcrDiskScheduler::Access(std::int64_t track, const AccessBody& body, OpScop
   };
   // The direction the winning evaluation used is captured by the condition itself:
   // between the grant and the admitted body, new arrivals may already have joined
-  // pending_, so the body must not re-derive the pick.
-  bool chosen_direction = moving_up_;
+  // pending_, so the body must not re-derive the pick. Assigned only under the region
+  // lock (reading moving_up_ here would race with admitted bodies writing it).
+  bool chosen_direction = false;
   region_.When(
       [this, &ticket, &chosen_direction] {
         if (busy_ || pending_.empty()) {

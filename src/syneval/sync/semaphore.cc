@@ -1,39 +1,53 @@
 #include "syneval/sync/semaphore.h"
 
+#include "syneval/anomaly/detector.h"
+
 namespace syneval {
 
 CountingSemaphore::CountingSemaphore(Runtime& runtime, std::int64_t initial)
-    : mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()), count_(initial) {}
-
-void CountingSemaphore::P() {
-  RtLock lock(*mu_);
-  while (count_ == 0) {
-    cv_->Wait(*mu_);
+    : runtime_(runtime),
+      det_(runtime.anomaly_detector()),
+      mu_(runtime.CreateMutex()),
+      cv_(runtime.CreateCondVar()),
+      count_(initial) {
+  if (det_ != nullptr) {
+    det_->RegisterResource(this, ResourceKind::kSemaphore, "CountingSemaphore");
   }
-  --count_;
 }
+
+void CountingSemaphore::P() { P(nullptr); }
 
 void CountingSemaphore::P(const std::function<void()>& on_acquire) {
   RtLock lock(*mu_);
+  const bool will_block = count_ == 0;
+  const std::uint32_t tid = runtime_.CurrentThreadId();
+  if (det_ != nullptr && will_block) {
+    det_->OnBlock(tid, this);
+  }
   while (count_ == 0) {
     cv_->Wait(*mu_);
   }
+  if (det_ != nullptr && will_block) {
+    det_->OnWake(tid, this);
+  }
   --count_;
+  if (det_ != nullptr) {
+    det_->OnAcquire(tid, this);
+  }
   if (on_acquire) {
     on_acquire();
   }
 }
 
-void CountingSemaphore::V() {
-  RtLock lock(*mu_);
-  ++count_;
-  cv_->NotifyOne();
-}
+void CountingSemaphore::V() { V(nullptr); }
 
 void CountingSemaphore::V(const std::function<void()>& on_release) {
   RtLock lock(*mu_);
   if (on_release) {
     on_release();
+  }
+  if (det_ != nullptr) {
+    det_->OnRelease(runtime_.CurrentThreadId(), this);
   }
   ++count_;
   cv_->NotifyOne();
@@ -45,6 +59,9 @@ bool CountingSemaphore::TryP() {
     return false;
   }
   --count_;
+  if (det_ != nullptr) {
+    det_->OnAcquire(runtime_.CurrentThreadId(), this);
+  }
   return true;
 }
 
@@ -54,16 +71,35 @@ std::int64_t CountingSemaphore::value() const {
 }
 
 BinarySemaphore::BinarySemaphore(Runtime& runtime, bool initially_open)
-    : mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()), open_(initially_open) {}
+    : runtime_(runtime),
+      det_(runtime.anomaly_detector()),
+      mu_(runtime.CreateMutex()),
+      cv_(runtime.CreateCondVar()),
+      open_(initially_open) {
+  if (det_ != nullptr) {
+    det_->RegisterResource(this, ResourceKind::kSemaphore, "BinarySemaphore");
+  }
+}
 
 void BinarySemaphore::P() { P(nullptr); }
 
 void BinarySemaphore::P(const std::function<void()>& on_acquire) {
   RtLock lock(*mu_);
+  const bool will_block = !open_;
+  const std::uint32_t tid = runtime_.CurrentThreadId();
+  if (det_ != nullptr && will_block) {
+    det_->OnBlock(tid, this);
+  }
   while (!open_) {
     cv_->Wait(*mu_);
   }
+  if (det_ != nullptr && will_block) {
+    det_->OnWake(tid, this);
+  }
   open_ = false;
+  if (det_ != nullptr) {
+    det_->OnAcquire(tid, this);
+  }
   if (on_acquire) {
     on_acquire();
   }
@@ -76,6 +112,9 @@ void BinarySemaphore::V(const std::function<void()>& on_release) {
   if (on_release) {
     on_release();
   }
+  if (det_ != nullptr) {
+    det_->OnRelease(runtime_.CurrentThreadId(), this);
+  }
   open_ = true;
   cv_->NotifyOne();
 }
@@ -86,11 +125,22 @@ bool BinarySemaphore::TryP() {
     return false;
   }
   open_ = false;
+  if (det_ != nullptr) {
+    det_->OnAcquire(runtime_.CurrentThreadId(), this);
+  }
   return true;
 }
 
 FifoSemaphore::FifoSemaphore(Runtime& runtime, std::int64_t initial)
-    : mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()), count_(initial) {}
+    : runtime_(runtime),
+      det_(runtime.anomaly_detector()),
+      mu_(runtime.CreateMutex()),
+      cv_(runtime.CreateCondVar()),
+      count_(initial) {
+  if (det_ != nullptr) {
+    det_->RegisterResource(this, ResourceKind::kSemaphore, "FifoSemaphore");
+  }
+}
 
 void FifoSemaphore::P() { P(nullptr, nullptr); }
 
@@ -99,21 +149,32 @@ void FifoSemaphore::P(const std::function<void()>& on_acquire) { P(nullptr, on_a
 void FifoSemaphore::P(const std::function<void()>& on_arrive,
                       const std::function<void()>& on_acquire) {
   RtLock lock(*mu_);
+  const std::uint32_t tid = runtime_.CurrentThreadId();
   if (on_arrive) {
     on_arrive();
   }
   if (count_ > 0 && queue_.empty()) {
     --count_;
+    if (det_ != nullptr) {
+      det_->OnAcquire(tid, this);
+    }
     if (on_acquire) {
       on_acquire();
     }
     return;
   }
   Waiter self;
+  self.thread = tid;
   self.on_acquire = on_acquire;
   queue_.push_back(&self);
+  if (det_ != nullptr) {
+    det_->OnBlock(tid, this);
+  }
   while (!self.granted) {
     cv_->Wait(*mu_);
+  }
+  if (det_ != nullptr) {
+    det_->OnWake(tid, this);
   }
 }
 
@@ -124,10 +185,16 @@ void FifoSemaphore::V(const std::function<void()>& on_release) {
   if (on_release) {
     on_release();
   }
+  if (det_ != nullptr) {
+    det_->OnRelease(runtime_.CurrentThreadId(), this);
+  }
   if (!queue_.empty()) {
     // Hand the unit directly to the longest waiter; the count never becomes visible.
     Waiter* head = queue_.front();
     queue_.pop_front();
+    if (det_ != nullptr) {
+      det_->OnAcquire(head->thread, this);
+    }
     if (head->on_acquire) {
       head->on_acquire();
     }

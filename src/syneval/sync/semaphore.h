@@ -55,6 +55,8 @@ class CountingSemaphore {
   std::int64_t value() const;
 
  private:
+  Runtime& runtime_;
+  AnomalyDetector* det_ = nullptr;  // From runtime.anomaly_detector(); may be null.
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
   std::int64_t count_;
@@ -75,6 +77,8 @@ class BinarySemaphore {
   bool TryP();
 
  private:
+  Runtime& runtime_;
+  AnomalyDetector* det_ = nullptr;  // From runtime.anomaly_detector(); may be null.
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
   bool open_;
@@ -102,9 +106,12 @@ class FifoSemaphore {
  private:
   struct Waiter {
     bool granted = false;
+    std::uint32_t thread = 0;
     std::function<void()> on_acquire;
   };
 
+  Runtime& runtime_;
+  AnomalyDetector* det_ = nullptr;  // From runtime.anomaly_detector(); may be null.
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
   std::int64_t count_;

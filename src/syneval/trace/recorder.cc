@@ -34,10 +34,23 @@ std::string Event::ToString() const {
 }
 
 std::uint64_t TraceRecorder::Record(Event event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  event.seq = next_seq_++;
-  const std::uint64_t seq = event.seq;
-  events_.push_back(std::move(event));
+  TraceObserver* observer = nullptr;
+  Event observed;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    event.seq = next_seq_++;
+    seq = event.seq;
+    if (observer_ != nullptr) {
+      observer = observer_;
+      observed = event;
+    }
+    events_.push_back(std::move(event));
+  }
+  // Outside the lock: the observer may take its own locks or record further events.
+  if (observer != nullptr) {
+    observer->OnTraceEvent(observed);
+  }
   return seq;
 }
 

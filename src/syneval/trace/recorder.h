@@ -18,6 +18,15 @@
 
 namespace syneval {
 
+// Callback interface for observing events as they are recorded. The observer is invoked
+// *after* the recorder's internal lock is released, so implementations may take their own
+// locks (and even record further events) without deadlocking against the recorder.
+class TraceObserver {
+ public:
+  virtual ~TraceObserver() = default;
+  virtual void OnTraceEvent(const Event& event) = 0;
+};
+
 // Thread-safe append-only trace. Appends are serialized by an internal mutex so that the
 // assigned sequence numbers agree with the order events entered the log; this gives a
 // single total order that oracles can treat as "the observed history".
@@ -43,6 +52,10 @@ class TraceRecorder {
   // Allocates a fresh operation-instance id (used to tie request/enter/exit together).
   std::uint64_t NewOpInstance();
 
+  // Sets (or clears, with nullptr) the observer notified after each append. The caller
+  // must ensure the observer outlives all recording and is set before writers start.
+  void SetObserver(TraceObserver* observer) { observer_ = observer; }
+
   // Returns a copy of all events recorded so far.
   std::vector<Event> Snapshot() const;
 
@@ -60,6 +73,7 @@ class TraceRecorder {
   std::vector<Event> events_;
   std::uint64_t next_seq_ = 1;
   std::atomic<std::uint64_t> next_instance_{1};
+  TraceObserver* observer_ = nullptr;
 };
 
 // Records the phases of one operation execution.

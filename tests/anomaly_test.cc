@@ -1,0 +1,389 @@
+// Tests for the concurrency anomaly detector: deadlock cycles, lost wakeups, stuck
+// waiters, starvation, and the guarantee that the paper's six footnote-2 problems sweep
+// anomaly-free under every mechanism's correct solution.
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "syneval/anomaly/detector.h"
+#include "syneval/core/conformance.h"
+#include "syneval/monitor/hoare_monitor.h"
+#include "syneval/monitor/mesa_monitor.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/explore.h"
+#include "syneval/runtime/os_runtime.h"
+#include "syneval/runtime/schedule.h"
+#include "syneval/solutions/monitor_solutions.h"
+#include "syneval/trace/recorder.h"
+
+namespace syneval {
+namespace {
+
+std::int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---- Direct-call unit tests ------------------------------------------------------------
+
+TEST(AnomalyDetectorUnit, ResourceNamesAreDeduplicated) {
+  AnomalyDetector det;
+  int a = 0;
+  int b = 0;
+  EXPECT_EQ(det.RegisterResource(&a, ResourceKind::kLock, "m"), "m");
+  EXPECT_EQ(det.RegisterResource(&b, ResourceKind::kLock, "m"), "m#2");
+  // Re-registering the same pointer keeps its original slot (pointer reuse).
+  EXPECT_EQ(det.RegisterResource(&a, ResourceKind::kCondition, "c"), "c");
+}
+
+TEST(AnomalyDetectorUnit, SignalAccountingSeparatesEmptySignals) {
+  AnomalyDetector det;
+  int cond = 0;
+  const std::string name = det.RegisterResource(&cond, ResourceKind::kCondition, "cond");
+  det.OnSignal(1, &cond, /*waiters_before=*/0);
+  det.OnSignal(1, &cond, /*waiters_before=*/2);
+  const AnomalyDetector::ConditionStats stats = det.StatsFor(name);
+  EXPECT_EQ(stats.signals, 2);
+  EXPECT_EQ(stats.empty_signals, 1);
+  EXPECT_EQ(det.StatsFor("no-such-condition").signals, 0);
+}
+
+TEST(AnomalyDetectorUnit, PTwiceSelfDeadlockFormsNamedCycle) {
+  AnomalyDetector det;
+  det.RegisterThread(1, "worker");
+  int sem = 0;
+  det.RegisterResource(&sem, ResourceKind::kSemaphore, "S");
+  det.OnAcquire(1, &sem);  // First P succeeds.
+  det.OnBlock(1, &sem);    // Second P blocks on the unit it holds itself.
+  EXPECT_EQ(det.DiagnoseStuck(), 1);
+  EXPECT_EQ(det.counts().deadlocks, 1);
+  const std::string report = det.Report();
+  EXPECT_NE(report.find("wait-for cycle"), std::string::npos) << report;
+  EXPECT_NE(report.find("held by t1 'worker'"), std::string::npos) << report;
+}
+
+TEST(AnomalyDetectorUnit, DiagnoseStuckFreezesLaterHooks) {
+  AnomalyDetector det;
+  det.RegisterThread(1, "waiter");
+  int cond = 0;
+  det.RegisterResource(&cond, ResourceKind::kCondition, "cond");
+  det.OnBlock(1, &cond);
+  EXPECT_EQ(det.DiagnoseStuck(), 1);
+  // Teardown-unwind hooks after the diagnosis must not disturb the verdict.
+  det.OnWake(1, &cond);
+  det.OnSignal(2, &cond, 0);
+  EXPECT_EQ(det.DiagnoseStuck(), 0);
+  EXPECT_EQ(det.counts().total(), 1);
+}
+
+TEST(AnomalyDetectorUnit, PollFlagsOldWaitsExactlyOnce) {
+  AnomalyDetector::Options options;
+  options.stuck_wait_nanos = 1;
+  AnomalyDetector det(options);
+  det.RegisterThread(1, "waiter");
+  int cond = 0;
+  det.RegisterResource(&cond, ResourceKind::kCondition, "cond");
+  det.OnBlock(1, &cond);
+  const std::int64_t far_future = SteadyNowNanos() + 1'000'000'000;
+  EXPECT_EQ(det.Poll(far_future), 1);
+  EXPECT_EQ(det.Poll(far_future), 0);  // Same wait is never reported twice.
+  EXPECT_EQ(det.counts().stuck_waiters, 1);
+}
+
+TEST(AnomalyDetectorUnit, PollRespectsAgeThreshold) {
+  AnomalyDetector::Options options;
+  options.stuck_wait_nanos = 3'600'000'000'000;  // One hour: nothing qualifies.
+  AnomalyDetector det(options);
+  det.RegisterThread(1, "waiter");
+  int cond = 0;
+  det.RegisterResource(&cond, ResourceKind::kCondition, "cond");
+  det.OnBlock(1, &cond);
+  EXPECT_EQ(det.Poll(SteadyNowNanos()), 0);
+  EXPECT_TRUE(det.counts().Clean());
+}
+
+TEST(AnomalyCountsTest, SummaryAndAccumulation) {
+  AnomalyCounts counts;
+  EXPECT_TRUE(counts.Clean());
+  EXPECT_EQ(counts.Summary(), "none");
+  AnomalyCounts more;
+  more.deadlocks = 1;
+  more.stuck_waiters = 2;
+  counts += more;
+  EXPECT_FALSE(counts.Clean());
+  EXPECT_EQ(counts.total(), 3);
+  EXPECT_EQ(counts.Summary(), "1 deadlock, 2 stuck waiters");
+}
+
+// ---- Canned deadlock: the nested-monitor-call problem ----------------------------------
+
+// One-slot buffer over a Hoare monitor; a Get() with the outer monitor held is the
+// classic Lister 1977 nested-monitor deadlock.
+class InnerBuffer {
+ public:
+  explicit InnerBuffer(Runtime& rt) : monitor_(rt) {}
+
+  void Put(int value) {
+    MonitorRegion region(monitor_);
+    while (full_) {
+      not_full_.Wait();
+    }
+    value_ = value;
+    full_ = true;
+    not_empty_.Signal();
+  }
+
+  int Get() {
+    MonitorRegion region(monitor_);
+    while (!full_) {
+      not_empty_.Wait();
+    }
+    full_ = false;
+    not_full_.Signal();
+    return value_;
+  }
+
+ private:
+  HoareMonitor monitor_;
+  HoareMonitor::Condition not_full_{monitor_};
+  HoareMonitor::Condition not_empty_{monitor_};
+  bool full_ = false;
+  int value_ = 0;
+};
+
+struct NestedOutcome {
+  DetRuntime::RunResult run;
+  AnomalyCounts anomalies;
+  std::string report;
+};
+
+NestedOutcome RunNestedMonitorWorkload(std::unique_ptr<Schedule> schedule) {
+  NestedOutcome out;
+  AnomalyDetector det;
+  DetRuntime rt(std::move(schedule));
+  rt.AttachAnomalyDetector(&det);
+  HoareMonitor outer(rt);
+  InnerBuffer inner(rt);
+  auto consumer = rt.StartThread("consumer", [&] {
+    MonitorRegion region(outer);
+    inner.Get();  // Waits on the inner condition while holding the outer monitor.
+  });
+  auto producer = rt.StartThread("producer", [&] {
+    rt.Yield();
+    MonitorRegion region(outer);
+    inner.Put(1);
+  });
+  out.run = rt.Run();
+  out.anomalies = det.counts();
+  out.report = det.Report("; ");
+  return out;
+}
+
+TEST(AnomalyTest, NestedMonitorDeadlockNamesWaitForCycle) {
+  const NestedOutcome out = RunNestedMonitorWorkload(std::make_unique<FifoSchedule>());
+  ASSERT_TRUE(out.run.deadlocked) << out.run.report;
+  EXPECT_GE(out.anomalies.deadlocks, 1);
+  // The runtime's stuck report carries the detector's named cycle.
+  EXPECT_NE(out.run.report.find("wait-for cycle"), std::string::npos) << out.run.report;
+  EXPECT_NE(out.run.report.find("held by"), std::string::npos) << out.run.report;
+  EXPECT_NE(out.report.find("consumer"), std::string::npos) << out.report;
+  EXPECT_NE(out.report.find("producer"), std::string::npos) << out.report;
+}
+
+TEST(AnomalyTest, SweepSurfacesDeadlockCountsSeedsAndCycle) {
+  const SweepOutcome outcome =
+      SweepSchedules(30, [](std::uint64_t seed) -> TrialReport {
+        const NestedOutcome out = RunNestedMonitorWorkload(MakeRandomSchedule(seed));
+        TrialReport report;
+        report.anomalies = out.anomalies;
+        report.anomaly_report = out.report;
+        if (!out.run.completed) {
+          report.message = "runtime: " + out.run.report;
+        }
+        return report;
+      });
+  EXPECT_GE(outcome.anomalies.deadlocks, 1) << outcome.Summary();
+  EXPECT_FALSE(outcome.AnomalyFree());
+  EXPECT_GT(outcome.AnomalyRate(), 0.0);
+  EXPECT_FALSE(outcome.anomalous_seeds.empty());
+  // The first-anomaly line is replayable: it names the seed and the wait-for cycle.
+  EXPECT_NE(outcome.first_anomaly.find("seed"), std::string::npos) << outcome.first_anomaly;
+  EXPECT_NE(outcome.first_anomaly.find("wait-for cycle"), std::string::npos)
+      << outcome.first_anomaly;
+  EXPECT_NE(outcome.Summary().find("anomalies:"), std::string::npos);
+}
+
+// ---- Lost wakeup: Mesa signal delivered before the wait --------------------------------
+
+TEST(AnomalyTest, MesaSignalBeforeWaitClassifiedAsLostWakeup) {
+  AnomalyDetector det;
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  rt.AttachAnomalyDetector(&det);
+  MesaMonitor monitor(rt);
+  MesaMonitor::Condition cond(monitor);
+  bool signalled = false;
+  auto signaller = rt.StartThread("signaller", [&] {
+    MesaRegion region(monitor);
+    cond.Signal();  // Nobody is waiting: the wakeup falls on the floor.
+    signalled = true;
+  });
+  auto waiter = rt.StartThread("waiter", [&] {
+    while (!signalled) {
+      rt.Yield();
+    }
+    MesaRegion region(monitor);
+    cond.Wait();  // Waits for the signal that already happened.
+  });
+  const DetRuntime::RunResult result = rt.Run();
+  ASSERT_TRUE(result.deadlocked) << result.report;
+  EXPECT_GE(det.counts().lost_wakeups, 1) << det.Report();
+  EXPECT_NE(det.Report().find("lost-wakeup"), std::string::npos) << det.Report();
+  // Signal accounting shows the dropped signal on the Mesa condition.
+  EXPECT_GE(det.StatsFor("MesaMonitor.cond").empty_signals, 1);
+}
+
+// ---- Starvation: reader flood overtakes a pending writer -------------------------------
+
+TEST(AnomalyTest, SyntheticReaderFloodTripsOvertakeLimit) {
+  AnomalyDetector::Options options;
+  options.starvation_overtake_limit = 5;
+  AnomalyDetector det(options);
+  TraceRecorder trace;
+  trace.SetObserver(&det);
+  det.RegisterThread(1, "writer");
+  OpScope writer(trace, 1, "write");
+  writer.Arrived();  // Requested, never admitted while the flood runs.
+  for (int i = 0; i < 8; ++i) {
+    OpScope reader(trace, 2, "read");
+    reader.Arrived();
+    reader.Entered();
+    reader.Exited();
+  }
+  EXPECT_EQ(det.counts().starvations, 1);  // Flagged once, not once per overtake.
+  const std::string report = det.Report();
+  EXPECT_NE(report.find("starvation"), std::string::npos) << report;
+  EXPECT_NE(report.find("overtaken"), std::string::npos) << report;
+  writer.Entered();
+  writer.Exited();
+}
+
+TEST(AnomalyTest, ReadersPriorityMonitorStarvesWriterUnderFlood) {
+  AnomalyDetector::Options options;
+  options.starvation_overtake_limit = 5;
+  AnomalyDetector det(options);
+  TraceRecorder trace;
+  det.AttachTrace(&trace);
+  trace.SetObserver(&det);
+  DetRuntime rt(std::make_unique<FifoSchedule>());
+  rt.AttachAnomalyDetector(&det);
+  MonitorRwReadersPriority rw(rt);
+  bool reading = false;
+  bool done = false;
+  auto holder = rt.StartThread("holder", [&] {
+    OpScope scope(trace, rt.CurrentThreadId(), "read");
+    rw.Read(
+        [&] {
+          reading = true;
+          while (!done) {
+            rt.Yield();
+          }
+        },
+        &scope);
+  });
+  auto writer = rt.StartThread("writer", [&] {
+    while (!reading) {
+      rt.Yield();
+    }
+    OpScope scope(trace, rt.CurrentThreadId(), "write");
+    rw.Write([] {}, &scope);  // Blocks until the flood and the holder finish.
+  });
+  auto flood = rt.StartThread("flood", [&] {
+    auto writer_requested = [&] {
+      for (const Event& event : trace.Events()) {
+        if (event.kind == EventKind::kRequest && event.op == "write") {
+          return true;
+        }
+      }
+      return false;
+    };
+    while (!writer_requested()) {
+      rt.Yield();
+    }
+    // Readers priority admits every one of these ahead of the pending writer.
+    for (int i = 0; i < 8; ++i) {
+      OpScope scope(trace, rt.CurrentThreadId(), "read");
+      rw.Read([] {}, &scope);
+    }
+    done = true;
+  });
+  const DetRuntime::RunResult result = rt.Run();
+  ASSERT_TRUE(result.completed) << result.report;
+  EXPECT_GE(det.counts().starvations, 1) << det.Report();
+  EXPECT_NE(det.Report().find("'write'"), std::string::npos) << det.Report();
+}
+
+// ---- Clean sweeps: the paper's six problems stay anomaly-free --------------------------
+
+TEST(AnomalyTest, PaperProblemsSweepAnomalyFreeAcross200Seeds) {
+  const std::vector<std::string> problems = {"bounded-buffer",      "fcfs-resource",
+                                             "rw-readers-priority", "disk-scan",
+                                             "alarm-clock",         "one-slot-buffer"};
+  int covered = 0;
+  for (const ConformanceCase& c : BuildConformanceSuite(1)) {
+    if (c.mechanism != Mechanism::kMonitor || c.expect_violations) {
+      continue;
+    }
+    if (std::find(problems.begin(), problems.end(), c.problem) == problems.end()) {
+      continue;
+    }
+    const ConformanceResult result = RunConformanceCase(c, 200);
+    EXPECT_EQ(result.outcome.failures, 0)
+        << c.display << ": " << result.outcome.Summary();
+    EXPECT_TRUE(result.outcome.AnomalyFree())
+        << c.display << ": " << result.outcome.Summary();
+    ++covered;
+  }
+  EXPECT_EQ(covered, 6);  // Every footnote-2 problem has a monitor solution.
+}
+
+// ---- OsRuntime sampling watchdog -------------------------------------------------------
+
+TEST(AnomalyTest, OsWatchdogFlagsStuckWaiter) {
+  AnomalyDetector::Options options;
+  options.stuck_wait_nanos = 50'000'000;  // 50 ms.
+  AnomalyDetector det(options);
+  OsRuntime rt;
+  rt.AttachAnomalyDetector(&det);
+  auto mu = rt.CreateMutex();
+  auto cv = rt.CreateCondVar();
+  bool release = false;
+  auto waiter = rt.StartThread("waiter", [&] {
+    RtLock lock(*mu);
+    while (!release) {
+      cv->Wait(*mu);
+    }
+  });
+  rt.StartAnomalyWatchdog(std::chrono::milliseconds(20));
+  for (int i = 0; i < 200 && det.counts().total() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    RtLock lock(*mu);
+    release = true;
+  }
+  cv->NotifyAll();
+  waiter->Join();
+  rt.StopAnomalyWatchdog();
+  EXPECT_GE(det.counts().stuck_waiters, 1) << det.Report();
+  EXPECT_NE(det.Report().find("stuck-waiter"), std::string::npos) << det.Report();
+}
+
+}  // namespace
+}  // namespace syneval
