@@ -1,11 +1,13 @@
 // Experiment E10b: alarm-clock conformance and tick throughput per mechanism.
 // Every wake-up is oracle-checked for punctuality (no early wake, zero oversleep);
 // throughput is ticks driven per second with a full sleeper population.
+//
+// Timing/repeats/JSON output come from the shared harness (bench/harness.h).
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 
+#include "bench/harness.h"
 #include "syneval/core/scorecard.h"
 #include "syneval/problems/oracles.h"
 #include "syneval/problems/workloads.h"
@@ -25,23 +27,29 @@ struct Measured {
 };
 
 template <typename Clock>
-Measured Measure(int sleepers, int naps) {
-  OsRuntime rt;
-  TraceRecorder trace;
-  Clock clock(rt);
-  AlarmWorkloadParams params;
-  params.sleepers = sleepers;
-  params.naps_per_sleeper = naps;
-  params.max_delay = 9;
-  const auto start = std::chrono::steady_clock::now();
-  ThreadList threads = SpawnAlarmClockWorkload(rt, clock, trace, params);
-  JoinAll(threads);
-  const auto end = std::chrono::steady_clock::now();
+Measured Measure(const bench::Options& options, int sleepers, int naps) {
   Measured measured;
-  measured.wakeups_per_second = static_cast<double>(sleepers) * naps /
-                                std::chrono::duration<double>(end - start).count();
-  measured.ticks = clock.Now();
-  measured.oracle = CheckAlarmClock(trace.Events(), 0);
+  const bench::RepeatStats stats = bench::Repeat(options, [&] {
+    OsRuntime rt;
+    TraceRecorder trace;
+    Clock clock(rt);
+    AlarmWorkloadParams params;
+    params.sleepers = sleepers;
+    params.naps_per_sleeper = naps;
+    params.max_delay = 9;
+    bench::Stopwatch watch;
+    ThreadList threads = SpawnAlarmClockWorkload(rt, clock, trace, params);
+    JoinAll(threads);
+    const double seconds = watch.Seconds();
+    measured.ticks = clock.Now();
+    const std::string verdict = CheckAlarmClock(trace.Events(), 0);
+    if (!verdict.empty()) {
+      measured.oracle = verdict;  // Any failing repetition poisons the verdict.
+    }
+    return seconds;
+  });
+  measured.wakeups_per_second =
+      static_cast<double>(sleepers) * naps / stats.median_seconds;
   return measured;
 }
 
@@ -52,9 +60,18 @@ std::vector<std::string> Row(const char* name, const Measured& measured) {
           measured.oracle.empty() ? "ok (exact wakeups)" : measured.oracle};
 }
 
+void Report(bench::Reporter& reporter, const char* mechanism, const Measured& measured) {
+  reporter.Add(mechanism, "alarm_clock", "throughput", measured.wakeups_per_second,
+               "wakeups/s");
+  reporter.Add(mechanism, "alarm_clock", "oracle_ok", measured.oracle.empty() ? 1 : 0,
+               "bool");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options options = bench::ParseArgs(argc, argv, "alarm_clock");
+  bench::Reporter reporter(options);
   std::printf("=== E10b: alarm clock — punctuality and wakeup throughput ===\n\n");
   const int sleepers = 4;
   const int naps = 200;
@@ -62,11 +79,18 @@ int main() {
               sleepers, naps);
   std::vector<std::string> header = {"mechanism", "wakeups/s", "ticks driven", "oracle"};
   std::vector<std::vector<std::string>> rows;
-  rows.push_back(Row("semaphore (private sems)", Measure<SemaphoreAlarmClock>(sleepers, naps)));
-  rows.push_back(Row("monitor (priority cond)", Measure<MonitorAlarmClock>(sleepers, naps)));
-  rows.push_back(Row("serializer (priority q)", Measure<SerializerAlarmClock>(sleepers, naps)));
+  Measured m;
+  m = Measure<SemaphoreAlarmClock>(options, sleepers, naps);
+  rows.push_back(Row("semaphore (private sems)", m));
+  Report(reporter, "semaphore", m);
+  m = Measure<MonitorAlarmClock>(options, sleepers, naps);
+  rows.push_back(Row("monitor (priority cond)", m));
+  Report(reporter, "monitor", m);
+  m = Measure<SerializerAlarmClock>(options, sleepers, naps);
+  rows.push_back(Row("serializer (priority q)", m));
+  Report(reporter, "serializer", m);
   std::printf("%s\n", syneval::RenderTable(header, rows).c_str());
   std::printf("Path expressions are absent by design: wake times are request\n"
               "parameters, which CH74 paths cannot reference (E3 matrix).\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

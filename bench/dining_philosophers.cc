@@ -5,11 +5,11 @@
 // (b) Conformance and wall-clock throughput of the deadlock-free solutions, including
 //     the path-expression table where atomic prologues make hold-and-wait impossible.
 
-#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 
+#include "bench/harness.h"
 #include "syneval/core/scorecard.h"
 #include "syneval/problems/oracles.h"
 #include "syneval/problems/workloads.h"
@@ -71,25 +71,28 @@ SweepOutcome SweepCspDining(int seats, int seeds) {
 }
 
 template <typename Table>
-double Throughput(int seats, int meals) {
-  OsRuntime rt;
-  TraceRecorder trace;
-  Table table(rt, seats);
-  DiningWorkloadParams params;
-  params.meals_per_philosopher = meals;
-  params.eat_work = 0;
-  params.think_work = 0;
-  const auto start = std::chrono::steady_clock::now();
-  ThreadList threads = SpawnDiningWorkload(rt, table, trace, params);
-  JoinAll(threads);
-  const auto end = std::chrono::steady_clock::now();
-  return static_cast<double>(seats) * meals /
-         std::chrono::duration<double>(end - start).count();
+double Throughput(const bench::Options& options, int seats, int meals) {
+  const bench::RepeatStats stats = bench::Repeat(options, [&] {
+    OsRuntime rt;
+    TraceRecorder trace;
+    Table table(rt, seats);
+    DiningWorkloadParams params;
+    params.meals_per_philosopher = meals;
+    params.eat_work = 0;
+    params.think_work = 0;
+    bench::Stopwatch watch;
+    ThreadList threads = SpawnDiningWorkload(rt, table, trace, params);
+    JoinAll(threads);
+    return watch.Seconds();
+  });
+  return static_cast<double>(seats) * meals / stats.median_seconds;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options options = bench::ParseArgs(argc, argv, "dining_philosophers");
+  bench::Reporter reporter(options);
   std::printf("=== Extension: dining philosophers across mechanisms ===\n\n");
 
   const int seeds = 60;
@@ -103,29 +106,42 @@ int main() {
     char rate[32];
     std::snprintf(rate, sizeof rate, "%.2f", outcome.FailureRate());
     rows.push_back({std::to_string(seats), cell, rate});
+    reporter.Add("semaphore_naive", "dining_seats_" + std::to_string(seats),
+                 "deadlock_rate", outcome.FailureRate(), "ratio");
   }
   std::printf("%s\n", RenderTable(header, rows).c_str());
 
   std::printf("(b) Deadlock-free solutions, 5 seats, %d schedules + throughput:\n", seeds);
   header = {"solution", "conformance", "meals/s (OsRuntime)"};
   rows.clear();
-  auto add = [&](const char* name, const SweepOutcome& outcome, double tput) {
+  auto add = [&](const char* name, const char* id, const SweepOutcome& outcome,
+                 double tput) {
     char cell[48];
     std::snprintf(cell, sizeof cell, "%d/%d clean", outcome.passes, outcome.runs);
     char rate[32];
     std::snprintf(rate, sizeof rate, "%.0f", tput);
     rows.push_back({name, cell, rate});
+    reporter.Add(id, "dining_philosophers", "throughput", tput, "meals/s");
+    reporter.Add(id, "dining_philosophers", "conformance_pass_rate",
+                 outcome.runs == 0 ? 0.0
+                                   : static_cast<double>(outcome.passes) / outcome.runs,
+                 "ratio");
   };
-  add("ordered forks (semaphore)", Sweep<SemaphoreDiningOrdered>(5, seeds),
-      Throughput<SemaphoreDiningOrdered>(5, 2000));
-  add("butler (semaphore)", Sweep<SemaphoreDiningButler>(5, seeds),
-      Throughput<SemaphoreDiningButler>(5, 2000));
-  add("state monitor", Sweep<MonitorDining>(5, seeds), Throughput<MonitorDining>(5, 2000));
-  add("serializer guards", Sweep<SerializerDining>(5, seeds),
-      Throughput<SerializerDining>(5, 2000));
-  add("path per fork (atomic)", Sweep<PathDining>(5, seeds), Throughput<PathDining>(5, 2000));
-  add("region when neighbours idle", Sweep<CcrDining>(5, seeds), Throughput<CcrDining>(5, 2000));
-  add("CSP table server", SweepCspDining(5, seeds), Throughput<CspDining>(5, 2000));
+  add("ordered forks (semaphore)", "semaphore_ordered",
+      Sweep<SemaphoreDiningOrdered>(5, seeds),
+      Throughput<SemaphoreDiningOrdered>(options, 5, 2000));
+  add("butler (semaphore)", "semaphore_butler", Sweep<SemaphoreDiningButler>(5, seeds),
+      Throughput<SemaphoreDiningButler>(options, 5, 2000));
+  add("state monitor", "monitor", Sweep<MonitorDining>(5, seeds),
+      Throughput<MonitorDining>(options, 5, 2000));
+  add("serializer guards", "serializer", Sweep<SerializerDining>(5, seeds),
+      Throughput<SerializerDining>(options, 5, 2000));
+  add("path per fork (atomic)", "path_expression", Sweep<PathDining>(5, seeds),
+      Throughput<PathDining>(options, 5, 2000));
+  add("region when neighbours idle", "cond_region", Sweep<CcrDining>(5, seeds),
+      Throughput<CcrDining>(options, 5, 2000));
+  add("CSP table server", "csp_channels", SweepCspDining(5, seeds),
+      Throughput<CspDining>(options, 5, 2000));
   std::printf("%s\n", RenderTable(header, rows).c_str());
 
   std::printf("The path expression for a 5-seat table:\n  %s\n",
@@ -134,5 +150,5 @@ int main() {
               "schedules as the table shrinks (tighter cycles); every structured\n"
               "solution is clean everywhere; atomic path prologues need no ordering\n"
               "trick and no butler.\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

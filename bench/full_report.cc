@@ -18,12 +18,16 @@ int main() {
   file << report;
   file.close();
 
-  // Echo the tail (the verdict) so the bench sweep shows the outcome.
-  const std::size_t verdict = report.rfind("## Verdict");
+  // Echo the tail — the registry-sourced contention telemetry table plus the verdict —
+  // so the bench sweep shows the outcome.
+  std::size_t tail = report.rfind("## 6. Contention telemetry");
+  if (tail == std::string::npos) {
+    tail = report.rfind("## Verdict");
+  }
   std::printf("=== Full evaluation report written to evaluation_report.md (%zu bytes) ===\n\n",
               report.size());
-  if (verdict != std::string::npos) {
-    std::printf("%s\n", report.substr(verdict).c_str());
+  if (tail != std::string::npos) {
+    std::printf("%s\n", report.substr(tail).c_str());
   }
   return 0;
 }

@@ -1,0 +1,182 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+
+#include "syneval/core/scorecard.h"
+#include "syneval/telemetry/metrics.h"
+
+namespace syneval {
+namespace bench {
+
+namespace {
+
+void PrintUsage(const std::string& bench_name, std::ostream& os) {
+  os << "usage: " << bench_name << " [flags]\n"
+     << "  --json=<path>     write machine-readable results (schema_version 1)\n"
+     << "  --trace=<path>    write a Perfetto/Chrome trace (when the bench records one)\n"
+     << "  --repeats=<n>     measured repetitions per configuration (default 3)\n"
+     << "  --warmup=<n>      unrecorded warmup repetitions (default 1)\n"
+     << "  --help            this message\n";
+}
+
+// Parses "--name=value"; returns true and sets `value` when `arg` starts with prefix.
+bool MatchFlag(const std::string& arg, const std::string& prefix, std::string* value) {
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseInt(const std::string& text, int* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+// Doubles formatted the way the tables do: fixed, trimmed trailing zeros, so integral
+// values print as integers and JSON stays locale-independent.
+std::string FormatValue(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  std::string text(buffer);
+  while (!text.empty() && text.back() == '0') {
+    text.pop_back();
+  }
+  if (!text.empty() && text.back() == '.') {
+    text.pop_back();
+  }
+  return text;
+}
+
+}  // namespace
+
+Options ParseArgs(int argc, char** argv, const std::string& bench_name) {
+  Options options;
+  options.bench = bench_name;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(bench_name, std::cout);
+      std::exit(0);
+    } else if (MatchFlag(arg, "--json=", &value)) {
+      options.json_path = value;
+    } else if (MatchFlag(arg, "--trace=", &value)) {
+      options.trace_path = value;
+    } else if (MatchFlag(arg, "--repeats=", &value)) {
+      if (!ParseInt(value, &options.repeats) || options.repeats < 1) {
+        std::cerr << bench_name << ": bad --repeats value '" << value << "'\n";
+        std::exit(2);
+      }
+    } else if (MatchFlag(arg, "--warmup=", &value)) {
+      if (!ParseInt(value, &options.warmup) || options.warmup < 0) {
+        std::cerr << bench_name << ": bad --warmup value '" << value << "'\n";
+        std::exit(2);
+      }
+    } else {
+      std::cerr << bench_name << ": unknown flag '" << arg << "'\n";
+      PrintUsage(bench_name, std::cerr);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+RepeatStats Repeat(const Options& options, const std::function<double()>& run) {
+  for (int i = 0; i < options.warmup; ++i) {
+    (void)run();
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(options.repeats));
+  for (int i = 0; i < options.repeats; ++i) {
+    samples.push_back(run());
+  }
+  std::sort(samples.begin(), samples.end());
+  RepeatStats stats;
+  stats.samples = static_cast<int>(samples.size());
+  stats.min_seconds = samples.front();
+  stats.max_seconds = samples.back();
+  stats.mean_seconds =
+      std::accumulate(samples.begin(), samples.end(), 0.0) / static_cast<double>(samples.size());
+  // Median as the headline number: robust to the occasional descheduled repetition
+  // without needing an explicit outlier-rejection threshold.
+  const std::size_t mid = samples.size() / 2;
+  stats.median_seconds = (samples.size() % 2 == 1)
+                             ? samples[mid]
+                             : (samples[mid - 1] + samples[mid]) / 2.0;
+  return stats;
+}
+
+double TimeSeconds(const std::function<void()>& fn) {
+  Stopwatch watch;
+  fn();
+  return watch.Seconds();
+}
+
+Reporter::Reporter(Options options) : options_(std::move(options)) {}
+
+void Reporter::Add(const std::string& mechanism, const std::string& problem,
+                   const std::string& metric, double value, const std::string& unit) {
+  rows_.push_back(Row{mechanism, problem, metric, value, unit});
+}
+
+std::string Reporter::Table() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(rows_.size());
+  for (const Row& row : rows_) {
+    rows.push_back({row.mechanism, row.problem, row.metric, FormatValue(row.value), row.unit});
+  }
+  return RenderTable({"mechanism", "problem", "metric", "value", "unit"}, rows);
+}
+
+bool Reporter::Finish() const {
+  if (options_.json_path.empty()) {
+    return true;
+  }
+  std::ostringstream out;
+  out << "{\"schema_version\":1,\"bench\":\"" << JsonEscape(options_.bench)
+      << "\",\"results\":[";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& row = rows_[i];
+    if (i != 0) {
+      out << ",";
+    }
+    out << "{\"bench\":\"" << JsonEscape(options_.bench) << "\",\"mechanism\":\""
+        << JsonEscape(row.mechanism) << "\",\"problem\":\"" << JsonEscape(row.problem)
+        << "\",\"metric\":\"" << JsonEscape(row.metric) << "\",\"value\":"
+        << FormatValue(row.value) << ",\"unit\":\"" << JsonEscape(row.unit) << "\"}";
+  }
+  out << "]}\n";
+  std::ofstream file(options_.json_path);
+  if (!file) {
+    std::cerr << options_.bench << ": cannot write --json file '" << options_.json_path
+              << "'\n";
+    return false;
+  }
+  file << out.str();
+  file.close();
+  if (!file) {
+    std::cerr << options_.bench << ": error writing --json file '" << options_.json_path
+              << "'\n";
+    return false;
+  }
+  std::cout << "wrote " << options_.json_path << "\n";
+  return true;
+}
+
+}  // namespace bench
+}  // namespace syneval

@@ -1,0 +1,127 @@
+// Shared benchmark harness: one flag parser, one timing loop, one output schema.
+//
+// Every bench in bench/ links this library instead of hand-rolling steady_clock
+// arithmetic. The harness provides:
+//
+//   * Options / ParseArgs — uniform flags:
+//       --json=<path>     write machine-readable results (schema below)
+//       --trace=<path>    write a Perfetto/Chrome trace (benches that record one)
+//       --repeats=<n>     measured repetitions per configuration (default 3)
+//       --warmup=<n>      unrecorded warmup repetitions (default 1)
+//     Unknown flags are rejected with a usage message so CI typos fail loudly.
+//
+//   * Stopwatch / Repeat — warmup + repeat + outlier handling. Repeat reports the
+//     MEDIAN of the measured samples (with min/max/mean alongside): the median is
+//     robust against the one-off scheduling hiccups that dominate short multithreaded
+//     runs, where a mean would need ad-hoc outlier rejection.
+//
+//   * Reporter — collects {bench, mechanism, problem, metric, value, unit} rows,
+//     renders them as a text table, and writes the stable JSON schema:
+//
+//       {"schema_version": 1,
+//        "bench": "<name>",
+//        "results": [{"bench": "...", "mechanism": "...", "problem": "...",
+//                     "metric": "...", "value": <number>, "unit": "..."}, ...]}
+//
+//     The schema is append-only by contract: consumers (CI's perf-smoke validator,
+//     plotting scripts) may rely on these six fields existing with these names.
+
+#ifndef SYNEVAL_BENCH_HARNESS_H_
+#define SYNEVAL_BENCH_HARNESS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace syneval {
+namespace bench {
+
+struct Options {
+  std::string bench;       // Bench name; set by ParseArgs from its argument.
+  std::string json_path;   // --json=<path>; empty = no JSON output.
+  std::string trace_path;  // --trace=<path>; empty = no trace output.
+  int repeats = 3;         // --repeats=<n>, clamped to >= 1.
+  int warmup = 1;          // --warmup=<n>, clamped to >= 0.
+};
+
+// Parses the uniform flags. On --help or an unknown/malformed flag, prints usage and
+// exits (0 for --help, 2 otherwise) — benches have no flags of their own.
+Options ParseArgs(int argc, char** argv, const std::string& bench_name);
+
+// Minimal steady-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+  std::uint64_t Nanos() const {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - start_)
+                                          .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Aggregate of the measured (post-warmup) samples of one configuration.
+struct RepeatStats {
+  double median_seconds = 0;
+  double min_seconds = 0;
+  double max_seconds = 0;
+  double mean_seconds = 0;
+  int samples = 0;
+};
+
+// Runs `run` options.warmup times unrecorded, then options.repeats times measured.
+// `run` returns the duration of one repetition in seconds (time only the workload:
+// construct mechanisms outside the timed section where possible).
+RepeatStats Repeat(const Options& options, const std::function<double()>& run);
+
+// Convenience: times `fn` once with a Stopwatch.
+double TimeSeconds(const std::function<void()>& fn);
+
+// Collects result rows and writes the stable JSON schema.
+class Reporter {
+ public:
+  explicit Reporter(Options options);
+
+  // One result row. `metric` names the quantity ("throughput", "latency_p99", ...),
+  // `unit` its unit ("items/s", "ns", ...); `problem` may be "" for bench-wide rows.
+  void Add(const std::string& mechanism, const std::string& problem,
+           const std::string& metric, double value, const std::string& unit);
+
+  // All rows rendered as an aligned text table (for the human-readable output).
+  std::string Table() const;
+
+  // Writes JSON to options.json_path when set (prints the path written). Returns
+  // false and prints to stderr when the file cannot be written; true otherwise
+  // (including when no --json was requested).
+  bool Finish() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Row {
+    std::string mechanism;
+    std::string problem;
+    std::string metric;
+    double value;
+    std::string unit;
+  };
+
+  Options options_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace bench
+}  // namespace syneval
+
+#endif  // SYNEVAL_BENCH_HARNESS_H_

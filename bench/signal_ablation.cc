@@ -11,12 +11,12 @@
 //   (c) the price of Hoare's guarantee is measured: signal transfer costs two extra
 //       context switches per handoff.
 
-#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "syneval/anomaly/detector.h"
 #include "syneval/core/scorecard.h"
 #include "syneval/monitor/hoare_monitor.h"
@@ -193,24 +193,28 @@ SweepOutcome Sweep(int seeds) {
 }
 
 template <typename Buffer>
-double Throughput(int items) {
-  OsRuntime rt;
-  TraceRecorder trace;
-  Buffer buffer(rt, 8);
-  BufferWorkloadParams params;
-  params.producers = 2;
-  params.consumers = 2;
-  params.items_per_producer = items;
-  const auto start = std::chrono::steady_clock::now();
-  ThreadList threads = SpawnBoundedBufferWorkload(rt, buffer, trace, params);
-  JoinAll(threads);
-  const auto end = std::chrono::steady_clock::now();
-  return 2.0 * items / std::chrono::duration<double>(end - start).count();
+double Throughput(const bench::Options& options, int items) {
+  const bench::RepeatStats stats = bench::Repeat(options, [&] {
+    OsRuntime rt;
+    TraceRecorder trace;
+    Buffer buffer(rt, 8);
+    BufferWorkloadParams params;
+    params.producers = 2;
+    params.consumers = 2;
+    params.items_per_producer = items;
+    bench::Stopwatch watch;
+    ThreadList threads = SpawnBoundedBufferWorkload(rt, buffer, trace, params);
+    JoinAll(threads);
+    return watch.Seconds();
+  });
+  return 2.0 * items / stats.median_seconds;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options options = bench::ParseArgs(argc, argv, "signal_ablation");
+  bench::Reporter reporter(options);
   std::printf("=== Ablation: Hoare vs Mesa signal semantics (DESIGN decision 2) ===\n\n");
   const int seeds = 80;
   std::printf("Bounded buffer (capacity 2, 3 producers + 3 consumers), %d schedules:\n\n",
@@ -225,14 +229,16 @@ int main() {
   const int items = 20000;
   std::printf("Throughput under OsRuntime (capacity 8, 2+2 threads, %d items each):\n",
               items);
-  std::printf("  Hoare (transfer + urgent queue): %10.0f items/s\n",
-              Throughput<HoareIfBuffer>(items));
-  std::printf("  Mesa (notify + re-contend):      %10.0f items/s\n\n",
-              Throughput<MesaBuffer<true>>(items));
+  const double hoare = Throughput<HoareIfBuffer>(options, items);
+  const double mesa = Throughput<MesaBuffer<true>>(options, items);
+  std::printf("  Hoare (transfer + urgent queue): %10.0f items/s\n", hoare);
+  std::printf("  Mesa (notify + re-contend):      %10.0f items/s\n\n", mesa);
+  reporter.Add("hoare_monitor", "bounded_buffer", "throughput", hoare, "items/s");
+  reporter.Add("mesa_monitor", "bounded_buffer", "throughput", mesa, "items/s");
 
   std::printf("Expected shape: Hoare+if clean everywhere (the signalled condition is\n"
               "guaranteed); Mesa+if violates on some schedules (stolen wakeups);\n"
               "Mesa+while clean. Hoare pays transfer overhead per signal — the price of\n"
               "the guarantee the paper's monitor analysis leans on.\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -5,11 +5,11 @@
 // serializers dissolve it (one queue, per-type guards). This bench verifies both
 // conform, compares their structural overhead, and measures the wall-clock cost.
 
-#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 
+#include "bench/harness.h"
 #include "syneval/core/scorecard.h"
 #include "syneval/problems/oracles.h"
 #include "syneval/problems/workloads.h"
@@ -46,32 +46,34 @@ SweepOutcome ConformanceSweep(int seeds) {
 }
 
 template <typename Solution>
-double MeasureOpsPerSecond(int total_ops) {
-  OsRuntime rt;
-  Solution rw(rt);
-  RwWorkloadParams params;
-  params.readers = 3;
-  params.writers = 2;
-  params.ops_per_reader = total_ops;
-  params.ops_per_writer = total_ops;
-  params.read_work = 0;
-  params.write_work = 0;
-  params.think_work = 0;
-  TraceRecorder trace;
-  const auto start = std::chrono::steady_clock::now();
-  ThreadList threads = SpawnReadersWritersWorkload(rt, rw, trace, params);
-  JoinAll(threads);
-  const auto end = std::chrono::steady_clock::now();
-  const double seconds = std::chrono::duration<double>(end - start).count();
-  const double ops = static_cast<double>(params.readers) * params.ops_per_reader +
-                     static_cast<double>(params.writers) * params.ops_per_writer;
-  return ops / seconds;
+double MeasureOpsPerSecond(const bench::Options& options, int total_ops) {
+  const double ops = 3.0 * total_ops + 2.0 * total_ops;
+  const bench::RepeatStats stats = bench::Repeat(options, [&] {
+    OsRuntime rt;
+    Solution rw(rt);
+    RwWorkloadParams params;
+    params.readers = 3;
+    params.writers = 2;
+    params.ops_per_reader = total_ops;
+    params.ops_per_writer = total_ops;
+    params.read_work = 0;
+    params.write_work = 0;
+    params.think_work = 0;
+    TraceRecorder trace;
+    bench::Stopwatch watch;
+    ThreadList threads = SpawnReadersWritersWorkload(rt, rw, trace, params);
+    JoinAll(threads);
+    return watch.Seconds();
+  });
+  return ops / stats.median_seconds;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syneval;
+  const bench::Options options = bench::ParseArgs(argc, argv, "two_stage_queuing");
+  bench::Reporter reporter(options);
   std::printf("=== E5: FCFS readers/writers — two-stage queuing vs one guarded queue ===\n\n");
 
   const int seeds = 60;
@@ -99,11 +101,13 @@ int main() {
 
   const int ops = 4000;
   std::printf("Throughput under OsRuntime (%d ops/thread, empty bodies):\n", ops);
-  std::printf("  monitor (two-stage):      %10.0f ops/s\n",
-              MeasureOpsPerSecond<MonitorRwFcfs>(ops));
-  std::printf("  serializer (one queue):   %10.0f ops/s\n",
-              MeasureOpsPerSecond<SerializerRwFcfs>(ops));
+  const double monitor_ops = MeasureOpsPerSecond<MonitorRwFcfs>(options, ops);
+  const double serializer_ops = MeasureOpsPerSecond<SerializerRwFcfs>(options, ops);
+  std::printf("  monitor (two-stage):      %10.0f ops/s\n", monitor_ops);
+  std::printf("  serializer (one queue):   %10.0f ops/s\n", serializer_ops);
+  reporter.Add("monitor", "rw_fcfs", "throughput", monitor_ops, "ops/s");
+  reporter.Add("serializer", "rw_fcfs", "throughput", serializer_ops, "ops/s");
   std::printf("\nExpected shape: both conform; the serializer needs no hand-kept state\n"
               "(the paper's Section 5.2 point) but pays per-release guard evaluation.\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -479,4 +479,21 @@ AnomalyDetector::ConditionStats AnomalyDetector::StatsFor(
   return stats;
 }
 
+AnomalyDetector::WaitSnapshot AnomalyDetector::SnapshotWaits(std::int64_t now_nanos) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  WaitSnapshot snapshot;
+  for (const auto& [thread, info] : threads_) {
+    if (info.finished || info.waits.empty()) {
+      continue;
+    }
+    ++snapshot.blocked_threads;
+    const WaitRecord& outermost = info.waits.front();
+    if (outermost.wall_nanos > 0 && now_nanos > outermost.wall_nanos) {
+      snapshot.longest_wait_nanos =
+          std::max(snapshot.longest_wait_nanos, now_nanos - outermost.wall_nanos);
+    }
+  }
+  return snapshot;
+}
+
 }  // namespace syneval

@@ -153,6 +153,16 @@ class AnomalyDetector : public TraceObserver {
   // RegisterResource). Returns zeroed stats for unknown names.
   ConditionStats StatsFor(const std::string& resource_name) const;
 
+  struct WaitSnapshot {
+    int blocked_threads = 0;            // Live threads with at least one open wait.
+    std::int64_t longest_wait_nanos = 0;  // Age of the oldest open wait (OS mode; 0 if
+                                          // no wall timestamps are available).
+  };
+
+  // Instantaneous view of open waits, for gauge export by the OsRuntime watchdog.
+  // Ages are measured from each thread's *outermost* wait record against `now_nanos`.
+  WaitSnapshot SnapshotWaits(std::int64_t now_nanos) const;
+
  private:
   struct WaitRecord {
     const void* resource = nullptr;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/telemetry/instrument.h"
 
 namespace syneval {
 
@@ -11,11 +12,13 @@ struct CriticalRegion::Waiter {
   std::uint32_t thread = 0;
   Condition condition;              // Null for bare-exclusion (entry) waiters.
   std::function<void()> on_admit;   // Runs under mu_ in the granting thread.
+  std::uint64_t wait_start = 0;     // NowNanos when the wait began (telemetry).
 };
 
 CriticalRegion::CriticalRegion(Runtime& runtime)
     : runtime_(runtime),
       det_(runtime.anomaly_detector()),
+      tel_(MechanismTelemetry(runtime, "critical_region")),
       mu_(runtime.CreateMutex()),
       cv_(runtime.CreateCondVar()) {
   if (det_ != nullptr) {
@@ -43,6 +46,11 @@ void CriticalRegion::Enter(const Body& body, const Hooks& hooks) {
     if (det_ != nullptr) {
       det_->OnAcquire(tid, this);
     }
+    if (tel_ != nullptr) {
+      tel_->wait.Record(0);  // Uncontended entry.
+      tel_->admissions.Add(1);
+      region_since_ = runtime_.NowNanos();
+    }
     if (hooks.on_admit) {
       hooks.on_admit();
     }
@@ -50,12 +58,19 @@ void CriticalRegion::Enter(const Body& body, const Hooks& hooks) {
     Waiter self;
     self.thread = tid;
     self.on_admit = hooks.on_admit;
+    self.wait_start = TelemetryNow(tel_, runtime_);
     entry_.push_back(&self);
+    if (tel_ != nullptr) {
+      tel_->queue_depth.Set(static_cast<std::int64_t>(entry_.size() + waiting_.size()));
+    }
     if (det_ != nullptr) {
       det_->OnBlock(tid, this);
     }
     while (!self.granted) {
       cv_->Wait(*mu_);
+      if (tel_ != nullptr) {
+        tel_->wakeups.Add(1);
+      }
     }
     if (det_ != nullptr) {
       det_->OnWake(tid, this);
@@ -67,6 +82,9 @@ void CriticalRegion::Enter(const Body& body, const Hooks& hooks) {
   }
   if (det_ != nullptr) {
     det_->OnRelease(tid, this);
+  }
+  if (tel_ != nullptr) {
+    tel_->hold.Record(TelemetryElapsed(region_since_, runtime_.NowNanos()));
   }
   ReleaseRegionLocked();
 }
@@ -88,6 +106,11 @@ void CriticalRegion::When(const Condition& condition, const Body& body, const Ho
     if (det_ != nullptr) {
       det_->OnAcquire(tid, this);
     }
+    if (tel_ != nullptr) {
+      tel_->wait.Record(0);  // Condition already true and the region free.
+      tel_->admissions.Add(1);
+      region_since_ = runtime_.NowNanos();
+    }
     if (hooks.on_admit) {
       hooks.on_admit();
     }
@@ -96,12 +119,19 @@ void CriticalRegion::When(const Condition& condition, const Body& body, const Ho
     self.thread = tid;
     self.condition = condition;
     self.on_admit = hooks.on_admit;
+    self.wait_start = TelemetryNow(tel_, runtime_);
     waiting_.push_back(&self);
+    if (tel_ != nullptr) {
+      tel_->queue_depth.Set(static_cast<std::int64_t>(entry_.size() + waiting_.size()));
+    }
     if (det_ != nullptr) {
       det_->OnBlock(tid, &waiting_);
     }
     while (!self.granted) {
       cv_->Wait(*mu_);
+      if (tel_ != nullptr) {
+        tel_->wakeups.Add(1);
+      }
     }
     if (det_ != nullptr) {
       det_->OnWake(tid, &waiting_);
@@ -115,6 +145,9 @@ void CriticalRegion::When(const Condition& condition, const Body& body, const Ho
   }
   if (det_ != nullptr) {
     det_->OnRelease(tid, this);
+  }
+  if (tel_ != nullptr) {
+    tel_->hold.Record(TelemetryElapsed(region_since_, runtime_.NowNanos()));
   }
   ReleaseRegionLocked();
 }
@@ -134,6 +167,15 @@ void CriticalRegion::ReleaseRegionLocked() {
       if (det_ != nullptr) {
         det_->OnAcquire(waiter->thread, this);
       }
+      if (tel_ != nullptr) {
+        const std::uint64_t now = runtime_.NowNanos();
+        // The release re-test admitting a waiter is the CCR's implicit signal.
+        tel_->signals.Add(1);
+        tel_->wait.Record(TelemetryElapsed(waiter->wait_start, now));
+        tel_->admissions.Add(1);
+        region_since_ = now;
+        tel_->queue_depth.Set(static_cast<std::int64_t>(entry_.size() + waiting_.size()));
+      }
       if (waiter->on_admit) {
         waiter->on_admit();
       }
@@ -147,6 +189,13 @@ void CriticalRegion::ReleaseRegionLocked() {
     entry_.pop_front();
     if (det_ != nullptr) {
       det_->OnAcquire(waiter->thread, this);
+    }
+    if (tel_ != nullptr) {
+      const std::uint64_t now = runtime_.NowNanos();
+      tel_->wait.Record(TelemetryElapsed(waiter->wait_start, now));
+      tel_->admissions.Add(1);
+      region_since_ = now;
+      tel_->queue_depth.Set(static_cast<std::int64_t>(entry_.size() + waiting_.size()));
     }
     if (waiter->on_admit) {
       waiter->on_admit();

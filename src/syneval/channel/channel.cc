@@ -3,10 +3,23 @@
 #include <cassert>
 #include <utility>
 
+#include "syneval/telemetry/instrument.h"
+
 namespace syneval {
 
 ChannelGroup::ChannelGroup(Runtime& runtime)
-    : runtime_(runtime), mu_(runtime.CreateMutex()), cv_(runtime.CreateCondVar()) {}
+    : runtime_(runtime),
+      tel_(MechanismTelemetry(runtime, "channel")),
+      mu_(runtime.CreateMutex()),
+      cv_(runtime.CreateCondVar()) {}
+
+void ChannelGroup::NotifyAllLocked() {
+  if (tel_ != nullptr) {
+    // The group condvar is always broadcast (receivers, selectors and senders share it).
+    tel_->broadcasts.Add(1);
+  }
+  cv_->NotifyAll();
+}
 
 Channel::Channel(ChannelGroup& group, std::string name, int capacity)
     : group_(group), name_(std::move(name)), capacity_(capacity) {}
@@ -14,15 +27,30 @@ Channel::Channel(ChannelGroup& group, std::string name, int capacity)
 bool Channel::ReceivableLocked() const { return !buffer_.empty() || !senders_.empty(); }
 
 ChanMsg Channel::TakeLocked() {
+  MechanismStats* tel = group_.tel_;
   if (!buffer_.empty()) {
     ChanMsg message = buffer_.front();
     buffer_.pop_front();
+    if (tel != nullptr && !buffer_enqueued_.empty()) {
+      // Hold = message dwell in the buffer, enqueue to take.
+      tel->hold.Record(
+          TelemetryElapsed(buffer_enqueued_.front(), group_.runtime_.NowNanos()));
+      buffer_enqueued_.pop_front();
+    }
     // A buffered channel may have senders blocked on a full buffer: move the
     // longest-waiting one into the freed slot.
     if (!senders_.empty()) {
       PendingSend* sender = senders_.front();
       senders_.pop_front();
       buffer_.push_back(sender->message);
+      if (tel != nullptr) {
+        const std::uint64_t now = group_.runtime_.NowNanos();
+        tel->wait.Record(TelemetryElapsed(sender->send_start, now));
+        tel->admissions.Add(1);
+        tel->signals.Add(1);  // Accepting a blocked send is the implicit signal.
+        buffer_enqueued_.push_back(now);
+        tel->queue_depth.Set(static_cast<std::int64_t>(senders_.size()));
+      }
       if (sender->on_accept) {
         sender->on_accept();
       }
@@ -34,6 +62,14 @@ ChanMsg Channel::TakeLocked() {
   assert(!senders_.empty());
   PendingSend* sender = senders_.front();
   senders_.pop_front();
+  if (tel != nullptr) {
+    const std::uint64_t now = group_.runtime_.NowNanos();
+    tel->wait.Record(TelemetryElapsed(sender->send_start, now));
+    tel->admissions.Add(1);
+    tel->signals.Add(1);
+    tel->hold.Record(0);  // Rendezvous: the message never dwells.
+    tel->queue_depth.Set(static_cast<std::int64_t>(senders_.size()));
+  }
   if (sender->on_accept) {
     sender->on_accept();
   }
@@ -56,6 +92,11 @@ void Channel::Send(ChanMsg message, const std::function<void()>& on_register,
   }
   if (capacity_ > 0 && static_cast<int>(buffer_.size()) < capacity_ && senders_.empty()) {
     buffer_.push_back(message);
+    if (MechanismStats* tel = group_.tel_) {
+      tel->wait.Record(0);  // Buffered without blocking.
+      tel->admissions.Add(1);
+      buffer_enqueued_.push_back(group_.runtime_.NowNanos());
+    }
     if (on_accept) {
       on_accept();
     }
@@ -65,10 +106,21 @@ void Channel::Send(ChanMsg message, const std::function<void()>& on_register,
   PendingSend pending;
   pending.message = message;
   pending.on_accept = on_accept;
+  MechanismStats* const tel = group_.tel_;
+  pending.send_start = TelemetryNow(tel, group_.runtime_);
   senders_.push_back(&pending);
+  if (tel != nullptr) {
+    tel->queue_depth.Set(static_cast<std::int64_t>(senders_.size()));
+  }
   group_.NotifyAllLocked();  // A selector may be waiting for this channel.
+  // Once `pending.taken` flips, the receiver may return and destroy this channel
+  // (reply channels live on the receiver's stack), so after each wake only
+  // Send-frame locals may be touched until the loop re-establishes !taken.
   while (!pending.taken) {
     group_.cv_->Wait(*group_.mu_);
+    if (tel != nullptr) {
+      tel->wakeups.Add(1);
+    }
   }
 }
 
@@ -76,8 +128,19 @@ ChanMsg Channel::Receive() { return Receive(nullptr); }
 
 ChanMsg Channel::Receive(const std::function<void(const ChanMsg&)>& on_receive) {
   RtLock lock(*group_.mu_);
+  const std::uint64_t wait_start =
+      ReceivableLocked() ? 0 : TelemetryNow(group_.tel_, group_.runtime_);
   while (!ReceivableLocked()) {
     group_.cv_->Wait(*group_.mu_);
+    if (MechanismStats* tel = group_.tel_) {
+      tel->wakeups.Add(1);
+    }
+  }
+  if (wait_start != 0) {
+    if (MechanismStats* tel = group_.tel_) {
+      // Receiver-side blocking feeds the same wait histogram as blocked sends.
+      tel->wait.Record(TelemetryElapsed(wait_start, group_.runtime_.NowNanos()));
+    }
   }
   const ChanMsg message = TakeLocked();
   if (on_receive) {
@@ -90,6 +153,11 @@ bool Channel::TrySend(ChanMsg message) {
   RtLock lock(*group_.mu_);
   if (capacity_ > 0 && static_cast<int>(buffer_.size()) < capacity_ && senders_.empty()) {
     buffer_.push_back(message);
+    if (MechanismStats* tel = group_.tel_) {
+      tel->wait.Record(0);
+      tel->admissions.Add(1);
+      buffer_enqueued_.push_back(group_.runtime_.NowNanos());
+    }
     group_.NotifyAllLocked();
     return true;
   }
@@ -107,6 +175,7 @@ bool Channel::TryReceive(ChanMsg* message) {
 
 int ChannelGroup::Select(const std::vector<SelectCase>& cases, ChanMsg* message) {
   RtLock lock(*mu_);
+  std::uint64_t wait_start = 0;
   while (true) {
     for (std::size_t i = 0; i < cases.size(); ++i) {
       const SelectCase& c = cases[i];
@@ -114,11 +183,20 @@ int ChannelGroup::Select(const std::vector<SelectCase>& cases, ChanMsg* message)
         continue;
       }
       if (c.channel->ReceivableLocked()) {
+        if (tel_ != nullptr && wait_start != 0) {
+          tel_->wait.Record(TelemetryElapsed(wait_start, runtime_.NowNanos()));
+        }
         *message = c.channel->TakeLocked();
         return static_cast<int>(i);
       }
     }
+    if (wait_start == 0) {
+      wait_start = TelemetryNow(tel_, runtime_);
+    }
     cv_->Wait(*mu_);
+    if (tel_ != nullptr) {
+      tel_->wakeups.Add(1);
+    }
   }
 }
 

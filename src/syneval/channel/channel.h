@@ -79,6 +79,7 @@ class Channel {
     ChanMsg message;
     bool taken = false;
     std::function<void()> on_accept;
+    std::uint64_t send_start = 0;  // NowNanos when the send blocked (telemetry).
   };
 
   // True when a Receive would not block. Caller holds the group lock.
@@ -92,6 +93,9 @@ class Channel {
   int capacity_;
   std::deque<ChanMsg> buffer_;
   std::deque<PendingSend*> senders_;  // Arrival order.
+  // Parallel to buffer_: NowNanos each message entered the buffer, so the telemetry
+  // hold histogram can report message dwell time (rendezvous messages dwell 0).
+  std::deque<std::uint64_t> buffer_enqueued_;
 };
 
 // One alternative of a guarded Select (receive direction only, per classic CSP input
@@ -118,9 +122,10 @@ class ChannelGroup {
  private:
   friend class Channel;
 
-  void NotifyAllLocked() { cv_->NotifyAll(); }
+  void NotifyAllLocked();
 
   Runtime& runtime_;
+  MechanismStats* tel_ = nullptr;  // "channel" bundle; null when not attached.
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
 };

@@ -21,6 +21,14 @@ struct ReportOptions {
 // writes a markdown report to `out`. The conformance sweep dominates the runtime.
 void WriteEvaluationReport(std::ostream& out, const ReportOptions& options = {});
 
+// Drives a contended bounded-buffer workload against every mechanism's solution over
+// OsRuntime with a metrics registry attached, then writes the per-mechanism contention
+// profile (wait/hold percentiles, signals, wakeups per admission, max queue depth) as a
+// markdown table — the quantities the mechanisms record about themselves. Included in
+// WriteEvaluationReport as its own section; writes a one-line note instead when the
+// build has SYNEVAL_TELEMETRY=OFF.
+void WriteTelemetryProfileSection(std::ostream& out, int workload_scale = 1);
+
 }  // namespace syneval
 
 #endif  // SYNEVAL_CORE_REPORT_H_

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/telemetry/instrument.h"
 
 namespace syneval {
 
@@ -14,11 +15,13 @@ struct HoareMonitor::Waiter {
   std::int64_t priority = 0;
   std::uint64_t arrival = 0;
   std::uint32_t thread = 0;
+  std::uint64_t wait_start = 0;  // NowNanos when the wait began (telemetry).
 };
 
 HoareMonitor::HoareMonitor(Runtime& runtime)
     : runtime_(runtime),
       det_(runtime.anomaly_detector()),
+      tel_(MechanismTelemetry(runtime, "hoare_monitor")),
       mu_(runtime.CreateMutex()),
       cv_(runtime.CreateCondVar()) {
   if (det_ != nullptr) {
@@ -49,11 +52,20 @@ void HoareMonitor::Enter() {
     if (det_ != nullptr) {
       det_->OnAcquire(owner_, this);
     }
+    if (tel_ != nullptr) {
+      tel_->wait.Record(0);  // Uncontended entry: no time at the door.
+      tel_->admissions.Add(1);
+      owner_since_ = runtime_.NowNanos();
+    }
     return;
   }
   Waiter self;
   self.thread = runtime_.CurrentThreadId();
+  self.wait_start = TelemetryNow(tel_, runtime_);
   entry_.push_back(&self);
+  if (tel_ != nullptr) {
+    tel_->queue_depth.Set(static_cast<std::int64_t>(entry_.size() + urgent_.size()));
+  }
   if (det_ != nullptr) {
     det_->OnBlock(self.thread, this);
   }
@@ -72,6 +84,9 @@ void HoareMonitor::Exit() {
   if (det_ != nullptr) {
     det_->OnRelease(owner_, this);
   }
+  if (tel_ != nullptr) {
+    tel_->hold.Record(TelemetryElapsed(owner_since_, runtime_.NowNanos()));
+  }
   ReleaseOwnershipLocked();
 }
 
@@ -86,6 +101,13 @@ void HoareMonitor::GrantLocked(Waiter* waiter) {
   if (det_ != nullptr) {
     // Ownership transfers at the grant (Hoare hand-off), not when the waiter resumes.
     det_->OnAcquire(waiter->thread, this);
+  }
+  if (tel_ != nullptr) {
+    const std::uint64_t now = runtime_.NowNanos();
+    tel_->wait.Record(TelemetryElapsed(waiter->wait_start, now));
+    tel_->admissions.Add(1);
+    owner_since_ = now;  // The new owner's tenure starts at the hand-off, per Hoare.
+    tel_->queue_depth.Set(static_cast<std::int64_t>(entry_.size() + urgent_.size()));
   }
   cv_->NotifyAll();
 }
@@ -108,6 +130,11 @@ void HoareMonitor::ReleaseOwnershipLocked() {
 void HoareMonitor::BlockLocked(Waiter* waiter) {
   while (!waiter->granted) {
     cv_->Wait(*mu_);
+    if (tel_ != nullptr) {
+      // Every resume counts, granted or not: the single shared condvar is broadcast on
+      // each grant, so wakeups/admissions measures the futile-wakeup amplification.
+      tel_->wakeups.Add(1);
+    }
   }
 }
 
@@ -123,6 +150,11 @@ void HoareMonitor::Condition::Wait() {
   m.AssertOwnedByCaller();
   Waiter self;
   self.thread = m.runtime_.CurrentThreadId();
+  self.wait_start = TelemetryNow(m.tel_, m.runtime_);
+  if (m.tel_ != nullptr) {
+    // Waiting on a condition ends the tenure; the re-grant at Signal starts a new one.
+    m.tel_->hold.Record(TelemetryElapsed(m.owner_since_, self.wait_start));
+  }
   queue_.push_back(&self);
   if (m.det_ != nullptr) {
     m.det_->OnRelease(self.thread, &m);
@@ -143,6 +175,9 @@ void HoareMonitor::Condition::Signal() {
   if (m.det_ != nullptr) {
     m.det_->OnSignal(tid, this, static_cast<int>(queue_.size()));
   }
+  if (m.tel_ != nullptr) {
+    m.tel_->signals.Add(1);
+  }
   if (queue_.empty()) {
     return;
   }
@@ -150,6 +185,11 @@ void HoareMonitor::Condition::Signal() {
   queue_.pop_front();
   Waiter self;
   self.thread = tid;
+  self.wait_start = TelemetryNow(m.tel_, m.runtime_);
+  if (m.tel_ != nullptr) {
+    // Hoare hand-off: the signaller's tenure ends here and it waits (urgent queue).
+    m.tel_->hold.Record(TelemetryElapsed(m.owner_since_, self.wait_start));
+  }
   m.urgent_.push_back(&self);
   if (m.det_ != nullptr) {
     m.det_->OnRelease(tid, &m);  // Hand-off: the signaller yields the monitor...
@@ -182,6 +222,10 @@ void HoareMonitor::PriorityCondition::Wait(std::int64_t priority) {
   self.thread = m.runtime_.CurrentThreadId();
   self.priority = priority;
   self.arrival = ++m.arrivals_;
+  self.wait_start = TelemetryNow(m.tel_, m.runtime_);
+  if (m.tel_ != nullptr) {
+    m.tel_->hold.Record(TelemetryElapsed(m.owner_since_, self.wait_start));
+  }
   // Insert keeping the queue sorted by (priority, arrival): minimum first.
   auto pos = std::find_if(queue_.begin(), queue_.end(), [&](void* raw) {
     auto* other = static_cast<Waiter*>(raw);
@@ -207,6 +251,9 @@ void HoareMonitor::PriorityCondition::Signal() {
   if (m.det_ != nullptr) {
     m.det_->OnSignal(tid, this, static_cast<int>(queue_.size()));
   }
+  if (m.tel_ != nullptr) {
+    m.tel_->signals.Add(1);
+  }
   if (queue_.empty()) {
     return;
   }
@@ -214,6 +261,10 @@ void HoareMonitor::PriorityCondition::Signal() {
   queue_.erase(queue_.begin());
   Waiter self;
   self.thread = tid;
+  self.wait_start = TelemetryNow(m.tel_, m.runtime_);
+  if (m.tel_ != nullptr) {
+    m.tel_->hold.Record(TelemetryElapsed(m.owner_since_, self.wait_start));
+  }
   m.urgent_.push_back(&self);
   if (m.det_ != nullptr) {
     m.det_->OnRelease(tid, &m);

@@ -116,6 +116,8 @@ class HoareMonitor {
   Runtime& runtime_;
   AnomalyDetector* det_ = nullptr;  // From runtime_.anomaly_detector(); may be null.
   std::string det_name_;            // Registered name when det_ is attached.
+  MechanismStats* tel_ = nullptr;   // "hoare_monitor" bundle; null when not attached.
+  std::uint64_t owner_since_ = 0;   // NowNanos at the current owner's grant (telemetry).
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
   bool busy_ = false;

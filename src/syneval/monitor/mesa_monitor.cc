@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/telemetry/instrument.h"
 
 namespace syneval {
 
@@ -10,15 +11,25 @@ namespace syneval {
 // hooks (block/wake/acquire/release/signal) already cover them; all that is needed here
 // is re-registering the primitives under mechanism-level names so diagnoses read
 // "MesaMonitor" / "MesaMonitor.cond" instead of "mutex" / "condvar".
-MesaMonitor::MesaMonitor(Runtime& runtime) : runtime_(runtime), mu_(runtime.CreateMutex()) {
+MesaMonitor::MesaMonitor(Runtime& runtime)
+    : runtime_(runtime),
+      tel_(MechanismTelemetry(runtime, "mesa_monitor")),
+      mu_(runtime.CreateMutex()) {
   if (AnomalyDetector* det = runtime.anomaly_detector()) {
     det->RegisterResource(mu_.get(), ResourceKind::kLock, "MesaMonitor");
   }
 }
 
 void MesaMonitor::Enter() {
+  const std::uint64_t wait_start = TelemetryNow(tel_, runtime_);
   mu_->Lock();
   owner_ = runtime_.CurrentThreadId();
+  if (tel_ != nullptr) {
+    const std::uint64_t now = runtime_.NowNanos();
+    tel_->wait.Record(TelemetryElapsed(wait_start, now));
+    tel_->admissions.Add(1);
+    owner_since_ = now;
+  }
 }
 
 void MesaMonitor::Exit() {
@@ -26,6 +37,9 @@ void MesaMonitor::Exit() {
     return;  // Teardown unwinding: a Wait may already have surrendered ownership.
   }
   assert(owner_ == runtime_.CurrentThreadId() && "MesaMonitor::Exit by non-occupant");
+  if (tel_ != nullptr) {
+    tel_->hold.Record(TelemetryElapsed(owner_since_, runtime_.NowNanos()));
+  }
   owner_ = 0;
   mu_->Unlock();
 }
@@ -40,16 +54,41 @@ MesaMonitor::Condition::Condition(MesaMonitor& monitor)
 void MesaMonitor::Condition::Wait() {
   MesaMonitor& m = monitor_;
   assert(m.owner_ == m.runtime_.CurrentThreadId() && "Condition::Wait outside the monitor");
+  const std::uint64_t wait_start = TelemetryNow(m.tel_, m.runtime_);
+  if (m.tel_ != nullptr) {
+    // The wait ends this tenure; the re-acquisition after the signal starts a new one.
+    m.tel_->hold.Record(TelemetryElapsed(m.owner_since_, wait_start));
+    m.tel_->queue_depth.Set(waiting_ + 1);
+  }
   ++waiting_;
   m.owner_ = 0;
   cv_->Wait(*m.mu_);
   m.owner_ = m.runtime_.CurrentThreadId();
   --waiting_;
+  if (m.tel_ != nullptr) {
+    const std::uint64_t now = m.runtime_.NowNanos();
+    // Each Wait return is one wakeup but not necessarily one logical admission: Mesa
+    // callers loop on their predicate, so futile wakeups appear as wakeups > admissions.
+    m.tel_->wait.Record(TelemetryElapsed(wait_start, now));
+    m.tel_->wakeups.Add(1);
+    m.owner_since_ = now;
+    m.tel_->queue_depth.Set(waiting_);
+  }
 }
 
-void MesaMonitor::Condition::Signal() { cv_->NotifyOne(); }
+void MesaMonitor::Condition::Signal() {
+  if (monitor_.tel_ != nullptr) {
+    monitor_.tel_->signals.Add(1);
+  }
+  cv_->NotifyOne();
+}
 
-void MesaMonitor::Condition::Broadcast() { cv_->NotifyAll(); }
+void MesaMonitor::Condition::Broadcast() {
+  if (monitor_.tel_ != nullptr) {
+    monitor_.tel_->broadcasts.Add(1);
+  }
+  cv_->NotifyAll();
+}
 
 int MesaMonitor::Condition::Length() const { return waiting_; }
 

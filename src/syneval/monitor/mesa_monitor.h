@@ -48,8 +48,10 @@ class MesaMonitor {
  private:
   friend class Condition;
   Runtime& runtime_;
+  MechanismStats* tel_ = nullptr;  // "mesa_monitor" bundle; null when not attached.
   std::unique_ptr<RtMutex> mu_;
   std::uint32_t owner_ = 0;
+  std::uint64_t owner_since_ = 0;  // NowNanos at lock acquisition (telemetry).
 };
 
 class MesaRegion {

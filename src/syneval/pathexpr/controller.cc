@@ -8,6 +8,7 @@
 
 #include "syneval/anomaly/detector.h"
 #include "syneval/pathexpr/parser.h"
+#include "syneval/telemetry/instrument.h"
 
 namespace syneval {
 
@@ -17,6 +18,7 @@ struct PathController::Waiter {
   Token token;
   std::uint64_t arrival = 0;
   std::function<void()> on_admit;  // Runs, under mu_, in the granting thread.
+  std::uint64_t wait_start = 0;    // NowNanos when the wait began (telemetry).
 };
 
 PathController::PathController(Runtime& runtime, const std::string& program)
@@ -28,6 +30,7 @@ PathController::PathController(Runtime& runtime, const std::string& program, Opt
 PathController::PathController(Runtime& runtime, CompiledPaths compiled, Options options)
     : runtime_(runtime),
       det_(runtime.anomaly_detector()),
+      tel_(MechanismTelemetry(runtime, "path_controller")),
       compiled_(std::move(compiled)),
       options_(options),
       mu_(runtime.CreateMutex()),
@@ -149,6 +152,11 @@ PathController::Token PathController::Begin(const std::string& op, const Hooks& 
   OpStats& stats = stats_[op];
   ++stats.begins;
   if (auto token = TryBeginLocked(op, state_)) {
+    if (tel_ != nullptr) {
+      tel_->wait.Record(0);  // Prologues fired immediately.
+      tel_->admissions.Add(1);
+      token->admit_ns = runtime_.NowNanos();
+    }
     if (hooks.on_admit) {
       hooks.on_admit();
     }
@@ -161,13 +169,20 @@ PathController::Token PathController::Begin(const std::string& op, const Hooks& 
   self.op = op;
   self.arrival = ++arrival_counter_;
   self.on_admit = hooks.on_admit;
+  self.wait_start = TelemetryNow(tel_, runtime_);
   waiters_.push_back(&self);
+  if (tel_ != nullptr) {
+    tel_->queue_depth.Set(static_cast<std::int64_t>(waiters_.size()));
+  }
   const std::uint32_t tid = runtime_.CurrentThreadId();
   if (det_ != nullptr) {
     det_->OnBlock(tid, this);
   }
   while (!self.granted) {
     cv_->Wait(*mu_);
+    if (tel_ != nullptr) {
+      tel_->wakeups.Add(1);
+    }
   }
   if (det_ != nullptr) {
     det_->OnWake(tid, this);
@@ -193,6 +208,9 @@ void PathController::End(const std::string& op, const Token& token, const Hooks&
   RtLock lock(*mu_);
   if (hooks.on_release) {
     hooks.on_release();
+  }
+  if (tel_ != nullptr && token.admit_ns != 0) {
+    tel_->hold.Record(TelemetryElapsed(token.admit_ns, runtime_.NowNanos()));
   }
   const auto it = compiled_.ops.find(op);
   assert(it != compiled_.ops.end());
@@ -234,11 +252,23 @@ void PathController::GrantEligibleLocked() {
       Waiter* waiter = waiters_[index];
       if (auto token = TryBeginLocked(waiter->op, state_)) {
         waiter->token = *token;
+        if (tel_ != nullptr) {
+          const std::uint64_t now = runtime_.NowNanos();
+          // An epilogue enabling a blocked invocation is the path controller's
+          // implicit signal.
+          tel_->signals.Add(1);
+          tel_->wait.Record(TelemetryElapsed(waiter->wait_start, now));
+          tel_->admissions.Add(1);
+          waiter->token.admit_ns = now;
+        }
         if (waiter->on_admit) {
           waiter->on_admit();
         }
         waiter->granted = true;
         waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(index));
+        if (tel_ != nullptr) {
+          tel_->queue_depth.Set(static_cast<std::int64_t>(waiters_.size()));
+        }
         granted_any = true;
         progress = true;
         break;  // Indices shifted; rebuild the order and rescan.

@@ -54,6 +54,7 @@ class PathController {
   struct Token {
     bool constrained = false;
     std::vector<int> chosen_alternatives;  // Parallel to the op's OpInPath list.
+    std::uint64_t admit_ns = 0;            // NowNanos at admission (telemetry; 0 = off).
   };
 
   struct OpStats {
@@ -148,6 +149,7 @@ class PathController {
 
   Runtime& runtime_;
   AnomalyDetector* det_ = nullptr;  // From runtime_.anomaly_detector(); may be null.
+  MechanismStats* tel_ = nullptr;   // "path_controller" bundle; null when not attached.
   CompiledPaths compiled_;
   Options options_;
   std::unique_ptr<RtMutex> mu_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/telemetry/tracer.h"
 
 namespace syneval {
 
@@ -165,6 +166,10 @@ class DetRuntime::DetCondVar : public RtCondVar {
     if (det != nullptr) {
       det->OnWake(self->id, this);
     }
+    if (TelemetryTracer* tracer = rt_->tracer()) {
+      // rt_->mu_ is held here, so read step_ directly (NowNanos() would self-deadlock).
+      tracer->OnWake(this, self->id, rt_->step_ * 1000);
+    }
     // Re-acquire the mutex before returning (possibly blocking again).
     while (m->holder_ != nullptr) {
       m->waiters_.push_back(self);
@@ -205,6 +210,10 @@ class DetRuntime::DetCondVar : public RtCondVar {
     }
     if (AnomalyDetector* det = rt_->anomaly_detector()) {
       det->OnSignal(self->id, this, static_cast<int>(waiters_.size()), all);
+    }
+    if (TelemetryTracer* tracer = rt_->tracer()) {
+      // rt_->mu_ is held here, so read step_ directly (NowNanos() would self-deadlock).
+      tracer->OnSignal(this, self->id, rt_->step_ * 1000, all);
     }
     if (!waiters_.empty()) {
       if (all) {

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/telemetry/metrics.h"
+#include "syneval/telemetry/tracer.h"
 
 namespace syneval {
 
@@ -48,15 +50,23 @@ class OsCondVar : public RtCondVar {
 
   void Wait(RtMutex& mutex) override {
     AnomalyDetector* det = rt_->anomaly_detector();
-    if (det == nullptr) {
+    TelemetryTracer* tracer = rt_->tracer();
+    if (det == nullptr && tracer == nullptr) {
       cv_.wait(mutex);
       return;
     }
     const std::uint32_t tid = rt_->CurrentThreadId();
     waiting_.fetch_add(1, std::memory_order_relaxed);
-    det->OnBlock(tid, this);
+    if (det != nullptr) {
+      det->OnBlock(tid, this);
+    }
     cv_.wait(mutex);
-    det->OnWake(tid, this);
+    if (det != nullptr) {
+      det->OnWake(tid, this);
+    }
+    if (tracer != nullptr) {
+      tracer->OnWake(this, tid, rt_->NowNanos());
+    }
     waiting_.fetch_sub(1, std::memory_order_relaxed);
   }
 
@@ -75,6 +85,9 @@ class OsCondVar : public RtCondVar {
     if (AnomalyDetector* det = rt_->anomaly_detector()) {
       det->OnSignal(rt_->CurrentThreadId(), this,
                     static_cast<int>(waiting_.load(std::memory_order_relaxed)), broadcast);
+    }
+    if (TelemetryTracer* tracer = rt_->tracer()) {
+      tracer->OnSignal(this, rt_->CurrentThreadId(), rt_->NowNanos(), broadcast);
     }
   }
 
@@ -175,7 +188,19 @@ void OsRuntime::StartAnomalyWatchdog(std::chrono::milliseconds period) {
         return;
       }
       lock.unlock();
-      det->Poll(static_cast<std::int64_t>(NowNanos()));
+      const std::int64_t now = static_cast<std::int64_t>(NowNanos());
+      det->Poll(now);
+#if SYNEVAL_TELEMETRY_ENABLED
+      // Watchdog findings are visible continuously through the registry, not only in
+      // anomaly reports: current blocked-thread count, the oldest wait's age, and the
+      // running total of detections.
+      if (MetricsRegistry* metrics = this->metrics()) {
+        const AnomalyDetector::WaitSnapshot snap = det->SnapshotWaits(now);
+        metrics->GetGauge("anomaly/blocked_threads").Set(snap.blocked_threads);
+        metrics->GetGauge("anomaly/longest_wait_ns").Set(snap.longest_wait_nanos);
+        metrics->GetGauge("anomaly/detections_total").Set(det->counts().total());
+      }
+#endif
       lock.lock();
     }
   });

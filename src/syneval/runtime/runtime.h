@@ -23,9 +23,14 @@
 #include <memory>
 #include <string>
 
+#include "syneval/telemetry/telemetry.h"
+
 namespace syneval {
 
 class AnomalyDetector;
+class MetricsRegistry;
+class TelemetryTracer;
+struct MechanismStats;
 
 // A mutual-exclusion lock. Non-recursive. Also satisfies BasicLockable (lowercase
 // lock/unlock) so std::lock_guard / std::unique_lock work directly.
@@ -104,9 +109,36 @@ class Runtime {
   void AttachAnomalyDetector(AnomalyDetector* detector) { anomaly_detector_ = detector; }
   AnomalyDetector* anomaly_detector() const { return anomaly_detector_; }
 
+#if SYNEVAL_TELEMETRY_ENABLED
+  // Attaches a metrics registry (see syneval/telemetry/metrics.h). Like the anomaly
+  // detector, it must be attached before mechanisms are constructed from this runtime
+  // (mechanisms resolve their MechanismStats bundle once, at construction) and must
+  // outlive the runtime's threads.
+  void AttachMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
+  // Attaches a tracer; the runtime's condition variables then record signal→wakeup
+  // flow edges into it (see syneval/telemetry/tracer.h). Attach before threads start.
+  void AttachTracer(TelemetryTracer* tracer) { tracer_ = tracer; }
+  TelemetryTracer* tracer() const { return tracer_; }
+
+ private:
+  AnomalyDetector* anomaly_detector_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  TelemetryTracer* tracer_ = nullptr;
+};
+#else
+  // Telemetry compiled out (SYNEVAL_TELEMETRY=OFF): attachment is a no-op and the
+  // accessors are constant null, so instrumentation branches fold away entirely.
+  void AttachMetrics(MetricsRegistry*) {}
+  static constexpr MetricsRegistry* metrics() { return nullptr; }
+  void AttachTracer(TelemetryTracer*) {}
+  static constexpr TelemetryTracer* tracer() { return nullptr; }
+
  private:
   AnomalyDetector* anomaly_detector_ = nullptr;
 };
+#endif
 
 // RAII lock holder for RtMutex (equivalent to std::lock_guard, kept for symmetry with
 // the mechanism code which passes RtMutex by reference).

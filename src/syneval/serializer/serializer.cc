@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/telemetry/instrument.h"
 
 namespace syneval {
 
@@ -14,11 +15,13 @@ struct Serializer::Waiter {
   Guard guard;                 // Only set for queue waiters.
   std::int64_t priority = 0;   // PriorityQueue key.
   std::uint64_t arrival = 0;   // FIFO tie-break.
+  std::uint64_t wait_start = 0;  // NowNanos when the wait began (telemetry).
 };
 
 Serializer::Serializer(Runtime& runtime)
     : runtime_(runtime),
       det_(runtime.anomaly_detector()),
+      tel_(MechanismTelemetry(runtime, "serializer")),
       mu_(runtime.CreateMutex()),
       cv_(runtime.CreateCondVar()) {
   if (det_ != nullptr) {
@@ -63,11 +66,20 @@ void Serializer::Acquire() {
     if (det_ != nullptr) {
       det_->OnAcquire(possessor_, this);
     }
+    if (tel_ != nullptr) {
+      tel_->wait.Record(0);  // Uncontended possession.
+      tel_->admissions.Add(1);
+      possessor_since_ = runtime_.NowNanos();
+    }
     return;
   }
   Waiter self;
   self.thread = runtime_.CurrentThreadId();
+  self.wait_start = TelemetryNow(tel_, runtime_);
   entry_.push_back(&self);
+  if (tel_ != nullptr) {
+    tel_->queue_depth.Set(BlockedCountLocked());
+  }
   if (det_ != nullptr) {
     det_->OnBlock(self.thread, this);
   }
@@ -85,6 +97,9 @@ void Serializer::Release() {
   AssertPossessedByCaller();
   if (det_ != nullptr) {
     det_->OnRelease(possessor_, this);
+  }
+  if (tel_ != nullptr) {
+    tel_->hold.Record(TelemetryElapsed(possessor_since_, runtime_.NowNanos()));
   }
   ReleasePossessionLocked();
 }
@@ -105,7 +120,15 @@ void Serializer::EnqueueImpl(QueueBase& queue, std::int64_t priority, Guard guar
   self.guard = std::move(guard);
   self.priority = priority;
   self.arrival = ++arrivals_;
+  self.wait_start = TelemetryNow(tel_, runtime_);
+  if (tel_ != nullptr) {
+    // Waiting in a queue gives up possession; re-admission starts a new tenure.
+    tel_->hold.Record(TelemetryElapsed(possessor_since_, self.wait_start));
+  }
   queue.Insert(&self);
+  if (tel_ != nullptr) {
+    tel_->queue_depth.Set(BlockedCountLocked());
+  }
   if (det_ != nullptr) {
     det_->OnRelease(self.thread, this);
     det_->OnBlock(self.thread, &queue);
@@ -135,6 +158,10 @@ void Serializer::JoinCrowd(Crowd& crowd, const std::function<void()>& body,
     if (det_ != nullptr) {
       det_->OnRelease(possessor_, this);
     }
+    if (tel_ != nullptr) {
+      // The crowd body runs outside possession; the tenure ends at the join.
+      tel_->hold.Record(TelemetryElapsed(possessor_since_, runtime_.NowNanos()));
+    }
     ReleasePossessionLocked();
   }
   body();
@@ -147,8 +174,17 @@ void Serializer::JoinCrowd(Crowd& crowd, const std::function<void()>& body,
       if (det_ != nullptr) {
         det_->OnAcquire(self.thread, this);
       }
+      if (tel_ != nullptr) {
+        tel_->wait.Record(0);  // Uncontended crowd re-entry.
+        tel_->admissions.Add(1);
+        possessor_since_ = runtime_.NowNanos();
+      }
     } else {
+      self.wait_start = TelemetryNow(tel_, runtime_);
       reentry_.push_back(&self);
+      if (tel_ != nullptr) {
+        tel_->queue_depth.Set(BlockedCountLocked());
+      }
       if (det_ != nullptr) {
         det_->OnBlock(self.thread, this);
       }
@@ -175,6 +211,7 @@ void Serializer::ReleasePossessionLocked() {
     if (det_ != nullptr) {
       det_->OnAcquire(waiter->thread, this);
     }
+    TelemetryGrantLocked(waiter);
     cv_->NotifyAll();
     return;
   }
@@ -191,6 +228,12 @@ void Serializer::ReleasePossessionLocked() {
       if (det_ != nullptr) {
         det_->OnAcquire(head->thread, this);
       }
+      if (tel_ != nullptr) {
+        // A guard becoming true and admitting the head is the serializer's implicit
+        // signal — there is no explicit Signal() to count, so count the deliveries.
+        tel_->signals.Add(1);
+      }
+      TelemetryGrantLocked(head);
       cv_->NotifyAll();
       return;
     }
@@ -204,6 +247,7 @@ void Serializer::ReleasePossessionLocked() {
     if (det_ != nullptr) {
       det_->OnAcquire(waiter->thread, this);
     }
+    TelemetryGrantLocked(waiter);
     cv_->NotifyAll();
     return;
   }
@@ -211,9 +255,33 @@ void Serializer::ReleasePossessionLocked() {
   possessor_ = 0;
 }
 
+void Serializer::TelemetryGrantLocked(Waiter* waiter) {
+  if (tel_ == nullptr) {
+    return;
+  }
+  const std::uint64_t now = runtime_.NowNanos();
+  tel_->wait.Record(TelemetryElapsed(waiter->wait_start, now));
+  tel_->admissions.Add(1);
+  possessor_since_ = now;
+  tel_->queue_depth.Set(BlockedCountLocked());
+}
+
+std::int64_t Serializer::BlockedCountLocked() const {
+  std::size_t blocked = entry_.size() + reentry_.size();
+  for (const QueueBase* queue : queues_) {
+    blocked += queue->waiters_.size();
+  }
+  return static_cast<std::int64_t>(blocked);
+}
+
 void Serializer::BlockLocked(Waiter* waiter) {
   while (!waiter->granted) {
     cv_->Wait(*mu_);
+    if (tel_ != nullptr) {
+      // Possession grants broadcast the shared condvar; every resume counts so that
+      // wakeups/admissions exposes the futile-wakeup amplification.
+      tel_->wakeups.Add(1);
+    }
   }
 }
 

@@ -173,9 +173,18 @@ class Serializer {
   void BlockLocked(Waiter* waiter);
   void AssertPossessedByCaller() const;
 
+  // Telemetry at a possession grant: wait time, admission count, tenure start, queue
+  // depth. No-op when tel_ is null. Caller holds mu_.
+  void TelemetryGrantLocked(Waiter* waiter);
+
+  // Total blocked processes: entry + crowd re-entries + all queue waiters. Holds mu_.
+  std::int64_t BlockedCountLocked() const;
+
   Runtime& runtime_;
   AnomalyDetector* det_ = nullptr;  // From runtime_.anomaly_detector(); may be null.
   std::string det_name_;            // Registered name when det_ is attached.
+  MechanismStats* tel_ = nullptr;   // "serializer" bundle; null when not attached.
+  std::uint64_t possessor_since_ = 0;  // NowNanos at the current grant (telemetry).
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
   bool possessed_ = false;

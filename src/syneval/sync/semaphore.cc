@@ -1,12 +1,14 @@
 #include "syneval/sync/semaphore.h"
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/telemetry/instrument.h"
 
 namespace syneval {
 
 CountingSemaphore::CountingSemaphore(Runtime& runtime, std::int64_t initial)
     : runtime_(runtime),
       det_(runtime.anomaly_detector()),
+      tel_(MechanismTelemetry(runtime, "semaphore")),
       mu_(runtime.CreateMutex()),
       cv_(runtime.CreateCondVar()),
       count_(initial) {
@@ -21,11 +23,18 @@ void CountingSemaphore::P(const std::function<void()>& on_acquire) {
   RtLock lock(*mu_);
   const bool will_block = count_ == 0;
   const std::uint32_t tid = runtime_.CurrentThreadId();
+  const std::uint64_t wait_start = will_block ? TelemetryNow(tel_, runtime_) : 0;
+  if (tel_ != nullptr && will_block) {
+    tel_->queue_depth.Set(++waiting_);
+  }
   if (det_ != nullptr && will_block) {
     det_->OnBlock(tid, this);
   }
   while (count_ == 0) {
     cv_->Wait(*mu_);
+    if (tel_ != nullptr) {
+      tel_->wakeups.Add(1);
+    }
   }
   if (det_ != nullptr && will_block) {
     det_->OnWake(tid, this);
@@ -33,6 +42,15 @@ void CountingSemaphore::P(const std::function<void()>& on_acquire) {
   --count_;
   if (det_ != nullptr) {
     det_->OnAcquire(tid, this);
+  }
+  if (tel_ != nullptr) {
+    const std::uint64_t now = runtime_.NowNanos();
+    tel_->wait.Record(will_block ? TelemetryElapsed(wait_start, now) : 0);
+    tel_->admissions.Add(1);
+    hold_starts_.push_back(now);
+    if (will_block) {
+      tel_->queue_depth.Set(--waiting_);
+    }
   }
   if (on_acquire) {
     on_acquire();
@@ -49,6 +67,14 @@ void CountingSemaphore::V(const std::function<void()>& on_release) {
   if (det_ != nullptr) {
     det_->OnRelease(runtime_.CurrentThreadId(), this);
   }
+  if (tel_ != nullptr) {
+    tel_->signals.Add(1);
+    if (!hold_starts_.empty()) {
+      // FIFO unit retirement: the oldest outstanding acquisition ends here.
+      tel_->hold.Record(TelemetryElapsed(hold_starts_.front(), runtime_.NowNanos()));
+      hold_starts_.pop_front();
+    }
+  }
   ++count_;
   cv_->NotifyOne();
 }
@@ -62,6 +88,11 @@ bool CountingSemaphore::TryP() {
   if (det_ != nullptr) {
     det_->OnAcquire(runtime_.CurrentThreadId(), this);
   }
+  if (tel_ != nullptr) {
+    tel_->wait.Record(0);
+    tel_->admissions.Add(1);
+    hold_starts_.push_back(runtime_.NowNanos());
+  }
   return true;
 }
 
@@ -73,6 +104,7 @@ std::int64_t CountingSemaphore::value() const {
 BinarySemaphore::BinarySemaphore(Runtime& runtime, bool initially_open)
     : runtime_(runtime),
       det_(runtime.anomaly_detector()),
+      tel_(MechanismTelemetry(runtime, "semaphore")),
       mu_(runtime.CreateMutex()),
       cv_(runtime.CreateCondVar()),
       open_(initially_open) {
@@ -87,11 +119,18 @@ void BinarySemaphore::P(const std::function<void()>& on_acquire) {
   RtLock lock(*mu_);
   const bool will_block = !open_;
   const std::uint32_t tid = runtime_.CurrentThreadId();
+  const std::uint64_t wait_start = will_block ? TelemetryNow(tel_, runtime_) : 0;
+  if (tel_ != nullptr && will_block) {
+    tel_->queue_depth.Set(++waiting_);
+  }
   if (det_ != nullptr && will_block) {
     det_->OnBlock(tid, this);
   }
   while (!open_) {
     cv_->Wait(*mu_);
+    if (tel_ != nullptr) {
+      tel_->wakeups.Add(1);
+    }
   }
   if (det_ != nullptr && will_block) {
     det_->OnWake(tid, this);
@@ -99,6 +138,15 @@ void BinarySemaphore::P(const std::function<void()>& on_acquire) {
   open_ = false;
   if (det_ != nullptr) {
     det_->OnAcquire(tid, this);
+  }
+  if (tel_ != nullptr) {
+    const std::uint64_t now = runtime_.NowNanos();
+    tel_->wait.Record(will_block ? TelemetryElapsed(wait_start, now) : 0);
+    tel_->admissions.Add(1);
+    hold_start_ = now;
+    if (will_block) {
+      tel_->queue_depth.Set(--waiting_);
+    }
   }
   if (on_acquire) {
     on_acquire();
@@ -115,6 +163,13 @@ void BinarySemaphore::V(const std::function<void()>& on_release) {
   if (det_ != nullptr) {
     det_->OnRelease(runtime_.CurrentThreadId(), this);
   }
+  if (tel_ != nullptr) {
+    tel_->signals.Add(1);
+    if (hold_start_ != 0) {
+      tel_->hold.Record(TelemetryElapsed(hold_start_, runtime_.NowNanos()));
+      hold_start_ = 0;
+    }
+  }
   open_ = true;
   cv_->NotifyOne();
 }
@@ -128,12 +183,18 @@ bool BinarySemaphore::TryP() {
   if (det_ != nullptr) {
     det_->OnAcquire(runtime_.CurrentThreadId(), this);
   }
+  if (tel_ != nullptr) {
+    tel_->wait.Record(0);
+    tel_->admissions.Add(1);
+    hold_start_ = runtime_.NowNanos();
+  }
   return true;
 }
 
 FifoSemaphore::FifoSemaphore(Runtime& runtime, std::int64_t initial)
     : runtime_(runtime),
       det_(runtime.anomaly_detector()),
+      tel_(MechanismTelemetry(runtime, "semaphore")),
       mu_(runtime.CreateMutex()),
       cv_(runtime.CreateCondVar()),
       count_(initial) {
@@ -158,6 +219,11 @@ void FifoSemaphore::P(const std::function<void()>& on_arrive,
     if (det_ != nullptr) {
       det_->OnAcquire(tid, this);
     }
+    if (tel_ != nullptr) {
+      tel_->wait.Record(0);
+      tel_->admissions.Add(1);
+      hold_starts_.push_back(runtime_.NowNanos());
+    }
     if (on_acquire) {
       on_acquire();
     }
@@ -166,12 +232,19 @@ void FifoSemaphore::P(const std::function<void()>& on_arrive,
   Waiter self;
   self.thread = tid;
   self.on_acquire = on_acquire;
+  self.wait_start = TelemetryNow(tel_, runtime_);
   queue_.push_back(&self);
+  if (tel_ != nullptr) {
+    tel_->queue_depth.Set(static_cast<std::int64_t>(queue_.size()));
+  }
   if (det_ != nullptr) {
     det_->OnBlock(tid, this);
   }
   while (!self.granted) {
     cv_->Wait(*mu_);
+    if (tel_ != nullptr) {
+      tel_->wakeups.Add(1);
+    }
   }
   if (det_ != nullptr) {
     det_->OnWake(tid, this);
@@ -188,12 +261,26 @@ void FifoSemaphore::V(const std::function<void()>& on_release) {
   if (det_ != nullptr) {
     det_->OnRelease(runtime_.CurrentThreadId(), this);
   }
+  if (tel_ != nullptr) {
+    tel_->signals.Add(1);
+    if (!hold_starts_.empty()) {
+      tel_->hold.Record(TelemetryElapsed(hold_starts_.front(), runtime_.NowNanos()));
+      hold_starts_.pop_front();
+    }
+  }
   if (!queue_.empty()) {
     // Hand the unit directly to the longest waiter; the count never becomes visible.
     Waiter* head = queue_.front();
     queue_.pop_front();
     if (det_ != nullptr) {
       det_->OnAcquire(head->thread, this);
+    }
+    if (tel_ != nullptr) {
+      const std::uint64_t now = runtime_.NowNanos();
+      tel_->wait.Record(TelemetryElapsed(head->wait_start, now));
+      tel_->admissions.Add(1);
+      hold_starts_.push_back(now);
+      tel_->queue_depth.Set(static_cast<std::int64_t>(queue_.size()));
     }
     if (head->on_acquire) {
       head->on_acquire();

@@ -57,9 +57,14 @@ class CountingSemaphore {
  private:
   Runtime& runtime_;
   AnomalyDetector* det_ = nullptr;  // From runtime.anomaly_detector(); may be null.
+  MechanismStats* tel_ = nullptr;   // Shared "semaphore" bundle; null when not attached.
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
   std::int64_t count_;
+  int waiting_ = 0;  // Blocked P() calls (telemetry queue depth). Guarded by mu_.
+  // Acquire times of outstanding units, FIFO-retired at V like the anomaly detector's
+  // holder model: hold time of a unit is measured oldest-acquire to next-release.
+  std::deque<std::uint64_t> hold_starts_;
 };
 
 // Binary semaphore (mutex-style usage, but V from a different thread is allowed, which a
@@ -79,9 +84,12 @@ class BinarySemaphore {
  private:
   Runtime& runtime_;
   AnomalyDetector* det_ = nullptr;  // From runtime.anomaly_detector(); may be null.
+  MechanismStats* tel_ = nullptr;   // Shared "semaphore" bundle; null when not attached.
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
   bool open_;
+  int waiting_ = 0;             // Blocked P() calls (telemetry). Guarded by mu_.
+  std::uint64_t hold_start_ = 0;  // NowNanos of the outstanding P (telemetry).
 };
 
 // Strong semaphore: blocked threads are granted the semaphore in the exact order their
@@ -108,14 +116,17 @@ class FifoSemaphore {
     bool granted = false;
     std::uint32_t thread = 0;
     std::function<void()> on_acquire;
+    std::uint64_t wait_start = 0;  // NowNanos when the wait began (telemetry).
   };
 
   Runtime& runtime_;
   AnomalyDetector* det_ = nullptr;  // From runtime.anomaly_detector(); may be null.
+  MechanismStats* tel_ = nullptr;   // Shared "semaphore" bundle; null when not attached.
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
   std::int64_t count_;
   std::deque<Waiter*> queue_;
+  std::deque<std::uint64_t> hold_starts_;  // FIFO-retired unit tenures (telemetry).
 };
 
 }  // namespace syneval

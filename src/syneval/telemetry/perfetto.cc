@@ -1,0 +1,206 @@
+#include "syneval/telemetry/perfetto.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "syneval/telemetry/metrics.h"
+
+namespace syneval {
+
+namespace {
+
+// One flattened trace_event record, pre-sort.
+struct JsonEvent {
+  double ts_us = 0;      // Chrome trace timestamps are microseconds.
+  double dur_us = 0;     // ph "X" only.
+  char ph = 'i';         // X, i, s, f.
+  std::uint32_t tid = 0;
+  std::uint64_t id = 0;  // Flow id (s/f only).
+  std::string name;
+  std::string category;
+  std::string args;      // Pre-rendered JSON object body, may be empty.
+};
+
+double TimestampMicros(const Event& event) {
+  // Wall-clock stamp if the recorder had a clock; otherwise one microsecond per
+  // logical step so deterministic traces lay out readably.
+  const std::uint64_t ns = event.wall_ns != 0 ? event.wall_ns : event.seq * 1000;
+  return static_cast<double>(ns) / 1000.0;
+}
+
+std::string Number(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", value);
+  return buf;
+}
+
+void AppendEvent(std::string& out, const JsonEvent& event, int pid, bool& first) {
+  if (!first) {
+    out += ",\n";
+  }
+  first = false;
+  out += "  {\"name\":\"" + JsonEscape(event.name) + "\",\"cat\":\"" +
+         JsonEscape(event.category.empty() ? "op" : event.category) +
+         "\",\"ph\":\"" + event.ph + "\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(event.tid) + ",\"ts\":" + Number(event.ts_us);
+  if (event.ph == 'X') {
+    out += ",\"dur\":" + Number(event.dur_us);
+  }
+  if (event.ph == 's' || event.ph == 'f') {
+    out += ",\"id\":" + std::to_string(event.id);
+    if (event.ph == 'f') {
+      out += ",\"bp\":\"e\"";
+    }
+  }
+  if (!event.args.empty()) {
+    out += ",\"args\":{" + event.args + "}";
+  } else if (event.ph == 'i') {
+    out += ",\"s\":\"t\"";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<Event>& events,
+                              const TelemetryTracer* tracer,
+                              const ChromeTraceOptions& options) {
+  std::vector<JsonEvent> out_events;
+  std::set<std::uint32_t> threads;
+
+  // Pair request/enter/exit phases per op_instance into wait and op spans.
+  struct OpenOp {
+    const Event* request = nullptr;
+    const Event* enter = nullptr;
+  };
+  std::map<std::uint64_t, OpenOp> open;
+  for (const Event& event : events) {
+    threads.insert(event.thread);
+    switch (event.kind) {
+      case EventKind::kRequest:
+        open[event.op_instance].request = &event;
+        break;
+      case EventKind::kEnter: {
+        OpenOp& op = open[event.op_instance];
+        op.enter = &event;
+        if (op.request != nullptr) {
+          JsonEvent wait;
+          wait.ph = 'X';
+          wait.tid = event.thread;
+          wait.name = "wait:" + event.op;
+          wait.category = "wait";
+          wait.ts_us = TimestampMicros(*op.request);
+          wait.dur_us = std::max(0.0, TimestampMicros(event) - wait.ts_us);
+          wait.args = "\"op_instance\":" + std::to_string(event.op_instance) +
+                      ",\"request_seq\":" + std::to_string(op.request->seq);
+          out_events.push_back(std::move(wait));
+        }
+        break;
+      }
+      case EventKind::kExit: {
+        const auto it = open.find(event.op_instance);
+        if (it != open.end() && it->second.enter != nullptr) {
+          const Event& enter = *it->second.enter;
+          JsonEvent span;
+          span.ph = 'X';
+          span.tid = enter.thread;
+          span.name = enter.op;
+          span.category = "op";
+          span.ts_us = TimestampMicros(enter);
+          span.dur_us = std::max(0.0, TimestampMicros(event) - span.ts_us);
+          span.args = "\"op_instance\":" + std::to_string(event.op_instance) +
+                      ",\"enter_seq\":" + std::to_string(enter.seq) +
+                      ",\"exit_seq\":" + std::to_string(event.seq) +
+                      ",\"param\":" + std::to_string(enter.param) +
+                      ",\"value\":" + std::to_string(event.value);
+          out_events.push_back(std::move(span));
+          open.erase(it);
+        }
+        break;
+      }
+      case EventKind::kMark: {
+        JsonEvent mark;
+        mark.ph = 'i';
+        mark.tid = event.thread;
+        mark.name = event.op;
+        mark.category = "mark";
+        mark.ts_us = TimestampMicros(event);
+        out_events.push_back(std::move(mark));
+        break;
+      }
+    }
+  }
+
+  if (tracer != nullptr) {
+    for (const TelemetryTracer::Record& record : tracer->Snapshot()) {
+      threads.insert(record.thread);
+      JsonEvent event;
+      event.tid = record.thread;
+      event.name = record.name;
+      event.category = record.category;
+      event.ts_us = static_cast<double>(record.start_ns) / 1000.0;
+      switch (record.type) {
+        case TelemetryTracer::RecordType::kSpan:
+          event.ph = 'X';
+          event.dur_us = std::max(
+              0.0, static_cast<double>(record.end_ns - record.start_ns) / 1000.0);
+          break;
+        case TelemetryTracer::RecordType::kInstant:
+          event.ph = 'i';
+          break;
+        case TelemetryTracer::RecordType::kFlowStart:
+          event.ph = 's';
+          event.id = record.flow_id;
+          break;
+        case TelemetryTracer::RecordType::kFlowEnd:
+          event.ph = 'f';
+          event.id = record.flow_id;
+          break;
+      }
+      out_events.push_back(std::move(event));
+    }
+  }
+
+  std::stable_sort(out_events.begin(), out_events.end(),
+                   [](const JsonEvent& a, const JsonEvent& b) { return a.ts_us < b.ts_us; });
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"generator\":\"syneval\"},"
+                    "\"traceEvents\":[\n";
+  bool first = true;
+  // Process/thread metadata first: names the tracks in the Perfetto UI.
+  {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(options.pid) + ",\"args\":{\"name\":\"" +
+           JsonEscape(options.process_name) + "\"}}";
+  }
+  for (const std::uint32_t tid : threads) {
+    out += ",\n  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(options.pid) + ",\"tid\":" + std::to_string(tid) +
+           ",\"args\":{\"name\":\"" + (tid == 0 ? "main" : "t" + std::to_string(tid)) +
+           "\"}}";
+  }
+  for (const JsonEvent& event : out_events) {
+    AppendEvent(out, event, options.pid, first);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path, const std::vector<Event>& events,
+                      const TelemetryTracer* tracer, const ChromeTraceOptions& options) {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << ExportChromeTrace(events, tracer, options);
+  return static_cast<bool>(file);
+}
+
+}  // namespace syneval

@@ -1,0 +1,48 @@
+// Chrome trace_event / Perfetto JSON export.
+//
+// Merges the logical TraceRecorder event stream (request/enter/exit triples with
+// optional wall-clock stamps) and a TelemetryTracer's records (extra spans, instants,
+// and signal→wakeup flows) into one JSON document loadable by ui.perfetto.dev or
+// chrome://tracing:
+//
+//   * each operation instance becomes two complete ("ph":"X") duration events on its
+//     thread's track — "wait:<op>" from request to admission and "<op>" from admission
+//     to exit — so convoys and starvation are visible as stacked wait spans;
+//   * each signal becomes a flow start ("ph":"s") and each wakeup it caused a flow
+//     finish ("ph":"f") with the same id, drawing the arrow that makes a lost wakeup
+//     (an "s" with no "f") or a stolen wakeup visually traceable;
+//   * kMark events become instants ("ph":"i").
+//
+// Timestamps: events carrying wall_ns use it; events without (pure logical traces) fall
+// back to seq * 1000, which renders a deterministic-runtime trace at one microsecond
+// per scheduling step. "displayTimeUnit":"ns" keeps sub-microsecond spans readable.
+
+#ifndef SYNEVAL_TELEMETRY_PERFETTO_H_
+#define SYNEVAL_TELEMETRY_PERFETTO_H_
+
+#include <string>
+#include <vector>
+
+#include "syneval/telemetry/tracer.h"
+#include "syneval/trace/event.h"
+
+namespace syneval {
+
+struct ChromeTraceOptions {
+  int pid = 1;
+  std::string process_name = "syneval";
+};
+
+// Renders the merged trace as a Chrome trace_event JSON object. `tracer` may be null.
+std::string ExportChromeTrace(const std::vector<Event>& events,
+                              const TelemetryTracer* tracer,
+                              const ChromeTraceOptions& options = {});
+
+// Writes ExportChromeTrace output to `path`. Returns false (and writes nothing further)
+// on I/O failure.
+bool WriteChromeTrace(const std::string& path, const std::vector<Event>& events,
+                      const TelemetryTracer* tracer, const ChromeTraceOptions& options = {});
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_TELEMETRY_PERFETTO_H_

@@ -1,0 +1,55 @@
+#include "syneval/telemetry/tracer.h"
+
+#include <utility>
+
+namespace syneval {
+
+void TelemetryTracer::AddSpan(std::uint32_t thread, std::string name, std::string category,
+                              std::uint64_t start_ns, std::uint64_t end_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back({RecordType::kSpan, thread, std::move(name), std::move(category),
+                      start_ns, end_ns, 0});
+}
+
+void TelemetryTracer::AddInstant(std::uint32_t thread, std::string name,
+                                 std::string category, std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(
+      {RecordType::kInstant, thread, std::move(name), std::move(category), ns, 0, 0});
+}
+
+void TelemetryTracer::OnSignal(const void* key, std::uint32_t thread, std::uint64_t ns,
+                               bool broadcast) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_flow_id_++;
+  pending_flow_[key] = id;
+  records_.push_back({RecordType::kFlowStart, thread,
+                      broadcast ? "broadcast" : "signal", "sync", ns, 0, id});
+}
+
+void TelemetryTracer::OnWake(const void* key, std::uint32_t thread, std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pending_flow_.find(key);
+  if (it == pending_flow_.end()) {
+    return;
+  }
+  records_.push_back({RecordType::kFlowEnd, thread, "wakeup", "sync", ns, 0, it->second});
+}
+
+std::vector<TelemetryTracer::Record> TelemetryTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t TelemetryTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void TelemetryTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  pending_flow_.clear();
+}
+
+}  // namespace syneval

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -56,6 +57,12 @@ class TraceRecorder {
   // must ensure the observer outlives all recording and is set before writers start.
   void SetObserver(TraceObserver* observer) { observer_ = observer; }
 
+  // Attaches a wall-clock source (typically [&rt] { return rt.NowNanos(); }). Once
+  // set, every appended event is stamped with Event::wall_ns under the recorder lock,
+  // which lets the Perfetto exporter place the logical events on a real timeline.
+  // Must be set before writers start; events recorded earlier keep wall_ns == 0.
+  void SetClock(std::function<std::uint64_t()> clock) { clock_ = std::move(clock); }
+
   // Returns a copy of all events recorded so far.
   std::vector<Event> Snapshot() const;
 
@@ -74,6 +81,7 @@ class TraceRecorder {
   std::uint64_t next_seq_ = 1;
   std::atomic<std::uint64_t> next_instance_{1};
   TraceObserver* observer_ = nullptr;
+  std::function<std::uint64_t()> clock_;  // Optional wall-clock source for wall_ns.
 };
 
 // Records the phases of one operation execution.
