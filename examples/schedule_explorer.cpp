@@ -1,19 +1,31 @@
-// Schedule explorer: the deterministic runtime as a bug-hunting tool.
+// Schedule explorer: static analysis first, then the deterministic runtime as a
+// bug-hunting tool — the repository's intended workflow, in order.
 //
-// A deliberately broken "statistics counter" (read-modify-write without a lock, plus a
-// check-then-act reset) is swept across schedules; the explorer reports the failure
-// probability under random vs PCT search, then replays one failing seed and prints the
-// exact interleaving that breaks it. This is the workflow the conformance engine uses
-// on the paper's solutions (e.g. hunting the footnote-3 anomaly).
+// Act 1 (static, before any thread is spawned): the path-expression model checker
+// proves the bounded-buffer path deadlock-free by exhausting its counter-state space,
+// then finds the minimal deadlock word in a deliberately-broken crossed-gates program
+// and replays it under DetRuntime until the anomaly detector names the cycle. No
+// schedule is spent on questions the checker can settle outright.
+//
+// Act 2 (dynamic): a deliberately broken "statistics counter" (read-modify-write
+// without a lock) — a data race, invisible to the static passes — is swept across
+// schedules; the explorer reports the failure probability, then replays one failing
+// seed and prints the exact interleaving that breaks it. This is the workflow the
+// conformance engine uses on the paper's solutions (e.g. hunting the footnote-3
+// anomaly).
 
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "syneval/analysis/catalog.h"
+#include "syneval/analysis/model_checker.h"
+#include "syneval/analysis/replay.h"
 #include "syneval/runtime/det_runtime.h"
 #include "syneval/runtime/explore.h"
 #include "syneval/runtime/schedule.h"
+#include "syneval/solutions/pathexpr_solutions.h"
 
 using namespace syneval;
 
@@ -69,11 +81,46 @@ std::string RunTrial(std::uint64_t seed, bool locked, std::vector<std::string>* 
   return "";
 }
 
+// Act 1: what can be settled without running a single schedule.
+bool StaticAct() {
+  std::printf("act 1 — static verdicts (no thread has been spawned yet)\n\n");
+
+  // A proof: the CH74 bounded-buffer path expression, checked exhaustively.
+  const PathModel buffer{"bounded buffer", PathBoundedBuffer::Program(3), {}};
+  const ModelCheckResult proof = CheckPathModel(buffer);
+  std::printf("  %-28s %s\n", buffer.name.c_str(), proof.Summary().c_str());
+
+  // A refutation: crossed acquisition order, found as a minimal counterexample word...
+  const PathModel broken = BrokenCrossedGatesModel();
+  const ModelCheckResult refutation = CheckPathModel(broken);
+  std::printf("  %-28s %s\n", broken.name.c_str(), refutation.Summary().c_str());
+  if (proof.safety != SafetyVerdict::kDeadlockFree ||
+      refutation.safety != SafetyVerdict::kDeadlockable) {
+    return false;
+  }
+
+  // ...which is never trusted until it reproduces as a real deadlock: replay the word
+  // under DetRuntime with the anomaly detector attached.
+  const ReplayResult replay = ReplayCounterexample(broken, refutation.counterexample);
+  std::printf("  replayed under DetRuntime:   %s\n",
+              replay.deadlocked ? "deadlocked, as predicted" : "DID NOT deadlock!");
+  if (!replay.anomaly_report.empty()) {
+    std::printf("  detector:                    %s\n", replay.anomaly_report.c_str());
+  }
+  std::printf(
+      "\nOnly now do we spend schedules — on what static analysis cannot see:\n"
+      "guard logic, oracle violations, and data races like the one below.\n\n");
+  return replay.deadlocked && replay.anomalies.deadlocks >= 1;
+}
+
 }  // namespace
 
 int main() {
-  std::printf("schedule explorer — hunting a race with the deterministic runtime\n\n");
+  std::printf("schedule explorer — static analysis first, then schedule hunting\n\n");
 
+  const bool static_ok = StaticAct();
+
+  std::printf("act 2 — hunting a race with the deterministic runtime\n\n");
   const int seeds = 200;
   const SweepOutcome racy =
       SweepSchedules(seeds, [](std::uint64_t s) { return RunTrial(s, false, nullptr); });
@@ -96,5 +143,5 @@ int main() {
     std::printf("\nThe same seed reproduces the same interleaving every time — that is\n"
                 "what makes the paper's behavioural claims checkable (EXPERIMENTS.md E1).\n");
   }
-  return locked.failures == 0 && racy.failures > 0 ? 0 : 1;
+  return static_ok && locked.failures == 0 && racy.failures > 0 ? 0 : 1;
 }

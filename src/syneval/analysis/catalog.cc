@@ -1,0 +1,316 @@
+#include "syneval/analysis/catalog.h"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "syneval/solutions/dining_solutions.h"
+#include "syneval/solutions/pathexpr_solutions.h"
+#include "syneval/solutions/registry.h"
+
+namespace syneval {
+
+namespace {
+
+ClientStep B(const char* op) { return {ClientStep::Kind::kBegin, op}; }
+ClientStep E(const char* op) { return {ClientStep::Kind::kEnd, op}; }
+
+ClientScript Script(const char* name, std::vector<ClientStep> steps,
+                    int max_instances = 2) {
+  ClientScript script;
+  script.name = name;
+  script.steps = std::move(steps);
+  script.max_instances = max_instances;
+  return script;
+}
+
+}  // namespace
+
+std::vector<PathModelEntry> RegistryPathModels() {
+  std::vector<PathModelEntry> entries;
+  auto add = [&](std::string problem, PathModel model) {
+    entries.push_back({Mechanism::kPathExpression, std::move(problem), std::move(model)});
+  };
+
+  // Buffers, FCFS and disk have no synchronization procedures: the default
+  // one-call-per-operation scripts model their clients exactly.
+  add("bounded-buffer",
+      {"CH74 bounded buffer path", PathBoundedBuffer::Program(3), {}});
+  add("one-slot-buffer", {"CH74 one-slot buffer path", PathOneSlotBuffer::Program(), {}});
+
+  // Figures 1 and 2: the scripts transcribe the synchronization procedures from the
+  // paper (and pathexpr_solutions.cc) — the nesting is where hold-and-wait can hide.
+  add("rw-readers-priority",
+      {"Figure 1 (CH74 readers priority)",
+       PathExprRwFigure1::Program(),
+       {Script("READ", {B("requestread"), B("read"), E("read"), E("requestread")}),
+        Script("WRITE", {B("writeattempt"), B("requestwrite"), B("openwrite"),
+                         E("openwrite"), E("requestwrite"), E("writeattempt"),
+                         B("write"), E("write")})}});
+  add("rw-writers-priority",
+      {"Figure 2 (CH74 writers priority)",
+       PathExprRwFigure2::Program(),
+       {Script("READ", {B("readattempt"), B("requestread"), B("openread"),
+                        E("openread"), E("requestread"), E("readattempt"), B("read"),
+                        E("read")}),
+        Script("WRITE", {B("requestwrite"), B("write"), E("write"), E("requestwrite")})}});
+
+  add("rw-readers-priority",
+      {"Predicate paths (Andler) readers priority", PathExprRwPredicates::Program(), {}});
+  add("fcfs-resource", {"FCFS resource path", PathFcfsResource::Program(), {}});
+  add("disk-fcfs",
+      {"Disk path (FCFS only; SCAN inexpressible)", PathDiskFcfs::Program(), {}});
+
+  // Four seats so non-adjacent philosophers exist: eat0/eat2 can overlap-alternate,
+  // keeping both forks of eat1 never simultaneously free — the starvation the checker
+  // must find. A philosopher is one thread, hence max_instances = 1 per script.
+  PathModel dining{"One path per fork (atomic prologues)", PathDining::Program(4), {}};
+  for (int seat = 0; seat < 4; ++seat) {
+    dining.scripts.push_back(SimpleCall("eat" + std::to_string(seat), 1));
+  }
+  add("dining-philosophers", std::move(dining));
+
+  return entries;
+}
+
+std::vector<MonitorModelEntry> RegistryMonitorModels() {
+  std::vector<MonitorModelEntry> entries;
+  auto monitor = [&](std::string problem, MonitorModel model) {
+    model.semantics = WaitSemantics::kHoare;  // monitor.h implements Hoare transfer.
+    entries.push_back({Mechanism::kMonitor, std::move(problem), std::move(model)});
+  };
+  auto ccr = [&](std::string problem, MonitorModel model) {
+    model.semantics = WaitSemantics::kCcr;
+    entries.push_back({Mechanism::kConditionalRegion, std::move(problem), std::move(model)});
+  };
+
+  // --- Hoare monitors (one site per Wait/Signal in monitor_solutions.cc) ------------
+  monitor("bounded-buffer",
+          {"Hoare bounded buffer monitor",
+           WaitSemantics::kHoare,
+           {{"nonfull", "count < capacity", true, 8}, {"nonempty", "count > 0", true, 8}},
+           {{"nonempty", false, 1, false}, {"nonfull", false, 1, false}}});
+  monitor("one-slot-buffer",
+          {"One-slot buffer monitor",
+           WaitSemantics::kHoare,
+           {{"empty", "!has_item", true, 8}, {"full", "has_item", true, 8}},
+           {{"full", false, 1, false}, {"empty", false, 1, false}}});
+  monitor("rw-readers-priority",
+          {"Readers-priority monitor (CHP semantics)",
+           WaitSemantics::kHoare,
+           {{"ok_to_read", "!writing", true, 8},
+            {"ok_to_write", "!writing && readers == 0", true, 8}},
+           // Entering readers cascade ok_to_read so the whole batch is admitted.
+           {{"ok_to_read", false, 8, true},
+            {"ok_to_write", false, 1, false},
+            {"ok_to_read", false, 8, true}}});
+  monitor("rw-writers-priority",
+          {"Writers-priority monitor",
+           WaitSemantics::kHoare,
+           {{"ok_to_read", "!writing && no waiting writer", true, 8},
+            {"ok_to_write", "!writing && readers == 0", true, 8}},
+           {{"ok_to_read", false, 8, true},
+            {"ok_to_write", false, 1, false},
+            {"ok_to_write", false, 1, false}}});
+  monitor("rw-fcfs",
+          {"FCFS monitor (two-stage queuing)",
+           WaitSemantics::kHoare,
+           {{"turn", "my ticket is at the head and admissible", true, 8}},
+           // A reader at the head re-signals turn: consecutive readers chain in.
+           {{"turn", false, 8, true}, {"turn", false, 1, false}}});
+  monitor("rw-fair",
+          {"Fair (batch alternation) monitor, Hoare 1974",
+           WaitSemantics::kHoare,
+           // Hoare's 1974 text: `if` waits relying on signal handoff, not re-test.
+           {{"ok_to_read", "!writing && no waiting writer", false, 8},
+            {"ok_to_write", "!writing && readers == 0", false, 8}},
+           {{"ok_to_read", false, 8, true},
+            {"ok_to_write", false, 1, false},
+            {"ok_to_read", false, 8, true}}});
+  monitor("fcfs-resource",
+          {"FCFS resource monitor",
+           WaitSemantics::kHoare,
+           {{"turn", "!busy", true, 8}},
+           {{"turn", false, 1, false}}});
+  monitor("disk-scan",
+          {"Hoare disk-head scheduler (SCAN)",
+           WaitSemantics::kHoare,
+           {{"upsweep", "!busy (sweep passes my track going up)", false, 8},
+            {"downsweep", "!busy (sweep passes my track going down)", false, 8}},
+           {{"upsweep", false, 1, false}, {"downsweep", false, 1, false}}});
+  monitor("alarm-clock",
+          {"Hoare alarm clock",
+           WaitSemantics::kHoare,
+           {{"wakeup", "now >= alarm", true, 8}},
+           // Tick signals in a loop while due sleepers remain: a wakeup chain.
+           {{"wakeup", false, 8, true}}});
+  monitor("sjn-allocator",
+          {"Shortest-job-next monitor (Hoare scheduled wait)",
+           WaitSemantics::kHoare,
+           {{"queue", "!busy", false, 8}},
+           {{"queue", false, 1, false}}});
+  monitor("dining-philosophers",
+          {"Dijkstra state monitor (test + private conditions)",
+           WaitSemantics::kHoare,
+           // One private condition per seat; self[p] is signalled only after test()
+           // already set state[p] = eating, so the predicate holds on wake.
+           {{"self[p]", "state[p] == eating", false, 1}},
+           {{"self[p]", false, 1, false}}});
+  monitor("cigarette-smokers",
+          {"Monitor smokers (condition per smoker)",
+           WaitSemantics::kHoare,
+           {{"table_free", "!present && !smoking", true, 8},
+            {"my_pair[i]", "present && table == i", true, 1}},
+           {{"my_pair[i]", false, 1, false}, {"table_free", false, 1, false}}});
+
+  // --- Conditional critical regions (wait = `region when <predicate>`) --------------
+  // Signals are implicit: every region exit re-tests every queued predicate, so the
+  // lint's never-signalled rule exempts kCcr models.
+  ccr("bounded-buffer",
+      {"region when count < N / count > 0",
+       WaitSemantics::kCcr,
+       {{"deposit", "count < capacity", true, 8}, {"remove", "count > 0", true, 8}},
+       {}});
+  ccr("one-slot-buffer",
+      {"region when has_item flips",
+       WaitSemantics::kCcr,
+       {{"deposit", "!has_item", true, 8}, {"remove", "has_item", true, 8}},
+       {}});
+  ccr("rw-readers-priority",
+      {"CCR readers priority (pending-reader counter)",
+       WaitSemantics::kCcr,
+       {{"read", "!writing", true, 8},
+        {"write", "!writing && readers == 0 && pending_readers == 0", true, 8}},
+       {}});
+  ccr("rw-writers-priority",
+      {"CCR writers priority (pending-writer counter)",
+       WaitSemantics::kCcr,
+       {{"read", "!writing && pending_writers == 0", true, 8},
+        {"write", "!writing && readers == 0", true, 8}},
+       {}});
+  ccr("fcfs-resource",
+      {"CCR FCFS (ticket in condition)",
+       WaitSemantics::kCcr,
+       {{"acquire", "!busy && ticket == serving", true, 8}},
+       {}});
+  ccr("disk-scan",
+      {"CCR SCAN (pending list re-derived per exit)",
+       WaitSemantics::kCcr,
+       {{"access", "!busy && my track is the SCAN choice over pending", true, 8}},
+       {}});
+  ccr("alarm-clock",
+      {"region when now >= due", WaitSemantics::kCcr, {{"wake", "now >= due", true, 8}}, {}});
+  ccr("sjn-allocator",
+      {"CCR SJN (pending estimates, min in condition)",
+       WaitSemantics::kCcr,
+       {{"use", "!busy && my estimate is the pending minimum", true, 8}},
+       {}});
+  ccr("dining-philosophers",
+      {"region when neighbours not eating",
+       WaitSemantics::kCcr,
+       {{"eat", "!eating[left] && !eating[right]", true, 1}},
+       {}});
+  ccr("cigarette-smokers",
+      {"region when table = holding",
+       WaitSemantics::kCcr,
+       {{"agent", "!present && !smoking", true, 8},
+        {"smoker", "present && table == holding", true, 1}},
+       {}});
+
+  return entries;
+}
+
+PathModel BrokenCrossedGatesModel() {
+  PathModel model;
+  model.name = "crossed gates (deliberately broken)";
+  model.program = "path 1:(geta) end path 1:(getb) end";
+  model.scripts = {Script("ab", {B("geta"), B("getb"), E("getb"), E("geta")}),
+                   Script("ba", {B("getb"), B("geta"), E("geta"), E("getb")})};
+  return model;
+}
+
+std::string SolutionVerdict::VerdictString() const {
+  std::ostringstream os;
+  if (is_path) {
+    os << SafetyVerdictName(model.safety);
+    if (model.guard_dependent) {
+      os << " (modulo guards)";
+    }
+    if (!model.unreachable_ops.empty()) {
+      os << ", unreachable: {";
+      for (std::size_t i = 0; i < model.unreachable_ops.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << model.unreachable_ops[i];
+      }
+      os << "}";
+    }
+    if (!model.starvable_ops.empty()) {
+      os << ", starvable: {";
+      for (std::size_t i = 0; i < model.starvable_ops.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << model.starvable_ops[i];
+      }
+      os << "}";
+    }
+    return os.str();
+  }
+  if (findings.empty()) {
+    return std::string("lint-clean (") + WaitSemanticsName(semantics) + ")";
+  }
+  std::map<std::string, std::pair<LintSeverity, int>> by_rule;
+  for (const LintFinding& finding : findings) {
+    auto& slot = by_rule[finding.rule];
+    slot.first = finding.severity;
+    ++slot.second;
+  }
+  bool first = true;
+  for (const auto& [rule, slot] : by_rule) {
+    os << (first ? "" : ", ") << rule << " x" << slot.second << " ("
+       << LintSeverityName(slot.first) << ")";
+    first = false;
+  }
+  return os.str();
+}
+
+std::vector<SolutionVerdict> AnalyzeRegistry() {
+  std::map<std::pair<int, std::string>, const PathModelEntry*> paths;
+  const std::vector<PathModelEntry> path_entries = RegistryPathModels();
+  for (const PathModelEntry& entry : path_entries) {
+    paths[{static_cast<int>(entry.mechanism), entry.model.name}] = &entry;
+  }
+  std::map<std::pair<int, std::string>, const MonitorModelEntry*> monitors;
+  const std::vector<MonitorModelEntry> monitor_entries = RegistryMonitorModels();
+  for (const MonitorModelEntry& entry : monitor_entries) {
+    monitors[{static_cast<int>(entry.mechanism), entry.model.name}] = &entry;
+  }
+
+  std::vector<SolutionVerdict> verdicts;
+  for (const SolutionInfo& info : AllSolutionInfos()) {
+    const std::pair<int, std::string> key{static_cast<int>(info.mechanism),
+                                          info.display_name};
+    SolutionVerdict verdict;
+    verdict.mechanism = info.mechanism;
+    verdict.problem = info.problem;
+    verdict.display_name = info.display_name;
+    if (const auto it = paths.find(key); it != paths.end()) {
+      verdict.is_path = true;
+      verdict.model = CheckPathModel(it->second->model);
+      verdict.statically_safe = verdict.model.safety == SafetyVerdict::kDeadlockFree &&
+                                verdict.model.unreachable_ops.empty() &&
+                                verdict.model.starvable_ops.empty();
+    } else if (const auto mit = monitors.find(key); mit != monitors.end()) {
+      verdict.is_path = false;
+      verdict.semantics = mit->second->model.semantics;
+      verdict.findings = LintMonitorModel(mit->second->model);
+      verdict.statically_safe = true;
+      for (const LintFinding& finding : verdict.findings) {
+        verdict.statically_safe =
+            verdict.statically_safe && finding.severity != LintSeverity::kError;
+      }
+    } else {
+      continue;  // Mechanism without a static model yet (semaphore/serializer/CSP).
+    }
+    verdicts.push_back(std::move(verdict));
+  }
+  return verdicts;
+}
+
+}  // namespace syneval

@@ -1,0 +1,71 @@
+// Analysis models for the registered solutions, and the registry-wide driver.
+//
+// Path-expression solutions are checked exhaustively: each gets a PathModel whose
+// program is the solution's own (via its Program() accessor, so the analyzed text can
+// never drift from the executed text) and whose client scripts transcribe the
+// solution's synchronization procedures — e.g. Figure 1's WRITE performs
+// writeattempt{requestwrite{openwrite}} before write, which is exactly where its
+// hold-and-wait lives. Monitor and CCR solutions get declarative MonitorModels
+// (hand-transcribed from the solution sources, one WaitSite/SignalSite per syntactic
+// site) for the wait-predicate lint. Semaphore, serializer and CSP solutions have no
+// static model yet; AnalyzeRegistry reports them as uncovered rather than guessing.
+
+#ifndef SYNEVAL_ANALYSIS_CATALOG_H_
+#define SYNEVAL_ANALYSIS_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "syneval/analysis/model_checker.h"
+#include "syneval/analysis/monitor_lint.h"
+#include "syneval/solutions/solution_info.h"
+
+namespace syneval {
+
+struct PathModelEntry {
+  Mechanism mechanism = Mechanism::kPathExpression;
+  std::string problem;
+  PathModel model;  // model.name is the registry display name.
+};
+
+struct MonitorModelEntry {
+  Mechanism mechanism = Mechanism::kMonitor;
+  std::string problem;
+  MonitorModel model;  // model.name is the registry display name.
+};
+
+// Models for every path-expression solution in the registry (8 entries).
+std::vector<PathModelEntry> RegistryPathModels();
+
+// Models for every monitor and CCR solution in the registry (22 entries).
+std::vector<MonitorModelEntry> RegistryMonitorModels();
+
+// A deliberately-broken pair of path gates with crossed acquisition order: script "ab"
+// holds geta while asking for getb, script "ba" the reverse. The checker finds the
+// 2-event wedge word, and replaying it demonstrates a real deadlock (see replay.h) —
+// the end-to-end fixture for the static→dynamic cross-validation.
+PathModel BrokenCrossedGatesModel();
+
+// One registry solution's static verdict: exactly one of the two passes applies.
+struct SolutionVerdict {
+  Mechanism mechanism = Mechanism::kPathExpression;
+  std::string problem;
+  std::string display_name;
+  bool is_path = false;             // True: `model` is set; false: `findings` is.
+  ModelCheckResult model;           // Model-checker result (path solutions).
+  WaitSemantics semantics = WaitSemantics::kMesa;  // Lint semantics (monitor/CCR).
+  std::vector<LintFinding> findings;               // Lint findings (monitor/CCR).
+  // Path: deadlock-free within bounds, nothing unreachable or starvable.
+  // Monitor/CCR: no error-severity finding.
+  bool statically_safe = false;
+
+  // One table cell, e.g. "deadlock-free, starvable: {requestwrite}" or "2 notes".
+  std::string VerdictString() const;
+};
+
+// Runs both passes over every modelled registry solution, in registry order.
+std::vector<SolutionVerdict> AnalyzeRegistry();
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_ANALYSIS_CATALOG_H_

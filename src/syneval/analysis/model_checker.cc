@@ -1,0 +1,626 @@
+#include "syneval/analysis/model_checker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "syneval/pathexpr/parser.h"
+
+namespace syneval {
+
+namespace {
+
+bool ApplyAllOptimistic(const std::vector<PathAction>& actions, PathState& state);
+
+// PathController::ApplyAction with guards assumed true: the checker cannot see host
+// predicate state, so [p] is modelled as nondeterministically-eventually-true.
+bool ApplyActionOptimistic(const PathAction& action, PathState& state) {
+  switch (action.kind) {
+    case PathAction::Kind::kAcquire:
+      if (state.counters[action.index] <= 0) {
+        return false;
+      }
+      --state.counters[action.index];
+      return true;
+    case PathAction::Kind::kRelease:
+      ++state.counters[action.index];
+      return true;
+    case PathAction::Kind::kBraceEnter:
+      if (state.braces[action.index] == 0 && !ApplyAllOptimistic(action.nested, state)) {
+        return false;
+      }
+      ++state.braces[action.index];
+      return true;
+    case PathAction::Kind::kBraceExit:
+      --state.braces[action.index];
+      if (state.braces[action.index] == 0) {
+        const bool ok = ApplyAllOptimistic(action.nested, state);
+        assert(ok && "path epilogue failed to fire");
+        (void)ok;
+      }
+      return true;
+    case PathAction::Kind::kGuard:
+      return true;
+  }
+  return false;
+}
+
+bool ApplyAllOptimistic(const std::vector<PathAction>& actions, PathState& state) {
+  for (const PathAction& action : actions) {
+    if (!ApplyActionOptimistic(action, state)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Fires the whole prologue of one operation atomically, choosing the first fireable
+// alternative per path — the same deterministic rule PathController::TryBeginLocked
+// uses, so model markings match runtime markings event for event.
+std::optional<std::vector<int>> TryBegin(const std::vector<OpInPath>& op_paths,
+                                         PathState& state) {
+  PathState working = state;
+  std::vector<int> alts;
+  alts.reserve(op_paths.size());
+  for (const OpInPath& in_path : op_paths) {
+    bool fired = false;
+    for (std::size_t alt = 0; alt < in_path.alternatives.size(); ++alt) {
+      PathState trial = working;
+      if (ApplyAllOptimistic(in_path.alternatives[alt].begin, trial)) {
+        working = std::move(trial);
+        alts.push_back(static_cast<int>(alt));
+        fired = true;
+        break;
+      }
+    }
+    if (!fired) {
+      return std::nullopt;
+    }
+  }
+  state = std::move(working);
+  return alts;
+}
+
+void ApplyEnd(const std::vector<OpInPath>& op_paths, const std::vector<int>& alts,
+              PathState& state) {
+  for (std::size_t i = 0; i < op_paths.size(); ++i) {
+    const bool ok = ApplyAllOptimistic(
+        op_paths[i].alternatives[static_cast<std::size_t>(alts[i])].end, state);
+    assert(ok && "path epilogue failed to fire");
+    (void)ok;
+  }
+}
+
+struct OpenBegin {
+  int op = 0;
+  std::vector<int> alts;
+};
+
+struct Instance {
+  int script = 0;
+  int pc = 0;
+  std::vector<OpenBegin> open;  // Begin order; Ends match the last open of their op.
+};
+
+struct State {
+  PathState marking;
+  std::vector<Instance> instances;
+};
+
+std::string InstanceKey(const Instance& inst) {
+  std::ostringstream os;
+  os << inst.script << '@' << inst.pc << ':';
+  for (const OpenBegin& open : inst.open) {
+    os << open.op << '(';
+    for (int alt : open.alts) {
+      os << alt << ',';
+    }
+    os << ')';
+  }
+  return os.str();
+}
+
+// Canonical key: marking plus the *multiset* of instance descriptors (instances of the
+// same script at the same position are interchangeable, so order is normalized away).
+std::string StateKey(const State& state) {
+  std::ostringstream os;
+  for (std::int64_t c : state.marking.counters) {
+    os << c << ',';
+  }
+  os << '|';
+  for (std::int64_t b : state.marking.braces) {
+    os << b << ',';
+  }
+  os << '|';
+  std::vector<std::string> keys;
+  keys.reserve(state.instances.size());
+  for (const Instance& inst : state.instances) {
+    keys.push_back(InstanceKey(inst));
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const std::string& key : keys) {
+    os << key << ';';
+  }
+  return os.str();
+}
+
+class Checker {
+ public:
+  explicit Checker(const PathModel& model)
+      : model_(model), compiled_(CompilePaths(ParsePathProgram(model.program))) {
+    for (const auto& [op, paths] : compiled_.ops) {
+      op_ids_[op] = static_cast<int>(op_names_.size());
+      op_names_.push_back(op);
+      op_paths_.push_back(&paths);
+    }
+    if (op_names_.size() > 64) {
+      throw std::invalid_argument("model checker supports at most 64 operations");
+    }
+    scripts_ = model.scripts;
+    if (scripts_.empty()) {
+      for (const std::string& op : op_names_) {
+        scripts_.push_back(SimpleCall(op));
+      }
+    }
+    ResolveScripts();
+  }
+
+  ModelCheckResult Run();
+
+ private:
+  // BFS discovery edge for a state: how it was first produced from `state`.
+  struct Parent {
+    int state = -1;
+    CounterexampleStep step;
+    bool spawn = false;  // Edge spawned a fresh instance (of script `index`).
+    int index = -1;      // Spawn: script index. Advance: instance index in parent.
+  };
+
+  void ResolveScripts();
+  int AddState(State state, const Parent& parent);
+  std::uint64_t FireableMask(const PathState& marking) const;
+  std::uint64_t WaitingMask(const State& state, std::uint64_t fireable) const;
+  Counterexample BuildCounterexample(int wedged) const;
+  void FindStarvableOps(ModelCheckResult* result) const;
+
+  const PathModel& model_;
+  CompiledPaths compiled_;
+  std::vector<ClientScript> scripts_;
+  std::vector<std::string> op_names_;
+  std::map<std::string, int> op_ids_;
+  std::vector<const std::vector<OpInPath>*> op_paths_;
+  std::vector<std::vector<int>> script_step_ops_;  // Per script, per step: op id.
+  std::uint64_t entry_ops_ = 0;                    // Ops starting some script.
+
+  std::vector<State> states_;
+  std::unordered_map<std::string, int> index_;
+  std::vector<Parent> parents_;
+  std::vector<std::vector<int>> succs_;
+  std::vector<std::uint64_t> fireable_;  // Per state: ops whose prologue fires.
+  std::vector<std::uint64_t> waiting_;   // Per state: ops an active instance waits at.
+  std::vector<bool> op_began_;
+  std::size_t transitions_ = 0;
+};
+
+void Checker::ResolveScripts() {
+  if (scripts_.empty()) {
+    throw std::invalid_argument("path model has no client scripts");
+  }
+  for (const ClientScript& script : scripts_) {
+    if (script.steps.empty() || script.steps.front().kind != ClientStep::Kind::kBegin) {
+      throw std::invalid_argument("script '" + script.name +
+                                  "' must start with a Begin step");
+    }
+    std::vector<int> ops;
+    std::map<int, int> open_counts;
+    for (const ClientStep& step : script.steps) {
+      const auto it = op_ids_.find(step.op);
+      if (it == op_ids_.end()) {
+        throw std::invalid_argument("script '" + script.name + "' references '" +
+                                    step.op + "', which no path constrains");
+      }
+      ops.push_back(it->second);
+      if (step.kind == ClientStep::Kind::kBegin) {
+        ++open_counts[it->second];
+      } else if (--open_counts[it->second] < 0) {
+        throw std::invalid_argument("script '" + script.name + "' ends '" + step.op +
+                                    "' with no open begin");
+      }
+    }
+    for (const auto& [op, count] : open_counts) {
+      if (count != 0) {
+        throw std::invalid_argument("script '" + script.name + "' leaves '" +
+                                    op_names_[static_cast<std::size_t>(op)] + "' open");
+      }
+    }
+    entry_ops_ |= std::uint64_t{1} << ops.front();
+    script_step_ops_.push_back(std::move(ops));
+  }
+}
+
+std::uint64_t Checker::FireableMask(const PathState& marking) const {
+  std::uint64_t mask = 0;
+  for (std::size_t op = 0; op < op_paths_.size(); ++op) {
+    PathState trial = marking;
+    if (TryBegin(*op_paths_[op], trial).has_value()) {
+      mask |= std::uint64_t{1} << op;
+    }
+  }
+  return mask;
+}
+
+std::uint64_t Checker::WaitingMask(const State& state, std::uint64_t fireable) const {
+  std::uint64_t mask = 0;
+  for (const Instance& inst : state.instances) {
+    const ClientScript& script = scripts_[static_cast<std::size_t>(inst.script)];
+    if (inst.pc < static_cast<int>(script.steps.size()) &&
+        script.steps[static_cast<std::size_t>(inst.pc)].kind ==
+            ClientStep::Kind::kBegin) {
+      const int op = script_step_ops_[static_cast<std::size_t>(inst.script)]
+                                    [static_cast<std::size_t>(inst.pc)];
+      if ((fireable & (std::uint64_t{1} << op)) == 0) {
+        mask |= std::uint64_t{1} << op;
+      }
+    }
+  }
+  return mask;
+}
+
+int Checker::AddState(State state, const Parent& parent) {
+  std::string key = StateKey(state);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const int id = static_cast<int>(states_.size());
+  index_.emplace(std::move(key), id);
+  const std::uint64_t fireable = FireableMask(state.marking);
+  fireable_.push_back(fireable);
+  waiting_.push_back(WaitingMask(state, fireable));
+  states_.push_back(std::move(state));
+  parents_.push_back(parent);
+  succs_.emplace_back();
+  return id;
+}
+
+Counterexample Checker::BuildCounterexample(int wedged) const {
+  // The chain of state ids root → wedged. Each stored state is exactly the state its
+  // recorded parent edge produced, so instance indices are consistent along the chain.
+  std::vector<int> chain;
+  for (int at = wedged; at >= 0; at = parents_[static_cast<std::size_t>(at)].state) {
+    chain.push_back(at);
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  // Walk the chain assigning logical client ids: `slots` mirrors the instances vector
+  // of the current state (spawns append; a finishing advance erases its index).
+  Counterexample cex;
+  std::vector<int> slots;
+  int next_client = 0;
+  for (std::size_t k = 1; k < chain.size(); ++k) {
+    const Parent& edge = parents_[static_cast<std::size_t>(chain[k])];
+    CounterexampleStep step = edge.step;
+    if (edge.spawn) {
+      step.client = next_client++;
+      step.script = scripts_[static_cast<std::size_t>(edge.index)].name;
+      slots.push_back(step.client);
+      // A one-step script would finish at spawn; transitions never add its instance.
+      const auto parent_n = states_[static_cast<std::size_t>(chain[k - 1])]
+                                .instances.size();
+      if (states_[static_cast<std::size_t>(chain[k])].instances.size() == parent_n) {
+        slots.pop_back();
+      }
+    } else {
+      const auto n = static_cast<std::size_t>(edge.index);
+      step.client = slots[n];
+      const State& parent_state = states_[static_cast<std::size_t>(chain[k - 1])];
+      const Instance& inst = parent_state.instances[n];
+      step.script = scripts_[static_cast<std::size_t>(inst.script)].name;
+      if (states_[static_cast<std::size_t>(chain[k])].instances.size() <
+          parent_state.instances.size()) {
+        slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(n));
+      }
+    }
+    cex.word.push_back(std::move(step));
+  }
+
+  // Everything a client is (or would be) stuck at: active instances' next begins plus
+  // every script entry operation — all unfireable, by definition of the wedge.
+  const State& state = states_[static_cast<std::size_t>(wedged)];
+  std::vector<std::string> blocked;
+  for (std::size_t n = 0; n < state.instances.size(); ++n) {
+    const Instance& inst = state.instances[n];
+    const auto& ops = script_step_ops_[static_cast<std::size_t>(inst.script)];
+    const std::string& op =
+        op_names_[static_cast<std::size_t>(ops[static_cast<std::size_t>(inst.pc)])];
+    cex.blocked_clients.push_back(
+        {slots[n], scripts_[static_cast<std::size_t>(inst.script)].name, op});
+    blocked.push_back(op);
+  }
+  for (std::size_t op = 0; op < op_names_.size(); ++op) {
+    if ((entry_ops_ >> op) & 1) {
+      blocked.push_back(op_names_[op]);
+    }
+  }
+  std::sort(blocked.begin(), blocked.end());
+  blocked.erase(std::unique(blocked.begin(), blocked.end()), blocked.end());
+  cex.blocked_ops = std::move(blocked);
+  return cex;
+}
+
+ModelCheckResult Checker::Run() {
+  ModelCheckResult result;
+  result.guard_dependent = !compiled_.predicate_names.empty();
+  op_began_.assign(op_names_.size(), false);
+
+  State initial;
+  initial.marking = compiled_.InitialState();
+  AddState(std::move(initial), {});
+
+  for (int i = 0; i < static_cast<int>(states_.size()); ++i) {
+    if (states_.size() > model_.max_states) {
+      result.safety = SafetyVerdict::kBoundExceeded;
+      result.states = states_.size();
+      result.transitions = transitions_;
+      return result;
+    }
+    // states_ may reallocate as successors are added; copy the frame we expand.
+    const State state = states_[static_cast<std::size_t>(i)];
+    const std::uint64_t fireable = fireable_[static_cast<std::size_t>(i)];
+    bool any_enabled = false;
+
+    auto add_edge = [&](State next, const CounterexampleStep& step, bool spawn,
+                        int index) {
+      any_enabled = true;
+      ++transitions_;
+      const int to = AddState(std::move(next), {i, step, spawn, index});
+      succs_[static_cast<std::size_t>(i)].push_back(to);
+    };
+
+    // Active instances advance one step.
+    for (std::size_t n = 0; n < state.instances.size(); ++n) {
+      const Instance& inst = state.instances[n];
+      const ClientScript& script = scripts_[static_cast<std::size_t>(inst.script)];
+      const ClientStep& step = script.steps[static_cast<std::size_t>(inst.pc)];
+      const int op = script_step_ops_[static_cast<std::size_t>(inst.script)]
+                                    [static_cast<std::size_t>(inst.pc)];
+      State next = state;
+      Instance& moved = next.instances[n];
+      if (step.kind == ClientStep::Kind::kBegin) {
+        const auto alts = TryBegin(*op_paths_[static_cast<std::size_t>(op)],
+                                   next.marking);
+        if (!alts.has_value()) {
+          continue;
+        }
+        moved.open.push_back({op, *alts});
+        op_began_[static_cast<std::size_t>(op)] = true;
+      } else {
+        auto open = moved.open.rbegin();
+        while (open != moved.open.rend() && open->op != op) {
+          ++open;
+        }
+        assert(open != moved.open.rend() && "validated script lost its open begin");
+        ApplyEnd(*op_paths_[static_cast<std::size_t>(op)], open->alts, next.marking);
+        moved.open.erase(std::next(open).base());
+      }
+      ++moved.pc;
+      if (moved.pc == static_cast<int>(script.steps.size())) {
+        next.instances.erase(next.instances.begin() + static_cast<std::ptrdiff_t>(n));
+      }
+      add_edge(std::move(next), {step.kind == ClientStep::Kind::kBegin, step.op, -1, ""},
+               false, static_cast<int>(n));
+    }
+
+    // A fresh client arrives and performs its script's first Begin.
+    for (std::size_t s = 0; s < scripts_.size(); ++s) {
+      int active = 0;
+      for (const Instance& inst : state.instances) {
+        active += inst.script == static_cast<int>(s) ? 1 : 0;
+      }
+      if (active >= scripts_[s].max_instances) {
+        continue;
+      }
+      const int op = script_step_ops_[s][0];
+      State next = state;
+      const auto alts = TryBegin(*op_paths_[static_cast<std::size_t>(op)],
+                                 next.marking);
+      if (!alts.has_value()) {
+        continue;
+      }
+      op_began_[static_cast<std::size_t>(op)] = true;
+      Instance inst;
+      inst.script = static_cast<int>(s);
+      inst.pc = 1;
+      inst.open.push_back({op, *alts});
+      if (inst.pc < static_cast<int>(scripts_[s].steps.size())) {
+        next.instances.push_back(std::move(inst));
+      }
+      add_edge(std::move(next), {true, scripts_[s].steps.front().op, -1, ""}, true,
+               static_cast<int>(s));
+    }
+
+    // Wedge test. The instance bound only limits exploration; a state counts as
+    // wedged only if no *unbounded* fresh arrival could fire either — which is
+    // exactly "no script entry operation is fireable".
+    const bool fresh_could_fire = (fireable & entry_ops_) != 0;
+    if (!any_enabled && !fresh_could_fire) {
+      result.safety = SafetyVerdict::kDeadlockable;
+      result.counterexample = BuildCounterexample(i);
+      result.states = states_.size();
+      result.transitions = transitions_;
+      return result;
+    }
+  }
+
+  result.safety = SafetyVerdict::kDeadlockFree;
+  result.states = states_.size();
+  result.transitions = transitions_;
+  for (std::size_t op = 0; op < op_names_.size(); ++op) {
+    if (!op_began_[op]) {
+      result.unreachable_ops.push_back(op_names_[op]);
+    }
+  }
+  FindStarvableOps(&result);
+  return result;
+}
+
+// Flags op o when the subgraph of states with o unfireable contains a reachable cycle
+// touching a state where a client waits for o (an active instance blocked at o, or o
+// is a script entry point — fresh clients keep arriving). Along such a cycle o is
+// never eligible at any re-evaluation instant, so no selection rule — longest-waiting
+// included — can admit it. Uses Tarjan's SCC over the filtered successor relation.
+void Checker::FindStarvableOps(ModelCheckResult* result) const {
+  const int n = static_cast<int>(states_.size());
+  for (std::size_t op = 0; op < op_names_.size(); ++op) {
+    const std::uint64_t bit = std::uint64_t{1} << op;
+    const bool entry = (entry_ops_ & bit) != 0;
+    auto in_subgraph = [&](int s) {
+      return (fireable_[static_cast<std::size_t>(s)] & bit) == 0;
+    };
+
+    std::vector<int> index(static_cast<std::size_t>(n), -1);
+    std::vector<int> low(static_cast<std::size_t>(n), 0);
+    std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+    std::vector<int> stack;
+    int next_index = 0;
+    bool starvable = false;
+
+    struct Frame {
+      int node;
+      std::size_t child;
+    };
+    for (int root = 0; root < n && !starvable; ++root) {
+      if (!in_subgraph(root) || index[static_cast<std::size_t>(root)] != -1) {
+        continue;
+      }
+      std::vector<Frame> frames{{root, 0}};
+      while (!frames.empty() && !starvable) {
+        Frame& frame = frames.back();
+        const auto node = static_cast<std::size_t>(frame.node);
+        if (frame.child == 0) {
+          index[node] = low[node] = next_index++;
+          stack.push_back(frame.node);
+          on_stack[node] = true;
+        }
+        if (frame.child < succs_[node].size()) {
+          const int next = succs_[node][frame.child++];
+          const auto next_z = static_cast<std::size_t>(next);
+          if (!in_subgraph(next)) {
+            continue;
+          }
+          if (index[next_z] == -1) {
+            frames.push_back({next, 0});
+          } else if (on_stack[next_z]) {
+            low[node] = std::min(low[node], index[next_z]);
+          }
+          continue;
+        }
+        if (low[node] == index[node]) {
+          // Pop one SCC; nontrivial (size >= 2) SCCs are cycles — transitions always
+          // change the state, so self-loops cannot occur.
+          std::vector<int> scc;
+          int popped;
+          do {
+            popped = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(popped)] = false;
+            scc.push_back(popped);
+          } while (popped != frame.node);
+          if (scc.size() >= 2) {
+            bool waited = entry;
+            for (const int s : scc) {
+              waited = waited || (waiting_[static_cast<std::size_t>(s)] & bit) != 0;
+            }
+            starvable = starvable || waited;
+          }
+        }
+        const int low_here = low[node];
+        frames.pop_back();
+        if (!frames.empty()) {
+          const auto parent = static_cast<std::size_t>(frames.back().node);
+          low[parent] = std::min(low[parent], low_here);
+        }
+      }
+    }
+    if (starvable) {
+      result->starvable_ops.push_back(op_names_[op]);
+    }
+  }
+}
+
+}  // namespace
+
+ClientScript SimpleCall(const std::string& op, int max_instances) {
+  ClientScript script;
+  script.name = op;
+  script.max_instances = max_instances;
+  script.steps = {{ClientStep::Kind::kBegin, op}, {ClientStep::Kind::kEnd, op}};
+  return script;
+}
+
+std::string Counterexample::ToString() const {
+  std::ostringstream os;
+  for (const CounterexampleStep& step : word) {
+    os << (step.begin ? "begin(" : "end(") << step.op << ")";
+    if (step.client >= 0) {
+      os << "@" << step.script << "#" << step.client;
+    }
+    os << " ";
+  }
+  os << "-> wedged; blocked: {";
+  for (std::size_t i = 0; i < blocked_ops.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << blocked_ops[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+const char* SafetyVerdictName(SafetyVerdict verdict) {
+  switch (verdict) {
+    case SafetyVerdict::kDeadlockFree:
+      return "deadlock-free";
+    case SafetyVerdict::kDeadlockable:
+      return "DEADLOCKABLE";
+    case SafetyVerdict::kBoundExceeded:
+      return "bound-exceeded";
+  }
+  return "?";
+}
+
+std::string ModelCheckResult::Summary() const {
+  std::ostringstream os;
+  os << SafetyVerdictName(safety);
+  if (guard_dependent) {
+    os << " (modulo guards)";
+  }
+  os << " (" << states << " states)";
+  if (safety == SafetyVerdict::kDeadlockable) {
+    os << "; " << counterexample.ToString();
+  }
+  if (!unreachable_ops.empty()) {
+    os << "; unreachable: {";
+    for (std::size_t i = 0; i < unreachable_ops.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << unreachable_ops[i];
+    }
+    os << "}";
+  }
+  if (!starvable_ops.empty()) {
+    os << "; starvable: {";
+    for (std::size_t i = 0; i < starvable_ops.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << starvable_ops[i];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+ModelCheckResult CheckPathModel(const PathModel& model) {
+  return Checker(model).Run();
+}
+
+}  // namespace syneval

@@ -1,0 +1,135 @@
+// Path-expression model checker: exhaustive bounded enumeration of the counter-state
+// space of a compiled path program, run BEFORE any thread is spawned.
+//
+// The dynamic machinery of this repository (SweepSchedules + the anomaly detector) can
+// show that a deadlock exists — it samples schedules — but never that one doesn't. This
+// checker closes that gap for path expressions: because PathController prologues fire
+// atomically on explicit counters (compiler.h), the whole synchronization behaviour of a
+// path program is a finite transition system over markings, exactly a bounded Petri-net
+// reachability problem. Enumerating it exhaustively turns the paper's qualitative
+// matrix entries into machine-checked verdicts.
+//
+// The model: clients execute *scripts* — fixed begin/end sequences over path operations
+// (e.g. Figure 1's WRITE = writeattempt{requestwrite{openwrite}} ; write) — so nested
+// synchronization-procedure calls, the source of hold-and-wait, are modelled faithfully.
+// A state is (marking, active script instances); transitions are
+//   * an active instance advancing one step (a Begin fires its whole prologue
+//     atomically, or an End fires its epilogues — epilogues never block), or
+//   * a fresh instance of a script performing its first Begin (clients keep arriving).
+// The operation-multiset bound caps *concurrent* instances per script (not sequential
+// re-invocations), which keeps the space finite.
+//
+// Verdicts (soundness/completeness caveats in docs/STATIC_ANALYSIS.md):
+//   * kDeadlockable — a reachable state exists where no transition is enabled (fresh
+//     arrivals included, ignoring the instance bound): every client, present or future,
+//     blocks forever. The minimal counterexample word (BFS order) is replayable under
+//     DetRuntime — see replay.h.
+//   * kDeadlockFree — no such state within the bounds.
+//   * unreachable_ops — operations whose prologue never fired on any explored edge.
+//   * starvable_ops — operations o for which some reachable cycle keeps o's prologue
+//     unfireable at every state while a client waits for o: even Bloom's
+//     longest-waiting selection rule cannot admit it (it is never eligible at any
+//     re-evaluation instant), so o can starve. Conversely, an op with no such cycle is
+//     starvation-free under the longest-waiting rule within the explored bounds.
+//
+// Guards ([p] predicates, the Andler extension) reference host state the checker cannot
+// see; they are treated optimistically (assumed true). Programs containing guards get
+// guard_dependent = true and every verdict is "modulo guards".
+
+#ifndef SYNEVAL_ANALYSIS_MODEL_CHECKER_H_
+#define SYNEVAL_ANALYSIS_MODEL_CHECKER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "syneval/pathexpr/compiler.h"
+
+namespace syneval {
+
+// One step of a client script: begin or end one path operation. An End matches the most
+// recent un-ended Begin of the same operation within the same instance.
+struct ClientStep {
+  enum class Kind { kBegin, kEnd };
+  Kind kind = Kind::kBegin;
+  std::string op;
+};
+
+// A named client behaviour: the exact begin/end sequence one logical thread performs.
+struct ClientScript {
+  std::string name;
+  std::vector<ClientStep> steps;
+  // Operation-multiset bound: maximum *concurrent* active instances of this script.
+  int max_instances = 2;
+};
+
+// The trivial script "call op once": [Begin(op), End(op)].
+ClientScript SimpleCall(const std::string& op, int max_instances = 2);
+
+// A path program plus its client structure — everything the checker needs.
+struct PathModel {
+  std::string name;     // Display name (usually the solution's).
+  std::string program;  // One or more "path ... end" declarations.
+  // Empty => one SimpleCall script per operation mentioned in the program.
+  std::vector<ClientScript> scripts;
+  // Exploration cap; exceeding it yields kBoundExceeded, never a wrong verdict.
+  std::size_t max_states = 200000;
+};
+
+// The event word leading to a wedged state, plus the operations clients are stuck at.
+// Each step is attributed to a logical client (instances numbered in spawn order) so a
+// replay can reconstruct which client holds which open operations — the hold-and-wait
+// structure the anomaly detector needs to name the cycle.
+struct CounterexampleStep {
+  bool begin = true;
+  std::string op;
+  int client = -1;     // Logical client performing the event (spawn order).
+  std::string script;  // Name of the script that client runs.
+};
+
+// A mid-script client stuck at its next Begin in the wedged state.
+struct BlockedClient {
+  int client = -1;
+  std::string script;
+  std::string op;
+};
+
+struct Counterexample {
+  std::vector<CounterexampleStep> word;      // All events fire immediately, in order.
+  std::vector<BlockedClient> blocked_clients;  // Clients wedged mid-script.
+  std::vector<std::string> blocked_ops;  // Unfireable at the wedged state (union of
+                                         // the clients' next ops and script entries).
+
+  // "begin(geta)@ab#0 begin(getb)@ba#1 -> wedged; blocked: {geta, getb}".
+  std::string ToString() const;
+};
+
+enum class SafetyVerdict {
+  kDeadlockFree,   // No wedged state reachable within the bounds.
+  kDeadlockable,   // Wedged state found; `counterexample` is its minimal witness.
+  kBoundExceeded,  // max_states hit before the space was exhausted: inconclusive.
+};
+
+const char* SafetyVerdictName(SafetyVerdict verdict);
+
+struct ModelCheckResult {
+  SafetyVerdict safety = SafetyVerdict::kDeadlockFree;
+  bool guard_dependent = false;  // Program has [p] guards: verdicts hold modulo guards.
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  std::vector<std::string> unreachable_ops;
+  std::vector<std::string> starvable_ops;
+  Counterexample counterexample;  // Meaningful only when kDeadlockable.
+
+  // One line, e.g. "deadlock-free (312 states); starvable: {openwrite}".
+  std::string Summary() const;
+};
+
+// Parses, compiles and exhaustively checks `model`. Throws PathSyntaxError on a
+// malformed program and std::invalid_argument on a malformed script (unknown
+// operation, End with no matching Begin, script not starting with a Begin).
+ModelCheckResult CheckPathModel(const PathModel& model);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_ANALYSIS_MODEL_CHECKER_H_

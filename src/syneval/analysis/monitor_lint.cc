@@ -1,0 +1,95 @@
+#include "syneval/analysis/monitor_lint.h"
+
+#include <algorithm>
+#include <set>
+
+namespace syneval {
+
+const char* WaitSemanticsName(WaitSemantics semantics) {
+  switch (semantics) {
+    case WaitSemantics::kHoare:
+      return "hoare";
+    case WaitSemantics::kMesa:
+      return "mesa";
+    case WaitSemantics::kCcr:
+      return "ccr";
+  }
+  return "?";
+}
+
+const char* LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kNote:
+      return "note";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::vector<LintFinding> LintMonitorModel(const MonitorModel& model) {
+  std::vector<LintFinding> findings;
+  auto add = [&](LintSeverity severity, std::string rule, std::string message) {
+    findings.push_back({severity, std::move(rule), std::move(message)});
+  };
+
+  std::set<std::string> waited;
+  std::set<std::string> signalled;
+  for (const WaitSite& wait : model.waits) {
+    waited.insert(wait.condition);
+  }
+  for (const SignalSite& signal : model.signals) {
+    signalled.insert(signal.condition);
+  }
+
+  for (const WaitSite& wait : model.waits) {
+    if (!wait.loop && model.semantics == WaitSemantics::kMesa) {
+      add(LintSeverity::kError, "mesa-nonloop-wait",
+          "wait on '" + wait.condition + "' for (" + wait.predicate +
+              ") is not re-tested in a loop; under Mesa semantics the predicate may "
+              "be false again when the waiter runs");
+    }
+    if (!wait.loop && model.semantics == WaitSemantics::kHoare) {
+      add(LintSeverity::kNote, "hoare-nonloop-wait",
+          "wait on '" + wait.condition + "' for (" + wait.predicate +
+              ") relies on Hoare signal handoff; porting to Mesa semantics would "
+              "silently break it");
+    }
+    if (model.semantics != WaitSemantics::kCcr &&
+        signalled.find(wait.condition) == signalled.end()) {
+      add(LintSeverity::kError, "never-signalled",
+          "condition '" + wait.condition +
+              "' is waited on but signalled on no path: waiters block forever");
+    }
+  }
+
+  for (const SignalSite& signal : model.signals) {
+    if (waited.find(signal.condition) == waited.end()) {
+      add(LintSeverity::kWarning, "dead-signal",
+          "condition '" + signal.condition +
+              "' is signalled but nothing ever waits on it");
+    }
+    if (!signal.broadcast && !signal.cascades && signal.max_eligible > 1) {
+      add(LintSeverity::kError, "single-signal-multi-waiter",
+          "signal on '" + signal.condition + "' may leave " +
+              std::to_string(signal.max_eligible - 1) +
+              " eligible waiter(s) blocked: use broadcast or cascade the wakeup");
+    }
+    if (signal.broadcast && signal.max_eligible <= 1) {
+      add(LintSeverity::kNote, "broadcast-single-waiter",
+          "broadcast on '" + signal.condition +
+              "' wakes every waiter though at most one is eligible (thundering "
+              "herd)");
+    }
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     return static_cast<int>(a.severity) > static_cast<int>(b.severity);
+                   });
+  return findings;
+}
+
+}  // namespace syneval

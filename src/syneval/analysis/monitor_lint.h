@@ -1,0 +1,86 @@
+// Wait-predicate lint for monitor / conditional-critical-region solutions.
+//
+// Monitors cannot be model-checked the way path expressions can — their guard
+// predicates live in arbitrary shared variables — but the *shape* of the
+// condition-variable protocol is statically checkable, in the spirit of AutoSynch's
+// wait-predicate analysis. Each solution registers a small declarative description of
+// its waits (condition, guard predicate, whether the wait is wrapped in a re-test
+// loop) and its signals (condition, signal vs broadcast, how many waiters may be
+// eligible when it fires, whether woken waiters cascade the signal onward). The lint
+// then checks protocol rules that depend only on that structure:
+//
+//   mesa-nonloop-wait          error    `if (!p) wait` under Mesa semantics: the
+//                                       predicate may be false again by the time the
+//                                       waiter runs (signal is a hint, not a handoff).
+//   hoare-nonloop-wait         note     `if`-wait is *correct* under Hoare handoff
+//                                       semantics but breaks silently if the monitor
+//                                       is ever ported to Mesa; flagged for awareness.
+//   never-signalled            error    A condition some site waits on is signalled on
+//                                       no path: waiters can only leave via spurious
+//                                       wakeups. CCR models are exempt — regions
+//                                       implicitly re-test every queued predicate at
+//                                       each region exit (see ccr/critical_region.h).
+//   dead-signal                warning  A condition is signalled but nothing ever
+//                                       waits on it.
+//   single-signal-multi-waiter error    A site where several waiters may be eligible
+//                                       fires a single Signal without broadcast or a
+//                                       wakeup cascade: all but one eligible waiter
+//                                       stay blocked (classic lost-wakeup shape).
+//   broadcast-single-waiter    note     Broadcast where at most one waiter can be
+//                                       eligible: correct but thundering-herd-prone.
+
+#ifndef SYNEVAL_ANALYSIS_MONITOR_LINT_H_
+#define SYNEVAL_ANALYSIS_MONITOR_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace syneval {
+
+enum class WaitSemantics {
+  kHoare,  // Signal hands the monitor to the waiter immediately (monitor.h default).
+  kMesa,   // Signal is a hint; waiter re-acquires later and must re-test.
+  kCcr,    // Conditional critical regions: implicit re-test at every region exit.
+};
+
+const char* WaitSemanticsName(WaitSemantics semantics);
+
+// One syntactic wait in the solution.
+struct WaitSite {
+  std::string condition;  // Condition variable (or CCR queue) name.
+  std::string predicate;  // The guard, as written, e.g. "count > 0"; for messages.
+  bool loop = true;       // Wait wrapped in `while (!predicate)`.
+  int max_waiters = 1;    // Threads that can be blocked here at once.
+};
+
+// One syntactic signal/broadcast in the solution.
+struct SignalSite {
+  std::string condition;
+  bool broadcast = false;
+  int max_eligible = 1;   // Waiters whose predicates may hold when this fires.
+  bool cascades = false;  // A woken waiter re-signals, forming a wakeup chain.
+};
+
+struct MonitorModel {
+  std::string name;
+  WaitSemantics semantics = WaitSemantics::kMesa;
+  std::vector<WaitSite> waits;
+  std::vector<SignalSite> signals;
+};
+
+enum class LintSeverity { kNote, kWarning, kError };
+
+const char* LintSeverityName(LintSeverity severity);
+
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kNote;
+  std::string rule;  // Rule id, e.g. "mesa-nonloop-wait".
+  std::string message;
+};
+
+// Runs every rule; findings come back sorted most-severe first.
+std::vector<LintFinding> LintMonitorModel(const MonitorModel& model);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_ANALYSIS_MONITOR_LINT_H_

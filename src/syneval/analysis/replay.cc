@@ -1,0 +1,144 @@
+#include "syneval/analysis/replay.h"
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "syneval/anomaly/detector.h"
+#include "syneval/pathexpr/controller.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/runtime/schedule.h"
+
+namespace syneval {
+
+namespace {
+
+// What one replay thread does: fire its slice of the word in global order, then (if the
+// checker says this client wedges mid-script) block at its next operation.
+struct ClientPlan {
+  std::string script;
+  std::vector<std::size_t> events;  // Indices into cex.word, ascending.
+  std::string wedge_op;             // Empty if this client completed its script.
+};
+
+}  // namespace
+
+ReplayResult ReplayCounterexample(const PathModel& model, const Counterexample& cex,
+                                  std::uint64_t seed) {
+  AnomalyDetector detector;
+  DetRuntime rt(MakeRandomSchedule(seed));
+  rt.AttachAnomalyDetector(&detector);
+
+  PathController controller(rt, model.program);
+  for (const std::string& predicate : controller.compiled().predicate_names) {
+    controller.RegisterPredicate(predicate, [] { return true; });
+  }
+
+  // The controller registers itself as a single kQueue resource, and queue waits carry
+  // no holder — two threads stuck inside it look like mutually-unhelpable peers, never
+  // a deadlock cycle. The hold-and-wait structure lives in the *operations*: a client
+  // inside begin(op)..end(op) holds op while it waits for the next one. Mirror that by
+  // giving every operation a synthetic semaphore resource and reporting acquire /
+  // release / block transitions alongside the real controller calls; the detector then
+  // names the genuine cycle (client A holds geta, waits getb; B holds getb, waits geta).
+  std::map<std::string, char> op_cookies;
+  auto cookie = [&op_cookies](const std::string& op) { return &op_cookies.at(op); };
+  {
+    for (const CounterexampleStep& step : cex.word) op_cookies[step.op] = 0;
+    for (const BlockedClient& client : cex.blocked_clients) op_cookies[client.op] = 0;
+    for (const std::string& op : cex.blocked_ops) op_cookies[op] = 0;
+    for (auto& [op, cell] : op_cookies) {
+      detector.RegisterResource(&cell, ResourceKind::kSemaphore, "path:" + op);
+    }
+  }
+
+  // One replay thread per logical client from the counterexample attribution.
+  std::map<int, ClientPlan> plans;
+  for (std::size_t g = 0; g < cex.word.size(); ++g) {
+    ClientPlan& plan = plans[cex.word[g].client];
+    plan.script = cex.word[g].script;
+    plan.events.push_back(g);
+  }
+  for (const BlockedClient& client : cex.blocked_clients) {
+    ClientPlan& plan = plans[client.client];
+    plan.script = client.script;
+    plan.wedge_op = client.op;
+  }
+
+  // Blocked *entry* operations with no mid-script client attached represent fresh
+  // arrivals that could never get in; probe them with one-shot threads. This also
+  // covers wedges reachable by the empty word (vacuously unfireable entries).
+  std::vector<std::string> arrival_ops;
+  for (const std::string& op : cex.blocked_ops) {
+    bool covered = false;
+    for (const BlockedClient& client : cex.blocked_clients) {
+      covered = covered || client.op == op;
+    }
+    if (!covered) arrival_ops.push_back(op);
+  }
+
+  // Global turn counter serializes the word across clients. Spinning threads Yield, so
+  // they stay runnable until their event index comes up; DetRuntime's random schedule
+  // only permutes the interleaving of the spins, never the event order.
+  std::size_t turn = 0;
+  std::vector<std::unique_ptr<RtThread>> threads;
+  for (auto& [id, plan] : plans) {
+    ClientPlan* p = &plan;
+    std::string name = "client#" + std::to_string(id) +
+                       (p->script.empty() ? "" : ":" + p->script);
+    threads.push_back(rt.StartThread(std::move(name), [&, p] {
+      const std::uint32_t self = rt.CurrentThreadId();
+      std::vector<std::pair<std::string, PathController::Token>> open;
+      for (const std::size_t g : p->events) {
+        while (turn != g) rt.Yield();
+        const CounterexampleStep& step = cex.word[g];
+        if (step.begin) {
+          open.emplace_back(step.op, controller.Begin(step.op));
+          detector.OnAcquire(self, cookie(step.op));
+        } else {
+          // Match the most recent un-ended Begin of the same op, as the checker does.
+          for (auto it = open.rbegin(); it != open.rend(); ++it) {
+            if (it->first == step.op) {
+              detector.OnRelease(self, cookie(step.op));
+              controller.End(step.op, it->second);
+              open.erase(std::next(it).base());
+              break;
+            }
+          }
+        }
+        turn = g + 1;
+      }
+      if (!p->wedge_op.empty()) {
+        while (turn != cex.word.size()) rt.Yield();
+        // Outermost wait record = the operation; the controller's queue wait nests
+        // inside it. DiagnoseStuck classifies by the outermost record.
+        detector.OnBlock(self, cookie(p->wedge_op));
+        const PathController::Token token = controller.Begin(p->wedge_op);  // Wedges.
+        controller.End(p->wedge_op, token);
+      }
+    }));
+  }
+  for (const std::string& op : arrival_ops) {
+    threads.push_back(rt.StartThread("arrival:" + op, [&, op] {
+      const std::uint32_t self = rt.CurrentThreadId();
+      while (turn != cex.word.size()) rt.Yield();
+      detector.OnBlock(self, cookie(op));
+      const PathController::Token token = controller.Begin(op);  // Wedges.
+      controller.End(op, token);
+    }));
+  }
+
+  const DetRuntime::RunResult run = rt.Run();
+
+  ReplayResult result;
+  result.deadlocked = run.deadlocked;
+  result.steps = run.steps;
+  result.runtime_report = run.report;
+  result.anomalies = detector.counts();
+  result.anomaly_report = detector.Report("; ");
+  return result;
+}
+
+}  // namespace syneval

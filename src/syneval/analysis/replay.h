@@ -1,0 +1,54 @@
+// Replays a static deadlock counterexample as a real execution under DetRuntime.
+//
+// This is the cross-validation half of the static analyzer: a counterexample produced
+// by the model checker is a claim about the *model*; replaying it through the actual
+// PathController under the deterministic runtime, with the anomaly detector attached,
+// turns it into a demonstrated runtime deadlock (or exposes a checker bug).
+//
+// How the replay works: the counterexample word is a sequence of begin/end events that
+// all fire without blocking (each was an enabled transition in the model, and the
+// controller's first-fireable-alternative rule makes its choices a deterministic
+// function of the marking — the same function the checker simulated). One managed
+// thread per logical client performs that client's slice of the word, serialized by a
+// global turn counter, then blocks at its wedging Begin; extra one-shot threads probe
+// blocked entry operations no mid-script client covers. Every such Begin is unfireable
+// at the wedged marking, so the runtime ends with blocked threads and no runnable ones
+// — exactly DetRuntime's deadlock condition. Each client also mirrors its open
+// operations onto synthetic per-operation semaphore resources (acquire on Begin,
+// release on End, block at the wedge), because the controller's own queue resource has
+// no holders and therefore can never exhibit a wait-for *cycle* to the detector; the
+// semaphores expose the real hold-and-wait structure, and
+// AnomalyDetector::DiagnoseStuck names the cycle through the operations themselves.
+//
+// Guards are registered as constantly-true host predicates, matching the checker's
+// optimistic treatment: the replay validates the counter structure, not guard logic.
+
+#ifndef SYNEVAL_ANALYSIS_REPLAY_H_
+#define SYNEVAL_ANALYSIS_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "syneval/analysis/model_checker.h"
+#include "syneval/anomaly/anomaly.h"
+
+namespace syneval {
+
+struct ReplayResult {
+  bool deadlocked = false;        // DetRuntime found blocked threads, none runnable.
+  std::uint64_t steps = 0;        // Scheduling steps taken.
+  std::string runtime_report;     // DetRuntime's stuck report (empty if completed).
+  AnomalyCounts anomalies;        // Detector counts; expect anomalies.deadlocks >= 1.
+  std::string anomaly_report;     // Detector's named wait-for cycles.
+};
+
+// Replays `cex` (from CheckPathModel(model), safety == kDeadlockable) against the real
+// PathController. The seed only varies scheduling noise around the deterministic word;
+// any seed must reproduce the deadlock. Throws PathSyntaxError if the program in
+// `model` is malformed.
+ReplayResult ReplayCounterexample(const PathModel& model, const Counterexample& cex,
+                                  std::uint64_t seed = 1);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_ANALYSIS_REPLAY_H_

@@ -21,6 +21,17 @@ struct ReportOptions {
 // writes a markdown report to `out`. The conformance sweep dominates the runtime.
 void WriteEvaluationReport(std::ostream& out, const ReportOptions& options = {});
 
+// Writes the static-analysis section: per-solution verdicts from AnalyzeRegistry()
+// (model-checker results for path-expression solutions, wait-predicate lint for
+// monitor/CCR solutions) side by side with the dynamic evidence in `results`, plus the
+// cross-validation both directions of the methodology require — every
+// statically-proven-safe solution must be anomaly-free in the conformance sweep, and
+// the deliberately-broken crossed-gates counterexample word must replay to a real
+// deadlock under DetRuntime confirmed by the anomaly detector. Included in
+// WriteEvaluationReport between the conformance and telemetry sections.
+void WriteStaticAnalysisSection(std::ostream& out,
+                                const std::vector<ConformanceResult>& results);
+
 // Drives a contended bounded-buffer workload against every mechanism's solution over
 // OsRuntime with a metrics registry attached, then writes the per-mechanism contention
 // profile (wait/hold percentiles, signals, wakeups per admission, max queue depth) as a

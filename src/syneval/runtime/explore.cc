@@ -1,5 +1,6 @@
 #include "syneval/runtime/explore.h"
 
+#include <exception>
 #include <sstream>
 #include <utility>
 
@@ -43,7 +44,18 @@ SweepOutcome SweepSchedules(int num_seeds,
   SweepOutcome outcome;
   for (int i = 0; i < num_seeds; ++i) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    TrialReport report = trial(seed);
+    // An aborting trial (an exception escaping the workload) must not desynchronize the
+    // rate denominators: the seed still counts as a run and the abort as a failure, so
+    // FailureRate() and AnomalyRate() stay fractions of the same `runs` total no matter
+    // where in the sweep the abort happens.
+    TrialReport report;
+    try {
+      report = trial(seed);
+    } catch (const std::exception& error) {
+      report.message = std::string("trial aborted: ") + error.what();
+    } catch (...) {
+      report.message = "trial aborted: unknown exception";
+    }
     ++outcome.runs;
     if (report.Passed()) {
       ++outcome.passes;

@@ -48,6 +48,9 @@ struct SweepOutcome {
 
   bool AllPassed() const { return failures == 0; }
   bool AnomalyFree() const { return anomalies.Clean(); }
+  // Both rates share `runs` as denominator, and `runs` counts every attempted seed —
+  // including trials that abort by throwing (SweepSchedules records those as failures
+  // rather than unwinding mid-sweep) — so the two fractions are always comparable.
   // Fraction of schedules on which the trial failed (anomaly probability estimate).
   double FailureRate() const { return runs == 0 ? 0.0 : static_cast<double>(failures) / runs; }
   // Fraction of schedules on which the detector flagged at least one anomaly.

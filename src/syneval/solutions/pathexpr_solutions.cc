@@ -50,6 +50,10 @@ std::string BoundedBufferProgram(int capacity) {
 
 }  // namespace
 
+std::string PathBoundedBuffer::Program(int capacity) {
+  return BoundedBufferProgram(capacity);
+}
+
 PathBoundedBuffer::PathBoundedBuffer(Runtime& runtime, int capacity)
     : controller_(runtime, BoundedBufferProgram(capacity)),
       ring_(static_cast<std::size_t>(capacity), 0),
@@ -92,8 +96,10 @@ SolutionInfo PathBoundedBuffer::Info() {
 // ---------------------------------------------------------------------------------------
 // One-slot buffer.
 
+const char* PathOneSlotBuffer::Program() { return "path deposit; remove end"; }
+
 PathOneSlotBuffer::PathOneSlotBuffer(Runtime& runtime)
-    : controller_(runtime, "path deposit; remove end") {}
+    : controller_(runtime, Program()) {}
 
 void PathOneSlotBuffer::Deposit(std::int64_t item, OpScope* scope) {
   PathController::Hooks hooks = FullHooks(scope);
@@ -274,8 +280,12 @@ SolutionInfo PathExprRwFigure2::Info() {
 // ---------------------------------------------------------------------------------------
 // Predicate (Andler) readers priority.
 
+const char* PathExprRwPredicates::Program() {
+  return "path { read } , [no_waiting_readers] write end";
+}
+
 PathExprRwPredicates::PathExprRwPredicates(Runtime& runtime)
-    : controller_(runtime, "path { read } , [no_waiting_readers] write end") {
+    : controller_(runtime, Program()) {
   controller_.RegisterPredicate("no_waiting_readers",
                                 [this] { return waiting_readers_.load() == 0; });
 }
@@ -325,11 +335,13 @@ SolutionInfo PathExprRwPredicates::Info() {
 // ---------------------------------------------------------------------------------------
 // FCFS resource.
 
+const char* PathFcfsResource::Program() { return "path acquire end"; }
+
 PathFcfsResource::PathFcfsResource(Runtime& runtime)
-    : controller_(runtime, "path acquire end") {}
+    : controller_(runtime, Program()) {}
 
 PathFcfsResource::PathFcfsResource(Runtime& runtime, PathController::Options options)
-    : controller_(runtime, "path acquire end", options) {}
+    : controller_(runtime, Program(), options) {}
 
 void PathFcfsResource::Access(const AccessBody& body, OpScope* scope) {
   PathController::Hooks hooks = FullHooks(scope);
@@ -355,7 +367,9 @@ SolutionInfo PathFcfsResource::Info() {
 // ---------------------------------------------------------------------------------------
 // Disk (FCFS only — SCAN inexpressible).
 
-PathDiskFcfs::PathDiskFcfs(Runtime& runtime) : controller_(runtime, "path disk end") {}
+const char* PathDiskFcfs::Program() { return "path disk end"; }
+
+PathDiskFcfs::PathDiskFcfs(Runtime& runtime) : controller_(runtime, Program()) {}
 
 void PathDiskFcfs::Access(std::int64_t track, const AccessBody& body, OpScope* scope) {
   (void)track;  // The defining limitation: the parameter cannot influence the path.

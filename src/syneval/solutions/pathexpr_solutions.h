@@ -37,6 +37,7 @@ class PathBoundedBuffer : public BoundedBufferIface {
   int capacity() const override { return capacity_; }
 
   static SolutionInfo Info();
+  static std::string Program(int capacity);
 
   PathController& controller() { return controller_; }
 
@@ -58,6 +59,7 @@ class PathOneSlotBuffer : public OneSlotBufferIface {
   std::int64_t Remove(OpScope* scope) override;
 
   static SolutionInfo Info();
+  static const char* Program();
 
  private:
   PathController controller_;
@@ -131,6 +133,7 @@ class PathExprRwPredicates : public ReadersWritersIface {
   void Write(const AccessBody& body, OpScope* scope) override;
 
   static SolutionInfo Info();
+  static const char* Program();
 
  private:
   PathController controller_;
@@ -148,6 +151,7 @@ class PathFcfsResource : public FcfsResourceIface {
   void Access(const AccessBody& body, OpScope* scope) override;
 
   static SolutionInfo Info();
+  static const char* Program();
 
  private:
   PathController controller_;
@@ -163,6 +167,7 @@ class PathDiskFcfs : public DiskSchedulerIface {
   void Access(std::int64_t track, const AccessBody& body, OpScope* scope) override;
 
   static SolutionInfo Info();
+  static const char* Program();
 
  private:
   PathController controller_;

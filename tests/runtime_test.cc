@@ -1,7 +1,9 @@
 // DetRuntime semantics: exclusivity, determinism, blocking, deadlock detection,
 // schedule strategies, and interleaving exploration.
 
+#include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -333,6 +335,37 @@ TEST(SweepTest, OutcomeAggregatesCorrectly) {
   EXPECT_DOUBLE_EQ(outcome.FailureRate(), 0.4);
   EXPECT_FALSE(outcome.AllPassed());
   EXPECT_NE(outcome.Summary().find("3/5"), std::string::npos);
+}
+
+// Regression: a trial that aborts (throws) mid-sweep must not desynchronize the rate
+// denominators. Before the fix, the exception unwound out of SweepSchedules, losing the
+// remaining seeds — FailureRate() and AnomalyRate() then described different subsets of
+// the sweep depending on where the abort happened. Both must be fractions of `runs`,
+// and `runs` must count every attempted seed.
+TEST(SweepTest, AbortingTrialKeepsRateDenominatorsConsistent) {
+  const SweepOutcome outcome = SweepSchedules(
+      10,
+      std::function<TrialReport(std::uint64_t)>([](std::uint64_t seed) {
+        if (seed == 3) {
+          throw std::runtime_error("workload wedged");  // Aborts, doesn't end the sweep.
+        }
+        TrialReport report;
+        if (seed % 2 == 0) {
+          report.anomalies.starvations = 1;  // Anomalous but passing trial.
+        }
+        return report;
+      }),
+      /*base_seed=*/1);
+  EXPECT_EQ(outcome.runs, 10);  // Every seed attempted, abort included.
+  EXPECT_EQ(outcome.failures, 1);
+  EXPECT_EQ(outcome.passes, 9);
+  ASSERT_EQ(outcome.failing_seeds.size(), 1u);
+  EXPECT_EQ(outcome.failing_seeds[0], 3u);
+  EXPECT_NE(outcome.first_failure.find("trial aborted: workload wedged"),
+            std::string::npos);
+  // Same denominator: 1 abort / 10 runs and 5 anomalous seeds / 10 runs.
+  EXPECT_DOUBLE_EQ(outcome.FailureRate(), 0.1);
+  EXPECT_DOUBLE_EQ(outcome.AnomalyRate(), 0.5);
 }
 
 TEST(OsRuntimeTest, BasicThreadingAndIds) {
