@@ -1,0 +1,71 @@
+// Chaos calibration sweep (the fault-injection counterpart of table_conformance):
+// every footnote-2 problem × mechanism pair swept under matched fault-on / fault-off
+// schedules per fault family (syneval/fault/chaos.h), reporting the anomaly
+// detector's calibration — injected-fault recall, false positives on the matched
+// clean sweeps, and mean steps from injection to detection.
+//
+// Everything runs under DetRuntime, so the table is a pure function of the suite and
+// the seed range: CI diffs the --json output against tests/golden/chaos_calibration.json
+// and this binary exits non-zero when a calibration gate fails (recall below 100% on
+// the bounded-buffer lost-signal row, or any false positive anywhere).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "syneval/fault/chaos.h"
+
+namespace {
+
+constexpr int kSeedsPerCase = 12;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  syneval::bench::Options options = syneval::bench::ParseArgs(argc, argv, "chaos_sweep");
+  syneval::bench::Reporter reporter(options);
+
+  const syneval::ChaosCalibrationTable table = syneval::RunChaosCalibration(kSeedsPerCase);
+
+  bool gate_failed = false;
+  for (const syneval::ChaosCalibrationRow& row : table.rows) {
+    const syneval::ChaosSweepOutcome& o = row.outcome;
+    const std::string mechanism = syneval::MechanismName(row.mechanism);
+    // The fault family is folded into the metric name so the six-field schema stays
+    // untouched: "<family>_recall", "<family>_false_positives", ...
+    reporter.Add(mechanism, row.problem, row.fault + "_injected_runs", o.injected_runs,
+                 "runs");
+    reporter.Add(mechanism, row.problem, row.fault + "_harmful", o.harmful, "runs");
+    reporter.Add(mechanism, row.problem, row.fault + "_absorbed", o.absorbed, "runs");
+    reporter.Add(mechanism, row.problem, row.fault + "_recall", o.Recall(), "fraction");
+    reporter.Add(mechanism, row.problem, row.fault + "_false_positives", o.clean_anomalies,
+                 "runs");
+    reporter.Add(mechanism, row.problem, row.fault + "_steps_to_detection",
+                 o.MeanStepsToDetection(), "steps");
+
+    std::printf("%-18s %-28s %-12s %s\n", row.problem.c_str(), row.display.c_str(),
+                row.fault.c_str(), o.Summary().c_str());
+    if (row.problem == "bounded-buffer" && row.fault == "lost-signal" && o.harmful > 0 &&
+        o.Recall() < 1.0) {
+      std::printf("  GATE: bounded-buffer lost-signal recall %.2f < 1.00\n", o.Recall());
+      gate_failed = true;
+    }
+    if (o.clean_anomalies > 0) {
+      std::printf("  GATE: %d false positive(s) on matched fault-off schedules\n",
+                  o.clean_anomalies);
+      gate_failed = true;
+    }
+    if (o.clean_failures > 0) {
+      std::printf("  GATE: %d fault-off run(s) hung or failed their oracle (suite defect)\n",
+                  o.clean_failures);
+      gate_failed = true;
+    }
+  }
+
+  std::printf("\nworst recall over harmful rows: %.2f; total false positives: %d\n",
+              table.MinRecall(), table.TotalFalsePositives());
+  if (!reporter.Finish()) {
+    return 1;
+  }
+  return gate_failed ? 1 : 0;
+}

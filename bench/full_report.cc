@@ -18,9 +18,9 @@ int main() {
   file << report;
   file.close();
 
-  // Echo the tail — the registry-sourced contention telemetry table plus the verdict —
-  // so the bench sweep shows the outcome.
-  std::size_t tail = report.rfind("## 6. Contention telemetry");
+  // Echo the tail — the fault-injection calibration table, the registry-sourced
+  // contention telemetry table, and the verdict — so the bench sweep shows the outcome.
+  std::size_t tail = report.rfind("## 7. Fault-injection calibration");
   if (tail == std::string::npos) {
     tail = report.rfind("## Verdict");
   }

@@ -40,7 +40,7 @@ void AnomalyDetector::RegisterThread(std::uint32_t thread, const std::string& na
 
 void AnomalyDetector::OnThreadFinish(std::uint32_t thread) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (frozen_) {
+  if (frozen_ || aborting_) {
     return;
   }
   ThreadInfo& info = threads_[thread];
@@ -65,7 +65,7 @@ std::string AnomalyDetector::RegisterResource(const void* resource, ResourceKind
 
 void AnomalyDetector::OnBlock(std::uint32_t thread, const void* resource) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (frozen_) {
+  if (frozen_ || aborting_) {
     return;
   }
   WaitRecord record;
@@ -77,7 +77,7 @@ void AnomalyDetector::OnBlock(std::uint32_t thread, const void* resource) {
 
 void AnomalyDetector::OnWake(std::uint32_t thread, const void* resource) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (frozen_) {
+  if (frozen_ || aborting_) {
     return;
   }
   ++clock_;
@@ -92,7 +92,7 @@ void AnomalyDetector::OnWake(std::uint32_t thread, const void* resource) {
 
 void AnomalyDetector::OnAcquire(std::uint32_t thread, const void* resource) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (frozen_) {
+  if (frozen_ || aborting_) {
     return;
   }
   ++clock_;
@@ -105,7 +105,7 @@ void AnomalyDetector::OnAcquire(std::uint32_t thread, const void* resource) {
 
 void AnomalyDetector::OnRelease(std::uint32_t thread, const void* resource) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (frozen_) {
+  if (frozen_ || aborting_) {
     return;
   }
   ++clock_;
@@ -123,7 +123,7 @@ void AnomalyDetector::OnRelease(std::uint32_t thread, const void* resource) {
 void AnomalyDetector::OnSignal(std::uint32_t thread, const void* resource,
                                int waiters_before, bool broadcast) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (frozen_) {
+  if (frozen_ || aborting_) {
     return;
   }
   (void)thread;
@@ -143,7 +143,7 @@ void AnomalyDetector::OnTraceEvent(const Event& event) {
     return;  // Includes this detector's own "anomaly.*" marks — never re-enter.
   }
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (frozen_) {
+  if (frozen_ || aborting_) {
     return;
   }
   if (event.kind == EventKind::kRequest) {
@@ -388,9 +388,14 @@ void AnomalyDetector::ClassifyBlockedLocked(std::uint32_t thread, const WaitReco
   EmitLocked(std::move(anomaly));
 }
 
+void AnomalyDetector::SetAborting(bool aborting) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  aborting_ = aborting;
+}
+
 int AnomalyDetector::DiagnoseStuck() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (frozen_) {
+  if (frozen_ || aborting_) {
     return 0;
   }
   const int before = counts_.total();
@@ -409,7 +414,7 @@ int AnomalyDetector::DiagnoseStuck() {
 
 int AnomalyDetector::Poll(std::int64_t now_nanos) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (frozen_) {
+  if (frozen_ || aborting_) {
     return 0;
   }
   const int before = counts_.total();

@@ -122,6 +122,17 @@ class AnomalyDetector : public TraceObserver {
   // Ignores kMark (including this detector's own anomaly marks).
   void OnTraceEvent(const Event& event) override;
 
+  // ---- Runtime teardown visibility ----
+
+  // Runtimes push their Aborting() state here (the detector must never call back into
+  // a runtime: hooks run under runtime scheduler locks and Runtime::Aborting() takes
+  // them again). While aborting, every observation hook and Poll() is a no-op: threads
+  // unwinding through teardown release and re-signal resources in states that violate
+  // the protocols being observed, and faults injected during that unwind would be
+  // double-counted as lost wakeups. Reversible, unlike the DiagnoseStuck freeze, so an
+  // OS runtime can suspend observation during a controlled stop and resume after.
+  void SetAborting(bool aborting);
+
   // ---- Diagnosis ----
 
   // Exact diagnosis for a globally stuck deterministic run: classifies every blocked
@@ -220,6 +231,7 @@ class AnomalyDetector : public TraceObserver {
   mutable std::recursive_mutex mu_;
   std::uint64_t clock_ = 0;  // Advances on every hook call; orders waits vs. signals.
   bool frozen_ = false;      // Set by DiagnoseStuck(); all later hooks are no-ops.
+  bool aborting_ = false;    // Pushed by SetAborting(); hooks/Poll no-ops while set.
   std::map<std::uint32_t, ThreadInfo> threads_;
   std::map<const void*, ResourceInfo> resources_;
   std::map<std::string, int> name_counts_;

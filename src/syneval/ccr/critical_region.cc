@@ -66,10 +66,20 @@ void CriticalRegion::Enter(const Body& body, const Hooks& hooks) {
     if (det_ != nullptr) {
       det_->OnBlock(tid, this);
     }
-    while (!self.granted) {
-      cv_->Wait(*mu_);
-      if (tel_ != nullptr) {
-        tel_->wakeups.Add(1);
+    if (recovery_ != nullptr) {
+      RecoveringWait(
+          *cv_, *mu_, [&self] { return self.granted; }, recovery_policy_, recovery_,
+          [this] {
+            if (tel_ != nullptr) {
+              tel_->wakeups.Add(1);
+            }
+          });
+    } else {
+      while (!self.granted) {
+        cv_->Wait(*mu_);
+        if (tel_ != nullptr) {
+          tel_->wakeups.Add(1);
+        }
       }
     }
     if (det_ != nullptr) {
@@ -127,10 +137,20 @@ void CriticalRegion::When(const Condition& condition, const Body& body, const Ho
     if (det_ != nullptr) {
       det_->OnBlock(tid, &waiting_);
     }
-    while (!self.granted) {
-      cv_->Wait(*mu_);
-      if (tel_ != nullptr) {
-        tel_->wakeups.Add(1);
+    if (recovery_ != nullptr) {
+      RecoveringWait(
+          *cv_, *mu_, [&self] { return self.granted; }, recovery_policy_, recovery_,
+          [this] {
+            if (tel_ != nullptr) {
+              tel_->wakeups.Add(1);
+            }
+          });
+    } else {
+      while (!self.granted) {
+        cv_->Wait(*mu_);
+        if (tel_ != nullptr) {
+          tel_->wakeups.Add(1);
+        }
       }
     }
     if (det_ != nullptr) {
@@ -155,6 +175,12 @@ void CriticalRegion::When(const Condition& condition, const Body& body, const Ho
 int CriticalRegion::Waiting() const {
   RtLock lock(*mu_);
   return static_cast<int>(waiting_.size());
+}
+
+void CriticalRegion::EnableRecovery(RecoveryStats* stats, RecoveryPolicy policy) {
+  RtLock lock(*mu_);
+  recovery_ = stats;
+  recovery_policy_ = policy;
 }
 
 void CriticalRegion::ReleaseRegionLocked() {

@@ -40,6 +40,15 @@ void WriteStaticAnalysisSection(std::ostream& out,
 // build has SYNEVAL_TELEMETRY=OFF.
 void WriteTelemetryProfileSection(std::ostream& out, int workload_scale = 1);
 
+// Runs the chaos calibration grid (syneval/fault/chaos.h): every footnote-2 problem ×
+// mechanism pair swept under matched fault-on / fault-off schedules per fault family,
+// rendered as the detector's calibration table — injected-fault recall, false-positive
+// rate on the matched clean sweeps, and mean steps from injection to detection.
+// Included in WriteEvaluationReport between the static-analysis and telemetry
+// sections. `seeds_per_case` trades precision for report runtime (each row costs
+// 2 × seeds_per_case deterministic runs).
+void WriteChaosCalibrationSection(std::ostream& out, int seeds_per_case = 10);
+
 }  // namespace syneval
 
 #endif  // SYNEVAL_CORE_REPORT_H_

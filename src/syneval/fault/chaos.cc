@@ -1,0 +1,312 @@
+#include "syneval/fault/chaos.h"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "syneval/anomaly/detector.h"
+#include "syneval/fault/injector.h"
+#include "syneval/problems/oracles.h"
+#include "syneval/problems/virtual_disk.h"
+#include "syneval/problems/workloads.h"
+#include "syneval/runtime/det_runtime.h"
+#include "syneval/solutions/ccr_solutions.h"
+#include "syneval/solutions/monitor_solutions.h"
+#include "syneval/solutions/semaphore_solutions.h"
+#include "syneval/solutions/serializer_solutions.h"
+#include "syneval/trace/recorder.h"
+
+namespace syneval {
+
+namespace {
+
+// Chaos trials run with a reduced step budget: the fault layer's stall plans burn
+// scheduler steps on purpose (a stall longer than the budget turns "thread doing
+// nothing in a critical section" into a diagnosable hang), so the budget must be far
+// above any clean run (scale-1 workloads finish in well under 4k steps) yet small
+// enough that a stalled run ends quickly. diagnose_on_step_limit makes the step-limit
+// path classify the stalled run's blocked peers.
+constexpr std::uint64_t kChaosMaxSteps = 20'000;
+
+DetRuntime::Options ChaosOptions() {
+  DetRuntime::Options options;
+  options.max_steps = kChaosMaxSteps;
+  options.diagnose_on_step_limit = true;
+  return options;
+}
+
+// Derives the per-trial injector seed: probability triggers then pick different
+// injection points on different schedules, while (plan, schedule seed) still fully
+// determines the run.
+FaultPlan SeededPlan(const FaultPlan& plan, std::uint64_t schedule_seed) {
+  FaultPlan seeded = plan;
+  seeded.seed = plan.seed ^ (schedule_seed * 0x9E3779B97F4A7C15ULL);
+  return seeded;
+}
+
+ChaosTrialOutcome FinishTrial(const DetRuntime::RunResult& result,
+                              const AnomalyDetector& detector,
+                              const std::optional<FaultInjector>& injector,
+                              const std::string& oracle_verdict) {
+  ChaosTrialOutcome out;
+  out.completed = result.completed;
+  out.hung = result.deadlocked || result.step_limit;
+  out.steps = result.steps;
+  out.anomalies = detector.counts().total();
+  if (injector.has_value()) {
+    out.injected = injector->injected_count();
+    out.first_injection_step = injector->first_injection_nanos() / 1000;
+  }
+  if (result.completed) {
+    out.oracle_failed = !oracle_verdict.empty();
+    out.report = oracle_verdict;
+  } else {
+    out.report = result.report;
+  }
+  return out;
+}
+
+// Generic chaos trial: fresh runtime + detector (+ injector when a plan is given),
+// solution, workload, run, oracle. Mirrors conformance's MakeTrial with the fault
+// seam added.
+template <typename SolutionT>
+ChaosTrial MakeChaosTrial(
+    std::function<std::unique_ptr<SolutionT>(Runtime&)> make,
+    std::function<ThreadList(Runtime&, SolutionT&, TraceRecorder&)> spawn,
+    std::function<std::string(const std::vector<Event>&)> check) {
+  return [make = std::move(make), spawn = std::move(spawn), check = std::move(check)](
+             std::uint64_t seed, const FaultPlan* plan) -> ChaosTrialOutcome {
+    DetRuntime runtime(MakeRandomSchedule(seed), ChaosOptions());
+    AnomalyDetector detector;
+    TraceRecorder trace;
+    detector.AttachTrace(&trace);
+    trace.SetObserver(&detector);
+    runtime.AttachAnomalyDetector(&detector);
+    std::optional<FaultInjector> injector;
+    if (plan != nullptr) {
+      injector.emplace(SeededPlan(*plan, seed));
+      runtime.AttachFaultInjector(&*injector);
+    }
+    std::unique_ptr<SolutionT> solution = make(runtime);
+    ThreadList threads = spawn(runtime, *solution, trace);
+    const DetRuntime::RunResult result = runtime.Run();
+    return FinishTrial(result, detector, injector,
+                       result.completed ? check(trace.Events()) : std::string());
+  };
+}
+
+struct ChaosSuiteBuilder {
+  int scale = 1;
+  std::vector<ChaosCase> cases;
+
+  void AddBoundedBuffer(Mechanism mechanism, const std::string& display,
+                        std::function<std::unique_ptr<BoundedBufferIface>(Runtime&)> make,
+                        int capacity) {
+    BufferWorkloadParams params;
+    params.items_per_producer = 4 * scale;
+    cases.push_back(ChaosCase{
+        mechanism, "bounded-buffer", display,
+        MakeChaosTrial<BoundedBufferIface>(
+            std::move(make),
+            [params](Runtime& rt, BoundedBufferIface& buffer, TraceRecorder& trace) {
+              return SpawnBoundedBufferWorkload(rt, buffer, trace, params);
+            },
+            [capacity](const std::vector<Event>& events) {
+              return CheckBoundedBuffer(events, capacity);
+            })});
+  }
+
+  void AddOneSlot(Mechanism mechanism, const std::string& display,
+                  std::function<std::unique_ptr<OneSlotBufferIface>(Runtime&)> make) {
+    BufferWorkloadParams params;
+    params.items_per_producer = 4 * scale;
+    cases.push_back(ChaosCase{
+        mechanism, "one-slot-buffer", display,
+        MakeChaosTrial<OneSlotBufferIface>(
+            std::move(make),
+            [params](Runtime& rt, OneSlotBufferIface& buffer, TraceRecorder& trace) {
+              return SpawnOneSlotBufferWorkload(rt, buffer, trace, params);
+            },
+            [](const std::vector<Event>& events) { return CheckOneSlotBuffer(events); })});
+  }
+
+  void AddRw(Mechanism mechanism, const std::string& display,
+             std::function<std::unique_ptr<ReadersWritersIface>(Runtime&)> make) {
+    RwWorkloadParams params;
+    params.ops_per_reader = 3 * scale;
+    params.ops_per_writer = 2 * scale;
+    cases.push_back(ChaosCase{
+        mechanism, "rw-readers-priority", display,
+        MakeChaosTrial<ReadersWritersIface>(
+            std::move(make),
+            [params](Runtime& rt, ReadersWritersIface& rw, TraceRecorder& trace) {
+              return SpawnReadersWritersWorkload(rt, rw, trace, params);
+            },
+            [](const std::vector<Event>& events) {
+              return CheckReadersWriters(events, RwPolicy::kReadersPriority, 8,
+                                         RwStrictness::kStrict);
+            })});
+  }
+
+  void AddFcfs(Mechanism mechanism, const std::string& display,
+               std::function<std::unique_ptr<FcfsResourceIface>(Runtime&)> make) {
+    FcfsWorkloadParams params;
+    params.ops_per_thread = 3 * scale;
+    cases.push_back(ChaosCase{
+        mechanism, "fcfs-resource", display,
+        MakeChaosTrial<FcfsResourceIface>(
+            std::move(make),
+            [params](Runtime& rt, FcfsResourceIface& resource, TraceRecorder& trace) {
+              return SpawnFcfsWorkload(rt, resource, trace, params);
+            },
+            [](const std::vector<Event>& events) { return CheckFcfsResource(events); })});
+  }
+
+  void AddDiskScan(Mechanism mechanism, const std::string& display,
+                   std::function<std::unique_ptr<DiskSchedulerIface>(Runtime&)> make) {
+    DiskWorkloadParams params;
+    params.requests_per_thread = 3 * scale;
+    params.tracks = 100;
+    ChaosTrial trial = [make = std::move(make), params](
+                           std::uint64_t seed, const FaultPlan* plan) -> ChaosTrialOutcome {
+      DetRuntime runtime(MakeRandomSchedule(seed), ChaosOptions());
+      AnomalyDetector detector;
+      TraceRecorder trace;
+      detector.AttachTrace(&trace);
+      trace.SetObserver(&detector);
+      runtime.AttachAnomalyDetector(&detector);
+      std::optional<FaultInjector> injector;
+      if (plan != nullptr) {
+        injector.emplace(SeededPlan(*plan, seed));
+        runtime.AttachFaultInjector(&*injector);
+      }
+      VirtualDisk disk(params.tracks, 0);
+      std::unique_ptr<DiskSchedulerIface> scheduler = make(runtime);
+      DiskWorkloadParams seeded = params;
+      seeded.seed = seed;
+      ThreadList threads = SpawnDiskWorkload(runtime, *scheduler, disk, trace, seeded);
+      const DetRuntime::RunResult result = runtime.Run();
+      std::string verdict;
+      if (result.completed) {
+        verdict = disk.violations() != 0 ? "virtual disk observed concurrent access"
+                                         : CheckScanDiskSchedule(trace.Events(), 0);
+      }
+      return FinishTrial(result, detector, injector, verdict);
+    };
+    cases.push_back(ChaosCase{mechanism, "disk-scan", display, std::move(trial)});
+  }
+
+  void AddAlarm(Mechanism mechanism, const std::string& display,
+                std::function<std::unique_ptr<AlarmClockIface>(Runtime&)> make) {
+    AlarmWorkloadParams params;
+    params.naps_per_sleeper = 2 * scale;
+    cases.push_back(ChaosCase{
+        mechanism, "alarm-clock", display,
+        MakeChaosTrial<AlarmClockIface>(
+            std::move(make),
+            [params](Runtime& rt, AlarmClockIface& clock, TraceRecorder& trace) {
+              return SpawnAlarmClockWorkload(rt, clock, trace, params);
+            },
+            [](const std::vector<Event>& events) { return CheckAlarmClock(events, 0); })});
+  }
+};
+
+}  // namespace
+
+std::vector<ChaosCase> BuildChaosSuite(int workload_scale) {
+  ChaosSuiteBuilder b;
+  b.scale = workload_scale;
+
+  b.AddBoundedBuffer(Mechanism::kSemaphore, "Dijkstra bounded buffer",
+                     [](Runtime& rt) { return std::make_unique<SemaphoreBoundedBuffer>(rt, 3); },
+                     3);
+  b.AddBoundedBuffer(Mechanism::kMonitor, "Hoare bounded buffer",
+                     [](Runtime& rt) { return std::make_unique<MonitorBoundedBuffer>(rt, 3); },
+                     3);
+
+  b.AddOneSlot(Mechanism::kSemaphore, "One-slot buffer (semaphores)",
+               [](Runtime& rt) { return std::make_unique<SemaphoreOneSlotBuffer>(rt); });
+  b.AddOneSlot(Mechanism::kConditionalRegion, "region when has_item flips",
+               [](Runtime& rt) { return std::make_unique<CcrOneSlotBuffer>(rt); });
+
+  // Readers priority: the semaphore variants violate priority by design under weak
+  // semaphores (expect_violations in the conformance suite), so the clean monitor and
+  // serializer solutions carry the calibration here.
+  b.AddRw(Mechanism::kMonitor, "Readers-priority monitor",
+          [](Runtime& rt) { return std::make_unique<MonitorRwReadersPriority>(rt); });
+  b.AddRw(Mechanism::kSerializer, "Readers-priority serializer",
+          [](Runtime& rt) { return std::make_unique<SerializerRwReadersPriority>(rt); });
+
+  b.AddFcfs(Mechanism::kSemaphore, "Strong semaphore",
+            [](Runtime& rt) { return std::make_unique<SemaphoreFcfsResource>(rt); });
+  b.AddFcfs(Mechanism::kSerializer, "FCFS serializer",
+            [](Runtime& rt) { return std::make_unique<SerializerFcfsResource>(rt); });
+
+  b.AddDiskScan(Mechanism::kMonitor, "Hoare dischead",
+                [](Runtime& rt) { return std::make_unique<MonitorDiskScheduler>(rt, 0); });
+  b.AddDiskScan(Mechanism::kSerializer, "SCAN serializer",
+                [](Runtime& rt) { return std::make_unique<SerializerDiskScheduler>(rt, 0); });
+
+  b.AddAlarm(Mechanism::kSemaphore, "Private-semaphore alarm clock",
+             [](Runtime& rt) { return std::make_unique<SemaphoreAlarmClock>(rt); });
+  b.AddAlarm(Mechanism::kMonitor, "Hoare alarm clock",
+             [](Runtime& rt) { return std::make_unique<MonitorAlarmClock>(rt); });
+
+  return b.cases;
+}
+
+std::vector<ChaosFaultFamily> CalibrationFaultFamilies() {
+  return {
+      // Up to two seeded-probability signal drops per run. Matching either notify
+      // flavour is essential: only semaphore V and Mesa Signal use NotifyOne — every
+      // other mechanism family here broadcasts.
+      {"lost-signal", "drop-signal:prob=0.25,fires=2"},
+      // A stall longer than the chaos step budget: the first critical section entered
+      // never ends, so every peer needing that lock starves until the step limit
+      // diagnoses them.
+      {"stall", "stall:nth=1,steps=30000"},
+  };
+}
+
+double ChaosCalibrationTable::MinRecall() const {
+  double min_recall = 1.0;
+  for (const ChaosCalibrationRow& row : rows) {
+    const double recall = row.outcome.Recall();
+    if (recall >= 0.0 && recall < min_recall) {
+      min_recall = recall;
+    }
+  }
+  return min_recall;
+}
+
+int ChaosCalibrationTable::TotalFalsePositives() const {
+  int total = 0;
+  for (const ChaosCalibrationRow& row : rows) {
+    total += row.outcome.clean_anomalies;
+  }
+  return total;
+}
+
+ChaosCalibrationTable RunChaosCalibration(int seeds_per_case, std::uint64_t base_seed,
+                                          int workload_scale) {
+  ChaosCalibrationTable table;
+  table.seeds_per_case = seeds_per_case;
+  table.base_seed = base_seed;
+  const std::vector<ChaosFaultFamily> families = CalibrationFaultFamilies();
+  for (const ChaosCase& chaos_case : BuildChaosSuite(workload_scale)) {
+    for (const ChaosFaultFamily& family : families) {
+      const FaultPlan plan = MustParseFaultPlan(family.plan_text, /*seed=*/base_seed);
+      ChaosCalibrationRow row;
+      row.problem = chaos_case.problem;
+      row.mechanism = chaos_case.mechanism;
+      row.display = chaos_case.display;
+      row.fault = family.name;
+      row.plan = family.plan_text;
+      row.outcome = SweepChaos(seeds_per_case, chaos_case.trial, plan, base_seed);
+      table.rows.push_back(std::move(row));
+    }
+  }
+  return table;
+}
+
+}  // namespace syneval

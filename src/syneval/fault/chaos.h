@@ -1,0 +1,87 @@
+// Chaos calibration suite: the anomaly detector measured against ground truth.
+//
+// Every detector verdict in this repository so far was produced against faults that
+// arose *naturally* under schedule search — which says nothing about what the detector
+// misses, or how often it cries wolf. This suite closes that gap: for each footnote-2
+// problem × mechanism pair it runs matched fault-on / fault-off schedule sweeps
+// (SweepChaos, runtime/explore.h) under DetRuntime, injecting known faults through a
+// seed-replayable FaultPlan, and reports
+//
+//   * injected-fault recall      — of the runs a fault demonstrably broke (they hung),
+//                                  what fraction did the detector flag?
+//   * false-positive rate        — on the *same* schedule seeds with no injector
+//                                  attached, how often did the detector flag anything?
+//   * mean steps to detection    — scheduler steps from first injection to diagnosis.
+//
+// All trials run under DetRuntime with a virtual-step budget, so the whole calibration
+// table is a pure function of (case list, fault plans, seed range): byte-identical
+// across machines, and checked as a golden file in CI (tests/golden/).
+
+#ifndef SYNEVAL_FAULT_CHAOS_H_
+#define SYNEVAL_FAULT_CHAOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "syneval/fault/fault.h"
+#include "syneval/runtime/explore.h"
+#include "syneval/solutions/solution_info.h"
+
+namespace syneval {
+
+// One chaos trial: run the case's workload under DetRuntime with the given seed,
+// attaching a FaultInjector for `plan` when non-null, and report what happened.
+using ChaosTrial = std::function<ChaosTrialOutcome(std::uint64_t seed, const FaultPlan* plan)>;
+
+struct ChaosCase {
+  Mechanism mechanism = Mechanism::kSemaphore;
+  std::string problem;   // Canonical problem id ("bounded-buffer", ...).
+  std::string display;   // Human-readable solution name.
+  ChaosTrial trial;
+};
+
+// The footnote-2 problems, each under (at least) two mechanism families chosen to be
+// anomaly-clean on fault-off sweeps — a case with natural anomalies could not measure
+// a false-positive rate.
+std::vector<ChaosCase> BuildChaosSuite(int workload_scale = 1);
+
+// A named fault plan the calibration applies to every case. The plan's injector seed
+// is re-derived per trial from the schedule seed, so probability triggers explore
+// different injection points on different schedules while staying replayable.
+struct ChaosFaultFamily {
+  std::string name;       // Table label: "lost-signal", "stall", ...
+  std::string plan_text;  // Trigger-grammar plan (see fault.h).
+};
+
+std::vector<ChaosFaultFamily> CalibrationFaultFamilies();
+
+struct ChaosCalibrationRow {
+  std::string problem;
+  Mechanism mechanism = Mechanism::kSemaphore;
+  std::string display;
+  std::string fault;  // ChaosFaultFamily::name.
+  std::string plan;   // The plan text, for replay.
+  ChaosSweepOutcome outcome;
+};
+
+struct ChaosCalibrationTable {
+  int seeds_per_case = 0;
+  std::uint64_t base_seed = 1;
+  std::vector<ChaosCalibrationRow> rows;
+
+  // Worst (minimum) recall over rows that had harmful runs; 1.0 when none did.
+  double MinRecall() const;
+  // Total fault-off false positives across all rows.
+  int TotalFalsePositives() const;
+};
+
+// Runs the full suite × family grid. 2 × seeds_per_case trials per row.
+ChaosCalibrationTable RunChaosCalibration(int seeds_per_case = 20,
+                                          std::uint64_t base_seed = 1,
+                                          int workload_scale = 1);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_FAULT_CHAOS_H_

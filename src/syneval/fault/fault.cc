@@ -1,0 +1,215 @@
+#include "syneval/fault/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace syneval {
+
+namespace {
+
+struct KindInfo {
+  const char* token;      // Grammar spelling.
+  FaultKind kind;
+  unsigned site_mask;     // Sites the kind applies to.
+};
+
+// Grammar tokens. drop-notify/drop-broadcast narrow drop-signal to one notify flavour
+// (most mechanisms in this library broadcast; only semaphore V and Mesa Signal use
+// NotifyOne, so a notify-only drop would never fire for the others).
+constexpr KindInfo kKinds[] = {
+    {"drop-signal", FaultKind::kDropSignal,
+     SiteBit(FaultSite::kNotifyOne) | SiteBit(FaultSite::kNotifyAll)},
+    {"drop-notify", FaultKind::kDropSignal, SiteBit(FaultSite::kNotifyOne)},
+    {"drop-broadcast", FaultKind::kDropSignal, SiteBit(FaultSite::kNotifyAll)},
+    {"spurious-wakeup", FaultKind::kSpuriousWakeup, SiteBit(FaultSite::kWait)},
+    {"stall", FaultKind::kStall, SiteBit(FaultSite::kLockPost)},
+    {"delay-lock", FaultKind::kDelayLock, SiteBit(FaultSite::kLockPre)},
+    {"kill-thread", FaultKind::kKillThread, kAllSites},
+};
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+bool ParseSpec(const std::string& text, FaultSpec* spec, std::string* error) {
+  const std::size_t colon = text.find(':');
+  const std::string kind_token = text.substr(0, colon);
+  const KindInfo* info = nullptr;
+  for (const KindInfo& candidate : kKinds) {
+    if (kind_token == candidate.token) {
+      info = &candidate;
+      break;
+    }
+  }
+  if (info == nullptr) {
+    *error = "unknown fault kind '" + kind_token + "'";
+    return false;
+  }
+  spec->kind = info->kind;
+  spec->site_mask = info->site_mask;
+  if (colon == std::string::npos) {
+    *error = "fault '" + kind_token + "' needs a trigger (nth=... or prob=...)";
+    return false;
+  }
+  for (const std::string& kv : Split(text.substr(colon + 1), ',')) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      *error = "malformed key=value '" + kv + "' in '" + text + "'";
+      return false;
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "nth") {
+      spec->trigger.nth = std::strtoull(value.c_str(), &end, 10);
+    } else if (key == "prob") {
+      spec->trigger.probability = std::strtod(value.c_str(), &end);
+    } else if (key == "steps") {
+      spec->steps = std::strtoull(value.c_str(), &end, 10);
+    } else if (key == "thread") {
+      spec->thread = static_cast<std::uint32_t>(std::strtoul(value.c_str(), &end, 10));
+    } else if (key == "fires") {
+      spec->max_fires = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+    } else {
+      *error = "unknown key '" + key + "' in '" + text + "'";
+      return false;
+    }
+    if (end == nullptr || *end != '\0' || value.empty()) {
+      *error = "malformed value for '" + key + "' in '" + text + "'";
+      return false;
+    }
+  }
+  const bool has_nth = spec->trigger.nth > 0;
+  const bool has_prob = spec->trigger.probability > 0.0;
+  if (has_nth == has_prob) {
+    *error = "fault '" + kind_token + "' needs exactly one of nth=... and prob=...";
+    return false;
+  }
+  if (spec->trigger.probability < 0.0 || spec->trigger.probability > 1.0) {
+    *error = "prob out of [0,1] in '" + text + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropSignal:
+      return "drop-signal";
+    case FaultKind::kSpuriousWakeup:
+      return "spurious-wakeup";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kDelayLock:
+      return "delay-lock";
+    case FaultKind::kKillThread:
+      return "kill-thread";
+  }
+  return "?";
+}
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kNotifyOne:
+      return "notify-one";
+    case FaultSite::kNotifyAll:
+      return "notify-all";
+    case FaultSite::kWait:
+      return "wait";
+    case FaultSite::kLockPre:
+      return "lock-pre";
+    case FaultSite::kLockPost:
+      return "lock-post";
+  }
+  return "?";
+}
+
+std::string FaultSpec::ToString() const {
+  std::ostringstream os;
+  // Re-derive the narrowest grammar token that maps to this kind+mask.
+  const char* token = FaultKindName(kind);
+  if (kind == FaultKind::kDropSignal) {
+    if (site_mask == SiteBit(FaultSite::kNotifyOne)) {
+      token = "drop-notify";
+    } else if (site_mask == SiteBit(FaultSite::kNotifyAll)) {
+      token = "drop-broadcast";
+    }
+  }
+  os << token << ':';
+  if (trigger.nth > 0) {
+    os << "nth=" << trigger.nth;
+  } else {
+    os << "prob=" << trigger.probability;
+  }
+  if (kind == FaultKind::kStall || kind == FaultKind::kDelayLock) {
+    os << ",steps=" << steps;
+  }
+  if (thread != 0) {
+    os << ",thread=" << thread;
+  }
+  if (max_fires != 1) {
+    os << ",fires=" << max_fires;
+  }
+  return os.str();
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultSpec& spec : specs) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += spec.ToString();
+  }
+  return out;
+}
+
+bool ParseFaultPlan(const std::string& text, std::uint64_t seed, FaultPlan* plan,
+                    std::string* error) {
+  FaultPlan parsed;
+  parsed.seed = seed;
+  for (const std::string& part : Split(text, ';')) {
+    if (part.empty()) {
+      *error = "empty fault spec in '" + text + "'";
+      *plan = FaultPlan();
+      return false;
+    }
+    FaultSpec spec;
+    if (!ParseSpec(part, &spec, error)) {
+      *plan = FaultPlan();
+      return false;
+    }
+    parsed.specs.push_back(spec);
+  }
+  if (parsed.specs.empty()) {
+    *error = "empty fault plan";
+    *plan = FaultPlan();
+    return false;
+  }
+  *plan = std::move(parsed);
+  return true;
+}
+
+FaultPlan MustParseFaultPlan(const std::string& text, std::uint64_t seed) {
+  FaultPlan plan;
+  std::string error;
+  if (!ParseFaultPlan(text, seed, &plan, &error)) {
+    std::abort();  // Statically known plan string is malformed: a programming error.
+  }
+  return plan;
+}
+
+}  // namespace syneval

@@ -1,0 +1,111 @@
+// Fault plans: seed-replayable descriptions of what to break, where, and when.
+//
+// Bloom's method judges mechanisms by how their solutions fail as much as by how they
+// succeed, but the anomaly detector has only ever been exercised against faults that
+// arise naturally under schedule search — which gives no ground truth for its recall.
+// A FaultPlan supplies that ground truth: it names a set of faults (drop a signal,
+// wake a waiter spuriously, stall a lock holder, delay an acquisition, kill a thread
+// mid-protocol) with per-site triggers (fire on the nth matching occurrence, or with a
+// seeded per-occurrence probability), and a FaultInjector (injector.h) replays the plan
+// deterministically through the Runtime seam. Under DetRuntime the pair
+// (plan, schedule seed) fully determines which faults fire and when.
+//
+// Trigger grammar (docs/FAULT_INJECTION.md has the full reference):
+//
+//   plan  := spec (';' spec)*
+//   spec  := kind [':' key '=' value (',' key '=' value)*]
+//   kind  := drop-signal | drop-notify | drop-broadcast | spurious-wakeup
+//          | stall | delay-lock | kill-thread
+//   key   := nth | prob | steps | thread | fires
+//
+// Examples:
+//   "drop-signal:nth=2"            second signal (NotifyOne or NotifyAll) vanishes
+//   "stall:nth=1,steps=20000"      first lock acquisition stalls 20000 scheduler steps
+//   "kill-thread:prob=0.01"        every sync point kills the calling thread at 1%
+//
+// `nth` and `prob` are mutually exclusive within one spec; `fires` bounds how many
+// times a spec may fire (default 1, 0 = unlimited); `thread` restricts the spec to one
+// logical thread id (default 0 = any).
+
+#ifndef SYNEVAL_FAULT_FAULT_H_
+#define SYNEVAL_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace syneval {
+
+// What to break.
+enum class FaultKind : std::uint8_t {
+  kDropSignal = 0,      // A NotifyOne/NotifyAll vanishes: no waiter wakes, no
+                        // accounting fires — a lost signal below the mechanism.
+  kSpuriousWakeup = 1,  // A Wait returns without any signal having been delivered.
+  kStall = 2,           // The thread holds the lock it just acquired for `steps`
+                        // scheduler steps (microseconds under OsRuntime) doing nothing.
+  kDelayLock = 3,       // The acquisition is postponed by `steps` steps before the
+                        // thread even contends for the lock.
+  kKillThread = 4,      // The logical thread dies mid-protocol (ThreadKilledFault),
+                        // leaving whatever it held in whatever state it was in.
+};
+
+// Where the runtime consults the injector. kLockPre is before contending for a mutex,
+// kLockPost immediately after acquiring it; kWait is at RtCondVar::Wait/WaitFor entry;
+// kNotifyOne/kNotifyAll are at the corresponding notify calls.
+enum class FaultSite : std::uint8_t {
+  kNotifyOne = 0,
+  kNotifyAll = 1,
+  kWait = 2,
+  kLockPre = 3,
+  kLockPost = 4,
+};
+
+const char* FaultKindName(FaultKind kind);
+const char* FaultSiteName(FaultSite site);
+
+constexpr unsigned SiteBit(FaultSite site) { return 1u << static_cast<unsigned>(site); }
+constexpr unsigned kAllSites =
+    SiteBit(FaultSite::kNotifyOne) | SiteBit(FaultSite::kNotifyAll) | SiteBit(FaultSite::kWait) |
+    SiteBit(FaultSite::kLockPre) | SiteBit(FaultSite::kLockPost);
+
+// When to fire. Exactly one of `nth` (1-based count of matching occurrences) and
+// `probability` (per-occurrence chance drawn from the plan-seeded RNG) is active.
+struct FaultTrigger {
+  std::uint64_t nth = 0;
+  double probability = 0.0;
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDropSignal;
+  unsigned site_mask = 0;      // Bitwise-or of SiteBit(...); derived from the kind.
+  std::uint32_t thread = 0;    // Restrict to this logical thread id; 0 = any thread.
+  std::uint64_t steps = 10;    // Stall/delay length (scheduler steps; µs under OS).
+  int max_fires = 1;           // 0 = unlimited.
+  FaultTrigger trigger;
+
+  std::string ToString() const;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;  // Seeds the injector's RNG for probability triggers.
+  std::vector<FaultSpec> specs;
+
+  std::string ToString() const;  // Re-renders the plan in the trigger grammar.
+};
+
+// Parses `text` in the trigger grammar above. Returns false (with a diagnostic in
+// `*error`) on malformed input; `*plan` is left default-constructed in that case.
+bool ParseFaultPlan(const std::string& text, std::uint64_t seed, FaultPlan* plan,
+                    std::string* error);
+
+// Parse-or-abort convenience for statically known plan strings (tests, chaos suite).
+FaultPlan MustParseFaultPlan(const std::string& text, std::uint64_t seed);
+
+// Thrown by runtime primitives to kill the calling logical thread when a kKillThread
+// fault fires. Both runtimes catch it at the thread-body boundary and record the thread
+// as finished; everything the thread held stays exactly as the kill left it.
+struct ThreadKilledFault {};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_FAULT_FAULT_H_

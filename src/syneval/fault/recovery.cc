@@ -1,0 +1,70 @@
+#include "syneval/fault/recovery.h"
+
+#include <sstream>
+
+namespace syneval {
+
+std::string RecoveryStats::Summary() const {
+  std::ostringstream os;
+  os << "timed_out=" << timed_out_waits.load() << " rescues=" << rescues.load()
+     << " retries=" << retries.load() << " broadcasts=" << broadcasts.load()
+     << " genuine_hangs=" << genuine_hangs.load();
+  return os.str();
+}
+
+bool RecoveringWait(RtCondVar& cv, RtMutex& mutex, const std::function<bool()>& predicate,
+                    const RecoveryPolicy& policy, RecoveryStats* stats,
+                    const std::function<void()>& on_wake) {
+  bool rescued = false;
+  if (predicate()) {
+    return rescued;
+  }
+  std::uint64_t timeout = policy.timeout_nanos;
+  int timeouts = 0;
+  while (true) {
+    const bool notified = cv.WaitFor(mutex, timeout);
+    if (on_wake) {
+      on_wake();
+    }
+    if (predicate()) {
+      if (!notified) {
+        // The deadline, not a signal, unblocked a wait whose predicate was already
+        // satisfied — without it the thread would have slept forever on a lost wakeup.
+        stats->timed_out_waits.fetch_add(1, std::memory_order_relaxed);
+        stats->rescues.fetch_add(1, std::memory_order_relaxed);
+        rescued = true;
+      }
+      return rescued;
+    }
+    if (notified) {
+      // Ordinary (possibly spurious) wakeup with the predicate still false: plain
+      // Mesa-style re-wait, no retry budget consumed.
+      continue;
+    }
+    stats->timed_out_waits.fetch_add(1, std::memory_order_relaxed);
+    if (++timeouts > policy.max_retries) {
+      break;
+    }
+    stats->retries.fetch_add(1, std::memory_order_relaxed);
+    if (policy.watchdog_broadcast) {
+      stats->broadcasts.fetch_add(1, std::memory_order_relaxed);
+      cv.NotifyAll();
+    }
+    if (policy.backoff > 1.0) {
+      timeout = static_cast<std::uint64_t>(static_cast<double>(timeout) * policy.backoff);
+    }
+  }
+  // Retry budget exhausted with the predicate still false: the state this thread needs
+  // was never produced. Degrade to an untimed wait so the hang is diagnosed (by the
+  // anomaly detector) rather than papered over.
+  stats->genuine_hangs.fetch_add(1, std::memory_order_relaxed);
+  while (!predicate()) {
+    cv.Wait(mutex);
+    if (on_wake) {
+      on_wake();
+    }
+  }
+  return rescued;
+}
+
+}  // namespace syneval

@@ -1,0 +1,68 @@
+// Recovery policies: graceful degradation for waits that may never be signalled.
+//
+// The fault layer can make any wait unwinnable (a dropped V, a killed signaller). A
+// mechanism that opts into recovery replaces its untimed predicate wait with
+// RecoveringWait: a bounded sequence of deadline waits (RtCondVar::WaitFor) with
+// exponential backoff, optionally re-broadcasting the condition on each timeout so one
+// lost NotifyOne cannot strand a whole wait set. Rescue accounting distinguishes the
+// two ways a timeout can end:
+//
+//   * rescue       — the deadline expired but the predicate had already become true:
+//                    without the deadline the thread would have slept through a lost
+//                    wakeup forever. The wait succeeds.
+//   * genuine hang — every retry timed out with the predicate still false: the thread
+//                    is waiting for state no one is going to produce. Recovery then
+//                    degrades to a plain untimed wait so the anomaly detector (not the
+//                    recovery layer) owns the diagnosis — recovery must mask lost
+//                    *wakeups*, never lost *state*.
+//
+// RecoveryStats fields are atomics so OsRuntime mechanisms can share one bundle across
+// threads; under DetRuntime the counts are exactly replayable.
+
+#ifndef SYNEVAL_FAULT_RECOVERY_H_
+#define SYNEVAL_FAULT_RECOVERY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "syneval/runtime/runtime.h"
+
+namespace syneval {
+
+struct RecoveryPolicy {
+  // Deadline for the first wait attempt. Units are Runtime::NowNanos nanoseconds:
+  // wall time under OsRuntime, scheduler steps × 1000 under DetRuntime.
+  std::uint64_t timeout_nanos = 1'000'000;
+  // Timed retries after the first timeout before declaring a genuine hang.
+  int max_retries = 3;
+  // Each retry's deadline is the previous one scaled by this factor.
+  double backoff = 2.0;
+  // On every timeout, broadcast the condition before retrying: if the timeout was
+  // caused by a lost NotifyOne, the broadcast re-delivers it to every peer too.
+  bool watchdog_broadcast = true;
+};
+
+struct RecoveryStats {
+  std::atomic<std::uint64_t> timed_out_waits{0};  // WaitFor deadlines that expired.
+  std::atomic<std::uint64_t> rescues{0};          // Timeouts with the predicate true.
+  std::atomic<std::uint64_t> retries{0};          // Timed re-waits after a timeout.
+  std::atomic<std::uint64_t> broadcasts{0};       // Watchdog broadcasts issued.
+  std::atomic<std::uint64_t> genuine_hangs{0};    // Retry budgets exhausted.
+
+  std::string Summary() const;
+};
+
+// Waits on `cv` until `predicate()` holds, applying `policy`. Must be called with
+// `mutex` held (the predicate is evaluated under it); returns with `mutex` held and
+// the predicate true. `on_wake`, when provided, runs after every resumption (the hook
+// mechanisms use to keep their wakeup telemetry exact). Returns true when the wait was
+// rescued at least once (i.e. a deadline, not a signal, unblocked it).
+bool RecoveringWait(RtCondVar& cv, RtMutex& mutex, const std::function<bool()>& predicate,
+                    const RecoveryPolicy& policy, RecoveryStats* stats,
+                    const std::function<void()>& on_wake = nullptr);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_FAULT_RECOVERY_H_

@@ -1,0 +1,68 @@
+// Deadline: the one steady-clock timeout type shared by every wall-clock wait loop.
+//
+// Hand-rolled `now() + period` arithmetic used to be duplicated across the OsRuntime
+// watchdog, timed waits, and the bench harness, each with its own off-by-one flavour
+// (re-deriving the target on every spurious wakeup stretches the sleep). A Deadline is
+// computed once and then only *read*: `wait_until(lock, d.time_point(), pred)` resumes
+// the same absolute instant no matter how many times the wait is interrupted.
+//
+// JitterPeriod is the companion for periodic loops that must not phase-lock with the
+// thing they are observing: the fault-injection layer can stall threads for fixed step
+// counts, and a fixed-period watchdog whose wakeups alias such a stall samples the
+// system at the same phase every cycle and can systematically miss (or systematically
+// double-see) the stall window. A ±fraction uniform jitter around the base period
+// breaks the alias while keeping the mean sampling rate.
+
+#ifndef SYNEVAL_RUNTIME_DEADLINE_H_
+#define SYNEVAL_RUNTIME_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+namespace syneval {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // A deadline `duration` from now.
+  static Deadline After(Clock::duration duration) { return Deadline(Clock::now() + duration); }
+
+  // A deadline `nanos` nanoseconds from now (the RtCondVar::WaitFor unit).
+  static Deadline AfterNanos(std::uint64_t nanos) {
+    return After(std::chrono::nanoseconds(nanos));
+  }
+
+  // The absolute instant, for wait_until-style APIs (immune to spurious-wakeup drift).
+  Clock::time_point time_point() const { return when_; }
+
+  bool Expired() const { return Clock::now() >= when_; }
+
+  // Time left, clamped at zero once expired (safe to pass to wait_for).
+  Clock::duration Remaining() const {
+    const Clock::time_point now = Clock::now();
+    return now >= when_ ? Clock::duration::zero() : when_ - now;
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+
+  Clock::time_point when_;
+};
+
+// `period` scaled by a uniform factor in [1 - fraction, 1 + fraction], never below one
+// nanosecond. fraction <= 0 returns the period unchanged (jitter disabled).
+inline std::chrono::nanoseconds JitterPeriod(std::chrono::nanoseconds period, double fraction,
+                                             std::mt19937_64& rng) {
+  if (fraction <= 0.0 || period.count() <= 0) {
+    return period;
+  }
+  std::uniform_real_distribution<double> factor(1.0 - fraction, 1.0 + fraction);
+  const double jittered = static_cast<double>(period.count()) * factor(rng);
+  return std::chrono::nanoseconds(jittered < 1.0 ? 1 : static_cast<std::int64_t>(jittered));
+}
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_RUNTIME_DEADLINE_H_

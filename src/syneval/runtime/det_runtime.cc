@@ -1,11 +1,13 @@
 #include "syneval/runtime/det_runtime.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 #include <sstream>
 #include <utility>
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/fault/fault.h"
 #include "syneval/telemetry/tracer.h"
 
 namespace syneval {
@@ -52,6 +54,12 @@ struct DetRuntime::Tcb {
   int state = kReady;
   bool token = false;  // Permission to run, granted by the driver.
   std::uint64_t ready_since = 0;
+  // Timed condition waits (WaitFor): absolute step at which the driver force-wakes the
+  // thread (0 = untimed), and whether the last wake was that deadline rather than a
+  // notification. Owned by the waiting thread; the driver only reads wake_deadline and
+  // sets timed_out while the thread is parked in kBlockedCond.
+  std::uint64_t wake_deadline = 0;
+  bool timed_out = false;
   const void* wait_object = nullptr;
   std::string wait_desc;
   std::vector<Tcb*> joiners;
@@ -90,6 +98,17 @@ class DetRuntime::DetMutex : public RtMutex {
     if (rt_->options_.preempt_before_lock) {
       rt_->SwitchOutLocked(lock, self, kReady, nullptr, "preempt before lock");
     }
+    if (FaultDecision fault = rt_->FaultDecisionLocked(self, FaultSite::kLockPre)) {
+      if (fault.kind == FaultKind::kKillThread) {
+        // Before contending: the thread dies holding nothing extra.
+        throw ThreadKilledFault{};
+      }
+      if (fault.kind == FaultKind::kDelayLock) {
+        for (std::uint64_t i = 0; i < fault.steps && !rt_->abort_; ++i) {
+          rt_->SwitchOutLocked(lock, self, kReady, nullptr, "fault: delay-lock");
+        }
+      }
+    }
     AnomalyDetector* det = rt_->anomaly_detector();
     while (holder_ != nullptr) {
       waiters_.push_back(self);
@@ -105,6 +124,21 @@ class DetRuntime::DetMutex : public RtMutex {
     holder_ = self;
     if (det != nullptr) {
       det->OnAcquire(self->id, this);
+    }
+    if (FaultDecision fault = rt_->FaultDecisionLocked(self, FaultSite::kLockPost)) {
+      if (fault.kind == FaultKind::kKillThread) {
+        // Mid-protocol death: the thread dies owning this mutex. Lock() throws before
+        // any RAII holder is constructed, so nothing ever unlocks it — peers block on
+        // a lock whose owner is finished, which is exactly the damage being modelled.
+        throw ThreadKilledFault{};
+      }
+      if (fault.kind == FaultKind::kStall) {
+        // Hold the lock for `steps` scheduler steps doing nothing. The staller stays
+        // runnable (no deadlock), but every peer needing this lock starves meanwhile.
+        for (std::uint64_t i = 0; i < fault.steps && !rt_->abort_; ++i) {
+          rt_->SwitchOutLocked(lock, self, kReady, nullptr, "fault: stall in critical section");
+        }
+      }
     }
   }
 
@@ -140,15 +174,38 @@ class DetRuntime::DetCondVar : public RtCondVar {
  public:
   explicit DetCondVar(DetRuntime* rt) : rt_(rt) {}
 
-  void Wait(RtMutex& mutex) override {
+  void Wait(RtMutex& mutex) override { WaitCommon(mutex, /*timeout_nanos=*/0); }
+
+  bool WaitFor(RtMutex& mutex, std::uint64_t timeout_nanos) override {
+    return WaitCommon(mutex, timeout_nanos == 0 ? 1 : timeout_nanos);
+  }
+
+  void NotifyOne() override { Notify(/*all=*/false); }
+  void NotifyAll() override { Notify(/*all=*/true); }
+
+ private:
+  // Shared Wait/WaitFor body. timeout_nanos == 0 means untimed; otherwise the wait is
+  // bounded by a virtual-step budget of ceil(timeout_nanos / 1000) scheduler steps
+  // (DetRuntime's NowNanos is step_ * 1000). Returns false iff the deadline fired.
+  bool WaitCommon(RtMutex& mutex, std::uint64_t timeout_nanos) {
     Tcb* self = rt_->CurrentTcbChecked();
     auto* m = static_cast<DetMutex*>(&mutex);
     std::unique_lock<std::mutex> lock(rt_->mu_);
     if (rt_->abort_) {
-      return;
+      return true;
     }
     assert(m->holder_ == self && "RtCondVar::Wait without holding the mutex");
     AnomalyDetector* det = rt_->anomaly_detector();
+    bool spurious = false;
+    if (FaultDecision fault = rt_->FaultDecisionLocked(self, FaultSite::kWait)) {
+      if (fault.kind == FaultKind::kKillThread) {
+        // Thrown before the mutex is surrendered: the thread dies owning it.
+        throw ThreadKilledFault{};
+      }
+      if (fault.kind == FaultKind::kSpuriousWakeup) {
+        spurious = true;
+      }
+    }
     // Atomically release the mutex and join the wait set.
     m->holder_ = nullptr;
     if (det != nullptr) {
@@ -158,17 +215,47 @@ class DetRuntime::DetCondVar : public RtCondVar {
       rt_->MakeReadyLocked(waiter);
     }
     m->waiters_.clear();
-    waiters_.push_back(self);
-    if (det != nullptr) {
-      det->OnBlock(self->id, this);
-    }
-    rt_->SwitchOutLocked(lock, self, kBlockedCond, this, "condvar");
-    if (det != nullptr) {
-      det->OnWake(self->id, this);
-    }
-    if (TelemetryTracer* tracer = rt_->tracer()) {
-      // rt_->mu_ is held here, so read step_ directly (NowNanos() would self-deadlock).
-      tracer->OnWake(this, self->id, rt_->step_ * 1000);
+    bool notified = true;
+    if (spurious) {
+      // Spurious-wakeup fault: park for one scheduling step and resume without ever
+      // joining the wait set — no signal exists and none is consumed, which is what
+      // makes the wakeup spurious to detector and telemetry alike.
+      rt_->SwitchOutLocked(lock, self, kReady, nullptr, "fault: spurious wakeup");
+    } else {
+      waiters_.push_back(self);
+      if (det != nullptr) {
+        det->OnBlock(self->id, this);
+      }
+      if (timeout_nanos > 0) {
+        const std::uint64_t budget = (timeout_nanos + 999) / 1000;
+        self->wake_deadline = rt_->step_ + (budget == 0 ? 1 : budget);
+        self->timed_out = false;
+      }
+      rt_->SwitchOutLocked(lock, self, kBlockedCond, this,
+                           timeout_nanos > 0 ? "condvar (timed)" : "condvar");
+      if (timeout_nanos > 0) {
+        notified = !self->timed_out;
+        self->wake_deadline = 0;
+        self->timed_out = false;
+        if (!notified) {
+          // Deadline wake: leave the wait set ourselves (a notification that raced in
+          // between the deadline and this cleanup may already have removed us).
+          auto it = std::find(waiters_.begin(), waiters_.end(), self);
+          if (it != waiters_.end()) {
+            waiters_.erase(it);
+          }
+        }
+      }
+      if (det != nullptr) {
+        det->OnWake(self->id, this);
+      }
+      if (notified) {
+        if (TelemetryTracer* tracer = rt_->tracer()) {
+          // rt_->mu_ is held here, so read step_ directly (NowNanos() would
+          // self-deadlock). Timeout wakes draw no flow edge: no signal caused them.
+          tracer->OnWake(this, self->id, rt_->step_ * 1000);
+        }
+      }
     }
     // Re-acquire the mutex before returning (possibly blocking again).
     while (m->holder_ != nullptr) {
@@ -186,12 +273,9 @@ class DetRuntime::DetCondVar : public RtCondVar {
     if (det != nullptr) {
       det->OnAcquire(self->id, m);
     }
+    return notified;
   }
 
-  void NotifyOne() override { Notify(/*all=*/false); }
-  void NotifyAll() override { Notify(/*all=*/true); }
-
- private:
   void Notify(bool all) {
     if (g_current_det_tcb == nullptr) {
       // Unmanaged caller while the scheduler is idle: just mark waiters runnable.
@@ -208,6 +292,18 @@ class DetRuntime::DetCondVar : public RtCondVar {
     if (rt_->abort_) {
       return;
     }
+    if (FaultDecision fault = rt_->FaultDecisionLocked(
+            self, all ? FaultSite::kNotifyAll : FaultSite::kNotifyOne)) {
+      if (fault.kind == FaultKind::kKillThread) {
+        throw ThreadKilledFault{};
+      }
+      if (fault.kind == FaultKind::kDropSignal) {
+        // The notify vanishes below the mechanism: no waiter wakes and neither the
+        // detector's signal accounting nor the tracer's flow edge ever sees it — a
+        // ground-truth lost signal the detector must infer from its consequences.
+        return;
+      }
+    }
     if (AnomalyDetector* det = rt_->anomaly_detector()) {
       det->OnSignal(self->id, this, static_cast<int>(waiters_.size()), all);
     }
@@ -215,16 +311,22 @@ class DetRuntime::DetCondVar : public RtCondVar {
       // rt_->mu_ is held here, so read step_ directly (NowNanos() would self-deadlock).
       tracer->OnSignal(this, self->id, rt_->step_ * 1000, all);
     }
-    if (!waiters_.empty()) {
-      if (all) {
-        for (Tcb* waiter : waiters_) {
-          rt_->MakeReadyLocked(waiter);
-        }
-        waiters_.clear();
-      } else {
+    if (all) {
+      for (Tcb* waiter : waiters_) {
+        rt_->MakeReadyLocked(waiter);
+      }
+      waiters_.clear();
+    } else {
+      // Deliver to the first waiter still blocked. Entries that already timed out (the
+      // driver made them ready but they have not yet run and removed themselves) no
+      // longer count as waiters; dropping them here mirrors their own cleanup.
+      while (!waiters_.empty()) {
         Tcb* waiter = waiters_.front();
         waiters_.pop_front();
-        rt_->MakeReadyLocked(waiter);
+        if (waiter->state == kBlockedCond) {
+          rt_->MakeReadyLocked(waiter);
+          break;
+        }
       }
     }
     if (rt_->options_.preempt_after_notify) {
@@ -286,6 +388,9 @@ DetRuntime::DetRuntime(std::unique_ptr<Schedule> schedule, Options options)
 DetRuntime::~DetRuntime() {
   // If Run() was never called (or aborted early), tear down any parked threads.
   std::unique_lock<std::mutex> lock(mu_);
+  if (AnomalyDetector* det = anomaly_detector()) {
+    det->SetAborting(true);
+  }
   abort_ = true;
   for (auto& tcb : threads_) {
     if (tcb->state != kFinished) {
@@ -358,6 +463,11 @@ std::unique_ptr<RtThread> DetRuntime::StartThread(std::string name,
           raw->body();
         } catch (const AbortException&) {
           // Unwound during teardown; fall through to the finished transition.
+        } catch (const ThreadKilledFault&) {
+          // Killed by an injected kill-thread fault. RAII destructors between the
+          // injection site and here have already run (releasing locks they guard);
+          // anything acquired without a live guard — notably a DetMutex killed inside
+          // its own Lock() — stays held forever, which is the modelled damage.
         }
       }
       {
@@ -409,6 +519,7 @@ DetRuntime::RunResult DetRuntime::Run() {
   std::vector<Tcb*> ready;
   std::vector<SchedCandidate> candidates;
   while (true) {
+    WakeExpiredTimedWaitersLocked();
     ready.clear();
     candidates.clear();
     bool all_finished = true;
@@ -424,16 +535,32 @@ DetRuntime::RunResult DetRuntime::Run() {
     if (ready.empty()) {
       if (all_finished) {
         result.completed = true;
-      } else {
-        result.deadlocked = true;
-        result.report = BuildStuckReportLocked("deadlock: no runnable threads");
-        if (AnomalyDetector* det = anomaly_detector()) {
-          // Exact diagnosis: every thread is parked at a scheduling point, so the
-          // wait-for graph is complete and the classification has no false positives.
-          det->DiagnoseStuck();
-          for (const Anomaly& anomaly : det->anomalies()) {
-            result.report += "  " + anomaly.ToString() + "\n";
-          }
+        break;
+      }
+      // Timed waiters are not deadlocked — their deadlines will fire. With nothing
+      // else runnable, jump the virtual clock to the earliest deadline (the analogue
+      // of an OS sleeping until the next timer) and re-evaluate. If that deadline
+      // lies beyond max_steps, the jump lands there and the step-limit check below
+      // ends the run on the next iteration.
+      std::uint64_t next_deadline = 0;
+      for (auto& tcb : threads_) {
+        if (tcb->state == kBlockedCond && tcb->wake_deadline != 0 &&
+            (next_deadline == 0 || tcb->wake_deadline < next_deadline)) {
+          next_deadline = tcb->wake_deadline;
+        }
+      }
+      if (next_deadline > step_) {
+        step_ = next_deadline;
+        continue;
+      }
+      result.deadlocked = true;
+      result.report = BuildStuckReportLocked("deadlock: no runnable threads");
+      if (AnomalyDetector* det = anomaly_detector()) {
+        // Exact diagnosis: every thread is parked at a scheduling point, so the
+        // wait-for graph is complete and the classification has no false positives.
+        det->DiagnoseStuck();
+        for (const Anomaly& anomaly : det->anomalies()) {
+          result.report += "  " + anomaly.ToString() + "\n";
         }
       }
       break;
@@ -441,6 +568,17 @@ DetRuntime::RunResult DetRuntime::Run() {
     if (step_ >= options_.max_steps) {
       result.step_limit = true;
       result.report = BuildStuckReportLocked("step limit exceeded (possible livelock)");
+      if (options_.diagnose_on_step_limit) {
+        if (AnomalyDetector* det = anomaly_detector()) {
+          // Every *blocked* thread is parked at a scheduling point, so classifying
+          // those remains sound; the runnable threads that kept the clock advancing
+          // are simply not classified (see Options::diagnose_on_step_limit).
+          det->DiagnoseStuck();
+          for (const Anomaly& anomaly : det->anomalies()) {
+            result.report += "  " + anomaly.ToString() + "\n";
+          }
+        }
+      }
       break;
     }
     ++step_;
@@ -453,7 +591,13 @@ DetRuntime::RunResult DetRuntime::Run() {
   }
 
   if (!result.completed) {
-    // Teardown: release every stuck thread with the abort flag so it unwinds.
+    // Teardown: release every stuck thread with the abort flag so it unwinds. Push the
+    // aborting state to the detector first — teardown unwinding (and any faults still
+    // firing during it) must not be observed, or kill-during-teardown plans would be
+    // double-counted as lost wakeups on top of the diagnosis above.
+    if (AnomalyDetector* det = anomaly_detector()) {
+      det->SetAborting(true);
+    }
     abort_ = true;
     for (auto& tcb : threads_) {
       if (tcb->state != kFinished) {
@@ -506,6 +650,28 @@ void DetRuntime::SwitchOutLocked(std::unique_lock<std::mutex>& lock, Tcb* tcb, i
   // The driver set state to kRunning when granting the token.
   tcb->wait_object = nullptr;
   tcb->wait_desc.clear();
+}
+
+FaultDecision DetRuntime::FaultDecisionLocked(Tcb* tcb, FaultSite site) {
+  FaultInjector* injector = fault_injector();
+  if (injector == nullptr || abort_) {
+    return FaultDecision{};
+  }
+  // mu_ is held: read step_ directly (NowNanos() would self-deadlock). The injector's
+  // own mutex is a leaf, strictly after mu_ in the lock order.
+  return injector->Decide(site, tcb->id, step_ * 1000);
+}
+
+void DetRuntime::WakeExpiredTimedWaitersLocked() {
+  for (auto& tcb : threads_) {
+    if (tcb->state == kBlockedCond && tcb->wake_deadline != 0 && step_ >= tcb->wake_deadline) {
+      // The waiter resumes with timed_out set and removes itself from its condvar's
+      // wait set (see DetCondVar::WaitCommon); the driver never touches that deque.
+      tcb->timed_out = true;
+      tcb->state = kReady;
+      tcb->ready_since = step_;
+    }
+  }
 }
 
 void DetRuntime::MakeReadyLocked(Tcb* tcb) {

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "syneval/fault/injector.h"
 #include "syneval/runtime/runtime.h"
 #include "syneval/runtime/schedule.h"
 
@@ -48,6 +49,14 @@ class DetRuntime : public Runtime {
     bool preempt_before_lock = true;
     // Insert a preemption point after notify operations (more interleavings).
     bool preempt_after_notify = true;
+    // Run AnomalyDetector::DiagnoseStuck() when the step limit aborts the run, not only
+    // on deadlock. At the limit every *blocked* thread is parked at a scheduling point,
+    // so classifying those is still sound; the runnable threads that kept the clock
+    // advancing (a livelock, or an injected stall burning the budget) are simply not
+    // classified. Off by default: an exploratory step limit is usually a test
+    // configuration artifact, not an anomaly. The chaos harness turns it on so stall
+    // faults — which hang nothing but starve every blocked peer — become detectable.
+    bool diagnose_on_step_limit = false;
   };
 
   struct RunResult {
@@ -97,6 +106,14 @@ class DetRuntime : public Runtime {
 
   // Marks a thread runnable (driver or running peer has mu_ held).
   void MakeReadyLocked(Tcb* tcb);
+
+  // Consults the attached fault injector (if any) at `site` for the calling thread.
+  // Called with mu_ held; never fires during teardown.
+  FaultDecision FaultDecisionLocked(Tcb* tcb, FaultSite site);
+
+  // Marks every timed waiter whose virtual deadline has passed runnable. Called by the
+  // driver with mu_ held.
+  void WakeExpiredTimedWaitersLocked();
 
   // Requires a managed calling thread; returns its Tcb.
   Tcb* CurrentTcbChecked() const;

@@ -1,8 +1,11 @@
 #include "syneval/runtime/explore.h"
 
 #include <exception>
+#include <iomanip>
 #include <sstream>
 #include <utility>
+
+#include "syneval/fault/fault.h"
 
 namespace syneval {
 
@@ -76,6 +79,89 @@ SweepOutcome SweepSchedules(int num_seeds,
                                              : report.anomaly_report);
         outcome.first_anomaly = os.str();
       }
+    }
+  }
+  return outcome;
+}
+
+std::string ChaosSweepOutcome::Summary() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << injected_runs << "/" << runs << " fault-on runs injected; harmful " << harmful
+     << ", detected " << detected_harmful;
+  if (harmful > 0) {
+    os << " (recall " << Recall() << ")";
+  }
+  os << "; absorbed " << absorbed;
+  if (corrupted > 0) {
+    os << "; corrupted " << corrupted;
+  }
+  os << "; fault-off anomalies " << clean_anomalies << "/" << runs;
+  if (clean_failures > 0) {
+    os << "; fault-off failures " << clean_failures;
+  }
+  if (detected_harmful > 0) {
+    os << "; mean steps to detection " << MeanStepsToDetection();
+  }
+  return os.str();
+}
+
+ChaosSweepOutcome SweepChaos(
+    int num_seeds,
+    const std::function<ChaosTrialOutcome(std::uint64_t, const FaultPlan*)>& trial,
+    const FaultPlan& plan, std::uint64_t base_seed) {
+  ChaosSweepOutcome outcome;
+  for (int i = 0; i < num_seeds; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    ++outcome.runs;
+
+    // Fault-on run: measure recall over faults that actually fired and did harm.
+    ChaosTrialOutcome on;
+    try {
+      on = trial(seed, &plan);
+    } catch (const std::exception& error) {
+      on.hung = true;
+      on.report = std::string("trial aborted: ") + error.what();
+    } catch (...) {
+      on.hung = true;
+      on.report = "trial aborted: unknown exception";
+    }
+    if (on.injected > 0) {
+      ++outcome.injected_runs;
+      if (on.hung) {
+        ++outcome.harmful;
+        if (on.anomalies > 0) {
+          ++outcome.detected_harmful;
+          outcome.detection_steps_total +=
+              on.steps > on.first_injection_step ? on.steps - on.first_injection_step : 0;
+        } else {
+          outcome.missed_seeds.push_back(seed);
+        }
+      } else if (on.oracle_failed) {
+        ++outcome.corrupted;
+      } else if (on.completed) {
+        ++outcome.absorbed;
+      }
+    }
+
+    // Matched fault-off run: the same schedule seed with no injector attached. Any
+    // detector finding here is a false positive by construction.
+    ChaosTrialOutcome off;
+    try {
+      off = trial(seed, nullptr);
+    } catch (const std::exception& error) {
+      off.hung = true;
+      off.report = std::string("trial aborted: ") + error.what();
+    } catch (...) {
+      off.hung = true;
+      off.report = "trial aborted: unknown exception";
+    }
+    if (off.anomalies > 0) {
+      ++outcome.clean_anomalies;
+      outcome.fp_seeds.push_back(seed);
+    }
+    if (off.hung || off.oracle_failed) {
+      ++outcome.clean_failures;
     }
   }
   return outcome;

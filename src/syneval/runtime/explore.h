@@ -73,6 +73,78 @@ SweepOutcome SweepSchedules(int num_seeds,
                             const std::function<TrialReport(std::uint64_t)>& trial,
                             std::uint64_t base_seed = 1);
 
+// ---------------------------------------------------------------------------------------
+// Chaos sweeps: matched fault-on / fault-off runs that calibrate the anomaly detector
+// against ground-truth injected faults (see syneval/fault/). Where SweepSchedules asks
+// "does this solution misbehave on some schedule?", SweepChaos asks "when we *know* a
+// fault was injected, does the detector catch it — and does it stay silent when we
+// know nothing was?".
+
+struct FaultPlan;
+
+// What one chaos trial observed. Produced by a trial callback that runs the workload
+// under DetRuntime with (fault-on) or without (fault-off) an attached FaultInjector.
+struct ChaosTrialOutcome {
+  bool completed = false;      // The run finished; oracle verdict is meaningful.
+  bool hung = false;           // Deadlock or step-limit: the run never finished.
+  bool oracle_failed = false;  // Completed but the recorded trace violated the oracle.
+  int injected = 0;            // Faults the injector fired (0 on fault-off runs).
+  std::uint64_t first_injection_step = 0;  // Virtual step of the first injection.
+  std::uint64_t steps = 0;                 // Scheduler steps the run took.
+  int anomalies = 0;                       // Detector findings (any class).
+  std::string report;                      // Runtime diagnosis when hung.
+};
+
+// Aggregate of a matched sweep. Every seed is run twice — once with the plan attached,
+// once without — so the false-positive rate is measured on the *same* schedules whose
+// fault-on twins measure recall.
+//
+// Metric definitions (docs/FAULT_INJECTION.md discusses soundness):
+//   harmful   — fault-on runs where a fault fired AND the run hung. Only these can be
+//               "missed": a fault the mechanism absorbed left nothing to detect.
+//   recall    — detected_harmful / harmful (−1 when no run was harmful: vacuous).
+//   absorbed  — fault fired, yet the run completed with a clean oracle: the mechanism
+//               tolerated the fault outright.
+//   fp        — fault-off runs where the detector flagged anything at all.
+struct ChaosSweepOutcome {
+  int runs = 0;              // Seeds swept (each contributing one on + one off run).
+  int injected_runs = 0;     // Fault-on runs where at least one fault fired.
+  int harmful = 0;           // Fault fired and the run hung.
+  int detected_harmful = 0;  // Harmful runs the detector flagged.
+  int absorbed = 0;          // Fault fired; run completed and passed its oracle.
+  int corrupted = 0;         // Fault fired; run completed but failed its oracle.
+  int clean_anomalies = 0;   // Fault-off runs flagged by the detector (false positives).
+  int clean_failures = 0;    // Fault-off runs that hung or failed (suite defect).
+  std::uint64_t detection_steps_total = 0;  // Σ (steps − first_injection_step), detected.
+  std::vector<std::uint64_t> missed_seeds;  // Harmful but undetected, for replay.
+  std::vector<std::uint64_t> fp_seeds;      // Clean-run false positives, for replay.
+
+  double Recall() const {
+    return harmful == 0 ? -1.0 : static_cast<double>(detected_harmful) / harmful;
+  }
+  double FalsePositiveRate() const {
+    return runs == 0 ? 0.0 : static_cast<double>(clean_anomalies) / runs;
+  }
+  // Mean scheduler steps from first injection to end-of-run diagnosis, over detected
+  // harmful runs (−1 when there were none).
+  double MeanStepsToDetection() const {
+    return detected_harmful == 0
+               ? -1.0
+               : static_cast<double>(detection_steps_total) / detected_harmful;
+  }
+  std::string Summary() const;
+};
+
+// Runs `trial(seed, &plan)` and `trial(seed, nullptr)` for each seed and aggregates.
+// The trial owns runtime construction; it must attach a FaultInjector for the plan it
+// is given (nullptr = fault-off) and report what fired via ChaosTrialOutcome. A trial
+// that throws is folded in as hung (fault-on) or clean_failure (fault-off), keeping
+// `runs` a common denominator, as with SweepSchedules.
+ChaosSweepOutcome SweepChaos(
+    int num_seeds,
+    const std::function<ChaosTrialOutcome(std::uint64_t, const FaultPlan*)>& trial,
+    const FaultPlan& plan, std::uint64_t base_seed = 1);
+
 }  // namespace syneval
 
 #endif  // SYNEVAL_RUNTIME_EXPLORE_H_

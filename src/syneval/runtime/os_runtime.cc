@@ -1,9 +1,13 @@
 #include "syneval/runtime/os_runtime.h"
 
 #include <chrono>
+#include <random>
 #include <utility>
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/fault/fault.h"
+#include "syneval/fault/injector.h"
+#include "syneval/runtime/deadline.h"
 #include "syneval/telemetry/metrics.h"
 #include "syneval/telemetry/tracer.h"
 
@@ -13,23 +17,59 @@ namespace {
 
 thread_local std::uint32_t g_os_thread_id = 0;
 
+// Consults the runtime's fault injector (if any) at `site`. Returns the decision;
+// throws out of the calling primitive when the decision is a kill. Under OsRuntime the
+// `steps` stall/delay parameter is interpreted as microseconds of real sleep.
+FaultDecision ConsultInjector(OsRuntime* rt, FaultSite site) {
+  FaultInjector* injector = rt->fault_injector();
+  if (injector == nullptr) {
+    return FaultDecision{};
+  }
+  FaultDecision fault = injector->Decide(site, rt->CurrentThreadId(), rt->NowNanos());
+  if (fault && fault.kind == FaultKind::kKillThread) {
+    throw ThreadKilledFault{};
+  }
+  return fault;
+}
+
+void SleepSteps(std::uint64_t steps) { std::this_thread::sleep_for(std::chrono::microseconds(steps)); }
+
 class OsMutex : public RtMutex {
  public:
   explicit OsMutex(OsRuntime* rt) : rt_(rt) {}
 
   void Lock() override {
+    if (FaultDecision fault = ConsultInjector(rt_, FaultSite::kLockPre)) {
+      if (fault.kind == FaultKind::kDelayLock) {
+        SleepSteps(fault.steps);  // Postponed before ever contending.
+      }
+    }
     AnomalyDetector* det = rt_->anomaly_detector();
     if (det == nullptr) {
       mu_.lock();
-      return;
+    } else {
+      const std::uint32_t tid = rt_->CurrentThreadId();
+      if (!mu_.try_lock()) {
+        det->OnBlock(tid, this);
+        mu_.lock();
+        det->OnWake(tid, this);
+      }
+      det->OnAcquire(tid, this);
     }
-    const std::uint32_t tid = rt_->CurrentThreadId();
-    if (!mu_.try_lock()) {
-      det->OnBlock(tid, this);
-      mu_.lock();
-      det->OnWake(tid, this);
+    try {
+      if (FaultDecision fault = ConsultInjector(rt_, FaultSite::kLockPost)) {
+        if (fault.kind == FaultKind::kStall) {
+          SleepSteps(fault.steps);  // Holds the lock doing nothing; peers starve.
+        }
+      }
+    } catch (const ThreadKilledFault&) {
+      // A kill after acquisition: physically release the std::mutex so the process
+      // stays sound (destroying or abandoning a locked std::mutex is undefined), but
+      // skip OnRelease — to the detector and every observer the dead thread holds
+      // this lock forever, which is the damage a mid-protocol death models.
+      mu_.unlock();
+      throw;
     }
-    det->OnAcquire(tid, this);
   }
 
   void Unlock() override {
@@ -48,39 +88,79 @@ class OsCondVar : public RtCondVar {
  public:
   explicit OsCondVar(OsRuntime* rt) : rt_(rt) {}
 
-  void Wait(RtMutex& mutex) override {
+  void Wait(RtMutex& mutex) override { WaitImpl(mutex, /*timeout_nanos=*/0); }
+
+  bool WaitFor(RtMutex& mutex, std::uint64_t timeout_nanos) override {
+    return WaitImpl(mutex, timeout_nanos == 0 ? 1 : timeout_nanos);
+  }
+
+  void NotifyOne() override {
+    if (FaultDecision fault = ConsultInjector(rt_, FaultSite::kNotifyOne)) {
+      if (fault.kind == FaultKind::kDropSignal) {
+        return;  // The notify vanishes below the mechanism; no waiter ever wakes.
+      }
+    }
+    Signal(/*broadcast=*/false);
+    cv_.notify_one();
+  }
+
+  void NotifyAll() override {
+    if (FaultDecision fault = ConsultInjector(rt_, FaultSite::kNotifyAll)) {
+      if (fault.kind == FaultKind::kDropSignal) {
+        return;
+      }
+    }
+    Signal(/*broadcast=*/true);
+    cv_.notify_all();
+  }
+
+ private:
+  // Shared Wait/WaitFor body; timeout_nanos == 0 means untimed. Returns false iff the
+  // deadline expired before a notification arrived.
+  bool WaitImpl(RtMutex& mutex, std::uint64_t timeout_nanos) {
+    if (FaultDecision fault = ConsultInjector(rt_, FaultSite::kWait)) {
+      if (fault.kind == FaultKind::kSpuriousWakeup) {
+        // Return immediately with the mutex still held: a wakeup no signal caused.
+        // Legal per the RtCondVar contract (callers re-check their predicate), and
+        // reported as "notified" exactly as a real spurious wakeup would be.
+        return true;
+      }
+    }
     AnomalyDetector* det = rt_->anomaly_detector();
     TelemetryTracer* tracer = rt_->tracer();
     if (det == nullptr && tracer == nullptr) {
-      cv_.wait(mutex);
-      return;
+      if (timeout_nanos == 0) {
+        cv_.wait(mutex);
+        return true;
+      }
+      const Deadline deadline = Deadline::AfterNanos(timeout_nanos);
+      return cv_.wait_until(mutex, deadline.time_point()) == std::cv_status::no_timeout;
     }
     const std::uint32_t tid = rt_->CurrentThreadId();
     waiting_.fetch_add(1, std::memory_order_relaxed);
     if (det != nullptr) {
       det->OnBlock(tid, this);
     }
-    cv_.wait(mutex);
+    bool notified = true;
+    if (timeout_nanos == 0) {
+      cv_.wait(mutex);
+    } else {
+      // One absolute Deadline computed up front: however many times the underlying
+      // wait is interrupted, it resumes the same instant (no spurious-wakeup drift).
+      const Deadline deadline = Deadline::AfterNanos(timeout_nanos);
+      notified = cv_.wait_until(mutex, deadline.time_point()) == std::cv_status::no_timeout;
+    }
     if (det != nullptr) {
       det->OnWake(tid, this);
     }
-    if (tracer != nullptr) {
+    if (notified && tracer != nullptr) {
+      // Timeout wakes draw no flow edge: no signal caused them.
       tracer->OnWake(this, tid, rt_->NowNanos());
     }
     waiting_.fetch_sub(1, std::memory_order_relaxed);
+    return notified;
   }
 
-  void NotifyOne() override {
-    Signal(/*broadcast=*/false);
-    cv_.notify_one();
-  }
-
-  void NotifyAll() override {
-    Signal(/*broadcast=*/true);
-    cv_.notify_all();
-  }
-
- private:
   void Signal(bool broadcast) {
     if (AnomalyDetector* det = rt_->anomaly_detector()) {
       det->OnSignal(rt_->CurrentThreadId(), this,
@@ -152,11 +232,19 @@ std::unique_ptr<RtThread> OsRuntime::StartThread(std::string name, std::function
   AnomalyDetector* det = anomaly_detector();
   if (det != nullptr) {
     det->RegisterThread(id, name);
-    body = [det, id, body = std::move(body)]() {
-      body();
-      det->OnThreadFinish(id);
-    };
   }
+  body = [det, id, body = std::move(body)]() {
+    try {
+      body();
+    } catch (const ThreadKilledFault&) {
+      // Killed by an injected kill-thread fault: the thread ends mid-protocol. RAII
+      // guards between the injection site and here have already unwound; whatever had
+      // no guard stays exactly as the kill left it.
+    }
+    if (det != nullptr) {
+      det->OnThreadFinish(id);
+    }
+  };
   return std::make_unique<OsThread>(id, std::move(body));
 }
 
@@ -171,7 +259,7 @@ std::uint64_t OsRuntime::NowNanos() {
           .count());
 }
 
-void OsRuntime::StartAnomalyWatchdog(std::chrono::milliseconds period) {
+void OsRuntime::StartAnomalyWatchdog(WatchdogOptions options) {
   AnomalyDetector* det = anomaly_detector();
   if (det == nullptr || watchdog_.joinable()) {
     return;
@@ -180,10 +268,24 @@ void OsRuntime::StartAnomalyWatchdog(std::chrono::milliseconds period) {
     std::lock_guard<std::mutex> lock(watchdog_mu_);
     watchdog_stop_ = false;
   }
-  watchdog_ = std::thread([this, det, period] {
+  watchdog_ = std::thread([this, det, options] {
+    std::mt19937_64 jitter_rng(options.jitter_seed);
+    const auto base_period = std::chrono::duration_cast<std::chrono::nanoseconds>(options.period);
     std::unique_lock<std::mutex> lock(watchdog_mu_);
     while (!watchdog_stop_) {
-      watchdog_cv_.wait_for(lock, period, [this] { return watchdog_stop_; });
+      // Re-jitter the period every cycle so wakeups cannot phase-lock with any
+      // periodic behaviour under observation (injected fixed-length stalls above all).
+      const std::chrono::nanoseconds period =
+          JitterPeriod(base_period, options.jitter_fraction, jitter_rng);
+#if SYNEVAL_TELEMETRY_ENABLED
+      if (MetricsRegistry* metrics = this->metrics()) {
+        metrics->GetGauge("anomaly/watchdog_period_ms")
+            .Set(std::chrono::duration_cast<std::chrono::milliseconds>(period).count());
+      }
+#endif
+      // One absolute deadline per cycle: stray notifies cannot stretch the sleep.
+      const Deadline deadline = Deadline::After(period);
+      watchdog_cv_.wait_until(lock, deadline.time_point(), [this] { return watchdog_stop_; });
       if (watchdog_stop_) {
         return;
       }

@@ -36,11 +36,30 @@ class OsRuntime : public Runtime {
   std::uint64_t NowNanos() override;
   const char* name() const override { return "os"; }
 
+  struct WatchdogOptions {
+    // Base sampling period.
+    std::chrono::milliseconds period{20};
+    // Each cycle sleeps period × U[1 - f, 1 + f] (see JitterPeriod in deadline.h).
+    // Without jitter a fixed-period watchdog can phase-lock with periodic behaviour it
+    // is meant to observe — in particular the fault layer's fixed-length stalls — and
+    // systematically sample the same phase of every stall window. 0 disables jitter.
+    double jitter_fraction = 0.2;
+    // Seeds the jitter RNG, so a sweep can decorrelate its watchdogs per trial.
+    std::uint64_t jitter_seed = 0x5EEDD06;
+  };
+
   // Starts a background thread that calls anomaly_detector()->Poll(NowNanos()) every
-  // `period`. Requires an attached detector; no-op if already started. The watchdog is
-  // a *sampler*: it can only flag waits older than the detector's stuck_wait_nanos, so
-  // detection latency is period + threshold (unlike DetRuntime's exact diagnosis).
-  void StartAnomalyWatchdog(std::chrono::milliseconds period);
+  // (jittered) period. Requires an attached detector; no-op if already started. The
+  // watchdog is a *sampler*: it can only flag waits older than the detector's
+  // stuck_wait_nanos, so detection latency is period + threshold (unlike DetRuntime's
+  // exact diagnosis). The period chosen for each cycle is exported through the metrics
+  // registry as gauge "anomaly/watchdog_period_ms".
+  void StartAnomalyWatchdog(WatchdogOptions options);
+  void StartAnomalyWatchdog(std::chrono::milliseconds period) {
+    WatchdogOptions options;
+    options.period = period;
+    StartAnomalyWatchdog(options);
+  }
 
   // Stops and joins the watchdog thread (also called by the destructor).
   void StopAnomalyWatchdog();

@@ -1,0 +1,14 @@
+#include "syneval/runtime/runtime.h"
+
+#include "syneval/fault/injector.h"
+
+namespace syneval {
+
+void Runtime::AttachFaultInjector(FaultInjector* injector) {
+  fault_injector_ = injector;
+  if (injector != nullptr) {
+    injector->BindRuntime(this);
+  }
+}
+
+}  // namespace syneval

@@ -28,6 +28,7 @@
 namespace syneval {
 
 class AnomalyDetector;
+class FaultInjector;
 class MetricsRegistry;
 class TelemetryTracer;
 struct MechanismStats;
@@ -54,6 +55,16 @@ class RtCondVar {
   virtual ~RtCondVar() = default;
 
   virtual void Wait(RtMutex& mutex) = 0;
+
+  // Deadline-aware Wait: blocks until notified or until `timeout_nanos` of runtime
+  // time elapse (Runtime::NowNanos units — wall nanoseconds under OsRuntime; under
+  // DetRuntime a virtual-step budget of timeout_nanos / 1000 scheduler steps, so timed
+  // waits stay fully deterministic and replayable). Returns true when the return was
+  // caused by a notification (or a permitted spurious wakeup), false when the deadline
+  // expired first. Either way the mutex is held again on return; callers re-check
+  // their predicate exactly as with Wait.
+  virtual bool WaitFor(RtMutex& mutex, std::uint64_t timeout_nanos) = 0;
+
   virtual void NotifyOne() = 0;
   virtual void NotifyAll() = 0;
 };
@@ -109,6 +120,14 @@ class Runtime {
   void AttachAnomalyDetector(AnomalyDetector* detector) { anomaly_detector_ = detector; }
   AnomalyDetector* anomaly_detector() const { return anomaly_detector_; }
 
+  // Attaches a fault injector (see syneval/fault/injector.h); both runtimes then
+  // consult it at every lock/wait/notify site and act on what it decides. Attach
+  // before primitives are created and threads start; the injector must outlive the
+  // runtime's threads. Defined in runtime.cc (binds the injector to this runtime's
+  // telemetry attachments).
+  void AttachFaultInjector(FaultInjector* injector);
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
 #if SYNEVAL_TELEMETRY_ENABLED
   // Attaches a metrics registry (see syneval/telemetry/metrics.h). Like the anomaly
   // detector, it must be attached before mechanisms are constructed from this runtime
@@ -124,6 +143,7 @@ class Runtime {
 
  private:
   AnomalyDetector* anomaly_detector_ = nullptr;
+  FaultInjector* fault_injector_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
   TelemetryTracer* tracer_ = nullptr;
 };
@@ -137,6 +157,7 @@ class Runtime {
 
  private:
   AnomalyDetector* anomaly_detector_ = nullptr;
+  FaultInjector* fault_injector_ = nullptr;
 };
 #endif
 

@@ -30,10 +30,20 @@ void CountingSemaphore::P(const std::function<void()>& on_acquire) {
   if (det_ != nullptr && will_block) {
     det_->OnBlock(tid, this);
   }
-  while (count_ == 0) {
-    cv_->Wait(*mu_);
-    if (tel_ != nullptr) {
-      tel_->wakeups.Add(1);
+  if (recovery_ != nullptr) {
+    RecoveringWait(
+        *cv_, *mu_, [this] { return count_ != 0; }, recovery_policy_, recovery_,
+        [this] {
+          if (tel_ != nullptr) {
+            tel_->wakeups.Add(1);
+          }
+        });
+  } else {
+    while (count_ == 0) {
+      cv_->Wait(*mu_);
+      if (tel_ != nullptr) {
+        tel_->wakeups.Add(1);
+      }
     }
   }
   if (det_ != nullptr && will_block) {
@@ -101,6 +111,12 @@ std::int64_t CountingSemaphore::value() const {
   return count_;
 }
 
+void CountingSemaphore::EnableRecovery(RecoveryStats* stats, RecoveryPolicy policy) {
+  RtLock lock(*mu_);
+  recovery_ = stats;
+  recovery_policy_ = policy;
+}
+
 BinarySemaphore::BinarySemaphore(Runtime& runtime, bool initially_open)
     : runtime_(runtime),
       det_(runtime.anomaly_detector()),
@@ -126,10 +142,20 @@ void BinarySemaphore::P(const std::function<void()>& on_acquire) {
   if (det_ != nullptr && will_block) {
     det_->OnBlock(tid, this);
   }
-  while (!open_) {
-    cv_->Wait(*mu_);
-    if (tel_ != nullptr) {
-      tel_->wakeups.Add(1);
+  if (recovery_ != nullptr) {
+    RecoveringWait(
+        *cv_, *mu_, [this] { return open_; }, recovery_policy_, recovery_,
+        [this] {
+          if (tel_ != nullptr) {
+            tel_->wakeups.Add(1);
+          }
+        });
+  } else {
+    while (!open_) {
+      cv_->Wait(*mu_);
+      if (tel_ != nullptr) {
+        tel_->wakeups.Add(1);
+      }
     }
   }
   if (det_ != nullptr && will_block) {
@@ -189,6 +215,12 @@ bool BinarySemaphore::TryP() {
     hold_start_ = runtime_.NowNanos();
   }
   return true;
+}
+
+void BinarySemaphore::EnableRecovery(RecoveryStats* stats, RecoveryPolicy policy) {
+  RtLock lock(*mu_);
+  recovery_ = stats;
+  recovery_policy_ = policy;
 }
 
 FifoSemaphore::FifoSemaphore(Runtime& runtime, std::int64_t initial)

@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 
+#include "syneval/fault/recovery.h"
 #include "syneval/runtime/runtime.h"
 
 namespace syneval {
@@ -54,6 +55,12 @@ class CountingSemaphore {
   // Current count (racy snapshot; intended for diagnostics and tests).
   std::int64_t value() const;
 
+  // Opts this semaphore into the recovery layer (syneval/fault/recovery.h): blocked
+  // P() calls use RecoveringWait under `policy` instead of an untimed wait, so a lost
+  // V cannot strand them, with rescues accounted in `stats`. Pass nullptr to opt back
+  // out. Not thread-safe against concurrent P/V; call before the workload starts.
+  void EnableRecovery(RecoveryStats* stats, RecoveryPolicy policy = {});
+
  private:
   Runtime& runtime_;
   AnomalyDetector* det_ = nullptr;  // From runtime.anomaly_detector(); may be null.
@@ -61,6 +68,8 @@ class CountingSemaphore {
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
   std::int64_t count_;
+  RecoveryStats* recovery_ = nullptr;  // Null until EnableRecovery.
+  RecoveryPolicy recovery_policy_;
   int waiting_ = 0;  // Blocked P() calls (telemetry queue depth). Guarded by mu_.
   // Acquire times of outstanding units, FIFO-retired at V like the anomaly detector's
   // holder model: hold time of a unit is measured oldest-acquire to next-release.
@@ -81,6 +90,9 @@ class BinarySemaphore {
   void V(const std::function<void()>& on_release);
   bool TryP();
 
+  // As CountingSemaphore::EnableRecovery.
+  void EnableRecovery(RecoveryStats* stats, RecoveryPolicy policy = {});
+
  private:
   Runtime& runtime_;
   AnomalyDetector* det_ = nullptr;  // From runtime.anomaly_detector(); may be null.
@@ -88,6 +100,8 @@ class BinarySemaphore {
   std::unique_ptr<RtMutex> mu_;
   std::unique_ptr<RtCondVar> cv_;
   bool open_;
+  RecoveryStats* recovery_ = nullptr;  // Null until EnableRecovery.
+  RecoveryPolicy recovery_policy_;
   int waiting_ = 0;             // Blocked P() calls (telemetry). Guarded by mu_.
   std::uint64_t hold_start_ = 0;  // NowNanos of the outstanding P (telemetry).
 };
