@@ -25,7 +25,13 @@ int main(int argc, char** argv) {
   syneval::bench::Options options = syneval::bench::ParseArgs(argc, argv, "chaos_sweep");
   syneval::bench::Reporter reporter(options);
 
-  const syneval::ChaosCalibrationTable table = syneval::RunChaosCalibration(kSeedsPerCase);
+  // The calibration table is bit-identical at any worker count (deterministic merge in
+  // runtime/parallel_sweep.h), so the golden-file diff is safe under --jobs.
+  const syneval::ChaosCalibrationTable table = syneval::RunChaosCalibration(
+      options.SeedsOr(kSeedsPerCase), /*base_seed=*/1, /*workload_scale=*/1,
+      options.Parallel());
+  reporter.SetSweepInfo(table.jobs, table.wall_seconds);
+  reporter.SetWorkers(table.workers);
 
   bool gate_failed = false;
   for (const syneval::ChaosCalibrationRow& row : table.rows) {
@@ -64,6 +70,8 @@ int main(int argc, char** argv) {
 
   std::printf("\nworst recall over harmful rows: %.2f; total false positives: %d\n",
               table.MinRecall(), table.TotalFalsePositives());
+  std::printf("sweep: jobs=%d wall=%.3fs\n%s", table.jobs, table.wall_seconds,
+              reporter.WorkerTable().c_str());
   if (!reporter.Finish()) {
     return 1;
   }

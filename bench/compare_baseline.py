@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Compare fresh bench JSON output against the seeded perf baseline.
+
+Usage:
+  compare_baseline.py [--baseline tests/golden/bench_baseline.json]
+                      [--rel 0.25] [--markdown out.md] fresh1.json [fresh2.json ...]
+  compare_baseline.py --write-baseline tests/golden/bench_baseline.json fresh1.json ...
+
+Rows are matched by (bench, mechanism, problem, metric). A row regresses when the
+fresh value exceeds baseline + tolerance, where
+
+  tolerance = max(rel * baseline, absolute_floor(unit, baseline))
+
+The absolute floor keeps sub-millisecond rows from flapping: at those magnitudes
+scheduler noise on shared CI runners dwarfs any 25% band. Faster-than-baseline rows
+never fail (they are reported as improvements). Rows present on only one side are
+reported but do not fail the run — new benches land before their baseline does.
+
+Exit status: 0 = no regressions, 1 = at least one regression, 2 = usage/IO error.
+The perf-regression CI job runs this non-blocking and pastes the markdown into the
+step summary.
+"""
+
+import argparse
+import json
+import sys
+
+# Per-unit absolute floors, in the row's own unit. Timings below these magnitudes are
+# noise-dominated on shared runners; the floor also covers counter-like units where a
+# small absolute wiggle is meaningless (items/s floors are relative to typical scale).
+ABS_FLOORS = {
+    "s": 2e-3,       # sub-2ms wall times: pure scheduling jitter
+    "ms": 2.0,
+    "us": 2000.0,
+    "ns": 200.0,     # sub-200ns per-op medians flap with frequency scaling
+    "steps": 1.0,
+    "items/s": 0.0,  # throughput handled by the relative band alone
+}
+
+KEY_FIELDS = ("bench", "mechanism", "problem", "metric")
+
+# Metrics that are configuration echoes or ratios of other rows — never baselined.
+VOLATILE_METRICS = {"speedup", "jobs"}
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"{path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc["rows"] if "rows" in doc else doc.get("results", [])
+    out = {}
+    for row in rows:
+        if row["metric"] in VOLATILE_METRICS:
+            continue
+        out[tuple(row[k] for k in KEY_FIELDS)] = (float(row["value"]), row["unit"])
+    return out
+
+
+def tolerance(rel, baseline_value, unit):
+    return max(rel * abs(baseline_value), ABS_FLOORS.get(unit, 0.0))
+
+
+def write_baseline(path, fresh):
+    rows = [
+        {"bench": k[0], "mechanism": k[1], "problem": k[2], "metric": k[3],
+         "value": value, "unit": unit}
+        for k, (value, unit) in sorted(fresh.items())
+    ]
+    doc = {
+        "schema_version": 1,
+        "description": "Seeded perf baseline: median timings from mechanism_overhead, "
+                       "buffer_throughput, and sweep_scaling on the CI runner class. "
+                       "Compared by bench/compare_baseline.py at +/-25% relative "
+                       "tolerance with absolute floors for sub-millisecond rows; the "
+                       "perf-regression CI job is non-blocking.",
+        "regenerate": "see docs/PARALLEL_EXPLORATION.md#perf-baseline",
+        "rows": rows,
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"wrote {path} ({len(rows)} rows)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", default="tests/golden/bench_baseline.json")
+    parser.add_argument("--rel", type=float, default=0.25,
+                        help="relative tolerance band (default 0.25 = +/-25%%)")
+    parser.add_argument("--markdown", default="",
+                        help="also write the report as a markdown file")
+    parser.add_argument("--write-baseline", default="",
+                        help="instead of comparing, write the fresh rows as a new "
+                             "baseline to this path")
+    parser.add_argument("fresh", nargs="+", help="bench --json output files")
+    args = parser.parse_args()
+
+    fresh = {}
+    for path in args.fresh:
+        fresh.update(load_rows(path))
+    if not fresh:
+        print("no fresh rows", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, fresh)
+        return 0
+
+    baseline = load_rows(args.baseline)
+
+    regressions, improvements, stable, unmatched = [], [], [], []
+    for key in sorted(baseline.keys() | fresh.keys()):
+        if key not in baseline or key not in fresh:
+            unmatched.append(key)
+            continue
+        base_value, unit = baseline[key]
+        fresh_value, _ = fresh[key]
+        tol = tolerance(args.rel, base_value, unit)
+        delta = fresh_value - base_value
+        pct = (delta / base_value * 100.0) if base_value else float("inf")
+        row = (key, base_value, fresh_value, pct, unit)
+        if delta > tol:
+            regressions.append(row)
+        elif delta < -tol:
+            improvements.append(row)
+        else:
+            stable.append(row)
+
+    lines = ["# Perf baseline comparison", "",
+             f"{len(stable)} stable, {len(improvements)} improved, "
+             f"{len(regressions)} regressed, {len(unmatched)} unmatched "
+             f"(tolerance: max({args.rel:.0%} relative, per-unit absolute floor))", ""]
+    for title, rows in (("Regressions", regressions), ("Improvements", improvements)):
+        if not rows:
+            continue
+        lines += [f"## {title}", "",
+                  "| bench | mechanism | problem | metric | baseline | fresh | delta |",
+                  "|---|---|---|---|---|---|---|"]
+        for (bench, mech, prob, metric), base_value, fresh_value, pct, unit in (
+                (r[0], r[1], r[2], r[3], r[4]) for r in rows):
+            lines.append(f"| {bench} | {mech} | {prob} | {metric} "
+                         f"| {base_value:g} {unit} | {fresh_value:g} {unit} "
+                         f"| {pct:+.1f}% |")
+        lines.append("")
+    if unmatched:
+        lines += ["## Unmatched rows (present on one side only, not failing)", ""]
+        lines += [f"- `{' / '.join(k)}`" for k in unmatched]
+        lines.append("")
+
+    report = "\n".join(lines)
+    print(report)
+    if args.markdown:
+        with open(args.markdown, "w") as f:
+            f.write(report + "\n")
+
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,22 +1,40 @@
 // Generates the complete markdown evaluation report (all of Sections 2-5 of the
 // methodology) into evaluation_report.md next to the binary, and echoes the verdict.
+//
+// --seeds sets the conformance schedules per case (default 15; the nightly deep-sweep
+// CI job runs 150) and --jobs shards every sweep inside the report across the
+// work-stealing pool — the report text is bit-identical at any worker count.
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "bench/harness.h"
 #include "syneval/core/report.h"
 
-int main() {
+int main(int argc, char** argv) {
+  syneval::bench::Options options =
+      syneval::bench::ParseArgs(argc, argv, "full_report");
+  syneval::bench::Reporter reporter(options);
+
+  syneval::ReportOptions report_options;
+  report_options.conformance_seeds = options.SeedsOr(15);
+  report_options.parallel = options.Parallel();
+
   std::ostringstream buffer;
-  syneval::ReportOptions options;
-  options.conformance_seeds = 15;
-  syneval::WriteEvaluationReport(buffer, options);
+  const double wall_seconds = syneval::bench::TimeSeconds(
+      [&] { syneval::WriteEvaluationReport(buffer, report_options); });
   const std::string report = buffer.str();
 
   std::ofstream file("evaluation_report.md");
   file << report;
   file.close();
+
+  reporter.Add("all", "", "report_bytes", static_cast<double>(report.size()), "bytes");
+  reporter.Add("all", "", "conformance_seeds", report_options.conformance_seeds,
+               "schedules");
+  reporter.SetSweepInfo(syneval::ResolveJobs(report_options.parallel.jobs),
+                        wall_seconds);
 
   // Echo the tail — the fault-injection calibration table, the registry-sourced
   // contention telemetry table, and the verdict — so the bench sweep shows the outcome.
@@ -29,5 +47,7 @@ int main() {
   if (tail != std::string::npos) {
     std::printf("%s\n", report.substr(tail).c_str());
   }
-  return 0;
+  std::printf("report generated in %.3fs (conformance seeds per case: %d)\n",
+              wall_seconds, report_options.conformance_seeds);
+  return reporter.Finish() ? 0 : 1;
 }

@@ -18,10 +18,12 @@ namespace {
 
 void PrintUsage(const std::string& bench_name, std::ostream& os) {
   os << "usage: " << bench_name << " [flags]\n"
-     << "  --json=<path>     write machine-readable results (schema_version 1)\n"
+     << "  --json=<path>     write machine-readable results (schema_version 2)\n"
      << "  --trace=<path>    write a Perfetto/Chrome trace (when the bench records one)\n"
      << "  --repeats=<n>     measured repetitions per configuration (default 3)\n"
      << "  --warmup=<n>      unrecorded warmup repetitions (default 1)\n"
+     << "  --jobs=<n>        sweep workers; 0 = auto via SYNEVAL_JOBS/hardware (default 0)\n"
+     << "  --seeds=<n>       schedule seeds per sweep; 0 = bench default (default 0)\n"
      << "  --help            this message\n";
 }
 
@@ -87,6 +89,16 @@ Options ParseArgs(int argc, char** argv, const std::string& bench_name) {
         std::cerr << bench_name << ": bad --warmup value '" << value << "'\n";
         std::exit(2);
       }
+    } else if (MatchFlag(arg, "--jobs=", &value)) {
+      if (!ParseInt(value, &options.jobs) || options.jobs < 0) {
+        std::cerr << bench_name << ": bad --jobs value '" << value << "'\n";
+        std::exit(2);
+      }
+    } else if (MatchFlag(arg, "--seeds=", &value)) {
+      if (!ParseInt(value, &options.seeds) || options.seeds < 0) {
+        std::cerr << bench_name << ": bad --seeds value '" << value << "'\n";
+        std::exit(2);
+      }
     } else {
       std::cerr << bench_name << ": unknown flag '" << arg << "'\n";
       PrintUsage(bench_name, std::cerr);
@@ -134,6 +146,30 @@ void Reporter::Add(const std::string& mechanism, const std::string& problem,
   rows_.push_back(Row{mechanism, problem, metric, value, unit});
 }
 
+void Reporter::SetSweepInfo(int jobs, double wall_seconds) {
+  have_sweep_info_ = true;
+  sweep_jobs_ = jobs;
+  sweep_wall_seconds_ = wall_seconds;
+}
+
+void Reporter::SetWorkers(std::vector<WorkerTelemetry> workers) {
+  workers_ = std::move(workers);
+}
+
+std::string Reporter::WorkerTable() const {
+  if (workers_.empty()) {
+    return "";
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(workers_.size());
+  for (const WorkerTelemetry& w : workers_) {
+    rows.push_back({std::to_string(w.worker), std::to_string(w.trials),
+                    std::to_string(w.chunks), std::to_string(w.steals),
+                    FormatValue(w.wall_seconds)});
+  }
+  return RenderTable({"worker", "trials", "chunks", "steals", "wall_s"}, rows);
+}
+
 std::string Reporter::Table() const {
   std::vector<std::vector<std::string>> rows;
   rows.reserve(rows_.size());
@@ -148,8 +184,27 @@ bool Reporter::Finish() const {
     return true;
   }
   std::ostringstream out;
-  out << "{\"schema_version\":1,\"bench\":\"" << JsonEscape(options_.bench)
-      << "\",\"results\":[";
+  out << "{\"schema_version\":2,\"bench\":\"" << JsonEscape(options_.bench) << "\"";
+  // Sweep-pool accounting goes in top-level keys, never in "results": the result rows
+  // must stay deterministic for golden-file diffs, and timings are machine-dependent.
+  if (have_sweep_info_) {
+    out << ",\"jobs\":" << sweep_jobs_ << ",\"wall_seconds\":"
+        << FormatValue(sweep_wall_seconds_);
+  }
+  if (!workers_.empty()) {
+    out << ",\"workers\":[";
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const WorkerTelemetry& w = workers_[i];
+      if (i != 0) {
+        out << ",";
+      }
+      out << "{\"worker\":" << w.worker << ",\"trials\":" << w.trials
+          << ",\"chunks\":" << w.chunks << ",\"steals\":" << w.steals
+          << ",\"wall_seconds\":" << FormatValue(w.wall_seconds) << "}";
+    }
+    out << "]";
+  }
+  out << ",\"results\":[";
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     const Row& row = rows_[i];
     if (i != 0) {

@@ -8,6 +8,9 @@
 //       --trace=<path>    write a Perfetto/Chrome trace (benches that record one)
 //       --repeats=<n>     measured repetitions per configuration (default 3)
 //       --warmup=<n>      unrecorded warmup repetitions (default 1)
+//       --jobs=<n>        sweep worker count (0 = auto: SYNEVAL_JOBS env, then
+//                         hardware_concurrency; sweeps are bit-identical at any n)
+//       --seeds=<n>       schedule seeds per sweep (0 = the bench's default count)
 //     Unknown flags are rejected with a usage message so CI typos fail loudly.
 //
 //   * Stopwatch / Repeat — warmup + repeat + outlier handling. Repeat reports the
@@ -18,13 +21,21 @@
 //   * Reporter — collects {bench, mechanism, problem, metric, value, unit} rows,
 //     renders them as a text table, and writes the stable JSON schema:
 //
-//       {"schema_version": 1,
+//       {"schema_version": 2,
 //        "bench": "<name>",
+//        "jobs": <n>,                  // only when the bench ran a sweep pool
+//        "wall_seconds": <x>,          // ditto
+//        "workers": [{"worker": 0, "trials": ..., "chunks": ..., "steals": ...,
+//                     "wall_seconds": ...}, ...],   // ditto: per-worker shards
 //        "results": [{"bench": "...", "mechanism": "...", "problem": "...",
 //                     "metric": "...", "value": <number>, "unit": "..."}, ...]}
 //
 //     The schema is append-only by contract: consumers (CI's perf-smoke validator,
-//     plotting scripts) may rely on these six fields existing with these names.
+//     bench/compare_baseline.py, plotting scripts) may rely on these six row fields
+//     existing with these names. schema_version 2 added the optional top-level
+//     jobs/wall_seconds/workers keys (the "results" rows are unchanged from v1); the
+//     worker telemetry deliberately lives OUTSIDE "results" so golden-file diffs over
+//     the deterministic rows never see machine-dependent timings.
 
 #ifndef SYNEVAL_BENCH_HARNESS_H_
 #define SYNEVAL_BENCH_HARNESS_H_
@@ -35,6 +46,8 @@
 #include <string>
 #include <vector>
 
+#include "syneval/runtime/parallel_sweep.h"
+
 namespace syneval {
 namespace bench {
 
@@ -44,6 +57,18 @@ struct Options {
   std::string trace_path;  // --trace=<path>; empty = no trace output.
   int repeats = 3;         // --repeats=<n>, clamped to >= 1.
   int warmup = 1;          // --warmup=<n>, clamped to >= 0.
+  int jobs = 0;            // --jobs=<n>; 0 = auto (see ResolveJobs). Sweep benches
+                           // feed this into ParallelOptions; timing benches ignore it.
+  int seeds = 0;           // --seeds=<n>; 0 = the bench's built-in seed count.
+
+  // The sweep pool configuration this bench should use (jobs passed through; 0 stays
+  // "auto" so SYNEVAL_JOBS and hardware_concurrency apply at resolve time).
+  ParallelOptions Parallel() const {
+    ParallelOptions parallel;
+    parallel.jobs = jobs;
+    return parallel;
+  }
+  int SeedsOr(int fallback) const { return seeds > 0 ? seeds : fallback; }
 };
 
 // Parses the uniform flags. On --help or an unknown/malformed flag, prints usage and
@@ -98,6 +123,16 @@ class Reporter {
   void Add(const std::string& mechanism, const std::string& problem,
            const std::string& metric, double value, const std::string& unit);
 
+  // Sweep-pool accounting for benches that ran parallel sweeps: emitted as the
+  // top-level "jobs"/"wall_seconds"/"workers" keys of the v2 schema (NOT as result
+  // rows — see the schema comment above).
+  void SetSweepInfo(int jobs, double wall_seconds);
+  void SetWorkers(std::vector<WorkerTelemetry> workers);
+
+  // The per-worker telemetry rendered as an aligned text table ("" when no workers
+  // were recorded).
+  std::string WorkerTable() const;
+
   // All rows rendered as an aligned text table (for the human-readable output).
   std::string Table() const;
 
@@ -119,6 +154,10 @@ class Reporter {
 
   Options options_;
   std::vector<Row> rows_;
+  bool have_sweep_info_ = false;
+  int sweep_jobs_ = 0;
+  double sweep_wall_seconds_ = 0;
+  std::vector<WorkerTelemetry> workers_;
 };
 
 }  // namespace bench

@@ -41,6 +41,10 @@ using syneval::ReplayResult;
 using syneval::SafetyVerdict;
 using syneval::SolutionVerdict;
 
+// Seeds for the counterexample replay sweep (self-validation 2). Small: each seed is
+// a full DetRuntime replay, and all of them must deadlock identically.
+constexpr int kReplaySweepSeeds = 8;
+
 int CountSeverity(const std::vector<LintFinding>& findings, LintSeverity severity) {
   int count = 0;
   for (const LintFinding& finding : findings) {
@@ -120,6 +124,8 @@ int main(int argc, char** argv) {
     const bool found = result.safety == SafetyVerdict::kDeadlockable;
     bool replayed = false;
     int detector_deadlocks = 0;
+    int sweep_runs = 0;
+    int sweep_passes = 0;
     if (found) {
       const ReplayResult replay = ReplayCounterexample(broken, result.counterexample);
       replayed = replay.deadlocked;
@@ -128,6 +134,18 @@ int main(int argc, char** argv) {
                   replay.deadlocked ? "deadlocked under DetRuntime" : "DID NOT deadlock",
                   replay.anomaly_report.empty() ? "(no anomalies)"
                                                 : replay.anomaly_report.c_str());
+      // Sweep the replay across schedule seeds, sharded over --jobs workers. Every
+      // seed must reproduce the deadlock AND be named by the detector; the counts are
+      // deterministic (bit-identical merge), so the rows are golden-file safe.
+      const syneval::SweepOutcome sweep = syneval::ReplayCounterexampleSweep(
+          broken, result.counterexample, kReplaySweepSeeds, /*base_seed=*/1,
+          options.Parallel());
+      sweep_runs = sweep.runs;
+      sweep_passes = sweep.passes;
+      std::printf("counterexample replay sweep: %d/%d seeds deadlocked with a named "
+                  "cycle%s%s\n",
+                  sweep.passes, sweep.runs, sweep.first_failure.empty() ? "" : "; first: ",
+                  sweep.first_failure.c_str());
     }
     reporter.Add("path-expression", "crossed-gates", "selfcheck_counterexample_found",
                  found ? 1 : 0, "bool");
@@ -135,7 +153,12 @@ int main(int argc, char** argv) {
                  replayed ? 1 : 0, "bool");
     reporter.Add("path-expression", "crossed-gates", "selfcheck_detector_deadlocks",
                  detector_deadlocks, "count");
-    ok = ok && found && replayed && detector_deadlocks >= 1;
+    reporter.Add("path-expression", "crossed-gates", "selfcheck_replay_sweep_runs",
+                 sweep_runs, "schedules");
+    reporter.Add("path-expression", "crossed-gates", "selfcheck_replay_sweep_passes",
+                 sweep_passes, "schedules");
+    ok = ok && found && replayed && detector_deadlocks >= 1 &&
+         sweep_runs == kReplaySweepSeeds && sweep_passes == sweep_runs;
   }
 
   if (!reporter.Finish()) {

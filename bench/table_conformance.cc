@@ -1,26 +1,68 @@
 // The full conformance scorecard: every (mechanism, problem) solution swept over
 // deterministic schedules against its oracle, including the paper's predicted
 // violations (Figure 1; arbitrary-selection FCFS; weak-semaphore CHP priorities).
+//
+// Sweeps shard across --jobs workers (runtime/parallel_sweep.h); every row of the
+// scorecard — counts, failing seeds, first-failure messages — is bit-identical to the
+// serial sweep, so --jobs only changes the wall time reported at the bottom.
 
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "syneval/core/conformance.h"
 #include "syneval/core/scorecard.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syneval;
+  bench::Options options = bench::ParseArgs(argc, argv, "table_conformance");
+  bench::Reporter reporter(options);
+
+  const int seeds = options.SeedsOr(25);
   std::printf("=== Conformance scorecard: solution matrix x schedule sweeps ===\n\n");
-  const int seeds = 25;
   std::printf("(%d deterministic schedules per case)\n\n", seeds);
-  const std::vector<ConformanceResult> results = RunConformanceSuite(seeds);
+
+  // Run each case through the pool directly (rather than RunConformanceSuite) so the
+  // per-worker telemetry shards can be merged across cases for the v2 JSON schema.
+  std::vector<ConformanceResult> results;
+  std::vector<WorkerTelemetry> workers;
+  int jobs = 1;
+  double wall_seconds = 0;
+  for (const ConformanceCase& conformance_case : BuildConformanceSuite()) {
+    ParallelSweepResult sweep =
+        ParallelSweepSchedules(seeds, conformance_case.trial, /*base_seed=*/1,
+                               options.Parallel());
+    jobs = sweep.jobs;
+    wall_seconds += sweep.wall_seconds;
+    MergeWorkerTelemetry(workers, sweep.workers);
+    results.push_back(ConformanceResult{conformance_case, std::move(sweep.outcome)});
+  }
   std::printf("%s\n", RenderConformanceTable(results).c_str());
+
   int unexpected = 0;
   for (const ConformanceResult& result : results) {
+    const SweepOutcome& o = result.outcome;
+    reporter.Add(MechanismName(result.spec.mechanism), result.spec.problem, "runs",
+                 o.runs, "schedules");
+    reporter.Add(MechanismName(result.spec.mechanism), result.spec.problem, "failures",
+                 o.failures, "schedules");
+    reporter.Add(MechanismName(result.spec.mechanism), result.spec.problem,
+                 "anomalous_seeds", static_cast<double>(o.anomalous_seeds.size()),
+                 "schedules");
+    reporter.Add(MechanismName(result.spec.mechanism), result.spec.problem,
+                 "as_expected", result.AsExpected() ? 1 : 0, "bool");
     if (!result.AsExpected()) {
       ++unexpected;
     }
   }
+  reporter.SetSweepInfo(jobs, wall_seconds);
+  reporter.SetWorkers(workers);
+
   std::printf("\n%d/%zu cases behaved as the paper predicts.\n",
               static_cast<int>(results.size()) - unexpected, results.size());
+  std::printf("sweep: jobs=%d wall=%.3fs\n%s", jobs, wall_seconds,
+              reporter.WorkerTable().c_str());
+  if (!reporter.Finish()) {
+    return 1;
+  }
   return unexpected == 0 ? 0 : 1;
 }

@@ -141,4 +141,29 @@ ReplayResult ReplayCounterexample(const PathModel& model, const Counterexample& 
   return result;
 }
 
+SweepOutcome ReplayCounterexampleSweep(const PathModel& model, const Counterexample& cex,
+                                       int num_seeds, std::uint64_t base_seed,
+                                       const ParallelOptions& parallel) {
+  // Each trial builds its own runtime/controller/detector from (model, cex, seed), so
+  // the sweep is safe to shard; the model and counterexample are only read.
+  return SweepSchedules(
+      num_seeds,
+      std::function<TrialReport(std::uint64_t)>(
+          [&model, &cex](std::uint64_t seed) -> TrialReport {
+            const ReplayResult replay = ReplayCounterexample(model, cex, seed);
+            TrialReport report;
+            report.anomalies = replay.anomalies;
+            report.anomaly_report = replay.anomaly_report;
+            if (!replay.deadlocked) {
+              report.message = "replay did not deadlock: " + replay.runtime_report;
+            } else if (replay.anomalies.deadlocks < 1) {
+              report.message =
+                  "replay deadlocked but the detector named no cycle: " +
+                  replay.anomaly_report;
+            }
+            return report;
+          }),
+      base_seed, parallel);
+}
+
 }  // namespace syneval

@@ -31,6 +31,8 @@
 
 #include "syneval/analysis/model_checker.h"
 #include "syneval/anomaly/anomaly.h"
+#include "syneval/runtime/explore.h"
+#include "syneval/runtime/parallel_sweep.h"
 
 namespace syneval {
 
@@ -48,6 +50,16 @@ struct ReplayResult {
 // `model` is malformed.
 ReplayResult ReplayCounterexample(const PathModel& model, const Counterexample& cex,
                                   std::uint64_t seed = 1);
+
+// Sweeps the replay across `num_seeds` schedule seeds, sharded over `parallel`
+// workers: each seed's replay is an independent DetRuntime run (see above — any seed
+// must reproduce the deadlock), so a trial passes only when the runtime deadlocks AND
+// the detector names at least one wait-for cycle. The returned outcome counts seeds
+// whose replay did NOT deadlock as failures with a replayable seed list, and is
+// bit-identical to the serial sweep at any worker count.
+SweepOutcome ReplayCounterexampleSweep(const PathModel& model, const Counterexample& cex,
+                                       int num_seeds, std::uint64_t base_seed = 1,
+                                       const ParallelOptions& parallel = {});
 
 }  // namespace syneval
 

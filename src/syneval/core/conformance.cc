@@ -705,17 +705,19 @@ std::string RunFigure1AnomalyScenario(std::uint64_t seed) {
 }
 
 ConformanceResult RunConformanceCase(const ConformanceCase& conformance_case, int seeds,
-                                     std::uint64_t base_seed) {
+                                     std::uint64_t base_seed,
+                                     const ParallelOptions& parallel) {
   ConformanceResult result;
   result.spec = conformance_case;
-  result.outcome = SweepSchedules(seeds, conformance_case.trial, base_seed);
+  result.outcome = SweepSchedules(seeds, conformance_case.trial, base_seed, parallel);
   return result;
 }
 
-std::vector<ConformanceResult> RunConformanceSuite(int seeds, int workload_scale) {
+std::vector<ConformanceResult> RunConformanceSuite(int seeds, int workload_scale,
+                                                   const ParallelOptions& parallel) {
   std::vector<ConformanceResult> results;
   for (const ConformanceCase& c : BuildConformanceSuite(workload_scale)) {
-    results.push_back(RunConformanceCase(c, seeds));
+    results.push_back(RunConformanceCase(c, seeds, 1, parallel));
   }
   return results;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "syneval/runtime/explore.h"
+#include "syneval/runtime/parallel_sweep.h"
 #include "syneval/solutions/solution_info.h"
 
 namespace syneval {
@@ -44,12 +45,16 @@ struct ConformanceResult {
   }
 };
 
-// Sweeps one case over `seeds` schedules.
+// Sweeps one case over `seeds` schedules. `parallel` shards the sweep across a
+// work-stealing pool (runtime/parallel_sweep.h); the default runs serially and the
+// outcome is bit-identical either way.
 ConformanceResult RunConformanceCase(const ConformanceCase& conformance_case, int seeds,
-                                     std::uint64_t base_seed = 1);
+                                     std::uint64_t base_seed = 1,
+                                     const ParallelOptions& parallel = {});
 
-// Sweeps the whole suite.
-std::vector<ConformanceResult> RunConformanceSuite(int seeds, int workload_scale = 1);
+// Sweeps the whole suite, each case's seed range parallelized per `parallel`.
+std::vector<ConformanceResult> RunConformanceSuite(int seeds, int workload_scale = 1,
+                                                   const ParallelOptions& parallel = {});
 
 // Directed reproduction of the paper's footnote-3 anomaly (experiment E1): forces the
 // exact interleaving the footnote describes — writer1 writing, writer2 blocked at

@@ -15,6 +15,9 @@ struct ReportOptions {
   int conformance_seeds = 15;  // Schedules per conformance case.
   int workload_scale = 1;
   std::string title = "Synchronization-mechanism evaluation (Bloom 1979 methodology)";
+  // Worker pool for the conformance and chaos sweeps (runtime/parallel_sweep.h). The
+  // report's tables are bit-identical at any worker count; only wall time changes.
+  ParallelOptions parallel;
 };
 
 // Runs the whole evaluation (coverage, expressiveness, independence, conformance) and
@@ -47,7 +50,8 @@ void WriteTelemetryProfileSection(std::ostream& out, int workload_scale = 1);
 // Included in WriteEvaluationReport between the static-analysis and telemetry
 // sections. `seeds_per_case` trades precision for report runtime (each row costs
 // 2 × seeds_per_case deterministic runs).
-void WriteChaosCalibrationSection(std::ostream& out, int seeds_per_case = 10);
+void WriteChaosCalibrationSection(std::ostream& out, int seeds_per_case = 10,
+                                  const ParallelOptions& parallel = {});
 
 }  // namespace syneval
 

@@ -1,5 +1,6 @@
 #include "syneval/fault/chaos.h"
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -288,7 +289,9 @@ int ChaosCalibrationTable::TotalFalsePositives() const {
 }
 
 ChaosCalibrationTable RunChaosCalibration(int seeds_per_case, std::uint64_t base_seed,
-                                          int workload_scale) {
+                                          int workload_scale,
+                                          const ParallelOptions& parallel) {
+  const auto grid_start = std::chrono::steady_clock::now();
   ChaosCalibrationTable table;
   table.seeds_per_case = seeds_per_case;
   table.base_seed = base_seed;
@@ -302,10 +305,16 @@ ChaosCalibrationTable RunChaosCalibration(int seeds_per_case, std::uint64_t base
       row.display = chaos_case.display;
       row.fault = family.name;
       row.plan = family.plan_text;
-      row.outcome = SweepChaos(seeds_per_case, chaos_case.trial, plan, base_seed);
+      ParallelChaosResult sweep =
+          ParallelSweepChaos(seeds_per_case, chaos_case.trial, plan, base_seed, parallel);
+      row.outcome = std::move(sweep.outcome);
+      table.jobs = sweep.jobs;
+      MergeWorkerTelemetry(table.workers, sweep.workers);
       table.rows.push_back(std::move(row));
     }
   }
+  table.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - grid_start).count();
   return table;
 }
 

@@ -27,6 +27,7 @@
 
 #include "syneval/fault/fault.h"
 #include "syneval/runtime/explore.h"
+#include "syneval/runtime/parallel_sweep.h"
 #include "syneval/solutions/solution_info.h"
 
 namespace syneval {
@@ -71,16 +72,26 @@ struct ChaosCalibrationTable {
   std::uint64_t base_seed = 1;
   std::vector<ChaosCalibrationRow> rows;
 
+  // Pool accounting when the grid ran parallel (jobs == 1 for the serial path). The
+  // per-worker shards are summed across every row's sweep; the table itself is
+  // bit-identical at any worker count.
+  int jobs = 1;
+  double wall_seconds = 0;
+  std::vector<WorkerTelemetry> workers;
+
   // Worst (minimum) recall over rows that had harmful runs; 1.0 when none did.
   double MinRecall() const;
   // Total fault-off false positives across all rows.
   int TotalFalsePositives() const;
 };
 
-// Runs the full suite × family grid. 2 × seeds_per_case trials per row.
+// Runs the full suite × family grid. 2 × seeds_per_case trials per row; each row's
+// seed range is sharded across `parallel` workers (the row/table order is fixed, and
+// the outcome of every row is bit-identical to the serial sweep).
 ChaosCalibrationTable RunChaosCalibration(int seeds_per_case = 20,
                                           std::uint64_t base_seed = 1,
-                                          int workload_scale = 1);
+                                          int workload_scale = 1,
+                                          const ParallelOptions& parallel = {});
 
 }  // namespace syneval
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "syneval/fault/fault.h"
+#include "syneval/runtime/parallel_sweep.h"
 
 namespace syneval {
 
@@ -28,6 +29,136 @@ std::string SweepOutcome::Summary() const {
   return os.str();
 }
 
+namespace sweep_internal {
+
+void AccumulateTrial(const std::function<TrialReport(std::uint64_t)>& trial,
+                     std::uint64_t seed, SweepOutcome& outcome) {
+  // An aborting trial (an exception escaping the workload) must not desynchronize the
+  // rate denominators: the seed still counts as a run and the abort as a failure, so
+  // FailureRate() and AnomalyRate() stay fractions of the same `runs` total no matter
+  // where in the sweep the abort happens.
+  TrialReport report;
+  try {
+    report = trial(seed);
+  } catch (const std::exception& error) {
+    report.message = std::string("trial aborted: ") + error.what();
+  } catch (...) {
+    report.message = "trial aborted: unknown exception";
+  }
+  ++outcome.runs;
+  if (report.Passed()) {
+    ++outcome.passes;
+  } else {
+    ++outcome.failures;
+    outcome.failing_seeds.push_back(seed);
+    if (outcome.first_failure.empty()) {
+      outcome.first_failure = std::move(report.message);
+    }
+  }
+  if (!report.anomalies.Clean()) {
+    outcome.anomalies += report.anomalies;
+    outcome.anomalous_seeds.push_back(seed);
+    if (outcome.first_anomaly.empty()) {
+      std::ostringstream os;
+      os << "seed " << seed << ": "
+         << (report.anomaly_report.empty() ? report.anomalies.Summary()
+                                           : report.anomaly_report);
+      outcome.first_anomaly = os.str();
+    }
+  }
+}
+
+void MergeOutcome(SweepOutcome& into, SweepOutcome&& chunk) {
+  into.runs += chunk.runs;
+  into.passes += chunk.passes;
+  into.failures += chunk.failures;
+  into.failing_seeds.insert(into.failing_seeds.end(), chunk.failing_seeds.begin(),
+                            chunk.failing_seeds.end());
+  if (into.first_failure.empty()) {
+    into.first_failure = std::move(chunk.first_failure);
+  }
+  into.anomalies += chunk.anomalies;
+  into.anomalous_seeds.insert(into.anomalous_seeds.end(), chunk.anomalous_seeds.begin(),
+                              chunk.anomalous_seeds.end());
+  if (into.first_anomaly.empty()) {
+    into.first_anomaly = std::move(chunk.first_anomaly);
+  }
+}
+
+void AccumulateChaosTrial(
+    const std::function<ChaosTrialOutcome(std::uint64_t, const FaultPlan*)>& trial,
+    const FaultPlan& plan, std::uint64_t seed, ChaosSweepOutcome& outcome) {
+  ++outcome.runs;
+
+  // Fault-on run: measure recall over faults that actually fired and did harm. A trial
+  // that throws is folded in as hung, keeping `runs` a common denominator.
+  ChaosTrialOutcome on;
+  try {
+    on = trial(seed, &plan);
+  } catch (const std::exception& error) {
+    on.hung = true;
+    on.report = std::string("trial aborted: ") + error.what();
+  } catch (...) {
+    on.hung = true;
+    on.report = "trial aborted: unknown exception";
+  }
+  if (on.injected > 0) {
+    ++outcome.injected_runs;
+    if (on.hung) {
+      ++outcome.harmful;
+      if (on.anomalies > 0) {
+        ++outcome.detected_harmful;
+        outcome.detection_steps_total +=
+            on.steps > on.first_injection_step ? on.steps - on.first_injection_step : 0;
+      } else {
+        outcome.missed_seeds.push_back(seed);
+      }
+    } else if (on.oracle_failed) {
+      ++outcome.corrupted;
+    } else if (on.completed) {
+      ++outcome.absorbed;
+    }
+  }
+
+  // Matched fault-off run: the same schedule seed with no injector attached. Any
+  // detector finding here is a false positive by construction.
+  ChaosTrialOutcome off;
+  try {
+    off = trial(seed, nullptr);
+  } catch (const std::exception& error) {
+    off.hung = true;
+    off.report = std::string("trial aborted: ") + error.what();
+  } catch (...) {
+    off.hung = true;
+    off.report = "trial aborted: unknown exception";
+  }
+  if (off.anomalies > 0) {
+    ++outcome.clean_anomalies;
+    outcome.fp_seeds.push_back(seed);
+  }
+  if (off.hung || off.oracle_failed) {
+    ++outcome.clean_failures;
+  }
+}
+
+void MergeChaosOutcome(ChaosSweepOutcome& into, ChaosSweepOutcome&& chunk) {
+  into.runs += chunk.runs;
+  into.injected_runs += chunk.injected_runs;
+  into.harmful += chunk.harmful;
+  into.detected_harmful += chunk.detected_harmful;
+  into.absorbed += chunk.absorbed;
+  into.corrupted += chunk.corrupted;
+  into.clean_anomalies += chunk.clean_anomalies;
+  into.clean_failures += chunk.clean_failures;
+  into.detection_steps_total += chunk.detection_steps_total;
+  into.missed_seeds.insert(into.missed_seeds.end(), chunk.missed_seeds.begin(),
+                           chunk.missed_seeds.end());
+  into.fp_seeds.insert(into.fp_seeds.end(), chunk.fp_seeds.begin(),
+                       chunk.fp_seeds.end());
+}
+
+}  // namespace sweep_internal
+
 SweepOutcome SweepSchedules(int num_seeds,
                             const std::function<std::string(std::uint64_t)>& trial,
                             std::uint64_t base_seed) {
@@ -46,42 +177,22 @@ SweepOutcome SweepSchedules(int num_seeds,
                             std::uint64_t base_seed) {
   SweepOutcome outcome;
   for (int i = 0; i < num_seeds; ++i) {
-    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    // An aborting trial (an exception escaping the workload) must not desynchronize the
-    // rate denominators: the seed still counts as a run and the abort as a failure, so
-    // FailureRate() and AnomalyRate() stay fractions of the same `runs` total no matter
-    // where in the sweep the abort happens.
-    TrialReport report;
-    try {
-      report = trial(seed);
-    } catch (const std::exception& error) {
-      report.message = std::string("trial aborted: ") + error.what();
-    } catch (...) {
-      report.message = "trial aborted: unknown exception";
-    }
-    ++outcome.runs;
-    if (report.Passed()) {
-      ++outcome.passes;
-    } else {
-      ++outcome.failures;
-      outcome.failing_seeds.push_back(seed);
-      if (outcome.first_failure.empty()) {
-        outcome.first_failure = std::move(report.message);
-      }
-    }
-    if (!report.anomalies.Clean()) {
-      outcome.anomalies += report.anomalies;
-      outcome.anomalous_seeds.push_back(seed);
-      if (outcome.first_anomaly.empty()) {
-        std::ostringstream os;
-        os << "seed " << seed << ": "
-           << (report.anomaly_report.empty() ? report.anomalies.Summary()
-                                             : report.anomaly_report);
-        outcome.first_anomaly = os.str();
-      }
-    }
+    sweep_internal::AccumulateTrial(trial, base_seed + static_cast<std::uint64_t>(i),
+                                    outcome);
   }
   return outcome;
+}
+
+SweepOutcome SweepSchedules(int num_seeds,
+                            const std::function<std::string(std::uint64_t)>& trial,
+                            std::uint64_t base_seed, const ParallelOptions& parallel) {
+  return ParallelSweepSchedules(num_seeds, trial, base_seed, parallel).outcome;
+}
+
+SweepOutcome SweepSchedules(int num_seeds,
+                            const std::function<TrialReport(std::uint64_t)>& trial,
+                            std::uint64_t base_seed, const ParallelOptions& parallel) {
+  return ParallelSweepSchedules(num_seeds, trial, base_seed, parallel).outcome;
 }
 
 std::string ChaosSweepOutcome::Summary() const {
@@ -112,59 +223,18 @@ ChaosSweepOutcome SweepChaos(
     const FaultPlan& plan, std::uint64_t base_seed) {
   ChaosSweepOutcome outcome;
   for (int i = 0; i < num_seeds; ++i) {
-    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    ++outcome.runs;
-
-    // Fault-on run: measure recall over faults that actually fired and did harm.
-    ChaosTrialOutcome on;
-    try {
-      on = trial(seed, &plan);
-    } catch (const std::exception& error) {
-      on.hung = true;
-      on.report = std::string("trial aborted: ") + error.what();
-    } catch (...) {
-      on.hung = true;
-      on.report = "trial aborted: unknown exception";
-    }
-    if (on.injected > 0) {
-      ++outcome.injected_runs;
-      if (on.hung) {
-        ++outcome.harmful;
-        if (on.anomalies > 0) {
-          ++outcome.detected_harmful;
-          outcome.detection_steps_total +=
-              on.steps > on.first_injection_step ? on.steps - on.first_injection_step : 0;
-        } else {
-          outcome.missed_seeds.push_back(seed);
-        }
-      } else if (on.oracle_failed) {
-        ++outcome.corrupted;
-      } else if (on.completed) {
-        ++outcome.absorbed;
-      }
-    }
-
-    // Matched fault-off run: the same schedule seed with no injector attached. Any
-    // detector finding here is a false positive by construction.
-    ChaosTrialOutcome off;
-    try {
-      off = trial(seed, nullptr);
-    } catch (const std::exception& error) {
-      off.hung = true;
-      off.report = std::string("trial aborted: ") + error.what();
-    } catch (...) {
-      off.hung = true;
-      off.report = "trial aborted: unknown exception";
-    }
-    if (off.anomalies > 0) {
-      ++outcome.clean_anomalies;
-      outcome.fp_seeds.push_back(seed);
-    }
-    if (off.hung || off.oracle_failed) {
-      ++outcome.clean_failures;
-    }
+    sweep_internal::AccumulateChaosTrial(trial, plan,
+                                         base_seed + static_cast<std::uint64_t>(i),
+                                         outcome);
   }
   return outcome;
+}
+
+ChaosSweepOutcome SweepChaos(
+    int num_seeds,
+    const std::function<ChaosTrialOutcome(std::uint64_t, const FaultPlan*)>& trial,
+    const FaultPlan& plan, std::uint64_t base_seed, const ParallelOptions& parallel) {
+  return ParallelSweepChaos(num_seeds, trial, plan, base_seed, parallel).outcome;
 }
 
 }  // namespace syneval

@@ -73,6 +73,19 @@ SweepOutcome SweepSchedules(int num_seeds,
                             const std::function<TrialReport(std::uint64_t)>& trial,
                             std::uint64_t base_seed = 1);
 
+// Parallel overloads: shard the seed range across a work-stealing worker pool
+// (runtime/parallel_sweep.h) and merge deterministically — the returned outcome is
+// bit-identical to the serial sweep of the same seeds at any worker count.
+// parallel.jobs == 1 falls back to the serial loop on the calling thread; the trial
+// must be safe to invoke concurrently otherwise (every self-contained trial is).
+struct ParallelOptions;
+SweepOutcome SweepSchedules(int num_seeds,
+                            const std::function<std::string(std::uint64_t)>& trial,
+                            std::uint64_t base_seed, const ParallelOptions& parallel);
+SweepOutcome SweepSchedules(int num_seeds,
+                            const std::function<TrialReport(std::uint64_t)>& trial,
+                            std::uint64_t base_seed, const ParallelOptions& parallel);
+
 // ---------------------------------------------------------------------------------------
 // Chaos sweeps: matched fault-on / fault-off runs that calibrate the anomaly detector
 // against ground-truth injected faults (see syneval/fault/). Where SweepSchedules asks
@@ -144,6 +157,40 @@ ChaosSweepOutcome SweepChaos(
     int num_seeds,
     const std::function<ChaosTrialOutcome(std::uint64_t, const FaultPlan*)>& trial,
     const FaultPlan& plan, std::uint64_t base_seed = 1);
+
+// Parallel overload, same contract as the SweepSchedules one: bit-identical to the
+// serial chaos sweep at any worker count, serial fallback at parallel.jobs == 1.
+ChaosSweepOutcome SweepChaos(
+    int num_seeds,
+    const std::function<ChaosTrialOutcome(std::uint64_t, const FaultPlan*)>& trial,
+    const FaultPlan& plan, std::uint64_t base_seed, const ParallelOptions& parallel);
+
+// ---------------------------------------------------------------------------------------
+// Shared per-seed accumulation and chunk-merge steps. The serial sweeps above fold every
+// seed through AccumulateTrial/AccumulateChaosTrial; the parallel engine folds each
+// contiguous chunk through the same functions and then reduces the chunk outcomes in
+// chunk order with MergeOutcome/MergeChaosOutcome. Keeping both paths on one
+// accumulation routine is what makes "bit-identical to the serial sweep" a structural
+// property rather than a hope.
+namespace sweep_internal {
+
+// Runs trial(seed) — folding an escaping exception into a "trial aborted" failure so
+// the rate denominators never desynchronize — and accumulates the report into
+// `outcome` exactly as the serial loop does.
+void AccumulateTrial(const std::function<TrialReport(std::uint64_t)>& trial,
+                     std::uint64_t seed, SweepOutcome& outcome);
+
+// Appends `chunk` (the outcome of a contiguous seed range) onto `into` (the outcome of
+// the contiguous range immediately before it). Associative over adjacent ranges.
+void MergeOutcome(SweepOutcome& into, SweepOutcome&& chunk);
+
+// Chaos equivalents: one seed contributes a matched fault-on + fault-off pair.
+void AccumulateChaosTrial(
+    const std::function<ChaosTrialOutcome(std::uint64_t, const FaultPlan*)>& trial,
+    const FaultPlan& plan, std::uint64_t seed, ChaosSweepOutcome& outcome);
+void MergeChaosOutcome(ChaosSweepOutcome& into, ChaosSweepOutcome&& chunk);
+
+}  // namespace sweep_internal
 
 }  // namespace syneval
 
