@@ -2,22 +2,66 @@
 // every footnote-2 problem × mechanism pair swept under matched fault-on / fault-off
 // schedules per fault family (syneval/fault/chaos.h), reporting the anomaly
 // detector's calibration — injected-fault recall, false positives on the matched
-// clean sweeps, and mean steps from injection to detection.
+// clean sweeps, mean steps from injection to detection, and the flight-recorder
+// postmortems explaining each flagged run.
 //
 // Everything runs under DetRuntime, so the table is a pure function of the suite and
 // the seed range: CI diffs the --json output against tests/golden/chaos_calibration.json
 // and this binary exits non-zero when a calibration gate fails (recall below 100% on
-// the bounded-buffer lost-signal row, or any false positive anywhere).
+// the bounded-buffer lost-signal row, any false positive anywhere, or — with telemetry
+// compiled in — a postmortem naming a cause other than the injected fault family).
+//
+// --trace=<path> replays the first flagged trial with the tracer attached and exports
+// a Perfetto trace with the postmortem narrative overlaid as a "postmortem" track.
 
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "bench/harness.h"
 #include "syneval/fault/chaos.h"
+#include "syneval/telemetry/perfetto.h"
+#include "syneval/telemetry/telemetry.h"
+#include "syneval/telemetry/tracer.h"
 
 namespace {
 
 constexpr int kSeedsPerCase = 12;
+
+// --trace: replay the first stored postmortem's trial with full capture and write a
+// Perfetto trace whose "postmortem" track narrates the reconstructed failure.
+void ExportPostmortemTrace(const std::string& path,
+                           const syneval::ChaosCalibrationTable& table) {
+  for (const syneval::ChaosCalibrationRow& row : table.rows) {
+    if (row.outcome.postmortems.empty()) {
+      continue;
+    }
+    const syneval::SeedPostmortem& stored = row.outcome.postmortems.front();
+    const std::optional<syneval::ChaosReplayResult> replay = syneval::ReplayChaosTrial(
+        row.problem, row.mechanism, row.fault, stored.seed, table.base_seed);
+    if (!replay.has_value()) {
+      std::printf("--trace: could not replay %s/%s %s seed %llu\n", row.problem.c_str(),
+                  syneval::MechanismName(row.mechanism), row.fault.c_str(),
+                  static_cast<unsigned long long>(stored.seed));
+      return;
+    }
+    syneval::TelemetryTracer tracer;
+    replay->postmortem.AddToTracer(tracer);
+    syneval::ChromeTraceOptions trace_options;
+    trace_options.process_name = "chaos_sweep " + row.problem + "/" +
+                                 std::string(syneval::MechanismName(row.mechanism)) +
+                                 " " + row.fault;
+    if (syneval::WriteChromeTrace(path, replay->events, &tracer, trace_options)) {
+      std::printf("wrote Perfetto trace of %s seed %llu (cause: %s) to %s\n",
+                  row.fault.c_str(), static_cast<unsigned long long>(stored.seed),
+                  replay->postmortem.cause.c_str(), path.c_str());
+    } else {
+      std::printf("failed to write Perfetto trace to %s\n", path.c_str());
+    }
+    return;
+  }
+  std::printf("--trace: no flagged trial to replay (all sweeps clean)\n");
+}
 
 }  // namespace
 
@@ -48,6 +92,33 @@ int main(int argc, char** argv) {
                  "runs");
     reporter.Add(mechanism, row.problem, row.fault + "_steps_to_detection",
                  o.MeanStepsToDetection(), "steps");
+    // Postmortem calibration: how many flagged fault-on runs produced a narrative, and
+    // how many of those narratives named the injected family as the cause.
+    int cause_matched = 0;
+    int cause_total = 0;
+    for (const auto& [cause, count] : o.postmortem_causes) {
+      cause_total += count;
+      if (cause == row.fault) {
+        cause_matched += count;
+      }
+    }
+    reporter.Add(mechanism, row.problem, row.fault + "_postmortems", o.postmortems_total,
+                 "runs");
+    reporter.Add(mechanism, row.problem, row.fault + "_cause_matched", cause_matched,
+                 "runs");
+
+    // One representative narrative per row in the JSON (the full per-seed set stays in
+    // memory capped at kMaxStoredPostmortems; one is enough for the CI artifact).
+    if (!o.postmortems.empty()) {
+      const syneval::SeedPostmortem& pm = o.postmortems.front();
+      syneval::bench::Reporter::PostmortemEntry entry;
+      entry.mechanism = mechanism;
+      entry.problem = row.problem + " [" + row.fault + "]";
+      entry.seed = pm.seed;
+      entry.cause = pm.cause;
+      entry.text = pm.text;
+      reporter.AddPostmortem(std::move(entry));
+    }
 
     std::printf("%-18s %-28s %-12s %s\n", row.problem.c_str(), row.display.c_str(),
                 row.fault.c_str(), o.Summary().c_str());
@@ -66,12 +137,33 @@ int main(int argc, char** argv) {
                   o.clean_failures);
       gate_failed = true;
     }
+#if SYNEVAL_TELEMETRY_ENABLED
+    // Postmortem recall gate: with the flight recorder compiled in, every flagged
+    // fault-on run must explain itself with the injected family as the named cause
+    // (an empty cause means a flagged run yielded no narrative at all). Without
+    // telemetry the recorder seam is compiled out and causes degrade to the detector's
+    // anomaly classification, so the gate only applies to telemetry-enabled builds.
+    if (cause_matched != cause_total) {
+      std::printf("  GATE: %d/%d postmortem cause(s) did not name the injected family\n",
+                  cause_total - cause_matched, cause_total);
+      for (const auto& [cause, count] : o.postmortem_causes) {
+        if (cause != row.fault) {
+          std::printf("    cause %s: %d run(s)\n",
+                      cause.empty() ? "<none>" : cause.c_str(), count);
+        }
+      }
+      gate_failed = true;
+    }
+#endif
   }
 
   std::printf("\nworst recall over harmful rows: %.2f; total false positives: %d\n",
               table.MinRecall(), table.TotalFalsePositives());
   std::printf("sweep: jobs=%d wall=%.3fs\n%s", table.jobs, table.wall_seconds,
               reporter.WorkerTable().c_str());
+  if (!options.trace_path.empty()) {
+    ExportPostmortemTrace(options.trace_path, table);
+  }
   if (!reporter.Finish()) {
     return 1;
   }

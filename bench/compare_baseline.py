@@ -13,8 +13,10 @@ fresh value exceeds baseline + tolerance, where
 
 The absolute floor keeps sub-millisecond rows from flapping: at those magnitudes
 scheduler noise on shared CI runners dwarfs any 25% band. Faster-than-baseline rows
-never fail (they are reported as improvements). Rows present on only one side are
-reported but do not fail the run — new benches land before their baseline does.
+never fail (they are reported as improvements). Rows only in the fresh run are
+reported but do not fail — new benches land before their baseline does. Baseline
+rows MISSING from the fresh run are regressions: a bench that silently stops
+reporting a metric is exactly the failure mode a perf gate exists to catch.
 
 Exit status: 0 = no regressions, 1 = at least one regression, 2 = usage/IO error.
 The perf-regression CI job runs this non-blocking and pastes the markdown into the
@@ -112,10 +114,13 @@ def main():
 
     baseline = load_rows(args.baseline)
 
-    regressions, improvements, stable, unmatched = [], [], [], []
+    regressions, improvements, stable, new_rows, missing = [], [], [], [], []
     for key in sorted(baseline.keys() | fresh.keys()):
-        if key not in baseline or key not in fresh:
-            unmatched.append(key)
+        if key not in baseline:
+            new_rows.append(key)
+            continue
+        if key not in fresh:
+            missing.append(key)
             continue
         base_value, unit = baseline[key]
         fresh_value, _ = fresh[key]
@@ -132,7 +137,8 @@ def main():
 
     lines = ["# Perf baseline comparison", "",
              f"{len(stable)} stable, {len(improvements)} improved, "
-             f"{len(regressions)} regressed, {len(unmatched)} unmatched "
+             f"{len(regressions)} regressed, {len(missing)} missing, "
+             f"{len(new_rows)} new "
              f"(tolerance: max({args.rel:.0%} relative, per-unit absolute floor))", ""]
     for title, rows in (("Regressions", regressions), ("Improvements", improvements)):
         if not rows:
@@ -146,9 +152,14 @@ def main():
                          f"| {base_value:g} {unit} | {fresh_value:g} {unit} "
                          f"| {pct:+.1f}% |")
         lines.append("")
-    if unmatched:
-        lines += ["## Unmatched rows (present on one side only, not failing)", ""]
-        lines += [f"- `{' / '.join(k)}`" for k in unmatched]
+    if missing:
+        lines += ["## Missing rows (in the baseline but absent from the fresh run — "
+                  "failing)", ""]
+        lines += [f"- `{' / '.join(k)}`" for k in missing]
+        lines.append("")
+    if new_rows:
+        lines += ["## New rows (no baseline yet, not failing)", ""]
+        lines += [f"- `{' / '.join(k)}`" for k in new_rows]
         lines.append("")
 
     report = "\n".join(lines)
@@ -157,7 +168,7 @@ def main():
         with open(args.markdown, "w") as f:
             f.write(report + "\n")
 
-    return 1 if regressions else 0
+    return 1 if regressions or missing else 0
 
 
 if __name__ == "__main__":

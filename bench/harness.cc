@@ -18,7 +18,7 @@ namespace {
 
 void PrintUsage(const std::string& bench_name, std::ostream& os) {
   os << "usage: " << bench_name << " [flags]\n"
-     << "  --json=<path>     write machine-readable results (schema_version 2)\n"
+     << "  --json=<path>     write machine-readable results (schema_version 3)\n"
      << "  --trace=<path>    write a Perfetto/Chrome trace (when the bench records one)\n"
      << "  --repeats=<n>     measured repetitions per configuration (default 3)\n"
      << "  --warmup=<n>      unrecorded warmup repetitions (default 1)\n"
@@ -67,6 +67,11 @@ std::string FormatValue(double value) {
 }  // namespace
 
 Options ParseArgs(int argc, char** argv, const std::string& bench_name) {
+  return ParseArgs(argc, argv, bench_name, nullptr);
+}
+
+Options ParseArgs(int argc, char** argv, const std::string& bench_name,
+                  std::map<std::string, std::string>* extras) {
   Options options;
   options.bench = bench_name;
   for (int i = 1; i < argc; ++i) {
@@ -99,6 +104,11 @@ Options ParseArgs(int argc, char** argv, const std::string& bench_name) {
         std::cerr << bench_name << ": bad --seeds value '" << value << "'\n";
         std::exit(2);
       }
+    } else if (extras != nullptr && arg.rfind("--", 0) == 0 &&
+               arg.find('=') != std::string::npos) {
+      // Bench-specific flag: "--key=value" with the caller left to validate keys.
+      const std::size_t eq = arg.find('=');
+      (*extras)[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
     } else {
       std::cerr << bench_name << ": unknown flag '" << arg << "'\n";
       PrintUsage(bench_name, std::cerr);
@@ -156,6 +166,10 @@ void Reporter::SetWorkers(std::vector<WorkerTelemetry> workers) {
   workers_ = std::move(workers);
 }
 
+void Reporter::AddPostmortem(PostmortemEntry entry) {
+  postmortems_.push_back(std::move(entry));
+}
+
 std::string Reporter::WorkerTable() const {
   if (workers_.empty()) {
     return "";
@@ -184,7 +198,7 @@ bool Reporter::Finish() const {
     return true;
   }
   std::ostringstream out;
-  out << "{\"schema_version\":2,\"bench\":\"" << JsonEscape(options_.bench) << "\"";
+  out << "{\"schema_version\":3,\"bench\":\"" << JsonEscape(options_.bench) << "\"";
   // Sweep-pool accounting goes in top-level keys, never in "results": the result rows
   // must stay deterministic for golden-file diffs, and timings are machine-dependent.
   if (have_sweep_info_) {
@@ -201,6 +215,23 @@ bool Reporter::Finish() const {
       out << "{\"worker\":" << w.worker << ",\"trials\":" << w.trials
           << ",\"chunks\":" << w.chunks << ",\"steals\":" << w.steals
           << ",\"wall_seconds\":" << FormatValue(w.wall_seconds) << "}";
+    }
+    out << "]";
+  }
+  if (!postmortems_.empty()) {
+    out << ",\"postmortem\":[";
+    for (std::size_t i = 0; i < postmortems_.size(); ++i) {
+      const PostmortemEntry& pm = postmortems_[i];
+      if (i != 0) {
+        out << ",";
+      }
+      out << "{\"mechanism\":\"" << JsonEscape(pm.mechanism) << "\",\"problem\":\""
+          << JsonEscape(pm.problem) << "\",\"seed\":" << pm.seed << ",\"cause\":\""
+          << JsonEscape(pm.cause) << "\",\"text\":\"" << JsonEscape(pm.text) << "\"";
+      if (!pm.detail_json.empty()) {
+        out << ",\"detail\":" << pm.detail_json;  // Pre-rendered Postmortem::ToJson().
+      }
+      out << "}";
     }
     out << "]";
   }

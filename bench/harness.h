@@ -21,21 +21,27 @@
 //   * Reporter — collects {bench, mechanism, problem, metric, value, unit} rows,
 //     renders them as a text table, and writes the stable JSON schema:
 //
-//       {"schema_version": 2,
+//       {"schema_version": 3,
 //        "bench": "<name>",
 //        "jobs": <n>,                  // only when the bench ran a sweep pool
 //        "wall_seconds": <x>,          // ditto
 //        "workers": [{"worker": 0, "trials": ..., "chunks": ..., "steals": ...,
 //                     "wall_seconds": ...}, ...],   // ditto: per-worker shards
+//        "postmortem": [{"mechanism": "...", "problem": "...", "seed": <n>,
+//                        "cause": "...", "text": "...",
+//                        "detail": {...}}, ...],    // only when postmortems occurred
 //        "results": [{"bench": "...", "mechanism": "...", "problem": "...",
 //                     "metric": "...", "value": <number>, "unit": "..."}, ...]}
 //
 //     The schema is append-only by contract: consumers (CI's perf-smoke validator,
 //     bench/compare_baseline.py, plotting scripts) may rely on these six row fields
 //     existing with these names. schema_version 2 added the optional top-level
-//     jobs/wall_seconds/workers keys (the "results" rows are unchanged from v1); the
-//     worker telemetry deliberately lives OUTSIDE "results" so golden-file diffs over
-//     the deterministic rows never see machine-dependent timings.
+//     jobs/wall_seconds/workers keys (the "results" rows are unchanged from v1);
+//     schema_version 3 added the optional top-level "postmortem" array (flight-recorder
+//     narratives of anomalous trials — see src/syneval/telemetry/postmortem.h). The
+//     worker telemetry and postmortems deliberately live OUTSIDE "results" so golden-
+//     file diffs over the deterministic rows never see machine-dependent timings or
+//     multi-line narratives.
 
 #ifndef SYNEVAL_BENCH_HARNESS_H_
 #define SYNEVAL_BENCH_HARNESS_H_
@@ -43,6 +49,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -74,6 +81,12 @@ struct Options {
 // Parses the uniform flags. On --help or an unknown/malformed flag, prints usage and
 // exits (0 for --help, 2 otherwise) — benches have no flags of their own.
 Options ParseArgs(int argc, char** argv, const std::string& bench_name);
+
+// As above, but benches with flags of their own pass `extras`: any unknown
+// "--key=value" flag lands there (key without the leading "--") instead of being
+// rejected. Flags that are not of that shape still print usage and exit 2.
+Options ParseArgs(int argc, char** argv, const std::string& bench_name,
+                  std::map<std::string, std::string>* extras);
 
 // Minimal steady-clock stopwatch. Starts running on construction.
 class Stopwatch {
@@ -129,6 +142,19 @@ class Reporter {
   void SetSweepInfo(int jobs, double wall_seconds);
   void SetWorkers(std::vector<WorkerTelemetry> workers);
 
+  // One retained postmortem, emitted under the top-level "postmortem" array of the
+  // v3 schema. `detail_json` is an optional pre-rendered JSON object
+  // (Postmortem::ToJson()) embedded verbatim as the entry's "detail" key.
+  struct PostmortemEntry {
+    std::string mechanism;
+    std::string problem;
+    std::uint64_t seed = 0;
+    std::string cause;
+    std::string text;
+    std::string detail_json;
+  };
+  void AddPostmortem(PostmortemEntry entry);
+
   // The per-worker telemetry rendered as an aligned text table ("" when no workers
   // were recorded).
   std::string WorkerTable() const;
@@ -158,6 +184,7 @@ class Reporter {
   int sweep_jobs_ = 0;
   double sweep_wall_seconds_ = 0;
   std::vector<WorkerTelemetry> workers_;
+  std::vector<PostmortemEntry> postmortems_;
 };
 
 }  // namespace bench

@@ -5,12 +5,50 @@
 // Sweeps shard across --jobs workers (runtime/parallel_sweep.h); every row of the
 // scorecard — counts, failing seeds, first-failure messages — is bit-identical to the
 // serial sweep, so --jobs only changes the wall time reported at the bottom.
+//
+// --trace=<path> replays the first anomalous trial with the tracer attached and
+// exports a Perfetto trace with the postmortem narrative overlaid.
 
 #include <cstdio>
 
 #include "bench/harness.h"
 #include "syneval/core/conformance.h"
 #include "syneval/core/scorecard.h"
+#include "syneval/telemetry/perfetto.h"
+#include "syneval/telemetry/tracer.h"
+
+namespace {
+
+// --trace: replay the first stored postmortem's trial with full capture and export a
+// Perfetto trace whose "postmortem" track narrates the reconstructed failure.
+void ExportPostmortemTrace(const std::string& path,
+                           const std::vector<syneval::ConformanceResult>& results) {
+  using namespace syneval;
+  for (const ConformanceResult& result : results) {
+    if (result.outcome.postmortems.empty()) {
+      continue;
+    }
+    const SeedPostmortem& stored = result.outcome.postmortems.front();
+    const ConformanceReplay replay = ReplayConformanceTrial(result.spec, stored.seed);
+    TelemetryTracer tracer;
+    replay.postmortem.AddToTracer(tracer);
+    ChromeTraceOptions trace_options;
+    trace_options.process_name = "table_conformance " + result.spec.problem + "/" +
+                                 std::string(MechanismName(result.spec.mechanism));
+    if (WriteChromeTrace(path, replay.events, &tracer, trace_options)) {
+      std::printf("wrote Perfetto trace of %s/%s seed %llu (cause: %s) to %s\n",
+                  result.spec.problem.c_str(), MechanismName(result.spec.mechanism),
+                  static_cast<unsigned long long>(stored.seed),
+                  replay.postmortem.cause.c_str(), path.c_str());
+    } else {
+      std::printf("failed to write Perfetto trace to %s\n", path.c_str());
+    }
+    return;
+  }
+  std::printf("--trace: no anomalous trial to replay (all sweeps clean)\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace syneval;
@@ -50,6 +88,18 @@ int main(int argc, char** argv) {
                  "schedules");
     reporter.Add(MechanismName(result.spec.mechanism), result.spec.problem,
                  "as_expected", result.AsExpected() ? 1 : 0, "bool");
+    // One representative flight-recorder narrative per anomalous case for the v3
+    // "postmortem" key (the sweep keeps at most kMaxStoredPostmortems per case).
+    if (!o.postmortems.empty()) {
+      const SeedPostmortem& pm = o.postmortems.front();
+      bench::Reporter::PostmortemEntry entry;
+      entry.mechanism = MechanismName(result.spec.mechanism);
+      entry.problem = result.spec.problem;
+      entry.seed = pm.seed;
+      entry.cause = pm.cause;
+      entry.text = pm.text;
+      reporter.AddPostmortem(std::move(entry));
+    }
     if (!result.AsExpected()) {
       ++unexpected;
     }
@@ -61,6 +111,9 @@ int main(int argc, char** argv) {
               static_cast<int>(results.size()) - unexpected, results.size());
   std::printf("sweep: jobs=%d wall=%.3fs\n%s", jobs, wall_seconds,
               reporter.WorkerTable().c_str());
+  if (!options.trace_path.empty()) {
+    ExportPostmortemTrace(options.trace_path, results);
+  }
   if (!reporter.Finish()) {
     return 1;
   }

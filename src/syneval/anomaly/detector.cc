@@ -501,4 +501,23 @@ AnomalyDetector::WaitSnapshot AnomalyDetector::SnapshotWaits(std::int64_t now_na
   return snapshot;
 }
 
+std::vector<AnomalyDetector::ResourceSnapshot> AnomalyDetector::SnapshotResources() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::vector<ResourceSnapshot> snapshots;
+  snapshots.reserve(resources_.size());
+  for (const auto& [resource, info] : resources_) {
+    ResourceSnapshot snapshot;
+    snapshot.resource = resource;
+    snapshot.kind = info.kind;
+    snapshot.name = info.name;
+    snapshot.holders.assign(info.holders.begin(), info.holders.end());
+    snapshot.signals = info.signals;
+    snapshot.empty_signals = info.empty_signals;
+    snapshots.push_back(std::move(snapshot));
+  }
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const ResourceSnapshot& a, const ResourceSnapshot& b) { return a.name < b.name; });
+  return snapshots;
+}
+
 }  // namespace syneval

@@ -174,6 +174,20 @@ class AnomalyDetector : public TraceObserver {
   // Ages are measured from each thread's *outermost* wait record against `now_nanos`.
   WaitSnapshot SnapshotWaits(std::int64_t now_nanos) const;
 
+  struct ResourceSnapshot {
+    const void* resource = nullptr;
+    ResourceKind kind = ResourceKind::kLock;
+    std::string name;                    // Unique name from RegisterResource.
+    std::vector<std::uint32_t> holders;  // Acquisition order; empty for conditions.
+    int signals = 0;
+    int empty_signals = 0;
+  };
+
+  // Registered resources with their current holders and signal accounting, in
+  // registration-name order. The postmortem builder joins this against flight-recorder
+  // events to resolve raw resource pointers into the names the anomaly text uses.
+  std::vector<ResourceSnapshot> SnapshotResources() const;
+
  private:
   struct WaitRecord {
     const void* resource = nullptr;

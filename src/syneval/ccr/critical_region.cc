@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/telemetry/flight_recorder.h"
 #include "syneval/telemetry/instrument.h"
 
 namespace syneval {
@@ -26,6 +27,10 @@ CriticalRegion::CriticalRegion(Runtime& runtime)
     // The when-waiter list behaves like a condition queue: waiters park there until a
     // releasing body makes their condition true.
     det_->RegisterResource(&waiting_, ResourceKind::kQueue, det_name_ + ".when");
+  }
+  if (FlightRecorder* flight = runtime.flight_recorder()) {
+    const std::string name = flight->RegisterName(this, "CriticalRegion");
+    flight->RegisterName(&waiting_, name + ".when");
   }
 }
 
@@ -185,10 +190,18 @@ void CriticalRegion::EnableRecovery(RecoveryStats* stats, RecoveryPolicy policy)
 
 void CriticalRegion::ReleaseRegionLocked() {
   assert(busy_ && "region released while free");
+  FlightRecorder* flight = runtime_.flight_recorder();
   // Re-test every waiting condition in arrival order; first satisfied is admitted.
   for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
     Waiter* waiter = *it;
-    if (waiter->condition()) {
+    const bool satisfied = waiter->condition();
+    if (flight != nullptr) {
+      // arg = 1 when the re-test admitted this waiter; a long run of arg-0 re-tests
+      // against the same waiter is the starvation signature the postmortem looks for.
+      flight->Record(waiter->thread, FlightEventType::kGuardRetest, &waiting_,
+                     runtime_.NowNanos(), satisfied ? 1 : 0);
+    }
+    if (satisfied) {
       waiting_.erase(it);
       if (det_ != nullptr) {
         det_->OnAcquire(waiter->thread, this);

@@ -5,6 +5,8 @@
 
 #include "syneval/anomaly/detector.h"
 #include "syneval/problems/oracles.h"
+#include "syneval/telemetry/flight_recorder.h"
+#include "syneval/telemetry/postmortem.h"
 #include "syneval/problems/workloads.h"
 #include "syneval/runtime/det_runtime.h"
 #include "syneval/solutions/ccr_solutions.h"
@@ -20,6 +22,17 @@ namespace syneval {
 
 namespace {
 
+// Capture sink for ReplayConformanceTrial: when set, the next TrialProbe::Finish on
+// this thread also hands out the full trace and the structured postmortem. The
+// conformance trials are opaque std::functions built over ~30 solution closures, so a
+// thread-local seam here beats threading a capture parameter through every factory;
+// sweep workers never set it, so sweeps are unaffected.
+struct TrialCapture {
+  std::vector<Event> events;
+  Postmortem postmortem;
+};
+thread_local TrialCapture* g_trial_capture = nullptr;
+
 // Per-trial anomaly probe: wires a fresh detector into the runtime (so every primitive
 // and mechanism built afterwards registers with it) and into the trace (starvation
 // watchdog + anomaly marks), then folds the findings into the TrialReport. Must be
@@ -27,11 +40,14 @@ namespace {
 struct TrialProbe {
   AnomalyDetector detector;
   TraceRecorder trace;
+  FlightRecorder flight{FlightRecorder::Options::ForTrial()};
 
   explicit TrialProbe(DetRuntime& runtime) {
     detector.AttachTrace(&trace);
     trace.SetObserver(&detector);
+    trace.SetSecondaryObserver(&flight);
     runtime.AttachAnomalyDetector(&detector);
+    runtime.AttachFlightRecorder(&flight);
   }
 
   TrialReport Finish(const DetRuntime::RunResult& result,
@@ -48,6 +64,17 @@ struct TrialProbe {
         // surface it as the trial's failure so the sweep records the seed.
         report.message = "anomaly: " + report.anomaly_report;
       }
+    }
+    if (!result.completed || !report.anomalies.Clean()) {
+      Postmortem pm = BuildPostmortem(flight, &detector);
+      report.postmortem_cause = pm.cause;
+      report.postmortem = pm.ToText();
+      if (g_trial_capture != nullptr) {
+        g_trial_capture->postmortem = std::move(pm);
+      }
+    }
+    if (g_trial_capture != nullptr) {
+      g_trial_capture->events = trace.Events();
     }
     return report;
   }
@@ -702,6 +729,20 @@ std::string RunFigure1AnomalyScenario(std::uint64_t seed) {
     return "runtime: " + result.report;
   }
   return CheckReadersWriters(trace.Events(), RwPolicy::kReadersPriority);
+}
+
+ConformanceReplay ReplayConformanceTrial(const ConformanceCase& conformance_case,
+                                         std::uint64_t seed) {
+  TrialCapture capture;
+  g_trial_capture = &capture;
+  struct Reset {
+    ~Reset() { g_trial_capture = nullptr; }
+  } reset;
+  ConformanceReplay replay;
+  replay.report = conformance_case.trial(seed);
+  replay.events = std::move(capture.events);
+  replay.postmortem = std::move(capture.postmortem);
+  return replay;
 }
 
 ConformanceResult RunConformanceCase(const ConformanceCase& conformance_case, int seeds,

@@ -17,6 +17,8 @@
 #include "syneval/runtime/explore.h"
 #include "syneval/runtime/parallel_sweep.h"
 #include "syneval/solutions/solution_info.h"
+#include "syneval/telemetry/postmortem.h"
+#include "syneval/trace/event.h"
 
 namespace syneval {
 
@@ -55,6 +57,19 @@ ConformanceResult RunConformanceCase(const ConformanceCase& conformance_case, in
 // Sweeps the whole suite, each case's seed range parallelized per `parallel`.
 std::vector<ConformanceResult> RunConformanceSuite(int seeds, int workload_scale = 1,
                                                    const ParallelOptions& parallel = {});
+
+// One conformance trial re-run with full observability retained: the logical trace
+// (for Perfetto export) and the structured postmortem (empty() when the trial was
+// clean). Sweeps keep only the TrialReport; replay is for --trace exports and the
+// postmortem CLI.
+struct ConformanceReplay {
+  TrialReport report;
+  std::vector<Event> events;
+  Postmortem postmortem;
+};
+
+ConformanceReplay ReplayConformanceTrial(const ConformanceCase& conformance_case,
+                                         std::uint64_t seed);
 
 // Directed reproduction of the paper's footnote-3 anomaly (experiment E1): forces the
 // exact interleaving the footnote describes — writer1 writing, writer2 blocked at

@@ -7,6 +7,8 @@
 
 #include "syneval/anomaly/detector.h"
 #include "syneval/fault/injector.h"
+#include "syneval/telemetry/flight_recorder.h"
+#include "syneval/telemetry/postmortem.h"
 #include "syneval/problems/oracles.h"
 #include "syneval/problems/virtual_disk.h"
 #include "syneval/problems/workloads.h"
@@ -45,11 +47,13 @@ FaultPlan SeededPlan(const FaultPlan& plan, std::uint64_t schedule_seed) {
   return seeded;
 }
 
-ChaosTrialOutcome FinishTrial(const DetRuntime::RunResult& result,
+ChaosReplayResult FinishTrial(const DetRuntime::RunResult& result,
                               const AnomalyDetector& detector,
                               const std::optional<FaultInjector>& injector,
-                              const std::string& oracle_verdict) {
-  ChaosTrialOutcome out;
+                              const std::string& oracle_verdict,
+                              const FlightRecorder& flight, const TraceRecorder& trace) {
+  ChaosReplayResult replay;
+  ChaosTrialOutcome& out = replay.outcome;
   out.completed = result.completed;
   out.hung = result.deadlocked || result.step_limit;
   out.steps = result.steps;
@@ -64,25 +68,49 @@ ChaosTrialOutcome FinishTrial(const DetRuntime::RunResult& result,
   } else {
     out.report = result.report;
   }
-  return out;
+  if (out.hung || out.oracle_failed || out.anomalies > 0) {
+    replay.postmortem = BuildPostmortem(flight, &detector);
+    out.postmortem_cause = replay.postmortem.cause;
+    out.postmortem = replay.postmortem.ToText();
+  }
+  replay.events = trace.Events();
+  return replay;
 }
 
-// Generic chaos trial: fresh runtime + detector (+ injector when a plan is given),
-// solution, workload, run, oracle. Mirrors conformance's MakeTrial with the fault
-// seam added.
+// Builds a ChaosCase from its rich replay function; the sweep-facing trial is the same
+// run with the event capture discarded.
+ChaosCase MakeCase(Mechanism mechanism, std::string problem, std::string display,
+                   ChaosReplayFn replay) {
+  ChaosCase chaos_case;
+  chaos_case.mechanism = mechanism;
+  chaos_case.problem = std::move(problem);
+  chaos_case.display = std::move(display);
+  chaos_case.trial = [replay](std::uint64_t seed, const FaultPlan* plan) {
+    return replay(seed, plan).outcome;
+  };
+  chaos_case.replay = std::move(replay);
+  return chaos_case;
+}
+
+// Generic chaos trial: fresh runtime + detector + flight recorder (+ injector when a
+// plan is given), solution, workload, run, oracle. Mirrors conformance's MakeTrial
+// with the fault seam added.
 template <typename SolutionT>
-ChaosTrial MakeChaosTrial(
+ChaosReplayFn MakeChaosTrial(
     std::function<std::unique_ptr<SolutionT>(Runtime&)> make,
     std::function<ThreadList(Runtime&, SolutionT&, TraceRecorder&)> spawn,
     std::function<std::string(const std::vector<Event>&)> check) {
   return [make = std::move(make), spawn = std::move(spawn), check = std::move(check)](
-             std::uint64_t seed, const FaultPlan* plan) -> ChaosTrialOutcome {
+             std::uint64_t seed, const FaultPlan* plan) -> ChaosReplayResult {
     DetRuntime runtime(MakeRandomSchedule(seed), ChaosOptions());
     AnomalyDetector detector;
     TraceRecorder trace;
+    FlightRecorder flight{FlightRecorder::Options::ForTrial()};
     detector.AttachTrace(&trace);
     trace.SetObserver(&detector);
+    trace.SetSecondaryObserver(&flight);
     runtime.AttachAnomalyDetector(&detector);
+    runtime.AttachFlightRecorder(&flight);
     std::optional<FaultInjector> injector;
     if (plan != nullptr) {
       injector.emplace(SeededPlan(*plan, seed));
@@ -92,7 +120,8 @@ ChaosTrial MakeChaosTrial(
     ThreadList threads = spawn(runtime, *solution, trace);
     const DetRuntime::RunResult result = runtime.Run();
     return FinishTrial(result, detector, injector,
-                       result.completed ? check(trace.Events()) : std::string());
+                       result.completed ? check(trace.Events()) : std::string(), flight,
+                       trace);
   };
 }
 
@@ -105,7 +134,7 @@ struct ChaosSuiteBuilder {
                         int capacity) {
     BufferWorkloadParams params;
     params.items_per_producer = 4 * scale;
-    cases.push_back(ChaosCase{
+    cases.push_back(MakeCase(
         mechanism, "bounded-buffer", display,
         MakeChaosTrial<BoundedBufferIface>(
             std::move(make),
@@ -114,21 +143,21 @@ struct ChaosSuiteBuilder {
             },
             [capacity](const std::vector<Event>& events) {
               return CheckBoundedBuffer(events, capacity);
-            })});
+            })));
   }
 
   void AddOneSlot(Mechanism mechanism, const std::string& display,
                   std::function<std::unique_ptr<OneSlotBufferIface>(Runtime&)> make) {
     BufferWorkloadParams params;
     params.items_per_producer = 4 * scale;
-    cases.push_back(ChaosCase{
+    cases.push_back(MakeCase(
         mechanism, "one-slot-buffer", display,
         MakeChaosTrial<OneSlotBufferIface>(
             std::move(make),
             [params](Runtime& rt, OneSlotBufferIface& buffer, TraceRecorder& trace) {
               return SpawnOneSlotBufferWorkload(rt, buffer, trace, params);
             },
-            [](const std::vector<Event>& events) { return CheckOneSlotBuffer(events); })});
+            [](const std::vector<Event>& events) { return CheckOneSlotBuffer(events); })));
   }
 
   void AddRw(Mechanism mechanism, const std::string& display,
@@ -136,7 +165,7 @@ struct ChaosSuiteBuilder {
     RwWorkloadParams params;
     params.ops_per_reader = 3 * scale;
     params.ops_per_writer = 2 * scale;
-    cases.push_back(ChaosCase{
+    cases.push_back(MakeCase(
         mechanism, "rw-readers-priority", display,
         MakeChaosTrial<ReadersWritersIface>(
             std::move(make),
@@ -146,21 +175,21 @@ struct ChaosSuiteBuilder {
             [](const std::vector<Event>& events) {
               return CheckReadersWriters(events, RwPolicy::kReadersPriority, 8,
                                          RwStrictness::kStrict);
-            })});
+            })));
   }
 
   void AddFcfs(Mechanism mechanism, const std::string& display,
                std::function<std::unique_ptr<FcfsResourceIface>(Runtime&)> make) {
     FcfsWorkloadParams params;
     params.ops_per_thread = 3 * scale;
-    cases.push_back(ChaosCase{
+    cases.push_back(MakeCase(
         mechanism, "fcfs-resource", display,
         MakeChaosTrial<FcfsResourceIface>(
             std::move(make),
             [params](Runtime& rt, FcfsResourceIface& resource, TraceRecorder& trace) {
               return SpawnFcfsWorkload(rt, resource, trace, params);
             },
-            [](const std::vector<Event>& events) { return CheckFcfsResource(events); })});
+            [](const std::vector<Event>& events) { return CheckFcfsResource(events); })));
   }
 
   void AddDiskScan(Mechanism mechanism, const std::string& display,
@@ -168,14 +197,18 @@ struct ChaosSuiteBuilder {
     DiskWorkloadParams params;
     params.requests_per_thread = 3 * scale;
     params.tracks = 100;
-    ChaosTrial trial = [make = std::move(make), params](
-                           std::uint64_t seed, const FaultPlan* plan) -> ChaosTrialOutcome {
+    ChaosReplayFn replay = [make = std::move(make), params](
+                               std::uint64_t seed,
+                               const FaultPlan* plan) -> ChaosReplayResult {
       DetRuntime runtime(MakeRandomSchedule(seed), ChaosOptions());
       AnomalyDetector detector;
       TraceRecorder trace;
+      FlightRecorder flight{FlightRecorder::Options::ForTrial()};
       detector.AttachTrace(&trace);
       trace.SetObserver(&detector);
+      trace.SetSecondaryObserver(&flight);
       runtime.AttachAnomalyDetector(&detector);
+      runtime.AttachFlightRecorder(&flight);
       std::optional<FaultInjector> injector;
       if (plan != nullptr) {
         injector.emplace(SeededPlan(*plan, seed));
@@ -192,23 +225,23 @@ struct ChaosSuiteBuilder {
         verdict = disk.violations() != 0 ? "virtual disk observed concurrent access"
                                          : CheckScanDiskSchedule(trace.Events(), 0);
       }
-      return FinishTrial(result, detector, injector, verdict);
+      return FinishTrial(result, detector, injector, verdict, flight, trace);
     };
-    cases.push_back(ChaosCase{mechanism, "disk-scan", display, std::move(trial)});
+    cases.push_back(MakeCase(mechanism, "disk-scan", display, std::move(replay)));
   }
 
   void AddAlarm(Mechanism mechanism, const std::string& display,
                 std::function<std::unique_ptr<AlarmClockIface>(Runtime&)> make) {
     AlarmWorkloadParams params;
     params.naps_per_sleeper = 2 * scale;
-    cases.push_back(ChaosCase{
+    cases.push_back(MakeCase(
         mechanism, "alarm-clock", display,
         MakeChaosTrial<AlarmClockIface>(
             std::move(make),
             [params](Runtime& rt, AlarmClockIface& clock, TraceRecorder& trace) {
               return SpawnAlarmClockWorkload(rt, clock, trace, params);
             },
-            [](const std::vector<Event>& events) { return CheckAlarmClock(events, 0); })});
+            [](const std::vector<Event>& events) { return CheckAlarmClock(events, 0); })));
   }
 };
 
@@ -316,6 +349,35 @@ ChaosCalibrationTable RunChaosCalibration(int seeds_per_case, std::uint64_t base
   table.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - grid_start).count();
   return table;
+}
+
+std::optional<ChaosReplayResult> ReplayChaosTrial(const std::string& problem,
+                                                  Mechanism mechanism,
+                                                  const std::string& fault_family,
+                                                  std::uint64_t seed,
+                                                  std::uint64_t base_seed,
+                                                  int workload_scale) {
+  const ChaosFaultFamily* family = nullptr;
+  const std::vector<ChaosFaultFamily> families = CalibrationFaultFamilies();
+  for (const ChaosFaultFamily& candidate : families) {
+    if (candidate.name == fault_family) {
+      family = &candidate;
+    }
+  }
+  if (!fault_family.empty() && family == nullptr) {
+    return std::nullopt;
+  }
+  for (const ChaosCase& chaos_case : BuildChaosSuite(workload_scale)) {
+    if (chaos_case.problem != problem || chaos_case.mechanism != mechanism) {
+      continue;
+    }
+    if (family == nullptr) {
+      return chaos_case.replay(seed, nullptr);
+    }
+    const FaultPlan plan = MustParseFaultPlan(family->plan_text, /*seed=*/base_seed);
+    return chaos_case.replay(seed, &plan);
+  }
+  return std::nullopt;
 }
 
 }  // namespace syneval

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,8 @@
 #include "syneval/runtime/explore.h"
 #include "syneval/runtime/parallel_sweep.h"
 #include "syneval/solutions/solution_info.h"
+#include "syneval/telemetry/postmortem.h"
+#include "syneval/trace/event.h"
 
 namespace syneval {
 
@@ -36,11 +39,25 @@ namespace syneval {
 // attaching a FaultInjector for `plan` when non-null, and report what happened.
 using ChaosTrial = std::function<ChaosTrialOutcome(std::uint64_t seed, const FaultPlan* plan)>;
 
+// The same trial with full observability retained: the logical trace (for Perfetto
+// export) and the structured postmortem (empty() when the run was clean). Sweeps use
+// ChaosTrial — which discards both — so the calibration loop never pays for keeping
+// per-trial event vectors alive.
+struct ChaosReplayResult {
+  ChaosTrialOutcome outcome;
+  std::vector<Event> events;
+  Postmortem postmortem;
+};
+
+using ChaosReplayFn =
+    std::function<ChaosReplayResult(std::uint64_t seed, const FaultPlan* plan)>;
+
 struct ChaosCase {
   Mechanism mechanism = Mechanism::kSemaphore;
   std::string problem;   // Canonical problem id ("bounded-buffer", ...).
   std::string display;   // Human-readable solution name.
   ChaosTrial trial;
+  ChaosReplayFn replay;  // Same run as `trial`, returning the full capture.
 };
 
 // The footnote-2 problems, each under (at least) two mechanism families chosen to be
@@ -92,6 +109,18 @@ ChaosCalibrationTable RunChaosCalibration(int seeds_per_case = 20,
                                           std::uint64_t base_seed = 1,
                                           int workload_scale = 1,
                                           const ParallelOptions& parallel = {});
+
+// Re-runs one (problem, mechanism, fault-family) calibration cell at `seed`, keeping
+// the full logical trace and structured postmortem. `fault_family` may be "" for a
+// fault-off replay; `base_seed` must match the calibration run's base seed for the
+// injector derivation to reproduce the same run. Returns nullopt when the triple names
+// no suite case (or a non-empty family is unknown).
+std::optional<ChaosReplayResult> ReplayChaosTrial(const std::string& problem,
+                                                  Mechanism mechanism,
+                                                  const std::string& fault_family,
+                                                  std::uint64_t seed,
+                                                  std::uint64_t base_seed = 1,
+                                                  int workload_scale = 1);
 
 }  // namespace syneval
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "syneval/runtime/runtime.h"
+#include "syneval/telemetry/flight_recorder.h"
 #include "syneval/telemetry/metrics.h"
 #include "syneval/telemetry/tracer.h"
 
@@ -61,6 +62,12 @@ FaultDecision FaultInjector::Decide(FaultSite site, std::uint32_t thread,
     if (MetricsRegistry* metrics = runtime_->metrics()) {
       metrics->GetCounter("fault/injected_total").Add(1);
       metrics->GetCounter(name).Add(1);
+    }
+    if (FlightRecorder* flight = runtime_->flight_recorder()) {
+      // arg = FaultKind so the postmortem can name the fault family even after the
+      // label slot is evicted.
+      flight->Record(thread, FlightEventType::kFaultFired, flight->InternLabel(name),
+                     now_nanos, static_cast<std::uint64_t>(decision.kind));
     }
   }
   return decision;

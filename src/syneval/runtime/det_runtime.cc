@@ -8,6 +8,7 @@
 
 #include "syneval/anomaly/detector.h"
 #include "syneval/fault/fault.h"
+#include "syneval/telemetry/flight_recorder.h"
 #include "syneval/telemetry/tracer.h"
 
 namespace syneval {
@@ -110,20 +111,32 @@ class DetRuntime::DetMutex : public RtMutex {
       }
     }
     AnomalyDetector* det = rt_->anomaly_detector();
+    FlightRecorder* flight = rt_->flight_recorder();
     while (holder_ != nullptr) {
       waiters_.push_back(self);
       if (det != nullptr) {
         det->OnBlock(self->id, this);
+      }
+      if (flight != nullptr) {
+        // mu_ is held at every site in this file: read step_ directly (NowNanos()
+        // would self-deadlock), matching the tracer convention below.
+        flight->Record(self->id, FlightEventType::kBlock, this, rt_->step_ * 1000);
       }
       rt_->SwitchOutLocked(lock, self, kBlockedMutex, this,
                            "mutex (held by " + holder_->name + ")");
       if (det != nullptr) {
         det->OnWake(self->id, this);
       }
+      if (flight != nullptr) {
+        flight->Record(self->id, FlightEventType::kWake, this, rt_->step_ * 1000);
+      }
     }
     holder_ = self;
     if (det != nullptr) {
       det->OnAcquire(self->id, this);
+    }
+    if (flight != nullptr) {
+      flight->Record(self->id, FlightEventType::kAcquire, this, rt_->step_ * 1000);
     }
     if (FaultDecision fault = rt_->FaultDecisionLocked(self, FaultSite::kLockPost)) {
       if (fault.kind == FaultKind::kKillThread) {
@@ -158,6 +171,9 @@ class DetRuntime::DetMutex : public RtMutex {
     holder_ = nullptr;
     if (AnomalyDetector* det = rt_->anomaly_detector()) {
       det->OnRelease(self->id, this);
+    }
+    if (FlightRecorder* flight = rt_->flight_recorder()) {
+      flight->Record(self->id, FlightEventType::kRelease, this, rt_->step_ * 1000);
     }
     for (Tcb* waiter : waiters_) {
       rt_->MakeReadyLocked(waiter);
@@ -196,6 +212,7 @@ class DetRuntime::DetCondVar : public RtCondVar {
     }
     assert(m->holder_ == self && "RtCondVar::Wait without holding the mutex");
     AnomalyDetector* det = rt_->anomaly_detector();
+    FlightRecorder* flight = rt_->flight_recorder();
     bool spurious = false;
     if (FaultDecision fault = rt_->FaultDecisionLocked(self, FaultSite::kWait)) {
       if (fault.kind == FaultKind::kKillThread) {
@@ -211,6 +228,9 @@ class DetRuntime::DetCondVar : public RtCondVar {
     if (det != nullptr) {
       det->OnRelease(self->id, m);
     }
+    if (flight != nullptr) {
+      flight->Record(self->id, FlightEventType::kRelease, m, rt_->step_ * 1000);
+    }
     for (Tcb* waiter : m->waiters_) {
       rt_->MakeReadyLocked(waiter);
     }
@@ -225,6 +245,9 @@ class DetRuntime::DetCondVar : public RtCondVar {
       waiters_.push_back(self);
       if (det != nullptr) {
         det->OnBlock(self->id, this);
+      }
+      if (flight != nullptr) {
+        flight->Record(self->id, FlightEventType::kBlock, this, rt_->step_ * 1000);
       }
       if (timeout_nanos > 0) {
         const std::uint64_t budget = (timeout_nanos + 999) / 1000;
@@ -249,6 +272,11 @@ class DetRuntime::DetCondVar : public RtCondVar {
       if (det != nullptr) {
         det->OnWake(self->id, this);
       }
+      if (flight != nullptr) {
+        // arg = 1 when the wake was a notification, 0 when the deadline fired.
+        flight->Record(self->id, FlightEventType::kWake, this, rt_->step_ * 1000,
+                       notified ? 1 : 0);
+      }
       if (notified) {
         if (TelemetryTracer* tracer = rt_->tracer()) {
           // rt_->mu_ is held here, so read step_ directly (NowNanos() would
@@ -263,15 +291,24 @@ class DetRuntime::DetCondVar : public RtCondVar {
       if (det != nullptr) {
         det->OnBlock(self->id, m);
       }
+      if (flight != nullptr) {
+        flight->Record(self->id, FlightEventType::kBlock, m, rt_->step_ * 1000);
+      }
       rt_->SwitchOutLocked(lock, self, kBlockedMutex, m,
                            "mutex reacquire (held by " + m->holder_->name + ")");
       if (det != nullptr) {
         det->OnWake(self->id, m);
       }
+      if (flight != nullptr) {
+        flight->Record(self->id, FlightEventType::kWake, m, rt_->step_ * 1000);
+      }
     }
     m->holder_ = self;
     if (det != nullptr) {
       det->OnAcquire(self->id, m);
+    }
+    if (flight != nullptr) {
+      flight->Record(self->id, FlightEventType::kAcquire, m, rt_->step_ * 1000);
     }
     return notified;
   }
@@ -310,6 +347,13 @@ class DetRuntime::DetCondVar : public RtCondVar {
     if (TelemetryTracer* tracer = rt_->tracer()) {
       // rt_->mu_ is held here, so read step_ directly (NowNanos() would self-deadlock).
       tracer->OnSignal(this, self->id, rt_->step_ * 1000, all);
+    }
+    if (FlightRecorder* flight = rt_->flight_recorder()) {
+      // arg = waiters before delivery: a signal with arg 0 fell on an empty queue —
+      // the seed of every lost wakeup the postmortem explains.
+      flight->Record(self->id,
+                     all ? FlightEventType::kBroadcast : FlightEventType::kSignal, this,
+                     rt_->step_ * 1000, waiters_.size());
     }
     if (all) {
       for (Tcb* waiter : waiters_) {
@@ -419,6 +463,9 @@ std::unique_ptr<RtMutex> DetRuntime::CreateMutex() {
   if (AnomalyDetector* det = anomaly_detector()) {
     det->RegisterResource(mutex.get(), ResourceKind::kLock, "mutex");
   }
+  if (FlightRecorder* flight = flight_recorder()) {
+    flight->RegisterName(mutex.get(), "mutex");
+  }
   return mutex;
 }
 
@@ -426,6 +473,9 @@ std::unique_ptr<RtCondVar> DetRuntime::CreateCondVar() {
   auto cv = std::make_unique<DetCondVar>(this);
   if (AnomalyDetector* det = anomaly_detector()) {
     det->RegisterResource(cv.get(), ResourceKind::kCondition, "condvar");
+  }
+  if (FlightRecorder* flight = flight_recorder()) {
+    flight->RegisterName(cv.get(), "condvar");
   }
   return cv;
 }

@@ -29,6 +29,19 @@ std::string SweepOutcome::Summary() const {
   return os.str();
 }
 
+std::string SweepOutcome::PostmortemDump() const {
+  if (postmortems.empty()) {
+    return "";
+  }
+  std::ostringstream os;
+  os << "\n--- postmortems (" << postmortems_total << " total, " << postmortems.size()
+     << " stored) ---";
+  for (const SeedPostmortem& pm : postmortems) {
+    os << "\nseed " << pm.seed << " [" << pm.cause << "]:\n" << pm.text;
+  }
+  return os.str();
+}
+
 namespace sweep_internal {
 
 void AccumulateTrial(const std::function<TrialReport(std::uint64_t)>& trial,
@@ -66,6 +79,13 @@ void AccumulateTrial(const std::function<TrialReport(std::uint64_t)>& trial,
       outcome.first_anomaly = os.str();
     }
   }
+  if (!report.postmortem.empty()) {
+    ++outcome.postmortems_total;
+    if (static_cast<int>(outcome.postmortems.size()) < kMaxStoredPostmortems) {
+      outcome.postmortems.push_back(
+          SeedPostmortem{seed, report.postmortem_cause, std::move(report.postmortem)});
+    }
+  }
 }
 
 void MergeOutcome(SweepOutcome& into, SweepOutcome&& chunk) {
@@ -82,6 +102,13 @@ void MergeOutcome(SweepOutcome& into, SweepOutcome&& chunk) {
                               chunk.anomalous_seeds.end());
   if (into.first_anomaly.empty()) {
     into.first_anomaly = std::move(chunk.first_anomaly);
+  }
+  into.postmortems_total += chunk.postmortems_total;
+  for (SeedPostmortem& pm : chunk.postmortems) {
+    if (static_cast<int>(into.postmortems.size()) >= kMaxStoredPostmortems) {
+      break;  // Chunks arrive in seed order, so truncation matches the serial sweep.
+    }
+    into.postmortems.push_back(std::move(pm));
   }
 }
 
@@ -101,6 +128,19 @@ void AccumulateChaosTrial(
   } catch (...) {
     on.hung = true;
     on.report = "trial aborted: unknown exception";
+  }
+  if (!on.postmortem.empty()) {
+    ++outcome.postmortems_total;
+    if (static_cast<int>(outcome.postmortems.size()) < kMaxStoredPostmortems) {
+      outcome.postmortems.push_back(
+          SeedPostmortem{seed, on.postmortem_cause, on.postmortem});
+    }
+  }
+  if (on.anomalies > 0) {
+    // Per-cause histogram over flagged fault-on runs: the recall gate requires every
+    // cause named here to match the injected family (an empty-string key means a trial
+    // was flagged yet produced no postmortem — also a gate failure).
+    ++outcome.postmortem_causes[on.postmortem_cause];
   }
   if (on.injected > 0) {
     ++outcome.injected_runs;
@@ -155,6 +195,16 @@ void MergeChaosOutcome(ChaosSweepOutcome& into, ChaosSweepOutcome&& chunk) {
                            chunk.missed_seeds.end());
   into.fp_seeds.insert(into.fp_seeds.end(), chunk.fp_seeds.begin(),
                        chunk.fp_seeds.end());
+  into.postmortems_total += chunk.postmortems_total;
+  for (SeedPostmortem& pm : chunk.postmortems) {
+    if (static_cast<int>(into.postmortems.size()) >= kMaxStoredPostmortems) {
+      break;
+    }
+    into.postmortems.push_back(std::move(pm));
+  }
+  for (const auto& [cause, count] : chunk.postmortem_causes) {
+    into.postmortem_causes[cause] += count;
+  }
 }
 
 }  // namespace sweep_internal

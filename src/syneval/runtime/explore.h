@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -30,8 +31,27 @@ struct TrialReport {
   AnomalyCounts anomalies;
   std::string anomaly_report;  // Detector diagnostics ("" when anomalies are clean).
 
+  // Flight-recorder postmortem for an anomalous trial (telemetry/postmortem.h): the
+  // inferred root cause ("deadlock", "lost-signal", ...) and the rendered narrative.
+  // Empty when the trial was clean or ran without a recorder attached.
+  std::string postmortem_cause;
+  std::string postmortem;
+
   bool Passed() const { return message.empty(); }
 };
+
+// One retained postmortem, tagged with the seed that produced it for exact replay.
+struct SeedPostmortem {
+  std::uint64_t seed = 0;
+  std::string cause;
+  std::string text;
+};
+
+// Sweeps retain at most this many full postmortems (narratives can be large); the
+// rest are counted, not stored. The first-N-in-seed-order rule composes with the
+// chunk merge: each chunk keeps its own first N, and concatenation-in-chunk-order
+// followed by truncation reproduces the serial sweep's first N exactly.
+inline constexpr int kMaxStoredPostmortems = 8;
 
 // Aggregate result of a schedule sweep.
 struct SweepOutcome {
@@ -46,6 +66,11 @@ struct SweepOutcome {
   std::vector<std::uint64_t> anomalous_seeds;   // Seeds whose trial saw any anomaly.
   std::string first_anomaly;                    // "seed N: <detector diagnostics>".
 
+  // Postmortems of anomalous trials, first kMaxStoredPostmortems in seed order;
+  // `postmortems_total` counts every trial that produced one (stored or not).
+  std::vector<SeedPostmortem> postmortems;
+  int postmortems_total = 0;
+
   bool AllPassed() const { return failures == 0; }
   bool AnomalyFree() const { return anomalies.Clean(); }
   // Both rates share `runs` as denominator, and `runs` counts every attempted seed —
@@ -58,6 +83,12 @@ struct SweepOutcome {
     return runs == 0 ? 0.0 : static_cast<double>(anomalous_seeds.size()) / runs;
   }
   std::string Summary() const;
+
+  // Renders the stored postmortems (with their replay seeds) as a multi-line block for
+  // failure diagnostics — what tier-1 tests append to an unexpected-failure assertion
+  // so the narrative lands in the test log instead of requiring a re-run. Empty when no
+  // trial produced one. Summary() stays one-line; this is the verbose companion.
+  std::string PostmortemDump() const;
 };
 
 // Runs `trial(seed)` for seeds base_seed .. base_seed + num_seeds - 1. A trial returns an
@@ -106,6 +137,10 @@ struct ChaosTrialOutcome {
   std::uint64_t steps = 0;                 // Scheduler steps the run took.
   int anomalies = 0;                       // Detector findings (any class).
   std::string report;                      // Runtime diagnosis when hung.
+
+  // Flight-recorder postmortem for an anomalous or hung trial (see TrialReport).
+  std::string postmortem_cause;
+  std::string postmortem;
 };
 
 // Aggregate of a matched sweep. Every seed is run twice — once with the plan attached,
@@ -131,6 +166,13 @@ struct ChaosSweepOutcome {
   std::uint64_t detection_steps_total = 0;  // Σ (steps − first_injection_step), detected.
   std::vector<std::uint64_t> missed_seeds;  // Harmful but undetected, for replay.
   std::vector<std::uint64_t> fp_seeds;      // Clean-run false positives, for replay.
+
+  // Postmortems of fault-on trials, first kMaxStoredPostmortems in seed order, plus
+  // the uncapped per-cause histogram over fault-on runs the detector flagged — the
+  // recall gate checks every named cause here against the injected fault family.
+  std::vector<SeedPostmortem> postmortems;
+  int postmortems_total = 0;
+  std::map<std::string, int> postmortem_causes;
 
   double Recall() const {
     return harmful == 0 ? -1.0 : static_cast<double>(detected_harmful) / harmful;

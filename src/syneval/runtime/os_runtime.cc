@@ -1,6 +1,7 @@
 #include "syneval/runtime/os_runtime.h"
 
 #include <chrono>
+#include <ctime>
 #include <random>
 #include <utility>
 
@@ -8,6 +9,7 @@
 #include "syneval/fault/fault.h"
 #include "syneval/fault/injector.h"
 #include "syneval/runtime/deadline.h"
+#include "syneval/telemetry/flight_recorder.h"
 #include "syneval/telemetry/metrics.h"
 #include "syneval/telemetry/tracer.h"
 
@@ -34,6 +36,21 @@ FaultDecision ConsultInjector(OsRuntime* rt, FaultSite site) {
 
 void SleepSteps(std::uint64_t steps) { std::this_thread::sleep_for(std::chrono::microseconds(steps)); }
 
+// Timestamps for flight-recorder events. Postmortems order events by recording seq,
+// not time, so the few-ms resolution of CLOCK_MONOTONIC_COARSE (~5ns per read vs ~26ns
+// for the precise clock) loses nothing diagnostic while keeping always-on recording
+// inside the perf-baseline envelope.
+std::uint64_t FlightNowNanos([[maybe_unused]] OsRuntime* rt) {
+#if defined(CLOCK_MONOTONIC_COARSE)
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC_COARSE, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return rt->NowNanos();
+#endif
+}
+
 class OsMutex : public RtMutex {
  public:
   explicit OsMutex(OsRuntime* rt) : rt_(rt) {}
@@ -45,16 +62,40 @@ class OsMutex : public RtMutex {
       }
     }
     AnomalyDetector* det = rt_->anomaly_detector();
-    if (det == nullptr) {
+    FlightRecorder* flight = rt_->flight_recorder();
+    if (det == nullptr && flight == nullptr) {
       mu_.lock();
     } else {
       const std::uint32_t tid = rt_->CurrentThreadId();
+      bool contended = false;
       if (!mu_.try_lock()) {
-        det->OnBlock(tid, this);
+        contended = true;
+        if (det != nullptr) {
+          det->OnBlock(tid, this);
+        }
+        if (flight != nullptr) {
+          flight->Record(tid, FlightEventType::kBlock, this, FlightNowNanos(rt_));
+        }
         mu_.lock();
-        det->OnWake(tid, this);
+        if (det != nullptr) {
+          det->OnWake(tid, this);
+        }
+        if (flight != nullptr) {
+          flight->Record(tid, FlightEventType::kWake, this, FlightNowNanos(rt_));
+        }
       }
-      det->OnAcquire(tid, this);
+      if (det != nullptr) {
+        det->OnAcquire(tid, this);
+      }
+      // Flight-only steady state records just the blocking path: an uncontended
+      // acquire on a run with no detector can never become a wait-for edge in a
+      // postmortem (only the detector's hang-time hold set is narrated), so skipping
+      // it keeps measurement-mode recording within the perf-baseline envelope. With a
+      // detector attached — any run that can actually request a postmortem — every
+      // acquire is recorded so hold edges keep their "(acquired at seq …)" annotation.
+      if (flight != nullptr && (contended || det != nullptr)) {
+        flight->Record(tid, FlightEventType::kAcquire, this, FlightNowNanos(rt_));
+      }
     }
     try {
       if (FaultDecision fault = ConsultInjector(rt_, FaultSite::kLockPost)) {
@@ -75,6 +116,12 @@ class OsMutex : public RtMutex {
   void Unlock() override {
     if (AnomalyDetector* det = rt_->anomaly_detector()) {
       det->OnRelease(rt_->CurrentThreadId(), this);
+      // Releases matter only for runs that can build a postmortem (detector
+      // attached); flight-only measurement runs skip them — see Lock().
+      if (FlightRecorder* flight = rt_->flight_recorder()) {
+        flight->Record(rt_->CurrentThreadId(), FlightEventType::kRelease, this,
+                       FlightNowNanos(rt_));
+      }
     }
     mu_.unlock();
   }
@@ -128,7 +175,8 @@ class OsCondVar : public RtCondVar {
     }
     AnomalyDetector* det = rt_->anomaly_detector();
     TelemetryTracer* tracer = rt_->tracer();
-    if (det == nullptr && tracer == nullptr) {
+    FlightRecorder* flight = rt_->flight_recorder();
+    if (det == nullptr && tracer == nullptr && flight == nullptr) {
       if (timeout_nanos == 0) {
         cv_.wait(mutex);
         return true;
@@ -140,6 +188,9 @@ class OsCondVar : public RtCondVar {
     waiting_.fetch_add(1, std::memory_order_relaxed);
     if (det != nullptr) {
       det->OnBlock(tid, this);
+    }
+    if (flight != nullptr) {
+      flight->Record(tid, FlightEventType::kBlock, this, FlightNowNanos(rt_));
     }
     bool notified = true;
     if (timeout_nanos == 0) {
@@ -153,6 +204,12 @@ class OsCondVar : public RtCondVar {
     if (det != nullptr) {
       det->OnWake(tid, this);
     }
+    if (flight != nullptr) {
+      // arg = 1 when a notification (or spurious wakeup) caused the return, 0 when the
+      // deadline fired — the discriminator the postmortem uses for stuck-waiter stories.
+      flight->Record(tid, FlightEventType::kWake, this, FlightNowNanos(rt_),
+                     notified ? 1 : 0);
+    }
     if (notified && tracer != nullptr) {
       // Timeout wakes draw no flow edge: no signal caused them.
       tracer->OnWake(this, tid, rt_->NowNanos());
@@ -162,12 +219,25 @@ class OsCondVar : public RtCondVar {
   }
 
   void Signal(bool broadcast) {
-    if (AnomalyDetector* det = rt_->anomaly_detector()) {
-      det->OnSignal(rt_->CurrentThreadId(), this,
-                    static_cast<int>(waiting_.load(std::memory_order_relaxed)), broadcast);
+    const int waiting = static_cast<int>(waiting_.load(std::memory_order_relaxed));
+    AnomalyDetector* det = rt_->anomaly_detector();
+    if (det != nullptr) {
+      det->OnSignal(rt_->CurrentThreadId(), this, waiting, broadcast);
     }
     if (TelemetryTracer* tracer = rt_->tracer()) {
       tracer->OnSignal(this, rt_->CurrentThreadId(), rt_->NowNanos(), broadcast);
+    }
+    if (FlightRecorder* flight = rt_->flight_recorder()) {
+      // arg = waiters at delivery; a signal with arg 0 hit an empty queue. Empty-queue
+      // signals only matter to the lost-wakeup narrative, which only a detector-armed
+      // run can ever build — flight-only measurement runs record just the signals
+      // that wake someone, mirroring the blocking-path policy in OsMutex::Lock.
+      if (det != nullptr || waiting > 0) {
+        flight->Record(
+            rt_->CurrentThreadId(),
+            broadcast ? FlightEventType::kBroadcast : FlightEventType::kSignal, this,
+            FlightNowNanos(rt_), static_cast<std::uint64_t>(waiting));
+      }
     }
   }
 
@@ -216,6 +286,9 @@ std::unique_ptr<RtMutex> OsRuntime::CreateMutex() {
   if (AnomalyDetector* det = anomaly_detector()) {
     det->RegisterResource(mutex.get(), ResourceKind::kLock, "mutex");
   }
+  if (FlightRecorder* flight = flight_recorder()) {
+    flight->RegisterName(mutex.get(), "mutex");
+  }
   return mutex;
 }
 
@@ -223,6 +296,9 @@ std::unique_ptr<RtCondVar> OsRuntime::CreateCondVar() {
   auto cv = std::make_unique<OsCondVar>(this);
   if (AnomalyDetector* det = anomaly_detector()) {
     det->RegisterResource(cv.get(), ResourceKind::kCondition, "condvar");
+  }
+  if (FlightRecorder* flight = flight_recorder()) {
+    flight->RegisterName(cv.get(), "condvar");
   }
   return cv;
 }

@@ -29,6 +29,7 @@ namespace syneval {
 
 class AnomalyDetector;
 class FaultInjector;
+class FlightRecorder;
 class MetricsRegistry;
 class TelemetryTracer;
 struct MechanismStats;
@@ -141,11 +142,20 @@ class Runtime {
   void AttachTracer(TelemetryTracer* tracer) { tracer_ = tracer; }
   TelemetryTracer* tracer() const { return tracer_; }
 
+  // Attaches the always-on flight recorder (telemetry/flight_recorder.h): both
+  // runtimes then record compact sync events (block/wake/acquire/release/signal)
+  // into its lock-free rings, and the fault injector mirrors fired faults. Unlike the
+  // tracer, the recorder is cheap enough to stay attached during steady-state
+  // measurement. Attach before primitives are created so their names register.
+  void AttachFlightRecorder(FlightRecorder* recorder) { flight_recorder_ = recorder; }
+  FlightRecorder* flight_recorder() const { return flight_recorder_; }
+
  private:
   AnomalyDetector* anomaly_detector_ = nullptr;
   FaultInjector* fault_injector_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
   TelemetryTracer* tracer_ = nullptr;
+  FlightRecorder* flight_recorder_ = nullptr;
 };
 #else
   // Telemetry compiled out (SYNEVAL_TELEMETRY=OFF): attachment is a no-op and the
@@ -154,6 +164,8 @@ class Runtime {
   static constexpr MetricsRegistry* metrics() { return nullptr; }
   void AttachTracer(TelemetryTracer*) {}
   static constexpr TelemetryTracer* tracer() { return nullptr; }
+  void AttachFlightRecorder(FlightRecorder*) {}
+  static constexpr FlightRecorder* flight_recorder() { return nullptr; }
 
  private:
   AnomalyDetector* anomaly_detector_ = nullptr;

@@ -1,0 +1,153 @@
+#include "syneval/telemetry/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace syneval {
+
+const char* FlightEventTypeName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kOpRequest:
+      return "op-request";
+    case FlightEventType::kOpEnter:
+      return "op-enter";
+    case FlightEventType::kOpExit:
+      return "op-exit";
+    case FlightEventType::kBlock:
+      return "block";
+    case FlightEventType::kWake:
+      return "wake";
+    case FlightEventType::kAcquire:
+      return "acquire";
+    case FlightEventType::kRelease:
+      return "release";
+    case FlightEventType::kSignal:
+      return "signal";
+    case FlightEventType::kBroadcast:
+      return "broadcast";
+    case FlightEventType::kFaultFired:
+      return "fault";
+    case FlightEventType::kGuardRetest:
+      return "guard-retest";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(const Options& options) : options_(options) {
+  options_.rings = std::max(1, options_.rings);
+  options_.events_per_ring = std::max(8, options_.events_per_ring);
+  rings_ = std::vector<Ring>(static_cast<std::size_t>(options_.rings));
+  for (Ring& ring : rings_) {
+    ring.slots = std::make_unique<Slot[]>(static_cast<std::size_t>(options_.events_per_ring));
+  }
+}
+
+void FlightRecorder::OnTraceEvent(const Event& event) {
+  FlightEventType type;
+  switch (event.kind) {
+    case EventKind::kRequest:
+      type = FlightEventType::kOpRequest;
+      break;
+    case EventKind::kEnter:
+      type = FlightEventType::kOpEnter;
+      break;
+    case EventKind::kExit:
+      type = FlightEventType::kOpExit;
+      break;
+    default:
+      return;  // kMark and friends carry no admission information.
+  }
+  const void* label = InternLabel(event.op);
+  // Logical traces may have no wall clock; fall back to the exporter's seq × 1000
+  // convention so op events interleave sensibly with DetRuntime step timestamps.
+  const std::uint64_t time = event.wall_ns != 0 ? event.wall_ns : event.seq * 1000;
+  Record(event.thread, type, label, time, event.op_instance);
+}
+
+std::string FlightRecorder::RegisterName(const void* resource, const std::string& base) {
+  std::lock_guard<std::mutex> lock(names_mu_);
+  const int count = ++name_counts_[base];
+  std::string name = count == 1 ? base : base + "#" + std::to_string(count);
+  names_[resource] = name;
+  return name;
+}
+
+const void* FlightRecorder::InternLabel(std::string_view label) {
+  std::lock_guard<std::mutex> lock(names_mu_);
+  auto it = labels_.find(label);
+  if (it != labels_.end()) {
+    return it->second;
+  }
+  label_storage_.emplace_back(label);
+  const std::string& stored = label_storage_.back();
+  const void* key = &stored;
+  labels_.emplace(stored, key);
+  names_[key] = stored;
+  return key;
+}
+
+std::string FlightRecorder::NameOf(const void* resource) const {
+  if (resource == nullptr) {
+    return "-";
+  }
+  std::lock_guard<std::mutex> lock(names_mu_);
+  auto it = names_.find(resource);
+  if (it != names_.end()) {
+    return it->second;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "0x%llx",
+                static_cast<unsigned long long>(reinterpret_cast<std::uintptr_t>(resource)));
+  return buffer;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> events;
+  events.reserve(rings_.size() * static_cast<std::size_t>(options_.events_per_ring) / 4);
+  for (const Ring& ring : rings_) {
+    for (int i = 0; i < options_.events_per_ring; ++i) {
+      const Slot& slot = ring.slots[i];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq == 0) {
+        continue;
+      }
+      FlightEvent event;
+      event.seq = seq;
+      event.time_nanos = slot.time.load(std::memory_order_relaxed);
+      const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+      event.resource = slot.resource.load(std::memory_order_relaxed);
+      if (slot.seq.load(std::memory_order_relaxed) != seq) {
+        continue;  // Overwritten while being read; drop rather than return torn.
+      }
+      event.thread = static_cast<std::uint32_t>(meta & 0xFFFFFFFFULL);
+      event.type = static_cast<FlightEventType>((meta >> 32) & 0xFF);
+      event.arg = meta >> 40;
+      events.push_back(event);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) { return a.seq < b.seq; });
+  return events;
+}
+
+std::uint64_t FlightRecorder::evicted() const {
+  std::uint64_t live = 0;
+  for (const Ring& ring : rings_) {
+    live += std::min<std::uint64_t>(ring.cursor.load(std::memory_order_relaxed),
+                                    static_cast<std::uint64_t>(options_.events_per_ring));
+  }
+  const std::uint64_t recorded_total = recorded();
+  return recorded_total > live ? recorded_total - live : 0;
+}
+
+void FlightRecorder::Clear() {
+  for (Ring& ring : rings_) {
+    for (int i = 0; i < options_.events_per_ring; ++i) {
+      ring.slots[i].seq.store(0, std::memory_order_relaxed);
+    }
+    ring.cursor.store(0, std::memory_order_relaxed);
+  }
+  seq_.store(0, std::memory_order_release);
+}
+
+}  // namespace syneval

@@ -35,6 +35,7 @@ std::string Event::ToString() const {
 
 std::uint64_t TraceRecorder::Record(Event event) {
   TraceObserver* observer = nullptr;
+  TraceObserver* secondary = nullptr;
   Event observed;
   std::uint64_t seq = 0;
   {
@@ -44,15 +45,19 @@ std::uint64_t TraceRecorder::Record(Event event) {
       event.wall_ns = clock_();
     }
     seq = event.seq;
-    if (observer_ != nullptr) {
+    if (observer_ != nullptr || secondary_observer_ != nullptr) {
       observer = observer_;
+      secondary = secondary_observer_;
       observed = event;
     }
     events_.push_back(std::move(event));
   }
-  // Outside the lock: the observer may take its own locks or record further events.
+  // Outside the lock: observers may take their own locks or record further events.
   if (observer != nullptr) {
     observer->OnTraceEvent(observed);
+  }
+  if (secondary != nullptr) {
+    secondary->OnTraceEvent(observed);
   }
   return seq;
 }

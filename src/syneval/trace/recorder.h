@@ -57,6 +57,12 @@ class TraceRecorder {
   // must ensure the observer outlives all recording and is set before writers start.
   void SetObserver(TraceObserver* observer) { observer_ = observer; }
 
+  // A second, independent observer slot, notified after the primary. The anomaly
+  // detector conventionally holds the primary slot; this one lets the flight recorder
+  // (or any other sink) listen to op events without displacing it. Same lifetime and
+  // set-before-writers rules as SetObserver.
+  void SetSecondaryObserver(TraceObserver* observer) { secondary_observer_ = observer; }
+
   // Attaches a wall-clock source (typically [&rt] { return rt.NowNanos(); }). Once
   // set, every appended event is stamped with Event::wall_ns under the recorder lock,
   // which lets the Perfetto exporter place the logical events on a real timeline.
@@ -81,6 +87,7 @@ class TraceRecorder {
   std::uint64_t next_seq_ = 1;
   std::atomic<std::uint64_t> next_instance_{1};
   TraceObserver* observer_ = nullptr;
+  TraceObserver* secondary_observer_ = nullptr;
   std::function<std::uint64_t()> clock_;  // Optional wall-clock source for wall_ns.
 };
 

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Unit tests for bench/compare_baseline.py.
+
+Run directly (python3 tests/compare_baseline_test.py) or via ctest, which registers
+this file when a Python interpreter is found at configure time. The one behavior worth
+pinning hardest: a baseline row missing from the fresh run must FAIL the comparison —
+a bench that silently stops reporting a metric would otherwise pass the perf gate
+forever.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO, "bench", "compare_baseline.py")
+
+
+def row(metric, value, unit="s", bench="b", mechanism="m", problem="p"):
+    return {"bench": bench, "mechanism": mechanism, "problem": problem,
+            "metric": metric, "value": value, "unit": unit}
+
+
+def run_compare(baseline_rows, fresh_rows, extra_args=()):
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = os.path.join(tmp, "baseline.json")
+        fresh = os.path.join(tmp, "fresh.json")
+        with open(baseline, "w") as f:
+            json.dump({"schema_version": 1, "rows": baseline_rows}, f)
+        with open(fresh, "w") as f:
+            json.dump({"schema_version": 3, "bench": "b", "results": fresh_rows}, f)
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "--baseline", baseline, *extra_args, fresh],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout
+
+
+class CompareBaselineTest(unittest.TestCase):
+    def test_identical_rows_pass(self):
+        code, out = run_compare([row("wall", 1.0)], [row("wall", 1.0)])
+        self.assertEqual(code, 0, out)
+        self.assertIn("1 stable", out)
+
+    def test_regression_beyond_band_fails(self):
+        code, out = run_compare([row("wall", 1.0)], [row("wall", 1.5)])
+        self.assertEqual(code, 1, out)
+        self.assertIn("Regressions", out)
+
+    def test_improvement_never_fails(self):
+        code, out = run_compare([row("wall", 1.0)], [row("wall", 0.5)])
+        self.assertEqual(code, 0, out)
+        self.assertIn("Improvements", out)
+
+    def test_within_band_passes(self):
+        code, out = run_compare([row("wall", 1.0)], [row("wall", 1.2)])
+        self.assertEqual(code, 0, out)
+
+    def test_absolute_floor_swallows_small_ns_jitter(self):
+        # 100ns -> 250ns is +150%, but under the 200ns absolute floor for "ns".
+        code, out = run_compare([row("op", 100.0, unit="ns")],
+                                [row("op", 250.0, unit="ns")])
+        self.assertEqual(code, 0, out)
+
+    def test_missing_baseline_row_is_a_regression(self):
+        code, out = run_compare(
+            [row("wall", 1.0), row("steps", 10.0, unit="steps")],
+            [row("wall", 1.0)])
+        self.assertEqual(code, 1, out)
+        self.assertIn("Missing rows", out)
+        self.assertIn("1 missing", out)
+
+    def test_new_fresh_row_does_not_fail(self):
+        code, out = run_compare(
+            [row("wall", 1.0)],
+            [row("wall", 1.0), row("extra", 5.0)])
+        self.assertEqual(code, 0, out)
+        self.assertIn("New rows", out)
+
+    def test_volatile_metrics_are_ignored_on_both_sides(self):
+        # "jobs" is a configuration echo: present only in the baseline, it must not
+        # count as missing; present only in fresh, not as new.
+        code, out = run_compare(
+            [row("wall", 1.0), row("jobs", 4.0, unit="steps")],
+            [row("wall", 1.0), row("speedup", 3.0, unit="steps")])
+        self.assertEqual(code, 0, out)
+        self.assertIn("0 missing", out)
+        self.assertIn("0 new", out)
+
+    def test_write_baseline_round_trips(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            fresh = os.path.join(tmp, "fresh.json")
+            baseline = os.path.join(tmp, "baseline.json")
+            with open(fresh, "w") as f:
+                json.dump({"rows": [row("wall", 1.0)]}, f)
+            write = subprocess.run(
+                [sys.executable, SCRIPT, "--write-baseline", baseline, fresh],
+                capture_output=True, text=True)
+            self.assertEqual(write.returncode, 0, write.stdout + write.stderr)
+            compare = subprocess.run(
+                [sys.executable, SCRIPT, "--baseline", baseline, fresh],
+                capture_output=True, text=True)
+            self.assertEqual(compare.returncode, 0, compare.stdout)
+            self.assertIn("1 stable", compare.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

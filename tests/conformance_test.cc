@@ -3,6 +3,9 @@
 // paper predicts to violate their oracle (Figure 1; arbitrary-selection FCFS) must
 // violate it; everything else must be clean.
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -17,6 +20,53 @@ constexpr int kSeeds = 12;
 
 class ConformanceTest : public ::testing::TestWithParam<std::size_t> {};
 
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// CI sets SYNEVAL_POSTMORTEM_DIR so that an unexpected failure leaves its postmortems
+// behind as JSON artifacts (one file per stored postmortem, named for exact replay via
+// bench/syneval_postmortem) in addition to the assertion message. No-op locally.
+void WritePostmortemArtifacts(std::size_t case_index, const ConformanceCase& spec,
+                              const SweepOutcome& outcome) {
+  const char* dir = std::getenv("SYNEVAL_POSTMORTEM_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return;
+  }
+  for (const SeedPostmortem& pm : outcome.postmortems) {
+    const std::string path = std::string(dir) + "/conformance_case" +
+                             std::to_string(case_index) + "_seed" +
+                             std::to_string(pm.seed) + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      continue;
+    }
+    out << "{\"display\":\"" << JsonEscape(spec.display) << "\",\"problem\":\""
+        << JsonEscape(spec.problem) << "\",\"mechanism\":\""
+        << MechanismName(spec.mechanism) << "\",\"seed\":" << pm.seed
+        << ",\"cause\":\"" << JsonEscape(pm.cause) << "\",\"text\":\""
+        << JsonEscape(pm.text) << "\"}\n";
+  }
+}
+
 TEST_P(ConformanceTest, SolutionBehavesAsPredicted) {
   const std::vector<ConformanceCase> suite = BuildConformanceSuite(/*workload_scale=*/1);
   ASSERT_LT(GetParam(), suite.size());
@@ -27,8 +77,15 @@ TEST_P(ConformanceTest, SolutionBehavesAsPredicted) {
         << conformance_case.display << ": the paper predicts violations, none observed in "
         << kSeeds << " schedules";
   } else {
+    // On an unexpected failure the sweep's stored flight-recorder postmortems are the
+    // fastest route to a diagnosis; each carries the seed for exact replay via
+    // bench/syneval_postmortem.
+    if (result.outcome.failures != 0) {
+      WritePostmortemArtifacts(GetParam(), conformance_case, result.outcome);
+    }
     EXPECT_EQ(result.outcome.failures, 0)
-        << conformance_case.display << ": " << result.outcome.Summary();
+        << conformance_case.display << ": " << result.outcome.Summary()
+        << result.outcome.PostmortemDump();
   }
 }
 

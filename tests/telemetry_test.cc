@@ -16,6 +16,7 @@
 #include "syneval/monitor/mesa_monitor.h"
 #include "syneval/runtime/det_runtime.h"
 #include "syneval/runtime/os_runtime.h"
+#include "syneval/runtime/parallel_sweep.h"
 #include "syneval/runtime/schedule.h"
 #include "syneval/sync/semaphore.h"
 #include "syneval/telemetry/metrics.h"
@@ -102,6 +103,89 @@ TEST(HistogramTest, PercentilesAreMonotoneAndBounded) {
     previous = value;
   }
   EXPECT_EQ(h.Percentile(100), h.Max());
+}
+
+TEST(HistogramTest, SingleOverflowSampleClampsAllPercentiles) {
+  // One sample in the overflow bucket [2^63, 2^64): every percentile — including the
+  // p=0 lower edge, whose bucket upper bound is UINT64_MAX — must clamp to the
+  // observed min/max rather than report a bucket edge beyond the data.
+  Histogram h;
+  h.Record(UINT64_MAX - 1);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), UINT64_MAX - 1);
+  EXPECT_EQ(h.Max(), UINT64_MAX - 1);
+  EXPECT_EQ(h.Percentile(0), UINT64_MAX - 1);
+  EXPECT_EQ(h.Percentile(50), UINT64_MAX - 1);
+  EXPECT_EQ(h.Percentile(100), UINT64_MAX - 1);
+}
+
+TEST(HistogramTest, PercentileEndpointsMatchMinAndMax) {
+  Histogram h;
+  for (std::uint64_t value = 1; value <= 512; ++value) {
+    h.Record(value);
+  }
+  EXPECT_EQ(h.Percentile(0), h.Min());
+  EXPECT_EQ(h.Percentile(100), h.Max());
+  // Out-of-range requests clamp rather than index outside the bucket table.
+  EXPECT_EQ(h.Percentile(-5), h.Percentile(0));
+  EXPECT_EQ(h.Percentile(250), h.Percentile(100));
+}
+
+// ---- MergeWorkerTelemetry ---------------------------------------------------------------
+
+TEST(MergeWorkerTelemetryTest, MergeIntoEmptyCopiesShard) {
+  std::vector<WorkerTelemetry> into;
+  std::vector<WorkerTelemetry> shard(2);
+  shard[0] = WorkerTelemetry{0, 10, 4, 1, 0.5};
+  shard[1] = WorkerTelemetry{1, 12, 5, 0, 0.75};
+  MergeWorkerTelemetry(into, shard);
+  ASSERT_EQ(into.size(), 2u);
+  EXPECT_EQ(into[0].worker, 0);
+  EXPECT_EQ(into[0].trials, 10);
+  EXPECT_EQ(into[1].chunks, 5);
+  EXPECT_DOUBLE_EQ(into[1].wall_seconds, 0.75);
+}
+
+TEST(MergeWorkerTelemetryTest, SumsByWorkerIndexAcrossShards) {
+  std::vector<WorkerTelemetry> into;
+  std::vector<WorkerTelemetry> first(2);
+  first[0] = WorkerTelemetry{0, 10, 4, 1, 0.5};
+  first[1] = WorkerTelemetry{1, 12, 5, 0, 0.75};
+  std::vector<WorkerTelemetry> second(2);
+  second[0] = WorkerTelemetry{0, 3, 2, 1, 0.25};
+  second[1] = WorkerTelemetry{1, 4, 3, 2, 0.25};
+  MergeWorkerTelemetry(into, first);
+  MergeWorkerTelemetry(into, second);
+  ASSERT_EQ(into.size(), 2u);
+  EXPECT_EQ(into[0].trials, 13);
+  EXPECT_EQ(into[0].chunks, 6);
+  EXPECT_EQ(into[0].steals, 2);
+  EXPECT_EQ(into[1].trials, 16);
+  EXPECT_DOUBLE_EQ(into[1].wall_seconds, 1.0);
+}
+
+TEST(MergeWorkerTelemetryTest, WiderShardGrowsTheMerged) {
+  // A later sweep run with more workers must extend the merged table; the existing
+  // rows keep their sums and the new row starts from the shard's values.
+  std::vector<WorkerTelemetry> into;
+  std::vector<WorkerTelemetry> narrow(1);
+  narrow[0] = WorkerTelemetry{0, 5, 5, 0, 1.0};
+  std::vector<WorkerTelemetry> wide(3);
+  wide[0] = WorkerTelemetry{0, 1, 1, 0, 0.1};
+  wide[1] = WorkerTelemetry{1, 2, 2, 1, 0.2};
+  wide[2] = WorkerTelemetry{2, 3, 3, 0, 0.3};
+  MergeWorkerTelemetry(into, narrow);
+  MergeWorkerTelemetry(into, wide);
+  ASSERT_EQ(into.size(), 3u);
+  EXPECT_EQ(into[0].trials, 6);
+  EXPECT_EQ(into[1].trials, 2);
+  EXPECT_EQ(into[2].worker, 2);
+  EXPECT_EQ(into[2].trials, 3);
+  // A narrower shard afterwards leaves the extra rows untouched.
+  MergeWorkerTelemetry(into, narrow);
+  ASSERT_EQ(into.size(), 3u);
+  EXPECT_EQ(into[0].trials, 11);
+  EXPECT_EQ(into[2].trials, 3);
 }
 
 // ---- Concurrency (exact totals; doubles as the TSan stress when sanitizers are on) ----
