@@ -106,6 +106,8 @@ int main(int argc, char** argv) {
                  "runs");
     reporter.Add(mechanism, row.problem, row.fault + "_cause_matched", cause_matched,
                  "runs");
+    reporter.Add(mechanism, row.problem, row.fault + "_flight_evicted",
+                 static_cast<double>(o.flight_evicted), "events");
 
     // One representative narrative per row in the JSON (the full per-seed set stays in
     // memory capped at kMaxStoredPostmortems; one is enough for the CI artifact).
@@ -122,9 +124,15 @@ int main(int argc, char** argv) {
 
     std::printf("%-18s %-28s %-12s %s\n", row.problem.c_str(), row.display.c_str(),
                 row.fault.c_str(), o.Summary().c_str());
-    if (row.problem == "bounded-buffer" && row.fault == "lost-signal" && o.harmful > 0 &&
-        o.Recall() < 1.0) {
-      std::printf("  GATE: bounded-buffer lost-signal recall %.2f < 1.00\n", o.Recall());
+    // Blocking recall gates: lost-signal is the detector's bread-and-butter fault, and
+    // the calibration golden shows every harmful one caught on both the buffer and the
+    // readers-writers cells — any regression from 1.00 recall is a detector bug.
+    const bool recall_gated =
+        (row.problem == "bounded-buffer" || row.problem == "rw-readers-priority") &&
+        row.fault == "lost-signal";
+    if (recall_gated && o.harmful > 0 && o.Recall() < 1.0) {
+      std::printf("  GATE: %s lost-signal recall %.2f < 1.00\n", row.problem.c_str(),
+                  o.Recall());
       gate_failed = true;
     }
     if (o.clean_anomalies > 0) {

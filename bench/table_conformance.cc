@@ -88,6 +88,10 @@ int main(int argc, char** argv) {
                  "schedules");
     reporter.Add(MechanismName(result.spec.mechanism), result.spec.problem,
                  "as_expected", result.AsExpected() ? 1 : 0, "bool");
+    // Observability health: total flight-ring evictions over the sweep. Non-zero
+    // means some postmortem windows were truncated (tune ring sizing if it grows).
+    reporter.Add(MechanismName(result.spec.mechanism), result.spec.problem,
+                 "flight_evicted", static_cast<double>(o.flight_evicted), "events");
     // One representative flight-recorder narrative per anomalous case for the v3
     // "postmortem" key (the sweep keeps at most kMaxStoredPostmortems per case).
     if (!o.postmortems.empty()) {

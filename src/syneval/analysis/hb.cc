@@ -1,0 +1,218 @@
+#include "syneval/analysis/hb.h"
+
+#include <deque>
+#include <map>
+#include <sstream>
+
+namespace syneval {
+
+namespace {
+
+// Simulated condition-variable wait set, mirroring DetCondVar: FIFO delivery to the
+// first queued waiter on NotifyOne, everyone on NotifyAll. A delivery carries the
+// signaller's clock; the waiter joins it at its notified kWake.
+struct CvState {
+  struct QueuedWaiter {
+    std::uint32_t thread = 0;
+  };
+  std::deque<QueuedWaiter> queue;
+  // thread -> clock of the signal delivered to it (consumed by its next kWake).
+  std::map<std::uint32_t, VectorClock> delivered;
+  // Deliveries whose target turned out to have timed out before collecting them
+  // (simulation/runtime divergence only possible with timed waits). Re-matchable by
+  // any later notified wake so timeouts never produce false violations.
+  std::vector<VectorClock> orphaned;
+};
+
+std::string ResourceName(const FlightRecorder* names, const void* resource) {
+  if (names != nullptr) {
+    return names->NameOf(resource);
+  }
+  std::ostringstream os;
+  os << resource;
+  return os.str();
+}
+
+// One recorded client access, kept per cell for the pairwise race check.
+struct ClientAccess {
+  std::uint32_t thread = 0;
+  std::uint64_t seq = 0;
+  bool store = false;
+  bool atomic = false;
+  VectorClock clock;  // The accessing thread's clock at the access.
+};
+
+}  // namespace
+
+HbAnalysis AnalyzeHappensBefore(const std::vector<FlightEvent>& events,
+                                const FlightRecorder* names) {
+  HbAnalysis analysis;
+  std::map<std::uint32_t, VectorClock> clocks;         // Per-thread clocks.
+  std::map<const void*, VectorClock> release_clocks;   // Mutex: latest kRelease.
+  std::map<const void*, bool> has_acquire;             // Resource shape classification.
+  std::map<const void*, CvState> cvs;
+  std::map<const void*, std::vector<ClientAccess>> cells;
+
+  // Classification pass: a resource with kAcquire/kRelease traffic is a mutex (or a
+  // mutex-like handoff); one with signal traffic or notified wakes is a condition
+  // variable. The sets are disjoint for DetRuntime/OsRuntime primitives. Resources
+  // with only kBlock/kWake and neither shape (e.g. join queues) need no clock edges.
+  std::map<const void*, bool> is_cv;
+  for (const FlightEvent& event : events) {
+    switch (event.type) {
+      case FlightEventType::kAcquire:
+      case FlightEventType::kRelease:
+        has_acquire[event.resource] = true;
+        break;
+      case FlightEventType::kSignal:
+      case FlightEventType::kBroadcast:
+        is_cv[event.resource] = true;
+        break;
+      case FlightEventType::kWake:
+        if (event.arg == 1) {
+          is_cv[event.resource] = true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  auto clock_of = [&clocks](std::uint32_t thread) -> VectorClock& {
+    VectorClock& clock = clocks[thread];
+    return clock;
+  };
+
+  for (const FlightEvent& event : events) {
+    VectorClock& clock = clock_of(event.thread);
+    clock.Bump(event.thread);
+    switch (event.type) {
+      case FlightEventType::kAcquire: {
+        auto it = release_clocks.find(event.resource);
+        if (it != release_clocks.end()) {
+          clock.Join(it->second);
+          ++analysis.joins;
+        }
+        break;
+      }
+      case FlightEventType::kRelease:
+        release_clocks[event.resource] = clock;
+        break;
+      case FlightEventType::kBlock:
+        if (is_cv.count(event.resource) != 0 && has_acquire.count(event.resource) == 0) {
+          cvs[event.resource].queue.push_back({event.thread});
+        }
+        break;
+      case FlightEventType::kSignal: {
+        auto it = cvs.find(event.resource);
+        if (it != cvs.end() && !it->second.queue.empty()) {
+          const std::uint32_t target = it->second.queue.front().thread;
+          it->second.queue.pop_front();
+          it->second.delivered[target] = clock;
+        }
+        break;
+      }
+      case FlightEventType::kBroadcast: {
+        auto it = cvs.find(event.resource);
+        if (it != cvs.end()) {
+          for (const CvState::QueuedWaiter& waiter : it->second.queue) {
+            it->second.delivered[waiter.thread] = clock;
+          }
+          it->second.queue.clear();
+        }
+        break;
+      }
+      case FlightEventType::kWake: {
+        if (is_cv.count(event.resource) == 0 || has_acquire.count(event.resource) != 0) {
+          break;  // Mutex wake: the following kAcquire carries the HB edge.
+        }
+        CvState& cv = cvs[event.resource];
+        if (event.arg == 1) {
+          auto it = cv.delivered.find(event.thread);
+          if (it != cv.delivered.end()) {
+            clock.Join(it->second);
+            cv.delivered.erase(it);
+            ++analysis.joins;
+            ++analysis.certified_wakeups;
+          } else if (!cv.orphaned.empty()) {
+            // A delivery the simulation mis-addressed to a timed-out waiter; this
+            // wake is the runtime's actual recipient.
+            clock.Join(cv.orphaned.back());
+            cv.orphaned.pop_back();
+            ++analysis.joins;
+            ++analysis.certified_wakeups;
+          } else {
+            HbWakeupViolation violation;
+            violation.thread = event.thread;
+            violation.resource = event.resource;
+            violation.seq = event.seq;
+            std::ostringstream os;
+            os << "thread " << event.thread << " woke notified on "
+               << ResourceName(names, event.resource) << " (seq " << event.seq
+               << ") but no signal delivery is happens-before ordered to it";
+            violation.detail = os.str();
+            analysis.uncertified.push_back(std::move(violation));
+          }
+        } else {
+          // Deadline wake: no causal edge. If the simulation had already delivered a
+          // signal to this thread, the runtime must have skipped it as timed out —
+          // orphan the delivery for the waiter the runtime actually chose.
+          ++analysis.timeout_wakeups;
+          auto it = cv.delivered.find(event.thread);
+          if (it != cv.delivered.end()) {
+            cv.orphaned.push_back(std::move(it->second));
+            cv.delivered.erase(it);
+          }
+        }
+        // Whether notified or timed out, the thread has left the wait set.
+        for (auto it = cv.queue.begin(); it != cv.queue.end(); ++it) {
+          if (it->thread == event.thread) {
+            cv.queue.erase(it);
+            break;
+          }
+        }
+        break;
+      }
+      case FlightEventType::kClientLoad:
+      case FlightEventType::kClientStore: {
+        ++analysis.client_accesses;
+        ClientAccess access;
+        access.thread = event.thread;
+        access.seq = event.seq;
+        access.store = event.type == FlightEventType::kClientStore;
+        access.atomic = event.arg == 1;
+        access.clock = clock;
+        std::vector<ClientAccess>& history = cells[event.resource];
+        for (const ClientAccess& prior : history) {
+          if (prior.thread == access.thread || (!prior.store && !access.store) ||
+              prior.atomic || access.atomic) {
+            continue;
+          }
+          if (!prior.clock.LessEq(access.clock)) {
+            HbRace race;
+            race.cell = event.resource;
+            race.first_thread = prior.thread;
+            race.second_thread = access.thread;
+            race.first_seq = prior.seq;
+            race.second_seq = access.seq;
+            std::ostringstream os;
+            os << "unordered " << (prior.store ? "store" : "load") << " (thread "
+               << prior.thread << ", seq " << prior.seq << ") and "
+               << (access.store ? "store" : "load") << " (thread " << access.thread
+               << ", seq " << access.seq << ") on "
+               << ResourceName(names, event.resource);
+            race.detail = os.str();
+            analysis.races.push_back(std::move(race));
+          }
+        }
+        history.push_back(std::move(access));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace syneval

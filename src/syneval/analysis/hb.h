@@ -1,0 +1,187 @@
+// Vector-clock happens-before engine over flight-recorder traces.
+//
+// The DPOR explorer (analysis/dpor.h) drives DetRuntime through every sync-relevant
+// interleaving of a cell; this engine certifies each explored execution. It replays
+// the flight events of one run (telemetry/flight_recorder.h) through per-thread
+// vector clocks, mirroring DetRuntime's primitive semantics exactly:
+//
+//   * Mutexes: kAcquire joins the clock published by the mutex's latest kRelease.
+//     Release clocks are monotone along a mutex's critical-section chain, so joining
+//     only the latest release yields the full transitive ordering.
+//   * Condition variables: the engine simulates the wait set the runtime maintains —
+//     kBlock enqueues the waiter, kSignal delivers to the front waiter (kBroadcast to
+//     all) and stores the signaller's clock as that waiter's pending delivery, and a
+//     kWake with arg==1 ("woken by notification") must find a pending delivery to
+//     join. A notified wake with no delivered signal is an *uncertified wakeup*: the
+//     runtime claims a notification happened that the happens-before order cannot
+//     account for (a lost/stolen signal made visible structurally, not by sampling).
+//   * Client state: kClientLoad/kClientStore events (recorded by SharedCell below)
+//     are checked pairwise — two accesses to the same cell from different threads,
+//     at least one a plain store, with neither clock ordered before the other, are
+//     reported as data races.
+//
+// Timed waits make the simulation conservative rather than exact: a waiter whose
+// deadline fired can be skipped by the runtime's NotifyOne while the simulation still
+// has it queued. Orphaned deliveries are therefore re-matchable (never reported as
+// violations), so the engine has no false positives on traces with timeouts; on the
+// timeout-free traces DPOR explores it is exact. Formulation follows the vector-clock
+// treatment in Aspnes' notes on logical clocks.
+
+#ifndef SYNEVAL_ANALYSIS_HB_H_
+#define SYNEVAL_ANALYSIS_HB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "syneval/runtime/runtime.h"
+#include "syneval/telemetry/flight_recorder.h"
+
+namespace syneval {
+
+// Grow-on-demand vector clock indexed by thread id. Thread ids are small dense
+// integers under both runtimes, so a flat vector beats a map.
+class VectorClock {
+ public:
+  std::uint64_t Get(std::uint32_t thread) const {
+    return thread < c_.size() ? c_[thread] : 0;
+  }
+
+  void Set(std::uint32_t thread, std::uint64_t value) {
+    if (c_.size() <= thread) {
+      c_.resize(thread + 1, 0);
+    }
+    c_[thread] = value;
+  }
+
+  void Bump(std::uint32_t thread) { Set(thread, Get(thread) + 1); }
+
+  // Component-wise maximum.
+  void Join(const VectorClock& other) {
+    if (c_.size() < other.c_.size()) {
+      c_.resize(other.c_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      if (other.c_[i] > c_[i]) {
+        c_[i] = other.c_[i];
+      }
+    }
+  }
+
+  // True when this clock is component-wise <= other (this happens-before-or-equals
+  // other). Strict happens-before for distinct events follows because clocks of
+  // distinct events are never equal (each event bumps its own component).
+  bool LessEq(const VectorClock& other) const {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > other.Get(static_cast<std::uint32_t>(i))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> c_;
+};
+
+// A notified wake the happens-before order cannot certify: no signal delivery maps
+// to it in the simulated wait set.
+struct HbWakeupViolation {
+  std::uint32_t thread = 0;
+  const void* resource = nullptr;
+  std::uint64_t seq = 0;  // Global seq of the offending kWake event.
+  std::string detail;
+};
+
+// Two conflicting client accesses unordered by happens-before.
+struct HbRace {
+  const void* cell = nullptr;
+  std::uint32_t first_thread = 0;
+  std::uint32_t second_thread = 0;
+  std::uint64_t first_seq = 0;
+  std::uint64_t second_seq = 0;
+  std::string detail;
+};
+
+struct HbAnalysis {
+  std::uint64_t joins = 0;              // HB edges applied (acquire + wake joins).
+  std::uint64_t certified_wakeups = 0;  // Notified wakes matched to a delivery.
+  std::uint64_t timeout_wakeups = 0;    // Deadline wakes (arg==0 on a condvar).
+  std::uint64_t client_accesses = 0;    // kClientLoad/kClientStore events seen.
+  std::vector<HbWakeupViolation> uncertified;
+  std::vector<HbRace> races;
+
+  bool clean() const { return uncertified.empty() && races.empty(); }
+};
+
+// Replays `events` (a FlightRecorder::Snapshot(), already in global seq order)
+// through the vector-clock machinery. `names`, when given, resolves resource
+// pointers to display names in violation/race details.
+HbAnalysis AnalyzeHappensBefore(const std::vector<FlightEvent>& events,
+                                const FlightRecorder* names = nullptr);
+
+// A shared scalar belonging to *client* problem state, instrumented so its accesses
+// enter the flight recorder (and therefore DPOR footprints and the race check).
+// Plain Load/Store model unsynchronized client accesses and are race-checked;
+// Atomic* accesses model deliberate lock-free coordination — they still create DPOR
+// dependences (arg==1 marks them) but are exempt from race reports. The value lives
+// in a std::atomic either way, so even a trace the checker flags as racy is
+// UB-free at the C++ level.
+template <typename T>
+class SharedCell {
+ public:
+  SharedCell(Runtime& runtime, const char* name, T initial = T{})
+      : runtime_(runtime), value_(initial) {
+    if (FlightRecorder* flight = runtime_.flight_recorder()) {
+      flight->RegisterName(this, name);
+    }
+  }
+
+  SharedCell(const SharedCell&) = delete;
+  SharedCell& operator=(const SharedCell&) = delete;
+
+  T Load() {
+    RecordAccess(FlightEventType::kClientLoad, /*atomic=*/false);
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void Store(T value) {
+    RecordAccess(FlightEventType::kClientStore, /*atomic=*/false);
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  T AtomicLoad() {
+    RecordAccess(FlightEventType::kClientLoad, /*atomic=*/true);
+    return value_.load(std::memory_order_seq_cst);
+  }
+
+  void AtomicStore(T value) {
+    RecordAccess(FlightEventType::kClientStore, /*atomic=*/true);
+    value_.store(value, std::memory_order_seq_cst);
+  }
+
+  T AtomicAdd(T delta) {
+    RecordAccess(FlightEventType::kClientStore, /*atomic=*/true);
+    return value_.fetch_add(delta, std::memory_order_seq_cst);
+  }
+
+  // Unrecorded read for oracles that inspect the final value after the run, from
+  // the (unmanaged) driver thread where CurrentThreadId() is unavailable.
+  T Peek() const { return value_.load(std::memory_order_seq_cst); }
+
+ private:
+  void RecordAccess(FlightEventType type, bool atomic) {
+    if (FlightRecorder* flight = runtime_.flight_recorder()) {
+      flight->Record(runtime_.CurrentThreadId(), type, this, runtime_.NowNanos(),
+                     atomic ? 1 : 0);
+    }
+  }
+
+  Runtime& runtime_;
+  std::atomic<T> value_;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_ANALYSIS_HB_H_

@@ -27,10 +27,16 @@ CriticalRegion::CriticalRegion(Runtime& runtime)
     // The when-waiter list behaves like a condition queue: waiters park there until a
     // releasing body makes their condition true.
     det_->RegisterResource(&waiting_, ResourceKind::kQueue, det_name_ + ".when");
+    // Rename the inner primitives after the region so wait-for edges and postmortem
+    // cycles keep the wrapper's identity instead of "mutex#N".
+    det_->RegisterResource(mu_.get(), ResourceKind::kLock, det_name_ + ".mu");
+    det_->RegisterResource(cv_.get(), ResourceKind::kCondition, det_name_ + ".cv");
   }
   if (FlightRecorder* flight = runtime.flight_recorder()) {
     const std::string name = flight->RegisterName(this, "CriticalRegion");
     flight->RegisterName(&waiting_, name + ".when");
+    flight->RegisterName(mu_.get(), name + ".mu");
+    flight->RegisterName(cv_.get(), name + ".cv");
   }
 }
 

@@ -55,6 +55,7 @@ struct TrialProbe {
     TrialReport report;
     report.anomalies = detector.counts();
     report.anomaly_report = detector.Report("; ");
+    report.flight_evicted = flight.evicted();
     if (!result.completed) {
       report.message = "runtime: " + result.report;
     } else {

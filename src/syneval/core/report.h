@@ -47,11 +47,24 @@ void WriteTelemetryProfileSection(std::ostream& out, int workload_scale = 1);
 // mechanism pair swept under matched fault-on / fault-off schedules per fault family,
 // rendered as the detector's calibration table — injected-fault recall, false-positive
 // rate on the matched clean sweeps, and mean steps from injection to detection.
-// Included in WriteEvaluationReport between the static-analysis and telemetry
-// sections. `seeds_per_case` trades precision for report runtime (each row costs
-// 2 × seeds_per_case deterministic runs).
-void WriteChaosCalibrationSection(std::ostream& out, int seeds_per_case = 10,
-                                  const ParallelOptions& parallel = {});
+// Included in WriteEvaluationReport between the static-analysis and DPOR sections.
+// `seeds_per_case` trades precision for report runtime (each row costs
+// 2 × seeds_per_case deterministic runs). Returns the computed table so later
+// sections (the DPOR cross-tab) can reuse it without re-running the grid.
+struct ChaosCalibrationTable;
+ChaosCalibrationTable WriteChaosCalibrationSection(std::ostream& out,
+                                                   int seeds_per_case = 10,
+                                                   const ParallelOptions& parallel = {});
+
+// Runs the exhaustive DPOR suite (analysis/dpor.h) and cross-tabulates the three
+// verification layers per suite cell: the DPOR verdict (proof / counterexample, with
+// the DPOR-vs-naive execution counts), the static path-expression / lint verdict for
+// the same (mechanism, problem) where a model exists, and the chaos lost-signal
+// recall from `chaos` (pass the table returned by WriteChaosCalibrationSection to
+// avoid re-running the grid; nullptr leaves the column unpopulated). Included in
+// WriteEvaluationReport between the chaos and telemetry sections.
+void WriteDporCrossTabSection(std::ostream& out, const ParallelOptions& parallel = {},
+                              const ChaosCalibrationTable* chaos = nullptr);
 
 }  // namespace syneval
 

@@ -58,6 +58,7 @@ ChaosReplayResult FinishTrial(const DetRuntime::RunResult& result,
   out.hung = result.deadlocked || result.step_limit;
   out.steps = result.steps;
   out.anomalies = detector.counts().total();
+  out.flight_evicted = flight.evicted();
   if (injector.has_value()) {
     out.injected = injector->injected_count();
     out.first_injection_step = injector->first_injection_nanos() / 1000;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/telemetry/flight_recorder.h"
 #include "syneval/telemetry/instrument.h"
 
 namespace syneval {
@@ -26,6 +27,15 @@ HoareMonitor::HoareMonitor(Runtime& runtime)
       cv_(runtime.CreateCondVar()) {
   if (det_ != nullptr) {
     det_name_ = det_->RegisterResource(this, ResourceKind::kLock, "HoareMonitor");
+    // Rename the inner primitives after the monitor so wait-for edges and postmortem
+    // cycles keep the wrapper's identity instead of an anonymous "mutex#N".
+    det_->RegisterResource(mu_.get(), ResourceKind::kLock, det_name_ + ".mu");
+    det_->RegisterResource(cv_.get(), ResourceKind::kCondition, det_name_ + ".cv");
+  }
+  if (FlightRecorder* flight = runtime.flight_recorder()) {
+    const std::string name = flight->RegisterName(this, "HoareMonitor");
+    flight->RegisterName(mu_.get(), name + ".mu");
+    flight->RegisterName(cv_.get(), name + ".cv");
   }
 }
 

@@ -86,6 +86,7 @@ void AccumulateTrial(const std::function<TrialReport(std::uint64_t)>& trial,
           SeedPostmortem{seed, report.postmortem_cause, std::move(report.postmortem)});
     }
   }
+  outcome.flight_evicted += report.flight_evicted;
 }
 
 void MergeOutcome(SweepOutcome& into, SweepOutcome&& chunk) {
@@ -110,6 +111,7 @@ void MergeOutcome(SweepOutcome& into, SweepOutcome&& chunk) {
     }
     into.postmortems.push_back(std::move(pm));
   }
+  into.flight_evicted += chunk.flight_evicted;
 }
 
 void AccumulateChaosTrial(
@@ -179,6 +181,7 @@ void AccumulateChaosTrial(
   if (off.hung || off.oracle_failed) {
     ++outcome.clean_failures;
   }
+  outcome.flight_evicted += on.flight_evicted + off.flight_evicted;
 }
 
 void MergeChaosOutcome(ChaosSweepOutcome& into, ChaosSweepOutcome&& chunk) {
@@ -205,6 +208,7 @@ void MergeChaosOutcome(ChaosSweepOutcome& into, ChaosSweepOutcome&& chunk) {
   for (const auto& [cause, count] : chunk.postmortem_causes) {
     into.postmortem_causes[cause] += count;
   }
+  into.flight_evicted += chunk.flight_evicted;
 }
 
 }  // namespace sweep_internal

@@ -37,6 +37,11 @@ struct TrialReport {
   std::string postmortem_cause;
   std::string postmortem;
 
+  // Flight-ring evictions during the trial (0 without a recorder). Non-zero means
+  // postmortem windows for this trial were truncated — degraded observability, not an
+  // anomaly, but worth surfacing so ring sizing can be tuned.
+  std::uint64_t flight_evicted = 0;
+
   bool Passed() const { return message.empty(); }
 };
 
@@ -70,6 +75,9 @@ struct SweepOutcome {
   // `postmortems_total` counts every trial that produced one (stored or not).
   std::vector<SeedPostmortem> postmortems;
   int postmortems_total = 0;
+
+  // Σ TrialReport::flight_evicted over all trials (observability degradation).
+  std::uint64_t flight_evicted = 0;
 
   bool AllPassed() const { return failures == 0; }
   bool AnomalyFree() const { return anomalies.Clean(); }
@@ -141,6 +149,9 @@ struct ChaosTrialOutcome {
   // Flight-recorder postmortem for an anomalous or hung trial (see TrialReport).
   std::string postmortem_cause;
   std::string postmortem;
+
+  // Flight-ring evictions during the trial (see TrialReport::flight_evicted).
+  std::uint64_t flight_evicted = 0;
 };
 
 // Aggregate of a matched sweep. Every seed is run twice — once with the plan attached,
@@ -173,6 +184,9 @@ struct ChaosSweepOutcome {
   std::vector<SeedPostmortem> postmortems;
   int postmortems_total = 0;
   std::map<std::string, int> postmortem_causes;
+
+  // Σ flight_evicted over both fault-on and fault-off runs.
+  std::uint64_t flight_evicted = 0;
 
   double Recall() const {
     return harmful == 0 ? -1.0 : static_cast<double>(detected_harmful) / harmful;

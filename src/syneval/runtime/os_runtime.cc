@@ -1,7 +1,10 @@
 #include "syneval/runtime/os_runtime.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <ctime>
+#include <fstream>
 #include <random>
 #include <utility>
 
@@ -11,6 +14,7 @@
 #include "syneval/runtime/deadline.h"
 #include "syneval/telemetry/flight_recorder.h"
 #include "syneval/telemetry/metrics.h"
+#include "syneval/telemetry/postmortem.h"
 #include "syneval/telemetry/tracer.h"
 
 namespace syneval {
@@ -35,6 +39,33 @@ FaultDecision ConsultInjector(OsRuntime* rt, FaultSite site) {
 }
 
 void SleepSteps(std::uint64_t steps) { std::this_thread::sleep_for(std::chrono::microseconds(steps)); }
+
+// When the sampling watchdog flags fresh anomalies and SYNEVAL_POSTMORTEM_DIR is set,
+// drop a postmortem artifact while the hang is still live — the same JSON the bench
+// reporter embeds, but captured at detection time instead of after the run unwinds.
+// File names carry a process-wide counter so repeated detections never clobber.
+void WriteWatchdogPostmortem(OsRuntime* rt, const AnomalyDetector* det) {
+  const char* dir = std::getenv("SYNEVAL_POSTMORTEM_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return;
+  }
+  const FlightRecorder* flight = rt->flight_recorder();
+  if (flight == nullptr) {
+    return;
+  }
+  const Postmortem pm = BuildPostmortem(*flight, det);
+  if (pm.empty()) {
+    return;
+  }
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t index = counter.fetch_add(1, std::memory_order_relaxed);
+  const std::string path =
+      std::string(dir) + "/watchdog_" + std::to_string(index) + ".json";
+  std::ofstream out(path);
+  if (out) {
+    out << pm.ToJson() << "\n";
+  }
+}
 
 // Timestamps for flight-recorder events. Postmortems order events by recording seq,
 // not time, so the few-ms resolution of CLOCK_MONOTONIC_COARSE (~5ns per read vs ~26ns
@@ -367,7 +398,10 @@ void OsRuntime::StartAnomalyWatchdog(WatchdogOptions options) {
       }
       lock.unlock();
       const std::int64_t now = static_cast<std::int64_t>(NowNanos());
-      det->Poll(now);
+      const int flagged = det->Poll(now);
+      if (flagged > 0) {
+        WriteWatchdogPostmortem(this, det);
+      }
 #if SYNEVAL_TELEMETRY_ENABLED
       // Watchdog findings are visible continuously through the registry, not only in
       // anomaly reports: current blocked-thread count, the oldest wait's age, and the
@@ -377,6 +411,11 @@ void OsRuntime::StartAnomalyWatchdog(WatchdogOptions options) {
         metrics->GetGauge("anomaly/blocked_threads").Set(snap.blocked_threads);
         metrics->GetGauge("anomaly/longest_wait_ns").Set(snap.longest_wait_nanos);
         metrics->GetGauge("anomaly/detections_total").Set(det->counts().total());
+        if (const FlightRecorder* flight = this->flight_recorder()) {
+          // Ring evictions to date: non-zero means postmortem windows are truncated.
+          metrics->GetGauge("telemetry/flight_evicted")
+              .Set(static_cast<std::int64_t>(flight->evicted()));
+        }
       }
 #endif
       lock.lock();

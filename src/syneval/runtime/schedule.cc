@@ -121,6 +121,42 @@ std::string PctSchedule::Describe() const {
   return os.str();
 }
 
+std::size_t GuidedSchedule::Pick(const std::vector<SchedCandidate>& candidates,
+                                 std::uint64_t step) {
+  Decision decision;
+  decision.step = step;
+  decision.candidates.reserve(candidates.size());
+  for (const SchedCandidate& candidate : candidates) {
+    decision.candidates.push_back(candidate.thread_id);
+  }
+  std::size_t index = 0;  // Fallback: candidates arrive ordered by id, so 0 = lowest.
+  if (pos_ < prefix_.size()) {
+    const std::uint32_t wanted = prefix_[pos_++];
+    bool found = false;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].thread_id == wanted) {
+        index = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // The prefix was recorded against a different state than the one reached —
+      // possible only if the caller's replay premise is wrong. Flag rather than guess.
+      diverged_ = true;
+    }
+  }
+  decision.chosen = candidates[index].thread_id;
+  decisions_.push_back(std::move(decision));
+  return index;
+}
+
+std::string GuidedSchedule::Describe() const {
+  std::ostringstream os;
+  os << "guided(prefix=" << prefix_.size() << ", taken=" << decisions_.size() << ")";
+  return os.str();
+}
+
 std::unique_ptr<Schedule> MakeRandomSchedule(std::uint64_t seed) {
   return std::make_unique<RandomSchedule>(seed);
 }

@@ -100,6 +100,41 @@ class PctSchedule : public Schedule {
   std::vector<double> priorities_;  // Indexed by thread id, grown on demand.
 };
 
+// Deterministic prefix-guided schedule, the execution seam of the DPOR explorer
+// (analysis/dpor.h). The first `prefix.size()` scheduling decisions follow the given
+// thread ids exactly; every later decision falls back to the lowest-id runnable
+// thread. Unlike ScriptedSchedule the prefix is an *obligation*: a prefix entry naming
+// a thread that is not runnable marks the schedule diverged (the explorer treats the
+// state as unreachable) instead of being silently skipped. Every decision — candidate
+// set and chosen thread — is recorded, so the caller can reconstruct the execution
+// tree node by node.
+class GuidedSchedule : public Schedule {
+ public:
+  struct Decision {
+    std::vector<std::uint32_t> candidates;  // Runnable thread ids, ascending.
+    std::uint32_t chosen = 0;
+    std::uint64_t step = 0;  // Scheduler step of this Pick (jumps past timed waits).
+  };
+
+  explicit GuidedSchedule(std::vector<std::uint32_t> prefix) : prefix_(std::move(prefix)) {}
+
+  std::size_t Pick(const std::vector<SchedCandidate>& candidates, std::uint64_t step) override;
+  std::string Describe() const override;
+
+  // Decisions in the order taken (index 0 = first Pick). Valid after the run.
+  const std::vector<Decision>& decisions() const { return decisions_; }
+
+  // True when a prefix entry named a thread that was not runnable at its step; the
+  // recorded decisions stop being meaningful past that point.
+  bool diverged() const { return diverged_; }
+
+ private:
+  std::vector<std::uint32_t> prefix_;
+  std::size_t pos_ = 0;
+  std::vector<Decision> decisions_;
+  bool diverged_ = false;
+};
+
 std::unique_ptr<Schedule> MakeRandomSchedule(std::uint64_t seed);
 
 }  // namespace syneval

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/telemetry/flight_recorder.h"
 #include "syneval/telemetry/instrument.h"
 
 namespace syneval {
@@ -27,6 +28,15 @@ Serializer::Serializer(Runtime& runtime)
   if (det_ != nullptr) {
     // Possession is exclusive, so the serializer itself registers as a lock.
     det_name_ = det_->RegisterResource(this, ResourceKind::kLock, "Serializer");
+    // Rename the inner primitives after the serializer so wait-for edges and
+    // postmortem cycles keep the wrapper's identity instead of "mutex#N".
+    det_->RegisterResource(mu_.get(), ResourceKind::kLock, det_name_ + ".mu");
+    det_->RegisterResource(cv_.get(), ResourceKind::kCondition, det_name_ + ".cv");
+  }
+  if (FlightRecorder* flight = runtime.flight_recorder()) {
+    const std::string name = flight->RegisterName(this, "Serializer");
+    flight->RegisterName(mu_.get(), name + ".mu");
+    flight->RegisterName(cv_.get(), name + ".cv");
   }
 }
 

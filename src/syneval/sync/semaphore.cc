@@ -1,9 +1,32 @@
 #include "syneval/sync/semaphore.h"
 
 #include "syneval/anomaly/detector.h"
+#include "syneval/telemetry/flight_recorder.h"
 #include "syneval/telemetry/instrument.h"
 
 namespace syneval {
+
+namespace {
+
+// Renames a wrapper's inner mutex/condvar after the wrapper itself, so detector
+// wait-for edges and postmortem cycles read "CountingSemaphore#4.mu (acquired at
+// seq …)" instead of the anonymous "mutex#7" CreateMutex assigned. The wrapper name
+// is already unique, so the derived bases never collide.
+void NameInnerPrimitives(Runtime& runtime, AnomalyDetector* det, const void* self,
+                         const char* base, RtMutex* mu, RtCondVar* cv) {
+  if (det != nullptr) {
+    const std::string name = det->RegisterResource(self, ResourceKind::kSemaphore, base);
+    det->RegisterResource(mu, ResourceKind::kLock, name + ".mu");
+    det->RegisterResource(cv, ResourceKind::kCondition, name + ".cv");
+  }
+  if (FlightRecorder* flight = runtime.flight_recorder()) {
+    const std::string name = flight->RegisterName(self, base);
+    flight->RegisterName(mu, name + ".mu");
+    flight->RegisterName(cv, name + ".cv");
+  }
+}
+
+}  // namespace
 
 CountingSemaphore::CountingSemaphore(Runtime& runtime, std::int64_t initial)
     : runtime_(runtime),
@@ -12,9 +35,7 @@ CountingSemaphore::CountingSemaphore(Runtime& runtime, std::int64_t initial)
       mu_(runtime.CreateMutex()),
       cv_(runtime.CreateCondVar()),
       count_(initial) {
-  if (det_ != nullptr) {
-    det_->RegisterResource(this, ResourceKind::kSemaphore, "CountingSemaphore");
-  }
+  NameInnerPrimitives(runtime, det_, this, "CountingSemaphore", mu_.get(), cv_.get());
 }
 
 void CountingSemaphore::P() { P(nullptr); }
@@ -124,9 +145,7 @@ BinarySemaphore::BinarySemaphore(Runtime& runtime, bool initially_open)
       mu_(runtime.CreateMutex()),
       cv_(runtime.CreateCondVar()),
       open_(initially_open) {
-  if (det_ != nullptr) {
-    det_->RegisterResource(this, ResourceKind::kSemaphore, "BinarySemaphore");
-  }
+  NameInnerPrimitives(runtime, det_, this, "BinarySemaphore", mu_.get(), cv_.get());
 }
 
 void BinarySemaphore::P() { P(nullptr); }
@@ -230,9 +249,7 @@ FifoSemaphore::FifoSemaphore(Runtime& runtime, std::int64_t initial)
       mu_(runtime.CreateMutex()),
       cv_(runtime.CreateCondVar()),
       count_(initial) {
-  if (det_ != nullptr) {
-    det_->RegisterResource(this, ResourceKind::kSemaphore, "FifoSemaphore");
-  }
+  NameInnerPrimitives(runtime, det_, this, "FifoSemaphore", mu_.get(), cv_.get());
 }
 
 void FifoSemaphore::P() { P(nullptr, nullptr); }

@@ -29,6 +29,10 @@ const char* FlightEventTypeName(FlightEventType type) {
       return "fault";
     case FlightEventType::kGuardRetest:
       return "guard-retest";
+    case FlightEventType::kClientLoad:
+      return "client-load";
+    case FlightEventType::kClientStore:
+      return "client-store";
   }
   return "?";
 }

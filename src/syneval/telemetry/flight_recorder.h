@@ -63,6 +63,12 @@ enum class FlightEventType : std::uint8_t {
   kBroadcast = 8,   // NotifyAll delivered on resource (arg = waiters before delivery).
   kFaultFired = 9,  // Injected fault fired (arg = FaultKind; resource = site label).
   kGuardRetest = 10,  // CCR exit-time guard re-test (arg = 1 when satisfied/admitted).
+  // Client problem-state accesses (resource = the client cell, e.g. a SharedCell<T>
+  // from analysis/hb.h). Recorded by instrumented workloads so the happens-before
+  // engine can flag unordered conflicting accesses as races; never recorded by
+  // mechanisms or runtimes themselves.
+  kClientLoad = 11,
+  kClientStore = 12,
 };
 
 // Short name: "op-request", "block", "signal", "fault", ...
