@@ -8,18 +8,21 @@
 // Everything runs under DetRuntime, so the table is a pure function of the suite and
 // the seed range: CI diffs the --json output against tests/golden/chaos_calibration.json
 // and this binary exits non-zero when a calibration gate fails (recall below 100% on
-// the bounded-buffer lost-signal row, any false positive anywhere, or — with telemetry
-// compiled in — a postmortem naming a cause other than the injected fault family).
+// any lost-signal row with harmful runs — every footnote-2 problem family is gated —
+// any false positive anywhere, or — with telemetry compiled in — a postmortem naming
+// a cause other than the injected fault family).
 //
 // --trace=<path> replays the first flagged trial with the tracer attached and exports
 // a Perfetto trace with the postmortem narrative overlaid as a "postmortem" track.
 
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "bench/harness.h"
 #include "syneval/fault/chaos.h"
+#include "syneval/runtime/checkpoint.h"
 #include "syneval/telemetry/perfetto.h"
 #include "syneval/telemetry/telemetry.h"
 #include "syneval/telemetry/tracer.h"
@@ -70,12 +73,23 @@ int main(int argc, char** argv) {
   syneval::bench::Reporter reporter(options);
 
   // The calibration table is bit-identical at any worker count (deterministic merge in
-  // runtime/parallel_sweep.h), so the golden-file diff is safe under --jobs.
+  // runtime/parallel_sweep.h), so the golden-file diff is safe under --jobs — and
+  // under --resume, which restores already-folded chunks from the checkpoint file.
+  const std::unique_ptr<syneval::CheckpointStore> store =
+      syneval::bench::MakeCheckpointStore(options);
+  syneval::ParallelOptions parallel = options.Parallel();
+  if (store != nullptr) {
+    parallel.checkpoint = store.get();
+    parallel.checkpoint_scope = options.bench;  // RunChaosCalibration scopes per row.
+  }
   const syneval::ChaosCalibrationTable table = syneval::RunChaosCalibration(
-      options.SeedsOr(kSeedsPerCase), /*base_seed=*/1, /*workload_scale=*/1,
-      options.Parallel());
+      options.SeedsOr(kSeedsPerCase), /*base_seed=*/1, /*workload_scale=*/1, parallel);
   reporter.SetSweepInfo(table.jobs, table.wall_seconds);
   reporter.SetWorkers(table.workers);
+  if (store != nullptr) {
+    std::printf("resume: %d chunk(s) restored, %d now checkpointed in %s\n",
+                store->hits(), store->size(), store->path().c_str());
+  }
 
   bool gate_failed = false;
   for (const syneval::ChaosCalibrationRow& row : table.rows) {
@@ -125,11 +139,10 @@ int main(int argc, char** argv) {
     std::printf("%-18s %-28s %-12s %s\n", row.problem.c_str(), row.display.c_str(),
                 row.fault.c_str(), o.Summary().c_str());
     // Blocking recall gates: lost-signal is the detector's bread-and-butter fault, and
-    // the calibration golden shows every harmful one caught on both the buffer and the
-    // readers-writers cells — any regression from 1.00 recall is a detector bug.
-    const bool recall_gated =
-        (row.problem == "bounded-buffer" || row.problem == "rw-readers-priority") &&
-        row.fault == "lost-signal";
+    // the calibration golden shows every harmful one caught across *all* footnote-2
+    // problem families in the suite — any regression from 1.00 recall is a detector
+    // bug. (Rows with no harmful runs are vacuous and skipped.)
+    const bool recall_gated = row.fault == "lost-signal";
     if (recall_gated && o.harmful > 0 && o.Recall() < 1.0) {
       std::printf("  GATE: %s lost-signal recall %.2f < 1.00\n", row.problem.c_str(),
                   o.Recall());

@@ -7,10 +7,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "bench/harness.h"
 #include "syneval/core/report.h"
+#include "syneval/runtime/checkpoint.h"
 
 int main(int argc, char** argv) {
   syneval::bench::Options options =
@@ -20,6 +22,15 @@ int main(int argc, char** argv) {
   syneval::ReportOptions report_options;
   report_options.conformance_seeds = options.SeedsOr(15);
   report_options.parallel = options.Parallel();
+  // --resume: the report's conformance and chaos sweeps checkpoint their chunks (the
+  // suite functions scope keys per case/row); a killed run picks up where it left off
+  // and the report text stays bit-identical. The DPOR section opts itself out.
+  const std::unique_ptr<syneval::CheckpointStore> store =
+      syneval::bench::MakeCheckpointStore(options);
+  if (store != nullptr) {
+    report_options.parallel.checkpoint = store.get();
+    report_options.parallel.checkpoint_scope = options.bench;
+  }
 
   std::ostringstream buffer;
   const double wall_seconds = syneval::bench::TimeSeconds(
@@ -46,6 +57,10 @@ int main(int argc, char** argv) {
               report.size());
   if (tail != std::string::npos) {
     std::printf("%s\n", report.substr(tail).c_str());
+  }
+  if (store != nullptr) {
+    std::printf("resume: %d chunk(s) restored, %d now checkpointed in %s\n",
+                store->hits(), store->size(), store->path().c_str());
   }
   std::printf("report generated in %.3fs (conformance seeds per case: %d)\n",
               wall_seconds, report_options.conformance_seeds);

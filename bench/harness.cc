@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "syneval/core/scorecard.h"
+#include "syneval/runtime/checkpoint.h"
 #include "syneval/telemetry/metrics.h"
 
 namespace syneval {
@@ -18,12 +19,15 @@ namespace {
 
 void PrintUsage(const std::string& bench_name, std::ostream& os) {
   os << "usage: " << bench_name << " [flags]\n"
-     << "  --json=<path>     write machine-readable results (schema_version 3)\n"
+     << "  --json=<path>     write machine-readable results (schema_version 4)\n"
      << "  --trace=<path>    write a Perfetto/Chrome trace (when the bench records one)\n"
      << "  --repeats=<n>     measured repetitions per configuration (default 3)\n"
      << "  --warmup=<n>      unrecorded warmup repetitions (default 1)\n"
      << "  --jobs=<n>        sweep workers; 0 = auto via SYNEVAL_JOBS/hardware (default 0)\n"
      << "  --seeds=<n>       schedule seeds per sweep; 0 = bench default (default 0)\n"
+     << "  --resume=<path>   checkpoint file: restore folded chunks, snapshot new ones\n"
+     << "  --trial-deadline=<ms>  per-trial deadline for supervised benches (0 = off)\n"
+     << "  --quarantine-out=<path>  write quarantine.json (supervised benches)\n"
      << "  --help            this message\n";
 }
 
@@ -70,6 +74,17 @@ Options ParseArgs(int argc, char** argv, const std::string& bench_name) {
   return ParseArgs(argc, argv, bench_name, nullptr);
 }
 
+std::unique_ptr<CheckpointStore> MakeCheckpointStore(const Options& options) {
+  if (options.resume_path.empty()) {
+    return nullptr;
+  }
+  auto store = std::make_unique<CheckpointStore>(options.resume_path);
+  const int loaded = store->Load();
+  std::printf("resume: %d checkpointed chunk(s) loaded from %s\n", loaded,
+              options.resume_path.c_str());
+  return store;
+}
+
 Options ParseArgs(int argc, char** argv, const std::string& bench_name,
                   std::map<std::string, std::string>* extras) {
   Options options;
@@ -104,6 +119,15 @@ Options ParseArgs(int argc, char** argv, const std::string& bench_name,
         std::cerr << bench_name << ": bad --seeds value '" << value << "'\n";
         std::exit(2);
       }
+    } else if (MatchFlag(arg, "--resume=", &value)) {
+      options.resume_path = value;
+    } else if (MatchFlag(arg, "--trial-deadline=", &value)) {
+      if (!ParseInt(value, &options.trial_deadline_ms) || options.trial_deadline_ms < 0) {
+        std::cerr << bench_name << ": bad --trial-deadline value '" << value << "'\n";
+        std::exit(2);
+      }
+    } else if (MatchFlag(arg, "--quarantine-out=", &value)) {
+      options.quarantine_path = value;
     } else if (extras != nullptr && arg.rfind("--", 0) == 0 &&
                arg.find('=') != std::string::npos) {
       // Bench-specific flag: "--key=value" with the caller left to validate keys.
@@ -166,6 +190,11 @@ void Reporter::SetWorkers(std::vector<WorkerTelemetry> workers) {
   workers_ = std::move(workers);
 }
 
+void Reporter::SetSupervisor(const SupervisorStats& stats) {
+  have_supervisor_ = true;
+  supervisor_ = stats;
+}
+
 void Reporter::AddPostmortem(PostmortemEntry entry) {
   postmortems_.push_back(std::move(entry));
 }
@@ -179,9 +208,9 @@ std::string Reporter::WorkerTable() const {
   for (const WorkerTelemetry& w : workers_) {
     rows.push_back({std::to_string(w.worker), std::to_string(w.trials),
                     std::to_string(w.chunks), std::to_string(w.steals),
-                    FormatValue(w.wall_seconds)});
+                    std::to_string(w.cached), FormatValue(w.wall_seconds)});
   }
-  return RenderTable({"worker", "trials", "chunks", "steals", "wall_s"}, rows);
+  return RenderTable({"worker", "trials", "chunks", "steals", "cached", "wall_s"}, rows);
 }
 
 std::string Reporter::Table() const {
@@ -198,7 +227,7 @@ bool Reporter::Finish() const {
     return true;
   }
   std::ostringstream out;
-  out << "{\"schema_version\":3,\"bench\":\"" << JsonEscape(options_.bench) << "\"";
+  out << "{\"schema_version\":4,\"bench\":\"" << JsonEscape(options_.bench) << "\"";
   // Sweep-pool accounting goes in top-level keys, never in "results": the result rows
   // must stay deterministic for golden-file diffs, and timings are machine-dependent.
   if (have_sweep_info_) {
@@ -214,9 +243,16 @@ bool Reporter::Finish() const {
       }
       out << "{\"worker\":" << w.worker << ",\"trials\":" << w.trials
           << ",\"chunks\":" << w.chunks << ",\"steals\":" << w.steals
+          << ",\"cached\":" << w.cached
           << ",\"wall_seconds\":" << FormatValue(w.wall_seconds) << "}";
     }
     out << "]";
+  }
+  if (have_supervisor_) {
+    out << ",\"supervisor\":{\"reaped\":" << supervisor_.reaped
+        << ",\"crashed\":" << supervisor_.crashed
+        << ",\"retried\":" << supervisor_.retried
+        << ",\"quarantined\":" << supervisor_.quarantined << "}";
   }
   if (!postmortems_.empty()) {
     out << ",\"postmortem\":[";

@@ -11,6 +11,13 @@
 //       --jobs=<n>        sweep worker count (0 = auto: SYNEVAL_JOBS env, then
 //                         hardware_concurrency; sweeps are bit-identical at any n)
 //       --seeds=<n>       schedule seeds per sweep (0 = the bench's default count)
+//       --resume=<path>   checkpoint snapshot file (runtime/checkpoint.h): chunks
+//                         already folded in a previous (possibly killed) run are
+//                         restored instead of re-run; the merged outcome is
+//                         bit-identical to an uninterrupted sweep
+//       --trial-deadline=<ms>  per-trial wall-clock budget for supervised benches
+//                         (runtime/supervisor.h); 0 disables reaping
+//       --quarantine-out=<path>  where supervised benches write quarantine.json
 //     Unknown flags are rejected with a usage message so CI typos fail loudly.
 //
 //   * Stopwatch / Repeat — warmup + repeat + outlier handling. Repeat reports the
@@ -21,12 +28,14 @@
 //   * Reporter — collects {bench, mechanism, problem, metric, value, unit} rows,
 //     renders them as a text table, and writes the stable JSON schema:
 //
-//       {"schema_version": 3,
+//       {"schema_version": 4,
 //        "bench": "<name>",
 //        "jobs": <n>,                  // only when the bench ran a sweep pool
 //        "wall_seconds": <x>,          // ditto
 //        "workers": [{"worker": 0, "trials": ..., "chunks": ..., "steals": ...,
-//                     "wall_seconds": ...}, ...],   // ditto: per-worker shards
+//                     "cached": ..., "wall_seconds": ...}, ...],  // ditto: per-worker
+//        "supervisor": {"reaped": ..., "crashed": ..., "retried": ...,
+//                       "quarantined": ...},        // only for supervised benches
 //        "postmortem": [{"mechanism": "...", "problem": "...", "seed": <n>,
 //                        "cause": "...", "text": "...",
 //                        "detail": {...}}, ...],    // only when postmortems occurred
@@ -38,10 +47,12 @@
 //     existing with these names. schema_version 2 added the optional top-level
 //     jobs/wall_seconds/workers keys (the "results" rows are unchanged from v1);
 //     schema_version 3 added the optional top-level "postmortem" array (flight-recorder
-//     narratives of anomalous trials — see src/syneval/telemetry/postmortem.h). The
-//     worker telemetry and postmortems deliberately live OUTSIDE "results" so golden-
-//     file diffs over the deterministic rows never see machine-dependent timings or
-//     multi-line narratives.
+//     narratives of anomalous trials — see src/syneval/telemetry/postmortem.h);
+//     schema_version 4 added the optional top-level "supervisor" counters
+//     (runtime/supervisor.h) and the "cached" field on worker rows (chunks restored
+//     from a --resume checkpoint). The worker telemetry, supervisor counters, and
+//     postmortems deliberately live OUTSIDE "results" so golden-file diffs over the
+//     deterministic rows never see machine-dependent timings or multi-line narratives.
 
 #ifndef SYNEVAL_BENCH_HARNESS_H_
 #define SYNEVAL_BENCH_HARNESS_H_
@@ -50,12 +61,17 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "syneval/runtime/parallel_sweep.h"
+#include "syneval/runtime/supervisor.h"
 
 namespace syneval {
+
+class CheckpointStore;
+
 namespace bench {
 
 struct Options {
@@ -67,6 +83,9 @@ struct Options {
   int jobs = 0;            // --jobs=<n>; 0 = auto (see ResolveJobs). Sweep benches
                            // feed this into ParallelOptions; timing benches ignore it.
   int seeds = 0;           // --seeds=<n>; 0 = the bench's built-in seed count.
+  std::string resume_path;  // --resume=<path>; empty = no checkpointing.
+  int trial_deadline_ms = 0;     // --trial-deadline=<ms>; 0 = no reaping.
+  std::string quarantine_path;   // --quarantine-out=<path>; empty = don't write.
 
   // The sweep pool configuration this bench should use (jobs passed through; 0 stays
   // "auto" so SYNEVAL_JOBS and hardware_concurrency apply at resolve time).
@@ -77,6 +96,15 @@ struct Options {
   }
   int SeedsOr(int fallback) const { return seeds > 0 ? seeds : fallback; }
 };
+
+// Builds (and Load()s) the checkpoint store for --resume; nullptr when the flag was
+// not given. The bench attaches it via ParallelOptions::checkpoint with the bench
+// name as the scope root, and keeps it alive for the duration of its sweeps:
+//
+//   auto store = MakeCheckpointStore(options);
+//   ParallelOptions parallel = options.Parallel();
+//   if (store) { parallel.checkpoint = store.get(); parallel.checkpoint_scope = options.bench; }
+std::unique_ptr<CheckpointStore> MakeCheckpointStore(const Options& options);
 
 // Parses the uniform flags. On --help or an unknown/malformed flag, prints usage and
 // exits (0 for --help, 2 otherwise) — benches have no flags of their own.
@@ -142,6 +170,10 @@ class Reporter {
   void SetSweepInfo(int jobs, double wall_seconds);
   void SetWorkers(std::vector<WorkerTelemetry> workers);
 
+  // Supervision counters for benches that ran supervised trials: emitted as the
+  // top-level "supervisor" object of the v4 schema.
+  void SetSupervisor(const SupervisorStats& stats);
+
   // One retained postmortem, emitted under the top-level "postmortem" array of the
   // v3 schema. `detail_json` is an optional pre-rendered JSON object
   // (Postmortem::ToJson()) embedded verbatim as the entry's "detail" key.
@@ -184,6 +216,8 @@ class Reporter {
   int sweep_jobs_ = 0;
   double sweep_wall_seconds_ = 0;
   std::vector<WorkerTelemetry> workers_;
+  bool have_supervisor_ = false;
+  SupervisorStats supervisor_;
   std::vector<PostmortemEntry> postmortems_;
 };
 

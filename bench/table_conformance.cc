@@ -10,9 +10,11 @@
 // exports a Perfetto trace with the postmortem narrative overlaid.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench/harness.h"
 #include "syneval/core/conformance.h"
+#include "syneval/runtime/checkpoint.h"
 #include "syneval/core/scorecard.h"
 #include "syneval/telemetry/perfetto.h"
 #include "syneval/telemetry/tracer.h"
@@ -61,18 +63,29 @@ int main(int argc, char** argv) {
 
   // Run each case through the pool directly (rather than RunConformanceSuite) so the
   // per-worker telemetry shards can be merged across cases for the v2 JSON schema.
+  const std::unique_ptr<CheckpointStore> store = bench::MakeCheckpointStore(options);
   std::vector<ConformanceResult> results;
   std::vector<WorkerTelemetry> workers;
   int jobs = 1;
   double wall_seconds = 0;
   for (const ConformanceCase& conformance_case : BuildConformanceSuite()) {
+    ParallelOptions parallel = options.Parallel();
+    if (store != nullptr) {
+      parallel.checkpoint = store.get();
+      // Per-case key namespace, mirroring RunConformanceSuite's scoping.
+      parallel.checkpoint_scope = options.bench + "/" + conformance_case.problem +
+                                  "/" + conformance_case.display;
+    }
     ParallelSweepResult sweep =
-        ParallelSweepSchedules(seeds, conformance_case.trial, /*base_seed=*/1,
-                               options.Parallel());
+        ParallelSweepSchedules(seeds, conformance_case.trial, /*base_seed=*/1, parallel);
     jobs = sweep.jobs;
     wall_seconds += sweep.wall_seconds;
     MergeWorkerTelemetry(workers, sweep.workers);
     results.push_back(ConformanceResult{conformance_case, std::move(sweep.outcome)});
+  }
+  if (store != nullptr) {
+    std::printf("resume: %d chunk(s) restored, %d now checkpointed in %s\n",
+                store->hits(), store->size(), store->path().c_str());
   }
   std::printf("%s\n", RenderConformanceTable(results).c_str());
 

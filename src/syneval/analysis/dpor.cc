@@ -805,9 +805,16 @@ DporSuiteResult ExploreDporSuite(const std::vector<DporCell>& suite,
     cells[index] = ExploreCell(suite[index], options);
     return TrialReport{};
   };
+  // The pool is used only for parallelism here: cell results are SIDE EFFECTS of the
+  // trial (written into `cells` by index) and the folded TrialReports are empty. A
+  // checkpoint-restored chunk would skip the trial and leave its cells unexplored, so
+  // checkpointing is stripped even when the caller sweeps everything else with it.
+  ParallelOptions pool = parallel;
+  pool.checkpoint = nullptr;
+  pool.checkpoint_scope.clear();
   const ParallelSweepResult sweep = ParallelSweepSchedules(
       static_cast<int>(suite.size()), std::function<TrialReport(std::uint64_t)>(trial),
-      /*base_seed=*/1, parallel);
+      /*base_seed=*/1, pool);
   result.jobs = sweep.jobs;
   result.wall_seconds = sweep.wall_seconds;
   result.workers = sweep.workers;

@@ -393,6 +393,20 @@ void AnomalyDetector::SetAborting(bool aborting) {
   aborting_ = aborting;
 }
 
+void AnomalyDetector::SetPollThresholdScale(int scale) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  poll_threshold_scale_ = scale < 1 ? 1 : scale;
+}
+
+std::int64_t AnomalyDetector::effective_stuck_wait_nanos() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return EffectiveStuckWaitLocked();
+}
+
+std::int64_t AnomalyDetector::EffectiveStuckWaitLocked() const {
+  return options_.stuck_wait_nanos * poll_threshold_scale_;
+}
+
 int AnomalyDetector::DiagnoseStuck() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (frozen_ || aborting_) {
@@ -423,7 +437,7 @@ int AnomalyDetector::Poll(std::int64_t now_nanos) {
       continue;
     }
     WaitRecord& record = info.waits.front();
-    if (record.flagged || now_nanos - record.wall_nanos < options_.stuck_wait_nanos) {
+    if (record.flagged || now_nanos - record.wall_nanos < EffectiveStuckWaitLocked()) {
       continue;
     }
     std::string cycle_text;

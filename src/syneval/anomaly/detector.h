@@ -133,6 +133,18 @@ class AnomalyDetector : public TraceObserver {
   // OS runtime can suspend observation during a controlled stop and resume after.
   void SetAborting(bool aborting);
 
+  // ---- Load-adaptive Poll threshold ----
+
+  // Scales the Poll() stuck-wait threshold: waits are flagged only when older than
+  // options.stuck_wait_nanos × max(1, scale). The OsRuntime watchdog sets this every
+  // cycle from the process-wide active-trial count (supervisor.h's ActiveTrials()), so
+  // a fully-loaded parallel sweep — where every trial runs slower by roughly the
+  // oversubscription factor — doesn't read ordinary scheduling delay as starvation.
+  void SetPollThresholdScale(int scale);
+
+  // The threshold Poll() currently applies (base × scale), for gauge export.
+  std::int64_t effective_stuck_wait_nanos() const;
+
   // ---- Diagnosis ----
 
   // Exact diagnosis for a globally stuck deterministic run: classifies every blocked
@@ -239,8 +251,11 @@ class AnomalyDetector : public TraceObserver {
   void ClassifyBlockedLocked(std::uint32_t thread, const WaitRecord& record,
                              std::set<std::string>* reported_cycles);
 
+  std::int64_t EffectiveStuckWaitLocked() const;
+
   Options options_;
   TraceRecorder* trace_ = nullptr;
+  int poll_threshold_scale_ = 1;
 
   mutable std::recursive_mutex mu_;
   std::uint64_t clock_ = 0;  // Advances on every hook call; orders waits vs. signals.

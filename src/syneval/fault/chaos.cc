@@ -339,8 +339,16 @@ ChaosCalibrationTable RunChaosCalibration(int seeds_per_case, std::uint64_t base
       row.display = chaos_case.display;
       row.fault = family.name;
       row.plan = family.plan_text;
+      // Per-row key namespace under checkpointing (see RunConformanceSuite): the
+      // chunk keys alone cannot distinguish rows, and the scope pins the scale.
+      ParallelOptions scoped = parallel;
+      if (scoped.checkpoint != nullptr) {
+        scoped.checkpoint_scope += "/chaos/" + chaos_case.problem + "/" +
+                                   chaos_case.display + "/" + family.name + "/scale" +
+                                   std::to_string(workload_scale);
+      }
       ParallelChaosResult sweep =
-          ParallelSweepChaos(seeds_per_case, chaos_case.trial, plan, base_seed, parallel);
+          ParallelSweepChaos(seeds_per_case, chaos_case.trial, plan, base_seed, scoped);
       row.outcome = std::move(sweep.outcome);
       table.jobs = sweep.jobs;
       MergeWorkerTelemetry(table.workers, sweep.workers);

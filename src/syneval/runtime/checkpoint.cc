@@ -1,0 +1,458 @@
+#include "syneval/runtime/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace syneval {
+
+namespace {
+
+// Field-record helpers. A record is "k=v;k=v;..." where every key and value has been
+// through CheckpointEscape, so splitting on ';' and the first '=' is unambiguous.
+
+class RecordWriter {
+ public:
+  void Put(std::string_view key, std::string_view value) {
+    if (!out_.empty()) {
+      out_ += ';';
+    }
+    out_ += CheckpointEscape(key);
+    out_ += '=';
+    out_ += CheckpointEscape(value);
+  }
+  void PutInt(std::string_view key, long long value) { Put(key, std::to_string(value)); }
+  void PutU64(std::string_view key, std::uint64_t value) {
+    Put(key, std::to_string(value));
+  }
+  void PutSeeds(std::string_view key, const std::vector<std::uint64_t>& seeds) {
+    std::string joined;
+    for (std::uint64_t seed : seeds) {
+      if (!joined.empty()) {
+        joined += ',';
+      }
+      joined += std::to_string(seed);
+    }
+    Put(key, joined);
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class RecordReader {
+ public:
+  explicit RecordReader(const std::string& payload) {
+    std::size_t pos = 0;
+    while (pos <= payload.size()) {
+      std::size_t end = payload.find(';', pos);
+      if (end == std::string::npos) {
+        end = payload.size();
+      }
+      const std::string_view field(payload.data() + pos, end - pos);
+      const std::size_t eq = field.find('=');
+      if (eq != std::string_view::npos) {
+        fields_[CheckpointUnescape(field.substr(0, eq))] =
+            CheckpointUnescape(field.substr(eq + 1));
+      }
+      pos = end + 1;
+    }
+  }
+
+  bool Get(const std::string& key, std::string* value) const {
+    const auto it = fields_.find(key);
+    if (it == fields_.end()) {
+      return false;
+    }
+    *value = it->second;
+    return true;
+  }
+  bool GetInt(const std::string& key, int* value) const {
+    long long parsed = 0;
+    if (!GetLong(key, &parsed)) {
+      return false;
+    }
+    *value = static_cast<int>(parsed);
+    return true;
+  }
+  bool GetU64(const std::string& key, std::uint64_t* value) const {
+    long long parsed = 0;
+    if (!GetLong(key, &parsed)) {
+      return false;
+    }
+    *value = static_cast<std::uint64_t>(parsed);
+    return true;
+  }
+  bool GetSeeds(const std::string& key, std::vector<std::uint64_t>* seeds) const {
+    std::string joined;
+    if (!Get(key, &joined)) {
+      return false;
+    }
+    seeds->clear();
+    if (joined.empty()) {
+      return true;
+    }
+    std::istringstream in(joined);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(token.c_str(), &end, 10);
+      if (end == token.c_str() || *end != '\0') {
+        return false;
+      }
+      seeds->push_back(static_cast<std::uint64_t>(parsed));
+    }
+    return true;
+  }
+
+ private:
+  bool GetLong(const std::string& key, long long* value) const {
+    const auto it = fields_.find(key);
+    if (it == fields_.end()) {
+      return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      return false;
+    }
+    *value = parsed;
+    return true;
+  }
+
+  std::map<std::string, std::string> fields_;
+};
+
+void PutAnomalies(RecordWriter& w, const AnomalyCounts& counts) {
+  w.PutInt("a.dl", counts.deadlocks);
+  w.PutInt("a.lw", counts.lost_wakeups);
+  w.PutInt("a.sw", counts.stuck_waiters);
+  w.PutInt("a.st", counts.starvations);
+}
+
+bool GetAnomalies(const RecordReader& r, AnomalyCounts* counts) {
+  return r.GetInt("a.dl", &counts->deadlocks) &&
+         r.GetInt("a.lw", &counts->lost_wakeups) &&
+         r.GetInt("a.sw", &counts->stuck_waiters) &&
+         r.GetInt("a.st", &counts->starvations);
+}
+
+void PutPostmortems(RecordWriter& w, const std::vector<SeedPostmortem>& postmortems) {
+  w.PutInt("npm", static_cast<int>(postmortems.size()));
+  for (std::size_t i = 0; i < postmortems.size(); ++i) {
+    const std::string prefix = "pm" + std::to_string(i) + ".";
+    w.PutU64(prefix + "seed", postmortems[i].seed);
+    w.Put(prefix + "cause", postmortems[i].cause);
+    w.Put(prefix + "text", postmortems[i].text);
+  }
+}
+
+bool GetPostmortems(const RecordReader& r, std::vector<SeedPostmortem>* postmortems) {
+  int count = 0;
+  if (!r.GetInt("npm", &count) || count < 0) {
+    return false;
+  }
+  postmortems->clear();
+  for (int i = 0; i < count; ++i) {
+    const std::string prefix = "pm" + std::to_string(i) + ".";
+    SeedPostmortem pm;
+    if (!r.GetU64(prefix + "seed", &pm.seed) || !r.Get(prefix + "cause", &pm.cause) ||
+        !r.Get(prefix + "text", &pm.text)) {
+      return false;
+    }
+    postmortems->push_back(std::move(pm));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string CheckpointEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case ';': out += "\\s"; break;
+      case '=': out += "\\e"; break;
+      case ',': out += "\\c"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string CheckpointUnescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    switch (s[++i]) {
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 's': out += ';'; break;
+      case 'e': out += '='; break;
+      case 'c': out += ','; break;
+      default: out += s[i]; break;  // Unknown escape: keep the literal character.
+    }
+  }
+  return out;
+}
+
+std::string EncodeOutcome(const SweepOutcome& outcome) {
+  RecordWriter w;
+  w.Put("v", "sweep1");
+  w.PutInt("runs", outcome.runs);
+  w.PutInt("passes", outcome.passes);
+  w.PutInt("failures", outcome.failures);
+  w.PutSeeds("fseeds", outcome.failing_seeds);
+  w.Put("ffail", outcome.first_failure);
+  PutAnomalies(w, outcome.anomalies);
+  w.PutSeeds("aseeds", outcome.anomalous_seeds);
+  w.Put("fanom", outcome.first_anomaly);
+  PutPostmortems(w, outcome.postmortems);
+  w.PutInt("pmtotal", outcome.postmortems_total);
+  w.PutU64("fev", outcome.flight_evicted);
+  return w.Take();
+}
+
+bool DecodeOutcome(const std::string& payload, SweepOutcome* out) {
+  const RecordReader r(payload);
+  std::string version;
+  if (!r.Get("v", &version) || version != "sweep1") {
+    return false;
+  }
+  SweepOutcome decoded;
+  if (!r.GetInt("runs", &decoded.runs) || !r.GetInt("passes", &decoded.passes) ||
+      !r.GetInt("failures", &decoded.failures) ||
+      !r.GetSeeds("fseeds", &decoded.failing_seeds) ||
+      !r.Get("ffail", &decoded.first_failure) || !GetAnomalies(r, &decoded.anomalies) ||
+      !r.GetSeeds("aseeds", &decoded.anomalous_seeds) ||
+      !r.Get("fanom", &decoded.first_anomaly) ||
+      !GetPostmortems(r, &decoded.postmortems) ||
+      !r.GetInt("pmtotal", &decoded.postmortems_total) ||
+      !r.GetU64("fev", &decoded.flight_evicted)) {
+    return false;
+  }
+  *out = std::move(decoded);
+  return true;
+}
+
+std::string EncodeChaosOutcome(const ChaosSweepOutcome& outcome) {
+  RecordWriter w;
+  w.Put("v", "chaos1");
+  w.PutInt("runs", outcome.runs);
+  w.PutInt("inj", outcome.injected_runs);
+  w.PutInt("harm", outcome.harmful);
+  w.PutInt("det", outcome.detected_harmful);
+  w.PutInt("abs", outcome.absorbed);
+  w.PutInt("corr", outcome.corrupted);
+  w.PutInt("canom", outcome.clean_anomalies);
+  w.PutInt("cfail", outcome.clean_failures);
+  w.PutU64("dsteps", outcome.detection_steps_total);
+  w.PutSeeds("mseeds", outcome.missed_seeds);
+  w.PutSeeds("fpseeds", outcome.fp_seeds);
+  PutPostmortems(w, outcome.postmortems);
+  w.PutInt("pmtotal", outcome.postmortems_total);
+  w.PutInt("ncause", static_cast<int>(outcome.postmortem_causes.size()));
+  int index = 0;
+  for (const auto& [cause, count] : outcome.postmortem_causes) {
+    const std::string prefix = "cause" + std::to_string(index++) + ".";
+    w.Put(prefix + "name", cause);
+    w.PutInt(prefix + "n", count);
+  }
+  w.PutU64("fev", outcome.flight_evicted);
+  return w.Take();
+}
+
+bool DecodeChaosOutcome(const std::string& payload, ChaosSweepOutcome* out) {
+  const RecordReader r(payload);
+  std::string version;
+  if (!r.Get("v", &version) || version != "chaos1") {
+    return false;
+  }
+  ChaosSweepOutcome decoded;
+  int ncause = 0;
+  if (!r.GetInt("runs", &decoded.runs) || !r.GetInt("inj", &decoded.injected_runs) ||
+      !r.GetInt("harm", &decoded.harmful) ||
+      !r.GetInt("det", &decoded.detected_harmful) ||
+      !r.GetInt("abs", &decoded.absorbed) || !r.GetInt("corr", &decoded.corrupted) ||
+      !r.GetInt("canom", &decoded.clean_anomalies) ||
+      !r.GetInt("cfail", &decoded.clean_failures) ||
+      !r.GetU64("dsteps", &decoded.detection_steps_total) ||
+      !r.GetSeeds("mseeds", &decoded.missed_seeds) ||
+      !r.GetSeeds("fpseeds", &decoded.fp_seeds) ||
+      !GetPostmortems(r, &decoded.postmortems) ||
+      !r.GetInt("pmtotal", &decoded.postmortems_total) ||
+      !r.GetInt("ncause", &ncause) || ncause < 0 ||
+      !r.GetU64("fev", &decoded.flight_evicted)) {
+    return false;
+  }
+  for (int i = 0; i < ncause; ++i) {
+    const std::string prefix = "cause" + std::to_string(i) + ".";
+    std::string name;
+    int count = 0;
+    if (!r.Get(prefix + "name", &name) || !r.GetInt(prefix + "n", &count)) {
+      return false;
+    }
+    decoded.postmortem_causes[name] = count;
+  }
+  *out = std::move(decoded);
+  return true;
+}
+
+std::string EncodeTrialReport(const TrialReport& report) {
+  RecordWriter w;
+  w.Put("v", "trial1");
+  w.Put("msg", report.message);
+  PutAnomalies(w, report.anomalies);
+  w.Put("areport", report.anomaly_report);
+  w.Put("pmcause", report.postmortem_cause);
+  w.Put("pm", report.postmortem);
+  w.PutU64("fev", report.flight_evicted);
+  return w.Take();
+}
+
+bool DecodeTrialReport(const std::string& payload, TrialReport* out) {
+  const RecordReader r(payload);
+  std::string version;
+  if (!r.Get("v", &version) || version != "trial1") {
+    return false;
+  }
+  TrialReport decoded;
+  if (!r.Get("msg", &decoded.message) || !GetAnomalies(r, &decoded.anomalies) ||
+      !r.Get("areport", &decoded.anomaly_report) ||
+      !r.Get("pmcause", &decoded.postmortem_cause) ||
+      !r.Get("pm", &decoded.postmortem) || !r.GetU64("fev", &decoded.flight_evicted)) {
+    return false;
+  }
+  *out = std::move(decoded);
+  return true;
+}
+
+std::string ChunkKey(std::string_view scope, std::string_view kind,
+                     std::uint64_t base_seed, int num_seeds, int chunk_seeds,
+                     int chunk_index) {
+  std::string key = CheckpointEscape(scope);
+  key += '|';
+  key += kind;
+  key += "|b";
+  key += std::to_string(base_seed);
+  key += "|n";
+  key += std::to_string(num_seeds);
+  key += "|c";
+  key += std::to_string(chunk_seeds);
+  key += "|k";
+  key += std::to_string(chunk_index);
+  return key;
+}
+
+CheckpointStore::CheckpointStore(std::string path) : path_(std::move(path)) {}
+
+CheckpointStore::~CheckpointStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_ > 0) {
+    FlushLocked();
+  }
+}
+
+int CheckpointStore::Load() {
+  std::ifstream in(path_);
+  if (!in) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string line;
+  if (!std::getline(in, line) || line != "syneval-checkpoint v1") {
+    return 0;  // Missing/foreign header: treat as empty rather than misread it.
+  }
+  int loaded = 0;
+  while (std::getline(in, line)) {
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0) {
+      continue;  // Malformed line: skip; the chunk just gets re-folded.
+    }
+    entries_[CheckpointUnescape(std::string_view(line).substr(0, tab))] =
+        CheckpointUnescape(std::string_view(line).substr(tab + 1));
+    ++loaded;
+  }
+  return loaded;
+}
+
+bool CheckpointStore::Lookup(const std::string& key, std::string* payload) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  *payload = it->second;
+  ++hits_;
+  return true;
+}
+
+void CheckpointStore::Commit(const std::string& key, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = std::move(payload);
+  if (++pending_ >= flush_every_) {
+    FlushLocked();
+  }
+}
+
+bool CheckpointStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+bool CheckpointStore::FlushLocked() {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << "syneval-checkpoint v1\n";
+    for (const auto& [key, payload] : entries_) {
+      out << CheckpointEscape(key) << '\t' << CheckpointEscape(payload) << '\n';
+    }
+    out.flush();
+    if (!out) {
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  pending_ = 0;
+  return true;
+}
+
+void CheckpointStore::SetFlushEvery(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_every_ = n < 1 ? 1 : n;
+}
+
+int CheckpointStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(entries_.size());
+}
+
+int CheckpointStore::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+}  // namespace syneval

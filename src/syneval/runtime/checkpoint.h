@@ -1,0 +1,123 @@
+// Checkpoint store: crash-safe persistence of folded sweep chunks, so a killed sweep
+// resumes and merges bit-identical to an uninterrupted run.
+//
+// The parallel sweep engine (runtime/parallel_sweep.h) already guarantees that a sweep
+// aggregate is a pure function of (suite, seed range): chunks are folded independently
+// and merged in chunk order. That makes chunk outcomes the natural checkpoint unit —
+// each one is immutable once computed and keyed by everything that determined it
+// (caller scope, sweep kind, base seed, seed count, chunk layout, chunk index). This
+// module extends the PR 5 determinism guarantee across process lifetimes:
+//
+//   * CheckpointStore maps chunk keys to encoded chunk outcomes and persists the map
+//     with an atomic write-temp-then-rename snapshot. The on-disk file is therefore
+//     always a complete, parseable snapshot; a SIGKILL between snapshots loses at most
+//     the chunks folded since the last flush, never the file's integrity.
+//   * EncodeOutcome/DecodeOutcome (and the chaos/trial-report variants) are LOSSLESS
+//     over every aggregate field — counts, seed lists, first-failure strings, stored
+//     postmortems, the chaos cause histogram — so a resumed sweep's merged outcome,
+//     and hence the bench JSON rendered from it, is byte-identical to the clean run.
+//
+// Format (docs/RESILIENCE.md): a header line "syneval-checkpoint v1", then one
+// "<key>\t<payload>" line per chunk. Keys and payloads are escaped so they contain no
+// tab or newline; unparseable lines are skipped on load (a truncated or corrupted
+// entry costs a re-fold of that chunk, nothing more). Payloads are "k=v;k=v" records
+// with the same escaping. No external serialization library — the runtime layer sits
+// below syneval_core, so it cannot use the scorecard JSON helpers.
+//
+// Staleness: the store deliberately does NOT hash the binary. Keys embed the caller's
+// scope string (suite, case, workload scale, fault plan), which callers must extend
+// whenever the trial's meaning changes; delete the file when in doubt. CI nightly jobs
+// start from an empty workspace, so resume there only ever sees same-binary snapshots.
+
+#ifndef SYNEVAL_RUNTIME_CHECKPOINT_H_
+#define SYNEVAL_RUNTIME_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "syneval/runtime/explore.h"
+
+namespace syneval {
+
+// Escapes/unescapes a string so it contains none of the record structure characters
+// ('\t', '\n', ';', '=', ',', '\\'). Unescape(Escape(s)) == s for every s.
+std::string CheckpointEscape(std::string_view s);
+std::string CheckpointUnescape(std::string_view s);
+
+// Lossless codecs for the sweep aggregates. Decode returns false (leaving *out
+// untouched on required-field failures) when the payload is malformed or from an
+// incompatible writer; callers treat that as a cache miss and re-fold the chunk.
+std::string EncodeOutcome(const SweepOutcome& outcome);
+bool DecodeOutcome(const std::string& payload, SweepOutcome* out);
+std::string EncodeChaosOutcome(const ChaosSweepOutcome& outcome);
+bool DecodeChaosOutcome(const std::string& payload, ChaosSweepOutcome* out);
+
+// TrialReport codec, shared with the supervisor's process sandbox (supervisor.h):
+// the child serializes its report into shared memory with this.
+std::string EncodeTrialReport(const TrialReport& report);
+bool DecodeTrialReport(const std::string& payload, TrialReport* out);
+
+// Key for one chunk of one sweep. `scope` identifies the caller (bench name, suite
+// case, workload scale, fault plan — everything that shapes the trial beyond the
+// seed); `kind` is the sweep flavor ("sweep" / "chaos"). The chunk layout parameters
+// are part of the key so a file written under one layout can never satisfy another.
+std::string ChunkKey(std::string_view scope, std::string_view kind,
+                     std::uint64_t base_seed, int num_seeds, int chunk_seeds,
+                     int chunk_index);
+
+// Thread-safe key→payload store with atomic snapshot persistence. One store is
+// typically shared by every sweep of a bench invocation (each sweep contributing its
+// own scope-disambiguated keys).
+class CheckpointStore {
+ public:
+  // Does not touch the filesystem; call Load() to read an existing snapshot.
+  explicit CheckpointStore(std::string path);
+  // Flushes pending commits (best effort — errors are swallowed; call Flush()
+  // explicitly to observe them).
+  ~CheckpointStore();
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  // Reads the snapshot file if present. Returns the number of entries loaded (0 when
+  // the file is missing or empty). Malformed lines are skipped, duplicate keys keep
+  // the last occurrence. May be called once, before the store is shared with workers.
+  int Load();
+
+  // Returns true and fills *payload when `key` is present (counted in hits()).
+  bool Lookup(const std::string& key, std::string* payload) const;
+
+  // Inserts or replaces `key` and schedules persistence: every flush_every()-th
+  // commit triggers an atomic snapshot. Safe from concurrent workers.
+  void Commit(const std::string& key, std::string payload);
+
+  // Atomically persists the current map (write "<path>.tmp", then rename over
+  // `path`). Returns false on I/O failure; the previous snapshot is left intact.
+  bool Flush();
+
+  // Commits between automatic snapshots (default 1: every commit flushes — cheap at
+  // sweep-chunk granularity, and maximally crash-tolerant).
+  void SetFlushEvery(int n);
+
+  const std::string& path() const { return path_; }
+  int size() const;
+  // Successful Lookup() calls — i.e. chunks a resumed sweep did not have to re-fold.
+  int hits() const;
+
+ private:
+  bool FlushLocked();
+
+  const std::string path_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> entries_;
+  int flush_every_ = 1;
+  int pending_ = 0;  // Commits since the last flush.
+  mutable int hits_ = 0;
+};
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_RUNTIME_CHECKPOINT_H_

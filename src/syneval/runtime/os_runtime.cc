@@ -12,6 +12,7 @@
 #include "syneval/fault/fault.h"
 #include "syneval/fault/injector.h"
 #include "syneval/runtime/deadline.h"
+#include "syneval/runtime/supervisor.h"
 #include "syneval/telemetry/flight_recorder.h"
 #include "syneval/telemetry/metrics.h"
 #include "syneval/telemetry/postmortem.h"
@@ -95,7 +96,7 @@ class OsMutex : public RtMutex {
     AnomalyDetector* det = rt_->anomaly_detector();
     FlightRecorder* flight = rt_->flight_recorder();
     if (det == nullptr && flight == nullptr) {
-      mu_.lock();
+      LockBlocking();
     } else {
       const std::uint32_t tid = rt_->CurrentThreadId();
       bool contended = false;
@@ -107,7 +108,7 @@ class OsMutex : public RtMutex {
         if (flight != nullptr) {
           flight->Record(tid, FlightEventType::kBlock, this, FlightNowNanos(rt_));
         }
-        mu_.lock();
+        LockBlocking();
         if (det != nullptr) {
           det->OnWake(tid, this);
         }
@@ -158,13 +159,42 @@ class OsMutex : public RtMutex {
   }
 
  private:
+  // Blocking acquisition. In abortable mode a try_lock poll loop that throws
+  // TrialAborted once RequestAbort() was called — without the lock held, so the
+  // caller's RAII guard never releases what was never acquired. The open OnBlock the
+  // contended path may have recorded is moot: the supervisor puts the detector into
+  // SetAborting() before requesting the abort, and OnThreadFinish discards the
+  // thread's wait records when the unwound thread exits.
+  void LockBlocking() {
+    if (!rt_->abortable()) {
+      mu_.lock();
+      return;
+    }
+    while (!mu_.try_lock()) {
+      if (rt_->Aborting()) {
+        throw TrialAborted{};
+      }
+      std::this_thread::sleep_for(rt_->abort_poll());
+    }
+  }
+
   OsRuntime* rt_;
   std::mutex mu_;
 };
 
 class OsCondVar : public RtCondVar {
  public:
-  explicit OsCondVar(OsRuntime* rt) : rt_(rt) {}
+  explicit OsCondVar(OsRuntime* rt) : rt_(rt) {
+    if (rt_->abortable()) {
+      rt_->RegisterAbortWaiter(&cv_);
+    }
+  }
+
+  ~OsCondVar() override {
+    if (rt_->abortable()) {
+      rt_->UnregisterAbortWaiter(&cv_);
+    }
+  }
 
   void Wait(RtMutex& mutex) override { WaitImpl(mutex, /*timeout_nanos=*/0); }
 
@@ -179,6 +209,7 @@ class OsCondVar : public RtCondVar {
       }
     }
     Signal(/*broadcast=*/false);
+    BumpNotifyGeneration();
     cv_.notify_one();
   }
 
@@ -189,6 +220,7 @@ class OsCondVar : public RtCondVar {
       }
     }
     Signal(/*broadcast=*/true);
+    BumpNotifyGeneration();
     cv_.notify_all();
   }
 
@@ -208,12 +240,7 @@ class OsCondVar : public RtCondVar {
     TelemetryTracer* tracer = rt_->tracer();
     FlightRecorder* flight = rt_->flight_recorder();
     if (det == nullptr && tracer == nullptr && flight == nullptr) {
-      if (timeout_nanos == 0) {
-        cv_.wait(mutex);
-        return true;
-      }
-      const Deadline deadline = Deadline::AfterNanos(timeout_nanos);
-      return cv_.wait_until(mutex, deadline.time_point()) == std::cv_status::no_timeout;
+      return WaitBlocking(mutex, timeout_nanos);
     }
     const std::uint32_t tid = rt_->CurrentThreadId();
     waiting_.fetch_add(1, std::memory_order_relaxed);
@@ -224,13 +251,15 @@ class OsCondVar : public RtCondVar {
       flight->Record(tid, FlightEventType::kBlock, this, FlightNowNanos(rt_));
     }
     bool notified = true;
-    if (timeout_nanos == 0) {
-      cv_.wait(mutex);
-    } else {
-      // One absolute Deadline computed up front: however many times the underlying
-      // wait is interrupted, it resumes the same instant (no spurious-wakeup drift).
-      const Deadline deadline = Deadline::AfterNanos(timeout_nanos);
-      notified = cv_.wait_until(mutex, deadline.time_point()) == std::cv_status::no_timeout;
+    try {
+      notified = WaitBlocking(mutex, timeout_nanos);
+    } catch (const TrialAborted&) {
+      // Force-unwound by the supervisor's reaper: keep the waiter count sound and
+      // rethrow with the mutex re-held (WaitBlocking re-acquired it), so the caller's
+      // RAII unlock stays valid. The detector is in SetAborting() by now, so the
+      // missing OnWake is moot — OnThreadFinish discards the record.
+      waiting_.fetch_sub(1, std::memory_order_relaxed);
+      throw;
     }
     if (det != nullptr) {
       det->OnWake(tid, this);
@@ -247,6 +276,58 @@ class OsCondVar : public RtCondVar {
     }
     waiting_.fetch_sub(1, std::memory_order_relaxed);
     return notified;
+  }
+
+  // The underlying wait, shared by the fast and instrumented paths of WaitImpl;
+  // timeout_nanos == 0 means untimed. Returns false iff the deadline expired first.
+  //
+  // In abortable mode the wait runs in poll-length slices so a reaped trial unwinds
+  // within one slice: each slice re-checks the abort flag (throwing TrialAborted with
+  // the mutex re-held) and otherwise keeps waiting. A slice expiry is NOT a wakeup —
+  // the loop re-arms — so detector wait ages keep measuring the full wait and genuine
+  // hangs still age past the watchdog threshold. Re-arming opens the classic gap where
+  // a notify lands between two slices (no thread inside the OS wait); the notify
+  // generation counter closes it: the generation is sampled under the user mutex
+  // before the first slice, notifiers bump it before cv_.notify, and any slice that
+  // observes a newer generation returns as notified (a spurious wakeup for every
+  // slicing waiter but the intended one — permitted by the RtCondVar contract).
+  bool WaitBlocking(RtMutex& mutex, std::uint64_t timeout_nanos) {
+    if (!rt_->abortable()) {
+      if (timeout_nanos == 0) {
+        cv_.wait(mutex);
+        return true;
+      }
+      // One absolute Deadline computed up front: however many times the underlying
+      // wait is interrupted, it resumes the same instant (no spurious-wakeup drift).
+      const Deadline deadline = Deadline::AfterNanos(timeout_nanos);
+      return cv_.wait_until(mutex, deadline.time_point()) == std::cv_status::no_timeout;
+    }
+    const std::uint64_t generation = notify_generation_.load(std::memory_order_acquire);
+    const Deadline deadline = Deadline::AfterNanos(
+        timeout_nanos == 0 ? ~std::uint64_t{0} >> 1 : timeout_nanos);
+    for (;;) {
+      Deadline slice = Deadline::After(rt_->abort_poll());
+      if (timeout_nanos != 0 && deadline.time_point() < slice.time_point()) {
+        slice = deadline;
+      }
+      const bool woke =
+          cv_.wait_until(mutex, slice.time_point()) == std::cv_status::no_timeout;
+      if (rt_->Aborting()) {
+        throw TrialAborted{};
+      }
+      if (woke || notify_generation_.load(std::memory_order_acquire) != generation) {
+        return true;
+      }
+      if (timeout_nanos != 0 && deadline.Expired()) {
+        return false;
+      }
+    }
+  }
+
+  void BumpNotifyGeneration() {
+    if (rt_->abortable()) {
+      notify_generation_.fetch_add(1, std::memory_order_release);
+    }
   }
 
   void Signal(bool broadcast) {
@@ -278,6 +359,8 @@ class OsCondVar : public RtCondVar {
   // (the watchdog is a sampler, not an exact oracle), incremented before releasing the
   // user mutex in Wait so signal-while-holding-the-mutex sees it consistently.
   std::atomic<int> waiting_{0};
+  // Bumped per notify in abortable mode; see WaitBlocking for the gap it closes.
+  std::atomic<std::uint64_t> notify_generation_{0};
 };
 
 class OsThread : public RtThread {
@@ -311,6 +394,27 @@ class OsThread : public RtThread {
 }  // namespace
 
 OsRuntime::~OsRuntime() { StopAnomalyWatchdog(); }
+
+void OsRuntime::RequestAbort() {
+  aborting_.store(true, std::memory_order_release);
+  // Wake every sleeping condvar waiter so the poll loops observe the flag now rather
+  // than a slice later. Holding abort_mu_ across the notifies keeps the registered
+  // pointers alive (unregistration blocks on the same mutex).
+  std::lock_guard<std::mutex> lock(abort_mu_);
+  for (std::condition_variable_any* cv : abort_waiters_) {
+    cv->notify_all();
+  }
+}
+
+void OsRuntime::RegisterAbortWaiter(std::condition_variable_any* cv) {
+  std::lock_guard<std::mutex> lock(abort_mu_);
+  abort_waiters_.insert(cv);
+}
+
+void OsRuntime::UnregisterAbortWaiter(std::condition_variable_any* cv) {
+  std::lock_guard<std::mutex> lock(abort_mu_);
+  abort_waiters_.erase(cv);
+}
 
 std::unique_ptr<RtMutex> OsRuntime::CreateMutex() {
   auto mutex = std::make_unique<OsMutex>(this);
@@ -347,6 +451,10 @@ std::unique_ptr<RtThread> OsRuntime::StartThread(std::string name, std::function
       // Killed by an injected kill-thread fault: the thread ends mid-protocol. RAII
       // guards between the injection site and here have already unwound; whatever had
       // no guard stays exactly as the kill left it.
+    } catch (const TrialAborted&) {
+      // Force-unwound by a supervisor reaper (RequestAbort). Mechanism releases
+      // reached from RAII guards during this unwind no-op behind Aborting(), exactly
+      // as in DetRuntime's post-deadlock teardown.
     }
     if (det != nullptr) {
       det->OnThreadFinish(id);
@@ -397,6 +505,13 @@ void OsRuntime::StartAnomalyWatchdog(WatchdogOptions options) {
         return;
       }
       lock.unlock();
+      // Load-adaptive threshold: under a saturated parallel sweep every trial runs
+      // slower by roughly the oversubscription factor, so waits that merely queue for
+      // CPU would age past a fixed threshold and read as starvation. Rescale from the
+      // process-wide active-trial gauge each cycle, before sampling.
+      if (options.load_adaptive) {
+        det->SetPollThresholdScale(ActiveTrials());
+      }
       const std::int64_t now = static_cast<std::int64_t>(NowNanos());
       const int flagged = det->Poll(now);
       if (flagged > 0) {
@@ -411,6 +526,9 @@ void OsRuntime::StartAnomalyWatchdog(WatchdogOptions options) {
         metrics->GetGauge("anomaly/blocked_threads").Set(snap.blocked_threads);
         metrics->GetGauge("anomaly/longest_wait_ns").Set(snap.longest_wait_nanos);
         metrics->GetGauge("anomaly/detections_total").Set(det->counts().total());
+        // The threshold Poll() actually applied this cycle (base × active trials).
+        metrics->GetGauge("anomaly/effective_stuck_wait_ms")
+            .Set(det->effective_stuck_wait_nanos() / 1'000'000);
         if (const FlightRecorder* flight = this->flight_recorder()) {
           // Ring evictions to date: non-zero means postmortem windows are truncated.
           metrics->GetGauge("telemetry/flight_evicted")

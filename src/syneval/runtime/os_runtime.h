@@ -5,6 +5,11 @@
 // trace layer uses to label events) and, when an AnomalyDetector is attached, blocking
 // hooks on the primitives plus an optional sampling watchdog thread that periodically
 // calls AnomalyDetector::Poll() to flag long-stuck waits in live runs.
+//
+// Abortable mode (opt-in, for supervised trials — runtime/supervisor.h): blocking
+// acquisitions and waits become short poll loops that check an abort flag, so a
+// supervisor's reaper can force-unwind a genuinely deadlocked trial through the
+// Runtime::Aborting() seam instead of stalling the whole sweep. See RequestAbort().
 
 #ifndef SYNEVAL_RUNTIME_OS_RUNTIME_H_
 #define SYNEVAL_RUNTIME_OS_RUNTIME_H_
@@ -16,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -23,10 +29,46 @@
 
 namespace syneval {
 
+// Thrown out of OsRuntime primitives in abortable mode once RequestAbort() was called:
+// the managed thread unwinds through its RAII guards (which no-op their mechanism
+// releases while Runtime::Aborting() is true) and finishes. Caught by the StartThread
+// wrapper exactly like an injected ThreadKilledFault.
+struct TrialAborted {};
+
 class OsRuntime : public Runtime {
  public:
+  struct Options {
+    // Abortable mode. Off (the default), blocking primitives call straight into the
+    // OS — zero overhead, but a deadlocked trial can only be reaped by the process
+    // sandbox. On, blocked threads poll the abort flag every `abort_poll`, trading a
+    // bounded wakeup latency for cooperative force-unwind via RequestAbort().
+    bool abortable = false;
+    std::chrono::microseconds abort_poll{200};
+  };
+
   OsRuntime() = default;
+  explicit OsRuntime(const Options& options) : options_(options) {}
   ~OsRuntime() override;
+
+  // True once RequestAbort() was called (runtime.h seam: mechanism RAII releases
+  // no-op during the unwind).
+  bool Aborting() const override {
+    return aborting_.load(std::memory_order_acquire);
+  }
+
+  // Asks every current and future blocking primitive call to throw TrialAborted.
+  // Only effective in abortable mode; callers should put the attached detector into
+  // SetAborting(true) first so the unwind's hook traffic is ignored. Safe from any
+  // thread, idempotent.
+  void RequestAbort();
+
+  bool abortable() const { return options_.abortable; }
+  std::chrono::microseconds abort_poll() const { return options_.abort_poll; }
+
+  // Internal registry (used by the runtime's condvars): RequestAbort() must wake
+  // sleeping waiters, so every live OsCondVar registers its std::condition_variable.
+  void RegisterAbortWaiter(std::condition_variable_any* cv);
+  void UnregisterAbortWaiter(std::condition_variable_any* cv);
 
   std::unique_ptr<RtMutex> CreateMutex() override;
   std::unique_ptr<RtCondVar> CreateCondVar() override;
@@ -46,6 +88,13 @@ class OsRuntime : public Runtime {
     double jitter_fraction = 0.2;
     // Seeds the jitter RNG, so a sweep can decorrelate its watchdogs per trial.
     std::uint64_t jitter_seed = 0x5EEDD06;
+    // Load-adaptive poll threshold: each cycle the detector's stuck-wait threshold is
+    // scaled by the process-wide active-trial count (supervisor.h's ActiveTrials()
+    // gauge). Under a fully-loaded parallel sweep every trial runs slower by roughly
+    // the oversubscription factor, so a fixed threshold misreads ordinary scheduling
+    // delay as starvation; scaling keeps the false-positive rate flat. The effective
+    // threshold is exported as gauge "anomaly/effective_stuck_wait_ms".
+    bool load_adaptive = true;
   };
 
   // Starts a background thread that calls anomaly_detector()->Poll(NowNanos()) every
@@ -65,7 +114,12 @@ class OsRuntime : public Runtime {
   void StopAnomalyWatchdog();
 
  private:
+  const Options options_;
   std::atomic<std::uint32_t> next_thread_id_{1};
+
+  std::atomic<bool> aborting_{false};
+  std::mutex abort_mu_;
+  std::set<std::condition_variable_any*> abort_waiters_;
 
   std::mutex watchdog_mu_;
   std::condition_variable watchdog_cv_;

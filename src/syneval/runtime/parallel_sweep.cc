@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "syneval/fault/fault.h"
+#include "syneval/runtime/checkpoint.h"
+#include "syneval/runtime/supervisor.h"
 
 namespace syneval {
 
@@ -61,17 +63,25 @@ int AutoChunkSeeds(int num_seeds, int jobs) {
   return std::clamp(chunk, 1, 64);
 }
 
+// Auto chunk size under checkpointing. AutoChunkSeeds depends on the worker count,
+// but the chunk layout is part of every checkpoint key — a resumed sweep must cut the
+// seed range identically under any --jobs, so the layout is pinned instead.
+constexpr int kCheckpointChunkSeeds = 16;
+
 // Generic pool driver shared by the schedule and chaos sweeps. RunSeed accumulates one
 // seed into an Outcome chunk; Merge folds a later chunk onto an earlier one. Partial
 // outcomes are indexed by chunk and merged in chunk order after the join, which is
 // what makes the result independent of worker count and steal order.
-template <typename Outcome, typename RunSeed, typename Merge>
+template <typename Outcome, typename RunSeed, typename Merge, typename Encode,
+          typename Decode>
 void RunSweepPool(int num_seeds, std::uint64_t base_seed, const ParallelOptions& options,
-                  const RunSeed& run_seed, const Merge& merge, Outcome* merged,
+                  const char* kind, const RunSeed& run_seed, const Merge& merge,
+                  const Encode& encode, const Decode& decode, Outcome* merged,
                   int* jobs_out, double* wall_seconds,
                   std::vector<WorkerTelemetry>* telemetry) {
   const auto sweep_start = std::chrono::steady_clock::now();
   const int jobs = ResolveJobs(options.jobs);
+  CheckpointStore* const store = options.checkpoint;
   *jobs_out = jobs;
 
   if (num_seeds <= 0) {
@@ -80,8 +90,11 @@ void RunSweepPool(int num_seeds, std::uint64_t base_seed, const ParallelOptions&
   }
 
   // Serial fallback: one job means the caller's thread runs the plain serial loop —
-  // no pool, no queues, nothing for TSan to look at.
-  if (jobs == 1 || num_seeds == 1) {
+  // no pool, no queues, nothing for TSan to look at. A checkpointed sweep always
+  // takes the chunked path (still inline, still threadless at jobs == 1) because the
+  // chunk layout is what the store keys on.
+  if ((jobs == 1 || num_seeds == 1) && store == nullptr) {
+    ActiveTrialScope active;  // Feeds the watchdog's load-adaptive threshold.
     WorkerTelemetry self;
     self.worker = 0;
     for (int i = 0; i < num_seeds; ++i) {
@@ -96,8 +109,9 @@ void RunSweepPool(int num_seeds, std::uint64_t base_seed, const ParallelOptions&
     return;
   }
 
-  const int chunk_seeds =
-      options.chunk_seeds > 0 ? options.chunk_seeds : AutoChunkSeeds(num_seeds, jobs);
+  const int chunk_seeds = options.chunk_seeds > 0 ? options.chunk_seeds
+                          : store != nullptr     ? kCheckpointChunkSeeds
+                                                 : AutoChunkSeeds(num_seeds, jobs);
   const int num_chunks = (num_seeds + chunk_seeds - 1) / chunk_seeds;
 
   // Shard: worker w starts with the w-th contiguous block of chunks, so with no
@@ -112,6 +126,9 @@ void RunSweepPool(int num_seeds, std::uint64_t base_seed, const ParallelOptions&
   telemetry->assign(static_cast<std::size_t>(jobs), WorkerTelemetry{});
 
   auto worker_body = [&](int w) {
+    // Each pool worker runs one trial at a time, so registering the worker makes
+    // ActiveTrials() ≈ the oversubscription factor the watchdog should scale by.
+    ActiveTrialScope active;
     const auto worker_start = std::chrono::steady_clock::now();
     WorkerTelemetry& shard = (*telemetry)[static_cast<std::size_t>(w)];
     shard.worker = w;
@@ -130,13 +147,34 @@ void RunSweepPool(int num_seeds, std::uint64_t base_seed, const ParallelOptions&
       }
       const int begin = chunk * chunk_seeds;
       const int end = std::min(begin + chunk_seeds, num_seeds);
-      Outcome part;
-      for (int i = begin; i < end; ++i) {
-        run_seed(base_seed + static_cast<std::uint64_t>(i), part);
+      std::string key;
+      bool restored = false;
+      if (store != nullptr) {
+        key = ChunkKey(options.checkpoint_scope, kind, base_seed, num_seeds,
+                       chunk_seeds, chunk);
+        std::string payload;
+        Outcome cached;
+        // A payload that fails to decode (foreign writer, truncated entry the atomic
+        // snapshot should make impossible) is a plain cache miss: re-fold the chunk.
+        if (store->Lookup(key, &payload) && decode(payload, &cached)) {
+          partials[static_cast<std::size_t>(chunk)] = std::move(cached);
+          restored = true;
+        }
       }
-      partials[static_cast<std::size_t>(chunk)] = std::move(part);
-      shard.trials += end - begin;
-      ++shard.chunks;
+      if (restored) {
+        ++shard.cached;
+      } else {
+        Outcome part;
+        for (int i = begin; i < end; ++i) {
+          run_seed(base_seed + static_cast<std::uint64_t>(i), part);
+        }
+        if (store != nullptr) {
+          store->Commit(key, encode(part));
+        }
+        partials[static_cast<std::size_t>(chunk)] = std::move(part);
+        shard.trials += end - begin;
+        ++shard.chunks;
+      }
       shard.steals += stolen ? 1 : 0;
     }
     shard.wall_seconds = SecondsSince(worker_start);
@@ -156,6 +194,9 @@ void RunSweepPool(int num_seeds, std::uint64_t base_seed, const ParallelOptions&
   // computed which chunk.
   for (Outcome& part : partials) {
     merge(*merged, std::move(part));
+  }
+  if (store != nullptr) {
+    store->Flush();  // Final snapshot: a re-run of this sweep is all cache hits.
   }
   *wall_seconds = SecondsSince(sweep_start);
 }
@@ -185,12 +226,16 @@ ParallelSweepResult ParallelSweepSchedules(
     std::uint64_t base_seed, const ParallelOptions& options) {
   ParallelSweepResult result;
   RunSweepPool<SweepOutcome>(
-      num_seeds, base_seed, options,
+      num_seeds, base_seed, options, "sweep",
       [&trial](std::uint64_t seed, SweepOutcome& outcome) {
         sweep_internal::AccumulateTrial(trial, seed, outcome);
       },
       [](SweepOutcome& into, SweepOutcome&& chunk) {
         sweep_internal::MergeOutcome(into, std::move(chunk));
+      },
+      [](const SweepOutcome& outcome) { return EncodeOutcome(outcome); },
+      [](const std::string& payload, SweepOutcome* out) {
+        return DecodeOutcome(payload, out);
       },
       &result.outcome, &result.jobs, &result.wall_seconds, &result.workers);
   return result;
@@ -215,12 +260,16 @@ ParallelChaosResult ParallelSweepChaos(
     const FaultPlan& plan, std::uint64_t base_seed, const ParallelOptions& options) {
   ParallelChaosResult result;
   RunSweepPool<ChaosSweepOutcome>(
-      num_seeds, base_seed, options,
+      num_seeds, base_seed, options, "chaos",
       [&trial, &plan](std::uint64_t seed, ChaosSweepOutcome& outcome) {
         sweep_internal::AccumulateChaosTrial(trial, plan, seed, outcome);
       },
       [](ChaosSweepOutcome& into, ChaosSweepOutcome&& chunk) {
         sweep_internal::MergeChaosOutcome(into, std::move(chunk));
+      },
+      [](const ChaosSweepOutcome& outcome) { return EncodeChaosOutcome(outcome); },
+      [](const std::string& payload, ChaosSweepOutcome* out) {
+        return DecodeChaosOutcome(payload, out);
       },
       &result.outcome, &result.jobs, &result.wall_seconds, &result.workers);
   return result;
@@ -236,6 +285,7 @@ void MergeWorkerTelemetry(std::vector<WorkerTelemetry>& into,
     into[w].trials += shard[w].trials;
     into[w].chunks += shard[w].chunks;
     into[w].steals += shard[w].steals;
+    into[w].cached += shard[w].cached;
     into[w].wall_seconds += shard[w].wall_seconds;
   }
 }

@@ -42,14 +42,30 @@
 
 namespace syneval {
 
+class CheckpointStore;
+
 struct ParallelOptions {
   // Worker count. 1 (the default) runs the sweep serially on the calling thread — the
   // exact serial code path, no pool. 0 means auto: the SYNEVAL_JOBS environment
   // variable when set to a positive integer, otherwise hardware_concurrency().
   int jobs = 1;
   // Seeds per stealable chunk. 0 = auto (sized so each worker sees several chunks,
-  // keeping the steal queue useful without shredding cache locality).
+  // keeping the steal queue useful without shredding cache locality). With a
+  // checkpoint attached, auto pins a fixed chunk size instead, so the chunk layout —
+  // which is part of every checkpoint key — is independent of the worker count and a
+  // sweep can resume under a different --jobs.
   int chunk_seeds = 0;
+
+  // Checkpoint/resume (runtime/checkpoint.h). When non-null, every folded chunk is
+  // committed to the store under a key derived from (checkpoint_scope, sweep kind,
+  // base seed, seed count, chunk layout, chunk index), and chunks already present are
+  // restored instead of re-run — so a killed sweep, resumed against the same store,
+  // merges bit-identical to an uninterrupted run. `checkpoint_scope` must identify
+  // everything that shapes the trial beyond the seed (suite case, workload scale,
+  // fault plan); sweep entry points that know that context (conformance, chaos
+  // calibration) append it themselves.
+  CheckpointStore* checkpoint = nullptr;
+  std::string checkpoint_scope;
 };
 
 // Resolves a --jobs style request: n > 0 is taken literally; 0 consults SYNEVAL_JOBS
@@ -61,8 +77,9 @@ int ResolveJobs(int jobs);
 struct WorkerTelemetry {
   int worker = 0;           // Pool index, 0-based.
   int trials = 0;           // Seeds this worker executed (chaos: seeds, not runs).
-  int chunks = 0;           // Chunks this worker completed.
+  int chunks = 0;           // Chunks this worker folded (excludes restored ones).
   int steals = 0;           // Chunks taken from another worker's queue.
+  int cached = 0;           // Chunks restored from the checkpoint store, not re-run.
   double wall_seconds = 0;  // Wall time from worker start to queue-drained exit.
 };
 

@@ -1,0 +1,682 @@
+#include "syneval/runtime/supervisor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "syneval/anomaly/detector.h"
+#include "syneval/runtime/checkpoint.h"
+#include "syneval/runtime/deadline.h"
+#include "syneval/runtime/os_runtime.h"
+#include "syneval/telemetry/flight_recorder.h"
+#include "syneval/telemetry/postmortem.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SYNEVAL_SANDBOX_AVAILABLE 1
+#include <csignal>
+#include <new>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define SYNEVAL_SANDBOX_AVAILABLE 0
+#endif
+
+namespace syneval {
+
+namespace {
+
+std::atomic<int> g_active_trials{0};
+
+// Minimal JSON string escaping for quarantine.json. The runtime layer sits below
+// syneval_core, so it cannot reuse the scorecard helpers.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string DeadlineMessage(const SupervisorOptions& options) {
+  return "reaped: trial exceeded " + std::to_string(options.trial_deadline.count()) +
+         "ms deadline";
+}
+
+}  // namespace
+
+int ActiveTrials() {
+  const int active = g_active_trials.load(std::memory_order_relaxed);
+  return active < 1 ? 1 : active;
+}
+
+ActiveTrialScope::ActiveTrialScope() {
+  g_active_trials.fetch_add(1, std::memory_order_relaxed);
+}
+
+ActiveTrialScope::~ActiveTrialScope() {
+  g_active_trials.fetch_sub(1, std::memory_order_relaxed);
+}
+
+SupervisorStats& SupervisorStats::operator+=(const SupervisorStats& other) {
+  reaped += other.reaped;
+  crashed += other.crashed;
+  retried += other.retried;
+  quarantined += other.quarantined;
+  return *this;
+}
+
+// ---- Canned abortable OsRuntime trial ----------------------------------------------
+
+SupervisableTrial MakeSupervisableOsTrial(std::function<std::string(OsRuntime&)> body) {
+  struct Context {
+    Context() : runtime(MakeOptions()) {
+      runtime.AttachAnomalyDetector(&detector);
+      runtime.AttachFlightRecorder(&flight);
+    }
+    static OsRuntime::Options MakeOptions() {
+      OsRuntime::Options options;
+      options.abortable = true;
+      return options;
+    }
+    // Observe()-time Poll threshold: the only Poll caller here is the reaper, one
+    // sample at the deadline, so a low threshold cannot produce steady-state false
+    // positives — it just lets the postmortem name waits the deadline already proved
+    // suspicious.
+    static AnomalyDetector::Options DetectorOptions() {
+      AnomalyDetector::Options options;
+      options.stuck_wait_nanos = 10'000'000;  // 10 ms
+      return options;
+    }
+    OsRuntime runtime;
+    AnomalyDetector detector{DetectorOptions()};
+    FlightRecorder flight{FlightRecorder::Options::ForTrial()};
+  };
+  auto ctx = std::make_shared<Context>();
+  SupervisableTrial trial;
+  trial.run = [ctx, body = std::move(body)]() {
+    TrialReport report;
+    report.message = body(ctx->runtime);
+    report.anomalies = ctx->detector.counts();
+    report.anomaly_report = ctx->detector.Report();
+    if (!report.message.empty() || !report.anomalies.Clean()) {
+      const Postmortem pm = BuildPostmortem(ctx->flight, &ctx->detector);
+      if (!pm.empty()) {
+        report.postmortem_cause = pm.cause;
+        report.postmortem = pm.ToText();
+      }
+    }
+    report.flight_evicted = ctx->flight.evicted();
+    return report;
+  };
+  trial.abort = [ctx]() {
+    // Detector first: the unwind's hook traffic (threads releasing resources they no
+    // longer own) must be ignored, exactly as in DetRuntime's teardown.
+    ctx->detector.SetAborting(true);
+    ctx->runtime.RequestAbort();
+  };
+  trial.observe = [ctx]() {
+    // One Poll classifies the currently-parked threads (the trial is presumed hung
+    // when this runs), then the flight recorder narrates them.
+    ctx->detector.Poll(static_cast<std::int64_t>(ctx->runtime.NowNanos()));
+    const Postmortem pm = BuildPostmortem(ctx->flight, &ctx->detector);
+    TrialObservation obs;
+    obs.cause = pm.cause;
+    obs.text = pm.empty() ? std::string() : pm.ToText();
+    return obs;
+  };
+  return trial;
+}
+
+// ---- In-process supervised attempt --------------------------------------------------
+
+namespace {
+
+SupervisedTrialResult RunInProcessAttempt(const SupervisableTrial& trial,
+                                          const SupervisorOptions& options) {
+  SupervisedTrialResult result;
+  ActiveTrialScope active;
+
+  struct ReaperState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool reaped = false;
+    TrialObservation observation;
+  };
+  auto state = std::make_shared<ReaperState>();
+
+  std::thread reaper;
+  if (options.trial_deadline.count() > 0 && trial.abort) {
+    reaper = std::thread([state, abort = trial.abort, observe = trial.observe,
+                          deadline = options.trial_deadline] {
+      const Deadline until = Deadline::After(deadline);
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (state->cv.wait_until(lock, until.time_point(),
+                               [&] { return state->done; })) {
+        return;  // Trial finished inside its budget; nothing to reap.
+      }
+      state->reaped = true;
+      lock.unlock();
+      // Capture the hung state BEFORE unwinding it — after abort the interesting
+      // waits are gone.
+      if (observe) {
+        TrialObservation observation = observe();
+        lock.lock();
+        state->observation = std::move(observation);
+        lock.unlock();
+      }
+      abort();
+    });
+  }
+
+  try {
+    result.report = trial.run();
+  } catch (const TrialAborted&) {
+    // The reaper fired while the driving thread itself was parked in a primitive.
+  } catch (const std::exception& e) {
+    result.crashed = true;
+    result.crash.crashed = true;
+    result.crash.what = e.what();
+  } catch (...) {
+    result.crashed = true;
+    result.crash.crashed = true;
+    result.crash.what = "unknown exception";
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->done = true;
+  }
+  state->cv.notify_all();
+  if (reaper.joinable()) {
+    reaper.join();
+  }
+
+  if (state->reaped) {
+    result.reaped = true;
+    // Whatever the unwound trial's oracle said about its half-executed workload is
+    // not a verdict; the supervised outcome is "this seed's trial hung".
+    result.report.message = DeadlineMessage(options);
+    if (result.report.postmortem.empty() && !state->observation.text.empty()) {
+      result.report.postmortem_cause = state->observation.cause;
+      result.report.postmortem = state->observation.text;
+    }
+  } else if (result.crashed) {
+    result.report.message = "crashed: " + result.crash.what;
+  }
+  return result;
+}
+
+// ---- fork() process sandbox ---------------------------------------------------------
+
+#if SYNEVAL_SANDBOX_AVAILABLE
+
+constexpr std::uint32_t kShmSlots = 4;
+constexpr std::size_t kShmCauseCap = 64;
+constexpr std::size_t kShmTextCap = 8192;
+constexpr std::size_t kShmWhatCap = 256;
+constexpr std::size_t kShmReportCap = 32768;
+
+enum : std::uint32_t { kShmRunning = 0, kShmDone = 1, kShmCrashed = 2 };
+
+// One postmortem snapshot, guarded by a per-slot seqlock (odd while the child is
+// writing). The child's heartbeat thread round-robins the slots; the parent harvests
+// the newest slot whose sequence reads even and stable — a consistent snapshot even
+// when the child is wedged or freshly SIGKILLed mid-write.
+struct ShmPostmortemSlot {
+  std::atomic<std::uint32_t> seq;
+  char cause[kShmCauseCap];
+  char text[kShmTextCap];
+};
+
+struct ShmBlock {
+  std::atomic<std::uint32_t> state;  // kShmRunning / kShmDone / kShmCrashed.
+  std::atomic<std::uint64_t> heartbeat;
+  std::atomic<std::uint32_t> pm_cursor;  // Next slot index (monotonic).
+  std::int32_t signal_number;
+  char what[kShmWhatCap];
+  std::uint32_t report_size;
+  char report[kShmReportCap];  // EncodeTrialReport payload.
+  ShmPostmortemSlot slots[kShmSlots];
+};
+
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free &&
+                  std::atomic<std::uint64_t>::is_always_lock_free,
+              "sandbox shared-memory protocol needs lock-free atomics");
+
+void ShmCopyString(char* dst, std::size_t cap, const std::string& src) {
+  const std::size_t n = std::min(src.size(), cap - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+// Crash handlers cannot capture state; the child publishes its block here.
+ShmBlock* g_sandbox_block = nullptr;
+
+const char* SignalName(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGKILL: return "SIGKILL";
+    case SIGTERM: return "SIGTERM";
+    default: return "signal";
+  }
+}
+
+extern "C" void SandboxCrashHandler(int sig) {
+  ShmBlock* block = g_sandbox_block;
+  if (block != nullptr) {
+    block->signal_number = sig;
+    // Async-signal-safe: fixed-size copy plus lock-free atomic store.
+    char what[kShmWhatCap];
+    std::snprintf(what, sizeof(what), "signal %d (%s)", sig, SignalName(sig));
+    std::memcpy(block->what, what, sizeof(what));
+    block->state.store(kShmCrashed, std::memory_order_release);
+  }
+  _exit(128 + sig);
+}
+
+void SandboxPublishPostmortem(ShmBlock* block, const TrialObservation& observation) {
+  if (observation.text.empty()) {
+    return;
+  }
+  const std::uint32_t cursor =
+      block->pm_cursor.fetch_add(1, std::memory_order_relaxed);
+  ShmPostmortemSlot& slot = block->slots[cursor % kShmSlots];
+  const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_relaxed);  // Odd: write in progress.
+  std::atomic_thread_fence(std::memory_order_release);
+  ShmCopyString(slot.cause, kShmCauseCap, observation.cause);
+  ShmCopyString(slot.text, kShmTextCap, observation.text);
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+// Newest consistent snapshot in the ring ("" cause/text when none was published).
+TrialObservation SandboxHarvestPostmortem(const ShmBlock* block) {
+  TrialObservation best;
+  std::uint32_t best_seq = 0;
+  for (const ShmPostmortemSlot& slot : block->slots) {
+    const std::uint32_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1u) != 0 || before < best_seq) {
+      continue;
+    }
+    TrialObservation candidate;
+    candidate.cause = slot.cause;
+    candidate.text = slot.text;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != before) {
+      continue;  // Torn by a concurrent write; an older slot is still consistent.
+    }
+    best_seq = before;
+    best = std::move(candidate);
+  }
+  return best;
+}
+
+// Child-side body; never returns. Everything the trial does — constructor included —
+// happens after the fork, so a crash anywhere is contained.
+[[noreturn]] void RunSandboxChild(ShmBlock* block,
+                                  const SupervisableTrialFactory& factory,
+                                  std::uint64_t seed,
+                                  const SupervisorOptions& options) {
+  g_sandbox_block = block;
+  struct sigaction action {};
+  action.sa_handler = SandboxCrashHandler;
+  sigemptyset(&action.sa_mask);
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    sigaction(sig, &action, nullptr);
+  }
+  // std::terminate (uncaught exception in a trial thread, broken invariant) funnels
+  // into SIGABRT via abort(), which the handler above converts; record the nicer
+  // label first.
+  std::set_terminate([] {
+    if (g_sandbox_block != nullptr) {
+      ShmCopyString(g_sandbox_block->what, kShmWhatCap, "std::terminate");
+    }
+    std::abort();
+  });
+
+  block->heartbeat.fetch_add(1, std::memory_order_relaxed);
+  TrialReport report;
+  {
+    const SupervisableTrial trial = factory(seed);
+
+    // Heartbeat + live-postmortem publisher: keeps the ring fresh so the parent can
+    // harvest a recent snapshot after SIGKILLing a hung child.
+    std::atomic<bool> stop{false};
+    std::thread publisher;
+    if (trial.observe) {
+      publisher = std::thread([&] {
+        const auto period = std::max<std::chrono::milliseconds>(
+            options.sandbox_poll, std::chrono::milliseconds(1));
+        while (!stop.load(std::memory_order_relaxed)) {
+          block->heartbeat.fetch_add(1, std::memory_order_relaxed);
+          SandboxPublishPostmortem(block, trial.observe());
+          std::this_thread::sleep_for(period);
+        }
+      });
+    }
+
+    try {
+      report = trial.run();
+    } catch (const std::exception& e) {
+      ShmCopyString(block->what, kShmWhatCap, e.what());
+      block->signal_number = 0;
+      block->state.store(kShmCrashed, std::memory_order_release);
+      _exit(125);
+    } catch (...) {
+      ShmCopyString(block->what, kShmWhatCap, "unknown exception");
+      block->signal_number = 0;
+      block->state.store(kShmCrashed, std::memory_order_release);
+      _exit(125);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    if (publisher.joinable()) {
+      publisher.join();
+    }
+  }
+
+  // Ship the report; shed its biggest fields one by one if it cannot fit.
+  std::string payload = EncodeTrialReport(report);
+  if (payload.size() >= kShmReportCap) {
+    report.postmortem.clear();
+    payload = EncodeTrialReport(report);
+  }
+  if (payload.size() >= kShmReportCap) {
+    report.anomaly_report.clear();
+    payload = EncodeTrialReport(report);
+  }
+  if (payload.size() >= kShmReportCap) {
+    TrialReport minimal;
+    minimal.message = report.message.substr(0, 1024);
+    minimal.anomalies = report.anomalies;
+    payload = EncodeTrialReport(minimal);
+  }
+  std::memcpy(block->report, payload.data(), payload.size());
+  block->report_size = static_cast<std::uint32_t>(payload.size());
+  block->state.store(kShmDone, std::memory_order_release);
+  _exit(0);
+}
+
+SupervisedTrialResult RunSandboxedAttempt(const SupervisableTrialFactory& factory,
+                                          std::uint64_t seed,
+                                          const SupervisorOptions& options) {
+  SupervisedTrialResult result;
+  ActiveTrialScope active;
+
+  void* mapping = mmap(nullptr, sizeof(ShmBlock), PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mapping == MAP_FAILED) {
+    // No shared memory, no sandbox: degrade to in-process supervision.
+    return RunInProcessAttempt(factory(seed), options);
+  }
+  ShmBlock* block = new (mapping) ShmBlock();
+
+  const pid_t child = fork();
+  if (child < 0) {
+    munmap(mapping, sizeof(ShmBlock));
+    return RunInProcessAttempt(factory(seed), options);
+  }
+  if (child == 0) {
+    RunSandboxChild(block, factory, seed, options);  // _exits; never returns.
+  }
+
+  const bool untimed = options.trial_deadline.count() <= 0;
+  const Deadline deadline = Deadline::After(
+      untimed ? std::chrono::hours(24) : std::chrono::duration_cast<Deadline::Clock::duration>(
+                                             options.trial_deadline));
+  int status = 0;
+  bool exited = false;
+  for (;;) {
+    const pid_t waited = waitpid(child, &status, WNOHANG);
+    if (waited == child) {
+      exited = true;
+      break;
+    }
+    if (!untimed && deadline.Expired()) {
+      break;
+    }
+    std::this_thread::sleep_for(options.sandbox_poll);
+  }
+
+  if (!exited) {
+    // Deadline: the reap no in-process mechanism can refuse.
+    kill(child, SIGKILL);
+    waitpid(child, &status, 0);
+    result.reaped = true;
+    result.report.message = DeadlineMessage(options);
+    const TrialObservation observation = SandboxHarvestPostmortem(block);
+    result.report.postmortem_cause = observation.cause;
+    result.report.postmortem = observation.text;
+  } else {
+    const std::uint32_t state = block->state.load(std::memory_order_acquire);
+    if (state == kShmDone &&
+        block->report_size <= kShmReportCap) {
+      if (!DecodeTrialReport(
+              std::string(block->report, block->report_size), &result.report)) {
+        result.crashed = true;
+        result.crash.crashed = true;
+        result.crash.what = "sandbox report unreadable";
+        result.report.message = "crashed: sandbox report unreadable";
+      }
+    } else {
+      result.crashed = true;
+      result.crash.crashed = true;
+      if (state == kShmCrashed) {
+        result.crash.signal_number = block->signal_number;
+        result.crash.what = block->what;
+      } else if (WIFSIGNALED(status)) {
+        result.crash.signal_number = WTERMSIG(status);
+        result.crash.what = std::string("signal ") + std::to_string(WTERMSIG(status)) +
+                            " (" + SignalName(WTERMSIG(status)) + ")";
+      } else {
+        result.crash.what =
+            "exited with status " + std::to_string(WEXITSTATUS(status));
+      }
+      const TrialObservation observation = SandboxHarvestPostmortem(block);
+      result.crash.postmortem_cause = observation.cause;
+      result.crash.postmortem = observation.text;
+      result.report.message = "crashed: " + result.crash.what;
+      result.report.postmortem_cause = observation.cause;
+      result.report.postmortem = observation.text;
+    }
+  }
+  munmap(mapping, sizeof(ShmBlock));
+  return result;
+}
+
+#endif  // SYNEVAL_SANDBOX_AVAILABLE
+
+}  // namespace
+
+SupervisedTrialResult RunSupervisedTrial(const SupervisableTrial& trial,
+                                         const SupervisorOptions& options) {
+  return RunInProcessAttempt(trial, options);
+}
+
+SupervisedTrialResult RunSupervisedSeed(const SupervisableTrialFactory& factory,
+                                        std::uint64_t seed,
+                                        const SupervisorOptions& options,
+                                        SupervisorStats* stats) {
+  SupervisorStats local;
+  SupervisedTrialResult result;
+  const int max_attempts = std::max(1, options.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++local.retried;
+      std::this_thread::sleep_for(options.retry_backoff * (1 << (attempt - 2)));
+    }
+#if SYNEVAL_SANDBOX_AVAILABLE
+    if (options.sandbox) {
+      result = RunSandboxedAttempt(factory, seed, options);
+    } else {
+      result = RunInProcessAttempt(factory(seed), options);
+    }
+#else
+    result = RunInProcessAttempt(factory(seed), options);
+#endif
+    result.attempts = attempt;
+    local.reaped += result.reaped ? 1 : 0;
+    local.crashed += result.crashed ? 1 : 0;
+    if (!result.Catastrophic()) {
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    *stats += local;
+  }
+  return result;
+}
+
+SupervisedSweepReport SuperviseSweep(const std::vector<SupervisedCell>& cells,
+                                     int num_seeds, std::uint64_t base_seed,
+                                     const SupervisorOptions& options) {
+  SupervisedSweepReport report;
+  report.cells.reserve(cells.size());
+  for (const SupervisedCell& cell : cells) {
+    SupervisedCellResult cr;
+    cr.id = cell.id;
+    int catastrophic = 0;
+    for (int i = 0; i < num_seeds; ++i) {
+      const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+      const SupervisedTrialResult trial =
+          RunSupervisedSeed(cell.trial, seed, options, &cr.stats);
+      // Same accumulation the plain sweeps run, so a healthy cell's outcome is
+      // bit-identical to an unsupervised sweep of it.
+      sweep_internal::AccumulateTrial(
+          [&trial](std::uint64_t) { return trial.report; }, seed, cr.outcome);
+      ++cr.completed_seeds;
+      if (trial.Catastrophic()) {
+        ++catastrophic;
+        cr.last_crash = trial.crash;
+        cr.last_postmortem_cause = trial.report.postmortem_cause;
+        cr.last_postmortem = trial.report.postmortem;
+        if (catastrophic >= std::max(1, options.quarantine_after)) {
+          cr.quarantined = true;
+          ++cr.stats.quarantined;
+          std::ostringstream reason;
+          reason << catastrophic << " catastrophic trial"
+                 << (catastrophic == 1 ? "" : "s") << " (last: "
+                 << (trial.reaped ? DeadlineMessage(options)
+                                  : "crashed: " + trial.crash.what)
+                 << ") after " << cr.completed_seeds << "/" << num_seeds << " seeds";
+          cr.quarantine_reason = reason.str();
+          break;
+        }
+      }
+    }
+    report.totals += cr.stats;
+    report.cells.push_back(std::move(cr));
+  }
+  return report;
+}
+
+int SupervisedSweepReport::QuarantinedCells() const {
+  int count = 0;
+  for (const SupervisedCellResult& cell : cells) {
+    count += cell.quarantined ? 1 : 0;
+  }
+  return count;
+}
+
+SweepOutcome SupervisedSweepReport::MergedHealthyOutcome() const {
+  SweepOutcome merged;
+  for (const SupervisedCellResult& cell : cells) {
+    if (cell.quarantined) {
+      continue;
+    }
+    SweepOutcome copy = cell.outcome;
+    sweep_internal::MergeOutcome(merged, std::move(copy));
+  }
+  return merged;
+}
+
+std::string SupervisedSweepReport::QuarantineJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"quarantined_cells\": " << QuarantinedCells() << ",\n";
+  out << "  \"reaped\": " << totals.reaped << ",\n";
+  out << "  \"crashed\": " << totals.crashed << ",\n";
+  out << "  \"retried\": " << totals.retried << ",\n";
+  out << "  \"cells\": [";
+  bool first = true;
+  for (const SupervisedCellResult& cell : cells) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"id\": \"" << JsonEscape(cell.id) << "\", \"quarantined\": "
+        << (cell.quarantined ? "true" : "false")
+        << ", \"completed_seeds\": " << cell.completed_seeds
+        << ", \"runs\": " << cell.outcome.runs
+        << ", \"failures\": " << cell.outcome.failures
+        << ", \"reaped\": " << cell.stats.reaped
+        << ", \"crashed\": " << cell.stats.crashed
+        << ", \"retried\": " << cell.stats.retried;
+    if (cell.quarantined) {
+      out << ", \"reason\": \"" << JsonEscape(cell.quarantine_reason) << "\"";
+    }
+    if (cell.last_crash.crashed) {
+      out << ", \"crash\": {\"signal\": " << cell.last_crash.signal_number
+          << ", \"what\": \"" << JsonEscape(cell.last_crash.what) << "\"}";
+    }
+    if (!cell.last_postmortem_cause.empty() || !cell.last_postmortem.empty()) {
+      out << ", \"postmortem_cause\": \"" << JsonEscape(cell.last_postmortem_cause)
+          << "\", \"postmortem\": \"" << JsonEscape(cell.last_postmortem) << "\"";
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+bool SupervisedSweepReport::WriteQuarantineFile(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << QuarantineJson();
+    out.flush();
+    if (!out) {
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace syneval

@@ -1,0 +1,218 @@
+// Trial supervisor: deadlines, reaping, crash capture, retries, and quarantine.
+//
+// Bloom's methodology only pays off at scale — hundreds of seeds × problems ×
+// mechanisms × fault plans — and at that scale a single genuinely-hung OsRuntime trial
+// (the very deadlocks the suite exists to provoke) or one crashed worker must not
+// stall or forfeit the whole sweep. This module hardens the evaluation harness itself:
+//
+//   * RunSupervisedTrial runs one trial under a wall-clock deadline with a reaper
+//     thread. If the deadline expires, the reaper captures a live postmortem through
+//     the trial's `observe` callback and then force-unwinds the trial through its
+//     `abort` callback — for the canned OsRuntime trial, AnomalyDetector::SetAborting
+//     followed by OsRuntime::RequestAbort, so every blocked thread throws TrialAborted
+//     and unwinds through RAII guards that no-op behind the Runtime::Aborting() seam.
+//   * For cells that cannot be unwound cooperatively, an opt-in fork()-based process
+//     sandbox runs the trial in a child process: the child publishes heartbeats and
+//     live postmortems into a shared-memory ring (per-slot seqlock, so the parent can
+//     harvest a consistent snapshot from a wedged child), converts SIGSEGV / SIGABRT /
+//     SIGBUS / SIGFPE / SIGILL / std::terminate / escaping exceptions into a
+//     structured TrialCrash record in shared memory, and the parent SIGKILLs it at the
+//     deadline — a reap no in-process mechanism can refuse.
+//   * RunSupervisedSeed retries catastrophic attempts (reaped or crashed) with
+//     exponential backoff; SuperviseSweep additionally quarantines any cell whose
+//     trials keep dying — folding the seeds it did complete, skipping the rest, and
+//     reporting the cell with its last crash and postmortem in quarantine.json — so a
+//     sweep with broken cells still terminates with every healthy cell's outcome
+//     bit-identical to a clean run.
+//
+// The process-wide ActiveTrials() gauge also feeds the OsRuntime watchdog's
+// load-adaptive poll threshold (os_runtime.h): trials register through
+// ActiveTrialScope, and the stuck-wait threshold scales with how many run at once.
+//
+// docs/RESILIENCE.md covers the supervisor, the sandbox protocol, the checkpoint
+// format (runtime/checkpoint.h), and the quarantine semantics.
+
+#ifndef SYNEVAL_RUNTIME_SUPERVISOR_H_
+#define SYNEVAL_RUNTIME_SUPERVISOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "syneval/runtime/explore.h"
+
+namespace syneval {
+
+class OsRuntime;
+
+// ---- Process-wide active-trial gauge ------------------------------------------------
+
+// Number of trials currently executing in this process (supervised trials and
+// parallel-sweep chunks). Consumed by the OsRuntime watchdog's load-adaptive
+// threshold. Never returns less than 1: the caller asking is itself doing work.
+int ActiveTrials();
+
+// RAII registration of one running trial in the ActiveTrials() gauge.
+class ActiveTrialScope {
+ public:
+  ActiveTrialScope();
+  ~ActiveTrialScope();
+  ActiveTrialScope(const ActiveTrialScope&) = delete;
+  ActiveTrialScope& operator=(const ActiveTrialScope&) = delete;
+};
+
+// ---- Supervisable trials ------------------------------------------------------------
+
+// A live observation of a running (possibly hung) trial, published to the supervisor
+// by the `observe` callback: the flight-recorder postmortem as of now.
+struct TrialObservation {
+  std::string cause;  // Postmortem::cause ("" when there is nothing to explain yet).
+  std::string text;   // Postmortem::ToText().
+};
+
+// One supervisable trial instance. `run` executes the trial on the calling thread and
+// is required; the other two run on supervisor threads concurrently with `run`:
+//   abort    — force-unwind the trial cooperatively (detector SetAborting + runtime
+//              RequestAbort). Optional; without it an in-process deadline can only be
+//              observed, not enforced (use the sandbox for such cells).
+//   observe  — capture a live postmortem of the current trial state. Optional; used
+//              by the reaper just before aborting and by the sandbox child's
+//              heartbeat thread to keep the shared-memory ring fresh.
+struct SupervisableTrial {
+  std::function<TrialReport()> run;
+  std::function<void()> abort;
+  std::function<TrialObservation()> observe;
+};
+
+// Builds the trial for one seed. Called per attempt — in sandbox mode inside the
+// child process, so a crashing constructor is contained too.
+using SupervisableTrialFactory = std::function<SupervisableTrial(std::uint64_t)>;
+
+// Canned abortable OsRuntime trial: constructs a fresh abortable OsRuntime with an
+// AnomalyDetector and a trial-sized FlightRecorder attached, runs `body` (which
+// returns the oracle verdict: empty = pass), folds detector counts and a postmortem
+// into the TrialReport, and wires `abort`/`observe` to the runtime's seams.
+SupervisableTrial MakeSupervisableOsTrial(std::function<std::string(OsRuntime&)> body);
+
+// ---- Supervision policy and results -------------------------------------------------
+
+struct SupervisorOptions {
+  // Wall-clock budget per attempt; past it the reaper fires. Zero disables reaping
+  // (the trial still gets crash capture and retries).
+  std::chrono::milliseconds trial_deadline{2000};
+  // Attempts per seed: catastrophic attempts (reaped or crashed) are retried up to
+  // max_attempts - 1 times. A trial that merely fails its oracle is a *result*, not a
+  // malfunction — it is never retried.
+  int max_attempts = 2;
+  // Sleep before retry k is retry_backoff × 2^(k-1).
+  std::chrono::milliseconds retry_backoff{10};
+  // SuperviseSweep: a cell is quarantined once this many seeds end catastrophic
+  // (after their retries). Quarantining stops sweeping the cell; seeds already folded
+  // are kept, the rest are skipped.
+  int quarantine_after = 2;
+  // Run each attempt in a fork()ed child (POSIX only; ignored where unavailable).
+  bool sandbox = false;
+  // Parent-side waitpid poll period and child-side heartbeat period in sandbox mode.
+  std::chrono::milliseconds sandbox_poll{2};
+};
+
+// Structured record of a crashed attempt (sandbox: fatal signal or std::terminate;
+// in-process: an exception that escaped the trial).
+struct TrialCrash {
+  bool crashed = false;
+  int signal_number = 0;  // 0 when the crash was an exception / std::terminate.
+  std::string what;       // "signal 11 (SIGSEGV)", exception message, exit status.
+  std::string postmortem_cause;  // Latest complete postmortem harvested from the
+  std::string postmortem;        // shared-memory ring (sandbox) or observe().
+};
+
+// Counters a supervised sweep aggregates; rendered as the schema-v4 `supervisor`
+// object by the bench reporter.
+struct SupervisorStats {
+  int reaped = 0;       // Attempts force-unwound at the deadline.
+  int crashed = 0;      // Attempts that died (signal, terminate, escaped exception).
+  int retried = 0;      // Retry attempts performed.
+  int quarantined = 0;  // Cells quarantined.
+  SupervisorStats& operator+=(const SupervisorStats& other);
+};
+
+struct SupervisedTrialResult {
+  TrialReport report;  // The final attempt's report (synthesized when catastrophic).
+  bool reaped = false;
+  bool crashed = false;
+  int attempts = 1;
+  TrialCrash crash;  // Populated when crashed.
+
+  // A malfunction of the trial itself (vs. a legitimate oracle failure).
+  bool Catastrophic() const { return reaped || crashed; }
+};
+
+// Runs one already-constructed trial under the deadline/reaper (no retries — the
+// trial instance is single-use). Sandbox mode is not available here; use
+// RunSupervisedSeed, which can re-construct per attempt.
+SupervisedTrialResult RunSupervisedTrial(const SupervisableTrial& trial,
+                                         const SupervisorOptions& options);
+
+// Full per-seed supervision: build-via-factory, deadline, crash capture, retry with
+// backoff. `stats` (nullable) accumulates reaped/crashed/retried.
+SupervisedTrialResult RunSupervisedSeed(const SupervisableTrialFactory& factory,
+                                        std::uint64_t seed,
+                                        const SupervisorOptions& options,
+                                        SupervisorStats* stats);
+
+// ---- Cell-level supervision and quarantine ------------------------------------------
+
+// One risky sweep cell: a (problem, mechanism[, fault]) point whose seeds are swept
+// under supervision. `id` must be unique within the sweep (it keys quarantine.json).
+struct SupervisedCell {
+  std::string id;
+  SupervisableTrialFactory trial;
+};
+
+struct SupervisedCellResult {
+  std::string id;
+  // Folded through the same sweep_internal accumulation as every other sweep, so a
+  // healthy cell's outcome is bit-identical to an unsupervised sweep of it.
+  SweepOutcome outcome;
+  bool quarantined = false;
+  std::string quarantine_reason;  // "" unless quarantined.
+  int completed_seeds = 0;        // Seeds folded before quarantine (== runs).
+  TrialCrash last_crash;          // Last catastrophic attempt's crash record.
+  std::string last_postmortem_cause;  // Last catastrophic attempt's postmortem.
+  std::string last_postmortem;
+  SupervisorStats stats;
+};
+
+struct SupervisedSweepReport {
+  std::vector<SupervisedCellResult> cells;  // In input cell order.
+  SupervisorStats totals;
+
+  int QuarantinedCells() const;
+
+  // Merge of the non-quarantined cells' outcomes in cell order — the "remaining
+  // seeds" aggregate, bit-identical to a clean sweep over the same cells.
+  SweepOutcome MergedHealthyOutcome() const;
+
+  // quarantine.json: every cell's verdict, with crash records and per-cell
+  // postmortems for the quarantined ones.
+  std::string QuarantineJson() const;
+
+  // Writes QuarantineJson() atomically (write "<path>.tmp", rename). False on I/O
+  // failure.
+  bool WriteQuarantineFile(const std::string& path) const;
+};
+
+// Sweeps seeds base_seed .. base_seed + num_seeds - 1 over every cell under
+// supervision, quarantining cells per `options.quarantine_after`. Cells run in input
+// order, seeds in seed order (supervised cells are the risky minority — OsRuntime,
+// chaos, soak — and their trials own real threads already; the deterministic bulk
+// belongs in ParallelSweepSchedules).
+SupervisedSweepReport SuperviseSweep(const std::vector<SupervisedCell>& cells,
+                                     int num_seeds, std::uint64_t base_seed,
+                                     const SupervisorOptions& options);
+
+}  // namespace syneval
+
+#endif  // SYNEVAL_RUNTIME_SUPERVISOR_H_

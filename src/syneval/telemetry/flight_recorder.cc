@@ -37,13 +37,93 @@ const char* FlightEventTypeName(FlightEventType type) {
   return "?";
 }
 
+namespace {
+
+int CeilPow2(int value) {
+  int pow2 = 1;
+  while (pow2 < value) {
+    pow2 <<= 1;
+  }
+  return pow2;
+}
+
+}  // namespace
+
+FlightRecorder::Options FlightRecorder::Options::ForWorkload(
+    int threads, int expected_events_per_thread) {
+  Options options;
+  // A power-of-two ring count ≥ the thread count spreads the id-modulo hash evenly;
+  // the initial segment holds the expected volume outright, and growth covers the
+  // tail of trials that outrun the estimate.
+  options.rings = CeilPow2(std::clamp(threads, 1, 512));
+  options.events_per_ring = CeilPow2(std::clamp(expected_events_per_thread, 8, 8192));
+  options.grow_on_evict = true;
+  options.max_events_per_ring = std::max(options.events_per_ring, 8192);
+  return options;
+}
+
 FlightRecorder::FlightRecorder(const Options& options) : options_(options) {
   options_.rings = std::max(1, options_.rings);
   options_.events_per_ring = std::max(8, options_.events_per_ring);
+  options_.max_events_per_ring =
+      std::max(options_.max_events_per_ring, options_.events_per_ring);
   rings_ = std::vector<Ring>(static_cast<std::size_t>(options_.rings));
   for (Ring& ring : rings_) {
-    ring.slots = std::make_unique<Slot[]>(static_cast<std::size_t>(options_.events_per_ring));
+    ring.seg.store(new Segment(options_.events_per_ring), std::memory_order_relaxed);
   }
+}
+
+FlightRecorder::~FlightRecorder() {
+  for (Ring& ring : rings_) {
+    FreeChain(ring.seg.load(std::memory_order_relaxed));
+  }
+}
+
+void FlightRecorder::FreeChain(Segment* seg) {
+  while (seg != nullptr) {
+    Segment* prev = seg->prev;
+    delete seg;
+    seg = prev;
+  }
+}
+
+FlightRecorder::Segment* FlightRecorder::GrowOrWrap(Ring& ring, Segment* seg,
+                                                    std::uint64_t* cursor) {
+  if (options_.grow_on_evict) {
+    std::lock_guard<std::mutex> lock(grow_mu_);
+    for (;;) {
+      Segment* current = ring.seg.load(std::memory_order_relaxed);
+      if (current != seg) {
+        // Another writer grew the ring while we waited; take a slot there.
+        seg = current;
+        const std::uint64_t fresh =
+            seg->cursor.fetch_add(1, std::memory_order_relaxed);
+        if (fresh < static_cast<std::uint64_t>(seg->capacity)) {
+          *cursor = fresh;
+          return seg;
+        }
+        continue;  // The grown segment filled up too; grow again or hit the cap.
+      }
+      int total = 0;
+      for (Segment* s = seg; s != nullptr; s = s->prev) {
+        total += s->capacity;
+      }
+      if (total >= options_.max_events_per_ring) {
+        break;  // At the cap: fall through to eviction.
+      }
+      const int next_capacity =
+          std::clamp(options_.max_events_per_ring - total, 8, seg->capacity * 2);
+      Segment* grown = new Segment(next_capacity);
+      grown->prev = seg;
+      *cursor = grown->cursor.fetch_add(1, std::memory_order_relaxed);  // Slot 0.
+      // Release-publish: a reader that acquires `grown` sees its slots zeroed and the
+      // prev link set.
+      ring.seg.store(grown, std::memory_order_release);
+      return grown;
+    }
+  }
+  ring.evicted.fetch_add(1, std::memory_order_relaxed);
+  return seg;  // *cursor ≥ capacity; the modulo in Record wraps onto the oldest slot.
 }
 
 void FlightRecorder::OnTraceEvent(const Event& event) {
@@ -109,24 +189,27 @@ std::vector<FlightEvent> FlightRecorder::Snapshot() const {
   std::vector<FlightEvent> events;
   events.reserve(rings_.size() * static_cast<std::size_t>(options_.events_per_ring) / 4);
   for (const Ring& ring : rings_) {
-    for (int i = 0; i < options_.events_per_ring; ++i) {
-      const Slot& slot = ring.slots[i];
-      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
-      if (seq == 0) {
-        continue;
+    for (const Segment* seg = ring.seg.load(std::memory_order_acquire); seg != nullptr;
+         seg = seg->prev) {
+      for (int i = 0; i < seg->capacity; ++i) {
+        const Slot& slot = seg->slots[i];
+        const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+        if (seq == 0) {
+          continue;
+        }
+        FlightEvent event;
+        event.seq = seq;
+        event.time_nanos = slot.time.load(std::memory_order_relaxed);
+        const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+        event.resource = slot.resource.load(std::memory_order_relaxed);
+        if (slot.seq.load(std::memory_order_relaxed) != seq) {
+          continue;  // Overwritten while being read; drop rather than return torn.
+        }
+        event.thread = static_cast<std::uint32_t>(meta & 0xFFFFFFFFULL);
+        event.type = static_cast<FlightEventType>((meta >> 32) & 0xFF);
+        event.arg = meta >> 40;
+        events.push_back(event);
       }
-      FlightEvent event;
-      event.seq = seq;
-      event.time_nanos = slot.time.load(std::memory_order_relaxed);
-      const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
-      event.resource = slot.resource.load(std::memory_order_relaxed);
-      if (slot.seq.load(std::memory_order_relaxed) != seq) {
-        continue;  // Overwritten while being read; drop rather than return torn.
-      }
-      event.thread = static_cast<std::uint32_t>(meta & 0xFFFFFFFFULL);
-      event.type = static_cast<FlightEventType>((meta >> 32) & 0xFF);
-      event.arg = meta >> 40;
-      events.push_back(event);
     }
   }
   std::sort(events.begin(), events.end(),
@@ -135,21 +218,18 @@ std::vector<FlightEvent> FlightRecorder::Snapshot() const {
 }
 
 std::uint64_t FlightRecorder::evicted() const {
-  std::uint64_t live = 0;
+  std::uint64_t total = 0;
   for (const Ring& ring : rings_) {
-    live += std::min<std::uint64_t>(ring.cursor.load(std::memory_order_relaxed),
-                                    static_cast<std::uint64_t>(options_.events_per_ring));
+    total += ring.evicted.load(std::memory_order_relaxed);
   }
-  const std::uint64_t recorded_total = recorded();
-  return recorded_total > live ? recorded_total - live : 0;
+  return total;
 }
 
 void FlightRecorder::Clear() {
   for (Ring& ring : rings_) {
-    for (int i = 0; i < options_.events_per_ring; ++i) {
-      ring.slots[i].seq.store(0, std::memory_order_relaxed);
-    }
-    ring.cursor.store(0, std::memory_order_relaxed);
+    FreeChain(ring.seg.load(std::memory_order_relaxed));
+    ring.seg.store(new Segment(options_.events_per_ring), std::memory_order_relaxed);
+    ring.evicted.store(0, std::memory_order_relaxed);
   }
   seq_.store(0, std::memory_order_release);
 }

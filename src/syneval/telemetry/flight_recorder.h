@@ -91,18 +91,43 @@ class FlightRecorder : public TraceObserver {
   struct Options {
     // Number of per-thread rings. Threads hash in by id; more rings = less sharing.
     int rings = 32;
-    // Events retained per ring; older events are evicted ring-locally.
+    // Initial events per ring; older events are evicted ring-locally (or the ring
+    // grows, below).
     int events_per_ring = 256;
+
+    // Grow-on-evict: instead of overwriting its oldest event, a full ring chains a
+    // new segment of double its capacity (retired segments stay readable), until the
+    // ring's total capacity reaches max_events_per_ring — only then does it start
+    // evicting. Growth is a cold path (mutex + allocation) taken at most
+    // O(log(max/initial)) times per ring per trial; the recording fast path is
+    // unchanged. Off by default: steady-state benchmark recorders prefer a fixed
+    // footprint to an allocation mid-measurement.
+    bool grow_on_evict = false;
+    // Total capacity ceiling per ring once growth is enabled (approximate: the last
+    // segment is clamped to the remaining headroom, floored at 8 slots).
+    int max_events_per_ring = 8192;
 
     // Right-sized for one DetRuntime trial: a handful of threads and a bounded-step
     // run. Sweeps build a recorder per seed, and construction zeroes every slot, so
-    // the default 32×256 rings would cost more to allocate than to fill.
-    static Options ForTrial() { return Options{8, 128}; }
+    // the default 32×256 rings would cost more to allocate than to fill. Growth is
+    // on — a trial that turns out chatty (deep fault plans, soak bodies) keeps its
+    // full window instead of truncating the postmortem.
+    static Options ForTrial() {
+      Options options{8, 128};
+      options.grow_on_evict = true;
+      return options;
+    }
+
+    // Sized from the workload's shape: at least one ring per expected thread
+    // (rounded up to a power of two, so the id-modulo hash spreads evenly) and the
+    // initial segment sized for the expected per-thread event volume, with growth
+    // enabled as the escape hatch for the tail of trials that outrun the estimate.
+    static Options ForWorkload(int threads, int expected_events_per_thread);
   };
 
   FlightRecorder() : FlightRecorder(Options{}) {}
   explicit FlightRecorder(const Options& options);
-  ~FlightRecorder() override = default;
+  ~FlightRecorder() override;
 
   FlightRecorder(const FlightRecorder&) = delete;
   FlightRecorder& operator=(const FlightRecorder&) = delete;
@@ -115,9 +140,14 @@ class FlightRecorder : public TraceObserver {
               std::uint64_t time_nanos, std::uint64_t arg = 0) {
     const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     Ring& ring = rings_[thread % rings_.size()];
-    const std::uint64_t cursor = ring.cursor.fetch_add(1, std::memory_order_relaxed);
-    Slot& slot =
-        ring.slots[cursor % static_cast<std::uint64_t>(options_.events_per_ring)];
+    Segment* seg = ring.seg.load(std::memory_order_acquire);
+    std::uint64_t cursor = seg->cursor.fetch_add(1, std::memory_order_relaxed);
+    if (cursor >= static_cast<std::uint64_t>(seg->capacity)) {
+      // Cold path: grow the ring (if enabled and under the cap) or count an eviction
+      // and wrap onto the oldest slot.
+      seg = GrowOrWrap(ring, seg, &cursor);
+    }
+    Slot& slot = seg->slots[cursor % static_cast<std::uint64_t>(seg->capacity)];
     // Per-slot seqlock: invalidate, fill relaxed, publish the sequence with release.
     // A concurrent Snapshot() that observes a mid-write slot sees either seq == 0 or a
     // sequence that changes across its field reads, and discards the slot.
@@ -182,14 +212,34 @@ class FlightRecorder : public TraceObserver {
     std::atomic<const void*> resource{nullptr};
   };
 
-  struct Ring {
+  // One fixed-capacity block of slots. A ring is a chain of segments: `seg` points at
+  // the segment currently being written; `prev` links retired (full) segments, which
+  // stay allocated and readable until Clear()/destruction so Snapshot() keeps their
+  // events and writers that raced a growth can still wrap-write them safely.
+  struct Segment {
+    explicit Segment(int cap)
+        : capacity(cap), slots(std::make_unique<Slot[]>(static_cast<std::size_t>(cap))) {}
+    const int capacity;
     std::unique_ptr<Slot[]> slots;
-    // Monotonic cursor; slot index = cursor % capacity. Shared by colliding threads.
+    Segment* prev = nullptr;  // Older retired segment (owned; freed on Clear/dtor).
     alignas(64) std::atomic<std::uint64_t> cursor{0};
   };
 
+  struct Ring {
+    std::atomic<Segment*> seg{nullptr};  // Current (newest) segment.
+    alignas(64) std::atomic<std::uint64_t> evicted{0};  // Overwritten events.
+  };
+
+  // Cold path for a full segment: under grow_mu_, either chains a doubled segment
+  // (updating *cursor to a fresh slot in it) or — at the capacity cap, or with growth
+  // disabled — counts one eviction and returns the segment for a wrap-write.
+  Segment* GrowOrWrap(Ring& ring, Segment* seg, std::uint64_t* cursor);
+
+  void FreeChain(Segment* seg);
+
   Options options_;
   std::vector<Ring> rings_;
+  std::mutex grow_mu_;
   alignas(64) std::atomic<std::uint64_t> seq_{0};
 
   mutable std::mutex names_mu_;

@@ -109,6 +109,31 @@ TEST(AnomalyDetectorUnit, PollRespectsAgeThreshold) {
   EXPECT_TRUE(det.counts().Clean());
 }
 
+TEST(AnomalyDetectorUnit, PollThresholdScaleRaisesEffectiveThreshold) {
+  AnomalyDetector::Options options;
+  options.stuck_wait_nanos = 1'000'000'000;  // 1s base.
+  AnomalyDetector det(options);
+  EXPECT_EQ(det.effective_stuck_wait_nanos(), 1'000'000'000);
+  det.SetPollThresholdScale(8);
+  EXPECT_EQ(det.effective_stuck_wait_nanos(), 8'000'000'000);
+  det.SetPollThresholdScale(0);  // Clamped: load scale never drops below 1.
+  EXPECT_EQ(det.effective_stuck_wait_nanos(), 1'000'000'000);
+
+  // A wait older than the base threshold but younger than the scaled one is tolerated
+  // under load (8 concurrent trials legitimately stretch every wait) and flagged once
+  // the load clears.
+  det.RegisterThread(1, "waiter");
+  int cond = 0;
+  det.RegisterResource(&cond, ResourceKind::kCondition, "cond");
+  det.OnBlock(1, &cond);
+  const std::int64_t wait_age_4s = SteadyNowNanos() + 4'000'000'000;
+  det.SetPollThresholdScale(8);
+  EXPECT_EQ(det.Poll(wait_age_4s), 0);
+  det.SetPollThresholdScale(1);
+  EXPECT_EQ(det.Poll(wait_age_4s), 1);
+  EXPECT_EQ(det.counts().stuck_waiters, 1);
+}
+
 TEST(AnomalyCountsTest, SummaryAndAccumulation) {
   AnomalyCounts counts;
   EXPECT_TRUE(counts.Clean());

@@ -1,0 +1,484 @@
+// Checkpoint store + codecs (runtime/checkpoint.h): lossless round-trips, snapshot
+// load/flush behavior, malformed-line tolerance, and the headline guarantee — a sweep
+// resumed from a checkpoint merges bit-identical to an uninterrupted run, including
+// after a SIGKILL mid-sweep (fork-based test, POSIX and non-sanitized builds only).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "syneval/fault/fault.h"
+#include "syneval/runtime/checkpoint.h"
+#include "syneval/runtime/parallel_sweep.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define SYNEVAL_HAVE_FORK 1
+#endif
+
+// Fork-based kill tests do not mix with sanitizer runtimes (TSan/ASan both dislike
+// being forked mid-flight and the child dying by SIGKILL).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define SYNEVAL_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define SYNEVAL_SANITIZED 1
+#endif
+#endif
+
+namespace syneval {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// ---- Escaping -------------------------------------------------------------------------
+
+TEST(CheckpointEscapeTest, RoundTripsStructureCharacters) {
+  const std::string nasty = "a\tb\nc;d=e,f\\g\t\t\n\n;;==,,\\\\ plain";
+  const std::string escaped = CheckpointEscape(nasty);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find(';'), std::string::npos);
+  EXPECT_EQ(escaped.find('='), std::string::npos);
+  EXPECT_EQ(escaped.find(','), std::string::npos);
+  EXPECT_EQ(CheckpointUnescape(escaped), nasty);
+  EXPECT_EQ(CheckpointUnescape(CheckpointEscape("")), "");
+}
+
+// ---- Codecs ---------------------------------------------------------------------------
+
+SweepOutcome FullOutcome() {
+  SweepOutcome o;
+  o.runs = 7;
+  o.passes = 4;
+  o.failures = 3;
+  o.failing_seeds = {2, 5, 6};
+  o.first_failure = "seed 2: item=7 expected;newline\nand tab\tend";
+  o.anomalies.deadlocks = 1;
+  o.anomalies.lost_wakeups = 2;
+  o.anomalies.stuck_waiters = 3;
+  o.anomalies.starvations = 4;
+  o.anomalous_seeds = {2, 6};
+  o.first_anomaly = "seed 2: deadlock = wait-for cycle";
+  o.postmortems.push_back({2, "deadlock", "postmortem: deadlock\n  seq=1 t1 block\n"});
+  o.postmortems.push_back({6, "lost-signal", "narrative with = and ; and \\"});
+  o.postmortems_total = 3;
+  o.flight_evicted = 99;
+  return o;
+}
+
+TEST(CheckpointCodecTest, SweepOutcomeRoundTripsEveryField) {
+  const SweepOutcome o = FullOutcome();
+  SweepOutcome back;
+  ASSERT_TRUE(DecodeOutcome(EncodeOutcome(o), &back));
+  EXPECT_EQ(back.runs, o.runs);
+  EXPECT_EQ(back.passes, o.passes);
+  EXPECT_EQ(back.failures, o.failures);
+  EXPECT_EQ(back.failing_seeds, o.failing_seeds);
+  EXPECT_EQ(back.first_failure, o.first_failure);
+  EXPECT_EQ(back.anomalies.deadlocks, o.anomalies.deadlocks);
+  EXPECT_EQ(back.anomalies.lost_wakeups, o.anomalies.lost_wakeups);
+  EXPECT_EQ(back.anomalies.stuck_waiters, o.anomalies.stuck_waiters);
+  EXPECT_EQ(back.anomalies.starvations, o.anomalies.starvations);
+  EXPECT_EQ(back.anomalous_seeds, o.anomalous_seeds);
+  EXPECT_EQ(back.first_anomaly, o.first_anomaly);
+  ASSERT_EQ(back.postmortems.size(), o.postmortems.size());
+  for (std::size_t i = 0; i < o.postmortems.size(); ++i) {
+    EXPECT_EQ(back.postmortems[i].seed, o.postmortems[i].seed);
+    EXPECT_EQ(back.postmortems[i].cause, o.postmortems[i].cause);
+    EXPECT_EQ(back.postmortems[i].text, o.postmortems[i].text);
+  }
+  EXPECT_EQ(back.postmortems_total, o.postmortems_total);
+  EXPECT_EQ(back.flight_evicted, o.flight_evicted);
+}
+
+TEST(CheckpointCodecTest, EmptyOutcomeRoundTrips) {
+  SweepOutcome back;
+  back.runs = 42;  // Must be overwritten.
+  ASSERT_TRUE(DecodeOutcome(EncodeOutcome(SweepOutcome{}), &back));
+  EXPECT_EQ(back.runs, 0);
+  EXPECT_TRUE(back.failing_seeds.empty());
+  EXPECT_TRUE(back.postmortems.empty());
+}
+
+TEST(CheckpointCodecTest, ChaosOutcomeRoundTripsEveryField) {
+  ChaosSweepOutcome o;
+  o.runs = 9;
+  o.injected_runs = 8;
+  o.harmful = 5;
+  o.detected_harmful = 4;
+  o.absorbed = 2;
+  o.corrupted = 1;
+  o.clean_anomalies = 1;
+  o.clean_failures = 2;
+  o.detection_steps_total = 1234567890123ULL;
+  o.missed_seeds = {3};
+  o.fp_seeds = {1, 9};
+  o.postmortems.push_back({4, "lost-signal", "text;with=structure,chars\\\n"});
+  o.postmortems_total = 6;
+  o.postmortem_causes = {{"lost-signal", 4}, {"dead=lock;odd", 2}};
+  o.flight_evicted = 17;
+  ChaosSweepOutcome back;
+  ASSERT_TRUE(DecodeChaosOutcome(EncodeChaosOutcome(o), &back));
+  EXPECT_EQ(back.runs, o.runs);
+  EXPECT_EQ(back.injected_runs, o.injected_runs);
+  EXPECT_EQ(back.harmful, o.harmful);
+  EXPECT_EQ(back.detected_harmful, o.detected_harmful);
+  EXPECT_EQ(back.absorbed, o.absorbed);
+  EXPECT_EQ(back.corrupted, o.corrupted);
+  EXPECT_EQ(back.clean_anomalies, o.clean_anomalies);
+  EXPECT_EQ(back.clean_failures, o.clean_failures);
+  EXPECT_EQ(back.detection_steps_total, o.detection_steps_total);
+  EXPECT_EQ(back.missed_seeds, o.missed_seeds);
+  EXPECT_EQ(back.fp_seeds, o.fp_seeds);
+  ASSERT_EQ(back.postmortems.size(), 1u);
+  EXPECT_EQ(back.postmortems[0].text, o.postmortems[0].text);
+  EXPECT_EQ(back.postmortems_total, o.postmortems_total);
+  EXPECT_EQ(back.postmortem_causes, o.postmortem_causes);
+  EXPECT_EQ(back.flight_evicted, o.flight_evicted);
+}
+
+TEST(CheckpointCodecTest, TrialReportRoundTrips) {
+  TrialReport r;
+  r.message = "oracle: consumed 3 != produced 4\twith tab";
+  r.anomalies.stuck_waiters = 2;
+  r.anomaly_report = "[stuck-waiter @7] t1 stuck";
+  r.postmortem_cause = "stuck-waiter";
+  r.postmortem = "line1\nline2; k=v\n";
+  r.flight_evicted = 5;
+  TrialReport back;
+  ASSERT_TRUE(DecodeTrialReport(EncodeTrialReport(r), &back));
+  EXPECT_EQ(back.message, r.message);
+  EXPECT_EQ(back.anomalies.stuck_waiters, 2);
+  EXPECT_EQ(back.anomaly_report, r.anomaly_report);
+  EXPECT_EQ(back.postmortem_cause, r.postmortem_cause);
+  EXPECT_EQ(back.postmortem, r.postmortem);
+  EXPECT_EQ(back.flight_evicted, 5u);
+}
+
+TEST(CheckpointCodecTest, MalformedPayloadsAreRejected) {
+  SweepOutcome out;
+  out.runs = 7;
+  EXPECT_FALSE(DecodeOutcome("", &out));
+  EXPECT_FALSE(DecodeOutcome("not a record at all", &out));
+  EXPECT_EQ(out.runs, 7);  // Left untouched on failure.
+  // Kind confusion: a sweep payload never decodes as a chaos outcome or vice versa.
+  ChaosSweepOutcome chaos;
+  EXPECT_FALSE(DecodeChaosOutcome(EncodeOutcome(FullOutcome()), &chaos));
+  SweepOutcome sweep;
+  EXPECT_FALSE(DecodeOutcome(EncodeChaosOutcome(ChaosSweepOutcome{}), &sweep));
+  TrialReport report;
+  EXPECT_FALSE(DecodeTrialReport("v=sweep1", &report));
+}
+
+TEST(CheckpointCodecTest, ChunkKeyEmbedsEveryLayoutParameter) {
+  const std::string base = ChunkKey("scope/a", "sweep", 1, 100, 16, 0);
+  EXPECT_NE(base, ChunkKey("scope/b", "sweep", 1, 100, 16, 0));
+  EXPECT_NE(base, ChunkKey("scope/a", "chaos", 1, 100, 16, 0));
+  EXPECT_NE(base, ChunkKey("scope/a", "sweep", 2, 100, 16, 0));
+  EXPECT_NE(base, ChunkKey("scope/a", "sweep", 1, 101, 16, 0));
+  EXPECT_NE(base, ChunkKey("scope/a", "sweep", 1, 100, 8, 0));
+  EXPECT_NE(base, ChunkKey("scope/a", "sweep", 1, 100, 16, 1));
+  // Scope strings with structure characters cannot forge another key.
+  EXPECT_NE(ChunkKey("a\tsweep", "x", 1, 1, 1, 0), ChunkKey("a", "sweep\tx", 1, 1, 1, 0));
+}
+
+// ---- Store ----------------------------------------------------------------------------
+
+TEST(CheckpointStoreTest, CommitFlushLoadRoundTrips) {
+  const std::string path = TempPath("store_roundtrip.ckpt");
+  std::remove(path.c_str());
+  {
+    CheckpointStore store(path);
+    EXPECT_EQ(store.Load(), 0);  // Missing file: empty store, no error.
+    store.Commit("key-a", "payload-a");
+    store.Commit("key b with spaces", "payload\twith\nstructure;=,\\chars");
+    ASSERT_TRUE(store.Flush());
+    EXPECT_EQ(store.size(), 2);
+  }
+  CheckpointStore reloaded(path);
+  EXPECT_EQ(reloaded.Load(), 2);
+  std::string payload;
+  ASSERT_TRUE(reloaded.Lookup("key b with spaces", &payload));
+  EXPECT_EQ(payload, "payload\twith\nstructure;=,\\chars");
+  EXPECT_FALSE(reloaded.Lookup("absent", &payload));
+  EXPECT_EQ(reloaded.hits(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStoreTest, MalformedLinesAreSkippedOnLoad) {
+  const std::string path = TempPath("store_corrupt.ckpt");
+  {
+    std::ofstream f(path);
+    f << "syneval-checkpoint v1\n";
+    f << CheckpointEscape("good-key") << "\t" << CheckpointEscape("good-payload") << "\n";
+    f << "no-tab-on-this-line\n";
+    f << "\ttab-but-empty-key\n";
+    f << CheckpointEscape("truncated");  // No newline, no payload: dropped.
+  }
+  CheckpointStore store(path);
+  EXPECT_EQ(store.Load(), 1);  // Only the well-formed line survives.
+  std::string payload;
+  EXPECT_TRUE(store.Lookup("good-key", &payload));
+  EXPECT_EQ(payload, "good-payload");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStoreTest, WrongHeaderLoadsNothing) {
+  const std::string path = TempPath("store_header.ckpt");
+  {
+    std::ofstream f(path);
+    f << "some-other-format v9\nkey\tpayload\n";
+  }
+  CheckpointStore store(path);
+  EXPECT_EQ(store.Load(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStoreTest, FlushIsAtomicReplacement) {
+  const std::string path = TempPath("store_atomic.ckpt");
+  CheckpointStore store(path);
+  store.Commit("k", "v1");
+  ASSERT_TRUE(store.Flush());
+  store.Commit("k", "v2");
+  ASSERT_TRUE(store.Flush());
+  // No .tmp litter left behind and the snapshot holds the latest value.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  CheckpointStore reloaded(path);
+  EXPECT_EQ(reloaded.Load(), 1);
+  std::string payload;
+  ASSERT_TRUE(reloaded.Lookup("k", &payload));
+  EXPECT_EQ(payload, "v2");
+  std::remove(path.c_str());
+}
+
+// ---- Resume bit-identity --------------------------------------------------------------
+
+TrialReport SyntheticTrial(std::uint64_t seed) {
+  TrialReport r;
+  if (seed % 3 == 0) {
+    r.message = "seed " + std::to_string(seed) + " failed";
+  }
+  if (seed % 5 == 0) {
+    r.anomalies.deadlocks = 1;
+    r.anomaly_report = "synthetic deadlock at seed " + std::to_string(seed);
+    r.postmortem_cause = "deadlock";
+    r.postmortem = "postmortem for seed " + std::to_string(seed) + "\n";
+  }
+  r.flight_evicted = seed % 2;
+  return r;
+}
+
+void ExpectOutcomesIdentical(const SweepOutcome& a, const SweepOutcome& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.passes, b.passes);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.failing_seeds, b.failing_seeds);
+  EXPECT_EQ(a.first_failure, b.first_failure);
+  EXPECT_EQ(a.anomalies.deadlocks, b.anomalies.deadlocks);
+  EXPECT_EQ(a.anomalous_seeds, b.anomalous_seeds);
+  EXPECT_EQ(a.first_anomaly, b.first_anomaly);
+  ASSERT_EQ(a.postmortems.size(), b.postmortems.size());
+  for (std::size_t i = 0; i < a.postmortems.size(); ++i) {
+    EXPECT_EQ(a.postmortems[i].seed, b.postmortems[i].seed);
+    EXPECT_EQ(a.postmortems[i].text, b.postmortems[i].text);
+  }
+  EXPECT_EQ(a.postmortems_total, b.postmortems_total);
+  EXPECT_EQ(a.flight_evicted, b.flight_evicted);
+}
+
+TEST(CheckpointResumeTest, ResumedSweepMergesBitIdentical) {
+  const std::string path = TempPath("resume_sweep.ckpt");
+  std::remove(path.c_str());
+  const int kSeeds = 100;
+
+  const SweepOutcome clean = SweepSchedules(kSeeds, SyntheticTrial, 1);
+
+  // First run: checkpoint everything.
+  {
+    CheckpointStore store(path);
+    store.Load();
+    ParallelOptions options;
+    options.jobs = 4;
+    options.checkpoint = &store;
+    options.checkpoint_scope = "checkpoint_test/resume";
+    const SweepOutcome first = SweepSchedules(kSeeds, SyntheticTrial, 1, options);
+    ExpectOutcomesIdentical(first, clean);
+    EXPECT_GT(store.size(), 0);
+  }
+
+  // Resume under a different worker count: every chunk restores, nothing re-runs.
+  {
+    CheckpointStore store(path);
+    EXPECT_GT(store.Load(), 0);
+    int live_trials = 0;
+    ParallelOptions options;
+    options.jobs = 2;
+    options.checkpoint = &store;
+    options.checkpoint_scope = "checkpoint_test/resume";
+    const SweepOutcome resumed = SweepSchedules(
+        kSeeds,
+        std::function<TrialReport(std::uint64_t)>([&](std::uint64_t seed) {
+          ++live_trials;  // Benign: counted only to prove nothing re-ran.
+          return SyntheticTrial(seed);
+        }),
+        1, options);
+    ExpectOutcomesIdentical(resumed, clean);
+    EXPECT_EQ(live_trials, 0);
+    EXPECT_EQ(store.hits(), store.size());
+  }
+
+  // A different scope is a different sweep: nothing restores.
+  {
+    CheckpointStore store(path);
+    store.Load();
+    ParallelOptions options;
+    options.jobs = 2;
+    options.checkpoint = &store;
+    options.checkpoint_scope = "checkpoint_test/other-scope";
+    const SweepOutcome other = SweepSchedules(kSeeds, SyntheticTrial, 1, options);
+    ExpectOutcomesIdentical(other, clean);
+    EXPECT_EQ(store.hits(), 0);
+  }
+  std::remove(path.c_str());
+}
+
+ChaosTrialOutcome SyntheticChaosTrial(std::uint64_t seed, const FaultPlan* plan) {
+  ChaosTrialOutcome out;
+  out.steps = 100 + seed;
+  if (plan == nullptr) {
+    out.completed = true;
+    return out;
+  }
+  out.injected = 1;
+  out.first_injection_step = 10;
+  if (seed % 4 == 0) {
+    out.hung = true;
+    out.anomalies = 1;
+    out.report = "hung at seed " + std::to_string(seed);
+    out.postmortem_cause = "lost-signal";
+    out.postmortem = "chaos postmortem seed " + std::to_string(seed) + "\n";
+  } else {
+    out.completed = true;
+  }
+  return out;
+}
+
+TEST(CheckpointResumeTest, ResumedChaosSweepMergesBitIdentical) {
+  const std::string path = TempPath("resume_chaos.ckpt");
+  std::remove(path.c_str());
+  const int kSeeds = 60;
+  const FaultPlan plan;  // Unused by the synthetic trial beyond its nullness.
+
+  const ChaosSweepOutcome clean = SweepChaos(kSeeds, SyntheticChaosTrial, plan, 1);
+  {
+    CheckpointStore store(path);
+    ParallelOptions options;
+    options.jobs = 3;
+    options.checkpoint = &store;
+    options.checkpoint_scope = "checkpoint_test/chaos";
+    const ChaosSweepOutcome first =
+        SweepChaos(kSeeds, SyntheticChaosTrial, plan, 1, options);
+    EXPECT_EQ(first.runs, clean.runs);
+    EXPECT_GT(store.size(), 0);
+  }
+  {
+    CheckpointStore store(path);
+    EXPECT_GT(store.Load(), 0);
+    ParallelOptions options;
+    options.jobs = 5;
+    options.checkpoint = &store;
+    options.checkpoint_scope = "checkpoint_test/chaos";
+    const ChaosSweepOutcome resumed =
+        SweepChaos(kSeeds, SyntheticChaosTrial, plan, 1, options);
+    EXPECT_EQ(store.hits(), store.size());
+    EXPECT_EQ(resumed.runs, clean.runs);
+    EXPECT_EQ(resumed.injected_runs, clean.injected_runs);
+    EXPECT_EQ(resumed.harmful, clean.harmful);
+    EXPECT_EQ(resumed.detected_harmful, clean.detected_harmful);
+    EXPECT_EQ(resumed.absorbed, clean.absorbed);
+    EXPECT_EQ(resumed.clean_anomalies, clean.clean_anomalies);
+    EXPECT_EQ(resumed.detection_steps_total, clean.detection_steps_total);
+    EXPECT_EQ(resumed.missed_seeds, clean.missed_seeds);
+    EXPECT_EQ(resumed.fp_seeds, clean.fp_seeds);
+    ASSERT_EQ(resumed.postmortems.size(), clean.postmortems.size());
+    for (std::size_t i = 0; i < clean.postmortems.size(); ++i) {
+      EXPECT_EQ(resumed.postmortems[i].text, clean.postmortems[i].text);
+    }
+    EXPECT_EQ(resumed.postmortem_causes, clean.postmortem_causes);
+    EXPECT_EQ(resumed.flight_evicted, clean.flight_evicted);
+  }
+  std::remove(path.c_str());
+}
+
+#if defined(SYNEVAL_HAVE_FORK) && !defined(SYNEVAL_SANITIZED)
+// The acceptance-criterion shape: SIGKILL a sweep mid-flight, resume against the same
+// checkpoint file, and the merged outcome is bit-identical to the uninterrupted run.
+TEST(CheckpointResumeTest, SigkilledSweepResumesBitIdentical) {
+  const std::string path = TempPath("resume_sigkill.ckpt");
+  std::remove(path.c_str());
+  const int kSeeds = 200;
+  const SweepOutcome clean = SweepSchedules(kSeeds, SyntheticTrial, 1);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: sweep slowly, checkpointing every chunk, until the parent kills us.
+    CheckpointStore store(path);
+    ParallelOptions options;
+    options.jobs = 2;
+    options.checkpoint = &store;
+    options.checkpoint_scope = "checkpoint_test/sigkill";
+    (void)SweepSchedules(
+        kSeeds,
+        std::function<TrialReport(std::uint64_t)>([](std::uint64_t seed) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          return SyntheticTrial(seed);
+        }),
+        1, options);
+    _exit(0);  // Finished before the kill: the resume below restores everything.
+  }
+
+  // Parent: wait for the first snapshot to exist, then SIGKILL the child mid-sweep.
+  for (int i = 0; i < 2000; ++i) {
+    std::ifstream f(path);
+    std::string header;
+    if (f.good() && std::getline(f, header) && !header.empty()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  kill(child, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+
+  CheckpointStore store(path);
+  const int restored = store.Load();
+  ParallelOptions options;
+  options.jobs = 2;
+  options.checkpoint = &store;
+  options.checkpoint_scope = "checkpoint_test/sigkill";
+  const SweepOutcome resumed = SweepSchedules(kSeeds, SyntheticTrial, 1, options);
+  ExpectOutcomesIdentical(resumed, clean);
+  // The snapshot the child left behind was complete and parseable (atomic rename):
+  // whatever chunks it held restored as cache hits.
+  EXPECT_EQ(store.hits(), restored);
+  std::remove(path.c_str());
+}
+#endif  // SYNEVAL_HAVE_FORK && !SYNEVAL_SANITIZED
+
+}  // namespace
+}  // namespace syneval

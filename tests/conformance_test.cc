@@ -87,6 +87,11 @@ TEST_P(ConformanceTest, SolutionBehavesAsPredicted) {
         << conformance_case.display << ": " << result.outcome.Summary()
         << result.outcome.PostmortemDump();
   }
+  // Ring autotuning: the grow-on-evict trial recorder (Options::ForTrial) must retain
+  // every event of a default conformance sweep — an eviction here means a postmortem
+  // window was silently truncated and the sizing heuristics need retuning.
+  EXPECT_EQ(result.outcome.flight_evicted, 0u)
+      << conformance_case.display << ": flight-ring evictions truncated postmortems";
 }
 
 std::string CaseName(const ::testing::TestParamInfo<std::size_t>& info) {

@@ -233,8 +233,8 @@ TEST(ParallelSweepTest, CounterexampleReplaySweepDeadlocksOnEverySeed) {
 TEST(ParallelSweepTest, MergeWorkerTelemetrySumsByIndex) {
   std::vector<WorkerTelemetry> into;
   std::vector<WorkerTelemetry> shard(2);
-  shard[0] = WorkerTelemetry{0, 10, 2, 1, 0.5};
-  shard[1] = WorkerTelemetry{1, 12, 3, 0, 0.25};
+  shard[0] = WorkerTelemetry{0, 10, 2, 1, 0, 0.5};
+  shard[1] = WorkerTelemetry{1, 12, 3, 0, 0, 0.25};
   MergeWorkerTelemetry(into, shard);
   MergeWorkerTelemetry(into, shard);
   ASSERT_EQ(into.size(), 2u);

@@ -64,6 +64,98 @@ TEST(FlightRecorderTest, RingEvictionKeepsTheMostRecentEvents) {
   EXPECT_EQ(events.back().seq, 20u);
 }
 
+TEST(FlightRecorderTest, GrowOnEvictRetainsEveryEvent) {
+  FlightRecorder::Options options;
+  options.rings = 1;
+  options.events_per_ring = 8;
+  options.grow_on_evict = true;
+  options.max_events_per_ring = 1024;
+  FlightRecorder recorder(options);
+  int resource = 0;
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    recorder.Record(0, FlightEventType::kAcquire, &resource, i);
+  }
+  EXPECT_EQ(recorder.recorded(), 500u);
+  EXPECT_EQ(recorder.evicted(), 0u);
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 500u);
+  // Growth preserved the oldest events (a fixed ring would have kept only the tail).
+  EXPECT_EQ(events.front().seq, 1u);
+  EXPECT_EQ(events.back().seq, 500u);
+}
+
+TEST(FlightRecorderTest, GrowthStopsAtTheCapAndEvictsBeyondIt) {
+  FlightRecorder::Options options;
+  options.rings = 1;
+  options.events_per_ring = 8;
+  options.grow_on_evict = true;
+  options.max_events_per_ring = 32;
+  FlightRecorder recorder(options);
+  int resource = 0;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    recorder.Record(0, FlightEventType::kAcquire, &resource, i);
+  }
+  EXPECT_EQ(recorder.recorded(), 100u);
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  // Retained + evicted always accounts for every record, and retention is capped.
+  EXPECT_EQ(events.size() + recorder.evicted(), 100u);
+  EXPECT_LE(events.size(), 32u);
+  EXPECT_GT(recorder.evicted(), 0u);
+  // Snapshot stays globally seq-ordered across the segment chain, newest included.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+  EXPECT_EQ(events.back().seq, 100u);
+}
+
+TEST(FlightRecorderTest, ClearAfterGrowthResetsTheChain) {
+  FlightRecorder::Options options;
+  options.rings = 1;
+  options.events_per_ring = 8;
+  options.grow_on_evict = true;
+  options.max_events_per_ring = 256;
+  FlightRecorder recorder(options);
+  int resource = 0;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    recorder.Record(0, FlightEventType::kAcquire, &resource, i);
+  }
+  recorder.Clear();
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.evicted(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  recorder.Record(0, FlightEventType::kRelease, &resource, 1);
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
+}
+
+TEST(FlightRecorderTest, ForWorkloadSizesRingsToTheLoad) {
+  const FlightRecorder::Options mid = FlightRecorder::Options::ForWorkload(6, 100);
+  EXPECT_EQ(mid.rings, 8);             // Next power of two >= 6 threads.
+  EXPECT_EQ(mid.events_per_ring, 128);  // Next power of two >= 100 events.
+  EXPECT_TRUE(mid.grow_on_evict);
+  EXPECT_GE(mid.max_events_per_ring, mid.events_per_ring);
+
+  const FlightRecorder::Options tiny = FlightRecorder::Options::ForWorkload(0, 0);
+  EXPECT_EQ(tiny.rings, 1);
+  EXPECT_EQ(tiny.events_per_ring, 8);
+
+  const FlightRecorder::Options huge =
+      FlightRecorder::Options::ForWorkload(100000, 1 << 30);
+  EXPECT_LE(huge.rings, 512);
+  EXPECT_LE(huge.events_per_ring, 8192);
+}
+
+TEST(FlightRecorderTest, ForTrialGrowsInsteadOfEvicting) {
+  // The per-trial default starts small but must absorb a busy single-ring trial
+  // without dropping its earliest events (they anchor postmortem narratives).
+  FlightRecorder recorder(FlightRecorder::Options::ForTrial());
+  int resource = 0;
+  for (std::uint64_t i = 1; i <= 2000; ++i) {
+    recorder.Record(0, FlightEventType::kAcquire, &resource, i);
+  }
+  EXPECT_EQ(recorder.evicted(), 0u);
+  EXPECT_EQ(recorder.Snapshot().size(), 2000u);
+}
+
 TEST(FlightRecorderTest, ArgSaturatesAtTwentyFourBits) {
   FlightRecorder recorder;
   int resource = 0;
@@ -102,6 +194,48 @@ TEST(FlightRecorderTest, ClearResetsRingsAndCounters) {
   EXPECT_EQ(recorder.recorded(), 0u);
   EXPECT_EQ(recorder.evicted(), 0u);
   EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(FlightRecorderTest, SnapshotIsSafeWhileWritersAreGrowing) {
+  // Same shape as the fixed-ring concurrency smoke below, but with grow-on-evict so
+  // the snapshot races against GrowOrWrap publishing new segments. Under the TSan CI
+  // config this is the proof that segment hand-off is properly synchronized.
+  FlightRecorder::Options options;
+  options.rings = 2;
+  options.events_per_ring = 8;
+  options.grow_on_evict = true;
+  options.max_events_per_ring = 4096;
+  FlightRecorder recorder(options);
+  int resource = 0;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&recorder, &resource, &stop, w] {
+      std::uint64_t i = 0;
+      do {
+        ++i;
+        recorder.Record(static_cast<std::uint32_t>(w), FlightEventType::kAcquire,
+                        &resource, i, i);
+      } while (i < 1000 || !stop.load(std::memory_order_relaxed));
+    });
+  }
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<FlightEvent> events = recorder.Snapshot();
+    std::uint64_t previous = 0;
+    for (const FlightEvent& event : events) {
+      EXPECT_GT(event.seq, previous);
+      previous = event.seq;
+      EXPECT_EQ(event.type, FlightEventType::kAcquire);
+      EXPECT_EQ(event.resource, &resource);
+    }
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+  // Quiescent accounting: every record is either retained in some segment or counted
+  // as evicted past the cap.
+  EXPECT_EQ(recorder.Snapshot().size() + recorder.evicted(), recorder.recorded());
 }
 
 TEST(FlightRecorderTest, SnapshotIsSafeWhileWritersAreRecording) {

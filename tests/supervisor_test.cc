@@ -1,0 +1,355 @@
+// Trial supervisor (runtime/supervisor.h): hung-trial reaping under a wall-clock
+// deadline, crash capture, retry/quarantine policy, and the acceptance-criterion
+// scenario — a sweep with a permanently-hung cell and a crashing cell still completes
+// with every healthy cell's outcome bit-identical to a clean run.
+//
+// The reaper tests run real OsRuntime threads and are kept in the tier-1 (fast) set
+// deliberately: they must stay TSan-clean, so the sanitizer CI configs exercise the
+// reaper/trial races. Only the fork()-sandbox tests are gated off sanitized builds.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "syneval/runtime/os_runtime.h"
+#include "syneval/runtime/supervisor.h"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define SYNEVAL_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define SYNEVAL_SANITIZED 1
+#endif
+#endif
+
+namespace syneval {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// A body that parks the driving thread on a never-signalled condvar until the reaper
+// force-unwinds it (TrialAborted propagates out of Wait and out of the body).
+std::string HangForever(OsRuntime& rt) {
+  std::unique_ptr<RtMutex> mu = rt.CreateMutex();
+  std::unique_ptr<RtCondVar> cv = rt.CreateCondVar();
+  std::unique_lock<RtMutex> lock(*mu);
+  while (true) {
+    cv->Wait(*mu);
+  }
+}
+
+// A hang with managed threads parked too: the reaper must unwind all of them, and
+// JoinAll-style cleanup must not deadlock during the abort.
+std::string HangWithWorkers(OsRuntime& rt) {
+  std::unique_ptr<RtMutex> mu = rt.CreateMutex();
+  std::unique_ptr<RtCondVar> cv = rt.CreateCondVar();
+  std::vector<std::unique_ptr<RtThread>> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.push_back(rt.StartThread("parked" + std::to_string(i), [&] {
+      std::unique_lock<RtMutex> lock(*mu);
+      while (true) {
+        cv->Wait(*mu);
+      }
+    }));
+  }
+  for (auto& thread : threads) {
+    thread->Join();  // Never returns normally; unwinds when the reaper aborts.
+  }
+  return "";
+}
+
+SupervisorOptions FastOptions() {
+  SupervisorOptions options;
+  options.trial_deadline = milliseconds(150);
+  options.max_attempts = 1;
+  options.retry_backoff = milliseconds(1);
+  return options;
+}
+
+// ---- Gauge ----------------------------------------------------------------------------
+
+TEST(ActiveTrialsTest, GaugeCountsScopesAndNeverReadsZero) {
+  EXPECT_GE(ActiveTrials(), 1);
+  const int base = ActiveTrials();
+  {
+    ActiveTrialScope one;
+    ActiveTrialScope two;
+    EXPECT_GE(ActiveTrials(), base + 1);
+  }
+  EXPECT_EQ(ActiveTrials(), base);
+}
+
+// ---- Reaping --------------------------------------------------------------------------
+
+TEST(SupervisorTest, HungTrialIsReapedWithinDeadline) {
+  const auto start = steady_clock::now();
+  const SupervisedTrialResult result =
+      RunSupervisedTrial(MakeSupervisableOsTrial(HangForever), FastOptions());
+  const auto elapsed = steady_clock::now() - start;
+  EXPECT_TRUE(result.reaped);
+  EXPECT_FALSE(result.crashed);
+  EXPECT_TRUE(result.Catastrophic());
+  EXPECT_NE(result.report.message.find("reaped"), std::string::npos)
+      << result.report.message;
+  // Reaped well within an order of magnitude of the deadline (slack for slow CI).
+  EXPECT_LT(elapsed, milliseconds(5000));
+}
+
+TEST(SupervisorTest, HungManagedThreadsAreUnwoundToo) {
+  const SupervisedTrialResult result =
+      RunSupervisedTrial(MakeSupervisableOsTrial(HangWithWorkers), FastOptions());
+  EXPECT_TRUE(result.reaped);
+  EXPECT_NE(result.report.message.find("deadline"), std::string::npos);
+}
+
+TEST(SupervisorTest, ReapedTrialCarriesALivePostmortem) {
+  const SupervisedTrialResult result =
+      RunSupervisedTrial(MakeSupervisableOsTrial(HangForever), FastOptions());
+  ASSERT_TRUE(result.reaped);
+  // The reaper captured observe() just before aborting: the detector had a parked
+  // waiter to report, so the postmortem names the stuck wait.
+  EXPECT_EQ(result.report.postmortem_cause, "stuck-waiter") << result.report.postmortem;
+  EXPECT_NE(result.report.postmortem.find("stuck"), std::string::npos);
+}
+
+TEST(SupervisorTest, HealthyTrialIsUntouchedByTheDeadline) {
+  const SupervisedTrialResult result = RunSupervisedTrial(
+      MakeSupervisableOsTrial([](OsRuntime&) { return std::string(); }), FastOptions());
+  EXPECT_FALSE(result.reaped);
+  EXPECT_FALSE(result.crashed);
+  EXPECT_TRUE(result.report.Passed());
+}
+
+TEST(SupervisorTest, ZeroDeadlineDisablesReaping) {
+  // With no deadline the trial must complete on its own; use a body that finishes.
+  SupervisorOptions options;
+  options.trial_deadline = milliseconds(0);
+  const SupervisedTrialResult result = RunSupervisedTrial(
+      MakeSupervisableOsTrial([](OsRuntime&) { return std::string("verdict"); }),
+      options);
+  EXPECT_FALSE(result.reaped);
+  EXPECT_EQ(result.report.message, "verdict");
+}
+
+// ---- Crash capture --------------------------------------------------------------------
+
+TEST(SupervisorTest, EscapingExceptionBecomesStructuredCrash) {
+  const SupervisedTrialResult result = RunSupervisedTrial(
+      MakeSupervisableOsTrial([](OsRuntime&) -> std::string {
+        throw std::runtime_error("synthetic defect in trial body");
+      }),
+      FastOptions());
+  EXPECT_TRUE(result.crashed);
+  EXPECT_FALSE(result.reaped);
+  EXPECT_TRUE(result.crash.crashed);
+  EXPECT_EQ(result.crash.signal_number, 0);
+  EXPECT_NE(result.crash.what.find("synthetic defect"), std::string::npos);
+  EXPECT_NE(result.report.message.find("crashed"), std::string::npos);
+}
+
+TEST(SupervisorTest, OracleFailureIsAResultNotACrash) {
+  const SupervisedTrialResult result = RunSupervisedTrial(
+      MakeSupervisableOsTrial(
+          [](OsRuntime&) { return std::string("oracle: order violated"); }),
+      FastOptions());
+  EXPECT_FALSE(result.Catastrophic());
+  EXPECT_EQ(result.report.message, "oracle: order violated");
+}
+
+// ---- Retries --------------------------------------------------------------------------
+
+TEST(SupervisorTest, CatastrophicAttemptsAreRetriedUntilOneSucceeds) {
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  SupervisorOptions options = FastOptions();
+  options.max_attempts = 3;
+  SupervisorStats stats;
+  const SupervisedTrialResult result = RunSupervisedSeed(
+      [attempts](std::uint64_t) {
+        return MakeSupervisableOsTrial([attempts](OsRuntime&) -> std::string {
+          if (attempts->fetch_add(1) < 2) {
+            throw std::runtime_error("flaky crash");
+          }
+          return "";
+        });
+      },
+      /*seed=*/1, options, &stats);
+  EXPECT_FALSE(result.Catastrophic());
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(stats.crashed, 2);
+  EXPECT_EQ(stats.retried, 2);
+  EXPECT_TRUE(result.report.Passed());
+}
+
+TEST(SupervisorTest, OracleFailuresAreNeverRetried) {
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  SupervisorOptions options = FastOptions();
+  options.max_attempts = 5;
+  SupervisorStats stats;
+  const SupervisedTrialResult result = RunSupervisedSeed(
+      [attempts](std::uint64_t) {
+        return MakeSupervisableOsTrial([attempts](OsRuntime&) {
+          attempts->fetch_add(1);
+          return std::string("legitimate oracle failure");
+        });
+      },
+      /*seed=*/1, options, &stats);
+  EXPECT_EQ(attempts->load(), 1);
+  EXPECT_EQ(stats.retried, 0);
+  EXPECT_FALSE(result.Catastrophic());
+}
+
+// ---- Quarantine and the acceptance scenario -------------------------------------------
+
+SupervisableTrialFactory HealthyCounterCell(int start) {
+  return [start](std::uint64_t seed) {
+    return MakeSupervisableOsTrial([start, seed](OsRuntime&) -> std::string {
+      // Deterministic per-seed verdict so outcomes are comparable across sweeps.
+      return (start + static_cast<int>(seed)) % 7 == 0 ? "synthetic oracle failure"
+                                                       : "";
+    });
+  };
+}
+
+TEST(SupervisorTest, CellIsQuarantinedAfterNCatastrophicSeeds) {
+  SupervisorOptions options = FastOptions();
+  options.quarantine_after = 3;
+  const std::vector<SupervisedCell> cells = {
+      {"always-crashes", [](std::uint64_t) {
+         return MakeSupervisableOsTrial([](OsRuntime&) -> std::string {
+           throw std::runtime_error("permanent defect");
+         });
+       }}};
+  const SupervisedSweepReport report = SuperviseSweep(cells, /*num_seeds=*/10, 1, options);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const SupervisedCellResult& cell = report.cells[0];
+  EXPECT_TRUE(cell.quarantined);
+  EXPECT_EQ(cell.completed_seeds, 3);  // Swept exactly quarantine_after seeds.
+  EXPECT_EQ(cell.outcome.runs, 3);
+  EXPECT_NE(cell.quarantine_reason.find("catastrophic"), std::string::npos);
+  EXPECT_NE(cell.last_crash.what.find("permanent defect"), std::string::npos);
+  EXPECT_EQ(report.totals.quarantined, 1);
+  EXPECT_EQ(report.QuarantinedCells(), 1);
+}
+
+TEST(SupervisorTest, SweepWithHungAndCrashingCellsKeepsHealthyOutcomesBitIdentical) {
+  // 200-seed supervised sweep: two healthy cells, one permanently-hung cell, one
+  // crashing cell. The whole thing must terminate promptly (hung attempts reaped at
+  // the deadline, then quarantined) and the healthy cells' merged outcome must be
+  // bit-identical to sweeping them alone.
+  SupervisorOptions options;
+  options.trial_deadline = milliseconds(100);
+  options.max_attempts = 1;
+  options.quarantine_after = 2;
+  const int kSeeds = 200;
+
+  const std::vector<SupervisedCell> healthy_only = {
+      {"healthy/a", HealthyCounterCell(0)}, {"healthy/b", HealthyCounterCell(3)}};
+  const SupervisedSweepReport clean = SuperviseSweep(healthy_only, kSeeds, 1, options);
+  ASSERT_EQ(clean.QuarantinedCells(), 0);
+
+  std::vector<SupervisedCell> cells = healthy_only;
+  cells.push_back({"hung", [](std::uint64_t) {
+                     return MakeSupervisableOsTrial(HangForever);
+                   }});
+  cells.push_back({"crash", [](std::uint64_t) {
+                     return MakeSupervisableOsTrial([](OsRuntime&) -> std::string {
+                       throw std::runtime_error("boom");
+                     });
+                   }});
+  const auto start = steady_clock::now();
+  const SupervisedSweepReport report = SuperviseSweep(cells, kSeeds, 1, options);
+  const auto elapsed = steady_clock::now() - start;
+
+  EXPECT_EQ(report.QuarantinedCells(), 2);
+  EXPECT_TRUE(report.cells[2].quarantined);
+  EXPECT_TRUE(report.cells[3].quarantined);
+  EXPECT_GE(report.totals.reaped, 2);
+  EXPECT_GE(report.totals.crashed, 2);
+  // Quarantine bounded the damage: 2 reaps at 100ms each, not 200 hung seeds.
+  EXPECT_LT(elapsed, milliseconds(30000));
+
+  const SweepOutcome merged = report.MergedHealthyOutcome();
+  const SweepOutcome expected = clean.MergedHealthyOutcome();
+  EXPECT_EQ(merged.runs, expected.runs);
+  EXPECT_EQ(merged.passes, expected.passes);
+  EXPECT_EQ(merged.failures, expected.failures);
+  EXPECT_EQ(merged.failing_seeds, expected.failing_seeds);
+  EXPECT_EQ(merged.first_failure, expected.first_failure);
+  EXPECT_EQ(merged.runs, 2 * kSeeds);
+
+  // quarantine.json names both broken cells with explanations.
+  const std::string json = report.QuarantineJson();
+  EXPECT_NE(json.find("\"quarantined_cells\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hung\""), std::string::npos);
+  EXPECT_NE(json.find("\"crash\""), std::string::npos);
+  EXPECT_NE(json.find("boom"), std::string::npos);
+}
+
+#if (defined(__unix__) || defined(__APPLE__)) && !defined(SYNEVAL_SANITIZED)
+// ---- Process sandbox (fork) -----------------------------------------------------------
+
+TEST(SupervisorSandboxTest, SegfaultingChildBecomesStructuredCrash) {
+  SupervisorOptions options = FastOptions();
+  options.sandbox = true;
+  options.trial_deadline = milliseconds(2000);
+  SupervisorStats stats;
+  const SupervisedTrialResult result = RunSupervisedSeed(
+      [](std::uint64_t) {
+        return MakeSupervisableOsTrial([](OsRuntime&) -> std::string {
+          volatile int* null_pointer = nullptr;
+          *null_pointer = 42;  // SIGSEGV in the child, not this process.
+          return "";
+        });
+      },
+      /*seed=*/1, options, &stats);
+  EXPECT_TRUE(result.crashed);
+  EXPECT_EQ(result.crash.signal_number, SIGSEGV);
+  EXPECT_NE(result.crash.what.find("SIGSEGV"), std::string::npos) << result.crash.what;
+  EXPECT_EQ(stats.crashed, 1);
+}
+
+TEST(SupervisorSandboxTest, HungChildIsKilledAtTheDeadline) {
+  SupervisorOptions options = FastOptions();
+  options.sandbox = true;
+  options.trial_deadline = milliseconds(300);
+  SupervisorStats stats;
+  const auto start = steady_clock::now();
+  const SupervisedTrialResult result = RunSupervisedSeed(
+      [](std::uint64_t) { return MakeSupervisableOsTrial(HangForever); },
+      /*seed=*/1, options, &stats);
+  const auto elapsed = steady_clock::now() - start;
+  EXPECT_TRUE(result.reaped);
+  EXPECT_EQ(stats.reaped, 1);
+  EXPECT_LT(elapsed, milliseconds(10000));
+  // The heartbeat publisher kept the shared-memory ring fresh: the harvested
+  // postmortem explains the stuck wait even though the child died by SIGKILL.
+  EXPECT_EQ(result.report.postmortem_cause, "stuck-waiter") << result.report.postmortem;
+}
+
+TEST(SupervisorSandboxTest, CleanChildReportRoundTripsThroughSharedMemory) {
+  SupervisorOptions options = FastOptions();
+  options.sandbox = true;
+  SupervisorStats stats;
+  const SupervisedTrialResult result = RunSupervisedSeed(
+      [](std::uint64_t seed) {
+        return MakeSupervisableOsTrial([seed](OsRuntime&) {
+          return "verdict for seed " + std::to_string(seed);
+        });
+      },
+      /*seed=*/7, options, &stats);
+  EXPECT_FALSE(result.Catastrophic());
+  EXPECT_EQ(result.report.message, "verdict for seed 7");
+}
+#endif  // POSIX && !SYNEVAL_SANITIZED
+
+}  // namespace
+}  // namespace syneval

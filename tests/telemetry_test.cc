@@ -18,6 +18,7 @@
 #include "syneval/runtime/os_runtime.h"
 #include "syneval/runtime/parallel_sweep.h"
 #include "syneval/runtime/schedule.h"
+#include "syneval/runtime/supervisor.h"
 #include "syneval/sync/semaphore.h"
 #include "syneval/telemetry/metrics.h"
 #include "syneval/telemetry/perfetto.h"
@@ -136,8 +137,8 @@ TEST(HistogramTest, PercentileEndpointsMatchMinAndMax) {
 TEST(MergeWorkerTelemetryTest, MergeIntoEmptyCopiesShard) {
   std::vector<WorkerTelemetry> into;
   std::vector<WorkerTelemetry> shard(2);
-  shard[0] = WorkerTelemetry{0, 10, 4, 1, 0.5};
-  shard[1] = WorkerTelemetry{1, 12, 5, 0, 0.75};
+  shard[0] = WorkerTelemetry{0, 10, 4, 1, 0, 0.5};
+  shard[1] = WorkerTelemetry{1, 12, 5, 0, 0, 0.75};
   MergeWorkerTelemetry(into, shard);
   ASSERT_EQ(into.size(), 2u);
   EXPECT_EQ(into[0].worker, 0);
@@ -149,11 +150,11 @@ TEST(MergeWorkerTelemetryTest, MergeIntoEmptyCopiesShard) {
 TEST(MergeWorkerTelemetryTest, SumsByWorkerIndexAcrossShards) {
   std::vector<WorkerTelemetry> into;
   std::vector<WorkerTelemetry> first(2);
-  first[0] = WorkerTelemetry{0, 10, 4, 1, 0.5};
-  first[1] = WorkerTelemetry{1, 12, 5, 0, 0.75};
+  first[0] = WorkerTelemetry{0, 10, 4, 1, 0, 0.5};
+  first[1] = WorkerTelemetry{1, 12, 5, 0, 0, 0.75};
   std::vector<WorkerTelemetry> second(2);
-  second[0] = WorkerTelemetry{0, 3, 2, 1, 0.25};
-  second[1] = WorkerTelemetry{1, 4, 3, 2, 0.25};
+  second[0] = WorkerTelemetry{0, 3, 2, 1, 0, 0.25};
+  second[1] = WorkerTelemetry{1, 4, 3, 2, 0, 0.25};
   MergeWorkerTelemetry(into, first);
   MergeWorkerTelemetry(into, second);
   ASSERT_EQ(into.size(), 2u);
@@ -169,11 +170,11 @@ TEST(MergeWorkerTelemetryTest, WiderShardGrowsTheMerged) {
   // rows keep their sums and the new row starts from the shard's values.
   std::vector<WorkerTelemetry> into;
   std::vector<WorkerTelemetry> narrow(1);
-  narrow[0] = WorkerTelemetry{0, 5, 5, 0, 1.0};
+  narrow[0] = WorkerTelemetry{0, 5, 5, 0, 0, 1.0};
   std::vector<WorkerTelemetry> wide(3);
-  wide[0] = WorkerTelemetry{0, 1, 1, 0, 0.1};
-  wide[1] = WorkerTelemetry{1, 2, 2, 1, 0.2};
-  wide[2] = WorkerTelemetry{2, 3, 3, 0, 0.3};
+  wide[0] = WorkerTelemetry{0, 1, 1, 0, 0, 0.1};
+  wide[1] = WorkerTelemetry{1, 2, 2, 1, 0, 0.2};
+  wide[2] = WorkerTelemetry{2, 3, 3, 0, 0, 0.3};
   MergeWorkerTelemetry(into, narrow);
   MergeWorkerTelemetry(into, wide);
   ASSERT_EQ(into.size(), 3u);
@@ -546,6 +547,36 @@ TEST(WatchdogTelemetryTest, WatchdogExportsGauges) {
   rt.StopAnomalyWatchdog();
   EXPECT_TRUE(observed);
   EXPECT_GE(registry.GetGauge("anomaly/longest_wait_ns").Max(), 0);
+}
+
+TEST(WatchdogTelemetryTest, WatchdogExportsLoadAdaptiveThreshold) {
+  AnomalyDetector::Options det_options;
+  det_options.stuck_wait_nanos = 100'000'000;  // 100ms base threshold.
+  AnomalyDetector det(det_options);
+  MetricsRegistry registry;
+  OsRuntime rt;
+  rt.AttachAnomalyDetector(&det);
+  rt.AttachMetrics(&registry);
+
+  // Three extra registered trials on top of whatever baseline this process carries:
+  // the watchdog must scale the detector's threshold by ActiveTrials() and export the
+  // effective value as a gauge.
+  ActiveTrialScope one;
+  ActiveTrialScope two;
+  ActiveTrialScope three;
+  const int load = ActiveTrials();
+  ASSERT_GE(load, 3);
+  rt.StartAnomalyWatchdog(std::chrono::milliseconds(5));
+  bool scaled = false;
+  for (int i = 0; i < 400 && !scaled; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    scaled = registry.GetGauge("anomaly/effective_stuck_wait_ms").Max() >= 100 * load;
+  }
+  rt.StopAnomalyWatchdog();
+  EXPECT_TRUE(scaled) << "effective_stuck_wait_ms gauge max = "
+                      << registry.GetGauge("anomaly/effective_stuck_wait_ms").Max();
+  EXPECT_GE(det.effective_stuck_wait_nanos(),
+            static_cast<std::int64_t>(load) * 100'000'000);
 }
 
 #endif  // SYNEVAL_TELEMETRY_ENABLED
