@@ -14,8 +14,19 @@
 //
 // --trace=<path> replays the first flagged trial with the tracer attached and exports
 // a Perfetto trace with the postmortem narrative overlaid as a "postmortem" track.
+//
+// --soak=1 runs the supervised long-soak configuration: every trial executes under a
+// wall-clock deadline (runtime/supervisor.h; default 2s, override with
+// --trial-deadline), catastrophic seeds are retried with backoff and the cell
+// quarantined after repeated failure, seeds default to kSoakSeedsPerCase, and — with
+// --resume — checkpoints are per-seed (chunk_seeds=1) so a SIGKILL anywhere loses at
+// most the seed in flight. Healthy cells produce bit-identical rows to an
+// unsupervised run; quarantined cells are reported (and their gates skipped) instead
+// of hanging the sweep. --trial-deadline=<ms> alone also enables supervision, with
+// the normal seed count and chunk layout.
 
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -30,6 +41,7 @@
 namespace {
 
 constexpr int kSeedsPerCase = 12;
+constexpr int kSoakSeedsPerCase = 24;
 
 // --trace: replay the first stored postmortem's trial with full capture and write a
 // Perfetto trace whose "postmortem" track narrates the reconstructed failure.
@@ -69,8 +81,27 @@ void ExportPostmortemTrace(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  syneval::bench::Options options = syneval::bench::ParseArgs(argc, argv, "chaos_sweep");
+  std::map<std::string, std::string> extras;
+  syneval::bench::Options options =
+      syneval::bench::ParseArgs(argc, argv, "chaos_sweep", &extras);
+  const bool soak = extras.count("soak") != 0 && extras["soak"] != "0";
+  extras.erase("soak");
+  if (!extras.empty()) {
+    std::fprintf(stderr, "chaos_sweep: unknown flag '--%s=...' (only --soak=1)\n",
+                 extras.begin()->first.c_str());
+    return 2;
+  }
   syneval::bench::Reporter reporter(options);
+
+  // Supervision: on for --soak, or whenever a --trial-deadline was given. The
+  // in-process abort seam reaps wedged trials without losing their injector
+  // telemetry, so a reaped genuine hang still counts toward recall.
+  syneval::ChaosSupervision supervision;
+  supervision.enabled = soak || options.trial_deadline_ms > 0;
+  if (options.trial_deadline_ms > 0) {
+    supervision.options.trial_deadline =
+        std::chrono::milliseconds(options.trial_deadline_ms);
+  }
 
   // The calibration table is bit-identical at any worker count (deterministic merge in
   // runtime/parallel_sweep.h), so the golden-file diff is safe under --jobs — and
@@ -81,14 +112,36 @@ int main(int argc, char** argv) {
   if (store != nullptr) {
     parallel.checkpoint = store.get();
     parallel.checkpoint_scope = options.bench;  // RunChaosCalibration scopes per row.
+    if (soak) {
+      // Per-seed checkpoints: with the write-ahead journal flushing every commit, a
+      // SIGKILLed soak resumes having lost at most the single seed in flight.
+      parallel.chunk_seeds = 1;
+    }
   }
   const syneval::ChaosCalibrationTable table = syneval::RunChaosCalibration(
-      options.SeedsOr(kSeedsPerCase), /*base_seed=*/1, /*workload_scale=*/1, parallel);
+      options.SeedsOr(soak ? kSoakSeedsPerCase : kSeedsPerCase), /*base_seed=*/1,
+      /*workload_scale=*/1, parallel, supervision);
   reporter.SetSweepInfo(table.jobs, table.wall_seconds);
   reporter.SetWorkers(table.workers);
+  if (supervision.enabled) {
+    reporter.SetSupervisor(table.supervisor);
+    std::printf("supervisor: reaped=%d crashed=%d retried=%d quarantined=%d\n",
+                table.supervisor.reaped, table.supervisor.crashed,
+                table.supervisor.retried, table.supervisor.quarantined);
+  }
   if (store != nullptr) {
     std::printf("resume: %d chunk(s) restored, %d now checkpointed in %s\n",
                 store->hits(), store->size(), store->path().c_str());
+    reporter.SetJournal(store->appends(), store->compactions(), store->replayed());
+  }
+  if (!options.quarantine_path.empty()) {
+    if (table.WriteQuarantineFile(options.quarantine_path)) {
+      std::printf("wrote %s\n", options.quarantine_path.c_str());
+    } else {
+      std::fprintf(stderr, "chaos_sweep: cannot write --quarantine-out file '%s'\n",
+                   options.quarantine_path.c_str());
+      return 1;
+    }
   }
 
   bool gate_failed = false;
@@ -138,6 +191,18 @@ int main(int argc, char** argv) {
 
     std::printf("%-18s %-28s %-12s %s\n", row.problem.c_str(), row.display.c_str(),
                 row.fault.c_str(), o.Summary().c_str());
+    // Quarantined cells (supervised sweeps only): the row still carries whatever
+    // seeds completed before quarantine — including reaped genuine hangs, which kept
+    // their injector counts — but its folded metrics are partial, so calibration
+    // gates would misfire. Report the harvested postmortem and move on; the
+    // quarantine file carries the details and CI inspects it separately.
+    if (row.quarantined) {
+      std::printf("  QUARANTINED: %s\n", row.quarantine_reason.c_str());
+      if (!row.last_postmortem_cause.empty()) {
+        std::printf("  last postmortem cause: %s\n", row.last_postmortem_cause.c_str());
+      }
+      continue;
+    }
     // Blocking recall gates: lost-signal is the detector's bread-and-butter fault, and
     // the calibration golden shows every harmful one caught across *all* footnote-2
     // problem families in the suite — any regression from 1.00 recall is a detector

@@ -19,7 +19,7 @@ namespace {
 
 void PrintUsage(const std::string& bench_name, std::ostream& os) {
   os << "usage: " << bench_name << " [flags]\n"
-     << "  --json=<path>     write machine-readable results (schema_version 4)\n"
+     << "  --json=<path>     write machine-readable results (schema_version 5)\n"
      << "  --trace=<path>    write a Perfetto/Chrome trace (when the bench records one)\n"
      << "  --repeats=<n>     measured repetitions per configuration (default 3)\n"
      << "  --warmup=<n>      unrecorded warmup repetitions (default 1)\n"
@@ -195,6 +195,13 @@ void Reporter::SetSupervisor(const SupervisorStats& stats) {
   supervisor_ = stats;
 }
 
+void Reporter::SetJournal(int appends, int compactions, int replayed) {
+  have_journal_ = true;
+  journal_appends_ = appends;
+  journal_compactions_ = compactions;
+  journal_replayed_ = replayed;
+}
+
 void Reporter::AddPostmortem(PostmortemEntry entry) {
   postmortems_.push_back(std::move(entry));
 }
@@ -227,7 +234,7 @@ bool Reporter::Finish() const {
     return true;
   }
   std::ostringstream out;
-  out << "{\"schema_version\":4,\"bench\":\"" << JsonEscape(options_.bench) << "\"";
+  out << "{\"schema_version\":5,\"bench\":\"" << JsonEscape(options_.bench) << "\"";
   // Sweep-pool accounting goes in top-level keys, never in "results": the result rows
   // must stay deterministic for golden-file diffs, and timings are machine-dependent.
   if (have_sweep_info_) {
@@ -253,6 +260,11 @@ bool Reporter::Finish() const {
         << ",\"crashed\":" << supervisor_.crashed
         << ",\"retried\":" << supervisor_.retried
         << ",\"quarantined\":" << supervisor_.quarantined << "}";
+  }
+  if (have_journal_) {
+    out << ",\"journal\":{\"appends\":" << journal_appends_
+        << ",\"compactions\":" << journal_compactions_
+        << ",\"replayed\":" << journal_replayed_ << "}";
   }
   if (!postmortems_.empty()) {
     out << ",\"postmortem\":[";

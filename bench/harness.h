@@ -28,7 +28,7 @@
 //   * Reporter — collects {bench, mechanism, problem, metric, value, unit} rows,
 //     renders them as a text table, and writes the stable JSON schema:
 //
-//       {"schema_version": 4,
+//       {"schema_version": 5,
 //        "bench": "<name>",
 //        "jobs": <n>,                  // only when the bench ran a sweep pool
 //        "wall_seconds": <x>,          // ditto
@@ -36,6 +36,8 @@
 //                     "cached": ..., "wall_seconds": ...}, ...],  // ditto: per-worker
 //        "supervisor": {"reaped": ..., "crashed": ..., "retried": ...,
 //                       "quarantined": ...},        // only for supervised benches
+//        "journal": {"appends": ..., "compactions": ...,
+//                    "replayed": ...},              // only for --resume benches
 //        "postmortem": [{"mechanism": "...", "problem": "...", "seed": <n>,
 //                        "cause": "...", "text": "...",
 //                        "detail": {...}}, ...],    // only when postmortems occurred
@@ -50,9 +52,12 @@
 //     narratives of anomalous trials — see src/syneval/telemetry/postmortem.h);
 //     schema_version 4 added the optional top-level "supervisor" counters
 //     (runtime/supervisor.h) and the "cached" field on worker rows (chunks restored
-//     from a --resume checkpoint). The worker telemetry, supervisor counters, and
-//     postmortems deliberately live OUTSIDE "results" so golden-file diffs over the
-//     deterministic rows never see machine-dependent timings or multi-line narratives.
+//     from a --resume checkpoint); schema_version 5 added the optional top-level
+//     "journal" counters (runtime/checkpoint.h write-ahead-journal telemetry: appends
+//     written, compactions performed, entries replayed over the snapshot on Load).
+//     The worker telemetry, supervisor counters, journal counters, and postmortems
+//     deliberately live OUTSIDE "results" so golden-file diffs over the deterministic
+//     rows never see machine-dependent timings or multi-line narratives.
 
 #ifndef SYNEVAL_BENCH_HARNESS_H_
 #define SYNEVAL_BENCH_HARNESS_H_
@@ -174,6 +179,11 @@ class Reporter {
   // top-level "supervisor" object of the v4 schema.
   void SetSupervisor(const SupervisorStats& stats);
 
+  // Checkpoint-journal counters for benches that ran with --resume: emitted as the
+  // top-level "journal" object of the v5 schema (CheckpointStore::appends() /
+  // compactions() / replayed()).
+  void SetJournal(int appends, int compactions, int replayed);
+
   // One retained postmortem, emitted under the top-level "postmortem" array of the
   // v3 schema. `detail_json` is an optional pre-rendered JSON object
   // (Postmortem::ToJson()) embedded verbatim as the entry's "detail" key.
@@ -218,6 +228,10 @@ class Reporter {
   std::vector<WorkerTelemetry> workers_;
   bool have_supervisor_ = false;
   SupervisorStats supervisor_;
+  bool have_journal_ = false;
+  int journal_appends_ = 0;
+  int journal_compactions_ = 0;
+  int journal_replayed_ = 0;
   std::vector<PostmortemEntry> postmortems_;
 };
 

@@ -1,8 +1,13 @@
 #include "syneval/fault/chaos.h"
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <sstream>
+#include <thread>
 #include <utility>
 
 #include "syneval/anomaly/detector.h"
@@ -38,6 +43,18 @@ DetRuntime::Options ChaosOptions() {
   return options;
 }
 
+// Chaos trials keep the trial-sized rings but raise the growth cap: stall and
+// lost-signal plans run to the 20k-step budget with every event retained, and the
+// busiest ring (the semaphore alarm-clock under lost-signal) peaks well past
+// ForTrial()'s 8192-event cap. 65536 keeps flight_evicted at zero across the whole
+// calibration grid — asserted by the golden file — at a bounded worst-case cost of a
+// few MB per trial, paid only by rings that actually grow.
+FlightRecorder::Options ChaosFlightOptions() {
+  FlightRecorder::Options options = FlightRecorder::Options::ForTrial();
+  options.max_events_per_ring = 65536;
+  return options;
+}
+
 // Derives the per-trial injector seed: probability triggers then pick different
 // injection points on different schedules, while (plan, schedule seed) still fully
 // determines the run.
@@ -55,7 +72,11 @@ ChaosReplayResult FinishTrial(const DetRuntime::RunResult& result,
   ChaosReplayResult replay;
   ChaosTrialOutcome& out = replay.outcome;
   out.completed = result.completed;
-  out.hung = result.deadlocked || result.step_limit;
+  // A supervisor-aborted run is a hang for calibration purposes: the reaper only
+  // fires past the wall-clock deadline, and routing the reap through the normal
+  // result keeps its injector counts and diagnosis in the fold — a reaped genuine
+  // hang still counts toward recall instead of vanishing.
+  out.hung = result.deadlocked || result.step_limit || result.aborted;
   out.steps = result.steps;
   out.anomalies = detector.counts().total();
   out.flight_evicted = flight.evicted();
@@ -106,7 +127,7 @@ ChaosReplayFn MakeChaosTrial(
     DetRuntime runtime(MakeRandomSchedule(seed), ChaosOptions());
     AnomalyDetector detector;
     TraceRecorder trace;
-    FlightRecorder flight{FlightRecorder::Options::ForTrial()};
+    FlightRecorder flight{ChaosFlightOptions()};
     detector.AttachTrace(&trace);
     trace.SetObserver(&detector);
     trace.SetSecondaryObserver(&flight);
@@ -117,6 +138,18 @@ ChaosReplayFn MakeChaosTrial(
       injector.emplace(SeededPlan(*plan, seed));
       runtime.AttachFaultInjector(&*injector);
     }
+    // Supervision seam: registers the runtime's abort with the thread's installed
+    // TrialAbortSlot (a no-op on unsupervised runs — see runtime/supervisor.h). The
+    // abort path diagnoses and tears down through Run(), so FinishTrial sees a
+    // normal aborted result.
+    TrialAbortScope abort_scope([&runtime] { runtime.RequestAbort(); },
+                                [&flight, &detector] {
+                                  const Postmortem pm = BuildPostmortem(flight, &detector);
+                                  TrialObservation obs;
+                                  obs.cause = pm.cause;
+                                  obs.text = pm.empty() ? std::string() : pm.ToText();
+                                  return obs;
+                                });
     std::unique_ptr<SolutionT> solution = make(runtime);
     ThreadList threads = spawn(runtime, *solution, trace);
     const DetRuntime::RunResult result = runtime.Run();
@@ -204,7 +237,7 @@ struct ChaosSuiteBuilder {
       DetRuntime runtime(MakeRandomSchedule(seed), ChaosOptions());
       AnomalyDetector detector;
       TraceRecorder trace;
-      FlightRecorder flight{FlightRecorder::Options::ForTrial()};
+      FlightRecorder flight{ChaosFlightOptions()};
       detector.AttachTrace(&trace);
       trace.SetObserver(&detector);
       trace.SetSecondaryObserver(&flight);
@@ -215,6 +248,15 @@ struct ChaosSuiteBuilder {
         injector.emplace(SeededPlan(*plan, seed));
         runtime.AttachFaultInjector(&*injector);
       }
+      TrialAbortScope abort_scope([&runtime] { runtime.RequestAbort(); },
+                                  [&flight, &detector] {
+                                    const Postmortem pm =
+                                        BuildPostmortem(flight, &detector);
+                                    TrialObservation obs;
+                                    obs.cause = pm.cause;
+                                    obs.text = pm.empty() ? std::string() : pm.ToText();
+                                    return obs;
+                                  });
       VirtualDisk disk(params.tracks, 0);
       std::unique_ptr<DiskSchedulerIface> scheduler = make(runtime);
       DiskWorkloadParams seeded = params;
@@ -245,6 +287,126 @@ struct ChaosSuiteBuilder {
             [](const std::vector<Event>& events) { return CheckAlarmClock(events, 0); })));
   }
 };
+
+}  // namespace
+
+// ---- Supervised chaos trials --------------------------------------------------------
+
+namespace chaos_internal {
+
+ChaosTrial MakeSupervisedChaosTrial(ChaosTrial inner, const SupervisorOptions& sup,
+                                    std::shared_ptr<SupervisedRowState> state) {
+  return [inner = std::move(inner), sup, state = std::move(state)](
+             std::uint64_t seed, const FaultPlan* plan) -> ChaosTrialOutcome {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->quarantined) {
+        ChaosTrialOutcome skipped;
+        skipped.skipped = true;
+        return skipped;
+      }
+    }
+    const int max_attempts = sup.max_attempts < 1 ? 1 : sup.max_attempts;
+    ChaosTrialOutcome out;
+    std::string failure;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (attempt > 1) {
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          ++state->stats.retried;
+        }
+        std::this_thread::sleep_for(sup.retry_backoff * (1 << (attempt - 2)));
+      }
+      out = ChaosTrialOutcome();
+      failure.clear();
+      bool crashed = false;
+      std::string crash_what;
+      TrialAbortSlot slot;
+      const TrialReapResult reap = RunWithTrialDeadline(slot, sup.trial_deadline, [&] {
+        try {
+          out = inner(seed, plan);
+        } catch (const std::exception& error) {
+          crashed = true;
+          crash_what = error.what();
+        } catch (...) {
+          crashed = true;
+          crash_what = "unknown exception";
+        }
+      });
+      if (crashed) {
+        // Synthesize what the unsupervised sweep's catch block would have folded, so
+        // the row's denominators stay in step even on the retry-exhausted path.
+        out = ChaosTrialOutcome();
+        out.hung = true;
+        out.report = "trial aborted: " + crash_what;
+        failure = "crashed: " + crash_what;
+        std::lock_guard<std::mutex> lock(state->mu);
+        ++state->stats.crashed;
+      } else if (reap.reaped) {
+        // The reaped trial still returned through DetRuntime's abort path, so `out`
+        // carries its injector counts, step count, and diagnosis. Supplement the
+        // postmortem with the reaper's pre-abort harvest when the trial had none.
+        if (out.postmortem.empty() && !reap.observation.text.empty()) {
+          out.postmortem_cause = reap.observation.cause;
+          out.postmortem = reap.observation.text;
+        }
+        failure = "reaped: trial exceeded its wall-clock deadline";
+        std::lock_guard<std::mutex> lock(state->mu);
+        ++state->stats.reaped;
+      } else {
+        return out;  // Healthy (or legitimately failing) attempt: a result, not a
+                     // malfunction — never retried.
+      }
+    }
+    // Catastrophic after every attempt: fold the last attempt's outcome anyway (a
+    // reaped genuine hang still counts toward recall) and move the row toward
+    // quarantine.
+    std::lock_guard<std::mutex> lock(state->mu);
+    ++state->catastrophic_seeds;
+    if (!out.postmortem.empty()) {
+      state->last_postmortem_cause = out.postmortem_cause;
+      state->last_postmortem = out.postmortem;
+    }
+    if (!state->quarantined && state->catastrophic_seeds >= sup.quarantine_after) {
+      state->quarantined = true;
+      ++state->stats.quarantined;
+      state->quarantine_reason = std::to_string(state->catastrophic_seeds) +
+                                 " catastrophic seed(s) (last: " + failure + ")";
+    }
+    return out;
+  };
+}
+
+}  // namespace chaos_internal
+
+namespace {
+
+// Minimal JSON string escaping for the calibration quarantine file (mirrors the
+// supervisor's; the fault layer sits below syneval_core, so it cannot reuse the
+// scorecard helpers).
+std::string QuarantineJsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -322,9 +484,71 @@ int ChaosCalibrationTable::TotalFalsePositives() const {
   return total;
 }
 
+int ChaosCalibrationTable::QuarantinedRows() const {
+  int count = 0;
+  for (const ChaosCalibrationRow& row : rows) {
+    count += row.quarantined ? 1 : 0;
+  }
+  return count;
+}
+
+std::string ChaosCalibrationTable::QuarantineJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"quarantined_cells\": " << QuarantinedRows() << ",\n";
+  out << "  \"reaped\": " << supervisor.reaped << ",\n";
+  out << "  \"crashed\": " << supervisor.crashed << ",\n";
+  out << "  \"retried\": " << supervisor.retried << ",\n";
+  out << "  \"cells\": [";
+  bool first = true;
+  for (const ChaosCalibrationRow& row : rows) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"id\": \""
+        << QuarantineJsonEscape(row.problem + "/" + row.display + "/" + row.fault)
+        << "\", \"quarantined\": " << (row.quarantined ? "true" : "false")
+        << ", \"completed_seeds\": " << row.outcome.runs
+        << ", \"skipped_seeds\": " << row.outcome.skipped
+        << ", \"harmful\": " << row.outcome.harmful
+        << ", \"detected_harmful\": " << row.outcome.detected_harmful;
+    if (row.quarantined) {
+      out << ", \"reason\": \"" << QuarantineJsonEscape(row.quarantine_reason) << "\"";
+    }
+    if (!row.last_postmortem_cause.empty() || !row.last_postmortem.empty()) {
+      out << ", \"postmortem_cause\": \"" << QuarantineJsonEscape(row.last_postmortem_cause)
+          << "\", \"postmortem\": \"" << QuarantineJsonEscape(row.last_postmortem) << "\"";
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+bool ChaosCalibrationTable::WriteQuarantineFile(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << QuarantineJson();
+    out.flush();
+    if (!out) {
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 ChaosCalibrationTable RunChaosCalibration(int seeds_per_case, std::uint64_t base_seed,
                                           int workload_scale,
-                                          const ParallelOptions& parallel) {
+                                          const ParallelOptions& parallel,
+                                          const ChaosSupervision& supervision) {
   const auto grid_start = std::chrono::steady_clock::now();
   ChaosCalibrationTable table;
   table.seeds_per_case = seeds_per_case;
@@ -347,9 +571,24 @@ ChaosCalibrationTable RunChaosCalibration(int seeds_per_case, std::uint64_t base
                                    chaos_case.display + "/" + family.name + "/scale" +
                                    std::to_string(workload_scale);
       }
+      ChaosTrial trial = chaos_case.trial;
+      std::shared_ptr<chaos_internal::SupervisedRowState> row_state;
+      if (supervision.enabled) {
+        row_state = std::make_shared<chaos_internal::SupervisedRowState>();
+        trial = chaos_internal::MakeSupervisedChaosTrial(chaos_case.trial,
+                                                         supervision.options, row_state);
+      }
       ParallelChaosResult sweep =
-          ParallelSweepChaos(seeds_per_case, chaos_case.trial, plan, base_seed, scoped);
+          ParallelSweepChaos(seeds_per_case, trial, plan, base_seed, scoped);
       row.outcome = std::move(sweep.outcome);
+      if (row_state != nullptr) {
+        std::lock_guard<std::mutex> lock(row_state->mu);
+        row.quarantined = row_state->quarantined;
+        row.quarantine_reason = row_state->quarantine_reason;
+        row.last_postmortem_cause = row_state->last_postmortem_cause;
+        row.last_postmortem = row_state->last_postmortem;
+        table.supervisor += row_state->stats;
+      }
       table.jobs = sweep.jobs;
       MergeWorkerTelemetry(table.workers, sweep.workers);
       table.rows.push_back(std::move(row));

@@ -22,6 +22,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +31,7 @@
 #include "syneval/fault/fault.h"
 #include "syneval/runtime/explore.h"
 #include "syneval/runtime/parallel_sweep.h"
+#include "syneval/runtime/supervisor.h"
 #include "syneval/solutions/solution_info.h"
 #include "syneval/telemetry/postmortem.h"
 #include "syneval/trace/event.h"
@@ -75,6 +78,23 @@ struct ChaosFaultFamily {
 
 std::vector<ChaosFaultFamily> CalibrationFaultFamilies();
 
+// Supervision policy for RunChaosCalibration (see runtime/supervisor.h). Disabled by
+// default; when enabled, every trial of every row runs under a wall-clock deadline
+// with a reaper (DetRuntime::RequestAbort through the TrialAbortSlot seam),
+// catastrophic attempts — reaped or crashed — retry with exponential backoff, and a
+// row that keeps dying is quarantined: its remaining seeds are skipped (counted in
+// ChaosSweepOutcome::skipped), its folded seeds are kept, and the row carries the
+// last harvested postmortem. With no catastrophic seeds the supervised table is
+// field-by-field identical to the unsupervised one at any worker count — the seam
+// adds no observable behavior to a healthy trial.
+struct ChaosSupervision {
+  bool enabled = false;
+  // trial_deadline / max_attempts / retry_backoff / quarantine_after apply as
+  // documented in SupervisorOptions. `sandbox` is ignored: chaos trials run
+  // in-process under DetRuntime, whose abort seam the reaper uses.
+  SupervisorOptions options;
+};
+
 struct ChaosCalibrationRow {
   std::string problem;
   Mechanism mechanism = Mechanism::kSemaphore;
@@ -82,6 +102,15 @@ struct ChaosCalibrationRow {
   std::string fault;  // ChaosFaultFamily::name.
   std::string plan;   // The plan text, for replay.
   ChaosSweepOutcome outcome;
+
+  // Supervision verdicts (all default on unsupervised runs). A reaped trial still
+  // folds into `outcome` through DetRuntime's abort path — injector counts, step
+  // count, diagnosis, postmortem — so a reaped genuine hang keeps counting toward
+  // recall; quarantine only stops *future* seeds of the row.
+  bool quarantined = false;
+  std::string quarantine_reason;      // "" unless quarantined.
+  std::string last_postmortem_cause;  // Last catastrophic attempt's harvest.
+  std::string last_postmortem;
 };
 
 struct ChaosCalibrationTable {
@@ -96,19 +125,36 @@ struct ChaosCalibrationTable {
   double wall_seconds = 0;
   std::vector<WorkerTelemetry> workers;
 
+  // Supervision accounting (all zero on unsupervised runs).
+  SupervisorStats supervisor;
+
   // Worst (minimum) recall over rows that had harmful runs; 1.0 when none did.
   double MinRecall() const;
   // Total fault-off false positives across all rows.
   int TotalFalsePositives() const;
+
+  int QuarantinedRows() const;
+  // quarantine.json for the calibration grid: every row's verdict, with reasons and
+  // harvested postmortems for the quarantined ones. Same spirit as
+  // SupervisedSweepReport::QuarantineJson, keyed "problem/display/fault".
+  std::string QuarantineJson() const;
+  // Writes QuarantineJson() atomically (write "<path>.tmp", rename). False on I/O
+  // failure.
+  bool WriteQuarantineFile(const std::string& path) const;
 };
 
 // Runs the full suite × family grid. 2 × seeds_per_case trials per row; each row's
 // seed range is sharded across `parallel` workers (the row/table order is fixed, and
-// the outcome of every row is bit-identical to the serial sweep).
+// the outcome of every row is bit-identical to the serial sweep). With
+// supervision.enabled, trials additionally run under the deadline/retry/quarantine
+// policy above; healthy rows stay bit-identical, while a quarantined row's folded
+// seed count depends on when the quarantine landed relative to the worker pool (only
+// the *healthy* rows carry the determinism guarantee).
 ChaosCalibrationTable RunChaosCalibration(int seeds_per_case = 20,
                                           std::uint64_t base_seed = 1,
                                           int workload_scale = 1,
-                                          const ParallelOptions& parallel = {});
+                                          const ParallelOptions& parallel = {},
+                                          const ChaosSupervision& supervision = {});
 
 // Re-runs one (problem, mechanism, fault-family) calibration cell at `seed`, keeping
 // the full logical trace and structured postmortem. `fault_family` may be "" for a
@@ -121,6 +167,34 @@ std::optional<ChaosReplayResult> ReplayChaosTrial(const std::string& problem,
                                                   std::uint64_t seed,
                                                   std::uint64_t base_seed = 1,
                                                   int workload_scale = 1);
+
+// Implementation seam, exposed so tests can drive the supervision wrapper against
+// synthetic trials (hanging, crashing) that the real calibration suite deliberately
+// does not contain.
+namespace chaos_internal {
+
+// Shared per-row supervision state. Workers of the row's sweep pool update it
+// concurrently; a single mutex guards everything (catastrophic seeds are the rare
+// path, so contention is negligible).
+struct SupervisedRowState {
+  std::mutex mu;
+  bool quarantined = false;
+  int catastrophic_seeds = 0;
+  std::string quarantine_reason;
+  std::string last_postmortem_cause;
+  std::string last_postmortem;
+  SupervisorStats stats;
+};
+
+// Wraps one row's trial in the supervision policy: quarantine short-circuit, per-
+// attempt deadline/reaper through the TrialAbortSlot seam, catastrophic-only retry
+// with exponential backoff. A healthy trial takes exactly one pass through the inner
+// callback and returns its outcome untouched — bit-identity for healthy cells is
+// structural, not a property of the policy parameters.
+ChaosTrial MakeSupervisedChaosTrial(ChaosTrial inner, const SupervisorOptions& options,
+                                    std::shared_ptr<SupervisedRowState> state);
+
+}  // namespace chaos_internal
 
 }  // namespace syneval
 

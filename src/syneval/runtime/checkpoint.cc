@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -253,8 +254,11 @@ bool DecodeOutcome(const std::string& payload, SweepOutcome* out) {
 
 std::string EncodeChaosOutcome(const ChaosSweepOutcome& outcome) {
   RecordWriter w;
-  w.Put("v", "chaos1");
+  // "chaos2" added the quarantine `skip` count; "chaos1" payloads decode as cache
+  // misses and re-fold, which is always safe.
+  w.Put("v", "chaos2");
   w.PutInt("runs", outcome.runs);
+  w.PutInt("skip", outcome.skipped);
   w.PutInt("inj", outcome.injected_runs);
   w.PutInt("harm", outcome.harmful);
   w.PutInt("det", outcome.detected_harmful);
@@ -281,12 +285,13 @@ std::string EncodeChaosOutcome(const ChaosSweepOutcome& outcome) {
 bool DecodeChaosOutcome(const std::string& payload, ChaosSweepOutcome* out) {
   const RecordReader r(payload);
   std::string version;
-  if (!r.Get("v", &version) || version != "chaos1") {
+  if (!r.Get("v", &version) || version != "chaos2") {
     return false;
   }
   ChaosSweepOutcome decoded;
   int ncause = 0;
-  if (!r.GetInt("runs", &decoded.runs) || !r.GetInt("inj", &decoded.injected_runs) ||
+  if (!r.GetInt("runs", &decoded.runs) || !r.GetInt("skip", &decoded.skipped) ||
+      !r.GetInt("inj", &decoded.injected_runs) ||
       !r.GetInt("harm", &decoded.harmful) ||
       !r.GetInt("det", &decoded.detected_harmful) ||
       !r.GetInt("abs", &decoded.absorbed) || !r.GetInt("corr", &decoded.corrupted) ||
@@ -363,33 +368,72 @@ std::string ChunkKey(std::string_view scope, std::string_view kind,
 CheckpointStore::CheckpointStore(std::string path) : path_(std::move(path)) {}
 
 CheckpointStore::~CheckpointStore() {
+  // Every commit is already durable in the journal (write-ahead, flushed per
+  // append); there is nothing pending to save.
   std::lock_guard<std::mutex> lock(mu_);
-  if (pending_ > 0) {
-    FlushLocked();
+  if (journal_.is_open()) {
+    journal_.close();
   }
 }
 
 int CheckpointStore::Load() {
-  std::ifstream in(path_);
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::ifstream in(path_);
+    if (in) {
+      std::string line;
+      if (std::getline(in, line) && line == "syneval-checkpoint v1") {
+        while (std::getline(in, line)) {
+          const std::size_t tab = line.find('\t');
+          if (tab == std::string::npos || tab == 0) {
+            continue;  // Malformed line: skip; the chunk just gets re-folded.
+          }
+          entries_[CheckpointUnescape(std::string_view(line).substr(0, tab))] =
+              CheckpointUnescape(std::string_view(line).substr(tab + 1));
+        }
+      }
+      // Missing/foreign header: treat the snapshot as empty rather than misread it.
+    }
+  }
+  // The journal replays OVER the snapshot: entries appended after the last
+  // compaction, or re-appended during a crashed compaction (idempotent duplicates).
+  // replayed_ counts lines replayed; the return value is distinct entries, so
+  // duplicates (same key in snapshot and journal) are not double-counted.
+  replayed_ = ReplayJournalLocked();
+  return static_cast<int>(entries_.size());
+}
+
+int CheckpointStore::ReplayJournalLocked() {
+  std::ifstream in(journal_path(), std::ios::binary);
   if (!in) {
     return 0;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  std::string line;
-  if (!std::getline(in, line) || line != "syneval-checkpoint v1") {
-    return 0;  // Missing/foreign header: treat as empty rather than misread it.
+  // Whole-file read so the torn-tail check is exact: std::getline cannot tell a
+  // complete final line from one cut short by SIGKILL mid-append.
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::size_t nl = data.find('\n');
+  if (nl == std::string::npos ||
+      std::string_view(data).substr(0, nl) != "syneval-journal v1") {
+    return 0;  // Missing/foreign/torn header: treat the journal as empty.
   }
-  int loaded = 0;
-  while (std::getline(in, line)) {
+  std::size_t pos = nl + 1;
+  int replayed = 0;
+  while (pos < data.size()) {
+    nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      break;  // Torn final append (no terminating newline): a cache miss, no more.
+    }
+    const std::string_view line = std::string_view(data).substr(pos, nl - pos);
+    pos = nl + 1;
     const std::size_t tab = line.find('\t');
-    if (tab == std::string::npos || tab == 0) {
+    if (tab == std::string_view::npos || tab == 0) {
       continue;  // Malformed line: skip; the chunk just gets re-folded.
     }
-    entries_[CheckpointUnescape(std::string_view(line).substr(0, tab))] =
-        CheckpointUnescape(std::string_view(line).substr(tab + 1));
-    ++loaded;
+    entries_[CheckpointUnescape(line.substr(0, tab))] =
+        CheckpointUnescape(line.substr(tab + 1));
+    ++replayed;
   }
-  return loaded;
+  return replayed;
 }
 
 bool CheckpointStore::Lookup(const std::string& key, std::string* payload) const {
@@ -405,18 +449,39 @@ bool CheckpointStore::Lookup(const std::string& key, std::string* payload) const
 
 void CheckpointStore::Commit(const std::string& key, std::string payload) {
   std::lock_guard<std::mutex> lock(mu_);
+  AppendJournalLocked(key, payload);
   entries_[key] = std::move(payload);
+  ++appends_;
   if (++pending_ >= flush_every_) {
-    FlushLocked();
+    CompactLocked();
   }
+}
+
+bool CheckpointStore::AppendJournalLocked(const std::string& key,
+                                          const std::string& payload) {
+  if (!journal_.is_open()) {
+    journal_.clear();
+    journal_.open(journal_path(), std::ios::app);
+    if (!journal_) {
+      return false;
+    }
+    if (journal_.tellp() == std::ofstream::pos_type(0)) {
+      journal_ << "syneval-journal v1\n";
+    }
+  }
+  journal_ << CheckpointEscape(key) << '\t' << CheckpointEscape(payload) << '\n';
+  // Flushed per append: the write-ahead property is what makes a SIGKILL anywhere
+  // lose at most the append it interrupted (the torn tail Load() discards).
+  journal_.flush();
+  return static_cast<bool>(journal_);
 }
 
 bool CheckpointStore::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
-  return FlushLocked();
+  return CompactLocked();
 }
 
-bool CheckpointStore::FlushLocked() {
+bool CheckpointStore::CompactLocked() {
   const std::string tmp = path_ + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
@@ -436,7 +501,19 @@ bool CheckpointStore::FlushLocked() {
     std::remove(tmp.c_str());
     return false;
   }
+  // Only after the snapshot rename landed is the journal redundant. A crash between
+  // the rename and this truncation leaves its entries to replay as idempotent
+  // duplicates over the fresh snapshot — never a loss.
+  if (journal_.is_open()) {
+    journal_.close();
+  }
+  {
+    std::ofstream truncated(journal_path(), std::ios::trunc);
+    truncated << "syneval-journal v1\n";
+    truncated.flush();
+  }
   pending_ = 0;
+  ++compactions_;
   return true;
 }
 
@@ -453,6 +530,21 @@ int CheckpointStore::size() const {
 int CheckpointStore::hits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return hits_;
+}
+
+int CheckpointStore::appends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_;
+}
+
+int CheckpointStore::compactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_;
+}
+
+int CheckpointStore::replayed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replayed_;
 }
 
 }  // namespace syneval

@@ -8,21 +8,30 @@
 // (caller scope, sweep kind, base seed, seed count, chunk layout, chunk index). This
 // module extends the PR 5 determinism guarantee across process lifetimes:
 //
-//   * CheckpointStore maps chunk keys to encoded chunk outcomes and persists the map
-//     with an atomic write-temp-then-rename snapshot. The on-disk file is therefore
-//     always a complete, parseable snapshot; a SIGKILL between snapshots loses at most
-//     the chunks folded since the last flush, never the file's integrity.
+//   * CheckpointStore maps chunk keys to encoded chunk outcomes and persists them as
+//     a snapshot + write-ahead journal pair. Every Commit() appends one flushed
+//     "<key>\t<payload>" line to "<path>.journal" — durable immediately, so a SIGKILL
+//     at ANY point loses at most the one append it interrupted — and every
+//     flush_every()-th append COMPACTS: the full map is rewritten as a fresh snapshot
+//     with the existing atomic write-temp-then-rename, then the journal is truncated.
+//     Load() reads the snapshot and replays the journal over it (later entries win).
+//     A torn final append (no terminating newline), a malformed journal line, or a
+//     crash anywhere inside compaction all degrade to cache misses: the snapshot is
+//     always a complete parseable file, and journal entries that survived a
+//     mid-compaction crash merely replay as idempotent duplicates.
 //   * EncodeOutcome/DecodeOutcome (and the chaos/trial-report variants) are LOSSLESS
 //     over every aggregate field — counts, seed lists, first-failure strings, stored
 //     postmortems, the chaos cause histogram — so a resumed sweep's merged outcome,
 //     and hence the bench JSON rendered from it, is byte-identical to the clean run.
 //
-// Format (docs/RESILIENCE.md): a header line "syneval-checkpoint v1", then one
-// "<key>\t<payload>" line per chunk. Keys and payloads are escaped so they contain no
-// tab or newline; unparseable lines are skipped on load (a truncated or corrupted
-// entry costs a re-fold of that chunk, nothing more). Payloads are "k=v;k=v" records
-// with the same escaping. No external serialization library — the runtime layer sits
-// below syneval_core, so it cannot use the scorecard JSON helpers.
+// Format (docs/RESILIENCE.md): the snapshot is a header line "syneval-checkpoint v1",
+// then one "<key>\t<payload>" line per chunk; the journal is a header line
+// "syneval-journal v1", then the same line format in append order. Keys and payloads
+// are escaped so they contain no tab or newline; unparseable lines are skipped on
+// load (a truncated or corrupted entry costs a re-fold of that chunk, nothing more).
+// Payloads are "k=v;k=v" records with the same escaping. No external serialization
+// library — the runtime layer sits below syneval_core, so it cannot use the
+// scorecard JSON helpers.
 //
 // Staleness: the store deliberately does NOT hash the binary. Keys embed the caller's
 // scope string (suite, case, workload scale, fault plan), which callers must extend
@@ -33,6 +42,7 @@
 #define SYNEVAL_RUNTIME_CHECKPOINT_H_
 
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
@@ -68,53 +78,70 @@ std::string ChunkKey(std::string_view scope, std::string_view kind,
                      std::uint64_t base_seed, int num_seeds, int chunk_seeds,
                      int chunk_index);
 
-// Thread-safe key→payload store with atomic snapshot persistence. One store is
-// typically shared by every sweep of a bench invocation (each sweep contributing its
-// own scope-disambiguated keys).
+// Thread-safe key→payload store with write-ahead-journal persistence and periodic
+// snapshot compaction. One store is typically shared by every sweep of a bench
+// invocation (each sweep contributing its own scope-disambiguated keys).
 class CheckpointStore {
  public:
-  // Does not touch the filesystem; call Load() to read an existing snapshot.
+  // Does not touch the filesystem; call Load() to read an existing snapshot+journal.
   explicit CheckpointStore(std::string path);
-  // Flushes pending commits (best effort — errors are swallowed; call Flush()
-  // explicitly to observe them).
+  // Every commit is already durable in the journal; the destructor only closes it.
   ~CheckpointStore();
 
   CheckpointStore(const CheckpointStore&) = delete;
   CheckpointStore& operator=(const CheckpointStore&) = delete;
 
-  // Reads the snapshot file if present. Returns the number of entries loaded (0 when
-  // the file is missing or empty). Malformed lines are skipped, duplicate keys keep
-  // the last occurrence. May be called once, before the store is shared with workers.
+  // Reads the snapshot file if present, then replays "<path>.journal" over it (later
+  // entries win; the replayed-line count lands in replayed()). Returns the number of
+  // distinct entries loaded (0 when both files are missing or empty). Malformed or
+  // torn lines are skipped, duplicate keys keep the last occurrence. May be called
+  // once, before the store is shared with workers.
   int Load();
 
   // Returns true and fills *payload when `key` is present (counted in hits()).
   bool Lookup(const std::string& key, std::string* payload) const;
 
-  // Inserts or replaces `key` and schedules persistence: every flush_every()-th
-  // commit triggers an atomic snapshot. Safe from concurrent workers.
+  // Inserts or replaces `key`, appending it to the write-ahead journal (flushed per
+  // append, so the commit survives SIGKILL immediately); every flush_every()-th
+  // append triggers compaction. Safe from concurrent workers.
   void Commit(const std::string& key, std::string payload);
 
-  // Atomically persists the current map (write "<path>.tmp", then rename over
-  // `path`). Returns false on I/O failure; the previous snapshot is left intact.
+  // Compaction: atomically rewrites the snapshot from the full map (write
+  // "<path>.tmp", then rename over `path`), then truncates the journal. Returns
+  // false on I/O failure; the previous snapshot (and the journal) are left intact.
   bool Flush();
 
-  // Commits between automatic snapshots (default 1: every commit flushes — cheap at
-  // sweep-chunk granularity, and maximally crash-tolerant).
+  // Appends between automatic compactions (default 64 — the journal stays short
+  // without paying a whole-map rewrite per commit; SetFlushEvery(1) restores the
+  // old snapshot-per-commit behavior).
   void SetFlushEvery(int n);
 
   const std::string& path() const { return path_; }
+  std::string journal_path() const { return path_ + ".journal"; }
   int size() const;
   // Successful Lookup() calls — i.e. chunks a resumed sweep did not have to re-fold.
   int hits() const;
+  // Journal telemetry, rendered as the schema-v5 "journal" object by the bench
+  // reporter: appends written this run, compactions performed, and journal entries
+  // Load() replayed over the snapshot.
+  int appends() const;
+  int compactions() const;
+  int replayed() const;
 
  private:
-  bool FlushLocked();
+  bool CompactLocked();
+  bool AppendJournalLocked(const std::string& key, const std::string& payload);
+  int ReplayJournalLocked();
 
   const std::string path_;
   mutable std::mutex mu_;
   std::map<std::string, std::string> entries_;
-  int flush_every_ = 1;
-  int pending_ = 0;  // Commits since the last flush.
+  std::ofstream journal_;  // Lazily opened in append mode; closed by compaction.
+  int flush_every_ = 64;   // Appends between automatic compactions.
+  int pending_ = 0;        // Appends since the last compaction.
+  int appends_ = 0;
+  int compactions_ = 0;
+  int replayed_ = 0;
   mutable int hits_ = 0;
 };
 

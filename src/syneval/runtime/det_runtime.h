@@ -63,6 +63,7 @@ class DetRuntime : public Runtime {
     bool completed = false;    // All threads ran to completion.
     bool deadlocked = false;   // Some threads remained blocked with none runnable.
     bool step_limit = false;   // Options::max_steps exceeded.
+    bool aborted = false;      // RequestAbort() ended the run before completion.
     std::uint64_t steps = 0;   // Scheduling steps taken.
     std::string report;        // Human-readable diagnosis when !completed.
   };
@@ -88,6 +89,16 @@ class DetRuntime : public Runtime {
   // Must be called from the (unmanaged) thread that constructed the runtime, at most
   // once. Threads may still be started from inside managed threads while running.
   RunResult Run();
+
+  // Asks the driver to end the run at its next scheduling decision: the run reports
+  // `aborted` with a stuck-thread diagnosis (every blocked thread is parked at a
+  // scheduling point when the driver holds control, so the classification is as sound
+  // as the deadlock path's) and tears the remaining threads down exactly as a deadlock
+  // would. Safe from any thread, any time; a no-op after the run ended. The one thing
+  // it cannot interrupt is a managed thread wedged in non-synchronizing compute —
+  // the driver only regains control at scheduling points (the process sandbox in
+  // runtime/supervisor.h covers that case).
+  void RequestAbort();
 
  private:
   struct Tcb;
@@ -129,6 +140,7 @@ class DetRuntime : public Runtime {
   std::uint64_t step_ = 0;
   bool running_ = false;
   bool abort_ = false;
+  bool abort_requested_ = false;  // RequestAbort() fired; driver acts at the next step.
   bool ran_ = false;
 };
 

@@ -117,8 +117,6 @@ void MergeOutcome(SweepOutcome& into, SweepOutcome&& chunk) {
 void AccumulateChaosTrial(
     const std::function<ChaosTrialOutcome(std::uint64_t, const FaultPlan*)>& trial,
     const FaultPlan& plan, std::uint64_t seed, ChaosSweepOutcome& outcome) {
-  ++outcome.runs;
-
   // Fault-on run: measure recall over faults that actually fired and did harm. A trial
   // that throws is folded in as hung, keeping `runs` a common denominator.
   ChaosTrialOutcome on;
@@ -131,6 +129,14 @@ void AccumulateChaosTrial(
     on.hung = true;
     on.report = "trial aborted: unknown exception";
   }
+  if (on.skipped) {
+    // Supervised sweeps: the cell was quarantined before this seed ran. Nothing
+    // executed (the supervision wrapper short-circuits the fault-off run too), so no
+    // denominator moves — the seed is only counted as skipped.
+    ++outcome.skipped;
+    return;
+  }
+  ++outcome.runs;
   if (!on.postmortem.empty()) {
     ++outcome.postmortems_total;
     if (static_cast<int>(outcome.postmortems.size()) < kMaxStoredPostmortems) {
@@ -186,6 +192,7 @@ void AccumulateChaosTrial(
 
 void MergeChaosOutcome(ChaosSweepOutcome& into, ChaosSweepOutcome&& chunk) {
   into.runs += chunk.runs;
+  into.skipped += chunk.skipped;
   into.injected_runs += chunk.injected_runs;
   into.harmful += chunk.harmful;
   into.detected_harmful += chunk.detected_harmful;
@@ -267,6 +274,9 @@ std::string ChaosSweepOutcome::Summary() const {
   }
   if (detected_harmful > 0) {
     os << "; mean steps to detection " << MeanStepsToDetection();
+  }
+  if (skipped > 0) {
+    os << "; skipped " << skipped << " (quarantine)";
   }
   return os.str();
 }

@@ -139,6 +139,8 @@ struct FaultPlan;
 struct ChaosTrialOutcome {
   bool completed = false;      // The run finished; oracle verdict is meaningful.
   bool hung = false;           // Deadlock or step-limit: the run never finished.
+  bool skipped = false;        // Supervised sweeps: the cell was quarantined before
+                               // this seed; nothing ran (fault-off run included).
   bool oracle_failed = false;  // Completed but the recorded trace violated the oracle.
   int injected = 0;            // Faults the injector fired (0 on fault-off runs).
   std::uint64_t first_injection_step = 0;  // Virtual step of the first injection.
@@ -167,6 +169,8 @@ struct ChaosTrialOutcome {
 //   fp        — fault-off runs where the detector flagged anything at all.
 struct ChaosSweepOutcome {
   int runs = 0;              // Seeds swept (each contributing one on + one off run).
+  int skipped = 0;           // Seeds skipped after quarantine (supervised sweeps only;
+                             // not part of the `runs` denominator — nothing ran).
   int injected_runs = 0;     // Fault-on runs where at least one fault fired.
   int harmful = 0;           // Fault fired and the run hung.
   int detected_harmful = 0;  // Harmful runs the detector flagged.

@@ -154,6 +154,125 @@ SupervisableTrial MakeSupervisableOsTrial(std::function<std::string(OsRuntime&)>
   return trial;
 }
 
+// ---- Cooperative abort seam for wrapped trial functions -----------------------------
+
+namespace {
+
+// The slot installed on this thread by RunWithTrialDeadline (nullptr when the thread
+// is running unsupervised).
+thread_local TrialAbortSlot* g_trial_abort_slot = nullptr;
+
+}  // namespace
+
+void TrialAbortSlot::Abort() {
+  // The slot mutex is held across the callback so Unregister() (the trial's scope
+  // destructor) cannot pull the captures out from under an in-flight abort.
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = true;
+  if (abort_) {
+    abort_();
+  }
+}
+
+TrialObservation TrialAbortSlot::Observe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observe_ ? observe_() : TrialObservation{};
+}
+
+bool TrialAbortSlot::aborted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aborted_;
+}
+
+void TrialAbortSlot::Register(std::function<void()> abort,
+                              std::function<TrialObservation()> observe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  abort_ = std::move(abort);
+  observe_ = std::move(observe);
+  if (aborted_ && abort_) {
+    // The reaper fired before the trial finished constructing its runtime; deliver
+    // the abort now so the freshly-registered trial unwinds promptly.
+    abort_();
+  }
+}
+
+void TrialAbortSlot::Unregister() {
+  std::lock_guard<std::mutex> lock(mu_);
+  abort_ = nullptr;
+  observe_ = nullptr;
+}
+
+TrialAbortScope::TrialAbortScope(std::function<void()> abort,
+                                 std::function<TrialObservation()> observe)
+    : slot_(g_trial_abort_slot) {
+  if (slot_ != nullptr) {
+    slot_->Register(std::move(abort), std::move(observe));
+  }
+}
+
+TrialAbortScope::~TrialAbortScope() {
+  if (slot_ != nullptr) {
+    slot_->Unregister();
+  }
+}
+
+TrialReapResult RunWithTrialDeadline(TrialAbortSlot& slot,
+                                     std::chrono::milliseconds deadline,
+                                     const std::function<void()>& fn) {
+  TrialReapResult result;
+  TrialAbortSlot* const previous = g_trial_abort_slot;
+  g_trial_abort_slot = &slot;
+
+  struct ReaperState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  ReaperState state;
+  std::thread reaper;
+  if (deadline.count() > 0) {
+    reaper = std::thread([&state, &slot, &result, deadline] {
+      const Deadline until = Deadline::After(deadline);
+      std::unique_lock<std::mutex> lock(state.mu);
+      if (state.cv.wait_until(lock, until.time_point(), [&] { return state.done; })) {
+        return;  // The trial finished inside its budget; nothing to reap.
+      }
+      lock.unlock();
+      result.reaped = true;
+      // Capture the hung state BEFORE unwinding it — after the abort the
+      // interesting waits are gone.
+      result.observation = slot.Observe();
+      slot.Abort();
+    });
+  }
+
+  try {
+    fn();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      state.done = true;
+    }
+    state.cv.notify_all();
+    if (reaper.joinable()) {
+      reaper.join();
+    }
+    g_trial_abort_slot = previous;
+    throw;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.done = true;
+  }
+  state.cv.notify_all();
+  if (reaper.joinable()) {
+    reaper.join();
+  }
+  g_trial_abort_slot = previous;
+  return result;
+}
+
 // ---- In-process supervised attempt --------------------------------------------------
 
 namespace {

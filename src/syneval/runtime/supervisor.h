@@ -38,6 +38,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,70 @@ using SupervisableTrialFactory = std::function<SupervisableTrial(std::uint64_t)>
 // returns the oracle verdict: empty = pass), folds detector counts and a postmortem
 // into the TrialReport, and wires `abort`/`observe` to the runtime's seams.
 SupervisableTrial MakeSupervisableOsTrial(std::function<std::string(OsRuntime&)> body);
+
+// ---- Cooperative abort seam for wrapped trial functions -----------------------------
+//
+// Chaos supervision (fault/chaos.h) wraps an existing trial *function* rather than a
+// SupervisableTrial: the trial's abortable runtime is constructed deep inside the
+// callback, out of the wrapper's reach. The seam is a per-thread slot: the wrapper
+// installs a TrialAbortSlot on the calling thread for the duration of the wrapped
+// call, and the trial's internals register their abort/observe callbacks into
+// whatever slot their thread has installed via TrialAbortScope. Unsupervised runs
+// install no slot, making the scope a no-op — which is what keeps a supervised
+// healthy cell bit-identical to an unsupervised sweep of it.
+
+// Reaper-facing handle to the (possibly not yet constructed) trial of one wrapped
+// call. Thread-safe; Abort() on an empty slot is remembered and fired on late
+// registration, so a reap cannot be lost to a construction race.
+class TrialAbortSlot {
+ public:
+  // Force-unwind the registered trial (for DetRuntime trials: RequestAbort()).
+  void Abort();
+  // Capture a live postmortem of the registered trial ("" fields when nothing is
+  // registered or there is nothing to explain yet).
+  TrialObservation Observe();
+  bool aborted() const;
+
+ private:
+  friend class TrialAbortScope;
+  void Register(std::function<void()> abort, std::function<TrialObservation()> observe);
+  void Unregister();
+
+  mutable std::mutex mu_;
+  bool aborted_ = false;
+  std::function<void()> abort_;
+  std::function<TrialObservation()> observe_;
+};
+
+// RAII registration of the calling trial's abort/observe callbacks into the thread's
+// installed slot (no-op when none is installed). Construct it after everything the
+// callbacks capture; destruction synchronizes with any in-flight reaper call, so the
+// captures stay valid for exactly the scope's lifetime.
+class TrialAbortScope {
+ public:
+  TrialAbortScope(std::function<void()> abort, std::function<TrialObservation()> observe);
+  ~TrialAbortScope();
+  TrialAbortScope(const TrialAbortScope&) = delete;
+  TrialAbortScope& operator=(const TrialAbortScope&) = delete;
+
+ private:
+  TrialAbortSlot* slot_;
+};
+
+struct TrialReapResult {
+  bool reaped = false;           // The deadline fired before `fn` returned.
+  TrialObservation observation;  // The reaper's pre-abort harvest (sparse).
+};
+
+// Runs `fn` on the calling thread with `slot` installed as the thread's abort slot,
+// under a wall-clock deadline: a reaper thread observes and then aborts through the
+// slot when the deadline expires. deadline <= 0 runs `fn` with the slot installed but
+// no reaper. The abort is cooperative — `fn` must eventually return through its
+// runtime's abort path (DetRuntime trials always do: the driver regains control at
+// every scheduling step).
+TrialReapResult RunWithTrialDeadline(TrialAbortSlot& slot,
+                                     std::chrono::milliseconds deadline,
+                                     const std::function<void()>& fn);
 
 // ---- Supervision policy and results -------------------------------------------------
 

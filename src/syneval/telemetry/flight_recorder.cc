@@ -232,6 +232,7 @@ void FlightRecorder::Clear() {
     ring.evicted.store(0, std::memory_order_relaxed);
   }
   seq_.store(0, std::memory_order_release);
+  frozen_.store(false, std::memory_order_release);
 }
 
 }  // namespace syneval

@@ -138,6 +138,9 @@ class FlightRecorder : public TraceObserver {
   // recording itself.
   void Record(std::uint32_t thread, FlightEventType type, const void* resource,
               std::uint64_t time_nanos, std::uint64_t arg = 0) {
+    if (frozen_.load(std::memory_order_relaxed)) {
+      return;
+    }
     const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     Ring& ring = rings_[thread % rings_.size()];
     Segment* seg = ring.seg.load(std::memory_order_acquire);
@@ -183,6 +186,14 @@ class FlightRecorder : public TraceObserver {
   // slots overwritten mid-read are skipped, so the result is a weakly consistent
   // window ending at (or slightly before) the most recent events.
   std::vector<FlightEvent> Snapshot() const;
+
+  // Stops recording: every subsequent Record() is dropped (until Clear()). The runtime
+  // freezes the recorder when it starts tearing down an aborted or deadlocked trial —
+  // the diagnosis is already made, and the unwind replays block/exit events in
+  // whatever order the OS schedules the unwinding threads, which would put a
+  // nondeterministic tail on an otherwise schedule-determined event window.
+  void Freeze() { frozen_.store(true, std::memory_order_relaxed); }
+  bool frozen() const { return frozen_.load(std::memory_order_relaxed); }
 
   // Events recorded since construction/Clear (including ones since evicted).
   std::uint64_t recorded() const { return seq_.load(std::memory_order_relaxed); }
@@ -240,6 +251,7 @@ class FlightRecorder : public TraceObserver {
   Options options_;
   std::vector<Ring> rings_;
   std::mutex grow_mu_;
+  std::atomic<bool> frozen_{false};
   alignas(64) std::atomic<std::uint64_t> seq_{0};
 
   mutable std::mutex names_mu_;

@@ -174,23 +174,36 @@ Postmortem BuildPostmortem(const FlightRecorder& recorder, const AnomalyDetector
   }
 
   // 3. Hold/wait edges: who holds what (with the acquisition event) while blocked on
-  // what — the per-edge evidence for a wait-for cycle.
+  // what — the per-edge evidence for a wait-for cycle. `holders` is keyed by resource
+  // *address*, so the edges are ordered by (thread, resource name) before emission:
+  // heap layout must never leak into a narrative that is diffed across runs.
+  std::vector<std::pair<std::uint32_t, const void*>> hold_edges;
   for (const auto& [resource, holder_list] : holders) {
     for (std::uint32_t holder : holder_list) {
-      std::ostringstream os;
-      os << "t" << holder << " holds " << resolve(resource);
-      auto acq = last_acquire.find({holder, resource});
-      if (acq != last_acquire.end()) {
-        os << " (acquired at seq " << acq->second->seq << ", @" << acq->second->time_nanos
-           << "ns)";
-      }
-      auto block = open_blocks.find(holder);
-      if (block != open_blocks.end()) {
-        os << " while blocked on " << resolve(block->second->resource) << " since seq "
-           << block->second->seq;
-      }
-      add(os.str());
+      hold_edges.emplace_back(holder, resource);
     }
+  }
+  std::sort(hold_edges.begin(), hold_edges.end(),
+            [&](const auto& a, const auto& b) {
+              if (a.first != b.first) {
+                return a.first < b.first;
+              }
+              return resolve(a.second) < resolve(b.second);
+            });
+  for (const auto& [holder, resource] : hold_edges) {
+    std::ostringstream os;
+    os << "t" << holder << " holds " << resolve(resource);
+    auto acq = last_acquire.find({holder, resource});
+    if (acq != last_acquire.end()) {
+      os << " (acquired at seq " << acq->second->seq << ", @" << acq->second->time_nanos
+         << "ns)";
+    }
+    auto block = open_blocks.find(holder);
+    if (block != open_blocks.end()) {
+      os << " while blocked on " << resolve(block->second->resource) << " since seq "
+         << block->second->seq;
+    }
+    add(os.str());
   }
 
   // 4. Remaining open waits (threads that hold nothing but are stuck anyway).

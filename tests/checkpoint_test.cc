@@ -43,6 +43,11 @@ std::string TempPath(const std::string& name) {
   return testing::TempDir() + "/" + name;
 }
 
+void RemoveStore(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+}
+
 // ---- Escaping -------------------------------------------------------------------------
 
 TEST(CheckpointEscapeTest, RoundTripsStructureCharacters) {
@@ -116,6 +121,7 @@ TEST(CheckpointCodecTest, EmptyOutcomeRoundTrips) {
 TEST(CheckpointCodecTest, ChaosOutcomeRoundTripsEveryField) {
   ChaosSweepOutcome o;
   o.runs = 9;
+  o.skipped = 3;
   o.injected_runs = 8;
   o.harmful = 5;
   o.detected_harmful = 4;
@@ -133,6 +139,7 @@ TEST(CheckpointCodecTest, ChaosOutcomeRoundTripsEveryField) {
   ChaosSweepOutcome back;
   ASSERT_TRUE(DecodeChaosOutcome(EncodeChaosOutcome(o), &back));
   EXPECT_EQ(back.runs, o.runs);
+  EXPECT_EQ(back.skipped, o.skipped);
   EXPECT_EQ(back.injected_runs, o.injected_runs);
   EXPECT_EQ(back.harmful, o.harmful);
   EXPECT_EQ(back.detected_harmful, o.detected_harmful);
@@ -199,7 +206,7 @@ TEST(CheckpointCodecTest, ChunkKeyEmbedsEveryLayoutParameter) {
 
 TEST(CheckpointStoreTest, CommitFlushLoadRoundTrips) {
   const std::string path = TempPath("store_roundtrip.ckpt");
-  std::remove(path.c_str());
+  RemoveStore(path);
   {
     CheckpointStore store(path);
     EXPECT_EQ(store.Load(), 0);  // Missing file: empty store, no error.
@@ -215,7 +222,7 @@ TEST(CheckpointStoreTest, CommitFlushLoadRoundTrips) {
   EXPECT_EQ(payload, "payload\twith\nstructure;=,\\chars");
   EXPECT_FALSE(reloaded.Lookup("absent", &payload));
   EXPECT_EQ(reloaded.hits(), 1);
-  std::remove(path.c_str());
+  RemoveStore(path);
 }
 
 TEST(CheckpointStoreTest, MalformedLinesAreSkippedOnLoad) {
@@ -233,7 +240,7 @@ TEST(CheckpointStoreTest, MalformedLinesAreSkippedOnLoad) {
   std::string payload;
   EXPECT_TRUE(store.Lookup("good-key", &payload));
   EXPECT_EQ(payload, "good-payload");
-  std::remove(path.c_str());
+  RemoveStore(path);
 }
 
 TEST(CheckpointStoreTest, WrongHeaderLoadsNothing) {
@@ -244,7 +251,7 @@ TEST(CheckpointStoreTest, WrongHeaderLoadsNothing) {
   }
   CheckpointStore store(path);
   EXPECT_EQ(store.Load(), 0);
-  std::remove(path.c_str());
+  RemoveStore(path);
 }
 
 TEST(CheckpointStoreTest, FlushIsAtomicReplacement) {
@@ -262,7 +269,141 @@ TEST(CheckpointStoreTest, FlushIsAtomicReplacement) {
   std::string payload;
   ASSERT_TRUE(reloaded.Lookup("k", &payload));
   EXPECT_EQ(payload, "v2");
-  std::remove(path.c_str());
+  RemoveStore(path);
+}
+
+// ---- Write-ahead journal --------------------------------------------------------------
+
+TEST(CheckpointJournalTest, CommitsAreDurableWithoutFlush) {
+  const std::string path = TempPath("journal_durable.ckpt");
+  RemoveStore(path);
+  {
+    CheckpointStore store(path);
+    store.Commit("a", "1");
+    store.Commit("b", "2");
+    store.Commit("a", "3");  // Later entries win on replay.
+    EXPECT_EQ(store.appends(), 3);
+    EXPECT_EQ(store.compactions(), 0);  // Default flush_every is 64: no compaction yet.
+    // No Flush(): the snapshot was never written...
+    std::ifstream snapshot(path);
+    EXPECT_FALSE(snapshot.good());
+  }
+  // ...yet every commit survives, replayed from the journal alone. Load() reports
+  // distinct entries; replayed() counts journal lines (the shadowed "a" is a third).
+  CheckpointStore reloaded(path);
+  EXPECT_EQ(reloaded.Load(), 2);
+  EXPECT_EQ(reloaded.replayed(), 3);
+  std::string payload;
+  ASSERT_TRUE(reloaded.Lookup("a", &payload));
+  EXPECT_EQ(payload, "3");
+  ASSERT_TRUE(reloaded.Lookup("b", &payload));
+  EXPECT_EQ(payload, "2");
+  RemoveStore(path);
+}
+
+TEST(CheckpointJournalTest, AutomaticCompactionTruncatesJournal) {
+  const std::string path = TempPath("journal_compact.ckpt");
+  RemoveStore(path);
+  CheckpointStore store(path);
+  store.SetFlushEvery(2);
+  store.Commit("a", "1");
+  EXPECT_EQ(store.compactions(), 0);
+  store.Commit("b", "2");  // Second append: compaction fires.
+  EXPECT_EQ(store.compactions(), 1);
+  // The snapshot now holds both entries and the journal is back to header-only.
+  {
+    std::ifstream journal(store.journal_path());
+    std::string header, extra;
+    ASSERT_TRUE(std::getline(journal, header));
+    EXPECT_EQ(header, "syneval-journal v1");
+    EXPECT_FALSE(std::getline(journal, extra));
+  }
+  CheckpointStore reloaded(path);
+  EXPECT_EQ(reloaded.Load(), 2);
+  EXPECT_EQ(reloaded.replayed(), 0);  // Everything came from the snapshot.
+  // Appends after a compaction land in the (reopened) journal again.
+  store.Commit("c", "3");
+  CheckpointStore again(path);
+  EXPECT_EQ(again.Load(), 3);
+  EXPECT_EQ(again.replayed(), 1);
+  RemoveStore(path);
+}
+
+TEST(CheckpointJournalTest, TornFinalAppendIsACacheMiss) {
+  const std::string path = TempPath("journal_torn.ckpt");
+  RemoveStore(path);
+  {
+    CheckpointStore store(path);
+    store.Commit("a", "1");
+    store.Commit("b", "2");
+  }
+  // Simulate SIGKILL mid-append: chop bytes off the journal so the final line has no
+  // terminating newline.
+  {
+    std::ifstream in(path + ".journal", std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    ASSERT_GT(data.size(), 3u);
+    ASSERT_EQ(data.back(), '\n');
+    std::ofstream out(path + ".journal", std::ios::binary | std::ios::trunc);
+    out << data.substr(0, data.size() - 3);
+  }
+  CheckpointStore store(path);
+  EXPECT_EQ(store.Load(), 1);  // The torn append degraded to a cache miss.
+  std::string payload;
+  EXPECT_TRUE(store.Lookup("a", &payload));
+  EXPECT_FALSE(store.Lookup("b", &payload));
+  RemoveStore(path);
+}
+
+TEST(CheckpointJournalTest, MalformedJournalLinesAreCacheMisses) {
+  const std::string path = TempPath("journal_malformed.ckpt");
+  RemoveStore(path);
+  {
+    std::ofstream f(path + ".journal");
+    f << "syneval-journal v1\n";
+    f << CheckpointEscape("good") << "\t" << CheckpointEscape("payload") << "\n";
+    f << "no-tab-on-this-line\n";
+    f << "\tempty-key\n";
+  }
+  CheckpointStore store(path);
+  EXPECT_EQ(store.Load(), 1);
+  std::string payload;
+  EXPECT_TRUE(store.Lookup("good", &payload));
+  EXPECT_EQ(payload, "payload");
+  RemoveStore(path);
+}
+
+TEST(CheckpointJournalTest, ForeignJournalHeaderLoadsNothing) {
+  const std::string path = TempPath("journal_header.ckpt");
+  RemoveStore(path);
+  {
+    std::ofstream f(path + ".journal");
+    f << "some-other-journal v9\nkey\tpayload\n";
+  }
+  CheckpointStore store(path);
+  EXPECT_EQ(store.Load(), 0);
+  RemoveStore(path);
+}
+
+TEST(CheckpointJournalTest, JournalReplaysOverSnapshot) {
+  const std::string path = TempPath("journal_over.ckpt");
+  RemoveStore(path);
+  {
+    CheckpointStore store(path);
+    store.Commit("k", "old");
+    store.Commit("only-snapshot", "s");
+    ASSERT_TRUE(store.Flush());   // Snapshot holds both; journal truncated.
+    store.Commit("k", "new");     // Journal entry shadows the snapshot's value.
+  }
+  CheckpointStore store(path);
+  EXPECT_EQ(store.Load(), 2);  // Distinct entries; the replayed "k" shadows, not adds.
+  EXPECT_EQ(store.replayed(), 1);
+  std::string payload;
+  ASSERT_TRUE(store.Lookup("k", &payload));
+  EXPECT_EQ(payload, "new");
+  ASSERT_TRUE(store.Lookup("only-snapshot", &payload));
+  EXPECT_EQ(payload, "s");
+  RemoveStore(path);
 }
 
 // ---- Resume bit-identity --------------------------------------------------------------
@@ -302,7 +443,7 @@ void ExpectOutcomesIdentical(const SweepOutcome& a, const SweepOutcome& b) {
 
 TEST(CheckpointResumeTest, ResumedSweepMergesBitIdentical) {
   const std::string path = TempPath("resume_sweep.ckpt");
-  std::remove(path.c_str());
+  RemoveStore(path);
   const int kSeeds = 100;
 
   const SweepOutcome clean = SweepSchedules(kSeeds, SyntheticTrial, 1);
@@ -353,7 +494,7 @@ TEST(CheckpointResumeTest, ResumedSweepMergesBitIdentical) {
     ExpectOutcomesIdentical(other, clean);
     EXPECT_EQ(store.hits(), 0);
   }
-  std::remove(path.c_str());
+  RemoveStore(path);
 }
 
 ChaosTrialOutcome SyntheticChaosTrial(std::uint64_t seed, const FaultPlan* plan) {
@@ -379,7 +520,7 @@ ChaosTrialOutcome SyntheticChaosTrial(std::uint64_t seed, const FaultPlan* plan)
 
 TEST(CheckpointResumeTest, ResumedChaosSweepMergesBitIdentical) {
   const std::string path = TempPath("resume_chaos.ckpt");
-  std::remove(path.c_str());
+  RemoveStore(path);
   const int kSeeds = 60;
   const FaultPlan plan;  // Unused by the synthetic trial beyond its nullness.
 
@@ -421,7 +562,7 @@ TEST(CheckpointResumeTest, ResumedChaosSweepMergesBitIdentical) {
     EXPECT_EQ(resumed.postmortem_causes, clean.postmortem_causes);
     EXPECT_EQ(resumed.flight_evicted, clean.flight_evicted);
   }
-  std::remove(path.c_str());
+  RemoveStore(path);
 }
 
 #if defined(SYNEVAL_HAVE_FORK) && !defined(SYNEVAL_SANITIZED)
@@ -429,7 +570,7 @@ TEST(CheckpointResumeTest, ResumedChaosSweepMergesBitIdentical) {
 // checkpoint file, and the merged outcome is bit-identical to the uninterrupted run.
 TEST(CheckpointResumeTest, SigkilledSweepResumesBitIdentical) {
   const std::string path = TempPath("resume_sigkill.ckpt");
-  std::remove(path.c_str());
+  RemoveStore(path);
   const int kSeeds = 200;
   const SweepOutcome clean = SweepSchedules(kSeeds, SyntheticTrial, 1);
 
@@ -452,11 +593,17 @@ TEST(CheckpointResumeTest, SigkilledSweepResumesBitIdentical) {
     _exit(0);  // Finished before the kill: the resume below restores everything.
   }
 
-  // Parent: wait for the first snapshot to exist, then SIGKILL the child mid-sweep.
+  // Parent: wait for the journal to carry at least one committed chunk (the journal,
+  // not the snapshot — commits are journal appends, and the first compaction may be
+  // many chunks away), then SIGKILL the child mid-sweep.
   for (int i = 0; i < 2000; ++i) {
-    std::ifstream f(path);
-    std::string header;
-    if (f.good() && std::getline(f, header) && !header.empty()) {
+    std::ifstream f(path + ".journal");
+    std::string line;
+    int lines = 0;
+    while (std::getline(f, line)) {
+      ++lines;
+    }
+    if (lines >= 2) {  // Header + one entry.
       break;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -473,10 +620,68 @@ TEST(CheckpointResumeTest, SigkilledSweepResumesBitIdentical) {
   options.checkpoint_scope = "checkpoint_test/sigkill";
   const SweepOutcome resumed = SweepSchedules(kSeeds, SyntheticTrial, 1, options);
   ExpectOutcomesIdentical(resumed, clean);
-  // The snapshot the child left behind was complete and parseable (atomic rename):
-  // whatever chunks it held restored as cache hits.
+  // Everything the child durably committed before the kill restored as cache hits
+  // (the torn tail, if the kill landed mid-append, became a cache miss, not garbage).
   EXPECT_EQ(store.hits(), restored);
-  std::remove(path.c_str());
+  RemoveStore(path);
+}
+
+// SIGKILL aimed at the compaction window: with SetFlushEvery(1) every commit runs the
+// full append → snapshot-rename → journal-truncate sequence, so a kill at a random
+// moment lands inside compaction with high probability. Whatever window it hits, the
+// store must recover to a state where resume is bit-identical.
+TEST(CheckpointResumeTest, SigkilledMidCompactionRecovers) {
+  const std::string path = TempPath("resume_kill_compact.ckpt");
+  RemoveStore(path);
+  const int kSeeds = 120;
+  const SweepOutcome clean = SweepSchedules(kSeeds, SyntheticTrial, 1);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    CheckpointStore store(path);
+    store.SetFlushEvery(1);  // Compaction on every commit: maximize the crash window.
+    ParallelOptions options;
+    options.jobs = 2;
+    options.chunk_seeds = 1;  // One commit per seed: many compactions to aim at.
+    options.checkpoint = &store;
+    options.checkpoint_scope = "checkpoint_test/kill-compact";
+    (void)SweepSchedules(
+        kSeeds,
+        std::function<TrialReport(std::uint64_t)>([](std::uint64_t seed) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          return SyntheticTrial(seed);
+        }),
+        1, options);
+    _exit(0);
+  }
+
+  // Let a few dozen compactions happen, then kill without looking: the kill lands at
+  // an arbitrary point of the append/rename/truncate cycle.
+  for (int i = 0; i < 2000; ++i) {
+    std::ifstream f(path);
+    if (f.good()) {
+      break;  // At least one compaction has landed.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  kill(child, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+
+  CheckpointStore store(path);
+  store.SetFlushEvery(1);
+  const int restored = store.Load();
+  EXPECT_GT(restored, 0);  // The pre-kill snapshot survived whatever window was hit.
+  ParallelOptions options;
+  options.jobs = 2;
+  options.chunk_seeds = 1;
+  options.checkpoint = &store;
+  options.checkpoint_scope = "checkpoint_test/kill-compact";
+  const SweepOutcome resumed = SweepSchedules(kSeeds, SyntheticTrial, 1, options);
+  ExpectOutcomesIdentical(resumed, clean);
+  RemoveStore(path);
 }
 #endif  // SYNEVAL_HAVE_FORK && !SYNEVAL_SANITIZED
 

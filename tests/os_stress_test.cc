@@ -1,14 +1,23 @@
 // Stress tests under the real-thread OsRuntime: larger workloads, real preemption.
 // Oracles run in their lenient forms where admission-order recording is only
 // happens-before-exact (see oracles.h).
+//
+// Every body runs as a supervised trial (runtime/supervisor.h) inside the fork()
+// sandbox: a genuinely wedged solution — the very deadlocks these workloads exist to
+// provoke — is SIGKILLed at the deadline instead of hanging the whole suite, and the
+// harvested live postmortem is printed with the failure. Where fork() is unavailable
+// the supervisor transparently falls back to the in-process reaper.
 
+#include <functional>
 #include <memory>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "syneval/problems/oracles.h"
 #include "syneval/problems/workloads.h"
 #include "syneval/runtime/os_runtime.h"
+#include "syneval/runtime/supervisor.h"
 #include "syneval/solutions/ccr_solutions.h"
 #include "syneval/solutions/monitor_solutions.h"
 #include "syneval/solutions/pathexpr_solutions.h"
@@ -17,6 +26,26 @@
 
 namespace syneval {
 namespace {
+
+// Runs `body` under the trial supervisor's fork sandbox. The deadline is deliberately
+// generous — these are throughput stress workloads on loaded CI runners, and a false
+// reap would convert a pass into a flake; the deadline exists to catch genuine
+// deadlocks, which never finish at any budget.
+void RunSandboxed(const std::function<std::string(OsRuntime&)>& body) {
+  SupervisorOptions options;
+  options.sandbox = true;
+  options.trial_deadline = std::chrono::milliseconds(120000);
+  options.max_attempts = 1;  // A catastrophic stress body is a bug, not a flake.
+  SupervisorStats stats;
+  const SupervisedTrialResult result = RunSupervisedSeed(
+      [&body](std::uint64_t) { return MakeSupervisableOsTrial(body); }, /*seed=*/1,
+      options, &stats);
+  EXPECT_FALSE(result.Catastrophic())
+      << (result.reaped ? "trial reaped at deadline" : "trial crashed: " + result.crash.what)
+      << (result.crash.postmortem.empty() ? "" : "\n" + result.crash.postmortem)
+      << (result.report.postmortem.empty() ? "" : "\n" + result.report.postmortem);
+  EXPECT_EQ(result.report.message, "") << result.report.postmortem;
+}
 
 BufferWorkloadParams BigBufferWorkload() {
   BufferWorkloadParams params;
@@ -29,12 +58,13 @@ BufferWorkloadParams BigBufferWorkload() {
 
 template <typename Buffer>
 void StressBoundedBuffer() {
-  OsRuntime rt;
-  TraceRecorder trace;
-  Buffer buffer(rt, 5);
-  ThreadList threads = SpawnBoundedBufferWorkload(rt, buffer, trace, BigBufferWorkload());
-  JoinAll(threads);
-  EXPECT_EQ(CheckBoundedBuffer(trace.Events(), 5), "");
+  RunSandboxed([](OsRuntime& rt) {
+    TraceRecorder trace;
+    Buffer buffer(rt, 5);
+    ThreadList threads = SpawnBoundedBufferWorkload(rt, buffer, trace, BigBufferWorkload());
+    JoinAll(threads);
+    return CheckBoundedBuffer(trace.Events(), 5);
+  });
 }
 
 TEST(OsStressTest, SemaphoreBoundedBuffer) { StressBoundedBuffer<SemaphoreBoundedBuffer>(); }
@@ -44,20 +74,21 @@ TEST(OsStressTest, SerializerBoundedBuffer) { StressBoundedBuffer<SerializerBoun
 
 template <typename Rw>
 void StressReadersWriters(RwPolicy policy, RwStrictness strictness) {
-  OsRuntime rt;
-  TraceRecorder trace;
-  Rw rw(rt);
-  RwWorkloadParams params;
-  params.readers = 6;
-  params.writers = 3;
-  params.ops_per_reader = 60;
-  params.ops_per_writer = 40;
-  params.read_work = 0;
-  params.write_work = 0;
-  params.think_work = 0;
-  ThreadList threads = SpawnReadersWritersWorkload(rt, rw, trace, params);
-  JoinAll(threads);
-  EXPECT_EQ(CheckReadersWriters(trace.Events(), policy, 1000, strictness), "");
+  RunSandboxed([policy, strictness](OsRuntime& rt) {
+    TraceRecorder trace;
+    Rw rw(rt);
+    RwWorkloadParams params;
+    params.readers = 6;
+    params.writers = 3;
+    params.ops_per_reader = 60;
+    params.ops_per_writer = 40;
+    params.read_work = 0;
+    params.write_work = 0;
+    params.think_work = 0;
+    ThreadList threads = SpawnReadersWritersWorkload(rt, rw, trace, params);
+    JoinAll(threads);
+    return CheckReadersWriters(trace.Events(), policy, 1000, strictness);
+  });
 }
 
 TEST(OsStressTest, MonitorReadersPriority) {
@@ -90,22 +121,28 @@ TEST(OsStressTest, SemaphoreReadersPriorityLenient) {
 
 template <typename Scheduler>
 void StressScanScheduler(std::uint64_t seed) {
-  OsRuntime rt;
-  TraceRecorder trace;
-  VirtualDisk disk(500, 0);
-  Scheduler scheduler(rt, 0);
-  DiskWorkloadParams params;
-  params.requesters = 6;
-  params.requests_per_thread = 50;
-  params.tracks = 500;
-  params.hold_work = 0;
-  params.think_work = 0;
-  params.seed = seed;
-  ThreadList threads = SpawnDiskWorkload(rt, scheduler, disk, trace, params);
-  JoinAll(threads);
-  EXPECT_EQ(disk.violations(), 0);
-  EXPECT_EQ(disk.accesses(), 300);
-  EXPECT_EQ(CheckScanDiskSchedule(trace.Events(), 0), "");
+  RunSandboxed([seed](OsRuntime& rt) -> std::string {
+    TraceRecorder trace;
+    VirtualDisk disk(500, 0);
+    Scheduler scheduler(rt, 0);
+    DiskWorkloadParams params;
+    params.requesters = 6;
+    params.requests_per_thread = 50;
+    params.tracks = 500;
+    params.hold_work = 0;
+    params.think_work = 0;
+    params.seed = seed;
+    ThreadList threads = SpawnDiskWorkload(rt, scheduler, disk, trace, params);
+    JoinAll(threads);
+    if (disk.violations() != 0) {
+      return "disk head moved while a request held it: " +
+             std::to_string(disk.violations()) + " violation(s)";
+    }
+    if (disk.accesses() != 300) {
+      return "disk accesses " + std::to_string(disk.accesses()) + " != 300";
+    }
+    return CheckScanDiskSchedule(trace.Events(), 0);
+  });
 }
 
 TEST(OsStressTest, DiskSchedulerScanMonitor) { StressScanScheduler<MonitorDiskScheduler>(1); }
@@ -132,42 +169,45 @@ TEST(OsStressTest, CcrReadersPriority) {
 TEST(OsStressTest, CcrBoundedBufferStress) { StressBoundedBuffer<CcrBoundedBuffer>(); }
 
 TEST(OsStressTest, AlarmClock) {
-  OsRuntime rt;
-  TraceRecorder trace;
-  MonitorAlarmClock clock(rt);
-  AlarmWorkloadParams params;
-  params.sleepers = 5;
-  params.naps_per_sleeper = 20;
-  params.max_delay = 7;
-  ThreadList threads = SpawnAlarmClockWorkload(rt, clock, trace, params);
-  JoinAll(threads);
-  EXPECT_EQ(CheckAlarmClock(trace.Events(), 0), "");
+  RunSandboxed([](OsRuntime& rt) {
+    TraceRecorder trace;
+    MonitorAlarmClock clock(rt);
+    AlarmWorkloadParams params;
+    params.sleepers = 5;
+    params.naps_per_sleeper = 20;
+    params.max_delay = 7;
+    ThreadList threads = SpawnAlarmClockWorkload(rt, clock, trace, params);
+    JoinAll(threads);
+    return CheckAlarmClock(trace.Events(), 0);
+  });
 }
 
 TEST(OsStressTest, SjnAllocator) {
-  OsRuntime rt;
-  TraceRecorder trace;
-  MonitorSjnAllocator allocator(rt);
-  SjnWorkloadParams params;
-  params.requesters = 6;
-  params.requests_per_thread = 30;
-  ThreadList threads = SpawnSjnWorkload(rt, allocator, trace, params);
-  JoinAll(threads);
-  EXPECT_EQ(CheckSjnAllocator(trace.Events()), "");
+  RunSandboxed([](OsRuntime& rt) {
+    TraceRecorder trace;
+    MonitorSjnAllocator allocator(rt);
+    SjnWorkloadParams params;
+    params.requesters = 6;
+    params.requests_per_thread = 30;
+    ThreadList threads = SpawnSjnWorkload(rt, allocator, trace, params);
+    JoinAll(threads);
+    return CheckSjnAllocator(trace.Events());
+  });
 }
 
 TEST(OsStressTest, FcfsResource) {
-  OsRuntime rt;
-  TraceRecorder trace;
-  SemaphoreFcfsResource resource(rt);
-  FcfsWorkloadParams params;
-  params.threads = 6;
-  params.ops_per_thread = 100;
-  params.hold_work = 0;
-  params.think_work = 0;
-  ThreadList threads = SpawnFcfsWorkload(rt, resource, trace, params);
-  JoinAll(threads);
-  EXPECT_EQ(CheckFcfsResource(trace.Events()), "");
+  RunSandboxed([](OsRuntime& rt) {
+    TraceRecorder trace;
+    SemaphoreFcfsResource resource(rt);
+    FcfsWorkloadParams params;
+    params.threads = 6;
+    params.ops_per_thread = 100;
+    params.hold_work = 0;
+    params.think_work = 0;
+    ThreadList threads = SpawnFcfsWorkload(rt, resource, trace, params);
+    JoinAll(threads);
+    return CheckFcfsResource(trace.Events());
+  });
 }
 
 }  // namespace

@@ -9,8 +9,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -19,6 +21,9 @@
 
 #include <gtest/gtest.h>
 
+#include "syneval/fault/chaos.h"
+#include "syneval/fault/fault.h"
+#include "syneval/runtime/checkpoint.h"
 #include "syneval/runtime/os_runtime.h"
 #include "syneval/runtime/supervisor.h"
 
@@ -292,6 +297,226 @@ TEST(SupervisorTest, SweepWithHungAndCrashingCellsKeepsHealthyOutcomesBitIdentic
   EXPECT_NE(json.find("\"hung\""), std::string::npos);
   EXPECT_NE(json.find("\"crash\""), std::string::npos);
   EXPECT_NE(json.find("boom"), std::string::npos);
+}
+
+// ---- Supervised chaos calibration -----------------------------------------------------
+
+void ExpectChaosOutcomesIdentical(const ChaosSweepOutcome& a, const ChaosSweepOutcome& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.skipped, b.skipped);
+  EXPECT_EQ(a.injected_runs, b.injected_runs);
+  EXPECT_EQ(a.harmful, b.harmful);
+  EXPECT_EQ(a.detected_harmful, b.detected_harmful);
+  EXPECT_EQ(a.absorbed, b.absorbed);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  EXPECT_EQ(a.clean_anomalies, b.clean_anomalies);
+  EXPECT_EQ(a.clean_failures, b.clean_failures);
+  EXPECT_EQ(a.detection_steps_total, b.detection_steps_total);
+  EXPECT_EQ(a.missed_seeds, b.missed_seeds);
+  EXPECT_EQ(a.fp_seeds, b.fp_seeds);
+  EXPECT_EQ(a.postmortems_total, b.postmortems_total);
+  ASSERT_EQ(a.postmortems.size(), b.postmortems.size());
+  for (std::size_t i = 0; i < a.postmortems.size(); ++i) {
+    EXPECT_EQ(a.postmortems[i].seed, b.postmortems[i].seed);
+    EXPECT_EQ(a.postmortems[i].cause, b.postmortems[i].cause);
+    EXPECT_EQ(a.postmortems[i].text, b.postmortems[i].text);
+  }
+  EXPECT_EQ(a.postmortem_causes, b.postmortem_causes);
+  EXPECT_EQ(a.flight_evicted, b.flight_evicted);
+}
+
+// The acceptance criterion for the supervision seam: with no catastrophic seeds, the
+// supervised calibration table is field-by-field identical to the unsupervised one —
+// at a multi-worker job count, which also exercises the seam under the sweep pool.
+TEST(SupervisedChaosTest, HealthySupervisedCalibrationIsBitIdenticalToUnsupervised) {
+  ParallelOptions parallel;
+  parallel.jobs = 2;
+  const ChaosCalibrationTable plain =
+      RunChaosCalibration(/*seeds_per_case=*/2, /*base_seed=*/1, /*workload_scale=*/1,
+                          parallel);
+
+  ChaosSupervision supervision;
+  supervision.enabled = true;
+  supervision.options.trial_deadline = milliseconds(60000);  // Never fires.
+  const ChaosCalibrationTable supervised =
+      RunChaosCalibration(2, 1, 1, parallel, supervision);
+
+  ASSERT_EQ(supervised.rows.size(), plain.rows.size());
+  for (std::size_t i = 0; i < plain.rows.size(); ++i) {
+    EXPECT_EQ(supervised.rows[i].problem, plain.rows[i].problem);
+    EXPECT_EQ(supervised.rows[i].fault, plain.rows[i].fault);
+    EXPECT_FALSE(supervised.rows[i].quarantined);
+    ExpectChaosOutcomesIdentical(supervised.rows[i].outcome, plain.rows[i].outcome);
+  }
+  EXPECT_EQ(supervised.QuarantinedRows(), 0);
+  EXPECT_EQ(supervised.supervisor.reaped, 0);
+  EXPECT_EQ(supervised.supervisor.crashed, 0);
+  EXPECT_EQ(supervised.supervisor.retried, 0);
+  EXPECT_EQ(supervised.supervisor.quarantined, 0);
+}
+
+// A synthetic chaos trial that hangs until the supervisor aborts it through the
+// TrialAbortSlot seam, then returns what DetRuntime's abort path would: a hung
+// outcome that kept its injector counts and diagnosis.
+ChaosTrial HangingChaosTrial() {
+  return [](std::uint64_t, const FaultPlan* plan) -> ChaosTrialOutcome {
+    auto mu = std::make_shared<std::mutex>();
+    auto cv = std::make_shared<std::condition_variable>();
+    auto aborted = std::make_shared<bool>(false);
+    TrialAbortScope scope(
+        [mu, cv, aborted] {
+          std::lock_guard<std::mutex> lock(*mu);
+          *aborted = true;
+          cv->notify_all();
+        },
+        [] {
+          TrialObservation obs;
+          obs.cause = "synthetic-hang";
+          obs.text = "postmortem: synthetic-hang\n";
+          return obs;
+        });
+    std::unique_lock<std::mutex> lock(*mu);
+    cv->wait(lock, [&] { return *aborted; });
+    ChaosTrialOutcome out;
+    out.hung = true;
+    out.anomalies = 1;
+    out.steps = 100;
+    if (plan != nullptr) {
+      out.injected = 1;
+      out.first_injection_step = 10;
+    }
+    return out;
+  };
+}
+
+TEST(SupervisedChaosTest, ReapedHangStillCountsTowardRecallThenQuarantines) {
+  auto state = std::make_shared<chaos_internal::SupervisedRowState>();
+  SupervisorOptions options;
+  options.trial_deadline = milliseconds(100);
+  options.max_attempts = 2;
+  options.retry_backoff = milliseconds(1);
+  options.quarantine_after = 2;
+  const ChaosTrial wrapped =
+      chaos_internal::MakeSupervisedChaosTrial(HangingChaosTrial(), options, state);
+
+  const FaultPlan plan;
+  const ChaosSweepOutcome outcome = SweepChaos(/*num_seeds=*/3, wrapped, plan, 1);
+
+  // Seed 1 fault-on: reaped twice (one retry), catastrophic — but its outcome still
+  // folded as a detected harmful run, so the genuine hang counts toward recall.
+  EXPECT_EQ(outcome.runs, 1);
+  EXPECT_EQ(outcome.harmful, 1);
+  EXPECT_EQ(outcome.detected_harmful, 1);
+  EXPECT_EQ(outcome.Recall(), 1.0);
+  // Seed 1's matched fault-off run was the second catastrophic seed: quarantine. The
+  // remaining seeds were skipped without running anything.
+  EXPECT_EQ(outcome.skipped, 2);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    EXPECT_TRUE(state->quarantined);
+    EXPECT_EQ(state->catastrophic_seeds, 2);
+    EXPECT_NE(state->quarantine_reason.find("catastrophic"), std::string::npos);
+    // The reaper's pre-abort harvest was kept as the row's last postmortem.
+    EXPECT_EQ(state->last_postmortem_cause, "synthetic-hang");
+    EXPECT_EQ(state->stats.reaped, 4);  // 2 attempts × (fault-on + fault-off).
+    EXPECT_EQ(state->stats.retried, 2);
+    EXPECT_EQ(state->stats.quarantined, 1);
+  }
+}
+
+TEST(SupervisedChaosTest, CrashingTrialIsQuarantinedExactly) {
+  auto state = std::make_shared<chaos_internal::SupervisedRowState>();
+  SupervisorOptions options;
+  options.trial_deadline = milliseconds(5000);
+  options.max_attempts = 1;
+  options.quarantine_after = 2;
+  const ChaosTrial wrapped = chaos_internal::MakeSupervisedChaosTrial(
+      [](std::uint64_t, const FaultPlan*) -> ChaosTrialOutcome {
+        throw std::runtime_error("synthetic trial defect");
+      },
+      options, state);
+
+  const FaultPlan plan;
+  const ChaosSweepOutcome outcome = SweepChaos(/*num_seeds=*/4, wrapped, plan, 1);
+  // The crash synthesizes the same hung outcome the unsupervised catch block folds,
+  // so the denominators stay in step; after quarantine the rest is skipped.
+  EXPECT_EQ(outcome.runs, 1);
+  EXPECT_EQ(outcome.skipped, 3);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    EXPECT_TRUE(state->quarantined);
+    EXPECT_EQ(state->stats.crashed, 2);
+    EXPECT_NE(state->quarantine_reason.find("synthetic trial defect"), std::string::npos);
+  }
+}
+
+TEST(SupervisedChaosTest, HealthyTrialPassesThroughUntouched) {
+  auto state = std::make_shared<chaos_internal::SupervisedRowState>();
+  SupervisorOptions options;
+  options.trial_deadline = milliseconds(60000);
+  options.max_attempts = 3;
+  int calls = 0;
+  const ChaosTrial wrapped = chaos_internal::MakeSupervisedChaosTrial(
+      [&calls](std::uint64_t seed, const FaultPlan*) {
+        ++calls;
+        ChaosTrialOutcome out;
+        out.completed = true;
+        out.steps = 100 + seed;
+        return out;
+      },
+      options, state);
+  const ChaosTrialOutcome out = wrapped(7, nullptr);
+  EXPECT_EQ(calls, 1);  // One pass, no retries.
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.steps, 107u);
+  std::lock_guard<std::mutex> lock(state->mu);
+  EXPECT_EQ(state->stats.reaped, 0);
+  EXPECT_EQ(state->stats.crashed, 0);
+  EXPECT_EQ(state->stats.retried, 0);
+}
+
+// Supervised soak + checkpoint resume: the second run restores every per-seed chunk
+// from the journal-backed store and its table is field-by-field identical.
+TEST(SupervisedChaosTest, ResumedSupervisedSoakIsBitIdentical) {
+  const std::string path = testing::TempDir() + "/supervised_soak.ckpt";
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+
+  ChaosSupervision supervision;
+  supervision.enabled = true;
+  supervision.options.trial_deadline = milliseconds(60000);
+
+  ChaosCalibrationTable first;
+  {
+    CheckpointStore store(path);
+    store.Load();
+    ParallelOptions parallel;
+    parallel.jobs = 2;
+    parallel.chunk_seeds = 1;  // The soak configuration: per-seed checkpoints.
+    parallel.checkpoint = &store;
+    parallel.checkpoint_scope = "supervisor_test/soak";
+    first = RunChaosCalibration(/*seeds_per_case=*/1, 1, 1, parallel, supervision);
+    EXPECT_GT(store.size(), 0);
+    EXPECT_GT(store.appends(), 0);
+  }
+  {
+    CheckpointStore store(path);
+    EXPECT_GT(store.Load(), 0);
+    ParallelOptions parallel;
+    parallel.jobs = 2;
+    parallel.chunk_seeds = 1;
+    parallel.checkpoint = &store;
+    parallel.checkpoint_scope = "supervisor_test/soak";
+    const ChaosCalibrationTable resumed =
+        RunChaosCalibration(1, 1, 1, parallel, supervision);
+    EXPECT_EQ(store.hits(), store.size());  // Everything restored, nothing re-ran.
+    ASSERT_EQ(resumed.rows.size(), first.rows.size());
+    for (std::size_t i = 0; i < first.rows.size(); ++i) {
+      ExpectChaosOutcomesIdentical(resumed.rows[i].outcome, first.rows[i].outcome);
+    }
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
 }
 
 #if (defined(__unix__) || defined(__APPLE__)) && !defined(SYNEVAL_SANITIZED)
